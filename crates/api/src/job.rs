@@ -1,0 +1,132 @@
+//! Fine-tuning job specifications and lifecycle (the paper's Fig 1:
+//! developers "create PEFT tasks using fine-tuning APIs").
+
+use mux_data::corpus::DatasetKind;
+use mux_peft::types::{PeftTask, PeftType};
+use serde::Serialize;
+
+/// A unique job handle issued by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct JobId(pub u64);
+
+/// What the tenant submits through the API.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobSpec {
+    /// Which backbone family to fine-tune (only same-backbone jobs may
+    /// share an instance — §2.1's backbone homogeneity).
+    pub backbone: String,
+    /// PEFT algorithm and hyper-parameters.
+    pub peft: PeftType,
+    /// Dataset the tenant trains on (drives the sequence cap).
+    pub dataset: DatasetKind,
+    /// Micro-batch size.
+    pub micro_batch: usize,
+    /// Total training tokens the job must process before completion.
+    pub total_tokens: u64,
+    /// Requested learning rate.
+    pub lr: f32,
+}
+
+impl JobSpec {
+    /// A LoRA job with sensible defaults.
+    pub fn lora(backbone: &str, dataset: DatasetKind, rank: usize, micro_batch: usize, total_tokens: u64) -> Self {
+        Self {
+            backbone: backbone.to_string(),
+            peft: PeftType::LoRA { rank },
+            dataset,
+            micro_batch,
+            total_tokens,
+            lr: 1e-3,
+        }
+    }
+
+    /// Converts the spec into the scheduler-facing task description.
+    pub fn to_task(&self, id: u32) -> PeftTask {
+        PeftTask {
+            id,
+            peft: self.peft,
+            micro_batch: self.micro_batch,
+            seq_len: self.dataset.max_len(),
+            lr: self.lr,
+        }
+    }
+}
+
+/// Lifecycle of a job inside the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Accepted by the API, waiting for dispatch.
+    Queued,
+    /// Registered on an instance and training.
+    Running {
+        /// Instance hosting the job.
+        instance: usize,
+    },
+    /// All requested tokens processed.
+    Completed,
+    /// Rejected (e.g. no backbone pool / admission control).
+    Rejected,
+}
+
+/// A job record the service tracks.
+#[derive(Debug, Clone, Serialize)]
+pub struct Job {
+    /// Handle.
+    pub id: JobId,
+    /// Tenant's spec.
+    pub spec: JobSpec,
+    /// Current state.
+    pub state: JobState,
+    /// Submission time, seconds.
+    pub submitted_at: f64,
+    /// Dispatch time, seconds (NaN until running).
+    pub started_at: f64,
+    /// Completion time, seconds (NaN until completed).
+    pub finished_at: f64,
+    /// Effective tokens processed so far.
+    pub progressed_tokens: f64,
+}
+
+impl Job {
+    /// Creates a queued job.
+    pub fn new(id: JobId, spec: JobSpec, now: f64) -> Self {
+        Self {
+            id,
+            spec,
+            state: JobState::Queued,
+            submitted_at: now,
+            started_at: f64::NAN,
+            finished_at: f64::NAN,
+            progressed_tokens: 0.0,
+        }
+    }
+
+    /// Job completion time (arrival to finish), if completed.
+    pub fn jct(&self) -> Option<f64> {
+        matches!(self.state, JobState::Completed).then(|| self.finished_at - self.submitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_converts_to_task_with_dataset_cap() {
+        let spec = JobSpec::lora("LLaMA2-7B", DatasetKind::Rte, 16, 4, 1_000_000);
+        let task = spec.to_task(7);
+        assert_eq!(task.id, 7);
+        assert_eq!(task.seq_len, 256);
+        assert_eq!(task.micro_batch, 4);
+    }
+
+    #[test]
+    fn jct_only_after_completion() {
+        let spec = JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 8, 2, 1000);
+        let mut job = Job::new(JobId(1), spec, 10.0);
+        assert!(job.jct().is_none());
+        job.state = JobState::Completed;
+        job.finished_at = 110.0;
+        assert_eq!(job.jct(), Some(100.0));
+    }
+}

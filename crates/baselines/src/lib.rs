@@ -1,0 +1,21 @@
+//! # mux-baselines
+//!
+//! The three §5.1 baselines, re-implemented as *strategies* over the same
+//! simulator substrate MuxTune runs on, so every comparison isolates
+//! scheduling policy rather than implementation accidents:
+//!
+//! * **HF-PEFT** — one instance per task, full backbone replica each,
+//!   pipeline-only parallelism, blocking communication, no multi-task
+//!   sharing (tasks run back-to-back on the same GPUs);
+//! * **NeMo Megatron** — single-task execution with grid-searched hybrid
+//!   parallelism and efficient kernels, blocking (sequentially launched)
+//!   communication, backbone replicated per task;
+//! * **SL-PEFT** — SLoRA's techniques applied to fine-tuning: shared
+//!   backbone, batching-only spatial multiplexing of *all* tasks, global
+//!   zero-padding alignment, no operator orchestration.
+
+pub mod memory;
+pub mod runner;
+
+pub use memory::{memory_per_gpu, oom_task_count, MemoryBreakdown};
+pub use runner::{run_system, SystemKind, SystemReport};

@@ -1,0 +1,202 @@
+//! Per-system memory accounting for the Fig 17 experiments: how per-GPU
+//! footprint grows as PEFT tasks are added progressively (each with one
+//! micro-batch per iteration), and where each system OOMs.
+
+use mux_data::align::{align, AlignStrategy, TaskData};
+use mux_gpu_sim::spec::GpuSpec;
+use mux_model::config::ModelConfig;
+use mux_model::memory::{activation_bytes, task_state_bytes};
+use mux_peft::types::PeftTask;
+use serde::Serialize;
+
+use crate::runner::SystemKind;
+
+/// Memory breakdown per GPU for a set of co-located tasks.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemoryBreakdown {
+    /// Backbone parameter bytes (replicated per task or shared).
+    pub backbone: u64,
+    /// Activation bytes for one in-flight micro-batch per task.
+    pub activations: u64,
+    /// Adapter training state (grads + optimizer moments).
+    pub task_state: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.backbone + self.activations + self.task_state
+    }
+}
+
+/// Tokens each task contributes per micro-batch under the system's
+/// alignment strategy.
+fn aligned_tokens(system: SystemKind, tasks: &[&PeftTask], corpora: &[Vec<usize>]) -> Vec<u64> {
+    match system {
+        SystemKind::HfPeft | SystemKind::Nemo => {
+            // Single-task instances: pad to own cap only.
+            tasks.iter().map(|t| (t.micro_batch * t.seq_len) as u64).collect()
+        }
+        SystemKind::SlPeft => {
+            // Zero-pad to the global maximum cap.
+            let global = tasks.iter().map(|t| t.seq_len).max().unwrap_or(0);
+            tasks.iter().map(|t| (t.micro_batch * global) as u64).collect()
+        }
+        SystemKind::MuxTune => {
+            // Chunk-based alignment: per-task effective + residual chunk pad.
+            let data: Vec<TaskData> = tasks
+                .iter()
+                .zip(corpora)
+                .map(|(t, lens)| TaskData { task: t.id, seq_lens: lens.clone(), cap: t.seq_len })
+                .collect();
+            let aligned = align(&data, AlignStrategy::ChunkBased { min_chunk: 64 });
+            tasks
+                .iter()
+                .map(|t| {
+                    let a = aligned
+                        .tasks
+                        .iter()
+                        .find(|a| a.task == t.id)
+                        .expect("task aligned");
+                    // Per micro-batch share of the aligned global batch,
+                    // scaled by the task's micro-batch size over its batch.
+                    let total = (a.rows * aligned.unit_len) as u64;
+                    let seqs = corpora
+                        .iter()
+                        .zip(tasks)
+                        .find(|(_, tt)| tt.id == t.id)
+                        .map(|(c, _)| c.len().max(1))
+                        .unwrap_or(1);
+                    (total * t.micro_batch as u64).div_ceil(seqs as u64)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Per-GPU memory when `tasks` co-locate on `gpus` devices of one instance
+/// (tensor-parallel, as in Fig 17), with `in_flight` resident micro-batches.
+pub fn memory_per_gpu(
+    system: SystemKind,
+    cfg: &ModelConfig,
+    tasks: &[&PeftTask],
+    corpora: &[Vec<usize>],
+    gpus: usize,
+    in_flight: usize,
+) -> MemoryBreakdown {
+    assert!(gpus >= 1);
+    let n = tasks.len() as u64;
+    let backbone_shard = cfg.param_bytes() / gpus as u64;
+    let backbone = match system {
+        // One full replica per task, sharded across the same GPUs.
+        SystemKind::HfPeft | SystemKind::Nemo => backbone_shard * n,
+        // Shared backbone.
+        SystemKind::SlPeft | SystemKind::MuxTune => backbone_shard,
+    };
+    let tokens = aligned_tokens(system, tasks, corpora);
+    let activations: u64 = tokens
+        .iter()
+        .map(|&t| activation_bytes(cfg, cfg.num_layers, t as usize) * in_flight as u64 / gpus as u64)
+        .sum();
+    let task_state: u64 =
+        tasks.iter().map(|t| task_state_bytes(t.adapter_params(cfg)) / gpus as u64).sum();
+    MemoryBreakdown { backbone, activations, task_state }
+}
+
+/// How many tasks (added in order) fit before the first OOM.
+pub fn oom_task_count(
+    system: SystemKind,
+    cfg: &ModelConfig,
+    tasks: &[&PeftTask],
+    corpora: &[Vec<usize>],
+    gpus: usize,
+    in_flight: usize,
+    gpu: &GpuSpec,
+) -> usize {
+    for n in 1..=tasks.len() {
+        let m = memory_per_gpu(system, cfg, &tasks[..n], &corpora[..n], gpus, in_flight);
+        if m.total() > gpu.mem_capacity {
+            return n - 1;
+        }
+    }
+    tasks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_data::corpus::{Corpus, DatasetKind};
+
+    fn workload(n: usize) -> (Vec<PeftTask>, Vec<Vec<usize>>) {
+        let tasks: Vec<PeftTask> =
+            (0..n).map(|i| PeftTask::lora(i as u32 + 1, 16, 1, 128)).collect();
+        let corpora: Vec<Vec<usize>> = (0..n)
+            .map(|i| Corpus::generate(DatasetKind::OpenBookQa, 8, i as u64).lengths)
+            .collect();
+        (tasks, corpora)
+    }
+
+    #[test]
+    fn replicating_systems_grow_linearly_in_backbone() {
+        let cfg = ModelConfig::gpt3_2_7b();
+        let (tasks, corpora) = workload(8);
+        let refs: Vec<&PeftTask> = tasks.iter().collect();
+        let m1 = memory_per_gpu(SystemKind::Nemo, &cfg, &refs[..1], &corpora[..1], 2, 1);
+        let m8 = memory_per_gpu(SystemKind::Nemo, &cfg, &refs, &corpora, 2, 1);
+        assert_eq!(m8.backbone, 8 * m1.backbone);
+    }
+
+    #[test]
+    fn sharing_systems_keep_backbone_constant() {
+        let cfg = ModelConfig::gpt3_2_7b();
+        let (tasks, corpora) = workload(8);
+        let refs: Vec<&PeftTask> = tasks.iter().collect();
+        for sys in [SystemKind::SlPeft, SystemKind::MuxTune] {
+            let m1 = memory_per_gpu(sys, &cfg, &refs[..1], &corpora[..1], 2, 1);
+            let m8 = memory_per_gpu(sys, &cfg, &refs, &corpora, 2, 1);
+            assert_eq!(m1.backbone, m8.backbone, "{sys:?}");
+            assert!(m8.activations > m1.activations);
+        }
+    }
+
+    #[test]
+    fn muxtune_activations_do_not_exceed_sl_peft() {
+        // Chunking removes padded rows, so MuxTune's activation bill is at
+        // most SL-PEFT's (strictly less with mixed caps).
+        let cfg = ModelConfig::llama2_7b();
+        let mut tasks: Vec<PeftTask> = Vec::new();
+        let mut corpora = Vec::new();
+        for i in 0..4u32 {
+            let (seq, kind) =
+                if i % 2 == 0 { (64, DatasetKind::Sst2) } else { (256, DatasetKind::Rte) };
+            tasks.push(PeftTask::lora(i + 1, 16, 1, seq));
+            corpora.push(Corpus::generate(kind, 8, i as u64).lengths);
+        }
+        let refs: Vec<&PeftTask> = tasks.iter().collect();
+        let sl = memory_per_gpu(SystemKind::SlPeft, &cfg, &refs, &corpora, 2, 1);
+        let mux = memory_per_gpu(SystemKind::MuxTune, &cfg, &refs, &corpora, 2, 1);
+        assert!(
+            mux.activations < sl.activations,
+            "mux {} vs sl {}",
+            mux.activations,
+            sl.activations
+        );
+    }
+
+    #[test]
+    fn replicating_systems_oom_first() {
+        // Fig 17a: NeMo/HF-PEFT OOM after ~15 GPT2.7B tasks on 2x48GB;
+        // sharing systems scale to 32.
+        let cfg = ModelConfig::gpt3_2_7b();
+        let (tasks, corpora) = workload(32);
+        let refs: Vec<&PeftTask> = tasks.iter().collect();
+        let gpu = GpuSpec::a40();
+        let nemo = oom_task_count(SystemKind::Nemo, &cfg, &refs, &corpora, 2, 1, &gpu);
+        let sl = oom_task_count(SystemKind::SlPeft, &cfg, &refs, &corpora, 2, 1, &gpu);
+        let mux = oom_task_count(SystemKind::MuxTune, &cfg, &refs, &corpora, 2, 1, &gpu);
+        assert!(nemo < 20, "NeMo should OOM in the teens, got {nemo}");
+        assert!(nemo >= 10, "NeMo should fit ~15 tasks, got {nemo}");
+        assert_eq!(sl, 32);
+        assert_eq!(mux, 32);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 14: end-to-end system throughput (tokens/s) across global batch
+//! sizes, backbone models and hardware configurations, on A40 testbeds,
+//! for the Uniform and Non-uniform dataset combinations.
+//!
+//! Paper headline (A40): MuxTune up to 2.33x / 1.87x / 1.64x over
+//! HF-PEFT / NeMo / SL-PEFT in the Uniform case, and 2.23x / 1.83x /
+//! 1.85x in the Non-uniform case.
+
+use mux_baselines::runner::{run_system, SystemKind};
+use mux_bench::harness::{a40_cluster, a40_multinode, banner, build_workload, row, save_json, x, Combo};
+use rayon::prelude::*;
+use mux_data::corpus::DatasetKind;
+use mux_gpu_sim::timeline::Cluster;
+use mux_model::config::ModelConfig;
+
+struct Testbed {
+    model: ModelConfig,
+    cluster: Cluster,
+    tasks: usize,
+}
+
+fn testbeds() -> Vec<Testbed> {
+    vec![
+        // GPT3-2.7B on 2 A40s (Testbed-A slice).
+        Testbed { model: ModelConfig::gpt3_2_7b(), cluster: a40_cluster(2), tasks: 4 },
+        // LLaMA2-7B on 4 A40s (Testbed-A).
+        Testbed { model: ModelConfig::llama2_7b(), cluster: a40_cluster(4), tasks: 4 },
+        // LLaMA2-13B on 8 A40s (Testbed-B, 4 nodes x 2 GPUs, IB).
+        Testbed { model: ModelConfig::llama2_13b(), cluster: a40_multinode(4), tasks: 4 },
+        // OPT-30B on 16 A40s (Testbed-B, 8 nodes x 2 GPUs, IB).
+        Testbed { model: ModelConfig::opt_30b(), cluster: a40_multinode(8), tasks: 4 },
+    ]
+}
+
+fn main() {
+    banner("Fig 14", "end-to-end throughput vs baselines on A40 testbeds");
+    let micro_batches = 4; // unified C
+    let mut results = Vec::new();
+    let mut best = std::collections::BTreeMap::new();
+    for combo in [Combo::Uniform(DatasetKind::OpenBookQa), Combo::NonUniform] {
+        println!("\n--- {} ---", combo.label());
+        for tb in testbeds() {
+            println!("{} on {} GPUs ({} tasks):", tb.model.name, tb.cluster.num_gpus(), tb.tasks);
+            // Global batch size sweep: per-task sequences per step, split
+            // into C micro-batches. The (gbs, system) grid is embarrassingly
+            // parallel — fan it out with rayon.
+            let grid: Vec<(usize, SystemKind)> = [16usize, 32, 64]
+                .iter()
+                .flat_map(|&g| SystemKind::ALL.iter().map(move |&s| (g, s)))
+                .collect();
+            let cell: Vec<_> = grid
+                .par_iter()
+                .map(|&(gbs_per_task, sys)| {
+                    let micro_batch = gbs_per_task / micro_batches;
+                    let (reg, corpora) = build_workload(&tb.model, combo, tb.tasks, micro_batch, 42);
+                    (gbs_per_task, sys, run_system(sys, &reg, &tb.cluster, &corpora, micro_batches))
+                })
+                .collect();
+            for gbs_per_task in [16usize, 32, 64] {
+                let mut line = format!("  gbs/task {gbs_per_task:>3}:");
+                let mut mux_tp = 0.0;
+                for sys in SystemKind::ALL {
+                    let res = cell
+                        .iter()
+                        .find(|(g, s, _)| *g == gbs_per_task && *s == sys)
+                        .map(|(_, _, r)| r)
+                        .expect("grid cell present");
+                    match res {
+                        Ok(rep) => {
+                            let tp = rep.metrics.effective_throughput;
+                            if sys == SystemKind::MuxTune {
+                                mux_tp = tp;
+                                line.push_str(&format!(" {}={tp:.0}", sys.name()));
+                            } else {
+                                let ratio = mux_tp / tp;
+                                line.push_str(&format!(" {}={tp:.0} ({})", sys.name(), x(ratio)));
+                                let key = (combo.label(), sys.name());
+                                let e = best.entry(key).or_insert(0.0f64);
+                                *e = e.max(ratio);
+                            }
+                            results.push(serde_json::json!({
+                                "combo": combo.label(), "model": tb.model.name,
+                                "gpus": tb.cluster.num_gpus(), "gbs_per_task": gbs_per_task,
+                                "system": sys.name(), "effective_throughput": tp,
+                                "plan": format!("tp{}xpp{}", rep.plan.tp, rep.plan.pp),
+                            }));
+                        }
+                        Err(e) => line.push_str(&format!(" {}=OOM({e})", sys.name())),
+                    }
+                }
+                println!("{line}");
+            }
+        }
+    }
+    println!();
+    for ((combo, sys), ratio) in &best {
+        let paper = match (combo.as_str(), *sys) {
+            (c, "HF-PEFT") if c.starts_with("Uniform") => "up to 2.33x",
+            (c, "NeMo") if c.starts_with("Uniform") => "up to 1.87x",
+            (c, "SL-PEFT") if c.starts_with("Uniform") => "up to 1.64x",
+            (_, "HF-PEFT") => "up to 2.23x",
+            (_, "NeMo") => "up to 1.83x",
+            _ => "up to 1.85x",
+        };
+        row(&format!("  MuxTune vs {sys} ({combo})"), paper, &x(*ratio));
+    }
+    save_json("fig14_end_to_end", &serde_json::json!({ "rows": results }));
+}

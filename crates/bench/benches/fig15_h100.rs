@@ -1,0 +1,83 @@
+//! Figure 15: throughput on H100 GPUs across global batch sizes, against
+//! NeMo and SL-PEFT (configurations aligned with Fig 14).
+//!
+//! Paper headline: 5.29x / 2.31x over NeMo / SL-PEFT in the Uniform case,
+//! 3.69x / 1.94x in the Non-uniform case — larger than on A40 because the
+//! H100's compute amplifies single-task underutilization.
+
+use mux_baselines::runner::{run_system, SystemKind};
+use mux_bench::harness::{banner, build_workload, h100_cluster, row, save_json, x, Combo};
+use mux_data::corpus::DatasetKind;
+use mux_model::config::ModelConfig;
+
+fn main() {
+    banner("Fig 15", "throughput on H100 (Testbed-C) vs NeMo / SL-PEFT");
+    let micro_batches = 4;
+    let mut results = Vec::new();
+    let mut best = std::collections::BTreeMap::new();
+    let mut a40_best = std::collections::BTreeMap::new();
+    for combo in [Combo::Uniform(DatasetKind::OpenBookQa), Combo::NonUniform] {
+        println!("\n--- {} ---", combo.label());
+        for (model, gpus) in [(ModelConfig::llama2_7b(), 4usize), (ModelConfig::llama2_13b(), 8)] {
+            let cluster = h100_cluster(gpus);
+            println!("{} on {gpus} H100s (4 tasks):", model.name);
+            for gbs_per_task in [16usize, 32, 64] {
+                let micro_batch = gbs_per_task / micro_batches;
+                let (reg, corpora) = build_workload(&model, combo, 4, micro_batch, 77);
+                let mut line = format!("  gbs/task {gbs_per_task:>3}:");
+                let mut mux_tp = 0.0;
+                for sys in [SystemKind::MuxTune, SystemKind::Nemo, SystemKind::SlPeft] {
+                    match run_system(sys, &reg, &cluster, &corpora, micro_batches) {
+                        Ok(rep) => {
+                            let tp = rep.metrics.effective_throughput;
+                            if sys == SystemKind::MuxTune {
+                                mux_tp = tp;
+                                line.push_str(&format!(" {}={tp:.0}", sys.name()));
+                            } else {
+                                let ratio = mux_tp / tp;
+                                line.push_str(&format!(" {}={tp:.0} ({})", sys.name(), x(ratio)));
+                                let e = best.entry((combo.label(), sys.name())).or_insert(0.0f64);
+                                *e = e.max(ratio);
+                            }
+                            results.push(serde_json::json!({
+                                "combo": combo.label(), "model": model.name, "gpus": gpus,
+                                "gbs_per_task": gbs_per_task, "system": sys.name(),
+                                "effective_throughput": tp,
+                            }));
+                        }
+                        Err(e) => line.push_str(&format!(" {}=OOM({e})", sys.name())),
+                    }
+                }
+                println!("{line}");
+            }
+        }
+        // A40 reference at the same LLaMA7B workload, to verify the gains
+        // grow on faster hardware (§5.2's argument).
+        let (reg, corpora) = build_workload(&ModelConfig::llama2_7b(), combo, 4, 8, 77);
+        let a40 = mux_bench::harness::a40_cluster(4);
+        let mux = run_system(SystemKind::MuxTune, &reg, &a40, &corpora, micro_batches);
+        let nemo = run_system(SystemKind::Nemo, &reg, &a40, &corpora, micro_batches);
+        if let (Ok(m), Ok(n)) = (mux, nemo) {
+            a40_best.insert(combo.label(), m.metrics.effective_throughput / n.metrics.effective_throughput);
+        }
+    }
+    println!();
+    for ((combo, sys), ratio) in &best {
+        let paper = match (combo.as_str(), *sys) {
+            (c, "NeMo") if c.starts_with("Uniform") => "up to 5.29x",
+            (c, "SL-PEFT") if c.starts_with("Uniform") => "up to 2.31x",
+            (_, "NeMo") => "up to 3.69x",
+            _ => "up to 1.94x",
+        };
+        row(&format!("  MuxTune vs {sys} ({combo})"), paper, &x(*ratio));
+    }
+    for (combo, a40_ratio) in &a40_best {
+        let h100_ratio = best.get(&(combo.clone(), "NeMo")).copied().unwrap_or(0.0);
+        row(
+            &format!("  gains grow on faster HW ({combo})"),
+            "H100 ratio > A40 ratio",
+            &format!("A40 {} vs H100 {}", x(*a40_ratio), x(h100_ratio)),
+        );
+    }
+    save_json("fig15_h100", &serde_json::json!({ "rows": results }));
+}

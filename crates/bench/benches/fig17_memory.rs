@@ -1,0 +1,108 @@
+//! Figure 17: memory footprint as PEFT tasks are added progressively
+//! (Table 2 workloads repeated 4x = up to 32 tasks, 1 micro-batch each).
+//!
+//! Paper: (a) GPT2.7B on 2-GPU TP — NeMo/HF-PEFT OOM after 15 tasks;
+//! MuxTune reduces memory up to 4.67x/1.44x vs NeMo/SL-PEFT at the OOM
+//! point and 5.29x/1.46x at 32 tasks. (b) LLaMA7B with more GPUs —
+//! 3.57x/1.37x, NeMo OOM after 11 tasks.
+
+use mux_baselines::memory::{memory_per_gpu, oom_task_count};
+use mux_baselines::runner::SystemKind;
+use mux_bench::harness::{banner, row, save_json, table2_workload, x};
+use mux_data::corpus::Corpus;
+use mux_gpu_sim::spec::GpuSpec;
+use mux_model::config::ModelConfig;
+use mux_peft::types::PeftTask;
+
+fn run_case(
+    label: &str,
+    cfg: &ModelConfig,
+    wl: char,
+    gpus: usize,
+    paper_oom: &str,
+    paper_full: [&str; 2],
+) -> serde_json::Value {
+    println!("--- {label}: {} on {gpus}-GPU TP, WL-{wl} x4 ---", cfg.name);
+    let spec = table2_workload(wl);
+    let mut tasks = Vec::new();
+    let mut corpora = Vec::new();
+    for r in 0..4 {
+        for (i, &(ds, mb)) in spec.iter().enumerate() {
+            let id = (r * spec.len() + i) as u32 + 1;
+            tasks.push(PeftTask::lora(id, 16, mb, ds.max_len()));
+            corpora.push(Corpus::generate(ds, 32, id as u64).lengths);
+        }
+    }
+    let refs: Vec<&PeftTask> = tasks.iter().collect();
+    let gpu = GpuSpec::a40();
+
+    let mut curves = Vec::new();
+    println!("  {:>6} {:>12} {:>12} {:>12}", "#tasks", "NeMo GB", "SL-PEFT GB", "MuxTune GB");
+    for n in [1usize, 4, 8, 15, 16, 24, 32] {
+        let gb = |sys| {
+            memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64 / 1e9
+        };
+        let (nemo, sl, mux) =
+            (gb(SystemKind::Nemo), gb(SystemKind::SlPeft), gb(SystemKind::MuxTune));
+        println!("  {n:>6} {nemo:>12.1} {sl:>12.1} {mux:>12.1}");
+        curves.push(serde_json::json!({ "tasks": n, "nemo_gb": nemo, "sl_gb": sl, "mux_gb": mux }));
+    }
+    let nemo_oom = oom_task_count(SystemKind::Nemo, cfg, &refs, &corpora, gpus, 1, &gpu);
+    let sl_oom = oom_task_count(SystemKind::SlPeft, cfg, &refs, &corpora, gpus, 1, &gpu);
+    let mux_oom = oom_task_count(SystemKind::MuxTune, cfg, &refs, &corpora, gpus, 1, &gpu);
+    row("  NeMo/HF-PEFT OOM point", paper_oom, &format!("{nemo_oom} tasks"));
+    println!("  SL-PEFT fits {sl_oom} tasks, MuxTune fits {mux_oom} tasks");
+
+    let at = |sys, n: usize| memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64;
+    let n_cmp = nemo_oom.max(1);
+    let red_nemo_oom = at(SystemKind::Nemo, n_cmp) / at(SystemKind::MuxTune, n_cmp);
+    let red_sl_oom = at(SystemKind::SlPeft, n_cmp) / at(SystemKind::MuxTune, n_cmp);
+    row(
+        "  reduction at the OOM point (vs NeMo / SL)",
+        paper_full[0],
+        &format!("{} / {}", x(red_nemo_oom), x(red_sl_oom)),
+    );
+    let red_nemo_32 = at(SystemKind::Nemo, 32) / at(SystemKind::MuxTune, 32);
+    let red_sl_32 = at(SystemKind::SlPeft, 32) / at(SystemKind::MuxTune, 32);
+    row(
+        "  reduction at 32 tasks (vs NeMo / SL)",
+        paper_full[1],
+        &format!("{} / {}", x(red_nemo_32), x(red_sl_32)),
+    );
+    // Footprint breakdown of one MuxTune instance (paper Fig 17b inset:
+    // 13.4 GB backbone, 4.3 GB activations, 0.4 GB others for LLaMA7B).
+    let b = memory_per_gpu(SystemKind::MuxTune, cfg, &refs[..8], &corpora[..8], gpus, 1);
+    println!(
+        "  MuxTune breakdown @8 tasks: backbone {:.1} GB, activations {:.1} GB, task state {:.2} GB",
+        b.backbone as f64 / 1e9,
+        b.activations as f64 / 1e9,
+        b.task_state as f64 / 1e9
+    );
+    serde_json::json!({
+        "case": label, "curves": curves,
+        "oom": { "nemo": nemo_oom, "sl": sl_oom, "mux": mux_oom },
+        "reduction_at_oom": [red_nemo_oom, red_sl_oom],
+        "reduction_at_32": [red_nemo_32, red_sl_32],
+    })
+}
+
+fn main() {
+    banner("Fig 17", "memory footprint vs number of co-located tasks");
+    let a = run_case(
+        "Fig 17a",
+        &ModelConfig::gpt3_2_7b(),
+        'A',
+        2,
+        "OOM after 15 tasks",
+        ["4.67x / 1.44x", "5.29x / 1.46x"],
+    );
+    let b = run_case(
+        "Fig 17b",
+        &ModelConfig::llama2_7b(),
+        'B',
+        4,
+        "OOM after 11 tasks",
+        ["3.57x / 1.37x", "3.57x / 1.37x (paper reports OOM-point only)"],
+    );
+    save_json("fig17_memory", &serde_json::json!({ "a": a, "b": b }));
+}

@@ -1,0 +1,88 @@
+//! Figure 19: throughput of operator orchestration alone — backbone
+//! sharing + orchestration enabled, task fusion and chunk alignment
+//! disabled — with a varying number of tasks, vs the NeMo baseline.
+//!
+//! Paper (LLaMA7B, sequence lengths 128/64/32): (a) 1 micro-batch of size
+//! 8 under tensor parallelism — 1.20x / 1.22x / 1.23x; (b) 8 micro-batches
+//! under the pipeline — 1.24x / 1.35x / 1.36x, rising to ~1.59x with only
+//! 4 micro-batches (which leave more bubbles to fill).
+
+use std::collections::BTreeMap;
+
+use mux_baselines::runner::{run_system, SystemKind};
+use mux_bench::harness::{a40_cluster, banner, row, save_json, x};
+use mux_data::align::AlignStrategy;
+use mux_model::config::ModelConfig;
+use mux_parallel::plan::HybridParallelism;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::{PeftTask, TaskId};
+use muxtune_core::fusion::FusionPolicy;
+use muxtune_core::planner::{plan_and_run, PlannerConfig};
+
+fn registry(n_tasks: usize, micro_batch: usize, seq: usize) -> TaskRegistry {
+    let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+    for i in 0..n_tasks {
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, micro_batch, seq)).expect("ids");
+    }
+    reg
+}
+
+/// Orchestration-only MuxTune: temporal hTasks (no fusion), zero-pad
+/// alignment (no chunking), orchestration + overlap on.
+fn orchestration_only(plan: HybridParallelism, mbs: usize) -> PlannerConfig {
+    let mut pc = PlannerConfig::muxtune(plan, mbs);
+    pc.fusion = FusionPolicy::AllTemporal;
+    pc.align = AlignStrategy::ZeroPadGlobalMax;
+    pc
+}
+
+fn sweep(plan: HybridParallelism, micro_batches: usize, label: &str, paper: &str) -> serde_json::Value {
+    println!("--- {label} ---");
+    let cluster = a40_cluster(4);
+    let mut rows = Vec::new();
+    for &seq in &[128usize, 64, 32] {
+        let mut line = format!("  seq {seq:>4}:");
+        let mut best = 0.0f64;
+        for n in [2usize, 4, 8] {
+            let reg = registry(n, 8, seq);
+            let mux = plan_and_run(&reg, &cluster, &BTreeMap::new(), &orchestration_only(plan, micro_batches))
+                .map(|r| r.metrics.throughput)
+                .unwrap_or(0.0);
+            let nemo = run_system(SystemKind::Nemo, &reg, &cluster, &BTreeMap::new(), micro_batches)
+                .map(|r| r.metrics.throughput)
+                .unwrap_or(f64::INFINITY);
+            let ratio = mux / nemo;
+            best = best.max(ratio);
+            line.push_str(&format!(" {n}tasks {}", x(ratio)));
+            rows.push(serde_json::json!({
+                "case": label, "seq": seq, "tasks": n, "mux": mux, "nemo": nemo, "ratio": ratio,
+            }));
+        }
+        println!("{line}");
+    }
+    row(&format!("  {label} speedup over NeMo"), paper, "see rows");
+    serde_json::json!(rows)
+}
+
+fn main() {
+    banner("Fig 19", "orchestration-only throughput vs NeMo (LLaMA7B)");
+    let a = sweep(
+        HybridParallelism::tensor(4),
+        1,
+        "(a) tensor parallel, 1 micro-batch of 8",
+        "1.20x / 1.22x / 1.23x",
+    );
+    let b = sweep(
+        HybridParallelism::pipeline(4),
+        8,
+        "(b) pipeline, 8 micro-batches of 8",
+        "1.24x / 1.35x / 1.36x",
+    );
+    let c = sweep(
+        HybridParallelism::pipeline(4),
+        4,
+        "(b') pipeline, 4 micro-batches (more bubbles)",
+        "up to 1.59x",
+    );
+    save_json("fig19_orchestration_e2e", &serde_json::json!({ "a": a, "b": b, "fewer_mbs": c }));
+}

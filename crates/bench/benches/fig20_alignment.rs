@@ -1,0 +1,101 @@
+//! Figure 20: effectiveness of chunk-based data alignment — overall and
+//! effective throughput of one hybrid task as tasks are progressively
+//! added, vs SL-PEFT-style global zero padding (LLaMA7B, 4-GPU pipeline).
+//!
+//! Paper: (a) WL-A with chunk 64 (matching SST2): up to 2.33x overall and
+//! 3.59x effective throughput over ZeroPad; (b) WL-B forced to chunk 128
+//! (SST2 tasks pay intra-chunk padding): still 3.77x overall and 2.57x
+//! effective.
+
+use std::collections::BTreeMap;
+
+use mux_bench::harness::{a40_cluster, banner, row, save_json, table2_workload, x};
+use mux_data::align::AlignStrategy;
+use mux_data::corpus::Corpus;
+use mux_model::config::ModelConfig;
+use mux_parallel::plan::HybridParallelism;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::{PeftTask, TaskId};
+use muxtune_core::fusion::FusionPolicy;
+use muxtune_core::planner::{plan_and_run, PlannerConfig};
+
+fn run_case(label: &str, wl: char, align: AlignStrategy, paper: [&str; 2]) -> serde_json::Value {
+    println!("--- {label} (WL-{wl}) ---");
+    let cluster = a40_cluster(4);
+    let spec = table2_workload(wl);
+    let mut rows = Vec::new();
+    let mut best_overall = 0.0f64;
+    let mut best_effective = 0.0f64;
+    println!(
+        "  {:>6} {:>12} {:>12} {:>14} {:>14}",
+        "#tasks", "mux t/s", "zeropad t/s", "mux eff t/s", "zeropad eff t/s"
+    );
+    for n in [2usize, 4, 6, 8] {
+        let mut reg = TaskRegistry::new(ModelConfig::llama2_7b());
+        let mut corpora = BTreeMap::new();
+        for (i, &(ds, mb)) in spec.iter().take(n).enumerate() {
+            let id = i as TaskId + 1;
+            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len())).expect("ids");
+            // One micro-batch per iteration (the paper's Fig 20 setup): the
+            // global batch is exactly the micro-batch.
+            corpora.insert(id, Corpus::generate(ds, mb, id as u64).lengths);
+        }
+        // One hybrid task, one micro-batch (as in the paper's setup).
+        let mut mux_cfg = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 1);
+        mux_cfg.fusion = FusionPolicy::AllSpatial;
+        mux_cfg.align = align;
+        let mut zp_cfg = mux_cfg.clone();
+        zp_cfg.align = AlignStrategy::ZeroPadGlobalMax;
+        let mux = match plan_and_run(&reg, &cluster, &corpora, &mux_cfg) {
+            Ok(r) => r.metrics,
+            Err(e) => {
+                println!("  {n:>6} MuxTune OOM: {e}");
+                continue;
+            }
+        };
+        let zp = match plan_and_run(&reg, &cluster, &corpora, &zp_cfg) {
+            Ok(r) => r.metrics,
+            Err(e) => {
+                println!("  {n:>6} {:>12.0} ZeroPad OOM ({e})", mux.throughput);
+                continue;
+            }
+        };
+        println!(
+            "  {n:>6} {:>12.0} {:>12.0} {:>14.0} {:>14.0}",
+            mux.throughput, zp.throughput, mux.effective_throughput, zp.effective_throughput
+        );
+        // "Overall" compares tokens-of-content per second: MuxTune's
+        // denser batches process the same content in less time, so compare
+        // effective content rates for overall too (the paper's overall
+        // metric counts processed tokens, where ZeroPad's padding inflates
+        // the number — effective is the economically meaningful one).
+        best_overall = best_overall.max(mux.throughput / zp.throughput);
+        best_effective = best_effective.max(mux.effective_throughput / zp.effective_throughput);
+        rows.push(serde_json::json!({
+            "tasks": n,
+            "mux": { "overall": mux.throughput, "effective": mux.effective_throughput },
+            "zeropad": { "overall": zp.throughput, "effective": zp.effective_throughput },
+        }));
+    }
+    row("  overall-throughput gain", paper[0], &x(best_overall));
+    row("  effective-throughput gain", paper[1], &x(best_effective));
+    serde_json::json!({ "case": label, "rows": rows,
+        "best_overall": best_overall, "best_effective": best_effective })
+}
+
+fn main() {
+    banner("Fig 20", "chunk-based alignment vs SL-PEFT zero padding (1 hTask)");
+    let a = run_case(
+        "Fig 20a: chunk 64 (no intra-chunk padding)",
+        'A',
+        AlignStrategy::ChunkBased { min_chunk: 64 },
+        ["2.33x", "3.59x"],
+    );
+    let b = run_case(
+        "Fig 20b: chunk 128 (SST2 pays intra-chunk padding)",
+        'B',
+        AlignStrategy::ChunkExact { chunk: 128 },
+        ["3.77x", "2.57x"],
+    );
+    save_json("fig20_alignment", &serde_json::json!({ "a": a, "b": b }));
+}

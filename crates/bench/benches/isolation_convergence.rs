@@ -1,0 +1,104 @@
+//! §3.2 isolation and convergence-consistency experiment, run on *real*
+//! training (tiny transformers on the mux-tensor substrate):
+//!
+//! 1. fused-vs-separate parameter trajectories (the paper reports ≈ 0.07
+//!    mean-square-deviation-scale consistency on nondeterministic GPU
+//!    kernels; our CPU kernels are deterministic, so the deviation is ~0);
+//! 2. NaN containment: a task sabotaged with an absurd learning rate blows
+//!    up alone, co-located tasks stay finite;
+//! 3. convergence: losses of all co-scheduled tasks decrease under fused
+//!    execution.
+
+use mux_bench::harness::{banner, row, save_json};
+use mux_peft::backbone::TinyConfig;
+use mux_peft::isolation::{compare_fused_vs_separate, nan_containment};
+use mux_peft::trainer::{ExecTask, MultiTaskTrainer, TaskBatch};
+
+fn main() {
+    banner("Isolation", "fused vs separate execution on real training (§3.2)");
+    let cfg = TinyConfig::small();
+
+    // 1. Trajectory consistency across 6 steps, 3 tasks of 3 PEFT types.
+    let batches: Vec<Vec<TaskBatch>> = (0..6)
+        .map(|s| {
+            vec![
+                TaskBatch::synthetic(10 + s, 2, 8, cfg.vocab),
+                TaskBatch::synthetic(20 + s, 3, 8, cfg.vocab),
+                TaskBatch::synthetic(30 + s, 2, 8, cfg.vocab),
+            ]
+        })
+        .collect();
+    let report = compare_fused_vs_separate(
+        cfg,
+        4242,
+        || {
+            vec![
+                ExecTask::lora(&cfg, 1, 4, 1, 0.1),
+                ExecTask::bottleneck(&cfg, 2, 8, 2, 0.1),
+                ExecTask::diff_pruning(&cfg, 3, 0.2, 3, 0.1),
+            ]
+        },
+        &batches,
+    );
+    println!("  per-task max MSD after {} steps: {:?}", report.steps, report.max_msd_per_task);
+    row(
+        "  fused = separate trajectories (MSD)",
+        "~0.07 consistency on GPUs",
+        &format!("{:.2e} (deterministic CPU kernels)", report.worst_msd()),
+    );
+    row(
+        "  final-loss deviation",
+        "no convergence impact",
+        &format!("{:.2e}", report.loss_diff_per_task.iter().cloned().fold(0.0f32, f32::max)),
+    );
+
+    // 2. NaN containment.
+    let containment = nan_containment(cfg, 6);
+    row(
+        "  sabotaged task diverges",
+        "gradient NaN from overlarge LR",
+        &format!("{}", containment.bad_task_diverged),
+    );
+    row(
+        "  co-located tasks stay finite",
+        "no failure propagation",
+        &format!("{}", !containment.healthy_task_contaminated),
+    );
+
+    // 3. Convergence under fused execution.
+    let mut tasks = vec![
+        ExecTask::lora(&cfg, 1, 4, 7, 0.2),
+        ExecTask::bottleneck(&cfg, 2, 8, 8, 0.2),
+    ];
+    let data = vec![
+        TaskBatch::synthetic(100, 4, 8, cfg.vocab),
+        TaskBatch::synthetic(200, 4, 8, cfg.vocab),
+    ];
+    let mut tr = MultiTaskTrainer::new(cfg, 99);
+    let first = tr.step_fused(&mut tasks, &data);
+    let mut last = first.clone();
+    for _ in 0..40 {
+        last = tr.step_fused(&mut tasks, &data);
+    }
+    for (f, l) in first.iter().zip(&last) {
+        println!("  task {}: loss {:.3} -> {:.3}", f.task, f.loss, l.loss);
+    }
+    row(
+        "  all fused tasks converge",
+        "losses decrease",
+        &format!(
+            "{}",
+            first.iter().zip(&last).all(|(f, l)| l.loss < f.loss)
+        ),
+    );
+    save_json(
+        "isolation_convergence",
+        &serde_json::json!({
+            "worst_msd": report.worst_msd(),
+            "bad_task_diverged": containment.bad_task_diverged,
+            "healthy_contaminated": containment.healthy_task_contaminated,
+            "losses_first": first.iter().map(|r| r.loss).collect::<Vec<_>>(),
+            "losses_last": last.iter().map(|r| r.loss).collect::<Vec<_>>(),
+        }),
+    );
+}

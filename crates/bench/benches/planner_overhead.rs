@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the planner's own costs (§3.3/§4: the
+//! paper bounds scheduling overhead at ~10 s for a fine-tuning task of
+//! hours; ours is analytic, so the budget is milliseconds).
+//!
+//! Covers the DP fusion (O(M²(S+M))), Eq. 7 grouping, Algorithm-1 subgraph
+//! scheduling, segmentation, FFD packing and the tensor substrate matmul.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mux_gpu_sim::spec::GpuSpec;
+use mux_model::config::ModelConfig;
+use mux_parallel::plan::HybridParallelism;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::{PeftTask, TaskId};
+use mux_tensor::tensor::{matmul, Tensor};
+use muxtune_core::cost::CostModel;
+use muxtune_core::fusion::{fuse_tasks, FusionPolicy};
+use muxtune_core::grouping::group_htasks;
+use muxtune_core::htask::HTask;
+use muxtune_core::schedule::schedule_subgraphs;
+use muxtune_core::subgraph::segment;
+
+fn registry(m: usize) -> TaskRegistry {
+    let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+    for i in 0..m {
+        let seq = [64usize, 128, 256][i % 3];
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, 2 + (i % 4) * 2, seq)).expect("ids");
+    }
+    reg
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_fusion");
+    for m in [8usize, 16, 32] {
+        let reg = registry(m);
+        let cm = CostModel::new(&reg, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        g.bench_function(format!("M={m}"), |b| {
+            b.iter(|| {
+                let tasks: Vec<&PeftTask> = reg.tasks().collect();
+                black_box(fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|mem| {
+                    HTask::from_padded(mem, 4)
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let reg = registry(16);
+    let cm = CostModel::new(&reg, GpuSpec::a40(), HybridParallelism::pipeline(4));
+    let htasks: Vec<HTask> = reg.tasks().map(|t| HTask::from_padded(&[t], 4)).collect();
+    c.bench_function("grouping_16_htasks", |b| {
+        b.iter(|| black_box(group_htasks(&cm, &htasks)))
+    });
+}
+
+fn bench_subgraphs(c: &mut Criterion) {
+    let reg = registry(4);
+    let ids: Vec<TaskId> = vec![1, 2, 3, 4];
+    let graph = reg.build_multitask_stage_graph(0, 4, 4, &ids);
+    c.bench_function("segment_4task_4layer_stage", |b| {
+        b.iter(|| black_box(segment(&graph)))
+    });
+    let dags: Vec<_> = (0..4)
+        .map(|i| {
+            let g = reg.build_multitask_stage_graph(0, 4, 4, &[ids[i]]);
+            segment(&g)
+        })
+        .collect();
+    c.bench_function("algorithm1_schedule_4_dags", |b| {
+        b.iter(|| black_box(schedule_subgraphs(&dags, &|_, sg| sg.nodes.len() as f64)))
+    });
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let lens: Vec<usize> = (0..512).map(|i| (i * 37) % 250 + 4).collect();
+    c.bench_function("ffd_pack_512_seqs", |b| {
+        b.iter_batched(
+            || lens.clone(),
+            |l| black_box(mux_data::packing::pack_ffd(&l, 256)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = Tensor::full(vec![64, 64], 0.5);
+    let bm = Tensor::full(vec![64, 64], 0.25);
+    c.bench_function("tensor_matmul_64x64", |b| b.iter(|| black_box(matmul(&a, &bm))));
+}
+
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_grouping,
+    bench_subgraphs,
+    bench_packing,
+    bench_tensor
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates a markdown experiment report from the JSON artifacts the
+//! figure benches write to `target/experiments/`.
+//!
+//! Usage: run `cargo bench --workspace` first, then
+//! `cargo run -p mux-bench --bin report [output.md]`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// The experiment ids the bench suite produces, with one-line descriptions,
+/// in paper order.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1_models", "Table 1 — model configurations"),
+    ("fig3_inefficiency", "Fig 3 — PEFT resource inefficiencies"),
+    ("fig4_stalls", "Fig 4 — device stalls under model parallelism"),
+    ("fig9_tradeoff", "Fig 9 — spatial-temporal multiplexing tradeoff"),
+    ("fig13_chunk", "Fig 13 — chunk-size tradeoff"),
+    ("fig14_end_to_end", "Fig 14 — end-to-end throughput (A40)"),
+    ("fig15_h100", "Fig 15 — throughput on H100"),
+    ("fig16_ablation", "Fig 16 — component ablation"),
+    ("fig17_memory", "Fig 17 — memory footprint vs task count"),
+    ("fig18_orchestration", "Fig 18 — one-layer orchestration utilization"),
+    ("fig19_orchestration_e2e", "Fig 19 — orchestration-only speedups"),
+    ("fig20_alignment", "Fig 20 — chunk-based data alignment"),
+    ("fig21_scalability", "Fig 21a — up-only vs up-then-out scaling"),
+    ("fig21_cluster", "Fig 21b — 128-GPU cluster replay"),
+    ("fig22_template", "Fig 22 / Appendix A — template orderings"),
+    ("isolation_convergence", "§3.2 — isolation & convergence on real training"),
+    ("ext_future_work", "§6 — energy, priority scheduling, SLO admission"),
+];
+
+fn summarize(value: &serde_json::Value, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match value {
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                match v {
+                    serde_json::Value::Object(_) | serde_json::Value::Array(_) => {
+                        out.push_str(&format!("{indent}- **{k}**:\n"));
+                        summarize(v, depth + 1, out);
+                    }
+                    _ => out.push_str(&format!("{indent}- {k}: {v}\n")),
+                }
+            }
+        }
+        serde_json::Value::Array(items) => {
+            let shown = items.len().min(6);
+            for item in &items[..shown] {
+                match item {
+                    serde_json::Value::Object(m) => {
+                        let line: Vec<String> =
+                            m.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                        out.push_str(&format!("{indent}- {}\n", line.join(", ")));
+                    }
+                    other => out.push_str(&format!("{indent}- {other}\n")),
+                }
+            }
+            if items.len() > shown {
+                out.push_str(&format!("{indent}- … ({} more rows)\n", items.len() - shown));
+            }
+        }
+        other => out.push_str(&format!("{indent}- {other}\n")),
+    }
+}
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let out_path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join("REPORT.md"));
+
+    let mut report = String::from("# MuxTune reproduction — experiment artifacts\n\n");
+    report.push_str("Generated from `target/experiments/*.json` (run `cargo bench --workspace` to refresh).\n\n");
+    let mut found = 0;
+    for (id, title) in EXPERIMENTS {
+        let path = dir.join(format!("{id}.json"));
+        report.push_str(&format!("## {title}\n\n"));
+        match fs::read_to_string(&path).ok().and_then(|s| serde_json::from_str(&s).ok()) {
+            Some(v) => {
+                found += 1;
+                summarize(&v, 0, &mut report);
+                report.push('\n');
+            }
+            None => report.push_str("*(artifact missing — bench not run yet)*\n\n"),
+        }
+    }
+    fs::create_dir_all(out_path.parent().expect("has parent")).expect("create output dir");
+    fs::write(&out_path, &report).expect("write report");
+    println!("wrote {} ({found}/{} experiments present)", out_path.display(), EXPERIMENTS.len());
+}

@@ -1,0 +1,186 @@
+//! Shared helpers for the figure/table regeneration benches.
+//!
+//! Every bench prints the paper's rows/series next to our measured values
+//! and appends a JSON record under `target/experiments/` so EXPERIMENTS.md
+//! can be regenerated from artifacts.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use mux_data::corpus::{Corpus, DatasetKind};
+use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
+use mux_gpu_sim::timeline::Cluster;
+use mux_model::config::ModelConfig;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::{PeftTask, TaskId};
+
+/// A single-node A40 testbed (Testbed-A style).
+pub fn a40_cluster(gpus: usize) -> Cluster {
+    Cluster::single_node(GpuSpec::a40(), gpus, LinkSpec::nvlink_a40())
+}
+
+/// A multi-node A40 testbed (Testbed-B style: 2 GPUs per node, IB).
+pub fn a40_multinode(nodes: usize) -> Cluster {
+    Cluster::multi_node(GpuSpec::a40(), nodes, 2, LinkSpec::nvlink_a40(), LinkSpec::ib100())
+}
+
+/// A single-node H100 testbed (Testbed-C style).
+pub fn h100_cluster(gpus: usize) -> Cluster {
+    Cluster::single_node(GpuSpec::h100(), gpus, LinkSpec::nvlink_h100())
+}
+
+/// The §5.1 dataset combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combo {
+    /// Same dataset for every co-located task.
+    Uniform(DatasetKind),
+    /// Different datasets across tasks.
+    NonUniform,
+}
+
+impl Combo {
+    /// Dataset of the `i`-th task.
+    pub fn dataset(&self, i: usize) -> DatasetKind {
+        match self {
+            Combo::Uniform(k) => *k,
+            Combo::NonUniform => match i % 3 {
+                0 => DatasetKind::Sst2,
+                1 => DatasetKind::OpenBookQa,
+                _ => DatasetKind::Rte,
+            },
+        }
+    }
+
+    /// Label for output.
+    pub fn label(&self) -> String {
+        match self {
+            Combo::Uniform(k) => format!("Uniform({})", k.name()),
+            Combo::NonUniform => "Non-uniform".into(),
+        }
+    }
+}
+
+/// Builds a registry of `n_tasks` LoRA tasks plus their corpora. Each
+/// task's global batch holds `micro_batch * micro_batches` sequences, so
+/// the corpus size *is* the per-task global batch size.
+pub fn build_workload(
+    backbone: &ModelConfig,
+    combo: Combo,
+    n_tasks: usize,
+    micro_batch: usize,
+    seed: u64,
+) -> (TaskRegistry, BTreeMap<TaskId, Vec<usize>>) {
+    build_workload_c(backbone, combo, n_tasks, micro_batch, 4, seed)
+}
+
+/// [`build_workload`] with an explicit unified micro-batch count `C`.
+pub fn build_workload_c(
+    backbone: &ModelConfig,
+    combo: Combo,
+    n_tasks: usize,
+    micro_batch: usize,
+    micro_batches: usize,
+    seed: u64,
+) -> (TaskRegistry, BTreeMap<TaskId, Vec<usize>>) {
+    let mut reg = TaskRegistry::new(backbone.clone());
+    let mut corpora = BTreeMap::new();
+    for i in 0..n_tasks {
+        let ds = combo.dataset(i);
+        let id = i as TaskId + 1;
+        reg.register_task(PeftTask::lora(id, 16, micro_batch, ds.max_len()))
+            .expect("fresh ids");
+        corpora.insert(
+            id,
+            Corpus::generate(ds, micro_batch * micro_batches, seed.wrapping_add(i as u64)).lengths,
+        );
+    }
+    (reg, corpora)
+}
+
+/// Table 2's two random workloads (WL-A and WL-B), verbatim from the paper.
+pub fn table2_workload(wl: char) -> Vec<(DatasetKind, usize)> {
+    use DatasetKind::{OpenBookQa as Qa, Rte, Sst2};
+    let batch = [4usize, 2, 4, 4, 8, 2, 4, 4];
+    let sets = match wl {
+        'A' => [Sst2, Qa, Qa, Sst2, Sst2, Sst2, Qa, Qa],
+        'B' => [Rte, Sst2, Rte, Sst2, Sst2, Rte, Rte, Rte],
+        _ => panic!("workload must be A or B"),
+    };
+    sets.into_iter().zip(batch).collect()
+}
+
+/// Registers a Table 2 workload repeated `repeats` times.
+pub fn table2_registry(
+    backbone: &ModelConfig,
+    wl: char,
+    repeats: usize,
+) -> (TaskRegistry, BTreeMap<TaskId, Vec<usize>>) {
+    let spec = table2_workload(wl);
+    let mut reg = TaskRegistry::new(backbone.clone());
+    let mut corpora = BTreeMap::new();
+    let mut id = 1;
+    for r in 0..repeats {
+        for &(ds, mb) in &spec {
+            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len())).expect("fresh ids");
+            corpora.insert(id, Corpus::generate(ds, 64, (r * 100 + id as usize) as u64).lengths);
+            id += 1;
+        }
+    }
+    (reg, corpora)
+}
+
+/// Prints a bench banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+}
+
+/// Prints one paper-vs-measured comparison row.
+pub fn row(label: &str, paper: &str, measured: &str) {
+    println!("{label:<46} paper: {paper:<20} measured: {measured}");
+}
+
+/// Appends a JSON record to `target/experiments/<id>.json`.
+pub fn save_json(id: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{id}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = fs::write(path, s);
+        }
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let a = table2_workload('A');
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0], (DatasetKind::Sst2, 4));
+        assert_eq!(a[4], (DatasetKind::Sst2, 8));
+        let b = table2_workload('B');
+        assert_eq!(b[0], (DatasetKind::Rte, 4));
+        assert_eq!(b[7], (DatasetKind::Rte, 4));
+    }
+
+    #[test]
+    fn workload_builder_counts() {
+        let (reg, corp) = build_workload(&ModelConfig::gpt3_2_7b(), Combo::NonUniform, 6, 4, 1);
+        assert_eq!(reg.len(), 6);
+        assert_eq!(corp.len(), 6);
+    }
+
+    #[test]
+    fn table2_registry_repeats() {
+        let (reg, _) = table2_registry(&ModelConfig::gpt3_2_7b(), 'A', 4);
+        assert_eq!(reg.len(), 32);
+    }
+}

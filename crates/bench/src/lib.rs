@@ -1,0 +1,6 @@
+//! # mux-bench
+//!
+//! The benchmark harness: shared helpers for regenerating every table and
+//! figure of the paper (see the `benches/` targets and EXPERIMENTS.md).
+
+pub mod harness;

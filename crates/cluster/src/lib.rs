@@ -1,0 +1,15 @@
+//! # mux-cluster
+//!
+//! Cluster-level evaluation (§5.4): Philly-like trace generation matching
+//! the published workload moments, engine-calibrated instance throughput
+//! profiles, and a first-come-first-served 128-GPU cluster replay.
+
+pub mod calibrate;
+pub mod policies;
+pub mod sim;
+pub mod trace;
+
+pub use calibrate::{calibrate, reference_throughput, workload, Mix};
+pub use policies::{assign_priorities, replay_priority, PolicyReport, Priority};
+pub use sim::{replay_fcfs, ClusterReport, ClusterShape, ThroughputProfile};
+pub use trace::{generate, TraceTask};

@@ -1,0 +1,253 @@
+//! Cluster-level scheduling simulation (§5.4, Fig 21b).
+//!
+//! Replays a trace on a fixed pool of GPUs carved into identical instances,
+//! with a first-come-first-served scheduler. Per-instance execution speed
+//! comes from a [`ThroughputProfile`] — aggregate instance throughput as a
+//! function of co-located task count — calibrated from instance-level
+//! engine runs, so cluster results inherit the fidelity of the
+//! discrete-event engine without re-simulating every operator per trace
+//! event.
+
+use std::collections::VecDeque;
+
+use serde::Serialize;
+
+use crate::trace::TraceTask;
+
+/// Aggregate instance throughput (relative to one reference task running
+/// alone = 1.0) as a function of the number of co-located tasks.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputProfile {
+    /// `rate[k-1]` = aggregate rate with `k` co-located tasks.
+    pub rate: Vec<f64>,
+    /// Maximum tasks an instance may co-locate (memory bound; 1 for
+    /// replicating systems).
+    pub max_colocated: usize,
+}
+
+impl ThroughputProfile {
+    /// A single-task system (HF-PEFT / NeMo): one task per instance at the
+    /// given relative rate.
+    pub fn single_task(rate: f64) -> Self {
+        Self { rate: vec![rate], max_colocated: 1 }
+    }
+
+    /// Builds a profile from measured aggregate rates for 1..=max tasks.
+    pub fn from_rates(rate: Vec<f64>) -> Self {
+        assert!(!rate.is_empty(), "profile needs at least the 1-task rate");
+        let max = rate.len();
+        Self { rate, max_colocated: max }
+    }
+
+    /// Aggregate rate with `k` tasks (clamped to the calibrated range).
+    pub fn aggregate(&self, k: usize) -> f64 {
+        assert!(k >= 1);
+        self.rate[(k - 1).min(self.rate.len() - 1)]
+    }
+}
+
+/// Cluster geometry.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ClusterShape {
+    /// Total GPUs (the paper uses 128).
+    pub total_gpus: usize,
+    /// GPUs per instance (4 for LLaMA7B, Table 1).
+    pub gpus_per_instance: usize,
+}
+
+impl ClusterShape {
+    /// Number of instances.
+    pub fn instances(&self) -> usize {
+        self.total_gpus / self.gpus_per_instance
+    }
+}
+
+/// Results of one trace replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Time the last task completed, minutes.
+    pub makespan_min: f64,
+    /// Aggregate work completed per minute (work = task-minutes-alone) —
+    /// the "cluster throughput" of Fig 21b, in reference-rate units.
+    pub throughput: f64,
+    /// Mean job completion time (arrival → finish), minutes.
+    pub mean_jct_min: f64,
+    /// Mean queueing delay (arrival → start), minutes.
+    pub mean_queue_min: f64,
+    /// Tasks completed.
+    pub completed: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    idx: usize,
+    remaining: f64,
+}
+
+/// Replays `trace` under FCFS with the given per-instance profile.
+pub fn replay_fcfs(trace: &[TraceTask], shape: ClusterShape, profile: &ThroughputProfile) -> ClusterReport {
+    let n_inst = shape.instances();
+    assert!(n_inst >= 1, "no instances");
+    let mut instances: Vec<Vec<Active>> = vec![Vec::new(); n_inst];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+    let mut finish = vec![f64::NAN; trace.len()];
+    let mut start = vec![f64::NAN; trace.len()];
+    let mut completed = 0usize;
+
+    let task_rate = |k: usize, profile: &ThroughputProfile| profile.aggregate(k) / k as f64;
+
+    while completed < trace.len() {
+        // Next event: earliest completion across instances, or next arrival.
+        let mut next_completion: Option<(f64, usize)> = None; // (time, instance)
+        for (ii, inst) in instances.iter().enumerate() {
+            if inst.is_empty() {
+                continue;
+            }
+            let rate = task_rate(inst.len(), profile);
+            let soonest = inst
+                .iter()
+                .map(|a| a.remaining / rate)
+                .fold(f64::INFINITY, f64::min);
+            let t = now + soonest;
+            if next_completion.map(|(bt, _)| t < bt).unwrap_or(true) {
+                next_completion = Some((t, ii));
+            }
+        }
+        let arrival_t = trace.get(next_arrival).map(|t| t.arrival_min);
+        let advance_to = match (next_completion, arrival_t) {
+            (Some((ct, _)), Some(at)) => ct.min(at),
+            (Some((ct, _)), None) => ct,
+            (None, Some(at)) => at,
+            (None, None) => break,
+        };
+        // Advance progress on every instance.
+        let dt = advance_to - now;
+        for inst in instances.iter_mut() {
+            if inst.is_empty() {
+                continue;
+            }
+            let rate = task_rate(inst.len(), profile);
+            for a in inst.iter_mut() {
+                a.remaining -= rate * dt;
+            }
+        }
+        now = advance_to;
+        // Completions (tolerate float dust).
+        for inst in instances.iter_mut() {
+            inst.retain(|a| {
+                if a.remaining <= 1e-9 {
+                    finish[a.idx] = now;
+                    completed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Arrivals at this instant.
+        while next_arrival < trace.len() && trace[next_arrival].arrival_min <= now + 1e-12 {
+            queue.push_back(next_arrival);
+            next_arrival += 1;
+        }
+        // FCFS placement: head of queue goes to the least-loaded instance
+        // with spare co-location capacity; stop at the first that cannot
+        // be placed (strict FCFS, as in the paper).
+        while let Some(&idx) = queue.front() {
+            let slot = instances
+                .iter()
+                .enumerate()
+                .filter(|(_, inst)| inst.len() < profile.max_colocated)
+                .min_by_key(|(_, inst)| inst.len())
+                .map(|(ii, _)| ii);
+            match slot {
+                Some(ii) => {
+                    queue.pop_front();
+                    start[idx] = now;
+                    instances[ii].push(Active { idx, remaining: trace[idx].duration_min });
+                }
+                None => break,
+            }
+        }
+    }
+
+    let total_work: f64 = trace.iter().map(|t| t.duration_min).sum();
+    let n = trace.len() as f64;
+    ClusterReport {
+        makespan_min: now,
+        throughput: total_work / now,
+        mean_jct_min: trace
+            .iter()
+            .enumerate()
+            .map(|(i, t)| finish[i] - t.arrival_min)
+            .sum::<f64>()
+            / n,
+        mean_queue_min: trace
+            .iter()
+            .enumerate()
+            .map(|(i, t)| start[i] - t.arrival_min)
+            .sum::<f64>()
+            / n,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::generate;
+
+    fn shape() -> ClusterShape {
+        ClusterShape { total_gpus: 128, gpus_per_instance: 4 }
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let trace = generate(500, 11, None);
+        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        assert_eq!(rep.completed, 500);
+        assert!(rep.makespan_min >= trace.last().expect("non-empty").arrival_min);
+    }
+
+    #[test]
+    fn higher_aggregate_rate_raises_cluster_throughput() {
+        let trace = generate(800, 13, None);
+        let slow = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        // A multiplexing system: 4 co-located tasks run at 2.2x aggregate.
+        let mux = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.9, 2.2]);
+        let fast = replay_fcfs(&trace, shape(), &mux);
+        assert!(fast.throughput > slow.throughput, "{} vs {}", fast.throughput, slow.throughput);
+        assert!(fast.mean_jct_min <= slow.mean_jct_min);
+    }
+
+    #[test]
+    fn colocation_capacity_is_respected() {
+        // With capacity 1 and one instance, tasks serialize.
+        let trace = generate(4, 17, None);
+        let one = ClusterShape { total_gpus: 4, gpus_per_instance: 4 };
+        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0));
+        let serial: f64 = trace.iter().map(|t| t.duration_min).sum();
+        assert!(rep.makespan_min >= serial * 0.999, "{} vs serial {}", rep.makespan_min, serial);
+    }
+
+    #[test]
+    fn empty_cluster_idles_until_arrivals() {
+        let mut trace = generate(2, 19, None);
+        trace[0].arrival_min = 100.0;
+        trace[1].arrival_min = 100.0;
+        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        assert!(rep.makespan_min > 100.0);
+        assert!(rep.mean_queue_min < 1e-9, "no queueing with a huge cluster");
+    }
+
+    #[test]
+    fn sharing_reduces_queueing_under_load() {
+        // Tiny cluster, many tasks: co-location capacity 4 slashes queues.
+        let trace = generate(100, 23, None);
+        let tiny = ClusterShape { total_gpus: 8, gpus_per_instance: 4 };
+        let single = replay_fcfs(&trace, tiny, &ThroughputProfile::single_task(1.0));
+        let shared = replay_fcfs(&trace, tiny, &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]));
+        assert!(shared.mean_queue_min < single.mean_queue_min);
+    }
+}

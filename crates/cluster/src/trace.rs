@@ -1,0 +1,135 @@
+//! Philly-like workload trace generation (§5.4).
+//!
+//! No public PEFT trace exists, so — like the paper, which adapts a
+//! one-week Philly trace — we synthesize a trace matching the published
+//! moments: task durations with mean 372.6 min and standard deviation
+//! 612.9 min (log-normal), Poisson arrivals at 2.59 tasks/min, and random
+//! per-task configurations (dataset, micro-batch size, LoRA rank).
+
+use mux_data::corpus::DatasetKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Published Philly-trace moments (§5.4).
+pub const MEAN_DURATION_MIN: f64 = 372.6;
+/// Standard deviation of task durations.
+pub const STD_DURATION_MIN: f64 = 612.9;
+/// Mean arrival rate, tasks per minute.
+pub const ARRIVAL_RATE_PER_MIN: f64 = 2.59;
+
+/// One fine-tuning task in the cluster trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceTask {
+    /// Task id (also its submission order).
+    pub id: u32,
+    /// Arrival time, minutes from trace start.
+    pub arrival_min: f64,
+    /// Nominal duration when run alone on a reference instance, minutes.
+    pub duration_min: f64,
+    /// Dataset (drives sequence-length cap).
+    pub dataset: DatasetKind,
+    /// Micro-batch size.
+    pub micro_batch: usize,
+    /// LoRA rank.
+    pub rank: usize,
+}
+
+/// Approximately-normal sample via Irwin–Hall (12 uniforms).
+fn normalish(rng: &mut StdRng) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+    s - 6.0
+}
+
+/// Generates a trace of `n` tasks with the published moments.
+pub fn generate(n: usize, seed: u64, uniform_dataset: Option<DatasetKind>) -> Vec<TraceTask> {
+    // Log-normal parameters from mean/std: cv² = exp(σ²) − 1.
+    let cv2 = (STD_DURATION_MIN / MEAN_DURATION_MIN).powi(2);
+    let sigma2 = (1.0 + cv2).ln();
+    let mu = MEAN_DURATION_MIN.ln() - sigma2 / 2.0;
+    let sigma = sigma2.sqrt();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / ARRIVAL_RATE_PER_MIN;
+            let duration = (mu + sigma * normalish(&mut rng)).exp().clamp(1.0, 14.0 * 24.0 * 60.0);
+            let dataset = uniform_dataset.unwrap_or_else(|| {
+                match rng.gen_range(0..3) {
+                    0 => DatasetKind::Sst2,
+                    1 => DatasetKind::OpenBookQa,
+                    _ => DatasetKind::Rte,
+                }
+            });
+            TraceTask {
+                id: i as u32,
+                arrival_min: t,
+                duration_min: duration,
+                dataset,
+                micro_batch: 1 << rng.gen_range(1..4), // 2, 4, or 8
+                rank: 8 << rng.gen_range(0..3),        // 8, 16, or 32
+            }
+        })
+        .collect()
+}
+
+/// Sample statistics of a trace (for validating against the published
+/// moments).
+pub fn stats(trace: &[TraceTask]) -> (f64, f64, f64) {
+    let n = trace.len() as f64;
+    let mean = trace.iter().map(|t| t.duration_min).sum::<f64>() / n;
+    let var = trace.iter().map(|t| (t.duration_min - mean).powi(2)).sum::<f64>() / n;
+    let span = trace.last().map(|t| t.arrival_min).unwrap_or(0.0);
+    let rate = if span > 0.0 { n / span } else { 0.0 };
+    (mean, var.sqrt(), rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_published_values() {
+        let trace = generate(20_000, 42, None);
+        let (mean, std, rate) = stats(&trace);
+        assert!((mean - MEAN_DURATION_MIN).abs() / MEAN_DURATION_MIN < 0.1, "mean {mean}");
+        assert!((std - STD_DURATION_MIN).abs() / STD_DURATION_MIN < 0.2, "std {std}");
+        assert!((rate - ARRIVAL_RATE_PER_MIN).abs() / ARRIVAL_RATE_PER_MIN < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let trace = generate(1000, 7, None);
+        for w in trace.windows(2) {
+            assert!(w[1].arrival_min >= w[0].arrival_min);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(100, 1, None);
+        let b = generate(100, 1, None);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.arrival_min == y.arrival_min
+            && x.duration_min == y.duration_min));
+    }
+
+    #[test]
+    fn uniform_mode_pins_the_dataset() {
+        let trace = generate(50, 3, Some(DatasetKind::Sst2));
+        assert!(trace.iter().all(|t| t.dataset == DatasetKind::Sst2));
+    }
+
+    #[test]
+    fn configs_stay_in_range() {
+        let trace = generate(500, 9, None);
+        for t in &trace {
+            assert!([2, 4, 8].contains(&t.micro_batch));
+            assert!([8, 16, 32].contains(&t.rank));
+            assert!(t.duration_min >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The pipeline cost model (§3.3, Eqs. 3–5).
+//!
+//! Drives both the DP task fusion (Eq. 6) and hTask grouping (Eq. 7): per-
+//! stage hTask latency (Eq. 3, with communication assumed overlapped per
+//! §3.4.2), end-to-end pipeline latency (Eq. 4), and per-stage memory
+//! (Eq. 5, the OOM feasibility check).
+
+use mux_gpu_sim::spec::GpuSpec;
+use mux_model::config::ModelConfig;
+use mux_model::layer::build_stage_graph;
+use mux_model::memory::{activation_bytes, task_state_bytes};
+use mux_model::ops::{OpCostSpec, OpKind, Pass};
+use mux_parallel::plan::{stage_layers, HybridParallelism};
+use mux_parallel::tp::work_for;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::TaskId;
+
+use crate::htask::HTask;
+
+/// Precomputed per-stage backbone operator list (TP-sharded costs).
+#[derive(Debug, Clone)]
+struct StageOps {
+    /// `(kind, cost)` of every non-comm backbone op in the stage.
+    compute: Vec<(OpKind, OpCostSpec)>,
+    /// `(kind, k, n)` of every BaseOp (adapter attach point) in the stage.
+    base_ops: Vec<(OpKind, usize, usize)>,
+    /// Layer range.
+    layers: (usize, usize),
+}
+
+/// The Eq. 3–5 cost model for one instance.
+pub struct CostModel<'a> {
+    registry: &'a TaskRegistry,
+    gpu: GpuSpec,
+    /// Parallelism plan (dp is unused by the cost model; latency is per
+    /// replica).
+    pub plan: HybridParallelism,
+    stages: Vec<StageOps>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Builds the model, precomputing per-stage operator lists.
+    pub fn new(registry: &'a TaskRegistry, gpu: GpuSpec, plan: HybridParallelism) -> Self {
+        let cfg = registry.backbone();
+        let ranges = stage_layers(cfg.num_layers, plan.pp);
+        let stages = ranges
+            .iter()
+            .map(|&(a, b)| {
+                let g = build_stage_graph(cfg, a, b, plan.tp);
+                let compute = g
+                    .nodes()
+                    .iter()
+                    .filter(|n| !n.template.kind.is_comm())
+                    .map(|n| (n.template.kind, n.template.cost.clone()))
+                    .collect();
+                let base_ops = g
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.template.kind.is_base_op())
+                    .filter_map(|n| match n.template.cost {
+                        OpCostSpec::Gemm { k, n: out, .. } => Some((n.template.kind, k, out)),
+                        _ => None,
+                    })
+                    .collect();
+                StageOps { compute, base_ops, layers: (a, b) }
+            })
+            .collect();
+        Self { registry, gpu, plan, stages }
+    }
+
+    /// The backbone configuration.
+    pub fn backbone(&self) -> &ModelConfig {
+        self.registry.backbone()
+    }
+
+    /// Number of pipeline stages `S`.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Eq. 3: latency of one micro-batch of `h` through stage `s`.
+    ///
+    /// Backbone (`BaseOp`) latency uses the *combined* token count; fused
+    /// adapter latency is `max(Σ u_a·t_a(n_k), max_k t_a(n_k))`.
+    /// Communication is excluded (assumed overlapped, §3.4.2).
+    pub fn stage_latency(&self, s: usize, h: &HTask, pass: Pass) -> f64 {
+        let stage = &self.stages[s];
+        let mut lat: f64 = stage
+            .compute
+            .iter()
+            .map(|(kind, cost)| htask_op_time(&self.gpu, *kind, cost, h, None, pass).0)
+            .sum();
+        // Adapters, per attach point.
+        let cfg = self.registry.backbone();
+        for &(kind, k, n) in &stage.base_ops {
+            let mut weighted = 0.0;
+            let mut max_single: f64 = 0.0;
+            for (idx, &tid) in h.tasks.iter().enumerate() {
+                let task = self.registry.task(tid).expect("fused task registered");
+                let mut t_a = 0.0;
+                let mut util: f64 = 0.0;
+                for op in task.adapter_ops(cfg, kind, k, n) {
+                    let (t, u, _) = htask_op_time(&self.gpu, op.kind, &op.cost, h, Some(idx), pass);
+                    t_a += t;
+                    util = util.max(u);
+                }
+                weighted += util * t_a;
+                max_single = max_single.max(t_a);
+            }
+            lat += weighted.max(max_single);
+        }
+        lat
+    }
+
+    /// Eq. 4: end-to-end pipeline latency of running `h` alone: warm-up and
+    /// drain sums plus `C` steady-state rounds of the bottleneck stage,
+    /// with forward ≈ backward (hence the factors of 2).
+    pub fn pipeline_latency(&self, h: &HTask) -> f64 {
+        let s_count = self.num_stages();
+        let per_stage: Vec<f64> =
+            (0..s_count).map(|s| self.stage_latency(s, h, Pass::Forward)).collect();
+        let warm_drain: f64 = per_stage[..s_count - 1].iter().sum();
+        let bottleneck = per_stage.iter().cloned().fold(0.0, f64::max);
+        2.0 * warm_drain + 2.0 * h.micro_batches as f64 * bottleneck
+    }
+
+    /// Eq. 4's steady-state term only, per micro-batch — the per-stage
+    /// average used by the DP transition (Eq. 6 divides by `S`).
+    pub fn steady_contribution(&self, h: &HTask) -> f64 {
+        self.pipeline_latency(h) / self.num_stages() as f64
+    }
+
+    /// Eq. 5: peak memory of stage `s` when `htasks` co-locate, with up to
+    /// `in_flight` micro-batch activations resident (1F1B holds ≤ S).
+    pub fn stage_memory(&self, s: usize, htasks: &[HTask], in_flight: usize) -> u64 {
+        let cfg = self.registry.backbone();
+        let stage = &self.stages[s];
+        let layers = stage.layers.1 - stage.layers.0;
+        // Backbone shard: parameters are split across S stages and TP ranks.
+        let m_b = cfg.param_bytes() / (self.num_stages() as u64 * self.plan.tp as u64);
+        // Per-task persistent state (adapter grads + optimizer moments),
+        // sharded the same way.
+        let m_g: u64 = htasks
+            .iter()
+            .flat_map(|h| h.tasks.iter())
+            .map(|&tid| {
+                let t = self.registry.task(tid).expect("registered");
+                task_state_bytes(t.adapter_params(cfg))
+                    / (self.num_stages() as u64 * self.plan.tp as u64)
+            })
+            .sum();
+        // Activations: every co-located hTask holds `in_flight` micro-batch
+        // copies of this stage's layers (per TP rank the hidden dim is
+        // replicated for attention inputs; we charge the full width, which
+        // is conservative).
+        let m_a: u64 = htasks
+            .iter()
+            .map(|h| activation_bytes(cfg, layers, h.total_tokens()) * in_flight as u64)
+            .sum();
+        m_b + m_g + m_a
+    }
+
+    /// Whether co-locating `htasks` fits device memory on every stage with
+    /// `in_flight` resident micro-batches.
+    pub fn fits_memory(&self, htasks: &[HTask], in_flight: usize) -> bool {
+        (0..self.num_stages())
+            .all(|s| self.stage_memory(s, htasks, in_flight) <= self.gpu.mem_capacity)
+    }
+
+    /// The GPU spec the model evaluates against.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The largest in-flight micro-batch count the memory budget allows for
+    /// a *bucketed* plan (template rule 3).
+    ///
+    /// Unlike [`CostModel::stage_memory`] — which conservatively charges
+    /// every hTask `in_flight` copies, correct for spatial co-residency —
+    /// temporally interleaved buckets share the in-flight budget: at any
+    /// instant at most `in_flight` pipeline cells are resident, each the
+    /// size of one bucket's combined activations. Result is clamped to
+    /// `[2, 2·S + 4]`.
+    pub fn max_in_flight(&self, buckets: &[Vec<HTask>]) -> usize {
+        let cfg = self.registry.backbone();
+        let all: Vec<HTask> = buckets.iter().flatten().cloned().collect();
+        let cap = self.gpu.mem_capacity;
+        let upper = 2 * self.num_stages() + 4;
+        let mut k = 2;
+        'grow: while k < upper {
+            for s in 0..self.num_stages() {
+                let static_bytes = self.stage_memory(s, &all, 0);
+                let layers = self.stages[s].layers.1 - self.stages[s].layers.0;
+                let max_cell: u64 = buckets
+                    .iter()
+                    .map(|b| {
+                        b.iter()
+                            .map(|h| activation_bytes(cfg, layers, h.total_tokens()))
+                            .sum::<u64>()
+                    })
+                    .max()
+                    .unwrap_or(0);
+                if static_bytes + (k as u64 + 1) * max_cell > cap {
+                    break 'grow;
+                }
+            }
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Latency, achieved utilization and FLOPs of one backbone/adapter op of an
+/// hTask on `gpu`.
+///
+/// Attention ops are special (§3.5): after chunk-based alignment each query
+/// row attends over `h.attn_context` tokens (its chunk plus cached KV), and
+/// packs spanning multiple chunks issue `h.attn_splits` sequentially
+/// dependent, smaller attention kernels — so the kernel-size efficiency is
+/// evaluated per split while the total work multiplies back.
+pub fn htask_op_time(
+    gpu: &GpuSpec,
+    kind: OpKind,
+    cost: &OpCostSpec,
+    h: &HTask,
+    member: Option<usize>,
+    pass: Pass,
+) -> (f64, f64, f64) {
+    let is_attn = matches!(kind, OpKind::AttnScore | OpKind::AttnSoftmax | OpKind::AttnContext);
+    let tokens = match member {
+        Some(i) => h.tokens_per_task[i],
+        None => h.total_tokens(),
+    };
+    if is_attn {
+        let splits = h.attn_splits.max(1.0);
+        let per_kernel_tokens = ((tokens as f64 / splits).ceil() as usize).max(1);
+        let ctx = h.attn_context.max(1);
+        let rows = per_kernel_tokens.div_ceil(ctx).max(1);
+        let shape = mux_model::ops::TokenShape::new(rows, ctx);
+        let w = work_for(cost, kind, shape, pass);
+        (gpu.compute_time(w, 1.0) * splits, gpu.op_utilization(w), w.flops * splits)
+    } else {
+        let rows = tokens.div_ceil(h.unit_len.max(1)).max(1);
+        let shape = mux_model::ops::TokenShape::new(rows, h.unit_len.max(1));
+        let w = work_for(cost, kind, shape, pass);
+        (gpu.compute_time(w, 1.0), gpu.op_utilization(w), w.flops)
+    }
+}
+
+/// Convenience: the member tasks of an hTask, resolved from the registry.
+pub fn member_tasks<'r>(registry: &'r TaskRegistry, h: &HTask) -> Vec<&'r mux_peft::types::PeftTask> {
+    h.tasks.iter().map(|&id: &TaskId| registry.task(id).expect("registered")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_peft::types::PeftTask;
+
+    fn setup(n_tasks: usize, plan: HybridParallelism) -> (TaskRegistry, HybridParallelism) {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+        for i in 0..n_tasks {
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, 128)).expect("register");
+        }
+        (r, plan)
+    }
+
+    fn htask_of(r: &TaskRegistry, ids: &[TaskId], mbs: usize) -> HTask {
+        let members: Vec<&PeftTask> = ids.iter().map(|&i| r.task(i).expect("task")).collect();
+        HTask::from_padded(&members, mbs)
+    }
+
+    #[test]
+    fn stage_latency_grows_sublinearly_with_fusion() {
+        // Spatial batching improves utilization: 2 tasks fused cost less
+        // than 2x one task (Fig 9's motivation).
+        let (r, plan) = setup(2, HybridParallelism::pipeline(4));
+        let cm = CostModel::new(&r, GpuSpec::a40(), plan);
+        let one = htask_of(&r, &[1], 4);
+        let two = htask_of(&r, &[1, 2], 4);
+        let l1 = cm.stage_latency(0, &one, Pass::Forward);
+        let l2 = cm.stage_latency(0, &two, Pass::Forward);
+        assert!(l2 < 2.0 * l1, "fused {l2} vs 2x single {l1}");
+        assert!(l2 > l1, "more tokens must cost more");
+    }
+
+    #[test]
+    fn pipeline_latency_scales_with_micro_batches() {
+        let (r, plan) = setup(1, HybridParallelism::pipeline(4));
+        let cm = CostModel::new(&r, GpuSpec::a40(), plan);
+        let h4 = htask_of(&r, &[1], 4);
+        let h8 = htask_of(&r, &[1], 8);
+        let l4 = cm.pipeline_latency(&h4);
+        let l8 = cm.pipeline_latency(&h8);
+        assert!(l8 > l4 * 1.5 && l8 < l4 * 2.0, "C-scaling: {l4} -> {l8}");
+    }
+
+    #[test]
+    fn memory_splits_backbone_across_stages() {
+        let (r, _) = setup(1, HybridParallelism::pipeline(4));
+        let cm4 = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let cm2 = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(2));
+        let h = htask_of(&r, &[1], 4);
+        let m4 = cm4.stage_memory(0, std::slice::from_ref(&h), 4);
+        let m2 = cm2.stage_memory(0, &[h], 2);
+        assert!(m4 < m2, "more stages shard the backbone further");
+    }
+
+    #[test]
+    fn memory_feasibility_rejects_huge_fusions() {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
+        for i in 0..64 {
+            r.register_task(PeftTask::lora(i + 1, 16, 32, 256)).expect("register");
+        }
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let small = htask_of(&r, &[1], 4);
+        assert!(cm.fits_memory(std::slice::from_ref(&small), 4));
+        let ids: Vec<TaskId> = (1..=64).collect();
+        let huge = htask_of(&r, &ids, 4);
+        assert!(!cm.fits_memory(std::slice::from_ref(&huge), 4), "64 fat tasks cannot fit 48 GB");
+    }
+
+    #[test]
+    fn adapter_latency_respects_max_bound() {
+        // One giant-rank adapter among tiny ones must dominate the fused
+        // estimate (the Eq. 3 max-term avoiding the bottleneck effect).
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
+        r.register_task(PeftTask::lora(1, 4, 4, 128)).expect("register");
+        r.register_task(PeftTask::lora(2, 512, 4, 128)).expect("register");
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::single());
+        let small_only = htask_of(&r, &[1], 4);
+        let fused = htask_of(&r, &[1, 2], 4);
+        let l_small = cm.stage_latency(0, &small_only, Pass::Forward);
+        let l_fused = cm.stage_latency(0, &fused, Pass::Forward);
+        assert!(l_fused > l_small, "the rank-512 adapter must show up in the fused latency");
+    }
+}

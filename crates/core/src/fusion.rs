@@ -1,0 +1,274 @@
+//! Task fusion via dynamic programming (§3.3, Eq. 6).
+//!
+//! Bin-packs `M` tasks (sorted ascending by token count) into `N`
+//! contiguous hTasks, minimizing predicted end-to-end pipeline latency
+//! under the Eq. 3–5 cost model, with a memory-feasibility filter.
+
+use mux_model::ops::Pass;
+use mux_peft::types::PeftTask;
+use serde::Serialize;
+
+use crate::cost::CostModel;
+use crate::htask::HTask;
+
+/// The fusion decision.
+#[derive(Debug, Clone, Serialize)]
+pub struct FusionPlan {
+    /// The fused hTasks, each holding a contiguous run of the sorted tasks.
+    pub htasks: Vec<HTask>,
+    /// DP objective value of the chosen plan (Eq. 6's `F*`).
+    pub predicted: f64,
+}
+
+/// Fusion policies (`Dp` is MuxTune; the rest are ablation baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FusionPolicy {
+    /// Eq. 6 dynamic programming (the paper's algorithm).
+    Dp,
+    /// One hTask containing all tasks (pure spatial multiplexing).
+    AllSpatial,
+    /// One hTask per task (pure temporal multiplexing).
+    AllTemporal,
+    /// Greedy: grow the current hTask while the marginal steady-state
+    /// latency per token improves; start a new one otherwise.
+    Greedy,
+}
+
+/// Sorts tasks ascending by token count (`n_i`), the Eq. 6 precondition.
+pub fn sort_by_tokens<'t>(tasks: &[&'t PeftTask]) -> Vec<&'t PeftTask> {
+    let mut v = tasks.to_vec();
+    v.sort_by_key(|t| (t.tokens_per_micro_batch(), t.id));
+    v
+}
+
+/// Runs task fusion under `policy`.
+///
+/// `build` constructs the hTask for a contiguous task run (injecting the
+/// data-alignment strategy); `micro_batches` is the unified `C`.
+pub fn fuse_tasks(
+    cm: &CostModel<'_>,
+    tasks: &[&PeftTask],
+    policy: FusionPolicy,
+    build: &dyn Fn(&[&PeftTask]) -> HTask,
+) -> FusionPlan {
+    assert!(!tasks.is_empty(), "no tasks to fuse");
+    let sorted = sort_by_tokens(tasks);
+    match policy {
+        FusionPolicy::AllSpatial => {
+            let h = build(&sorted);
+            let predicted = cm.pipeline_latency(&h);
+            FusionPlan { htasks: vec![h], predicted }
+        }
+        FusionPolicy::AllTemporal => {
+            let htasks: Vec<HTask> = sorted.iter().map(|t| build(&[*t])).collect();
+            let predicted = htasks.iter().map(|h| cm.pipeline_latency(h)).sum();
+            FusionPlan { htasks, predicted }
+        }
+        FusionPolicy::Greedy => fuse_greedy(cm, &sorted, build),
+        FusionPolicy::Dp => fuse_dp(cm, &sorted, build),
+    }
+}
+
+fn fuse_greedy(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftTask]) -> HTask) -> FusionPlan {
+    let mut htasks = Vec::new();
+    let mut start = 0;
+    while start < sorted.len() {
+        let mut end = start + 1;
+        let mut best = build(&sorted[start..end]);
+        let mut best_per_token =
+            cm.stage_latency(0, &best, Pass::Forward) / best.total_tokens() as f64;
+        while end < sorted.len() {
+            let cand = build(&sorted[start..end + 1]);
+            if !cm.fits_memory(std::slice::from_ref(&cand), cm.num_stages()) {
+                break;
+            }
+            let per_token = cm.stage_latency(0, &cand, Pass::Forward) / cand.total_tokens() as f64;
+            if per_token < best_per_token {
+                best = cand;
+                best_per_token = per_token;
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        htasks.push(best);
+        start = end;
+    }
+    let predicted = htasks.iter().map(|h| cm.pipeline_latency(h)).sum();
+    FusionPlan { htasks, predicted }
+}
+
+/// Eq. 6: `F(m, n) = min_i { F(i, n-1) + L(H_{i+1..m}) / S }`, with
+/// `F(m', 1) = L(H_{1..m'})`; the answer is `min_N F(M, N)`.
+#[allow(clippy::needless_range_loop)] // explicit DP indices mirror Eq. 6
+fn fuse_dp(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftTask]) -> HTask) -> FusionPlan {
+    let m = sorted.len();
+    let s = cm.num_stages() as f64;
+    // Memoized hTask + latency per contiguous range [i, j) (1-indexed DP
+    // below uses [i+1..=m] style; store by (start, end) 0-indexed).
+    let mut range_cache: Vec<Vec<Option<(HTask, f64, bool)>>> = vec![vec![None; m + 1]; m];
+    let mut range = |a: usize, b: usize| -> (HTask, f64, bool) {
+        if range_cache[a][b].is_none() {
+            let h = build(&sorted[a..b]);
+            let lat = cm.pipeline_latency(&h);
+            let fits = cm.fits_memory(std::slice::from_ref(&h), cm.num_stages());
+            range_cache[a][b] = Some((h, lat, fits));
+        }
+        range_cache[a][b].clone().expect("just filled")
+    };
+
+    const INF: f64 = f64::INFINITY;
+    // f[n][m] = best objective packing first m tasks into n hTasks.
+    let mut f = vec![vec![INF; m + 1]; m + 1];
+    let mut choice = vec![vec![usize::MAX; m + 1]; m + 1];
+    for m1 in 1..=m {
+        let (_, lat, fits) = range(0, m1);
+        if fits {
+            f[1][m1] = lat;
+        }
+    }
+    for n in 2..=m {
+        for mm in n..=m {
+            for i in (n - 1)..mm {
+                if f[n - 1][i] == INF {
+                    continue;
+                }
+                let (_, lat, fits) = range(i, mm);
+                if !fits {
+                    continue;
+                }
+                let cand = f[n - 1][i] + lat / s;
+                if cand < f[n][mm] {
+                    f[n][mm] = cand;
+                    choice[n][mm] = i;
+                }
+            }
+        }
+    }
+    // Pick the best N and reconstruct.
+    let mut best_n = 1;
+    let mut best_val = f[1][m];
+    for n in 2..=m {
+        if f[n][m] < best_val {
+            best_val = f[n][m];
+            best_n = n;
+        }
+    }
+    assert!(
+        best_val.is_finite(),
+        "no memory-feasible fusion exists even fully temporal — reject tasks upstream"
+    );
+    let mut cuts = Vec::new();
+    let (mut n, mut mm) = (best_n, m);
+    while n > 1 {
+        let i = choice[n][mm];
+        cuts.push(i);
+        mm = i;
+        n -= 1;
+    }
+    cuts.push(0);
+    cuts.reverse();
+    cuts.push(m);
+    let mut htasks = Vec::with_capacity(best_n);
+    for w in cuts.windows(2) {
+        htasks.push(range(w[0], w[1]).0);
+    }
+    FusionPlan { htasks, predicted: best_val }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_gpu_sim::spec::GpuSpec;
+    use mux_model::config::ModelConfig;
+    use mux_parallel::plan::HybridParallelism;
+    use mux_peft::registry::TaskRegistry;
+    use mux_peft::types::TaskId;
+
+    fn setup(task_shapes: &[(usize, usize)]) -> TaskRegistry {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+        for (i, &(mb, seq)) in task_shapes.iter().enumerate() {
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq)).expect("register");
+        }
+        r
+    }
+
+    fn run(r: &TaskRegistry, policy: FusionPolicy, mbs: usize) -> FusionPlan {
+        let cm = CostModel::new(r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        fuse_tasks(&cm, &tasks, policy, &|members| HTask::from_padded(members, mbs))
+    }
+
+    #[test]
+    fn every_task_appears_exactly_once() {
+        let r = setup(&[(4, 64), (2, 128), (8, 64), (4, 128), (2, 256), (8, 128)]);
+        for policy in [FusionPolicy::Dp, FusionPolicy::Greedy, FusionPolicy::AllSpatial, FusionPolicy::AllTemporal] {
+            let plan = run(&r, policy, 4);
+            let mut all: Vec<TaskId> = plan.htasks.iter().flat_map(|h| h.tasks.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (1..=6).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn dp_is_at_least_as_good_as_extremes() {
+        let r = setup(&[(2, 64), (4, 64), (8, 64), (2, 256), (4, 256), (8, 256)]);
+        let dp = run(&r, FusionPolicy::Dp, 4);
+        let spatial = run(&r, FusionPolicy::AllSpatial, 4);
+        let temporal = run(&r, FusionPolicy::AllTemporal, 4);
+        // The DP objective mixes full-latency and per-stage terms, so
+        // compare on its own scale: DP must not exceed the better extreme
+        // expressed in the same objective (AllSpatial with N=1 is F(M,1)).
+        assert!(dp.predicted <= spatial.predicted * 1.0001, "dp {} vs spatial {}", dp.predicted, spatial.predicted);
+        let temporal_obj = temporal.predicted; // Σ L(H_i) >= DP's objective form
+        assert!(dp.predicted <= temporal_obj, "dp {} vs temporal {}", dp.predicted, temporal_obj);
+    }
+
+    #[test]
+    fn small_tasks_fuse_spatially() {
+        // Many tiny tasks under-utilize alone: DP should batch them.
+        let r = setup(&[(1, 64), (1, 64), (1, 64), (1, 64)]);
+        let dp = run(&r, FusionPolicy::Dp, 4);
+        assert!(dp.htasks.len() < 4, "tiny tasks should fuse, got {} hTasks", dp.htasks.len());
+    }
+
+    #[test]
+    fn saturated_tasks_stay_temporal() {
+        // Very large tasks saturate the GPU alone: fusing them only adds
+        // stage latency, so DP should keep several hTasks.
+        let r = setup(&[(64, 256), (64, 256), (64, 256), (64, 256)]);
+        let dp = run(&r, FusionPolicy::Dp, 4);
+        assert!(dp.htasks.len() > 1, "saturated tasks should not all fuse");
+    }
+
+    #[test]
+    fn fusion_respects_sorted_contiguity() {
+        let r = setup(&[(8, 128), (1, 64), (4, 64), (2, 256)]);
+        let dp = run(&r, FusionPolicy::Dp, 4);
+        // Token counts within the hTask sequence must be non-decreasing
+        // across the concatenated plan (sorted ascending before cutting).
+        let tokens: Vec<usize> =
+            dp.htasks.iter().flat_map(|h| h.tokens_per_task.clone()).collect();
+        let mut sorted = tokens.clone();
+        sorted.sort_unstable();
+        assert_eq!(tokens, sorted);
+    }
+
+    #[test]
+    fn memory_infeasible_fusions_are_split() {
+        // Tasks so fat that an all-spatial hTask would OOM: DP must split.
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
+        for i in 0..8 {
+            r.register_task(PeftTask::lora(i + 1, 16, 8, 256)).expect("register");
+        }
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let all = HTask::from_padded(&tasks, 4);
+        assert!(!cm.fits_memory(std::slice::from_ref(&all), 4), "precondition: all-spatial OOMs");
+        let plan = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|m| HTask::from_padded(m, 4));
+        assert!(plan.htasks.len() >= 2);
+        for h in &plan.htasks {
+            assert!(cm.fits_memory(std::slice::from_ref(h), 4), "each chosen hTask must fit");
+        }
+    }
+}

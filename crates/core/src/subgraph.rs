@@ -1,0 +1,244 @@
+//! Dependency-aware subgraph construction (§3.4.2, Fig 11).
+//!
+//! The intra-stage orchestration unit is the *subgraph*: a run of
+//! consecutive backbone computation operators with its trailing
+//! communication operator attached (so the comm can overlap the *next*
+//! subgraph of another task), while small adapters are isolated as
+//! independent subgraphs (so they can be horizontally fused across tasks).
+//! Each subgraph carries a priority equal to its topological depth.
+
+use mux_model::graph::OpGraph;
+use serde::Serialize;
+
+/// A segmented subgraph of one hTask's stage graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct Subgraph {
+    /// Id within the segmentation.
+    pub id: usize,
+    /// Node ids (topological order) of the parent [`OpGraph`].
+    pub nodes: Vec<usize>,
+    /// Priority: topological depth of the subgraph's first node (lower =
+    /// earlier).
+    pub priority: usize,
+    /// Subgraph ids this one depends on.
+    pub deps: Vec<usize>,
+    /// Whether the subgraph is an isolated adapter branch.
+    pub is_adapter: bool,
+    /// Owner tag of the adapter branch (0 for backbone subgraphs).
+    pub task: u32,
+    /// Whether the subgraph ends in a communication operator.
+    pub has_comm: bool,
+}
+
+/// Segments `graph` into subgraphs.
+///
+/// Rules (from §3.4.2):
+/// * backbone computation nodes accumulate into the current backbone run;
+/// * a communication node joins the current run and closes it;
+/// * adapter-tagged nodes form per-task chains, isolated from the backbone.
+pub fn segment(graph: &OpGraph) -> Vec<Subgraph> {
+    let depths = graph.depths();
+    let mut node_sg: Vec<usize> = vec![usize::MAX; graph.len()];
+    let mut sgs: Vec<Subgraph> = Vec::new();
+    // The currently-open backbone subgraph, if any.
+    let mut open_backbone: Option<usize> = None;
+    // The currently-open adapter chain per task tag.
+    let mut open_adapter: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+
+    for node in graph.nodes() {
+        let is_adapter_node = node.tag != 0;
+        let sg_id = if is_adapter_node {
+            // Continue this task's chain if the node directly depends on
+            // its open chain; otherwise start a new chain.
+            let cont = open_adapter.get(&node.tag).copied().filter(|&sg| {
+                node.deps.iter().any(|&d| node_sg[d] == sg)
+            });
+            match cont {
+                Some(sg) => sg,
+                None => {
+                    let id = sgs.len();
+                    sgs.push(Subgraph {
+                        id,
+                        nodes: Vec::new(),
+                        priority: depths[node.id],
+                        deps: Vec::new(),
+                        is_adapter: true,
+                        task: node.tag,
+                        has_comm: false,
+                    });
+                    open_adapter.insert(node.tag, id);
+                    id
+                }
+            }
+        } else {
+            // Backbone node (including aggregates): join or open the run.
+            // A node consuming adapter output (an aggregate) must *not*
+            // join the run its adapter branch forked from — that would
+            // create a subgraph cycle — so the run closes first.
+            if node.deps.iter().any(|&d| graph.node(d).tag != 0) {
+                open_backbone = None;
+            }
+            let id = match open_backbone {
+                Some(sg) => sg,
+                None => {
+                    let id = sgs.len();
+                    sgs.push(Subgraph {
+                        id,
+                        nodes: Vec::new(),
+                        priority: depths[node.id],
+                        deps: Vec::new(),
+                        is_adapter: false,
+                        task: 0,
+                        has_comm: false,
+                    });
+                    open_backbone = Some(id);
+                    id
+                }
+            };
+            if node.template.kind.is_comm() {
+                sgs[id].has_comm = true;
+                open_backbone = None; // comm closes the run
+            }
+            id
+        };
+        sgs[sg_id].nodes.push(node.id);
+        node_sg[node.id] = sg_id;
+        // An aggregate consuming adapter outputs closes those chains.
+        if !is_adapter_node {
+            for &d in &node.deps {
+                let dtag = graph.node(d).tag;
+                if dtag != 0 {
+                    open_adapter.remove(&dtag);
+                }
+            }
+        }
+    }
+    // Derive subgraph-level deps.
+    for node in graph.nodes() {
+        let sg = node_sg[node.id];
+        for &d in &node.deps {
+            let dsg = node_sg[d];
+            if dsg != sg && !sgs[sg].deps.contains(&dsg) {
+                sgs[sg].deps.push(dsg);
+            }
+        }
+    }
+    for sg in &mut sgs {
+        sg.deps.sort_unstable();
+    }
+    sgs
+}
+
+/// Checks that a segmentation is a valid partition of the graph.
+pub fn validate_segmentation(graph: &OpGraph, sgs: &[Subgraph]) -> bool {
+    let mut covered = vec![false; graph.len()];
+    for sg in sgs {
+        for &n in &sg.nodes {
+            if covered[n] {
+                return false;
+            }
+            covered[n] = true;
+        }
+    }
+    covered.iter().all(|&c| c) && sgs.iter().all(|sg| sg.deps.iter().all(|&d| d < sg.id || !sg.nodes.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_model::config::ModelConfig;
+    use mux_peft::registry::TaskRegistry;
+    use mux_peft::types::PeftTask;
+
+    fn multitask_graph(tp: usize, n_tasks: usize) -> OpGraph {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(2));
+        let ids: Vec<u32> = (1..=n_tasks as u32).collect();
+        for &i in &ids {
+            r.register_task(PeftTask::lora(i, 16, 4, 128)).expect("register");
+        }
+        r.build_multitask_stage_graph(0, 2, tp, &ids)
+    }
+
+    #[test]
+    fn segmentation_partitions_all_nodes() {
+        let g = multitask_graph(4, 2);
+        let sgs = segment(&g);
+        assert!(validate_segmentation(&g, &sgs));
+    }
+
+    #[test]
+    fn comm_ops_close_backbone_runs() {
+        let g = multitask_graph(4, 1);
+        let sgs = segment(&g);
+        for sg in &sgs {
+            if sg.has_comm {
+                // The comm node must be the last node of its subgraph.
+                let last = *sg.nodes.last().expect("non-empty");
+                assert!(g.node(last).template.kind.is_comm(), "comm must close the run");
+            }
+            // No subgraph contains a comm node in its interior.
+            for &n in &sg.nodes[..sg.nodes.len().saturating_sub(1)] {
+                assert!(!g.node(n).template.kind.is_comm());
+            }
+        }
+        // A 2-layer TP stage has 4 all-reduces -> at least 4 comm-closed runs.
+        assert!(sgs.iter().filter(|s| s.has_comm).count() >= 4);
+    }
+
+    #[test]
+    fn adapters_are_isolated_per_task() {
+        let g = multitask_graph(1, 2);
+        let sgs = segment(&g);
+        let adapter_sgs: Vec<&Subgraph> = sgs.iter().filter(|s| s.is_adapter).collect();
+        assert!(!adapter_sgs.is_empty());
+        for sg in &adapter_sgs {
+            assert!(sg.task == 1 || sg.task == 2);
+            for &n in &sg.nodes {
+                assert_eq!(g.node(n).tag, sg.task, "no cross-task node mixing");
+            }
+        }
+        // LoRA on 4 BaseOps x 2 layers = 8 adapter chains per task.
+        let t1 = adapter_sgs.iter().filter(|s| s.task == 1).count();
+        assert_eq!(t1, 8);
+    }
+
+    #[test]
+    fn priorities_follow_topological_depth() {
+        let g = multitask_graph(1, 1);
+        let sgs = segment(&g);
+        // Backbone subgraphs in id order should have non-decreasing priority.
+        let backbone: Vec<&Subgraph> = sgs.iter().filter(|s| !s.is_adapter).collect();
+        for w in backbone.windows(2) {
+            assert!(w[0].priority <= w[1].priority);
+        }
+    }
+
+    #[test]
+    fn deps_reference_earlier_subgraphs_only() {
+        let g = multitask_graph(4, 2);
+        let sgs = segment(&g);
+        for sg in &sgs {
+            for &d in &sg.deps {
+                assert!(d != sg.id, "self-dependency");
+                assert!(d < sgs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn single_gpu_backbone_splits_only_at_aggregates() {
+        // No comm ops on 1 GPU, so backbone runs break only where an
+        // aggregate consumes adapter output: 4 BaseOps x 2 layers = 8
+        // aggregates -> at most 9 backbone runs.
+        let g = multitask_graph(1, 1);
+        let sgs = segment(&g);
+        let backbone = sgs.iter().filter(|s| !s.is_adapter).count();
+        assert!(backbone <= 9, "backbone fragmented: {backbone} runs");
+        // Without adapters there is exactly one run.
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(2));
+        r.register_task(PeftTask::lora(1, 16, 4, 128)).expect("register");
+        let bare = r.build_multitask_stage_graph(0, 2, 1, &[]);
+        let bare_sgs = segment(&bare);
+        assert_eq!(bare_sgs.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Structured multi-task pipeline template (§3.4.1, Appendix A).
+//!
+//! Extends 1F1B to many hTask buckets with three rules: (1) buckets sorted
+//! descending by stage latency, so each bucket's micro-batches fill the
+//! bubbles of its neighbours; (2) micro-batches of one bucket stay
+//! consecutive (they match each other's latency exactly); (3) micro-batches
+//! launch eagerly up to the memory-derived in-flight cap, keeping every
+//! stage supplied with pending work.
+
+use mux_parallel::pp::{Phase, PipeInstr, PipeProgram};
+use serde::Serialize;
+
+/// Bucket orderings (descending is the paper's rule 1; the others are the
+/// Appendix-A Fig 22 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BucketOrder {
+    /// Longest bucket first (the paper's template).
+    Descending,
+    /// Shortest first.
+    Ascending,
+    /// Longest in the middle (Fig 22e's counter-example).
+    MiddlePeak,
+}
+
+/// A generated multi-task pipeline template.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineTemplate {
+    /// Per-rank instruction programs over *global* micro-batch ids.
+    pub program: PipeProgram,
+    /// Global micro-batch id → bucket index (into the caller's bucket
+    /// list, whatever order the caller sorted it in).
+    pub mb_bucket: Vec<usize>,
+    /// Global micro-batch id → round within its bucket.
+    pub mb_round: Vec<usize>,
+    /// The stream order the buckets were laid out in.
+    pub bucket_stream: Vec<usize>,
+}
+
+/// Reorders bucket indices `0..n` (assumed pre-sorted descending by load)
+/// according to `order`.
+fn stream_order(n: usize, order: BucketOrder) -> Vec<usize> {
+    let desc: Vec<usize> = (0..n).collect();
+    match order {
+        BucketOrder::Descending => desc,
+        BucketOrder::Ascending => desc.into_iter().rev().collect(),
+        BucketOrder::MiddlePeak => {
+            // Interleave so the largest lands mid-stream: place descending
+            // items alternately at the two ends, largest last (center).
+            let mut head = Vec::new();
+            let mut tail = Vec::new();
+            for (i, b) in desc.into_iter().rev().enumerate() {
+                if i % 2 == 0 {
+                    head.push(b);
+                } else {
+                    tail.push(b);
+                }
+            }
+            tail.reverse();
+            head.extend(tail);
+            head
+        }
+    }
+}
+
+/// Builds the structured template.
+///
+/// * `bucket_rounds[j]` — micro-batches (`C_j`) of bucket `j`, with buckets
+///   pre-sorted descending by stage latency;
+/// * `stages` — pipeline depth `S`;
+/// * `max_in_flight` — memory cap on resident micro-batches per stage
+///   (rule 3 eagerly launches up to this; 1F1B needs at least `S`).
+pub fn build_template(
+    stages: usize,
+    bucket_rounds: &[usize],
+    max_in_flight: usize,
+    order: BucketOrder,
+) -> PipelineTemplate {
+    assert!(stages >= 1, "need at least one stage");
+    assert!(!bucket_rounds.is_empty(), "no buckets");
+    let stream = stream_order(bucket_rounds.len(), order);
+    let mut mb_bucket = Vec::new();
+    let mut mb_round = Vec::new();
+    for &b in &stream {
+        for r in 0..bucket_rounds[b] {
+            mb_bucket.push(b);
+            mb_round.push(r);
+        }
+    }
+    let total = mb_bucket.len();
+    let in_flight_cap = max_in_flight.max(2); // 1F1B needs >= 2 to pipeline at all
+    let program: PipeProgram = (0..stages)
+        .map(|s| {
+            // Rule 3: eager warm-up — as many in-flight micro-batches as
+            // memory allows, never fewer than plain 1F1B's S - s - 1.
+            let warm = (stages - s - 1)
+                .max(in_flight_cap.saturating_sub(1).min(2 * (stages - s).saturating_sub(1)))
+                .min(total);
+            let mut prog: Vec<PipeInstr> = (0..warm)
+                .map(|m| PipeInstr { stage: s, mb: m, phase: Phase::Forward })
+                .collect();
+            for i in 0..total - warm {
+                prog.push(PipeInstr { stage: s, mb: warm + i, phase: Phase::Forward });
+                prog.push(PipeInstr { stage: s, mb: i, phase: Phase::Backward });
+            }
+            for i in total - warm..total {
+                prog.push(PipeInstr { stage: s, mb: i, phase: Phase::Backward });
+            }
+            prog
+        })
+        .collect();
+    PipelineTemplate { program, mb_bucket, mb_round, bucket_stream: stream }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_micro_batches_stay_consecutive() {
+        let t = build_template(4, &[3, 2, 4], 4, BucketOrder::Descending);
+        // mb_bucket must be piecewise-constant runs in stream order.
+        let mut seen = Vec::new();
+        for &b in &t.mb_bucket {
+            if seen.last() != Some(&b) {
+                assert!(!seen.contains(&b), "bucket {b} split into non-consecutive runs");
+                seen.push(b);
+            }
+        }
+        assert_eq!(t.mb_bucket.len(), 9);
+    }
+
+    #[test]
+    fn descending_keeps_caller_order() {
+        let t = build_template(2, &[5, 3, 1], 2, BucketOrder::Descending);
+        assert_eq!(t.bucket_stream, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ascending_reverses() {
+        let t = build_template(2, &[5, 3, 1], 2, BucketOrder::Ascending);
+        assert_eq!(t.bucket_stream, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn middle_peak_centers_the_largest() {
+        let t = build_template(2, &[5, 3, 1], 2, BucketOrder::MiddlePeak);
+        let pos = t.bucket_stream.iter().position(|&b| b == 0).expect("bucket 0 present");
+        assert!(pos > 0 && pos < t.bucket_stream.len() - 1, "largest should be interior: {:?}", t.bucket_stream);
+    }
+
+    #[test]
+    fn program_executes_every_cell_once() {
+        let t = build_template(3, &[4, 4], 3, BucketOrder::Descending);
+        for (s, prog) in t.program.iter().enumerate() {
+            let fwd: Vec<usize> =
+                prog.iter().filter(|i| i.phase == Phase::Forward).map(|i| i.mb).collect();
+            let bwd: Vec<usize> =
+                prog.iter().filter(|i| i.phase == Phase::Backward).map(|i| i.mb).collect();
+            assert_eq!(fwd.len(), 8, "stage {s}");
+            assert_eq!(bwd.len(), 8, "stage {s}");
+            let mut f = fwd.clone();
+            f.sort_unstable();
+            f.dedup();
+            assert_eq!(f.len(), 8);
+        }
+    }
+
+    #[test]
+    fn eager_launch_extends_warmup_within_memory() {
+        let lazy = build_template(4, &[8], 2, BucketOrder::Descending);
+        let eager = build_template(4, &[8], 6, BucketOrder::Descending);
+        let warm = |t: &PipelineTemplate, s: usize| {
+            t.program[s]
+                .iter()
+                .take_while(|i| i.phase == Phase::Forward)
+                .count()
+        };
+        assert!(warm(&eager, 0) >= warm(&lazy, 0), "more memory should allow more warm-up");
+        // Backward ordering is still 1F1B: first backward is mb 0.
+        let first_b = eager.program[0]
+            .iter()
+            .find(|i| i.phase == Phase::Backward)
+            .expect("has backward");
+        assert_eq!(first_b.mb, 0);
+    }
+
+    #[test]
+    fn rounds_index_within_bucket() {
+        let t = build_template(2, &[2, 3], 2, BucketOrder::Descending);
+        assert_eq!(t.mb_round, vec![0, 1, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Chunk-based partitioning (step 2 of chunk-based alignment, §3.5).
+//!
+//! Packed rows are cut into equal-sized chunks. Rows longer than one chunk
+//! scatter across consecutive chunks connected by a KV-cache-reuse
+//! dependency (causal attention over earlier chunks is served from cached
+//! keys/values, as in TeraPipe-style token-level pipelining). The chunk
+//! size follows the paper's rule: the greatest power-of-two divisor of all
+//! task sequence caps, floored at a minimum threshold (typically 64).
+
+use serde::Serialize;
+
+use crate::packing::Pack;
+
+/// Default minimum chunk size (§3.5: "a minimum threshold (typically 64)").
+pub const DEFAULT_MIN_CHUNK: usize = 64;
+
+/// One chunk of one packed row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Chunk {
+    /// Index of the source pack within its task's pack list.
+    pub pack: usize,
+    /// Position of this chunk within the pack (0-based).
+    pub index: usize,
+    /// Effective (semantic) tokens in this chunk.
+    pub effective: usize,
+    /// Zero-padded tokens in this chunk (only the pack's final chunk may
+    /// have them).
+    pub padding: usize,
+    /// Whether this chunk attends over cached KV of earlier chunks.
+    pub depends_on_prev: bool,
+    /// KV-cache tokens read from earlier chunks of the same pack.
+    pub kv_context: usize,
+}
+
+impl Chunk {
+    /// Chunk length (effective + padding) — always the global chunk size.
+    pub fn len(&self) -> usize {
+        self.effective + self.padding
+    }
+
+    /// Whether the chunk carries no effective tokens.
+    pub fn is_empty(&self) -> bool {
+        self.effective == 0
+    }
+}
+
+/// Greatest power-of-two divisor of `n` (n > 0).
+fn pow2_divisor(n: usize) -> usize {
+    1 << n.trailing_zeros()
+}
+
+/// The paper's chunk-size rule over the *padded caps* of the co-scheduled
+/// tasks: greatest power-of-2 dividing all of them, floored at
+/// `min_threshold`.
+///
+/// ```
+/// use mux_data::chunk::chunk_size_rule;
+/// assert_eq!(chunk_size_rule(&[64, 128, 256], 64), 64);
+/// assert_eq!(chunk_size_rule(&[256], 64), 256);
+/// assert_eq!(chunk_size_rule(&[96], 64), 64); // threshold floor wins
+/// ```
+///
+/// When the divisor is below the threshold, the threshold wins and shorter
+/// tasks accept intra-chunk padding (the Fig 20(b) regime).
+pub fn chunk_size_rule(task_caps: &[usize], min_threshold: usize) -> usize {
+    assert!(!task_caps.is_empty(), "no tasks");
+    let divisor = task_caps
+        .iter()
+        .map(|&c| {
+            assert!(c > 0, "zero-length cap");
+            pow2_divisor(c)
+        })
+        .min()
+        .expect("non-empty");
+    divisor.max(min_threshold)
+}
+
+/// Splits one pack into `ceil(used / chunk)` chunks of `chunk` tokens.
+pub fn chunk_pack(pack_idx: usize, pack: &Pack, chunk: usize) -> Vec<Chunk> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut out = Vec::new();
+    let mut remaining = pack.used;
+    let mut index = 0;
+    while remaining > 0 {
+        let eff = remaining.min(chunk);
+        out.push(Chunk {
+            pack: pack_idx,
+            index,
+            effective: eff,
+            padding: chunk - eff,
+            depends_on_prev: index > 0,
+            kv_context: index * chunk,
+        });
+        remaining -= eff;
+        index += 1;
+    }
+    out
+}
+
+/// Chunks an entire pack list.
+pub fn chunk_packs(packs: &[Pack], chunk: usize) -> Vec<Chunk> {
+    packs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| chunk_pack(i, p, chunk))
+        .collect()
+}
+
+/// Padding fraction of a chunk set: padded / (effective + padded).
+pub fn padding_fraction(chunks: &[Chunk]) -> f64 {
+    let pad: usize = chunks.iter().map(|c| c.padding).sum();
+    let eff: usize = chunks.iter().map(|c| c.effective).sum();
+    if pad + eff == 0 {
+        0.0
+    } else {
+        pad as f64 / (pad + eff) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packing::pack_ffd;
+
+    #[test]
+    fn rule_picks_gcd_power_of_two() {
+        // SST2 (64) + QA (128): both divisible by 64.
+        assert_eq!(chunk_size_rule(&[64, 128], 64), 64);
+        // RTE only: 256 divisible by 256, so chunk 256.
+        assert_eq!(chunk_size_rule(&[256], 64), 256);
+        // All three: 64.
+        assert_eq!(chunk_size_rule(&[64, 128, 256], 64), 64);
+    }
+
+    #[test]
+    fn rule_floors_at_threshold() {
+        // A 96-cap task has pow2 divisor 32 < 64: threshold wins (the
+        // Fig 20b intra-chunk padding regime).
+        assert_eq!(chunk_size_rule(&[96, 64], 64), 64);
+        assert_eq!(chunk_size_rule(&[48], 64), 64);
+    }
+
+    #[test]
+    fn chunking_preserves_tokens() {
+        let packs = pack_ffd(&[60, 50, 40, 30, 20, 10], 128);
+        let chunks = chunk_packs(&packs, 64);
+        let eff: usize = chunks.iter().map(|c| c.effective).sum();
+        assert_eq!(eff, 210);
+        assert!(chunks.iter().all(|c| c.len() == 64));
+    }
+
+    #[test]
+    fn only_final_chunk_of_a_pack_pads() {
+        let packs = pack_ffd(&[100, 60], 256);
+        let chunks = chunk_packs(&packs, 64);
+        // One pack of 160 tokens -> 3 chunks: 64, 64, 32(+32 pad).
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].padding, 0);
+        assert_eq!(chunks[1].padding, 0);
+        assert_eq!(chunks[2].padding, 32);
+    }
+
+    #[test]
+    fn kv_dependencies_chain_within_pack() {
+        let packs = pack_ffd(&[200], 256);
+        let chunks = chunk_packs(&packs, 64);
+        assert_eq!(chunks.len(), 4);
+        assert!(!chunks[0].depends_on_prev);
+        for (i, c) in chunks.iter().enumerate().skip(1) {
+            assert!(c.depends_on_prev);
+            assert_eq!(c.kv_context, i * 64);
+        }
+    }
+
+    #[test]
+    fn smaller_chunks_reduce_padding() {
+        // Fig 13's tradeoff: padding falls as chunks shrink.
+        let packs = pack_ffd(&[70, 70, 70], 256);
+        let frac_small = padding_fraction(&chunk_packs(&packs, 16));
+        let frac_large = padding_fraction(&chunk_packs(&packs, 128));
+        assert!(frac_small < frac_large, "{frac_small} vs {frac_large}");
+    }
+
+    #[test]
+    fn full_packs_have_zero_padding() {
+        let packs = pack_ffd(&[64, 64], 64);
+        let chunks = chunk_packs(&packs, 64);
+        assert_eq!(padding_fraction(&chunks), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mux-data
+//!
+//! The data substrate: synthetic PEFT corpora matching the paper's three
+//! evaluation datasets (SST2/OpenBookQA/RTE length regimes), per-task
+//! sequence packing, chunk-based partitioning with KV-reuse dependencies,
+//! and the three inter-task alignment strategies of §3.5 with exact
+//! effective-vs-padded token accounting.
+
+pub mod align;
+pub mod chunk;
+pub mod corpus;
+pub mod packing;
+pub mod stream;
+
+pub use align::{align, AlignStrategy, AlignedBatch, TaskAlignment, TaskData};
+pub use chunk::{chunk_size_rule, Chunk, DEFAULT_MIN_CHUNK};
+pub use corpus::{Corpus, DatasetKind};
+pub use packing::{pack_ffd, Pack};
+pub use stream::StreamingLoader;

@@ -1,0 +1,134 @@
+//! Per-task sequence packing (step 1 of chunk-based alignment, §3.5).
+//!
+//! Sequences of one task's global batch are packed into longer, denser
+//! rows with first-fit-decreasing bin packing. Packing is strictly
+//! *within* one task and one global batch — the paper's condition for
+//! leaving convergence untouched.
+
+use serde::Serialize;
+
+/// One packed row: the original sequences it carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Pack {
+    /// Lengths of the sequences packed into this row, in packing order.
+    pub seq_lens: Vec<usize>,
+    /// Sum of `seq_lens`.
+    pub used: usize,
+    /// Bin capacity the pack was built for.
+    pub capacity: usize,
+}
+
+impl Pack {
+    /// Unused capacity.
+    pub fn slack(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Cross-sequence attention waste if this pack were attended as one
+    /// sequence: `used² - Σ len_i²` score entries are semantically void
+    /// (the [31, 52] observation motivating chunking over plain packing).
+    pub fn cross_attention_waste(&self) -> u64 {
+        let total = (self.used as u64).pow(2);
+        let own: u64 = self.seq_lens.iter().map(|&l| (l as u64).pow(2)).sum();
+        total - own
+    }
+}
+
+/// Packs `lengths` into bins of `capacity` with first-fit-decreasing.
+///
+/// ```
+/// use mux_data::packing::pack_ffd;
+/// let packs = pack_ffd(&[30, 30, 20, 10], 64);
+/// assert_eq!(packs.len(), 2); // [30+30], [20+10] — half the rows
+/// assert!(packs.iter().all(|p| p.used <= 64));
+/// ```
+///
+/// # Panics
+/// Panics if any sequence exceeds `capacity` (callers truncate to the
+/// dataset cap first).
+pub fn pack_ffd(lengths: &[usize], capacity: usize) -> Vec<Pack> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut sorted: Vec<usize> = lengths.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut packs: Vec<Pack> = Vec::new();
+    for len in sorted {
+        assert!(len <= capacity, "sequence of length {len} exceeds pack capacity {capacity}");
+        match packs.iter_mut().find(|p| p.used + len <= capacity) {
+            Some(p) => {
+                p.seq_lens.push(len);
+                p.used += len;
+            }
+            None => packs.push(Pack { seq_lens: vec![len], used: len, capacity }),
+        }
+    }
+    packs
+}
+
+/// Density of a packing: effective tokens / (packs × capacity).
+pub fn packing_density(packs: &[Pack]) -> f64 {
+    if packs.is_empty() {
+        return 0.0;
+    }
+    let used: usize = packs.iter().map(|p| p.used).sum();
+    let cap: usize = packs.iter().map(|p| p.capacity).sum();
+    used as f64 / cap as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_preserves_all_sequences() {
+        let lens = vec![10, 20, 30, 40, 50, 60];
+        let packs = pack_ffd(&lens, 64);
+        let mut recovered: Vec<usize> = packs.iter().flat_map(|p| p.seq_lens.clone()).collect();
+        recovered.sort_unstable();
+        assert_eq!(recovered, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn packing_never_overflows_capacity() {
+        let lens: Vec<usize> = (1..=50).map(|i| (i * 7) % 63 + 1).collect();
+        for p in pack_ffd(&lens, 64) {
+            assert!(p.used <= 64);
+            assert_eq!(p.used, p.seq_lens.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn ffd_beats_one_sequence_per_row() {
+        let lens = vec![30, 30, 30, 30, 4, 4, 4, 4];
+        let packs = pack_ffd(&lens, 64);
+        assert!(packs.len() < lens.len(), "packing should merge rows");
+        assert!(packing_density(&packs) > 0.5);
+    }
+
+    #[test]
+    fn full_sequences_get_own_packs() {
+        let packs = pack_ffd(&[64, 64, 64], 64);
+        assert_eq!(packs.len(), 3);
+        assert!(packs.iter().all(|p| p.slack() == 0));
+    }
+
+    #[test]
+    fn cross_attention_waste_zero_for_single_sequence() {
+        let packs = pack_ffd(&[40], 64);
+        assert_eq!(packs[0].cross_attention_waste(), 0);
+        let multi = pack_ffd(&[30, 30], 64);
+        // (60² - 2·30²) = 1800 void score entries.
+        assert_eq!(multi[0].cross_attention_waste(), 1800);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pack capacity")]
+    fn oversize_sequence_rejected() {
+        pack_ffd(&[100], 64);
+    }
+
+    #[test]
+    fn empty_input_gives_no_packs() {
+        assert!(pack_ffd(&[], 64).is_empty());
+        assert_eq!(packing_density(&[]), 0.0);
+    }
+}

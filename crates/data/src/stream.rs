@@ -1,0 +1,186 @@
+//! Streaming data loading (§3.1: "data batches are loaded in a streaming
+//! manner and aligned across spatially batched tasks").
+//!
+//! A [`StreamingLoader`] walks each task's corpus in deterministic,
+//! reshuffled epochs, emitting one aligned global batch per iteration: the
+//! per-task sequence lengths for the step, already passed through the
+//! configured alignment strategy so the engine sees uniform rows.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::align::{align, AlignStrategy, AlignedBatch, TaskData};
+use crate::corpus::Corpus;
+
+/// One task's streaming state.
+#[derive(Debug, Clone)]
+struct TaskStream {
+    task: u32,
+    cap: usize,
+    lengths: Vec<usize>,
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+    epoch: u64,
+    seed: u64,
+}
+
+impl TaskStream {
+    fn reshuffle(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ self.epoch.wrapping_mul(0x9e37_79b9));
+        self.order.shuffle(&mut rng);
+        self.cursor = 0;
+        self.epoch += 1;
+    }
+
+    fn next_batch(&mut self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.batch_size);
+        while out.len() < self.batch_size {
+            if self.cursor >= self.order.len() {
+                self.reshuffle();
+            }
+            out.push(self.lengths[self.order[self.cursor]]);
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+/// Streams aligned global batches for a set of co-scheduled tasks.
+pub struct StreamingLoader {
+    tasks: Vec<TaskStream>,
+    strategy: AlignStrategy,
+    steps: u64,
+}
+
+impl StreamingLoader {
+    /// Creates a loader. `specs` holds `(task id, corpus, global batch
+    /// sequences per step)` triples.
+    pub fn new(specs: Vec<(u32, Corpus, usize)>, strategy: AlignStrategy, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "no tasks to stream");
+        let tasks = specs
+            .into_iter()
+            .map(|(task, corpus, batch_size)| {
+                assert!(batch_size > 0, "zero batch size for task {task}");
+                assert!(!corpus.lengths.is_empty(), "empty corpus for task {task}");
+                let n = corpus.lengths.len();
+                let mut ts = TaskStream {
+                    task,
+                    cap: corpus.kind.max_len(),
+                    lengths: corpus.lengths,
+                    order: (0..n).collect(),
+                    cursor: usize::MAX / 2, // force first-shuffle
+                    batch_size,
+                    epoch: 0,
+                    seed: seed ^ (task as u64) << 17,
+                };
+                ts.reshuffle();
+                ts
+            })
+            .collect();
+        Self { tasks, strategy, steps: 0 }
+    }
+
+    /// Steps emitted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Emits the next aligned global batch.
+    pub fn next_step(&mut self) -> AlignedBatch {
+        let data: Vec<TaskData> = self
+            .tasks
+            .iter_mut()
+            .map(|t| TaskData { task: t.task, seq_lens: t.next_batch(), cap: t.cap })
+            .collect();
+        self.steps += 1;
+        align(&data, self.strategy)
+    }
+}
+
+impl Iterator for StreamingLoader {
+    type Item = AlignedBatch;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::DatasetKind;
+
+    fn loader(strategy: AlignStrategy) -> StreamingLoader {
+        StreamingLoader::new(
+            vec![
+                (1, Corpus::generate(DatasetKind::Sst2, 20, 1), 4),
+                (2, Corpus::generate(DatasetKind::Rte, 12, 2), 2),
+            ],
+            strategy,
+            42,
+        )
+    }
+
+    #[test]
+    fn every_step_is_aligned_to_one_unit_length() {
+        let mut l = loader(AlignStrategy::ChunkBased { min_chunk: 64 });
+        for _ in 0..10 {
+            let b = l.next_step();
+            assert_eq!(b.unit_len, 64);
+            assert_eq!(b.tasks.len(), 2);
+            assert!(b.effective_tokens() > 0);
+        }
+        assert_eq!(l.steps(), 10);
+    }
+
+    #[test]
+    fn streaming_is_deterministic_per_seed() {
+        let collect = |seed: u64| {
+            let mut l = StreamingLoader::new(
+                vec![(1, Corpus::generate(DatasetKind::OpenBookQa, 16, 7), 4)],
+                AlignStrategy::ZeroPadGlobalMax,
+                seed,
+            );
+            (0..6).map(|_| l.next_step().effective_tokens()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn epochs_cover_the_corpus_without_repeats() {
+        // Batch 4 over a 20-sequence corpus: 5 steps = 1 epoch, and the
+        // multiset of emitted lengths equals the corpus.
+        let corpus = Corpus::generate(DatasetKind::Sst2, 20, 3);
+        let mut want = corpus.lengths.clone();
+        want.sort_unstable();
+        let mut l = StreamingLoader::new(vec![(1, corpus, 4)], AlignStrategy::ZeroPadGlobalMax, 5);
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            let b = l.next_step();
+            // ZeroPad keeps one row per sequence; recover raw lengths from
+            // the per-task effective sum is lossy, so track via a second
+            // loader handle instead: effective tokens per epoch must equal
+            // the corpus total.
+            got.push(b.tasks[0].effective_tokens);
+        }
+        let epoch_total: u64 = got.iter().sum();
+        assert_eq!(epoch_total, want.iter().map(|&l| l as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn iterator_interface_streams_forever() {
+        let l = loader(AlignStrategy::PackOnly);
+        let batches: Vec<AlignedBatch> = l.take(25).collect();
+        assert_eq!(batches.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_is_rejected() {
+        let empty = Corpus { kind: DatasetKind::Sst2, lengths: vec![] };
+        StreamingLoader::new(vec![(1, empty, 2)], AlignStrategy::ZeroPadGlobalMax, 1);
+    }
+}

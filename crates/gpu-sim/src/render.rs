@@ -1,0 +1,107 @@
+//! ASCII timeline rendering — the textual equivalent of the paper's
+//! Nsight-style utilization plots (Figs 3d, 18).
+//!
+//! Each device gets two swimlanes: `SM` (compute, shaded by achieved
+//! utilization) and `NV` (communication occupancy).
+
+use crate::metrics::utilization_trace;
+use crate::timeline::Timeline;
+
+/// Shade characters from idle to saturated.
+const SHADES: [char; 5] = [' ', '.', ':', 'x', '#'];
+
+fn shade(v: f64) -> char {
+    let i = ((v * SHADES.len() as f64).floor() as usize).min(SHADES.len() - 1);
+    SHADES[i]
+}
+
+/// Renders `buckets` columns of per-device compute/comm lanes over
+/// `[0, window]` seconds.
+pub fn render_timeline(tl: &Timeline<'_>, window: f64, buckets: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time: 0 {} {:.2} ms  (shade: '{}'=idle .. '{}'=saturated)\n",
+        "-".repeat(buckets.saturating_sub(12)),
+        window * 1e3,
+        SHADES[0],
+        SHADES[SHADES.len() - 1]
+    ));
+    for dev in 0..tl.cluster().num_gpus() {
+        let tr = utilization_trace(tl, dev, window, buckets);
+        let sm: String = tr.compute.iter().map(|&v| shade(v)).collect();
+        let nv: String = tr.comm.iter().map(|&v| shade(v)).collect();
+        out.push_str(&format!("GPU{dev} SM |{sm}|\n"));
+        out.push_str(&format!("GPU{dev} NV |{nv}|\n"));
+    }
+    out
+}
+
+/// One-line per-device summary (busy %, achieved util %, link %).
+pub fn render_summary(tl: &Timeline<'_>, window: f64) -> String {
+    let metrics = crate::metrics::device_metrics(tl, window);
+    metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "GPU{}: busy {:5.1}%  util {:5.1}%  link {:5.1}%",
+                m.device,
+                m.busy_fraction * 100.0,
+                m.avg_utilization * 100.0,
+                m.link_busy_fraction * 100.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
+    use crate::timeline::{Cluster, CollectiveKind, Timeline};
+
+    #[test]
+    fn rendering_shows_busy_and_idle_phases() {
+        let c = Cluster::single_node(GpuSpec::a40(), 2, LinkSpec::nvlink_a40());
+        let mut tl = Timeline::new(&c);
+        let a = tl.compute(0, Work::tensor(200e9, 100e6), &[], "big");
+        tl.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            50e6,
+            &[a],
+            CommCtaPolicy::sequential(),
+            false,
+            "ar",
+        );
+        let s = render_timeline(&tl, tl.finish_time(), 32);
+        assert!(s.contains("GPU0 SM |"));
+        assert!(s.contains("GPU1 NV |"));
+        // GPU0's SM lane must contain saturated cells; GPU1's SM lane must
+        // be fully idle (it only communicates).
+        let gpu0_sm = s.lines().find(|l| l.starts_with("GPU0 SM")).expect("lane");
+        assert!(gpu0_sm.contains('#') || gpu0_sm.contains('x'), "{gpu0_sm}");
+        let gpu1_sm = s.lines().find(|l| l.starts_with("GPU1 SM")).expect("lane");
+        assert!(!gpu1_sm.contains('#'), "{gpu1_sm}");
+    }
+
+    #[test]
+    fn summary_reports_all_devices() {
+        let c = Cluster::single_node(GpuSpec::a40(), 3, LinkSpec::nvlink_a40());
+        let mut tl = Timeline::new(&c);
+        tl.compute(1, Work::tensor(50e9, 10e6), &[], "x");
+        let s = render_summary(&tl, tl.finish_time());
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("GPU1"));
+    }
+
+    #[test]
+    fn shade_is_monotone() {
+        let mut prev = ' ';
+        for i in 0..=10 {
+            let c = shade(i as f64 / 10.0);
+            assert!(SHADES.iter().position(|&x| x == c) >= SHADES.iter().position(|&x| x == prev));
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The discrete-event execution timeline.
+//!
+//! Executors submit operators in per-device launch order; the timeline
+//! resolves each operator's start time as the maximum of its lane's free
+//! time and its dependencies' completion times (classic list-scheduling /
+//! lazy discrete-event semantics — each submission *is* the event). Every
+//! device has two lanes, mirroring CUDA practice: a **compute** stream and a
+//! **communication** stream. Overlap between them is where both the benefit
+//! (hidden stalls) and the cost (CTA contention, §3.4.3) live.
+
+use serde::Serialize;
+
+use crate::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
+
+/// A multi-GPU machine (possibly multiple nodes).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Per-GPU specs. All experiments use homogeneous GPUs, but the
+    /// timeline does not require it.
+    pub gpus: Vec<GpuSpec>,
+    /// Intra-node link.
+    pub intra_link: LinkSpec,
+    /// Inter-node link, if the cluster spans nodes.
+    pub inter_link: Option<LinkSpec>,
+    /// GPUs per node (used to decide which link a group crosses).
+    pub gpus_per_node: usize,
+}
+
+impl Cluster {
+    /// A single node of `n` identical GPUs.
+    pub fn single_node(gpu: GpuSpec, n: usize, link: LinkSpec) -> Self {
+        Self { gpus: vec![gpu; n], intra_link: link, inter_link: None, gpus_per_node: n }
+    }
+
+    /// A multi-node cluster (`nodes` × `gpus_per_node`).
+    pub fn multi_node(
+        gpu: GpuSpec,
+        nodes: usize,
+        gpus_per_node: usize,
+        intra: LinkSpec,
+        inter: LinkSpec,
+    ) -> Self {
+        Self {
+            gpus: vec![gpu; nodes * gpus_per_node],
+            intra_link: intra,
+            inter_link: Some(inter),
+            gpus_per_node,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The link a device group communicates over: the inter-node link if
+    /// the group spans nodes, else the intra-node link.
+    pub fn link_for(&self, group: &[usize]) -> &LinkSpec {
+        let spans_nodes = group
+            .iter()
+            .map(|g| g / self.gpus_per_node)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            > 1;
+        match (&self.inter_link, spans_nodes) {
+            (Some(inter), true) => inter,
+            _ => &self.intra_link,
+        }
+    }
+}
+
+/// Handle to a submitted operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpHandle(usize);
+
+/// Which lane an operator ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LaneKind {
+    /// Compute stream.
+    Compute,
+    /// Communication stream.
+    Comm,
+}
+
+/// A completed operator record, for metrics and timeline export.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpRecord {
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Devices involved (1 for compute, group for collectives).
+    pub devices: Vec<usize>,
+    /// Lane.
+    pub lane: LaneKind,
+    /// Achieved-utilization proxy in `[0, 1]` (compute ops only).
+    pub utilization: f64,
+    /// FLOPs performed.
+    pub flops: f64,
+    /// Communication payload bytes (comm ops only).
+    pub comm_bytes: f64,
+    /// Compute-rate penalty this op imposes on overlapped compute
+    /// (comm ops only).
+    pub compute_penalty: f64,
+    /// Label for traces.
+    pub label: String,
+}
+
+/// Out-of-memory error from the device memory ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// Device that overflowed.
+    pub device: usize,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OOM on GPU {}: requested {} B with {} / {} B in use",
+            self.device, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+#[derive(Debug, Clone, Default)]
+struct MemLedger {
+    in_use: u64,
+    peak: u64,
+}
+
+/// The execution timeline of one simulated run.
+///
+/// ```
+/// use mux_gpu_sim::spec::{GpuSpec, LinkSpec, Work};
+/// use mux_gpu_sim::timeline::{Cluster, Timeline};
+///
+/// let cluster = Cluster::single_node(GpuSpec::a40(), 2, LinkSpec::nvlink_a40());
+/// let mut tl = Timeline::new(&cluster);
+/// let a = tl.compute(0, Work::tensor(10e9, 5e6), &[], "gemm");
+/// let b = tl.compute(1, Work::tensor(10e9, 5e6), &[a], "dependent");
+/// assert!(tl.end_of(b) > tl.end_of(a)); // causality
+/// assert!(tl.finish_time() > 0.0);
+/// ```
+pub struct Timeline<'a> {
+    cluster: &'a Cluster,
+    compute_free: Vec<f64>,
+    comm_free: Vec<f64>,
+    ops: Vec<OpRecord>,
+    mem: Vec<MemLedger>,
+    /// Per-device `(start, end, penalty)` comm intervals with nonzero
+    /// penalty, sorted by start (the comm lane is FIFO, so intervals on one
+    /// device never overlap each other).
+    comm_intervals: Vec<Vec<(f64, f64, f64)>>,
+}
+
+impl<'a> Timeline<'a> {
+    /// Creates an empty timeline over a cluster.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        let n = cluster.num_gpus();
+        Self {
+            cluster,
+            compute_free: vec![0.0; n],
+            comm_free: vec![0.0; n],
+            ops: Vec::new(),
+            mem: vec![MemLedger::default(); n],
+            comm_intervals: vec![Vec::new(); n],
+        }
+    }
+
+    /// The cluster this timeline runs on.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    fn deps_ready(&self, deps: &[OpHandle]) -> f64 {
+        deps.iter().map(|d| self.ops[d.0].end).fold(0.0, f64::max)
+    }
+
+    /// Sum of comm time on `dev` overlapping `[start, end)`, weighted by
+    /// each comm op's compute penalty. Only already-submitted comm ops are
+    /// visible — launch order is submission order, so a collective launched
+    /// *after* a compute kernel cannot retroactively slow it (matching how
+    /// the real schedulers commit launch order ahead of time).
+    fn comm_contention(&self, dev: usize, start: f64, end: f64) -> f64 {
+        let mut weighted = 0.0;
+        // Intervals are sorted by start and mutually disjoint; walk back
+        // from the newest until intervals end before our window starts.
+        for &(cs, ce, p) in self.comm_intervals[dev].iter().rev() {
+            if ce <= start {
+                break;
+            }
+            let o = (ce.min(end) - cs.max(start)).max(0.0);
+            weighted += o * p;
+        }
+        weighted
+    }
+
+    /// Submits a compute operator on `dev`'s compute lane.
+    pub fn compute(
+        &mut self,
+        dev: usize,
+        work: Work,
+        deps: &[OpHandle],
+        label: impl Into<String>,
+    ) -> OpHandle {
+        assert!(dev < self.cluster.num_gpus(), "device {dev} out of range");
+        let spec = &self.cluster.gpus[dev];
+        let start = self.compute_free[dev].max(self.deps_ready(deps));
+        let base = spec.compute_time(work, 1.0);
+        // One fixpoint iteration of contention stretching: during overlap
+        // with a comm kernel of penalty p, compute progresses at rate
+        // (1 - p), so the overlapped work takes o * p / (1 - p) longer.
+        let overlap_weighted = self.comm_contention(dev, start, start + base);
+        let stretch = if overlap_weighted > 0.0 {
+            // Cap the effective penalty at 60% to keep the approximation
+            // stable even under pathological full-overlap stacking.
+            let p = (overlap_weighted / base).min(0.6);
+            base * p / (1.0 - p)
+        } else {
+            0.0
+        };
+        let end = start + base + stretch;
+        self.compute_free[dev] = end;
+        let utilization = spec.op_utilization(work) * base / (base + stretch);
+        self.ops.push(OpRecord {
+            start,
+            end,
+            devices: vec![dev],
+            lane: LaneKind::Compute,
+            utilization,
+            flops: work.flops,
+            comm_bytes: 0.0,
+            compute_penalty: 0.0,
+            label: label.into(),
+        });
+        OpHandle(self.ops.len() - 1)
+    }
+
+    /// Submits pre-costed compute work: an operator (or fused subgraph)
+    /// whose duration and achieved utilization were computed by the caller.
+    /// Still subject to CTA-contention stretching from overlapping comm.
+    pub fn compute_fixed(
+        &mut self,
+        dev: usize,
+        seconds: f64,
+        utilization: f64,
+        flops: f64,
+        deps: &[OpHandle],
+        label: impl Into<String>,
+    ) -> OpHandle {
+        assert!(dev < self.cluster.num_gpus(), "device {dev} out of range");
+        assert!(seconds >= 0.0, "negative duration");
+        let start = self.compute_free[dev].max(self.deps_ready(deps));
+        let overlap_weighted = self.comm_contention(dev, start, start + seconds);
+        let stretch = if overlap_weighted > 0.0 && seconds > 0.0 {
+            let p = (overlap_weighted / seconds).min(0.6);
+            seconds * p / (1.0 - p)
+        } else {
+            0.0
+        };
+        let end = start + seconds + stretch;
+        self.compute_free[dev] = end;
+        let util = if seconds + stretch > 0.0 {
+            utilization * seconds / (seconds + stretch)
+        } else {
+            utilization
+        };
+        self.ops.push(OpRecord {
+            start,
+            end,
+            devices: vec![dev],
+            lane: LaneKind::Compute,
+            utilization: util,
+            flops,
+            comm_bytes: 0.0,
+            compute_penalty: 0.0,
+            label: label.into(),
+        });
+        OpHandle(self.ops.len() - 1)
+    }
+
+    /// Collective kinds.
+    fn collective_time(&self, group: &[usize], kind: CollectiveKind, bytes: f64) -> f64 {
+        let link = self.cluster.link_for(group);
+        match kind {
+            CollectiveKind::AllReduce => link.allreduce_time(bytes, group.len()),
+            CollectiveKind::AllGather => link.allgather_time(bytes, group.len()),
+        }
+    }
+
+    /// Submits a collective over `group`'s communication lanes.
+    ///
+    /// `policy` decides the bandwidth achieved and the CTA penalty imposed
+    /// on compute kernels it overlaps. If `blocking` is true the collective
+    /// also occupies the participants' *compute* lanes (sequential-launch
+    /// frameworks like single-stream NeMo execution).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collective(
+        &mut self,
+        group: &[usize],
+        kind: CollectiveKind,
+        payload_bytes: f64,
+        deps: &[OpHandle],
+        policy: CommCtaPolicy,
+        blocking: bool,
+        label: impl Into<String>,
+    ) -> OpHandle {
+        assert!(!group.is_empty(), "collective over empty group");
+        let mut start = self.deps_ready(deps);
+        for &g in group {
+            start = start.max(self.comm_free[g]);
+            if blocking {
+                start = start.max(self.compute_free[g]);
+            }
+        }
+        let base = self.collective_time(group, kind, payload_bytes);
+        let dur = if payload_bytes > 0.0 && group.len() > 1 {
+            base / policy.bandwidth_frac.max(1e-6)
+        } else {
+            base
+        };
+        let end = start + dur;
+        for &g in group {
+            self.comm_free[g] = end;
+            if blocking {
+                self.compute_free[g] = end;
+            } else if policy.compute_penalty > 0.0 && end > start {
+                self.comm_intervals[g].push((start, end, policy.compute_penalty));
+            }
+        }
+        self.ops.push(OpRecord {
+            start,
+            end,
+            devices: group.to_vec(),
+            lane: LaneKind::Comm,
+            utilization: 0.0,
+            flops: 0.0,
+            comm_bytes: payload_bytes,
+            compute_penalty: if blocking { 0.0 } else { policy.compute_penalty },
+            label: label.into(),
+        });
+        OpHandle(self.ops.len() - 1)
+    }
+
+    /// Submits a point-to-point transfer from `src` to `dst` (pipeline
+    /// activation/gradient sends).
+    ///
+    /// P2P copies ride dedicated copy engines (DMA), so they serialize with
+    /// neither compute kernels nor collectives: the transfer starts as soon
+    /// as its dependencies complete. (Lane-FIFO semantics would introduce
+    /// artificial head-of-line blocking, since transfers are submitted in
+    /// issue order, not time order.)
+    pub fn p2p(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: f64,
+        deps: &[OpHandle],
+        label: impl Into<String>,
+    ) -> OpHandle {
+        let link = self.cluster.link_for(&[src, dst]).clone();
+        let start = self.deps_ready(deps);
+        let end = start + link.p2p_time(bytes);
+        self.ops.push(OpRecord {
+            start,
+            end,
+            devices: vec![src, dst],
+            lane: LaneKind::Comm,
+            utilization: 0.0,
+            flops: 0.0,
+            comm_bytes: bytes,
+            compute_penalty: 0.0,
+            label: label.into(),
+        });
+        OpHandle(self.ops.len() - 1)
+    }
+
+    /// A zero-duration synchronization point joining `deps`.
+    pub fn join(&mut self, deps: &[OpHandle], label: impl Into<String>) -> OpHandle {
+        let t = self.deps_ready(deps);
+        self.ops.push(OpRecord {
+            start: t,
+            end: t,
+            devices: vec![],
+            lane: LaneKind::Compute,
+            utilization: 0.0,
+            flops: 0.0,
+            comm_bytes: 0.0,
+            compute_penalty: 0.0,
+            label: label.into(),
+        });
+        OpHandle(self.ops.len() - 1)
+    }
+
+    /// Allocates `bytes` on `dev`, failing with [`OomError`] past capacity.
+    pub fn alloc(&mut self, dev: usize, bytes: u64) -> Result<(), OomError> {
+        let cap = self.cluster.gpus[dev].mem_capacity;
+        let led = &mut self.mem[dev];
+        if led.in_use + bytes > cap {
+            return Err(OomError { device: dev, requested: bytes, in_use: led.in_use, capacity: cap });
+        }
+        led.in_use += bytes;
+        led.peak = led.peak.max(led.in_use);
+        Ok(())
+    }
+
+    /// Releases `bytes` on `dev` (saturating).
+    pub fn free(&mut self, dev: usize, bytes: u64) {
+        let led = &mut self.mem[dev];
+        led.in_use = led.in_use.saturating_sub(bytes);
+    }
+
+    /// Peak memory ever in use on `dev`.
+    pub fn peak_mem(&self, dev: usize) -> u64 {
+        self.mem[dev].peak
+    }
+
+    /// Current memory in use on `dev`.
+    pub fn mem_in_use(&self, dev: usize) -> u64 {
+        self.mem[dev].in_use
+    }
+
+    /// Completion time of an op.
+    pub fn end_of(&self, h: OpHandle) -> f64 {
+        self.ops[h.0].end
+    }
+
+    /// Latest completion time across all ops (makespan).
+    pub fn finish_time(&self) -> f64 {
+        self.ops.iter().map(|o| o.end).fold(0.0, f64::max)
+    }
+
+    /// All op records.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Earliest free time of a device's compute lane.
+    pub fn compute_free_at(&self, dev: usize) -> f64 {
+        self.compute_free[dev]
+    }
+}
+
+/// Collective operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// All-reduce (sum).
+    AllReduce,
+    /// All-gather.
+    AllGather,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GpuSpec, LinkSpec};
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::single_node(GpuSpec::a40(), n, LinkSpec::nvlink_a40())
+    }
+
+    #[test]
+    fn sequential_ops_on_one_lane_do_not_overlap() {
+        let c = cluster(1);
+        let mut t = Timeline::new(&c);
+        let a = t.compute(0, Work::tensor(1e9, 1e6), &[], "a");
+        let b = t.compute(0, Work::tensor(1e9, 1e6), &[], "b");
+        assert!(t.ops()[b.0].start >= t.end_of(a));
+    }
+
+    #[test]
+    fn dependency_delays_start() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let a = t.compute(0, Work::tensor(50e9, 1e6), &[], "big-on-0");
+        let b = t.compute(1, Work::tensor(1e6, 1e3), &[a], "dependent-on-1");
+        assert!((t.ops()[b.0].start - t.end_of(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_devices_run_in_parallel() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let a = t.compute(0, Work::tensor(50e9, 1e6), &[], "on-0");
+        let b = t.compute(1, Work::tensor(50e9, 1e6), &[], "on-1");
+        assert_eq!(t.ops()[a.0].start, 0.0);
+        assert_eq!(t.ops()[b.0].start, 0.0);
+    }
+
+    #[test]
+    fn collective_waits_for_all_participants() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let slow = t.compute(0, Work::tensor(100e9, 1e6), &[], "slow");
+        let ar = t.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            8e6,
+            &[slow],
+            CommCtaPolicy::sequential(),
+            false,
+            "ar",
+        );
+        assert!((t.ops()[ar.0].start - t.end_of(slow)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_blocking_collective_overlaps_compute() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let ar = t.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            50e6,
+            &[],
+            CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), false),
+            false,
+            "ar",
+        );
+        let comp = t.compute(0, Work::tensor(30e9, 1e6), &[], "overlapped");
+        assert_eq!(t.ops()[comp.0].start, 0.0, "compute lane stays free");
+        let _ = ar;
+    }
+
+    #[test]
+    fn blocking_collective_serializes_with_compute() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let ar = t.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            50e6,
+            &[],
+            CommCtaPolicy::sequential(),
+            true,
+            "ar",
+        );
+        let comp = t.compute(0, Work::tensor(30e9, 1e6), &[], "after");
+        assert!(t.ops()[comp.0].start >= t.end_of(ar));
+    }
+
+    #[test]
+    fn overlapped_compute_is_stretched_by_cta_contention() {
+        let c = cluster(2);
+        // Same work with and without an overlapping comm kernel.
+        let mut free = Timeline::new(&c);
+        let comp = free.compute(0, Work::tensor(30e9, 1e6), &[], "free");
+        let dur_free = free.end_of(comp) - free.ops()[comp.0].start;
+
+        let mut contended = Timeline::new(&c);
+        contended.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            200e6,
+            &[],
+            CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), true),
+            false,
+            "big-ar",
+        );
+        let comp2 = contended.compute(0, Work::tensor(30e9, 1e6), &[], "contended");
+        let dur_cont = contended.end_of(comp2) - contended.ops()[comp2.0].start;
+        assert!(dur_cont > dur_free * 1.05, "{dur_cont} vs {dur_free}");
+    }
+
+    #[test]
+    fn memory_ledger_tracks_peak_and_oom() {
+        let c = cluster(1);
+        let mut t = Timeline::new(&c);
+        let cap = c.gpus[0].mem_capacity;
+        t.alloc(0, cap / 2).expect("first alloc fits");
+        t.alloc(0, cap / 4).expect("second alloc fits");
+        t.free(0, cap / 4);
+        assert_eq!(t.peak_mem(0), cap / 2 + cap / 4);
+        assert_eq!(t.mem_in_use(0), cap / 2);
+        let err = t.alloc(0, cap).expect_err("over-capacity alloc must fail");
+        assert_eq!(err.device, 0);
+    }
+
+    #[test]
+    fn p2p_rides_copy_engines_not_lanes() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let s = t.p2p(0, 1, 8e6, &[], "send");
+        // An independent transfer is not serialized behind the first...
+        let r = t.p2p(1, 0, 8e6, &[], "send-back");
+        assert_eq!(t.ops()[r.0].start, 0.0);
+        // ...but a dependent one waits for its producer.
+        let dep = t.p2p(0, 1, 8e6, &[s], "dependent");
+        assert!((t.ops()[dep.0].start - t.end_of(s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_node_groups_use_the_slow_link() {
+        let c = Cluster::multi_node(GpuSpec::a40(), 2, 2, LinkSpec::nvlink_a40(), LinkSpec::ib100());
+        assert_eq!(c.link_for(&[0, 1]).name, "NVLink3");
+        assert_eq!(c.link_for(&[1, 2]).name, "IB-100G");
+    }
+
+    #[test]
+    fn join_is_zero_duration() {
+        let c = cluster(1);
+        let mut t = Timeline::new(&c);
+        let a = t.compute(0, Work::tensor(1e9, 1e6), &[], "a");
+        let j = t.join(&[a], "sync");
+        assert_eq!(t.end_of(j), t.end_of(a));
+    }
+}

@@ -1,0 +1,207 @@
+//! Backbone model configurations (paper Table 1) plus the truncated and
+//! tiny variants used throughout the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture of a decoder-only transformer backbone.
+///
+/// The scheduler never needs weight values — only shapes, from which every
+/// FLOP, byte and memory figure is derived.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name, e.g. `"LLaMA2-7B"`.
+    pub name: String,
+    /// Number of decoder layers.
+    pub num_layers: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// FFN expansion factor (MLP intermediate = `ffn_mult * hidden`).
+    pub ffn_mult: usize,
+    /// GPUs the paper assigns this model (Table 1 `#GPUs` column).
+    pub default_gpus: usize,
+    /// Bytes per parameter/activation element (fp16 = 2).
+    pub dtype_bytes: usize,
+}
+
+impl ModelConfig {
+    /// GPT3-2.7B: 32 layers, hidden 2560, 32 heads, 2 GPUs (Table 1).
+    pub fn gpt3_2_7b() -> Self {
+        Self {
+            name: "GPT3-2.7B".into(),
+            num_layers: 32,
+            hidden: 2560,
+            num_heads: 32,
+            vocab: 50_257,
+            ffn_mult: 4,
+            default_gpus: 2,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// LLaMA2-7B: 32 layers, hidden 4096, 32 heads, 4 GPUs (Table 1).
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "LLaMA2-7B".into(),
+            num_layers: 32,
+            hidden: 4096,
+            num_heads: 32,
+            vocab: 32_000,
+            ffn_mult: 4,
+            default_gpus: 4,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// LLaMA2-13B: 40 layers, hidden 5120, 40 heads, 8 GPUs (Table 1).
+    pub fn llama2_13b() -> Self {
+        Self {
+            name: "LLaMA2-13B".into(),
+            num_layers: 40,
+            hidden: 5120,
+            num_heads: 40,
+            vocab: 32_000,
+            ffn_mult: 4,
+            default_gpus: 8,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// OPT-30B: 48 layers, hidden 7168, 56 heads, 16 GPUs (Table 1).
+    pub fn opt_30b() -> Self {
+        Self {
+            name: "OPT-30B".into(),
+            num_layers: 48,
+            hidden: 7168,
+            num_heads: 56,
+            vocab: 50_272,
+            ffn_mult: 4,
+            default_gpus: 16,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// All four Table 1 configurations.
+    pub fn table1() -> Vec<Self> {
+        vec![Self::gpt3_2_7b(), Self::llama2_7b(), Self::llama2_13b(), Self::opt_30b()]
+    }
+
+    /// A tiny config for real (CPU) training in tests and the convergence
+    /// experiments.
+    pub fn tiny(num_layers: usize, hidden: usize, num_heads: usize, vocab: usize) -> Self {
+        Self {
+            name: format!("tiny-{num_layers}L-{hidden}H"),
+            num_layers,
+            hidden,
+            num_heads,
+            vocab,
+            ffn_mult: 4,
+            default_gpus: 1,
+            dtype_bytes: 4,
+        }
+    }
+
+    /// Returns a copy truncated to `n` layers, as the paper does for its
+    /// motivation experiments ("8-layer models", "16-layer LLaMA7B").
+    pub fn with_layers(&self, n: usize) -> Self {
+        let mut c = self.clone();
+        c.num_layers = n;
+        c.name = format!("{}-{}L", self.name, n);
+        c
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.num_heads, 0, "hidden not divisible by heads");
+        self.hidden / self.num_heads
+    }
+
+    /// MLP intermediate dimension.
+    pub fn ffn_hidden(&self) -> usize {
+        self.ffn_mult * self.hidden
+    }
+
+    /// Parameter count of one decoder layer (QKV + out-proj + MLP + two
+    /// layernorms, biases included).
+    pub fn layer_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let f = self.ffn_hidden() as u64;
+        let qkv = h * 3 * h + 3 * h;
+        let out = h * h + h;
+        let mlp = h * f + f + f * h + h;
+        let ln = 2 * (2 * h);
+        qkv + out + mlp + ln
+    }
+
+    /// Total backbone parameters (layers + embeddings + final LN; the LM
+    /// head is tied to the embedding).
+    pub fn total_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        self.num_layers as u64 * self.layer_params() + self.vocab as u64 * h + 2 * h
+    }
+
+    /// Backbone parameter bytes at the configured dtype.
+    pub fn param_bytes(&self) -> u64 {
+        self.total_params() * self.dtype_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = ModelConfig::table1();
+        assert_eq!(t.len(), 4);
+        let gpt = &t[0];
+        assert_eq!((gpt.num_layers, gpt.hidden, gpt.num_heads, gpt.default_gpus), (32, 2560, 32, 2));
+        let l7 = &t[1];
+        assert_eq!((l7.num_layers, l7.hidden, l7.num_heads, l7.default_gpus), (32, 4096, 32, 4));
+        let l13 = &t[2];
+        assert_eq!((l13.num_layers, l13.hidden, l13.num_heads, l13.default_gpus), (40, 5120, 40, 8));
+        let opt = &t[3];
+        assert_eq!((opt.num_layers, opt.hidden, opt.num_heads, opt.default_gpus), (48, 7168, 56, 16));
+    }
+
+    #[test]
+    fn llama7b_param_count_is_about_7b() {
+        let p = ModelConfig::llama2_7b().total_params();
+        // Our uniform 4x-GeLU MLP approximates LLaMA's gated MLP; the count
+        // should land in the 6–8 B range.
+        assert!(p > 6_000_000_000 && p < 8_500_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn gpt27b_param_count_is_about_2_7b() {
+        let p = ModelConfig::gpt3_2_7b().total_params();
+        assert!(p > 2_300_000_000 && p < 3_200_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn backbone_bytes_match_paper_footprints() {
+        // §2.3: LoRA LLaMA7B backbone parameters consume 13.4 GB (fp16);
+        // §5.3: GPT2.7B backbone consumes 5.2 GB.
+        let l7 = ModelConfig::llama2_7b().param_bytes() as f64 / 1e9;
+        assert!((l7 - 13.4).abs() < 1.5, "LLaMA7B backbone GB = {l7}");
+        let gpt = ModelConfig::gpt3_2_7b().param_bytes() as f64 / 1e9;
+        assert!((gpt - 5.2).abs() < 1.0, "GPT2.7B backbone GB = {gpt}");
+    }
+
+    #[test]
+    fn with_layers_truncates() {
+        let c = ModelConfig::llama2_7b().with_layers(8);
+        assert_eq!(c.num_layers, 8);
+        assert_eq!(c.hidden, 4096);
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        for c in ModelConfig::table1() {
+            assert_eq!(c.head_dim() * c.num_heads, c.hidden);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Decoder-layer and stage graph builders.
+//!
+//! Builds the Megatron-style sharded operator DAG for a range of decoder
+//! layers at a given tensor-parallel degree: QKV/MLP-up are column-parallel,
+//! out-proj/MLP-down are row-parallel, so each transformer sub-block ends in
+//! one all-reduce when `tp > 1` (forward *and* backward).
+
+use crate::config::ModelConfig;
+use crate::graph::OpGraph;
+use crate::ops::{OpCostSpec, OpKind, OpTemplate};
+
+/// Backbone owner tag on op nodes.
+pub const BACKBONE_TAG: u32 = 0;
+
+/// Builds the per-GPU operator DAG for one decoder layer and appends it to
+/// `g`, chained after `input` (if any). Returns the id of the layer's final
+/// node.
+///
+/// The same builder serves forward and backward: operator *costs* are
+/// pass-dependent (queried with [`Pass`] later), while the structure —
+/// including all-reduce placement — mirrors between passes, which is what
+/// the stall analysis needs.
+pub fn build_decoder_layer(
+    g: &mut OpGraph,
+    cfg: &ModelConfig,
+    tp: usize,
+    layer_idx: usize,
+    input: Option<usize>,
+) -> usize {
+    assert!(tp >= 1, "tp degree must be >= 1");
+    assert_eq!(cfg.num_heads % tp, 0, "heads {} not divisible by tp {tp}", cfg.num_heads);
+    let h = cfg.hidden;
+    let f = cfg.ffn_hidden();
+    let heads = cfg.num_heads / tp;
+    let hd = cfg.head_dim();
+    let d = cfg.dtype_bytes;
+    let p = |s: &str| format!("layer{layer_idx}.{s}");
+    let dep = |v: Option<usize>| v.map(|x| vec![x]).unwrap_or_default();
+
+    let ln1 = g.add(
+        OpTemplate::new(
+            OpKind::LayerNorm,
+            p("ln1"),
+            OpCostSpec::Elementwise { width: h, accesses: 2, flops_per_elem: 8.0, dtype: d },
+        ),
+        dep(input),
+        BACKBONE_TAG,
+    );
+    let qkv = g.add(
+        OpTemplate::new(
+            OpKind::QkvProj,
+            p("qkv_proj"),
+            OpCostSpec::Gemm { k: h, n: 3 * h / tp, dtype: d },
+        ),
+        vec![ln1],
+        BACKBONE_TAG,
+    );
+    let score = g.add(
+        OpTemplate::new(
+            OpKind::AttnScore,
+            p("attn_score"),
+            OpCostSpec::AttnMatmul { heads, head_dim: hd, dtype: d },
+        ),
+        vec![qkv],
+        BACKBONE_TAG,
+    );
+    let smax = g.add(
+        OpTemplate::new(
+            OpKind::AttnSoftmax,
+            p("attn_softmax"),
+            OpCostSpec::AttnSoftmax { heads, dtype: d },
+        ),
+        vec![score],
+        BACKBONE_TAG,
+    );
+    let ctx = g.add(
+        OpTemplate::new(
+            OpKind::AttnContext,
+            p("attn_context"),
+            OpCostSpec::AttnMatmul { heads, head_dim: hd, dtype: d },
+        ),
+        vec![smax],
+        BACKBONE_TAG,
+    );
+    let out = g.add(
+        OpTemplate::new(
+            OpKind::OutProj,
+            p("out_proj"),
+            OpCostSpec::Gemm { k: h / tp, n: h, dtype: d },
+        ),
+        vec![ctx],
+        BACKBONE_TAG,
+    );
+    let mut attn_end = out;
+    if tp > 1 {
+        attn_end = g.add(
+            OpTemplate::new(
+                OpKind::AllReduce,
+                p("attn_allreduce"),
+                OpCostSpec::Collective { width: h, dtype: d },
+            ),
+            vec![out],
+            BACKBONE_TAG,
+        );
+    }
+    let mut res1_deps = vec![attn_end];
+    if let Some(i) = input {
+        res1_deps.push(i);
+        res1_deps.sort_unstable();
+    }
+    let res1 = g.add(
+        OpTemplate::new(
+            OpKind::Residual,
+            p("residual1"),
+            OpCostSpec::Elementwise { width: h, accesses: 3, flops_per_elem: 1.0, dtype: d },
+        ),
+        res1_deps,
+        BACKBONE_TAG,
+    );
+    let ln2 = g.add(
+        OpTemplate::new(
+            OpKind::LayerNorm,
+            p("ln2"),
+            OpCostSpec::Elementwise { width: h, accesses: 2, flops_per_elem: 8.0, dtype: d },
+        ),
+        vec![res1],
+        BACKBONE_TAG,
+    );
+    let up = g.add(
+        OpTemplate::new(OpKind::MlpUp, p("mlp_up"), OpCostSpec::Gemm { k: h, n: f / tp, dtype: d }),
+        vec![ln2],
+        BACKBONE_TAG,
+    );
+    let gelu = g.add(
+        OpTemplate::new(
+            OpKind::Gelu,
+            p("gelu"),
+            OpCostSpec::Elementwise { width: f / tp, accesses: 2, flops_per_elem: 10.0, dtype: d },
+        ),
+        vec![up],
+        BACKBONE_TAG,
+    );
+    let down = g.add(
+        OpTemplate::new(
+            OpKind::MlpDown,
+            p("mlp_down"),
+            OpCostSpec::Gemm { k: f / tp, n: h, dtype: d },
+        ),
+        vec![gelu],
+        BACKBONE_TAG,
+    );
+    let mut mlp_end = down;
+    if tp > 1 {
+        mlp_end = g.add(
+            OpTemplate::new(
+                OpKind::AllReduce,
+                p("mlp_allreduce"),
+                OpCostSpec::Collective { width: h, dtype: d },
+            ),
+            vec![down],
+            BACKBONE_TAG,
+        );
+    }
+    g.add(
+        OpTemplate::new(
+            OpKind::Residual,
+            p("residual2"),
+            OpCostSpec::Elementwise { width: h, accesses: 3, flops_per_elem: 1.0, dtype: d },
+        ),
+        vec![res1, mlp_end],
+        BACKBONE_TAG,
+    )
+}
+
+/// Builds the operator DAG for a pipeline stage holding layers
+/// `[layer_start, layer_end)` at tensor-parallel degree `tp`.
+pub fn build_stage_graph(cfg: &ModelConfig, layer_start: usize, layer_end: usize, tp: usize) -> OpGraph {
+    assert!(layer_end <= cfg.num_layers, "stage exceeds model layers");
+    let mut g = OpGraph::new();
+    let mut prev = None;
+    for l in layer_start..layer_end {
+        prev = Some(build_decoder_layer(&mut g, cfg, tp, l, prev));
+    }
+    g
+}
+
+/// Per-GPU forward FLOPs of one decoder layer for `tokens` tokens at
+/// sequence length `seq_len` (analytic shortcut used by cost-model sanity
+/// checks).
+pub fn layer_forward_flops(cfg: &ModelConfig, tp: usize, tokens: usize, seq_len: usize) -> f64 {
+    let h = cfg.hidden as f64;
+    let f = cfg.ffn_hidden() as f64;
+    let t = tokens as f64;
+    let qkv = 2.0 * t * h * (3.0 * h / tp as f64);
+    let out = 2.0 * t * (h / tp as f64) * h;
+    let up = 2.0 * t * h * (f / tp as f64);
+    let down = 2.0 * t * (f / tp as f64) * h;
+    let attn = 2.0 * 2.0 * t * seq_len as f64 * (h / tp as f64);
+    qkv + out + up + down + attn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Pass, TokenShape};
+
+    #[test]
+    fn single_gpu_layer_has_no_collectives() {
+        let cfg = ModelConfig::tiny(1, 64, 4, 100);
+        let g = build_stage_graph(&cfg, 0, 1, 1);
+        assert!(g.nodes().iter().all(|n| !n.template.kind.is_comm()));
+    }
+
+    #[test]
+    fn tp_layer_has_two_allreduces() {
+        let cfg = ModelConfig::llama2_7b();
+        let g = build_stage_graph(&cfg, 0, 1, 4);
+        let ars = g.nodes().iter().filter(|n| n.template.kind == OpKind::AllReduce).count();
+        assert_eq!(ars, 2, "Megatron TP: one all-reduce after attention, one after MLP");
+    }
+
+    #[test]
+    fn stage_graph_chains_layers() {
+        let cfg = ModelConfig::tiny(3, 64, 4, 100);
+        let g = build_stage_graph(&cfg, 0, 3, 1);
+        // Each 1-GPU layer contributes 12 nodes.
+        assert_eq!(g.len(), 36);
+        // First node of layer 1 must depend on last node of layer 0.
+        assert!(g.node(12).deps.contains(&11));
+    }
+
+    #[test]
+    fn graph_flops_matches_analytic_formula() {
+        let cfg = ModelConfig::llama2_7b();
+        let g = build_stage_graph(&cfg, 0, 1, 4);
+        let sh = TokenShape::new(8, 128);
+        let graph_gemm_attn: f64 = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.template.kind,
+                    OpKind::QkvProj
+                        | OpKind::OutProj
+                        | OpKind::MlpUp
+                        | OpKind::MlpDown
+                        | OpKind::AttnScore
+                        | OpKind::AttnContext
+                )
+            })
+            .map(|n| n.template.cost.flops(sh, Pass::Forward))
+            .sum();
+        let analytic = layer_forward_flops(&cfg, 4, sh.tokens(), sh.seq_len);
+        let rel = (graph_gemm_attn - analytic).abs() / analytic;
+        assert!(rel < 1e-9, "graph {graph_gemm_attn} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn tp_shards_reduce_per_gpu_flops() {
+        let cfg = ModelConfig::llama2_7b();
+        let sh = TokenShape::new(8, 128);
+        let g1 = build_stage_graph(&cfg, 0, 1, 1);
+        let g4 = build_stage_graph(&cfg, 0, 1, 4);
+        let f1 = g1.total_flops(sh, Pass::Forward);
+        let f4 = g4.total_flops(sh, Pass::Forward);
+        assert!(f4 < f1 / 3.0, "4-way TP should cut per-GPU flops ~4x: {f1} -> {f4}");
+    }
+
+    #[test]
+    fn base_ops_present_per_layer() {
+        let cfg = ModelConfig::tiny(2, 64, 4, 100);
+        let g = build_stage_graph(&cfg, 0, 2, 1);
+        let base = g.nodes().iter().filter(|n| n.template.kind.is_base_op()).count();
+        assert_eq!(base, 8, "4 BaseOps (qkv, out, mlp_up, mlp_down) per layer");
+    }
+
+    #[test]
+    fn residual_depends_on_block_input_and_branch() {
+        let cfg = ModelConfig::tiny(2, 64, 4, 100);
+        let g = build_stage_graph(&cfg, 0, 2, 1);
+        // Node 6 is residual1 of layer 0 (no input): depends only on out_proj.
+        // Layer 1's residual1 (id 12+6=18) depends on both the attention
+        // branch and the layer input.
+        let res1_l1 = g.node(18);
+        assert_eq!(res1_l1.template.kind, OpKind::Residual);
+        assert_eq!(res1_l1.deps.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # mux-model
+//!
+//! Analytic transformer backbone descriptions: Table 1 model configurations,
+//! Megatron-sharded operator DAGs, and exact FLOP / byte / memory / MFU
+//! accounting. The scheduler and simulator consume these descriptions; no
+//! weights are ever materialized at this layer.
+
+pub mod config;
+pub mod graph;
+pub mod layer;
+pub mod memory;
+pub mod mfu;
+pub mod ops;
+
+pub use config::ModelConfig;
+pub use graph::{OpGraph, OpNode};
+pub use ops::{OpCostSpec, OpKind, OpTemplate, Pass, TokenShape};

@@ -1,0 +1,88 @@
+//! Model-FLOPs-Utilization (MFU) accounting.
+//!
+//! MFU divides the *model* FLOPs actually required per token by the
+//! hardware's peak — it charges nothing for padding, stalls, or re-computed
+//! work, so it is the end-to-end efficiency metric of the paper (§2.2).
+
+use crate::config::ModelConfig;
+use crate::layer::layer_forward_flops;
+
+/// Training regime for FLOP accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMode {
+    /// PEFT: forward + input-gradient backward (≈ 2× forward) — the
+    /// weight-gradient GEMMs are absent (§2.2).
+    Peft,
+    /// Pretraining: forward + full backward (≈ 3× forward).
+    Pretrain,
+}
+
+/// Forward model FLOPs per token for the whole (unsharded) model at a given
+/// sequence length, including the LM head.
+pub fn forward_flops_per_token(cfg: &ModelConfig, seq_len: usize) -> f64 {
+    let per_layer = layer_forward_flops(cfg, 1, 1, seq_len);
+    let lm_head = 2.0 * cfg.hidden as f64 * cfg.vocab as f64;
+    cfg.num_layers as f64 * per_layer + lm_head
+}
+
+/// Training model FLOPs per token.
+pub fn train_flops_per_token(cfg: &ModelConfig, seq_len: usize, mode: TrainMode) -> f64 {
+    let fwd = forward_flops_per_token(cfg, seq_len);
+    match mode {
+        TrainMode::Peft => 2.0 * fwd,
+        TrainMode::Pretrain => 3.0 * fwd,
+    }
+}
+
+/// MFU given an achieved token rate and the aggregate peak FLOP/s of all
+/// devices serving the model.
+pub fn mfu(
+    cfg: &ModelConfig,
+    seq_len: usize,
+    mode: TrainMode,
+    tokens_per_sec: f64,
+    total_peak_flops: f64,
+) -> f64 {
+    assert!(total_peak_flops > 0.0, "peak flops must be positive");
+    train_flops_per_token(cfg, seq_len, mode) * tokens_per_sec / total_peak_flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peft_needs_two_thirds_of_pretrain_flops() {
+        let cfg = ModelConfig::llama2_7b();
+        let p = train_flops_per_token(&cfg, 128, TrainMode::Peft);
+        let f = train_flops_per_token(&cfg, 128, TrainMode::Pretrain);
+        assert!((p / f - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llama7b_forward_flops_are_about_2n() {
+        // Rule of thumb: forward ≈ 2 × params FLOPs per token at short seq.
+        let cfg = ModelConfig::llama2_7b();
+        let fwd = forward_flops_per_token(&cfg, 128);
+        let two_n = 2.0 * cfg.total_params() as f64;
+        let ratio = fwd / two_n;
+        assert!(ratio > 0.8 && ratio < 1.2, "fwd/2N = {ratio}");
+    }
+
+    #[test]
+    fn mfu_is_linear_in_throughput() {
+        let cfg = ModelConfig::gpt3_2_7b();
+        let m1 = mfu(&cfg, 128, TrainMode::Peft, 1000.0, 1e15);
+        let m2 = mfu(&cfg, 128, TrainMode::Peft, 2000.0, 1e15);
+        assert!((m2 / m1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mfu_is_bounded_sanity() {
+        // A40-class GPU (~37 TFLOP/s bf16) at a plausible PEFT token rate
+        // should give an MFU strictly inside (0, 1).
+        let cfg = ModelConfig::llama2_7b();
+        let m = mfu(&cfg, 128, TrainMode::Peft, 400.0, 4.0 * 37.4e12);
+        assert!(m > 0.0 && m < 1.0, "mfu = {m}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Operator descriptions with analytic FLOP / byte / communication costs.
+//!
+//! Every performance experiment reduces to "how long does operator *o* take
+//! with *x* tokens on GPU *g*" (paper Eq. 3's `t_o(x)`), so operators carry
+//! exact arithmetic for their work as a function of the token shape; the
+//! latency model itself lives in `mux-gpu-sim`.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one micro-batch flowing through an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenShape {
+    /// Number of sequences in the micro-batch.
+    pub seqs: usize,
+    /// Tokens per sequence (after padding/chunking, all equal).
+    pub seq_len: usize,
+}
+
+impl TokenShape {
+    /// Creates a shape.
+    pub fn new(seqs: usize, seq_len: usize) -> Self {
+        Self { seqs, seq_len }
+    }
+
+    /// Total tokens.
+    pub fn tokens(&self) -> usize {
+        self.seqs * self.seq_len
+    }
+}
+
+/// Which training pass an operator instance belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Forward pass.
+    Forward,
+    /// Backward pass computing input gradients only (PEFT: backbone weights
+    /// are frozen, so no weight-gradient GEMMs — §2.2).
+    BackwardInputOnly,
+    /// Full backward pass (input + weight gradients), as in pretraining.
+    BackwardFull,
+}
+
+/// Classes of operators appearing in backbone and adapter graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Pre-attention / pre-MLP layer normalization.
+    LayerNorm,
+    /// Fused QKV projection (a `BaseOp`: adapters may attach).
+    QkvProj,
+    /// Attention scores `Q K^T` (never a `BaseOp` — paper §3.2).
+    AttnScore,
+    /// Attention softmax.
+    AttnSoftmax,
+    /// Attention context `scores · V`.
+    AttnContext,
+    /// Attention output projection (a `BaseOp`).
+    OutProj,
+    /// MLP up-projection (a `BaseOp`).
+    MlpUp,
+    /// GeLU activation.
+    Gelu,
+    /// MLP down-projection (a `BaseOp`).
+    MlpDown,
+    /// Residual add.
+    Residual,
+    /// Token + position embedding lookup.
+    Embedding,
+    /// Final LM head projection.
+    LmHead,
+    /// Adapter-side small GEMM (e.g. LoRA down/up projection).
+    AdapterGemm,
+    /// Adapter-side elementwise work (masks, scaling, vector adds).
+    AdapterElementwise,
+    /// Tensor-parallel all-reduce.
+    AllReduce,
+    /// Tensor-parallel all-gather.
+    AllGather,
+    /// Pipeline point-to-point activation/gradient transfer.
+    P2p,
+    /// Optimizer step over adapter parameters.
+    OptimizerStep,
+}
+
+impl OpKind {
+    /// Whether this kind is a communication operator.
+    pub fn is_comm(&self) -> bool {
+        matches!(self, OpKind::AllReduce | OpKind::AllGather | OpKind::P2p)
+    }
+
+    /// Whether adapters may attach here (paper §3.2: QKV and linear
+    /// projections are `BaseOp`s; attention internals are excluded).
+    pub fn is_base_op(&self) -> bool {
+        matches!(self, OpKind::QkvProj | OpKind::OutProj | OpKind::MlpUp | OpKind::MlpDown)
+    }
+
+    /// Whether this kind belongs to an adapter rather than the backbone.
+    pub fn is_adapter(&self) -> bool {
+        matches!(self, OpKind::AdapterGemm | OpKind::AdapterElementwise)
+    }
+}
+
+/// Analytic cost description of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpCostSpec {
+    /// Dense GEMM `[tokens, k] x [k, n]`.
+    Gemm {
+        /// Inner dimension.
+        k: usize,
+        /// Output dimension.
+        n: usize,
+        /// Bytes per element.
+        dtype: usize,
+    },
+    /// Per-head `Q K^T` or `scores · V`: FLOPs scale with `tokens * seq_len`.
+    AttnMatmul {
+        /// Attention heads on this shard.
+        heads: usize,
+        /// Per-head dimension.
+        head_dim: usize,
+        /// Bytes per element.
+        dtype: usize,
+    },
+    /// Softmax over `[heads, seq, seq]` scores — bandwidth-bound.
+    AttnSoftmax {
+        /// Attention heads on this shard.
+        heads: usize,
+        /// Bytes per element.
+        dtype: usize,
+    },
+    /// Bandwidth-bound elementwise op over `width` features per token.
+    Elementwise {
+        /// Features per token.
+        width: usize,
+        /// Reads + writes per element (e.g. 3 for `out = a + b`).
+        accesses: usize,
+        /// FLOPs per element (≥ 0; layernorm ≈ 8, GeLU ≈ 10, add = 1).
+        flops_per_elem: f64,
+        /// Bytes per element.
+        dtype: usize,
+    },
+    /// Collective over a per-token payload of `width` features.
+    Collective {
+        /// Features per token.
+        width: usize,
+        /// Bytes per element.
+        dtype: usize,
+    },
+    /// Fixed-size work independent of the token shape (e.g. adapter
+    /// optimizer steps over `elems` parameters).
+    Fixed {
+        /// FLOPs per invocation.
+        flops: f64,
+        /// Bytes per invocation.
+        bytes: f64,
+    },
+}
+
+impl OpCostSpec {
+    /// Compute FLOPs for the given token shape and pass.
+    ///
+    /// GEMMs cost `2·tokens·k·n` forward; the input-only backward costs the
+    /// same (one GEMM against the transposed weight), while the full
+    /// backward doubles it (input + weight gradients). Attention matmuls
+    /// have no weights: their backward always costs 2× forward.
+    pub fn flops(&self, shape: TokenShape, pass: Pass) -> f64 {
+        let t = shape.tokens() as f64;
+        match self {
+            OpCostSpec::Gemm { k, n, .. } => {
+                let fwd = 2.0 * t * (*k as f64) * (*n as f64);
+                match pass {
+                    Pass::Forward | Pass::BackwardInputOnly => fwd,
+                    Pass::BackwardFull => 2.0 * fwd,
+                }
+            }
+            OpCostSpec::AttnMatmul { heads, head_dim, .. } => {
+                let fwd = 2.0 * t * shape.seq_len as f64 * (*heads * *head_dim) as f64;
+                match pass {
+                    Pass::Forward => fwd,
+                    Pass::BackwardInputOnly | Pass::BackwardFull => 2.0 * fwd,
+                }
+            }
+            OpCostSpec::AttnSoftmax { heads, .. } => {
+                // ~5 flops per score element, scores are [seqs, heads, s, s].
+                5.0 * shape.seqs as f64
+                    * (*heads as f64)
+                    * (shape.seq_len * shape.seq_len) as f64
+            }
+            OpCostSpec::Elementwise { width, flops_per_elem, .. } => {
+                t * (*width as f64) * flops_per_elem
+            }
+            OpCostSpec::Collective { .. } => 0.0,
+            OpCostSpec::Fixed { flops, .. } => *flops,
+        }
+    }
+
+    /// Memory traffic in bytes for the given token shape and pass.
+    pub fn bytes(&self, shape: TokenShape, pass: Pass) -> f64 {
+        let t = shape.tokens() as f64;
+        let mult = match pass {
+            Pass::Forward | Pass::BackwardInputOnly => 1.0,
+            Pass::BackwardFull => 2.0,
+        };
+        match self {
+            OpCostSpec::Gemm { k, n, dtype } => {
+                let d = *dtype as f64;
+                mult * d * (t * *k as f64 + (*k * *n) as f64 + t * *n as f64)
+            }
+            OpCostSpec::AttnMatmul { heads, head_dim, dtype } => {
+                let d = *dtype as f64;
+                let scores = shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
+                mult * d * (2.0 * t * (*heads * *head_dim) as f64 + scores)
+            }
+            OpCostSpec::AttnSoftmax { heads, dtype } => {
+                let scores = shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
+                2.0 * scores * *dtype as f64
+            }
+            OpCostSpec::Elementwise { width, accesses, dtype, .. } => {
+                t * (*width as f64) * (*accesses as f64) * (*dtype as f64)
+            }
+            OpCostSpec::Collective { width, dtype } => t * (*width as f64) * (*dtype as f64),
+            OpCostSpec::Fixed { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Payload bytes transferred for communication operators (0 otherwise).
+    pub fn comm_bytes(&self, shape: TokenShape) -> f64 {
+        match self {
+            OpCostSpec::Collective { width, dtype } => {
+                shape.tokens() as f64 * (*width as f64) * (*dtype as f64)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// A fully-described operator instance template: what it is, what it costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTemplate {
+    /// Operator class.
+    pub kind: OpKind,
+    /// Stable name, e.g. `"layer3.qkv_proj"`.
+    pub name: String,
+    /// Cost description.
+    pub cost: OpCostSpec,
+}
+
+impl OpTemplate {
+    /// Creates a template.
+    pub fn new(kind: OpKind, name: impl Into<String>, cost: OpCostSpec) -> Self {
+        Self { kind, name: name.into(), cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP16: usize = 2;
+
+    #[test]
+    fn gemm_flops_formula() {
+        let g = OpCostSpec::Gemm { k: 4096, n: 4096, dtype: FP16 };
+        let sh = TokenShape::new(8, 128);
+        assert_eq!(g.flops(sh, Pass::Forward), 2.0 * 1024.0 * 4096.0 * 4096.0);
+    }
+
+    #[test]
+    fn peft_backward_gemm_is_half_of_full() {
+        let g = OpCostSpec::Gemm { k: 1024, n: 1024, dtype: FP16 };
+        let sh = TokenShape::new(4, 64);
+        let peft = g.flops(sh, Pass::BackwardInputOnly);
+        let full = g.flops(sh, Pass::BackwardFull);
+        assert_eq!(full, 2.0 * peft, "PEFT omits the weight-gradient GEMM");
+        assert_eq!(peft, g.flops(sh, Pass::Forward));
+    }
+
+    #[test]
+    fn attention_backward_is_double_even_in_peft() {
+        let a = OpCostSpec::AttnMatmul { heads: 8, head_dim: 64, dtype: FP16 };
+        let sh = TokenShape::new(2, 128);
+        assert_eq!(a.flops(sh, Pass::BackwardInputOnly), 2.0 * a.flops(sh, Pass::Forward));
+    }
+
+    #[test]
+    fn attention_flops_quadratic_in_seq_len() {
+        let a = OpCostSpec::AttnMatmul { heads: 8, head_dim: 64, dtype: FP16 };
+        let short = a.flops(TokenShape::new(1, 64), Pass::Forward);
+        let long = a.flops(TokenShape::new(1, 128), Pass::Forward);
+        // Same seqs, 2x seq_len: tokens double AND seq factor doubles -> 4x.
+        assert_eq!(long, 4.0 * short);
+    }
+
+    #[test]
+    fn lora_down_projection_is_tiny_vs_backbone_gemm() {
+        // §2.2: LoRA rank (<= 64) is 64x smaller than LLaMA7B hidden 4096.
+        let sh = TokenShape::new(8, 128);
+        let backbone = OpCostSpec::Gemm { k: 4096, n: 4096, dtype: FP16 };
+        let lora_down = OpCostSpec::Gemm { k: 4096, n: 64, dtype: FP16 };
+        let ratio = backbone.flops(sh, Pass::Forward) / lora_down.flops(sh, Pass::Forward);
+        assert_eq!(ratio, 64.0);
+    }
+
+    #[test]
+    fn collective_has_no_flops_but_has_payload() {
+        let c = OpCostSpec::Collective { width: 4096, dtype: FP16 };
+        let sh = TokenShape::new(8, 128);
+        assert_eq!(c.flops(sh, Pass::Forward), 0.0);
+        assert_eq!(c.comm_bytes(sh), 1024.0 * 4096.0 * 2.0);
+    }
+
+    #[test]
+    fn base_op_classification_matches_paper() {
+        assert!(OpKind::QkvProj.is_base_op());
+        assert!(OpKind::OutProj.is_base_op());
+        assert!(OpKind::MlpUp.is_base_op());
+        assert!(OpKind::MlpDown.is_base_op());
+        // "Attention is excluded" (§3.2).
+        assert!(!OpKind::AttnScore.is_base_op());
+        assert!(!OpKind::AttnSoftmax.is_base_op());
+        assert!(!OpKind::AttnContext.is_base_op());
+        assert!(!OpKind::AllReduce.is_base_op());
+    }
+
+    #[test]
+    fn comm_kinds() {
+        assert!(OpKind::AllReduce.is_comm());
+        assert!(OpKind::P2p.is_comm());
+        assert!(!OpKind::QkvProj.is_comm());
+    }
+}

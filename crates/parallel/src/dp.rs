@@ -1,0 +1,60 @@
+//! Data-parallel gradient synchronization.
+//!
+//! PEFT data parallelism only synchronizes *adapter* gradients — the frozen
+//! backbone has none — so the volume is tiny compared to pretraining DDP.
+//! The paper's workloads rarely need DP ("no large data parallelism is
+//! needed", §5.1); these helpers exist for the scale-out experiments.
+
+use mux_gpu_sim::spec::CommCtaPolicy;
+use mux_gpu_sim::timeline::{CollectiveKind, OpHandle, Timeline};
+
+/// Issues the per-step adapter-gradient all-reduce across `replica_devices`
+/// (one representative device per replica) and returns its handle.
+pub fn sync_adapter_grads(
+    tl: &mut Timeline<'_>,
+    replica_devices: &[usize],
+    adapter_params: u64,
+    grad_dtype_bytes: u64,
+    deps: &[OpHandle],
+) -> OpHandle {
+    let bytes = (adapter_params * grad_dtype_bytes) as f64;
+    tl.collective(
+        replica_devices,
+        CollectiveKind::AllReduce,
+        bytes,
+        deps,
+        CommCtaPolicy::sequential(),
+        true,
+        "dp-adapter-grad-allreduce",
+    )
+}
+
+/// Bytes a pretraining DDP step would move for the same backbone — used to
+/// quantify how much cheaper PEFT DP sync is.
+pub fn pretrain_sync_bytes(backbone_params: u64, grad_dtype_bytes: u64) -> u64 {
+    backbone_params * grad_dtype_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
+    use mux_gpu_sim::timeline::Cluster;
+
+    #[test]
+    fn adapter_sync_is_orders_of_magnitude_cheaper_than_ddp() {
+        let adapter = 8_000_000u64; // LoRA r=16 on LLaMA7B scale
+        let backbone = 6_700_000_000u64;
+        assert!(pretrain_sync_bytes(backbone, 2) > adapter * 2 * 100);
+    }
+
+    #[test]
+    fn sync_takes_time_proportional_to_params() {
+        let cluster = Cluster::single_node(GpuSpec::a40(), 2, LinkSpec::nvlink_a40());
+        let mut t1 = Timeline::new(&cluster);
+        sync_adapter_grads(&mut t1, &[0, 1], 1_000_000, 2, &[]);
+        let mut t2 = Timeline::new(&cluster);
+        sync_adapter_grads(&mut t2, &[0, 1], 10_000_000, 2, &[]);
+        assert!(t2.finish_time() > t1.finish_time() * 3.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hybrid parallelism plans and stage partitioning.
+
+use mux_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// A hybrid parallelism configuration over `tp * pp * dp` GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridParallelism {
+    /// Tensor-parallel degree (intra-stage).
+    pub tp: usize,
+    /// Pipeline stages (inter-stage).
+    pub pp: usize,
+    /// Data-parallel replicas.
+    pub dp: usize,
+}
+
+impl HybridParallelism {
+    /// A single-GPU plan.
+    pub fn single() -> Self {
+        Self { tp: 1, pp: 1, dp: 1 }
+    }
+
+    /// Pure tensor parallelism over `n` GPUs.
+    pub fn tensor(n: usize) -> Self {
+        Self { tp: n, pp: 1, dp: 1 }
+    }
+
+    /// Pure pipeline parallelism over `n` stages.
+    pub fn pipeline(n: usize) -> Self {
+        Self { tp: 1, pp: n, dp: 1 }
+    }
+
+    /// Total GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.tp * self.pp * self.dp
+    }
+
+    /// GPU ids of pipeline stage `s` for data-parallel replica `r`
+    /// (contiguous layout: replica-major, then stage, then TP rank — TP
+    /// groups stay within a node when `tp <= gpus_per_node`).
+    pub fn stage_devices(&self, replica: usize, stage: usize) -> Vec<usize> {
+        assert!(stage < self.pp, "stage {stage} out of range");
+        assert!(replica < self.dp, "replica {replica} out of range");
+        let base = replica * self.pp * self.tp + stage * self.tp;
+        (base..base + self.tp).collect()
+    }
+
+    /// All plans with `tp * pp = n` and `dp = 1` whose TP group fits inside
+    /// one node — the §5.1 grid-search space.
+    pub fn search_space(n: usize, gpus_per_node: usize) -> Vec<Self> {
+        let mut out = Vec::new();
+        let mut tp = 1;
+        while tp <= n {
+            if n.is_multiple_of(tp) && tp <= gpus_per_node {
+                out.push(Self { tp, pp: n / tp, dp: 1 });
+            }
+            tp *= 2;
+        }
+        out
+    }
+}
+
+/// Splits `num_layers` into `pp` contiguous stages as evenly as possible
+/// (earlier stages take the remainder).
+pub fn stage_layers(num_layers: usize, pp: usize) -> Vec<(usize, usize)> {
+    assert!(pp >= 1 && pp <= num_layers, "cannot split {num_layers} layers into {pp} stages");
+    let base = num_layers / pp;
+    let rem = num_layers % pp;
+    let mut out = Vec::with_capacity(pp);
+    let mut start = 0;
+    for s in 0..pp {
+        let len = base + usize::from(s < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Stage boundaries for a specific model.
+pub fn stage_layers_for(cfg: &ModelConfig, pp: usize) -> Vec<(usize, usize)> {
+    stage_layers(cfg.num_layers, pp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_devices_are_contiguous_and_disjoint() {
+        let p = HybridParallelism { tp: 2, pp: 4, dp: 1 };
+        let mut seen = Vec::new();
+        for s in 0..4 {
+            let d = p.stage_devices(0, s);
+            assert_eq!(d.len(), 2);
+            seen.extend(d);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn replicas_use_disjoint_gpus() {
+        let p = HybridParallelism { tp: 2, pp: 2, dp: 2 };
+        let a = p.stage_devices(0, 0);
+        let b = p.stage_devices(1, 0);
+        assert!(a.iter().all(|d| !b.contains(d)));
+        assert_eq!(p.num_gpus(), 8);
+    }
+
+    #[test]
+    fn stage_split_covers_all_layers() {
+        let s = stage_layers(32, 4);
+        assert_eq!(s, vec![(0, 8), (8, 16), (16, 24), (24, 32)]);
+        let s = stage_layers(10, 3);
+        assert_eq!(s, vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(s.iter().map(|(a, b)| b - a).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn search_space_respects_node_size() {
+        let plans = HybridParallelism::search_space(8, 4);
+        assert!(plans.contains(&HybridParallelism { tp: 1, pp: 8, dp: 1 }));
+        assert!(plans.contains(&HybridParallelism { tp: 4, pp: 2, dp: 1 }));
+        assert!(!plans.iter().any(|p| p.tp == 8), "tp=8 exceeds the 4-GPU node");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_stages_rejected() {
+        stage_layers(2, 3);
+    }
+}

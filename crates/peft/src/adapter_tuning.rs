@@ -1,0 +1,115 @@
+//! Executable Adapter-Tuning (additive PEFT, Houlsby-style bottleneck).
+
+use mux_tensor::graph::{Graph, Var};
+use mux_tensor::init::Initializer;
+use mux_tensor::tensor::Tensor;
+
+use crate::modules::AdapterModule;
+
+/// Bottleneck adapter: `delta = relu(y · D + bd) · U + bu`, reading the
+/// `BaseOp`'s *output* `y`. `U` starts at zero so the insertion is
+/// initially a no-op.
+pub struct BottleneckAdapter {
+    /// Down-projection `[width, bottleneck]`.
+    pub down: Tensor,
+    /// Down bias `[bottleneck]`.
+    pub down_bias: Tensor,
+    /// Up-projection `[bottleneck, width]`.
+    pub up: Tensor,
+    /// Up bias `[width]`.
+    pub up_bias: Tensor,
+    vars: Option<[Var; 4]>,
+}
+
+impl BottleneckAdapter {
+    /// Creates a bottleneck adapter over a `width`-dim block output.
+    pub fn new(init: &mut Initializer, width: usize, bottleneck: usize) -> Self {
+        Self {
+            down: init.kaiming(width, bottleneck),
+            down_bias: Tensor::zeros(vec![bottleneck]),
+            up: Tensor::zeros(vec![bottleneck, width]),
+            up_bias: Tensor::zeros(vec![width]),
+            vars: None,
+        }
+    }
+}
+
+impl AdapterModule for BottleneckAdapter {
+    fn register(&mut self, g: &mut Graph) {
+        self.vars = Some([
+            g.leaf(self.down.clone(), true),
+            g.leaf(self.down_bias.clone(), true),
+            g.leaf(self.up.clone(), true),
+            g.leaf(self.up_bias.clone(), true),
+        ]);
+    }
+
+    fn forward(&self, g: &mut Graph, _base_in: Var, base_out: Var) -> Var {
+        let [d, db, u, ub] = self.vars.expect("BottleneckAdapter::register before forward");
+        let h = g.matmul(base_out, d);
+        let h = g.add_bias(h, db);
+        let h = g.relu(h);
+        let h = g.matmul(h, u);
+        g.add_bias(h, ub)
+    }
+
+    fn apply_grads(&mut self, g: &Graph, lr: f32) {
+        let Some([d, db, u, ub]) = self.vars else { return };
+        let params: [(&mut Tensor, Var); 4] =
+            [(&mut self.down, d), (&mut self.down_bias, db), (&mut self.up, u), (&mut self.up_bias, ub)];
+        for (p, v) in params {
+            if let Some(gr) = g.grad(v) {
+                p.axpy(-lr, gr);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Tensor> {
+        vec![self.down.clone(), self.down_bias.clone(), self.up.clone(), self.up_bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_up_makes_identity_at_start() {
+        let mut init = Initializer::new(1);
+        let mut a = BottleneckAdapter::new(&mut init, 8, 2);
+        let mut g = Graph::new();
+        a.register(&mut g);
+        let x = g.leaf(Tensor::ones(vec![3, 8]), false);
+        let y = g.leaf(Tensor::ones(vec![3, 8]), false);
+        let delta = a.forward(&mut g, x, y);
+        assert!(g.value(delta).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn adapter_learns_a_constant_offset() {
+        let mut init = Initializer::new(2);
+        let mut a = BottleneckAdapter::new(&mut init, 4, 2);
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            a.register(&mut g);
+            let x = g.leaf(Tensor::ones(vec![2, 4]), false);
+            let y = g.leaf(Tensor::zeros(vec![2, 4]), false);
+            let delta = a.forward(&mut g, x, y);
+            let target = g.leaf(Tensor::full(vec![2, 4], 0.5), false);
+            let err = g.sub(delta, target);
+            let sq = g.mul_elem(err, err);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            a.apply_grads(&g, 0.3);
+        }
+        // Final delta should approximate 0.5 everywhere.
+        let mut g = Graph::new();
+        a.register(&mut g);
+        let x = g.leaf(Tensor::ones(vec![2, 4]), false);
+        let y = g.leaf(Tensor::zeros(vec![2, 4]), false);
+        let delta = a.forward(&mut g, x, y);
+        for v in g.value(delta).data() {
+            assert!((v - 0.5).abs() < 0.1, "delta {v}");
+        }
+    }
+}

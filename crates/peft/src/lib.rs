@@ -1,0 +1,32 @@
+//! # mux-peft
+//!
+//! PEFT modularization per the paper's §3.2: every PEFT algorithm is
+//! decomposed into *BaseOp / Adapter / Dispatch / Aggregate* sub-modules,
+//! enabling flexible multi-task backbone sharing.
+//!
+//! The crate has two halves:
+//!
+//! * **Descriptive** ([`types`], [`registry`]): task configurations, adapter
+//!   parameter/FLOP arithmetic, and dynamic multi-task operator-graph
+//!   construction — consumed by the scheduler and the simulator.
+//! * **Executable** ([`backbone`], [`modules`], [`lora`], [`adapter_tuning`],
+//!   [`diff_pruning`], [`trainer`], [`isolation`]): real training of tiny
+//!   transformers on `mux-tensor`, proving the Eq. 1–2 isolation and
+//!   convergence-consistency claims end to end.
+
+pub mod adapter_tuning;
+pub mod backbone;
+pub mod diff_pruning;
+pub mod isolation;
+pub mod lora;
+pub mod modules;
+pub mod prefix_tuning;
+pub mod registry;
+pub mod trainer;
+pub mod types;
+pub mod validation;
+
+pub use modules::{AdapterModule, AttachSite};
+pub use registry::{RegistryError, TaskRegistry};
+pub use types::{PeftTask, PeftType, TaskId};
+pub use validation::{validate_task, ValidationError};

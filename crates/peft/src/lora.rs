@@ -1,0 +1,109 @@
+//! Executable LoRA (reparameterized PEFT).
+
+use mux_tensor::graph::{Graph, Var};
+use mux_tensor::init::Initializer;
+use mux_tensor::tensor::Tensor;
+
+use crate::modules::AdapterModule;
+
+/// LoRA adapter: `delta = (x · A) · B · (alpha / r)`, with `A` Kaiming-
+/// initialized and `B` zero-initialized so the adapter starts as identity.
+pub struct LoraAdapter {
+    /// Down-projection `[in, r]`.
+    pub a: Tensor,
+    /// Up-projection `[r, out]`.
+    pub b: Tensor,
+    /// Scaling `alpha / r`.
+    pub scale: f32,
+    a_var: Option<Var>,
+    b_var: Option<Var>,
+}
+
+impl LoraAdapter {
+    /// Creates a rank-`r` LoRA adapter for a `[input, output]` BaseOp.
+    pub fn new(init: &mut Initializer, input: usize, output: usize, rank: usize, alpha: f32) -> Self {
+        Self {
+            a: init.kaiming(input, rank),
+            b: Tensor::zeros(vec![rank, output]),
+            scale: alpha / rank as f32,
+            a_var: None,
+            b_var: None,
+        }
+    }
+}
+
+impl AdapterModule for LoraAdapter {
+    fn register(&mut self, g: &mut Graph) {
+        self.a_var = Some(g.leaf(self.a.clone(), true));
+        self.b_var = Some(g.leaf(self.b.clone(), true));
+    }
+
+    fn forward(&self, g: &mut Graph, base_in: Var, _base_out: Var) -> Var {
+        let a = self.a_var.expect("LoraAdapter::register before forward");
+        let b = self.b_var.expect("LoraAdapter::register before forward");
+        let down = g.matmul(base_in, a);
+        let up = g.matmul(down, b);
+        g.scale(up, self.scale)
+    }
+
+    fn apply_grads(&mut self, g: &Graph, lr: f32) {
+        if let Some(ga) = self.a_var.and_then(|v| g.grad(v)) {
+            self.a.axpy(-lr, ga);
+        }
+        if let Some(gb) = self.b_var.and_then(|v| g.grad(v)) {
+            self.b.axpy(-lr, gb);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Tensor> {
+        vec![self.a.clone(), self.b.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_init_b_makes_identity_at_start() {
+        let mut init = Initializer::new(1);
+        let mut lora = LoraAdapter::new(&mut init, 8, 8, 2, 4.0);
+        let mut g = Graph::new();
+        lora.register(&mut g);
+        let x = g.leaf(Tensor::ones(vec![3, 8]), false);
+        let base = g.leaf(Tensor::ones(vec![3, 8]), false);
+        let delta = lora.forward(&mut g, x, base);
+        assert!(g.value(delta).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn training_moves_both_matrices() {
+        let mut init = Initializer::new(2);
+        let mut lora = LoraAdapter::new(&mut init, 4, 4, 2, 4.0);
+        // Two steps: the first only trains B (since delta grad flows
+        // through A's output which is nonzero, B's grad is nonzero; A's
+        // grad is zero while B is zero). The second trains both.
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            lora.register(&mut g);
+            let x = g.leaf(Tensor::ones(vec![2, 4]), false);
+            let base = g.leaf(Tensor::zeros(vec![2, 4]), false);
+            let delta = lora.forward(&mut g, x, base);
+            let target = g.leaf(Tensor::ones(vec![2, 4]), false);
+            let err = g.sub(delta, target);
+            let sq = g.mul_elem(err, err);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            lora.apply_grads(&g, 0.1);
+        }
+        assert!(lora.b.data().iter().any(|&v| v != 0.0), "B trained");
+        assert!(!lora.has_non_finite());
+    }
+
+    #[test]
+    fn scale_follows_alpha_over_rank() {
+        let mut init = Initializer::new(3);
+        let lora = LoraAdapter::new(&mut init, 4, 4, 2, 8.0);
+        assert_eq!(lora.scale, 4.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The executable PEFT sub-module abstraction (§3.2).
+//!
+//! The paper modularizes every PEFT algorithm into four sub-modules:
+//! *BaseOp* (a backbone operator adapters may attach to), *Adapter* (the
+//! algorithm), *Dispatch* (routing input tensors to base + adapter), and
+//! *Aggregate* (combining their outputs). Here that contract is a trait:
+//! an [`AdapterModule`] receives the `BaseOp`'s input and output (Dispatch)
+//! and returns a delta that the caller adds to the base output (Aggregate).
+//! Dispatch/Aggregate for *spatially batched* tasks — row slicing and
+//! concatenation — live in the trainer, mirroring Eq. 1–2.
+
+use mux_tensor::graph::{Graph, Var};
+use mux_tensor::tensor::Tensor;
+
+/// Sites on the tiny executable backbone where adapters may attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttachSite {
+    /// Query projection.
+    Q,
+    /// Key projection.
+    K,
+    /// Value projection.
+    V,
+    /// Attention output projection.
+    Out,
+    /// MLP up-projection.
+    MlpUp,
+    /// MLP down-projection.
+    MlpDown,
+}
+
+impl AttachSite {
+    /// All sites, in canonical order.
+    pub const ALL: [AttachSite; 6] =
+        [AttachSite::Q, AttachSite::K, AttachSite::V, AttachSite::Out, AttachSite::MlpUp, AttachSite::MlpDown];
+}
+
+/// A trainable adapter attached to one `BaseOp` of one task.
+pub trait AdapterModule {
+    /// Registers this step's parameter leaves on the tape.
+    fn register(&mut self, g: &mut Graph);
+
+    /// Computes the adapter delta for one `BaseOp` application.
+    ///
+    /// `base_in` is the `BaseOp`'s input (what LoRA and Diff-Pruning read),
+    /// `base_out` its output (what bottleneck adapters read). The returned
+    /// delta has `base_out`'s shape and is added to it by the caller.
+    fn forward(&self, g: &mut Graph, base_in: Var, base_out: Var) -> Var;
+
+    /// Applies this step's gradients with learning rate `lr` (plain SGD —
+    /// deterministic and sufficient for the isolation experiments).
+    fn apply_grads(&mut self, g: &Graph, lr: f32);
+
+    /// Snapshot of all trainable tensors (for trajectory comparison).
+    fn snapshot(&self) -> Vec<Tensor>;
+
+    /// Whether any parameter holds a non-finite value.
+    fn has_non_finite(&self) -> bool {
+        self.snapshot().iter().any(|t| t.has_non_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_sites_are_exhaustive_and_ordered() {
+        assert_eq!(AttachSite::ALL.len(), 6);
+        let mut sorted = AttachSite::ALL.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, AttachSite::ALL.to_vec());
+    }
+}

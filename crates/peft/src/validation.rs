@@ -1,0 +1,185 @@
+//! Task-configuration validation (§3.2: "MuxTune safely instantiates the
+//! LLM backbone and user-defined adapters, thereby preventing most runtime
+//! errors (e.g., semantic errors)").
+//!
+//! Validation happens at the API boundary, *before* a task reaches an
+//! in-flight instance — a malformed adapter must never take down a shared
+//! backbone.
+
+use mux_model::config::ModelConfig;
+use serde::Serialize;
+
+use crate::types::{PeftTask, PeftType};
+
+/// Why a task configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ValidationError {
+    /// LoRA rank must be in `[1, hidden]` (a rank above the hidden size is
+    /// no longer low-rank and blows the adapter-memory model).
+    LoraRankOutOfRange {
+        /// Requested rank.
+        rank: usize,
+        /// Backbone hidden size.
+        hidden: usize,
+    },
+    /// Bottleneck width must be in `[1, hidden]`.
+    BottleneckOutOfRange {
+        /// Requested width.
+        bottleneck: usize,
+        /// Backbone hidden size.
+        hidden: usize,
+    },
+    /// Diff-Pruning sparsity must be in `(0, 1]`.
+    SparsityOutOfRange {
+        /// Requested sparsity.
+        sparsity: f64,
+    },
+    /// Prefix length must be in `[1, seq_len]` (longer prefixes than the
+    /// context window never attend usefully).
+    PrefixOutOfRange {
+        /// Requested prefix length.
+        prefix_len: usize,
+        /// Task sequence cap.
+        seq_len: usize,
+    },
+    /// Micro-batch size must be positive.
+    ZeroMicroBatch,
+    /// Sequence cap must be positive.
+    ZeroSeqLen,
+    /// The learning rate must be finite and positive.
+    BadLearningRate {
+        /// Requested rate.
+        lr: f32,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::LoraRankOutOfRange { rank, hidden } => {
+                write!(f, "LoRA rank {rank} out of range [1, {hidden}]")
+            }
+            ValidationError::BottleneckOutOfRange { bottleneck, hidden } => {
+                write!(f, "bottleneck {bottleneck} out of range [1, {hidden}]")
+            }
+            ValidationError::SparsityOutOfRange { sparsity } => {
+                write!(f, "sparsity {sparsity} out of range (0, 1]")
+            }
+            ValidationError::PrefixOutOfRange { prefix_len, seq_len } => {
+                write!(f, "prefix length {prefix_len} out of range [1, {seq_len}]")
+            }
+            ValidationError::ZeroMicroBatch => write!(f, "micro-batch size must be positive"),
+            ValidationError::ZeroSeqLen => write!(f, "sequence cap must be positive"),
+            ValidationError::BadLearningRate { lr } => {
+                write!(f, "learning rate {lr} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a task against a backbone; `Ok(())` means the instance can
+/// safely instantiate the adapters.
+pub fn validate_task(task: &PeftTask, backbone: &ModelConfig) -> Result<(), ValidationError> {
+    if task.micro_batch == 0 {
+        return Err(ValidationError::ZeroMicroBatch);
+    }
+    if task.seq_len == 0 {
+        return Err(ValidationError::ZeroSeqLen);
+    }
+    if !task.lr.is_finite() || task.lr <= 0.0 {
+        return Err(ValidationError::BadLearningRate { lr: task.lr });
+    }
+    let h = backbone.hidden;
+    match task.peft {
+        PeftType::LoRA { rank } => {
+            if rank == 0 || rank > h {
+                return Err(ValidationError::LoraRankOutOfRange { rank, hidden: h });
+            }
+        }
+        PeftType::AdapterTuning { bottleneck } => {
+            if bottleneck == 0 || bottleneck > h {
+                return Err(ValidationError::BottleneckOutOfRange { bottleneck, hidden: h });
+            }
+        }
+        PeftType::DiffPruning { sparsity } => {
+            if !(sparsity > 0.0 && sparsity <= 1.0) {
+                return Err(ValidationError::SparsityOutOfRange { sparsity });
+            }
+        }
+        PeftType::PrefixTuning { prefix_len } => {
+            if prefix_len == 0 || prefix_len > task.seq_len {
+                return Err(ValidationError::PrefixOutOfRange { prefix_len, seq_len: task.seq_len });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backbone() -> ModelConfig {
+        ModelConfig::llama2_7b()
+    }
+
+    #[test]
+    fn sensible_tasks_pass() {
+        for task in [
+            PeftTask::lora(1, 16, 4, 128),
+            PeftTask { id: 2, peft: PeftType::AdapterTuning { bottleneck: 64 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
+            PeftTask { id: 3, peft: PeftType::DiffPruning { sparsity: 0.005 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
+            PeftTask { id: 4, peft: PeftType::PrefixTuning { prefix_len: 16 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
+        ] {
+            assert_eq!(validate_task(&task, &backbone()), Ok(()), "{:?}", task.peft);
+        }
+    }
+
+    #[test]
+    fn oversized_lora_rank_is_rejected() {
+        let t = PeftTask::lora(1, 8192, 4, 128);
+        assert!(matches!(
+            validate_task(&t, &backbone()),
+            Err(ValidationError::LoraRankOutOfRange { rank: 8192, hidden: 4096 })
+        ));
+        let t0 = PeftTask::lora(1, 0, 4, 128);
+        assert!(validate_task(&t0, &backbone()).is_err());
+    }
+
+    #[test]
+    fn bad_sparsity_is_rejected() {
+        for s in [0.0, -0.1, 1.5] {
+            let t = PeftTask { id: 1, peft: PeftType::DiffPruning { sparsity: s }, micro_batch: 2, seq_len: 64, lr: 1e-3 };
+            assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::SparsityOutOfRange { .. })));
+        }
+    }
+
+    #[test]
+    fn prefix_longer_than_context_is_rejected() {
+        let t = PeftTask { id: 1, peft: PeftType::PrefixTuning { prefix_len: 128 }, micro_batch: 2, seq_len: 64, lr: 1e-3 };
+        assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::PrefixOutOfRange { .. })));
+    }
+
+    #[test]
+    fn degenerate_shapes_and_rates_are_rejected() {
+        let mut t = PeftTask::lora(1, 16, 0, 128);
+        assert_eq!(validate_task(&t, &backbone()), Err(ValidationError::ZeroMicroBatch));
+        t = PeftTask::lora(1, 16, 4, 0);
+        assert_eq!(validate_task(&t, &backbone()), Err(ValidationError::ZeroSeqLen));
+        t = PeftTask::lora(1, 16, 4, 128);
+        t.lr = f32::NAN;
+        assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::BadLearningRate { .. })));
+        t.lr = -1.0;
+        assert!(validate_task(&t, &backbone()).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_human_readable() {
+        let t = PeftTask::lora(1, 8192, 4, 128);
+        let e = validate_task(&t, &backbone()).unwrap_err();
+        assert!(e.to_string().contains("8192"));
+        assert!(e.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,728 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] owns every intermediate tensor of one forward pass. Operations
+//! append nodes in topological order, so the backward pass is a single
+//! reverse sweep over the node vector. The graph is rebuilt each training
+//! step (define-by-run), which keeps the implementation small and makes
+//! multi-task execution trivially auditable: the isolation tests in
+//! `mux-peft` compare entire gradient tapes between fused and separate runs.
+
+use crate::tensor::{
+    bat_matmul, concat_last, cross_entropy, embedding, gelu, gelu_grad_scalar, layernorm, matmul,
+    permute_0213, slice_last, softmax_last_dim, transpose2d, transpose_last2, Tensor,
+};
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Target value used by [`Graph::cross_entropy`] to mark padded positions
+/// that must not contribute to the loss.
+pub const IGNORE_INDEX: usize = usize::MAX;
+
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    BatMatMul(Var, Var),
+    Add(Var, Var),
+    /// `[.., n] + [n]` broadcast bias add.
+    AddBias(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f32),
+    /// Adds a constant (non-differentiable) tensor, e.g. a causal mask.
+    /// The constant itself is not stored: it is irrelevant to backward.
+    AddConst(Var),
+    Gelu(Var),
+    Relu(Var),
+    SoftmaxLastDim(Var),
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+    },
+    Reshape(Var),
+    Transpose2d(Var),
+    TransposeLast2(Var),
+    Permute0213(Var),
+    Embedding {
+        weight: Var,
+        indices: Vec<usize>,
+    },
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Tensor,
+        counted: usize,
+    },
+    MeanAll(Var),
+    ConcatDim0(Vec<Var>),
+    SliceDim0 {
+        x: Var,
+        start: usize,
+    },
+    ConcatLast(Var, Var),
+    SliceLast {
+        x: Var,
+        start: usize,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A define-by-run autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Inserts a leaf tensor. Parameters pass `requires_grad = true`;
+    /// inputs/constants pass `false`.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node, if `backward` reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// 2-D matrix multiply.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMul(a, b), rg)
+    }
+
+    /// Batched 3-D matrix multiply.
+    pub fn bat_matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = bat_matmul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BatMatMul(a, b), rg)
+    }
+
+    /// Element-wise add of same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Broadcast bias add: `[.., n] + [n]`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let n = *self.value(a).shape().last().expect("add_bias on scalar");
+        assert_eq!(self.value(bias).len(), n, "bias length mismatch");
+        let mut out = self.value(a).clone();
+        let bd = self.value(bias).data().to_vec();
+        for row in out.data_mut().chunks_mut(n) {
+            for (o, b) in row.iter_mut().zip(&bd) {
+                *o += *b;
+            }
+        }
+        let rg = self.rg(a) || self.rg(bias);
+        self.push(out, Op::AddBias(a, bias), rg)
+    }
+
+    /// Element-wise subtract.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Element-wise multiply.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MulElem(a, b), rg)
+    }
+
+    /// Scalar scale.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, c), rg)
+    }
+
+    /// Adds a non-differentiable constant tensor (e.g. attention mask).
+    pub fn add_const(&mut self, a: Var, c: Tensor) -> Var {
+        let v = self.value(a).add(&c);
+        let rg = self.rg(a);
+        self.push(v, Op::AddConst(a), rg)
+    }
+
+    /// GeLU activation (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = gelu(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::Gelu(a), rg)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = crate::tensor::relu(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last_dim(&mut self, a: Var) -> Var {
+        let v = softmax_last_dim(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxLastDim(a), rg)
+    }
+
+    /// Layer normalization over the last dimension with affine parameters.
+    pub fn layernorm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let (v, mean, inv_std) = layernorm(self.value(x), self.value(gamma), self.value(beta), eps);
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push(v, Op::LayerNorm { x, gamma, beta, mean, inv_std }, rg)
+    }
+
+    /// Reshape to a new shape with the same element count.
+    pub fn reshape(&mut self, a: Var, shape: Vec<usize>) -> Var {
+        let v = self.value(a).reshape(shape);
+        let rg = self.rg(a);
+        self.push(v, Op::Reshape(a), rg)
+    }
+
+    /// 2-D transpose.
+    pub fn transpose2d(&mut self, a: Var) -> Var {
+        let v = transpose2d(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::Transpose2d(a), rg)
+    }
+
+    /// Swaps the last two dims of a 3-D tensor.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = transpose_last2(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::TransposeLast2(a), rg)
+    }
+
+    /// Permutes 4-D `[a,b,c,d] -> [a,c,b,d]`.
+    pub fn permute_0213(&mut self, a: Var) -> Var {
+        let v = permute_0213(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::Permute0213(a), rg)
+    }
+
+    /// Embedding lookup of `indices` into the `weight` table.
+    pub fn embedding(&mut self, weight: Var, indices: &[usize]) -> Var {
+        let v = embedding(self.value(weight), indices);
+        let rg = self.rg(weight);
+        self.push(v, Op::Embedding { weight, indices: indices.to_vec() }, rg)
+    }
+
+    /// Mean cross-entropy loss against integer targets; positions equal to
+    /// [`IGNORE_INDEX`] are skipped.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let (loss, probs) = cross_entropy(self.value(logits), targets, IGNORE_INDEX);
+        let counted = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
+        let rg = self.rg(logits);
+        self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropy { logits, targets: targets.to_vec(), probs, counted },
+            rg,
+        )
+    }
+
+    /// Mean over all elements, producing a scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        let rg = self.rg(a);
+        self.push(v, Op::MeanAll(a), rg)
+    }
+
+    /// Concatenates along dim 0 — the *Dispatch*-side batching primitive
+    /// used for spatial multiplexing (paper Eq. 1).
+    pub fn concat_dim0(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| &self.nodes[p.0].value).collect();
+        let v = Tensor::concat_dim0(&tensors);
+        let rg = parts.iter().any(|&p| self.rg(p));
+        self.push(v, Op::ConcatDim0(parts.to_vec()), rg)
+    }
+
+    /// Slices rows along dim 0 — the *Aggregate*-side de-batching primitive.
+    pub fn slice_dim0(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.value(a).slice_dim0(start, len);
+        let rg = self.rg(a);
+        self.push(v, Op::SliceDim0 { x: a, start }, rg)
+    }
+
+    /// Concatenates along the last dimension (prefix-attention scores).
+    pub fn concat_last(&mut self, a: Var, b: Var) -> Var {
+        let v = concat_last(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::ConcatLast(a, b), rg)
+    }
+
+    /// Slices columns `[start, start+len)` along the last dimension.
+    pub fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = slice_last(self.value(a), start, len);
+        let rg = self.rg(a);
+        self.push(v, Op::SliceLast { x: a, start }, rg)
+    }
+
+    fn accum(&mut self, v: Var, g: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.axpy(1.0, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Runs the backward pass from a scalar `loss` node, accumulating
+    /// gradients into every node with `requires_grad`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward from non-scalar");
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            let g = self.nodes[i].grad.clone().expect("checked above");
+            // Take the op out to satisfy the borrow checker; Leaf is a cheap
+            // placeholder.
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+            self.backward_one(&op, &g);
+            self.nodes[i].op = op;
+        }
+    }
+
+    fn backward_one(&mut self, op: &Op, g: &Tensor) {
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let ga = matmul(g, &transpose2d(self.value(*b)));
+                let gb = matmul(&transpose2d(self.value(*a)), g);
+                self.accum(*a, ga);
+                self.accum(*b, gb);
+            }
+            Op::BatMatMul(a, b) => {
+                let ga = bat_matmul(g, &transpose_last2(self.value(*b)));
+                let gb = bat_matmul(&transpose_last2(self.value(*a)), g);
+                self.accum(*a, ga);
+                self.accum(*b, gb);
+            }
+            Op::Add(a, b) => {
+                self.accum(*a, g.clone());
+                self.accum(*b, g.clone());
+            }
+            Op::AddBias(a, bias) => {
+                self.accum(*a, g.clone());
+                let n = self.value(*bias).len();
+                let mut gb = Tensor::zeros(vec![n]);
+                for row in g.data().chunks(n) {
+                    for (o, v) in gb.data_mut().iter_mut().zip(row) {
+                        *o += *v;
+                    }
+                }
+                self.accum(*bias, gb);
+            }
+            Op::Sub(a, b) => {
+                self.accum(*a, g.clone());
+                self.accum(*b, g.scale(-1.0));
+            }
+            Op::MulElem(a, b) => {
+                let ga = g.mul(self.value(*b));
+                let gb = g.mul(self.value(*a));
+                self.accum(*a, ga);
+                self.accum(*b, gb);
+            }
+            Op::Scale(a, c) => self.accum(*a, g.scale(*c)),
+            Op::AddConst(a) => self.accum(*a, g.clone()),
+            Op::Gelu(a) => {
+                let x = self.value(*a);
+                let mut ga = g.clone();
+                for (gv, &xv) in ga.data_mut().iter_mut().zip(x.data()) {
+                    *gv *= gelu_grad_scalar(xv);
+                }
+                self.accum(*a, ga);
+            }
+            Op::Relu(a) => {
+                let x = self.value(*a);
+                let mut ga = g.clone();
+                for (gv, &xv) in ga.data_mut().iter_mut().zip(x.data()) {
+                    if xv <= 0.0 {
+                        *gv = 0.0;
+                    }
+                }
+                self.accum(*a, ga);
+            }
+            Op::SoftmaxLastDim(a) => {
+                // dx_i = s_i * (g_i - sum_j g_j * s_j), where s is this
+                // node's forward output. The forward output is not stored on
+                // the op, so recompute it (cheap, and keeps nodes small).
+                let s = softmax_last_dim(self.value(*a));
+                let n = *s.shape().last().expect("softmax shape");
+                let mut ga = Tensor::zeros(s.shape().to_vec());
+                for r in 0..s.len() / n {
+                    let srow = &s.data()[r * n..(r + 1) * n];
+                    let grow = &g.data()[r * n..(r + 1) * n];
+                    let dot: f32 = srow.iter().zip(grow).map(|(sv, gv)| sv * gv).sum();
+                    for j in 0..n {
+                        ga.data_mut()[r * n + j] = srow[j] * (grow[j] - dot);
+                    }
+                }
+                self.accum(*a, ga);
+            }
+            Op::LayerNorm { x, gamma, beta, mean, inv_std } => {
+                let xv = self.value(*x);
+                let gm = self.value(*gamma);
+                let n = gm.len();
+                let rows = xv.len() / n;
+                let mut gx = Tensor::zeros(xv.shape().to_vec());
+                let mut ggamma = Tensor::zeros(vec![n]);
+                let mut gbeta = Tensor::zeros(vec![n]);
+                for r in 0..rows {
+                    let xr = &xv.data()[r * n..(r + 1) * n];
+                    let gr = &g.data()[r * n..(r + 1) * n];
+                    let (m, is) = (mean[r], inv_std[r]);
+                    // xhat_j = (x_j - m) * is
+                    let mut sum_gy = 0.0f32;
+                    let mut sum_gy_xhat = 0.0f32;
+                    for j in 0..n {
+                        let xhat = (xr[j] - m) * is;
+                        let gy = gr[j] * gm.data()[j];
+                        sum_gy += gy;
+                        sum_gy_xhat += gy * xhat;
+                        ggamma.data_mut()[j] += gr[j] * xhat;
+                        gbeta.data_mut()[j] += gr[j];
+                    }
+                    for j in 0..n {
+                        let xhat = (xr[j] - m) * is;
+                        let gy = gr[j] * gm.data()[j];
+                        gx.data_mut()[r * n + j] =
+                            is * (gy - sum_gy / n as f32 - xhat * sum_gy_xhat / n as f32);
+                    }
+                }
+                self.accum(*x, gx);
+                self.accum(*gamma, ggamma);
+                self.accum(*beta, gbeta);
+            }
+            Op::Reshape(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                self.accum(*a, g.reshape(shape));
+            }
+            Op::Transpose2d(a) => self.accum(*a, transpose2d(g)),
+            Op::TransposeLast2(a) => self.accum(*a, transpose_last2(g)),
+            Op::Permute0213(a) => self.accum(*a, permute_0213(g)),
+            Op::Embedding { weight, indices } => {
+                let w = self.value(*weight);
+                let h = w.shape()[1];
+                let mut gw = Tensor::zeros(w.shape().to_vec());
+                for (row, &ix) in indices.iter().enumerate() {
+                    let src = &g.data()[row * h..(row + 1) * h];
+                    let dst = &mut gw.data_mut()[ix * h..(ix + 1) * h];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d += *s;
+                    }
+                }
+                self.accum(*weight, gw);
+            }
+            Op::CrossEntropy { logits, targets, probs, counted } => {
+                let v = probs.shape()[1];
+                let scale = if *counted > 0 { g.item() / *counted as f32 } else { 0.0 };
+                let mut gl = Tensor::zeros(probs.shape().to_vec());
+                for (i, &t) in targets.iter().enumerate() {
+                    if t == IGNORE_INDEX {
+                        continue;
+                    }
+                    for j in 0..v {
+                        let onehot = if j == t { 1.0 } else { 0.0 };
+                        gl.data_mut()[i * v + j] = (probs.data()[i * v + j] - onehot) * scale;
+                    }
+                }
+                self.accum(*logits, gl);
+            }
+            Op::MeanAll(a) => {
+                let n = self.value(*a).len();
+                let shape = self.value(*a).shape().to_vec();
+                self.accum(*a, Tensor::full(shape, g.item() / n as f32));
+            }
+            Op::ConcatDim0(parts) => {
+                let mut start = 0;
+                for &p in parts {
+                    let rows = self.value(p).shape()[0];
+                    let gp = g.slice_dim0(start, rows);
+                    start += rows;
+                    self.accum(p, gp);
+                }
+            }
+            Op::SliceDim0 { x, start } => {
+                let xs = self.value(*x).shape().to_vec();
+                let mut gx = Tensor::zeros(xs);
+                let row: usize = gx.shape()[1..].iter().product();
+                let off = start * row;
+                gx.data_mut()[off..off + g.len()].copy_from_slice(g.data());
+                self.accum(*x, gx);
+            }
+            Op::ConcatLast(a, b) => {
+                let na = *self.value(*a).shape().last().expect("rank");
+                let nb = *self.value(*b).shape().last().expect("rank");
+                self.accum(*a, slice_last(g, 0, na));
+                self.accum(*b, slice_last(g, na, nb));
+            }
+            Op::SliceLast { x, start } => {
+                let xs = self.value(*x).shape().to_vec();
+                let n = *xs.last().expect("rank");
+                let len = *g.shape().last().expect("rank");
+                let rows = g.len() / len;
+                let mut gx = Tensor::zeros(xs);
+                for r in 0..rows {
+                    gx.data_mut()[r * n + start..r * n + start + len]
+                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                }
+                self.accum(*x, gx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar function of one leaf.
+    fn grad_check<F>(shape: Vec<usize>, init: Vec<f32>, f: F)
+    where
+        F: Fn(&mut Graph, Var) -> Var,
+    {
+        let eps = 1e-3f32;
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::new(shape.clone(), init.clone()), true);
+        let loss = f(&mut g, x);
+        g.backward(loss);
+        let analytic = g.grad(x).expect("grad present").clone();
+
+        for i in 0..init.len() {
+            let mut plus = init.clone();
+            plus[i] += eps;
+            let mut minus = init.clone();
+            minus[i] -= eps;
+            let eval = |vals: Vec<f32>| {
+                let mut g = Graph::new();
+                let x = g.leaf(Tensor::new(shape.clone(), vals), true);
+                let loss = f(&mut g, x);
+                g.value(loss).item()
+            };
+            let numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "grad[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul() {
+        grad_check(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7], |g, x| {
+            let w = g.leaf(Tensor::new(vec![3, 2], vec![1., 2., -1., 0.5, 0.25, -2.]), false);
+            let y = g.matmul(x, w);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_bat_matmul() {
+        grad_check(vec![2, 2, 2], vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4], |g, x| {
+            let w = g.leaf(Tensor::new(vec![2, 2, 2], vec![1., 0., 0., 1., 2., 1., -1., 0.5]), false);
+            let y = g.bat_matmul(x, w);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_gelu() {
+        grad_check(vec![4], vec![-2.0, -0.5, 0.5, 2.0], |g, x| {
+            let y = g.gelu(x);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_softmax() {
+        grad_check(vec![2, 3], vec![0.1, 0.9, -0.4, 1.0, 0.0, -1.0], |g, x| {
+            let s = g.softmax_last_dim(x);
+            let w = g.leaf(Tensor::new(vec![2, 3], vec![1., -2., 0.5, 0.3, 1.2, -0.8]), false);
+            let y = g.mul_elem(s, w);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn grad_layernorm_input() {
+        grad_check(vec![2, 4], vec![0.3, -0.1, 0.8, 1.2, -0.5, 0.2, 0.9, -1.1], |g, x| {
+            let gamma = g.leaf(Tensor::new(vec![4], vec![1.0, 0.5, 2.0, 1.5]), false);
+            let beta = g.leaf(Tensor::new(vec![4], vec![0.1, -0.1, 0.0, 0.2]), false);
+            let y = g.layernorm(x, gamma, beta, 1e-5);
+            let w = g.leaf(Tensor::new(vec![2, 4], vec![0.7, -0.2, 1.0, 0.4, -0.3, 0.8, 0.2, -0.6]), false);
+            let z = g.mul_elem(y, w);
+            g.mean_all(z)
+        });
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        grad_check(vec![2, 3], vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3], |g, x| {
+            g.cross_entropy(x, &[2, 0])
+        });
+    }
+
+    #[test]
+    fn grad_add_bias_sums_rows() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(vec![3, 2]), false);
+        let b = g.leaf(Tensor::new(vec![2], vec![1.0, 2.0]), true);
+        let y = g.add_bias(x, b);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        let gb = g.grad(b).expect("bias grad");
+        // d(mean)/d(bias_j) = rows / (rows * cols) = 1/cols
+        assert!((gb.data()[0] - 0.5).abs() < 1e-6);
+        assert!((gb.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_embedding_scatters() {
+        let mut g = Graph::new();
+        let w = g.leaf(Tensor::zeros(vec![4, 2]), true);
+        let e = g.embedding(w, &[1, 1, 3]);
+        let loss = g.mean_all(e);
+        g.backward(loss);
+        let gw = g.grad(w).expect("weight grad");
+        // Row 1 receives two contributions, row 3 one, rows 0/2 none.
+        assert!(gw.data()[0] == 0.0 && gw.data()[4] == 0.0);
+        assert!((gw.data()[2] - 2.0 / 6.0).abs() < 1e-6);
+        assert!((gw.data()[6] - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_concat_slice_round_trip() {
+        // mean(concat(a, b)) should give each element grad 1/total.
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(vec![2, 2]), true);
+        let b = g.leaf(Tensor::ones(vec![1, 2]), true);
+        let c = g.concat_dim0(&[a, b]);
+        let loss = g.mean_all(c);
+        g.backward(loss);
+        for v in g.grad(a).expect("a").data() {
+            assert!((v - 1.0 / 6.0).abs() < 1e-6);
+        }
+        for v in g.grad(b).expect("b").data() {
+            assert!((v - 1.0 / 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_slice_zeroes_outside() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(vec![3, 2]), true);
+        let s = g.slice_dim0(a, 1, 1);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        let ga = g.grad(a).expect("a grad");
+        assert_eq!(&ga.data()[0..2], &[0.0, 0.0]);
+        assert!((ga.data()[2] - 0.5).abs() < 1e-6);
+        assert_eq!(&ga.data()[4..6], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_grad_for_frozen_leaves() {
+        let mut g = Graph::new();
+        let frozen = g.leaf(Tensor::ones(vec![2, 2]), false);
+        let train = g.leaf(Tensor::ones(vec![2, 2]), true);
+        let y = g.matmul(frozen, train);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        assert!(g.grad(frozen).is_none(), "frozen backbone must get no gradient");
+        assert!(g.grad(train).is_some());
+    }
+
+    #[test]
+    fn grad_concat_last_splits() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(vec![2, 2]), true);
+        let b = g.leaf(Tensor::ones(vec![2, 3]), true);
+        let c = g.concat_last(a, b);
+        let loss = g.mean_all(c);
+        g.backward(loss);
+        for v in g.grad(a).expect("a").data() {
+            assert!((v - 0.1).abs() < 1e-6);
+        }
+        for v in g.grad(b).expect("b").data() {
+            assert!((v - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_slice_last_zero_fills() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(vec![2, 4]), true);
+        let s = g.slice_last(a, 1, 2);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        let ga = g.grad(a).expect("a");
+        assert_eq!(ga.data()[0], 0.0);
+        assert!((ga.data()[1] - 0.25).abs() < 1e-6);
+        assert!((ga.data()[2] - 0.25).abs() < 1e-6);
+        assert_eq!(ga.data()[3], 0.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        // x used twice: loss = mean(x + x) -> grad = 2/n
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(vec![2]), true);
+        let y = g.add(x, x);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        for v in g.grad(x).expect("x").data() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+}

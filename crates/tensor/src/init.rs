@@ -1,0 +1,87 @@
+//! Deterministic, seeded parameter initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A seeded initializer so every experiment is bit-reproducible.
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates an initializer from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform values in `[-bound, bound]`.
+    pub fn uniform(&mut self, shape: Vec<usize>, bound: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| self.rng.gen_range(-bound..=bound)).collect();
+        Tensor::new(shape, data)
+    }
+
+    /// Approximately-normal values (mean 0, given std) via the sum of
+    /// uniforms (Irwin–Hall, 12 draws). Good enough for init and avoids
+    /// platform-dependent transcendental paths.
+    pub fn normal(&mut self, shape: Vec<usize>, std: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|_| {
+                let s: f32 = (0..12).map(|_| self.rng.gen_range(0.0f32..1.0)).sum();
+                (s - 6.0) * std
+            })
+            .collect();
+        Tensor::new(shape, data)
+    }
+
+    /// Kaiming-style uniform init for a `[fan_in, fan_out]` weight.
+    pub fn kaiming(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / fan_in as f32).sqrt();
+        self.uniform(vec![fan_in, fan_out], bound)
+    }
+
+    /// Random token ids in `[0, vocab)`.
+    pub fn token_ids(&mut self, len: usize, vocab: usize) -> Vec<usize> {
+        (0..len).map(|_| self.rng.gen_range(0..vocab)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_values() {
+        let a = Initializer::new(7).uniform(vec![8], 1.0);
+        let b = Initializer::new(7).uniform(vec![8], 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_values() {
+        let a = Initializer::new(7).uniform(vec![8], 1.0);
+        let b = Initializer::new(8).uniform(vec![8], 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let t = Initializer::new(1).uniform(vec![1000], 0.5);
+        assert!(t.data().iter().all(|v| v.abs() <= 0.5));
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean() {
+        let t = Initializer::new(2).normal(vec![10_000], 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+    }
+
+    #[test]
+    fn token_ids_in_range() {
+        let ids = Initializer::new(3).token_ids(256, 50);
+        assert!(ids.iter().all(|&i| i < 50));
+    }
+}

@@ -1,0 +1,20 @@
+//! # mux-tensor
+//!
+//! A minimal, deterministic `f32` CPU tensor library with tape-based
+//! reverse-mode autograd. This is the *training substrate* of the MuxTune
+//! reproduction: the paper's isolation and convergence claims (§3.2,
+//! Eq. 1–2) are properties of batched-GEMM algebra that hold at any scale,
+//! so the tests exercise them on tiny real transformers trained here.
+//!
+//! Performance experiments never run on these kernels — they run on the
+//! discrete-event simulator in `mux-gpu-sim`.
+
+pub mod graph;
+pub mod init;
+pub mod nn;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Graph, Var, IGNORE_INDEX};
+pub use init::Initializer;
+pub use tensor::Tensor;

@@ -1,0 +1,240 @@
+//! Parameter-holding neural-network modules.
+//!
+//! Modules own their parameter tensors between steps and *re-register* them
+//! as leaves on each step's fresh [`Graph`]. `forward` therefore takes the
+//! graph explicitly. After `backward`, the caller harvests gradients via the
+//! `Var` handles returned by `register`.
+
+use crate::graph::{Graph, Var};
+use crate::init::Initializer;
+use crate::tensor::Tensor;
+
+/// A named trainable parameter with its tape handle for the current step.
+pub struct ParamRef<'a> {
+    /// Dotted parameter path, e.g. `"blocks.0.attn.qkv.weight"`.
+    pub name: String,
+    /// The owned tensor to update.
+    pub tensor: &'a mut Tensor,
+    /// The leaf registered on the current graph (if `register` ran).
+    pub var: Option<Var>,
+}
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight of shape `[in, out]`.
+    pub weight: Tensor,
+    /// Bias of shape `[out]`.
+    pub bias: Tensor,
+    /// Whether this layer's parameters are trainable (frozen backbones
+    /// register with `requires_grad = false`).
+    pub trainable: bool,
+    w_var: Option<Var>,
+    b_var: Option<Var>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(init: &mut Initializer, input: usize, output: usize) -> Self {
+        Self {
+            weight: init.kaiming(input, output),
+            bias: Tensor::zeros(vec![output]),
+            trainable: true,
+            w_var: None,
+            b_var: None,
+        }
+    }
+
+    /// Registers parameters as leaves on `g` for this step.
+    pub fn register(&mut self, g: &mut Graph) {
+        self.w_var = Some(g.leaf(self.weight.clone(), self.trainable));
+        self.b_var = Some(g.leaf(self.bias.clone(), self.trainable));
+    }
+
+    /// Forward through a registered layer: `x [n, in] -> [n, out]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = self.w_var.expect("Linear::register must run before forward");
+        let b = self.b_var.expect("Linear::register must run before forward");
+        let y = g.matmul(x, w);
+        g.add_bias(y, b)
+    }
+
+    /// Applies harvested gradients through `apply(param, grad)`.
+    pub fn apply_grads(&mut self, g: &Graph, mut apply: impl FnMut(&mut Tensor, &Tensor)) {
+        if let Some(w) = self.w_var {
+            if let Some(gw) = g.grad(w) {
+                apply(&mut self.weight, gw);
+            }
+        }
+        if let Some(b) = self.b_var {
+            if let Some(gb) = g.grad(b) {
+                apply(&mut self.bias, gb);
+            }
+        }
+    }
+}
+
+/// Layer normalization with learned affine parameters.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Scale, shape `[n]`.
+    pub gamma: Tensor,
+    /// Shift, shape `[n]`.
+    pub beta: Tensor,
+    /// Whether trainable.
+    pub trainable: bool,
+    g_var: Option<Var>,
+    b_var: Option<Var>,
+}
+
+impl LayerNorm {
+    /// Creates an identity-initialized layernorm over `n` features.
+    pub fn new(n: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(vec![n]),
+            beta: Tensor::zeros(vec![n]),
+            trainable: true,
+            g_var: None,
+            b_var: None,
+        }
+    }
+
+    /// Registers parameters as leaves on `g`.
+    pub fn register(&mut self, g: &mut Graph) {
+        self.g_var = Some(g.leaf(self.gamma.clone(), self.trainable));
+        self.b_var = Some(g.leaf(self.beta.clone(), self.trainable));
+    }
+
+    /// Forward over the last dimension.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = self.g_var.expect("LayerNorm::register must run before forward");
+        let beta = self.b_var.expect("LayerNorm::register must run before forward");
+        g.layernorm(x, gamma, beta, 1e-5)
+    }
+
+    /// Applies harvested gradients.
+    pub fn apply_grads(&mut self, g: &Graph, mut apply: impl FnMut(&mut Tensor, &Tensor)) {
+        if let Some(v) = self.g_var {
+            if let Some(gr) = g.grad(v) {
+                apply(&mut self.gamma, gr);
+            }
+        }
+        if let Some(v) = self.b_var {
+            if let Some(gr) = g.grad(v) {
+                apply(&mut self.beta, gr);
+            }
+        }
+    }
+}
+
+/// Token embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// Table of shape `[vocab, hidden]`.
+    pub weight: Tensor,
+    /// Whether trainable.
+    pub trainable: bool,
+    w_var: Option<Var>,
+}
+
+impl Embedding {
+    /// Creates a normal(0, 0.02)-initialized embedding.
+    pub fn new(init: &mut Initializer, vocab: usize, hidden: usize) -> Self {
+        Self { weight: init.normal(vec![vocab, hidden], 0.02), trainable: true, w_var: None }
+    }
+
+    /// Registers the table as a leaf on `g`.
+    pub fn register(&mut self, g: &mut Graph) {
+        self.w_var = Some(g.leaf(self.weight.clone(), self.trainable));
+    }
+
+    /// Gathers `indices` into `[len, hidden]`.
+    pub fn forward(&self, g: &mut Graph, indices: &[usize]) -> Var {
+        let w = self.w_var.expect("Embedding::register must run before forward");
+        g.embedding(w, indices)
+    }
+
+    /// Applies harvested gradients.
+    pub fn apply_grads(&mut self, g: &Graph, mut apply: impl FnMut(&mut Tensor, &Tensor)) {
+        if let Some(v) = self.w_var {
+            if let Some(gr) = g.grad(v) {
+                apply(&mut self.weight, gr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn linear_learns_a_target_map() {
+        // Fit y = 2x with a 1x1 linear layer by SGD on squared error.
+        let mut init = Initializer::new(11);
+        let mut lin = Linear::new(&mut init, 1, 1);
+        let sgd = Sgd::new(0.2);
+        for step in 0..200 {
+            let mut g = Graph::new();
+            lin.register(&mut g);
+            let xv = (step % 5) as f32 / 5.0 + 0.2;
+            let x = g.leaf(Tensor::new(vec![1, 1], vec![xv]), false);
+            let y = lin.forward(&mut g, x);
+            let target = g.leaf(Tensor::new(vec![1, 1], vec![2.0 * xv]), false);
+            let err = g.sub(y, target);
+            let sq = g.mul_elem(err, err);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            lin.apply_grads(&g, |p, gr| sgd.step(p, gr));
+        }
+        assert!((lin.weight.data()[0] - 2.0).abs() < 0.05, "w={}", lin.weight.data()[0]);
+        assert!(lin.bias.data()[0].abs() < 0.05, "b={}", lin.bias.data()[0]);
+    }
+
+    #[test]
+    fn frozen_linear_receives_no_updates() {
+        let mut init = Initializer::new(3);
+        let mut lin = Linear::new(&mut init, 2, 2);
+        lin.trainable = false;
+        let before = lin.weight.clone();
+        let mut g = Graph::new();
+        lin.register(&mut g);
+        let x = g.leaf(Tensor::ones(vec![4, 2]), false);
+        let y = lin.forward(&mut g, x);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        let mut touched = false;
+        lin.apply_grads(&g, |_, _| touched = true);
+        assert!(!touched, "frozen layer must not be updated");
+        assert_eq!(lin.weight, before);
+    }
+
+    #[test]
+    fn layernorm_forward_shape() {
+        let mut ln = LayerNorm::new(4);
+        let mut g = Graph::new();
+        ln.register(&mut g);
+        let x = g.leaf(Tensor::new(vec![2, 4], (0..8).map(|v| v as f32).collect()), false);
+        let y = ln.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn embedding_trains_looked_up_rows_only() {
+        let mut init = Initializer::new(5);
+        let mut emb = Embedding::new(&mut init, 4, 2);
+        let before = emb.weight.clone();
+        let sgd = Sgd::new(0.5);
+        let mut g = Graph::new();
+        emb.register(&mut g);
+        let e = emb.forward(&mut g, &[2]);
+        let loss = g.mean_all(e);
+        g.backward(loss);
+        emb.apply_grads(&g, |p, gr| sgd.step(p, gr));
+        // Only row 2 changed.
+        assert_eq!(&emb.weight.data()[0..4], &before.data()[0..4]);
+        assert_ne!(&emb.weight.data()[4..6], &before.data()[4..6]);
+        assert_eq!(&emb.weight.data()[6..8], &before.data()[6..8]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Optimizers over plain parameter tensors.
+//!
+//! The autograd [`Graph`](crate::graph::Graph) is rebuilt each step, so
+//! optimizers operate on the *owned* parameter tensors that modules hold
+//! between steps: the training loop pulls gradients off the tape and passes
+//! `(param, grad)` pairs here.
+
+use crate::tensor::Tensor;
+
+/// Plain SGD with optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one update: `p -= lr * (g + wd * p)`.
+    pub fn step(&self, param: &mut Tensor, grad: &Tensor) {
+        if self.weight_decay != 0.0 {
+            let decay = param.scale(self.weight_decay);
+            param.axpy(-self.lr, &decay);
+        }
+        param.axpy(-self.lr, grad);
+    }
+}
+
+/// AdamW with decoupled weight decay. State is kept per parameter by the
+/// caller via [`AdamState`].
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl AdamW {
+    /// Common defaults (lr supplied by the caller).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01 }
+    }
+
+    /// Applies one AdamW update, advancing the parameter's state.
+    pub fn step(&self, param: &mut Tensor, grad: &Tensor, state: &mut AdamState) {
+        assert_eq!(param.shape(), grad.shape(), "adamw shape mismatch");
+        if state.m.is_empty() {
+            state.m = Tensor::zeros(param.shape().to_vec());
+            state.v = Tensor::zeros(param.shape().to_vec());
+        }
+        state.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(state.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(state.t as i32);
+        let (m, v) = (state.m.data_mut(), state.v.data_mut());
+        for i in 0..param.len() {
+            let g = grad.data()[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            let p = &mut param.data_mut()[i];
+            *p -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *p);
+        }
+    }
+}
+
+/// Per-parameter AdamW moment state.
+#[derive(Debug, Clone, Default)]
+pub struct AdamState {
+    m: Tensor,
+    v: Tensor,
+    t: u64,
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(vec![0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let sgd = Sgd::new(0.1);
+        let mut p = Tensor::new(vec![2], vec![1.0, -1.0]);
+        let g = Tensor::new(vec![2], vec![2.0, -2.0]);
+        sgd.step(&mut p, &g);
+        assert_eq!(p.data(), &[0.8, -0.8]);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let sgd = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let mut p = Tensor::new(vec![1], vec![1.0]);
+        let g = Tensor::zeros(vec![1]);
+        sgd.step(&mut p, &g);
+        assert!((p.data()[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)^2; grad = 2(x - 3).
+        let adam = AdamW { weight_decay: 0.0, ..AdamW::new(0.1) };
+        let mut p = Tensor::new(vec![1], vec![0.0]);
+        let mut st = AdamState::default();
+        for _ in 0..500 {
+            let g = Tensor::new(vec![1], vec![2.0 * (p.data()[0] - 3.0)]);
+            adam.step(&mut p, &g, &mut st);
+        }
+        assert!((p.data()[0] - 3.0).abs() < 0.05, "got {}", p.data()[0]);
+    }
+
+    #[test]
+    fn adamw_first_step_has_unit_scale() {
+        // With bias correction the first step is ~lr regardless of grad scale.
+        let adam = AdamW { weight_decay: 0.0, ..AdamW::new(0.1) };
+        let mut p = Tensor::new(vec![1], vec![0.0]);
+        let mut st = AdamState::default();
+        let g = Tensor::new(vec![1], vec![1e-4]);
+        adam.step(&mut p, &g, &mut st);
+        assert!((p.data()[0] + 0.1).abs() < 1e-3, "got {}", p.data()[0]);
+    }
+}

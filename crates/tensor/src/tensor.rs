@@ -1,0 +1,637 @@
+//! Dense, row-major `f32` tensors and the raw (non-differentiable) kernels
+//! used by the autograd layer.
+//!
+//! The tensor type is deliberately simple: contiguous storage, shapes as
+//! `Vec<usize>`, no views. The training substrate only needs to be correct
+//! and deterministic, not fast — every experiment that measures *performance*
+//! runs on the discrete-event simulator, not on these kernels.
+
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching data buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "shape {shape:?} does not match data length {}", data.len());
+        Self { shape, data }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Self { shape, data: vec![1.0; n] }
+    }
+
+    /// Creates a tensor filled with `v`.
+    pub fn full(shape: Vec<usize>, v: f32) -> Self {
+        let n = shape.iter().product();
+        Self { shape, data: vec![v; n] }
+    }
+
+    /// Creates a rank-0-like scalar stored as shape `[1]`.
+    pub fn scalar(v: f32) -> Self {
+        Self { shape: vec![1], data: vec![v] }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The scalar value of a single-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a copy reshaped to `shape` (element count must match).
+    pub fn reshape(&self, shape: Vec<usize>) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape to {shape:?} from {:?}", self.shape);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Element-wise `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "sub shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise `self * other`.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "mul shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// `self * c` for a scalar `c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        let data = self.data.iter().map(|a| a * c).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place `self += other * c` (axpy). Used by optimizers and grad
+    /// accumulation.
+    pub fn axpy(&mut self, c: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Mean squared difference against another tensor of identical shape.
+    ///
+    /// This is the "mean-square deviation" metric the paper uses to argue
+    /// convergence consistency between fused and separate execution (§3.2).
+    pub fn mean_square_deviation(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "msd shape mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let s: f32 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        s / self.data.len() as f32
+    }
+
+    /// Maximum absolute element difference against another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Concatenates tensors along dimension 0. All trailing dims must match.
+    pub fn concat_dim0(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let tail = &parts[0].shape[1..];
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(&p.shape[1..], tail, "concat trailing-shape mismatch");
+            rows += p.shape[0];
+        }
+        let mut shape = vec![rows];
+        shape.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(shape.iter().product());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { shape, data }
+    }
+
+    /// Extracts rows `[start, start+len)` along dimension 0.
+    pub fn slice_dim0(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.shape[0], "slice out of range");
+        let row: usize = self.shape[1..].iter().product();
+        let mut shape = vec![len];
+        shape.extend_from_slice(&self.shape[1..]);
+        let data = self.data[start * row..(start + len) * row].to_vec();
+        Tensor { shape, data }
+    }
+}
+
+/// Concatenates two tensors along the *last* dimension (all leading dims
+/// must match).
+pub fn concat_last(a: &Tensor, b: &Tensor) -> Tensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert_eq!(sa.len(), sb.len(), "concat_last rank mismatch");
+    assert_eq!(&sa[..sa.len() - 1], &sb[..sb.len() - 1], "concat_last leading dims");
+    let (na, nb) = (*sa.last().expect("rank>=1"), *sb.last().expect("rank>=1"));
+    let rows = a.len() / na;
+    let mut data = Vec::with_capacity(a.len() + b.len());
+    for r in 0..rows {
+        data.extend_from_slice(&a.data()[r * na..(r + 1) * na]);
+        data.extend_from_slice(&b.data()[r * nb..(r + 1) * nb]);
+    }
+    let mut shape = sa.to_vec();
+    *shape.last_mut().expect("rank>=1") = na + nb;
+    Tensor::new(shape, data)
+}
+
+/// Extracts columns `[start, start+len)` along the last dimension.
+pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let n = *a.shape().last().expect("rank>=1");
+    assert!(start + len <= n, "slice_last out of range");
+    let rows = a.len() / n;
+    let mut data = Vec::with_capacity(rows * len);
+    for r in 0..rows {
+        data.extend_from_slice(&a.data()[r * n + start..r * n + start + len]);
+    }
+    let mut shape = a.shape().to_vec();
+    *shape.last_mut().expect("rank>=1") = len;
+    Tensor::new(shape, data)
+}
+
+/// 2-D matrix multiply: `[m,k] x [k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape.len(), 2, "matmul lhs must be 2-D, got {:?}", a.shape);
+    assert_eq!(b.shape.len(), 2, "matmul rhs must be 2-D, got {:?}", b.shape);
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "matmul inner-dim mismatch: {:?} x {:?}", a.shape, b.shape);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a.data[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor { shape: vec![m, n], data: out }
+}
+
+/// Batched 3-D matrix multiply: `[b,m,k] x [b,k,n] -> [b,m,n]`.
+pub fn bat_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape.len(), 3, "bat_matmul lhs must be 3-D");
+    assert_eq!(b.shape.len(), 3, "bat_matmul rhs must be 3-D");
+    let (ba, m, k) = (a.shape[0], a.shape[1], a.shape[2]);
+    let (bb, k2, n) = (b.shape[0], b.shape[1], b.shape[2]);
+    assert_eq!(ba, bb, "bat_matmul batch mismatch");
+    assert_eq!(k, k2, "bat_matmul inner-dim mismatch");
+    let mut out = vec![0.0f32; ba * m * n];
+    for bi in 0..ba {
+        let ao = bi * m * k;
+        let bo = bi * k * n;
+        let oo = bi * m * n;
+        for i in 0..m {
+            let arow = &a.data[ao + i * k..ao + (i + 1) * k];
+            let orow = &mut out[oo + i * n..oo + (i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[bo + p * n..bo + (p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    Tensor { shape: vec![ba, m, n], data: out }
+}
+
+/// Transpose of a 2-D tensor.
+pub fn transpose2d(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape.len(), 2, "transpose2d on {:?}", a.shape);
+    let (m, n) = (a.shape[0], a.shape[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data[i * n + j];
+        }
+    }
+    Tensor { shape: vec![n, m], data: out }
+}
+
+/// Swaps the last two dims of a 3-D tensor: `[b,m,n] -> [b,n,m]`.
+pub fn transpose_last2(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape.len(), 3, "transpose_last2 on {:?}", a.shape);
+    let (b, m, n) = (a.shape[0], a.shape[1], a.shape[2]);
+    let mut out = vec![0.0f32; b * m * n];
+    for bi in 0..b {
+        for i in 0..m {
+            for j in 0..n {
+                out[bi * m * n + j * m + i] = a.data[bi * m * n + i * n + j];
+            }
+        }
+    }
+    Tensor { shape: vec![b, n, m], data: out }
+}
+
+/// Permutes a 4-D tensor from `[a,b,c,d]` to `[a,c,b,d]` (the head
+/// split/merge permutation used by multi-head attention).
+pub fn permute_0213(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape.len(), 4, "permute_0213 on {:?}", x.shape);
+    let (a, b, c, d) = (x.shape[0], x.shape[1], x.shape[2], x.shape[3]);
+    let mut out = vec![0.0f32; a * b * c * d];
+    for ai in 0..a {
+        for bi in 0..b {
+            for ci in 0..c {
+                let src = ((ai * b + bi) * c + ci) * d;
+                let dst = ((ai * c + ci) * b + bi) * d;
+                out[dst..dst + d].copy_from_slice(&x.data[src..src + d]);
+            }
+        }
+    }
+    Tensor { shape: vec![a, c, b, d], data: out }
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax_last_dim(a: &Tensor) -> Tensor {
+    let n = *a.shape.last().expect("softmax on rank-0 tensor");
+    assert!(n > 0, "softmax over empty dim");
+    let mut out = a.data.clone();
+    for row in out.chunks_mut(n) {
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Tensor { shape: a.shape.clone(), data: out }
+}
+
+/// Tanh-approximation GeLU, matching the GPT-2 implementation.
+pub fn gelu(a: &Tensor) -> Tensor {
+    let data = a.data.iter().map(|&x| gelu_scalar(x)).collect();
+    Tensor { shape: a.shape.clone(), data }
+}
+
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+/// ReLU.
+pub fn relu(a: &Tensor) -> Tensor {
+    let data = a.data.iter().map(|&x| x.max(0.0)).collect();
+    Tensor { shape: a.shape.clone(), data }
+}
+
+/// Layer normalization over the last dimension with affine parameters.
+///
+/// Returns `(output, mean, inv_std)`; the statistics are re-used by the
+/// backward pass.
+pub fn layernorm(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let n = *a.shape.last().expect("layernorm on rank-0 tensor");
+    assert_eq!(gamma.len(), n, "layernorm gamma size");
+    assert_eq!(beta.len(), n, "layernorm beta size");
+    let rows = a.len() / n;
+    let mut out = vec![0.0f32; a.len()];
+    let mut means = vec![0.0f32; rows];
+    let mut inv_stds = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &a.data[r * n..(r + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        means[r] = mean;
+        inv_stds[r] = inv_std;
+        for j in 0..n {
+            out[r * n + j] = (row[j] - mean) * inv_std * gamma.data[j] + beta.data[j];
+        }
+    }
+    (Tensor { shape: a.shape.clone(), data: out }, means, inv_stds)
+}
+
+/// Embedding lookup: `weight[v, h]` gathered by `indices` into `[len, h]`.
+pub fn embedding(weight: &Tensor, indices: &[usize]) -> Tensor {
+    assert_eq!(weight.shape.len(), 2, "embedding weight must be 2-D");
+    let (v, h) = (weight.shape[0], weight.shape[1]);
+    let mut data = Vec::with_capacity(indices.len() * h);
+    for &ix in indices {
+        assert!(ix < v, "embedding index {ix} out of vocab {v}");
+        data.extend_from_slice(&weight.data[ix * h..(ix + 1) * h]);
+    }
+    Tensor { shape: vec![indices.len(), h], data }
+}
+
+/// Next-token accuracy of `[n, vocab]` logits against integer `targets`
+/// (positions with `ignore_index` are skipped). The standard companion
+/// metric to cross-entropy for the convergence experiments.
+pub fn accuracy(logits: &Tensor, targets: &[usize], ignore_index: usize) -> f64 {
+    assert_eq!(logits.shape().len(), 2, "accuracy logits must be 2-D");
+    let (n, v) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(n, targets.len(), "accuracy target count");
+    let mut hit = 0usize;
+    let mut counted = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        if t == ignore_index {
+            continue;
+        }
+        let row = &logits.data()[i * v..(i + 1) * v];
+        // total_cmp tolerates NaN rows (a diverged task simply scores 0).
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, _)| j)
+            .expect("non-empty vocab");
+        if argmax == t {
+            hit += 1;
+        }
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        hit as f64 / counted as f64
+    }
+}
+
+/// Mean cross-entropy of `[n, vocab]` logits against integer `targets`.
+///
+/// Positions whose target is `ignore_index` contribute nothing (zero-padded
+/// alignment tokens use this). Returns `(loss, softmax_probs)`.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize], ignore_index: usize) -> (f32, Tensor) {
+    assert_eq!(logits.shape.len(), 2, "cross_entropy logits must be 2-D");
+    let (n, v) = (logits.shape[0], logits.shape[1]);
+    assert_eq!(n, targets.len(), "cross_entropy target count");
+    let probs = softmax_last_dim(logits);
+    let mut loss = 0.0;
+    let mut counted = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        if t == ignore_index {
+            continue;
+        }
+        assert!(t < v, "target {t} out of vocab {v}");
+        loss -= probs.data[i * v + t].max(1e-12).ln();
+        counted += 1;
+    }
+    if counted > 0 {
+        loss /= counted as f32;
+    }
+    (loss, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::new(vec![2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::new(vec![2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i).data(), a.data());
+    }
+
+    #[test]
+    fn bat_matmul_matches_per_batch_matmul() {
+        let a = Tensor::new(vec![2, 2, 3], (0..12).map(|v| v as f32).collect());
+        let b = Tensor::new(vec![2, 3, 2], (0..12).map(|v| (v as f32) * 0.5).collect());
+        let c = bat_matmul(&a, &b);
+        for bi in 0..2 {
+            let ai = a.slice_dim0(bi, 1).reshape(vec![2, 3]);
+            let bi_t = b.slice_dim0(bi, 1).reshape(vec![3, 2]);
+            let ci = matmul(&ai, &bi_t);
+            assert_eq!(c.slice_dim0(bi, 1).reshape(vec![2, 2]).data(), ci.data());
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(transpose2d(&transpose2d(&a)), a);
+        let b = Tensor::new(vec![2, 2, 3], (0..12).map(|v| v as f32).collect());
+        assert_eq!(transpose_last2(&transpose_last2(&b)), b);
+    }
+
+    #[test]
+    fn permute_0213_round_trip() {
+        let x = Tensor::new(vec![2, 3, 4, 5], (0..120).map(|v| v as f32).collect());
+        let y = permute_0213(&permute_0213(&x));
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::new(vec![2, 4], vec![1., 2., 3., 4., -1., 0., 1., 100.]);
+        let s = softmax_last_dim(&a);
+        for row in s.data().chunks(4) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let a = Tensor::new(vec![1, 3], vec![1e30, 1e30, 1e30]);
+        let s = softmax_last_dim(&a);
+        for v in s.data() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let a = Tensor::new(vec![1, 4], vec![1., 2., 3., 4.]);
+        let g = Tensor::ones(vec![4]);
+        let b = Tensor::zeros(vec![4]);
+        let (out, _, _) = layernorm(&a, &g, &b, 1e-5);
+        let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = out.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let w = Tensor::new(vec![3, 2], vec![0., 1., 10., 11., 20., 21.]);
+        let e = embedding(&w, &[2, 0]);
+        assert_eq!(e.data(), &[20., 21., 0., 1.]);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3], usize::MAX);
+        assert!((loss - (4f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_padding() {
+        let logits = Tensor::new(vec![2, 2], vec![100., 0., 0., 0.]);
+        let (loss, _) = cross_entropy(&logits, &[0, usize::MAX], usize::MAX);
+        assert!(loss.abs() < 1e-3, "only the confident row should count: {loss}");
+    }
+
+    #[test]
+    fn concat_slice_round_trip() {
+        let a = Tensor::new(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::new(vec![1, 2], vec![5., 6.]);
+        let c = Tensor::concat_dim0(&[&a, &b]);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.slice_dim0(0, 2), a);
+        assert_eq!(c.slice_dim0(2, 1), b);
+    }
+
+    #[test]
+    fn msd_and_diff_metrics() {
+        let a = Tensor::new(vec![2], vec![1., 2.]);
+        let b = Tensor::new(vec![2], vec![1.5, 2.5]);
+        assert!((a.mean_square_deviation(&b) - 0.25).abs() < 1e-6);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+        assert!(!a.has_non_finite());
+        let c = Tensor::new(vec![1], vec![f32::NAN]);
+        assert!(c.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn new_rejects_mismatched_data() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::new(vec![3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
+        // argmaxes: 0, 1, 0; targets 0, 1, 1 -> 2/3.
+        let acc = accuracy(&logits, &[0, 1, 1], usize::MAX);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+        // Padding positions are excluded.
+        let acc2 = accuracy(&logits, &[0, usize::MAX, usize::MAX], usize::MAX);
+        assert_eq!(acc2, 1.0);
+        assert_eq!(accuracy(&logits, &[usize::MAX; 3], usize::MAX), 0.0);
+    }
+
+    #[test]
+    fn concat_slice_last_round_trip() {
+        let a = Tensor::new(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::new(vec![2, 3], vec![5., 6., 7., 8., 9., 10.]);
+        let c = concat_last(&a, &b);
+        assert_eq!(c.shape(), &[2, 5]);
+        assert_eq!(c.data(), &[1., 2., 5., 6., 7., 3., 4., 8., 9., 10.]);
+        assert_eq!(slice_last(&c, 0, 2), a);
+        assert_eq!(slice_last(&c, 2, 3), b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Convergence-isolation demo on *real* training: three tenants fine-tune
+//! different PEFT adapters on one shared frozen backbone, spatially fused
+//! (Eq. 1–2), and each follows exactly the trajectory it would follow
+//! alone — including when one tenant's run explodes numerically.
+//!
+//! Run with: `cargo run --release --example convergence_isolation`
+
+use muxtune::peft::backbone::TinyConfig;
+use muxtune::peft::isolation::{compare_fused_vs_separate, nan_containment};
+use muxtune::peft::trainer::{ExecTask, MultiTaskTrainer, TaskBatch};
+
+fn main() {
+    let cfg = TinyConfig::small();
+
+    println!("1. Training three PEFT types fused on one backbone (20 steps)...");
+    let mut tasks = vec![
+        ExecTask::lora(&cfg, 1, 4, 11, 0.15),
+        ExecTask::bottleneck(&cfg, 2, 8, 22, 0.15),
+        ExecTask::diff_pruning(&cfg, 3, 0.2, 33, 0.15),
+    ];
+    let batches = vec![
+        TaskBatch::synthetic(101, 4, 8, cfg.vocab),
+        TaskBatch::synthetic(102, 4, 8, cfg.vocab),
+        TaskBatch::synthetic(103, 4, 8, cfg.vocab),
+    ];
+    let mut trainer = MultiTaskTrainer::new(cfg, 7);
+    let first = trainer.step_fused(&mut tasks, &batches);
+    let mut last = first.clone();
+    for step in 1..20 {
+        last = trainer.step_fused(&mut tasks, &batches);
+        if step % 5 == 0 {
+            let losses: Vec<String> = last.iter().map(|r| format!("{:.3}", r.loss)).collect();
+            println!("   step {step:>2}: losses {losses:?}");
+        }
+    }
+    for (f, l) in first.iter().zip(&last) {
+        println!(
+            "   task {} ({}): {:.3} -> {:.3} ({})",
+            f.task,
+            match f.task {
+                1 => "LoRA",
+                2 => "Adapter-Tuning",
+                _ => "Diff-Pruning",
+            },
+            f.loss,
+            l.loss,
+            if l.loss < f.loss { "converging" } else { "NOT converging" }
+        );
+    }
+
+    println!("\n2. Fused vs separate trajectories (the Eq. 1-2 isolation claim)...");
+    let per_step: Vec<Vec<TaskBatch>> = (0..8)
+        .map(|s| {
+            vec![
+                TaskBatch::synthetic(200 + s, 2, 8, cfg.vocab),
+                TaskBatch::synthetic(300 + s, 3, 8, cfg.vocab),
+            ]
+        })
+        .collect();
+    let report = compare_fused_vs_separate(
+        cfg,
+        99,
+        || vec![ExecTask::lora(&cfg, 1, 4, 1, 0.1), ExecTask::bottleneck(&cfg, 2, 8, 2, 0.1)],
+        &per_step,
+    );
+    println!("   worst parameter mean-square deviation after 8 steps: {:.3e}", report.worst_msd());
+    println!("   (paper reports ~0.07-scale consistency on nondeterministic GPU kernels;");
+    println!("    our CPU kernels are deterministic, so fused == separate to float noise)");
+
+    println!("\n3. Failure containment: tenant 1 uses an absurd learning rate...");
+    let containment = nan_containment(cfg, 6);
+    println!("   sabotaged task diverged: {}", containment.bad_task_diverged);
+    println!("   healthy tasks contaminated: {}", containment.healthy_task_contaminated);
+    println!("   healthy final losses: {:?}", containment.healthy_losses);
+    assert!(containment.bad_task_diverged && !containment.healthy_task_contaminated);
+    println!("   -> numerical failure stayed inside the failing tenant's adapters.");
+}

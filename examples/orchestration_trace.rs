@@ -1,0 +1,102 @@
+//! Visualize operator orchestration (the paper's Fig 18, as ASCII): one
+//! LLaMA7B decoder layer under 4-GPU tensor parallelism, executed
+//! (a) sequentially with blocking communication (NeMo style), and
+//! (b) with two tasks interleaved per Algorithm 1 and collectives
+//! overlapped on the communication stream (MuxTune).
+//!
+//! Run with: `cargo run --release --example orchestration_trace`
+
+use muxtune::core::schedule::schedule_subgraphs;
+use muxtune::core::subgraph::segment;
+use muxtune::gpu_sim::render::{render_summary, render_timeline};
+use muxtune::gpu_sim::spec::CommCtaPolicy;
+use muxtune::gpu_sim::timeline::Timeline;
+use muxtune::model::ops::{Pass, TokenShape};
+use muxtune::parallel::tp::{execute_stage_ordered, UniformShape};
+
+use muxtune::prelude::*;
+
+fn main() {
+    let backbone = ModelConfig::llama2_7b().with_layers(1);
+    let mut registry = TaskRegistry::new(backbone);
+    registry.register_task(PeftTask::lora(1, 16, 8, 128)).expect("t1");
+    registry.register_task(PeftTask::lora(2, 16, 8, 128)).expect("t2");
+    let cluster = Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40());
+    let shape = UniformShape(TokenShape::new(8, 128));
+    let devices = [0usize, 1, 2, 3];
+
+    // (a) Sequential launch, one task: communication blocks compute.
+    let g1 = registry.build_multitask_stage_graph(0, 1, 4, &[1]);
+    let mut tl_seq = Timeline::new(&cluster);
+    let order: Vec<usize> = (0..g1.len()).collect();
+    execute_stage_ordered(
+        &mut tl_seq,
+        &g1,
+        &order,
+        &shape,
+        Pass::Forward,
+        &devices,
+        &[],
+        true,
+        CommCtaPolicy::sequential(),
+    );
+    let w = tl_seq.finish_time();
+    println!("(a) NeMo-style: 1 task, sequential launch — {:.2} ms", w * 1e3);
+    println!("{}", render_timeline(&tl_seq, w, 72));
+    println!("{}\n", render_summary(&tl_seq, w));
+
+    // (b) Two tasks, Algorithm-1 interleaved order with overlapped comm:
+    // while task 1's all-reduce flies, task 2's compute fills the SMs.
+    let g2 = registry.build_multitask_stage_graph(0, 1, 4, &[2]);
+    let dags = vec![segment(&g1), segment(&g2)];
+    let launch = schedule_subgraphs(&dags, &|_, sg| sg.nodes.len() as f64);
+    let mut tl_mux = Timeline::new(&cluster);
+    // Issue node-by-node in Algorithm 1's launch order, so the two graphs
+    // genuinely interleave: while one task's all-reduce is in flight on the
+    // comm stream, the other task's subgraph computes.
+    let graphs = [&g1, &g2];
+    let policy = CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), true);
+    use muxtune::gpu_sim::timeline::{CollectiveKind, OpHandle};
+    use muxtune::parallel::tp::work_for;
+    let mut done: Vec<Vec<Vec<OpHandle>>> =
+        graphs.iter().map(|g| vec![Vec::new(); g.len()]).collect();
+    for item in &launch {
+        let g = graphs[item.dag];
+        for &nid in &dags[item.dag][item.subgraph].nodes {
+            let node = g.node(nid);
+            let mut deps: Vec<OpHandle> = Vec::new();
+            for &d in &node.deps {
+                deps.extend(done[item.dag][d].iter().copied());
+            }
+            let handles = if node.template.kind.is_comm() {
+                vec![tl_mux.collective(
+                    &devices,
+                    CollectiveKind::AllReduce,
+                    node.template.cost.comm_bytes(shape.0),
+                    &deps,
+                    policy,
+                    false,
+                    format!("t{} {}", item.dag + 1, node.template.name),
+                )]
+            } else {
+                let w = work_for(&node.template.cost, node.template.kind, shape.0, Pass::Forward);
+                devices
+                    .iter()
+                    .map(|&dev| {
+                        tl_mux.compute(dev, w, &deps, format!("t{} {}", item.dag + 1, node.template.name))
+                    })
+                    .collect()
+            };
+            done[item.dag][nid] = handles;
+        }
+    }
+    let w2 = tl_mux.finish_time();
+    println!("(b) MuxTune: 2 tasks, interleaved + overlapped — {:.2} ms total", w2 * 1e3);
+    println!("{}", render_timeline(&tl_mux, w2, 72));
+    println!("{}", render_summary(&tl_mux, w2));
+    println!(
+        "\nPer-task latency: (a) {:.2} ms/task vs (b) {:.2} ms/task — overlap hides the all-reduces.",
+        w * 1e3,
+        w2 * 1e3 / 2.0
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the discrete-event simulator's core invariants:
+//! per-lane mutual exclusion, dependency causality, collective
+//! synchronization, and memory-ledger accounting.
+
+use proptest::prelude::*;
+
+use muxtune::gpu_sim::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
+use muxtune::gpu_sim::timeline::{Cluster, CollectiveKind, LaneKind, OpHandle, Timeline};
+
+/// A randomized operation script.
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    /// Compute on device (index mod n), with given GFLOPs, depending on up
+    /// to two earlier ops.
+    Compute(usize, u8, Option<usize>, Option<usize>),
+    /// All-reduce over all devices, depending on one earlier op.
+    AllReduce(u8, Option<usize>),
+}
+
+fn script_strategy(len: usize) -> impl Strategy<Value = Vec<ScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<usize>(), any::<u8>(), prop::option::of(0usize..64), prop::option::of(0usize..64))
+                .prop_map(|(d, f, a, b)| ScriptOp::Compute(d, f, a, b)),
+            (any::<u8>(), prop::option::of(0usize..64)).prop_map(|(f, d)| ScriptOp::AllReduce(f, d)),
+        ],
+        1..len,
+    )
+}
+
+type OpRecordLite = (f64, f64, Vec<usize>, LaneKind);
+
+fn run_script(script: &[ScriptOp], devices: usize) -> (Vec<OpRecordLite>, f64) {
+    let cluster = Cluster::single_node(GpuSpec::a40(), devices, LinkSpec::nvlink_a40());
+    let mut tl = Timeline::new(&cluster);
+    let mut handles: Vec<OpHandle> = Vec::new();
+    let group: Vec<usize> = (0..devices).collect();
+    for op in script {
+        let pick = |i: &Option<usize>, handles: &[OpHandle]| -> Vec<OpHandle> {
+            i.and_then(|x| handles.get(x % handles.len().max(1)).copied())
+                .into_iter()
+                .collect()
+        };
+        let h = match op {
+            ScriptOp::Compute(d, f, a, b) => {
+                let mut deps = pick(a, &handles);
+                deps.extend(pick(b, &handles));
+                tl.compute(
+                    d % devices,
+                    Work::tensor((*f as f64 + 1.0) * 1e8, 1e5),
+                    &deps,
+                    "c",
+                )
+            }
+            ScriptOp::AllReduce(f, d) => {
+                let deps = pick(d, &handles);
+                tl.collective(
+                    &group,
+                    CollectiveKind::AllReduce,
+                    (*f as f64 + 1.0) * 1e5,
+                    &deps,
+                    CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), false),
+                    false,
+                    "ar",
+                )
+            }
+        };
+        handles.push(h);
+    }
+    let records = tl
+        .ops()
+        .iter()
+        .map(|o| (o.start, o.end, o.devices.clone(), o.lane))
+        .collect();
+    (records, tl.finish_time())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compute_ops_on_one_device_never_overlap(script in script_strategy(40), devs in 1usize..4) {
+        let (records, finish) = run_script(&script, devs);
+        for d in 0..devs {
+            let mut intervals: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|(_, _, ds, lane)| *lane == LaneKind::Compute && ds.contains(&d))
+                .map(|&(s, e, _, _)| (s, e))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-12, "compute overlap on dev {d}: {w:?}");
+            }
+        }
+        prop_assert!(finish >= 0.0);
+        prop_assert!(records.iter().all(|(s, e, _, _)| e >= s));
+    }
+
+    #[test]
+    fn comm_lane_is_also_exclusive(script in script_strategy(40), devs in 2usize..4) {
+        let (records, _) = run_script(&script, devs);
+        for d in 0..devs {
+            let mut intervals: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|(_, _, ds, lane)| *lane == LaneKind::Comm && ds.contains(&d))
+                .map(|&(s, e, _, _)| (s, e))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-12, "comm overlap on dev {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_monotone_under_appended_work(script in script_strategy(25), devs in 1usize..3) {
+        let (_, t1) = run_script(&script, devs);
+        let mut longer = script.clone();
+        longer.push(ScriptOp::Compute(0, 200, None, None));
+        let (_, t2) = run_script(&longer, devs);
+        prop_assert!(t2 >= t1, "adding work cannot shrink the makespan");
+    }
+
+    #[test]
+    fn memory_ledger_peak_is_max_of_in_use(allocs in prop::collection::vec(1u64..1_000_000, 1..30)) {
+        let cluster = Cluster::single_node(GpuSpec::a40(), 1, LinkSpec::nvlink_a40());
+        let mut tl = Timeline::new(&cluster);
+        let mut in_use = 0u64;
+        let mut peak = 0u64;
+        for (i, &a) in allocs.iter().enumerate() {
+            tl.alloc(0, a).expect("small allocs fit");
+            in_use += a;
+            peak = peak.max(in_use);
+            if i % 3 == 2 {
+                tl.free(0, a);
+                in_use -= a;
+            }
+        }
+        prop_assert_eq!(tl.mem_in_use(0), in_use);
+        prop_assert_eq!(tl.peak_mem(0), peak);
+    }
+}
