@@ -3,14 +3,13 @@
 
 use mux_data::corpus::DatasetKind;
 use mux_peft::types::{PeftTask, PeftType};
-use serde::Serialize;
 
 /// A unique job handle issued by the service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 /// What the tenant submits through the API.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Which backbone family to fine-tune (only same-backbone jobs may
     /// share an instance — §2.1's backbone homogeneity).
@@ -29,7 +28,13 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A LoRA job with sensible defaults.
-    pub fn lora(backbone: &str, dataset: DatasetKind, rank: usize, micro_batch: usize, total_tokens: u64) -> Self {
+    pub fn lora(
+        backbone: &str,
+        dataset: DatasetKind,
+        rank: usize,
+        micro_batch: usize,
+        total_tokens: u64,
+    ) -> Self {
         Self {
             backbone: backbone.to_string(),
             peft: PeftType::LoRA { rank },
@@ -53,7 +58,7 @@ impl JobSpec {
 }
 
 /// Lifecycle of a job inside the service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     /// Accepted by the API, waiting for dispatch.
     Queued,
@@ -69,7 +74,7 @@ pub enum JobState {
 }
 
 /// A job record the service tracks.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Job {
     /// Handle.
     pub id: JobId,

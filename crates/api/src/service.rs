@@ -12,18 +12,19 @@ use std::collections::BTreeMap;
 use mux_data::corpus::Corpus;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
 use mux_gpu_sim::timeline::Cluster;
+use mux_gpu_sim::timeline::OpKind;
 use mux_model::config::ModelConfig;
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
-use muxtune_core::planner::{plan_and_run, PlannerConfig};
-use serde::Serialize;
+use muxtune_core::planner::{plan_and_run, plan_and_run_traced, PlannerConfig};
+use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
 
 /// Dispatch policies (§3.1 mentions budget-based Kubernetes scheduling;
 /// §6 sketches multiplexing-aware variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchPolicy {
     /// Prefer the least-loaded in-flight instance with the same backbone;
     /// create a new instance only when none has capacity (multiplexing-
@@ -99,8 +100,17 @@ pub struct FineTuneService {
 impl FineTuneService {
     /// Creates an empty service over a GPU pool.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let cluster = Cluster::single_node(cfg.gpu.clone(), cfg.gpus_per_instance, cfg.link.clone());
-        Self { cfg, cluster, instances: Vec::new(), jobs: BTreeMap::new(), queue: Vec::new(), next_job: 1, now: 0.0 }
+        let cluster =
+            Cluster::single_node(cfg.gpu.clone(), cfg.gpus_per_instance, cfg.link.clone());
+        Self {
+            cfg,
+            cluster,
+            instances: Vec::new(),
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            next_job: 1,
+            now: 0.0,
+        }
     }
 
     /// Current simulated time, seconds.
@@ -165,10 +175,9 @@ impl FineTuneService {
                     .map(|(i, _)| i),
                 // Dedicated instances: reuse an *empty* same-backbone
                 // instance (a completed job releases its slot), never share.
-                DispatchPolicy::DedicatedInstances => self
-                    .instances
-                    .iter()
-                    .position(|inst| inst.backbone_name == spec.backbone && inst.registry.is_empty()),
+                DispatchPolicy::DedicatedInstances => self.instances.iter().position(|inst| {
+                    inst.backbone_name == spec.backbone && inst.registry.is_empty()
+                }),
             };
             let target = match target {
                 Some(i) => Some(i),
@@ -201,11 +210,15 @@ impl FineTuneService {
                     let inst = &mut self.instances[i];
                     let tid = inst.next_task_id;
                     inst.next_task_id += 1;
-                    inst.registry.register_task(spec.to_task(tid)).expect("fresh task id");
+                    inst.registry
+                        .register_task(spec.to_task(tid))
+                        .expect("fresh task id");
                     // The tenant's global batch: micro_batch x C sequences.
                     let n = spec.micro_batch * self.cfg.micro_batches;
-                    inst.corpora
-                        .insert(tid, Corpus::generate(spec.dataset, n, id.0 ^ 0xa5a5).lengths);
+                    inst.corpora.insert(
+                        tid,
+                        Corpus::generate(spec.dataset, n, id.0 ^ 0xa5a5).lengths,
+                    );
                     inst.job_of_task.insert(tid, id);
                     let job = self.jobs.get_mut(&id).expect("job exists");
                     job.state = JobState::Running { instance: i };
@@ -321,6 +334,137 @@ impl FineTuneService {
         }
     }
 
+    /// Builds the service's observability report as JSON: the job table,
+    /// per-instance plan outcomes with **per-device utilization** and a
+    /// **stall breakdown by cause** (pipeline bubble / communication /
+    /// dependency, from a traced re-plan of the current membership), and
+    /// the `mux-obs` registry — planner phase wall times, counters, and
+    /// gauges — collected while those re-plans ran.
+    pub fn service_report(&self) -> Value {
+        let _on = mux_obs::enabled_scope();
+        mux_obs::reset();
+
+        let jobs: Vec<Value> = self
+            .jobs
+            .values()
+            .map(|j| {
+                let mut m = Map::new();
+                m.insert("id".into(), j.id.0.into());
+                m.insert("backbone".into(), j.spec.backbone.as_str().into());
+                let state = match j.state {
+                    JobState::Queued => "queued".to_string(),
+                    JobState::Running { instance } => format!("running@{instance}"),
+                    JobState::Completed => "completed".to_string(),
+                    JobState::Rejected => "rejected".to_string(),
+                };
+                m.insert("state".into(), state.into());
+                m.insert("total_tokens".into(), j.spec.total_tokens.into());
+                m.insert("progressed_tokens".into(), j.progressed_tokens.into());
+                match j.jct() {
+                    Some(jct) => m.insert("jct_seconds".into(), jct.into()),
+                    None => m.insert("jct_seconds".into(), Value::Null),
+                };
+                Value::Object(m)
+            })
+            .collect();
+
+        let num_devices = self.cluster.gpus.len();
+        let instances: Vec<Value> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let mut m = Map::new();
+                m.insert("instance".into(), i.into());
+                m.insert("backbone".into(), inst.backbone_name.as_str().into());
+                m.insert("tasks".into(), inst.registry.len().into());
+                if inst.registry.is_empty() {
+                    return Value::Object(m);
+                }
+                let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
+                if let Ok((report, ops)) =
+                    plan_and_run_traced(&inst.registry, &self.cluster, &inst.corpora, &cfg)
+                {
+                    m.insert("makespan_seconds".into(), report.metrics.makespan.into());
+                    m.insert(
+                        "effective_throughput".into(),
+                        report.metrics.effective_throughput.into(),
+                    );
+                    m.insert(
+                        "mean_utilization".into(),
+                        report.metrics.mean_utilization.into(),
+                    );
+                    // Per-device compute-lane occupancy + achieved utilization.
+                    let mut busy = vec![0.0f64; num_devices];
+                    let mut util_weighted = vec![0.0f64; num_devices];
+                    for op in &ops {
+                        if op.kind == OpKind::Compute && op.end > op.start {
+                            let d = op.devices[0];
+                            let dur = op.end - op.start;
+                            busy[d] += dur;
+                            util_weighted[d] += op.utilization * dur;
+                        }
+                    }
+                    let span = report.metrics.makespan.max(1e-12);
+                    let devices: Vec<Value> = (0..num_devices)
+                        .map(|d| {
+                            let mut dm = Map::new();
+                            dm.insert("device".into(), d.into());
+                            dm.insert("busy_fraction".into(), (busy[d] / span).into());
+                            dm.insert(
+                                "avg_utilization".into(),
+                                (util_weighted[d] / busy[d].max(1e-12)).into(),
+                            );
+                            Value::Object(dm)
+                        })
+                        .collect();
+                    m.insert("devices".into(), Value::Array(devices));
+                    let stalls: Vec<Value> = mux_gpu_sim::stall_breakdown(&ops, num_devices)
+                        .iter()
+                        .map(|b| {
+                            let mut sm = Map::new();
+                            sm.insert("device".into(), b.device.into());
+                            sm.insert("bubble_seconds".into(), b.bubble_seconds.into());
+                            sm.insert("comm_seconds".into(), b.comm_seconds.into());
+                            sm.insert("dependency_seconds".into(), b.dependency_seconds.into());
+                            Value::Object(sm)
+                        })
+                        .collect();
+                    m.insert("stall_breakdown".into(), Value::Array(stalls));
+                }
+                Value::Object(m)
+            })
+            .collect();
+
+        let snap = mux_obs::snapshot();
+        let mut phases = Map::new();
+        for (name, stat) in &snap.phases {
+            let mut pm = Map::new();
+            pm.insert("count".into(), stat.count.into());
+            pm.insert("total_seconds".into(), stat.total_seconds.into());
+            phases.insert(name.clone(), Value::Object(pm));
+        }
+        let mut counters = Map::new();
+        for (name, v) in &snap.counters {
+            counters.insert(name.clone(), (*v).into());
+        }
+        let mut gauges = Map::new();
+        for (name, v) in &snap.gauges {
+            gauges.insert(name.clone(), (*v).into());
+        }
+
+        let mut root = Map::new();
+        root.insert("now_seconds".into(), self.now.into());
+        root.insert("jobs".into(), Value::Array(jobs));
+        root.insert("instances".into(), Value::Array(instances));
+        let mut obs = Map::new();
+        obs.insert("phases".into(), Value::Object(phases));
+        obs.insert("counters".into(), Value::Object(counters));
+        obs.insert("gauges".into(), Value::Object(gauges));
+        root.insert("observability".into(), Value::Object(obs));
+        Value::Object(root)
+    }
+
     /// Runs until every job is completed or rejected. Returns the final
     /// time. Panics if progress stalls (a job with zero rate).
     pub fn run_to_completion(&mut self) -> f64 {
@@ -329,7 +473,9 @@ impl FineTuneService {
             .values()
             .any(|j| matches!(j.state, JobState::Queued | JobState::Running { .. }))
         {
-            let step = self.next_completion_in().expect("runnable jobs must progress");
+            let step = self
+                .next_completion_in()
+                .expect("runnable jobs must progress");
             self.advance(step.max(1e-6));
         }
         self.now
@@ -356,10 +502,20 @@ mod tests {
         let mut svc = service(16);
         let a = svc.submit(spec(100_000));
         let b = svc.submit(spec(100_000));
-        assert_eq!(svc.instance_count(), 1, "second job joins the in-flight instance");
+        assert_eq!(
+            svc.instance_count(),
+            1,
+            "second job joins the in-flight instance"
+        );
         assert_eq!(svc.instance_load(0), 2);
-        assert!(matches!(svc.job(a).unwrap().state, JobState::Running { instance: 0 }));
-        assert!(matches!(svc.job(b).unwrap().state, JobState::Running { instance: 0 }));
+        assert!(matches!(
+            svc.job(a).unwrap().state,
+            JobState::Running { instance: 0 }
+        ));
+        assert!(matches!(
+            svc.job(b).unwrap().state,
+            JobState::Running { instance: 0 }
+        ));
     }
 
     #[test]
@@ -367,7 +523,11 @@ mod tests {
         let mut svc = service(16);
         svc.submit(spec(100_000));
         svc.submit(JobSpec::lora("GPT3-2.7B", DatasetKind::Sst2, 8, 4, 100_000));
-        assert_eq!(svc.instance_count(), 2, "backbone homogeneity is required for sharing");
+        assert_eq!(
+            svc.instance_count(),
+            2,
+            "backbone homogeneity is required for sharing"
+        );
     }
 
     #[test]
@@ -403,7 +563,12 @@ mod tests {
         let large = svc.submit(spec(200_000));
         svc.run_to_completion();
         let (s, l) = (svc.job(small).unwrap(), svc.job(large).unwrap());
-        assert!(s.finished_at < l.finished_at, "{} vs {}", s.finished_at, l.finished_at);
+        assert!(
+            s.finished_at < l.finished_at,
+            "{} vs {}",
+            s.finished_at,
+            l.finished_at
+        );
     }
 
     #[test]
@@ -416,6 +581,30 @@ mod tests {
         svc.submit(spec(10_000));
         assert_eq!(svc.instance_count(), 2);
         assert_eq!(svc.instance_load(0), 1);
+    }
+
+    #[test]
+    fn service_report_surfaces_devices_stalls_and_planner_phases() {
+        let mut svc = service(4);
+        svc.submit(spec(100_000));
+        svc.submit(spec(100_000));
+        let rep = svc.service_report();
+        let inst = &rep["instances"][0];
+        assert_eq!(inst["tasks"].as_u64(), Some(2));
+        let devices = inst["devices"].as_array().expect("per-device metrics");
+        assert_eq!(devices.len(), 4);
+        for d in devices {
+            let busy = d["busy_fraction"].as_f64().expect("busy fraction");
+            assert!(busy > 0.0 && busy <= 1.0, "busy {busy}");
+        }
+        let stalls = inst["stall_breakdown"].as_array().expect("stall breakdown");
+        assert_eq!(stalls.len(), 4);
+        let obs = &rep["observability"];
+        let phases = obs["phases"].as_object().expect("phases");
+        assert!(phases.contains_key("planner.fusion"), "phases: {phases:?}");
+        assert!(phases.contains_key("engine.simulate"), "phases: {phases:?}");
+        assert!(obs["counters"]["planner.candidates"].as_u64().unwrap() >= 1);
+        assert!(obs["gauges"]["run.mean_utilization"].as_f64().unwrap() > 0.0);
     }
 
     #[test]
@@ -434,6 +623,9 @@ mod tests {
         };
         let shared = run(DispatchPolicy::SameBackboneFirst);
         let dedicated = run(DispatchPolicy::DedicatedInstances);
-        assert!(shared < dedicated, "shared {shared} vs dedicated {dedicated}");
+        assert!(
+            shared < dedicated,
+            "shared {shared} vs dedicated {dedicated}"
+        );
     }
 }

@@ -7,12 +7,11 @@ use mux_gpu_sim::spec::GpuSpec;
 use mux_model::config::ModelConfig;
 use mux_model::memory::{activation_bytes, task_state_bytes};
 use mux_peft::types::PeftTask;
-use serde::Serialize;
 
 use crate::runner::SystemKind;
 
 /// Memory breakdown per GPU for a set of co-located tasks.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryBreakdown {
     /// Backbone parameter bytes (replicated per task or shared).
     pub backbone: u64,
@@ -35,19 +34,29 @@ fn aligned_tokens(system: SystemKind, tasks: &[&PeftTask], corpora: &[Vec<usize>
     match system {
         SystemKind::HfPeft | SystemKind::Nemo => {
             // Single-task instances: pad to own cap only.
-            tasks.iter().map(|t| (t.micro_batch * t.seq_len) as u64).collect()
+            tasks
+                .iter()
+                .map(|t| (t.micro_batch * t.seq_len) as u64)
+                .collect()
         }
         SystemKind::SlPeft => {
             // Zero-pad to the global maximum cap.
             let global = tasks.iter().map(|t| t.seq_len).max().unwrap_or(0);
-            tasks.iter().map(|t| (t.micro_batch * global) as u64).collect()
+            tasks
+                .iter()
+                .map(|t| (t.micro_batch * global) as u64)
+                .collect()
         }
         SystemKind::MuxTune => {
             // Chunk-based alignment: per-task effective + residual chunk pad.
             let data: Vec<TaskData> = tasks
                 .iter()
                 .zip(corpora)
-                .map(|(t, lens)| TaskData { task: t.id, seq_lens: lens.clone(), cap: t.seq_len })
+                .map(|(t, lens)| TaskData {
+                    task: t.id,
+                    seq_lens: lens.clone(),
+                    cap: t.seq_len,
+                })
                 .collect();
             let aligned = align(&data, AlignStrategy::ChunkBased { min_chunk: 64 });
             tasks
@@ -96,11 +105,19 @@ pub fn memory_per_gpu(
     let tokens = aligned_tokens(system, tasks, corpora);
     let activations: u64 = tokens
         .iter()
-        .map(|&t| activation_bytes(cfg, cfg.num_layers, t as usize) * in_flight as u64 / gpus as u64)
+        .map(|&t| {
+            activation_bytes(cfg, cfg.num_layers, t as usize) * in_flight as u64 / gpus as u64
+        })
         .sum();
-    let task_state: u64 =
-        tasks.iter().map(|t| task_state_bytes(t.adapter_params(cfg)) / gpus as u64).sum();
-    MemoryBreakdown { backbone, activations, task_state }
+    let task_state: u64 = tasks
+        .iter()
+        .map(|t| task_state_bytes(t.adapter_params(cfg)) / gpus as u64)
+        .sum();
+    MemoryBreakdown {
+        backbone,
+        activations,
+        task_state,
+    }
 }
 
 /// How many tasks (added in order) fit before the first OOM.
@@ -128,8 +145,9 @@ mod tests {
     use mux_data::corpus::{Corpus, DatasetKind};
 
     fn workload(n: usize) -> (Vec<PeftTask>, Vec<Vec<usize>>) {
-        let tasks: Vec<PeftTask> =
-            (0..n).map(|i| PeftTask::lora(i as u32 + 1, 16, 1, 128)).collect();
+        let tasks: Vec<PeftTask> = (0..n)
+            .map(|i| PeftTask::lora(i as u32 + 1, 16, 1, 128))
+            .collect();
         let corpora: Vec<Vec<usize>> = (0..n)
             .map(|i| Corpus::generate(DatasetKind::OpenBookQa, 8, i as u64).lengths)
             .collect();
@@ -167,8 +185,11 @@ mod tests {
         let mut tasks: Vec<PeftTask> = Vec::new();
         let mut corpora = Vec::new();
         for i in 0..4u32 {
-            let (seq, kind) =
-                if i % 2 == 0 { (64, DatasetKind::Sst2) } else { (256, DatasetKind::Rte) };
+            let (seq, kind) = if i % 2 == 0 {
+                (64, DatasetKind::Sst2)
+            } else {
+                (256, DatasetKind::Rte)
+            };
             tasks.push(PeftTask::lora(i + 1, 16, 1, seq));
             corpora.push(Corpus::generate(kind, 8, i as u64).lengths);
         }

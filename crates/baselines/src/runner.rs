@@ -12,10 +12,9 @@ use muxtune_core::engine::{EngineOptions, RunMetrics};
 use muxtune_core::fusion::FusionPolicy;
 use muxtune_core::planner::{plan_and_run, PlannerConfig};
 use muxtune_core::template::BucketOrder;
-use serde::Serialize;
 
 /// The systems under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemKind {
     /// MuxTune (full).
     MuxTune,
@@ -39,12 +38,16 @@ impl SystemKind {
     }
 
     /// All four, MuxTune first.
-    pub const ALL: [SystemKind; 4] =
-        [SystemKind::MuxTune, SystemKind::HfPeft, SystemKind::Nemo, SystemKind::SlPeft];
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::MuxTune,
+        SystemKind::HfPeft,
+        SystemKind::Nemo,
+        SystemKind::SlPeft,
+    ];
 }
 
 /// One system's result on one workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SystemReport {
     /// Which system.
     pub system: SystemKind,
@@ -148,7 +151,11 @@ fn run_once(
                 peak_mem: peak,
                 mfu: mfu / n,
                 energy_joules: energy,
-                tokens_per_joule: if energy > 0.0 { eff as f64 / energy } else { 0.0 },
+                tokens_per_joule: if energy > 0.0 {
+                    eff as f64 / energy
+                } else {
+                    0.0
+                },
             })
         }
     }
@@ -177,7 +184,11 @@ pub fn run_system(
                     .map(|b| metrics.throughput > b.metrics.throughput)
                     .unwrap_or(true)
                 {
-                    best = Some(SystemReport { system, plan, metrics });
+                    best = Some(SystemReport {
+                        system,
+                        plan,
+                        metrics,
+                    });
                 }
             }
             Err(e) => last_err = Some(e),
@@ -196,7 +207,8 @@ mod tests {
     fn workload(n: usize, seq: usize) -> TaskRegistry {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
         for i in 0..n {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, seq)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, seq))
+                .expect("register");
         }
         r
     }
@@ -210,10 +222,15 @@ mod tests {
         let r = workload(4, 128);
         let c = cluster(4);
         for sys in SystemKind::ALL {
-            let rep = run_system(sys, &r, &c, &BTreeMap::new(), 4).unwrap_or_else(|_| panic!("{}", sys.name()));
+            let rep = run_system(sys, &r, &c, &BTreeMap::new(), 4)
+                .unwrap_or_else(|_| panic!("{}", sys.name()));
             assert!(rep.metrics.throughput > 0.0, "{}", sys.name());
-            assert_eq!(rep.metrics.effective_tokens, rep.metrics.total_tokens,
-                "uniform caps: no inter-task padding for {}", sys.name());
+            assert_eq!(
+                rep.metrics.effective_tokens,
+                rep.metrics.total_tokens,
+                "uniform caps: no inter-task padding for {}",
+                sys.name()
+            );
         }
     }
 
@@ -223,7 +240,8 @@ mod tests {
         let c = cluster(4);
         let mux = run_system(SystemKind::MuxTune, &r, &c, &BTreeMap::new(), 4).expect("mux");
         for sys in [SystemKind::HfPeft, SystemKind::Nemo, SystemKind::SlPeft] {
-            let rep = run_system(sys, &r, &c, &BTreeMap::new(), 4).unwrap_or_else(|_| panic!("{}", sys.name()));
+            let rep = run_system(sys, &r, &c, &BTreeMap::new(), 4)
+                .unwrap_or_else(|_| panic!("{}", sys.name()));
             assert!(
                 mux.metrics.throughput > rep.metrics.throughput,
                 "MuxTune {} vs {} {}",
@@ -257,8 +275,7 @@ mod tests {
         let c = cluster(4);
         let mux = run_system(SystemKind::MuxTune, &r, &c, &BTreeMap::new(), 4).expect("mux");
         let sl = run_system(SystemKind::SlPeft, &r, &c, &BTreeMap::new(), 4).expect("sl");
-        let mux_eff_frac =
-            mux.metrics.effective_tokens as f64 / mux.metrics.total_tokens as f64;
+        let mux_eff_frac = mux.metrics.effective_tokens as f64 / mux.metrics.total_tokens as f64;
         let sl_eff_frac = sl.metrics.effective_tokens as f64 / sl.metrics.total_tokens as f64;
         assert!(
             mux_eff_frac > sl_eff_frac,

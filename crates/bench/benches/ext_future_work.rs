@@ -17,14 +17,23 @@ use mux_data::corpus::DatasetKind;
 use mux_model::config::ModelConfig;
 
 fn energy() -> serde_json::Value {
-    banner("Ext 1", "energy efficiency (§6): tokens per joule, MuxTune vs baselines");
-    let (reg, corpora) =
-        build_workload(&ModelConfig::llama2_7b(), Combo::Uniform(DatasetKind::OpenBookQa), 4, 8, 3);
+    banner(
+        "Ext 1",
+        "energy efficiency (§6): tokens per joule, MuxTune vs baselines",
+    );
+    let (reg, corpora) = build_workload(
+        &ModelConfig::llama2_7b(),
+        Combo::Uniform(DatasetKind::OpenBookQa),
+        4,
+        8,
+        3,
+    );
     let cluster = a40_cluster(4);
     let mut out = serde_json::Map::new();
     let mut mux_tpj = 0.0;
     for sys in SystemKind::ALL {
-        let rep = run_system(sys, &reg, &cluster, &corpora, 4).unwrap_or_else(|_| panic!("{}", sys.name()));
+        let rep = run_system(sys, &reg, &cluster, &corpora, 4)
+            .unwrap_or_else(|_| panic!("{}", sys.name()));
         println!(
             "  {:<8}: {:>8.1} kJ, {:>8.1} effective tokens/joule",
             sys.name(),
@@ -52,9 +61,15 @@ fn energy() -> serde_json::Value {
 }
 
 fn priority_and_slo() -> serde_json::Value {
-    banner("Ext 2+3", "priority-based co-location and SLO admission control (§6)");
+    banner(
+        "Ext 2+3",
+        "priority-based co-location and SLO admission control (§6)",
+    );
     let trace = generate(800, 17, None);
-    let shape = ClusterShape { total_gpus: 128, gpus_per_instance: 4 };
+    let shape = ClusterShape {
+        total_gpus: 128,
+        gpus_per_instance: 4,
+    };
     let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]);
 
     // Plain FCFS with co-location everywhere.
@@ -116,5 +131,8 @@ fn priority_and_slo() -> serde_json::Value {
 fn main() {
     let e = energy();
     let p = priority_and_slo();
-    save_json("ext_future_work", &serde_json::json!({ "energy": e, "priority_slo": p }));
+    save_json(
+        "ext_future_work",
+        &serde_json::json!({ "energy": e, "priority_slo": p }),
+    );
 }

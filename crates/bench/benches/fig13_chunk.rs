@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use mux_bench::harness::{a40_cluster, banner, row, save_json};
+use mux_bench::harness::{a40_cluster, banner, dump_trace, row, save_json};
 use mux_data::align::AlignStrategy;
 use mux_data::corpus::{Corpus, DatasetKind};
 use mux_model::config::ModelConfig;
@@ -20,7 +20,10 @@ use muxtune_core::fusion::FusionPolicy;
 use muxtune_core::planner::{plan_and_run, PlannerConfig};
 
 fn main() {
-    banner("Fig 13", "chunk-size tradeoff (1 task, 16-layer LLaMA7B, 4-GPU pipeline, seq 256)");
+    banner(
+        "Fig 13",
+        "chunk-size tradeoff (1 task, 16-layer LLaMA7B, 4-GPU pipeline, seq 256)",
+    );
     let cfg = ModelConfig::llama2_7b().with_layers(16);
     let cluster = a40_cluster(4);
     let corpus = Corpus::generate(DatasetKind::Rte, 64, 7);
@@ -33,13 +36,16 @@ fn main() {
     );
     for chunk in [16usize, 32, 64, 128, 256] {
         let mut reg = TaskRegistry::new(cfg.clone());
-        reg.register_task(PeftTask::lora(1, 16, 4, 256)).expect("register");
+        reg.register_task(PeftTask::lora(1, 16, 4, 256))
+            .expect("register");
         let mut corpora = BTreeMap::new();
         corpora.insert(1, corpus.lengths.clone());
         let mut pc = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
         pc.fusion = FusionPolicy::AllSpatial;
         pc.align = AlignStrategy::ChunkExact { chunk };
-        let m = plan_and_run(&reg, &cluster, &corpora, &pc).expect("run").metrics;
+        let m = plan_and_run(&reg, &cluster, &corpora, &pc)
+            .expect("run")
+            .metrics;
         let pad = 1.0 - m.effective_tokens as f64 / m.total_tokens as f64;
         println!(
             "  {chunk:>6} {:>14.0} {:>16.0} {:>11.1}%",
@@ -47,7 +53,10 @@ fn main() {
             m.effective_throughput,
             pad * 100.0
         );
-        if best.map(|(_, b)| m.effective_throughput > b).unwrap_or(true) {
+        if best
+            .map(|(_, b)| m.effective_throughput > b)
+            .unwrap_or(true)
+        {
             best = Some((chunk, m.effective_throughput));
         }
         out.push(serde_json::json!({
@@ -66,5 +75,18 @@ fn main() {
         "interior optimum (rule: pow2 divisor, min 64)",
         &format!("best chunk = {best_chunk}"),
     );
-    save_json("fig13_chunk", &serde_json::json!({ "sweep": out, "best_chunk": best_chunk }));
+    save_json(
+        "fig13_chunk",
+        &serde_json::json!({ "sweep": out, "best_chunk": best_chunk }),
+    );
+    // Profiling hook (MUX_TRACE_DIR): the best chunk's timeline.
+    let mut reg = TaskRegistry::new(cfg);
+    reg.register_task(PeftTask::lora(1, 16, 4, 256))
+        .expect("register");
+    let mut corpora = BTreeMap::new();
+    corpora.insert(1, corpus.lengths.clone());
+    let mut pc = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
+    pc.fusion = FusionPolicy::AllSpatial;
+    pc.align = AlignStrategy::ChunkExact { chunk: best_chunk };
+    dump_trace("fig13_chunk", &reg, &cluster, &corpora, &pc);
 }

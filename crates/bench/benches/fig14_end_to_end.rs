@@ -7,11 +7,14 @@
 //! 1.85x in the Non-uniform case.
 
 use mux_baselines::runner::{run_system, SystemKind};
-use mux_bench::harness::{a40_cluster, a40_multinode, banner, build_workload, row, save_json, x, Combo};
-use rayon::prelude::*;
+use mux_bench::harness::{
+    a40_cluster, a40_multinode, banner, build_workload, dump_trace, row, save_json, x, Combo,
+};
 use mux_data::corpus::DatasetKind;
 use mux_gpu_sim::timeline::Cluster;
 use mux_model::config::ModelConfig;
+use muxtune_core::planner::PlannerConfig;
+use rayon::prelude::*;
 
 struct Testbed {
     model: ModelConfig,
@@ -22,25 +25,49 @@ struct Testbed {
 fn testbeds() -> Vec<Testbed> {
     vec![
         // GPT3-2.7B on 2 A40s (Testbed-A slice).
-        Testbed { model: ModelConfig::gpt3_2_7b(), cluster: a40_cluster(2), tasks: 4 },
+        Testbed {
+            model: ModelConfig::gpt3_2_7b(),
+            cluster: a40_cluster(2),
+            tasks: 4,
+        },
         // LLaMA2-7B on 4 A40s (Testbed-A).
-        Testbed { model: ModelConfig::llama2_7b(), cluster: a40_cluster(4), tasks: 4 },
+        Testbed {
+            model: ModelConfig::llama2_7b(),
+            cluster: a40_cluster(4),
+            tasks: 4,
+        },
         // LLaMA2-13B on 8 A40s (Testbed-B, 4 nodes x 2 GPUs, IB).
-        Testbed { model: ModelConfig::llama2_13b(), cluster: a40_multinode(4), tasks: 4 },
+        Testbed {
+            model: ModelConfig::llama2_13b(),
+            cluster: a40_multinode(4),
+            tasks: 4,
+        },
         // OPT-30B on 16 A40s (Testbed-B, 8 nodes x 2 GPUs, IB).
-        Testbed { model: ModelConfig::opt_30b(), cluster: a40_multinode(8), tasks: 4 },
+        Testbed {
+            model: ModelConfig::opt_30b(),
+            cluster: a40_multinode(8),
+            tasks: 4,
+        },
     ]
 }
 
 fn main() {
-    banner("Fig 14", "end-to-end throughput vs baselines on A40 testbeds");
+    banner(
+        "Fig 14",
+        "end-to-end throughput vs baselines on A40 testbeds",
+    );
     let micro_batches = 4; // unified C
     let mut results = Vec::new();
     let mut best = std::collections::BTreeMap::new();
     for combo in [Combo::Uniform(DatasetKind::OpenBookQa), Combo::NonUniform] {
         println!("\n--- {} ---", combo.label());
         for tb in testbeds() {
-            println!("{} on {} GPUs ({} tasks):", tb.model.name, tb.cluster.num_gpus(), tb.tasks);
+            println!(
+                "{} on {} GPUs ({} tasks):",
+                tb.model.name,
+                tb.cluster.num_gpus(),
+                tb.tasks
+            );
             // Global batch size sweep: per-task sequences per step, split
             // into C micro-batches. The (gbs, system) grid is embarrassingly
             // parallel — fan it out with rayon.
@@ -52,8 +79,13 @@ fn main() {
                 .par_iter()
                 .map(|&(gbs_per_task, sys)| {
                     let micro_batch = gbs_per_task / micro_batches;
-                    let (reg, corpora) = build_workload(&tb.model, combo, tb.tasks, micro_batch, 42);
-                    (gbs_per_task, sys, run_system(sys, &reg, &tb.cluster, &corpora, micro_batches))
+                    let (reg, corpora) =
+                        build_workload(&tb.model, combo, tb.tasks, micro_batch, 42);
+                    (
+                        gbs_per_task,
+                        sys,
+                        run_system(sys, &reg, &tb.cluster, &corpora, micro_batches),
+                    )
                 })
                 .collect();
             for gbs_per_task in [16usize, 32, 64] {
@@ -89,6 +121,23 @@ fn main() {
                     }
                 }
                 println!("{line}");
+            }
+            // Profiling hook (MUX_TRACE_DIR): MuxTune's winning plan at
+            // gbs 32 for this testbed/combo.
+            if let Some((_, _, Ok(rep))) = cell
+                .iter()
+                .find(|(g, s, r)| *g == 32 && *s == SystemKind::MuxTune && r.is_ok())
+            {
+                let (reg, corpora) =
+                    build_workload(&tb.model, combo, tb.tasks, 32 / micro_batches, 42);
+                let id = format!("fig14_{}_{}", tb.model.name, combo.label());
+                dump_trace(
+                    &id,
+                    &reg,
+                    &tb.cluster,
+                    &corpora,
+                    &PlannerConfig::muxtune(rep.plan, micro_batches),
+                );
             }
         }
     }

@@ -6,9 +6,12 @@
 //! H100's compute amplifies single-task underutilization.
 
 use mux_baselines::runner::{run_system, SystemKind};
-use mux_bench::harness::{banner, build_workload, h100_cluster, row, save_json, x, Combo};
+use mux_bench::harness::{
+    banner, build_workload, dump_trace, h100_cluster, row, save_json, x, Combo,
+};
 use mux_data::corpus::DatasetKind;
 use mux_model::config::ModelConfig;
+use muxtune_core::planner::PlannerConfig;
 
 fn main() {
     banner("Fig 15", "throughput on H100 (Testbed-C) vs NeMo / SL-PEFT");
@@ -18,7 +21,10 @@ fn main() {
     let mut a40_best = std::collections::BTreeMap::new();
     for combo in [Combo::Uniform(DatasetKind::OpenBookQa), Combo::NonUniform] {
         println!("\n--- {} ---", combo.label());
-        for (model, gpus) in [(ModelConfig::llama2_7b(), 4usize), (ModelConfig::llama2_13b(), 8)] {
+        for (model, gpus) in [
+            (ModelConfig::llama2_7b(), 4usize),
+            (ModelConfig::llama2_13b(), 8),
+        ] {
             let cluster = h100_cluster(gpus);
             println!("{} on {gpus} H100s (4 tasks):", model.name);
             for gbs_per_task in [16usize, 32, 64] {
@@ -33,6 +39,16 @@ fn main() {
                             if sys == SystemKind::MuxTune {
                                 mux_tp = tp;
                                 line.push_str(&format!(" {}={tp:.0}", sys.name()));
+                                // Profiling hook (MUX_TRACE_DIR).
+                                if gbs_per_task == 32 {
+                                    dump_trace(
+                                        &format!("fig15_{}_{}", model.name, combo.label()),
+                                        &reg,
+                                        &cluster,
+                                        &corpora,
+                                        &PlannerConfig::muxtune(rep.plan, micro_batches),
+                                    );
+                                }
                             } else {
                                 let ratio = mux_tp / tp;
                                 line.push_str(&format!(" {}={tp:.0} ({})", sys.name(), x(ratio)));
@@ -58,7 +74,10 @@ fn main() {
         let mux = run_system(SystemKind::MuxTune, &reg, &a40, &corpora, micro_batches);
         let nemo = run_system(SystemKind::Nemo, &reg, &a40, &corpora, micro_batches);
         if let (Ok(m), Ok(n)) = (mux, nemo) {
-            a40_best.insert(combo.label(), m.metrics.effective_throughput / n.metrics.effective_throughput);
+            a40_best.insert(
+                combo.label(),
+                m.metrics.effective_throughput / n.metrics.effective_throughput,
+            );
         }
     }
     println!();

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use mux_bench::harness::{a40_cluster, banner, row, save_json};
+use mux_bench::harness::{a40_cluster, banner, dump_trace, row, save_json};
 use mux_data::align::AlignStrategy;
 use mux_data::corpus::{Corpus, DatasetKind};
 use mux_model::config::ModelConfig;
@@ -32,22 +32,45 @@ fn workload(n: usize, micro_batch: usize) -> (TaskRegistry, BTreeMap<TaskId, Vec
             _ => DatasetKind::Rte,
         };
         let id = i as TaskId + 1;
-        reg.register_task(PeftTask::lora(id, 16, micro_batch, ds.max_len())).expect("ids");
-        corpora.insert(id, Corpus::generate(ds, (micro_batch * 4).max(32), i as u64).lengths);
+        reg.register_task(PeftTask::lora(id, 16, micro_batch, ds.max_len()))
+            .expect("ids");
+        corpora.insert(
+            id,
+            Corpus::generate(ds, (micro_batch * 4).max(32), i as u64).lengths,
+        );
     }
     (reg, corpora)
 }
 
-fn throughput(reg: &TaskRegistry, corpora: &BTreeMap<TaskId, Vec<usize>>, cfg: &PlannerConfig) -> f64 {
+fn throughput(
+    reg: &TaskRegistry,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    cfg: &PlannerConfig,
+) -> f64 {
     let cluster = a40_cluster(4);
-    plan_and_run(reg, &cluster, corpora, cfg).map(|r| r.metrics.effective_throughput).unwrap_or(0.0)
+    plan_and_run(reg, &cluster, corpora, cfg)
+        .map(|r| r.metrics.effective_throughput)
+        .unwrap_or(0.0)
 }
 
-fn run_case(label: &str, n_tasks: usize, micro_batch: usize, paper: [&str; 3]) -> serde_json::Value {
+fn run_case(
+    label: &str,
+    n_tasks: usize,
+    micro_batch: usize,
+    paper: [&str; 3],
+) -> serde_json::Value {
     println!("--- {label} ({n_tasks} tasks, micro-batch {micro_batch}) ---");
     let (reg, corpora) = workload(n_tasks, micro_batch);
     let base = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
     let full = throughput(&reg, &corpora, &base);
+    // Profiling hook (MUX_TRACE_DIR): the full-MuxTune timeline per case.
+    dump_trace(
+        &format!("fig16_{label}"),
+        &reg,
+        &a40_cluster(4),
+        &corpora,
+        &base,
+    );
 
     let mut no_tf = base.clone();
     no_tf.fusion = FusionPolicy::AllTemporal;
@@ -77,14 +100,26 @@ fn run_case(label: &str, n_tasks: usize, micro_batch: usize, paper: [&str; 3]) -
 
     let drop = |v: f64| (1.0 - v / full) * 100.0;
     println!("  full MuxTune: {full:.0} effective tokens/s");
-    row("  disable task fusion (-TF)", paper[0], &format!("-{:.1}%", drop(tf)));
-    row("  disable orchestration (-OO)", paper[1], &format!("-{:.1}%", drop(oo)));
+    row(
+        "  disable task fusion (-TF)",
+        paper[0],
+        &format!("-{:.1}%", drop(tf)),
+    );
+    row(
+        "  disable orchestration (-OO)",
+        paper[1],
+        &format!("-{:.1}%", drop(oo)),
+    );
     row(
         "  -OO at fixed (temporal) fusion",
         "isolates orchestration",
         &format!("-{:.1}%", (1.0 - held_oo / held_on) * 100.0),
     );
-    row("  disable chunk alignment (-CA)", paper[2], &format!("-{:.1}%", drop(ca)));
+    row(
+        "  disable chunk alignment (-CA)",
+        paper[2],
+        &format!("-{:.1}%", drop(ca)),
+    );
 
     // Extended ablation: fusion policy quality.
     let mut greedy = base.clone();
@@ -110,5 +145,8 @@ fn main() {
     let light = run_case("lightweight", 8, 4, ["-36.1%", "-30.3%", "-22.5%"]);
     // Heavy: 4 fat tasks (mbs 16 each).
     let heavy = run_case("heavy", 4, 16, ["-6.25%", "-25.1%", "-34.3%"]);
-    save_json("fig16_ablation", &serde_json::json!({ "light": light, "heavy": heavy }));
+    save_json(
+        "fig16_ablation",
+        &serde_json::json!({ "light": light, "heavy": heavy }),
+    );
 }

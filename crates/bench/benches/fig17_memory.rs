@@ -37,23 +37,33 @@ fn run_case(
     let gpu = GpuSpec::a40();
 
     let mut curves = Vec::new();
-    println!("  {:>6} {:>12} {:>12} {:>12}", "#tasks", "NeMo GB", "SL-PEFT GB", "MuxTune GB");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12}",
+        "#tasks", "NeMo GB", "SL-PEFT GB", "MuxTune GB"
+    );
     for n in [1usize, 4, 8, 15, 16, 24, 32] {
-        let gb = |sys| {
-            memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64 / 1e9
-        };
-        let (nemo, sl, mux) =
-            (gb(SystemKind::Nemo), gb(SystemKind::SlPeft), gb(SystemKind::MuxTune));
+        let gb =
+            |sys| memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64 / 1e9;
+        let (nemo, sl, mux) = (
+            gb(SystemKind::Nemo),
+            gb(SystemKind::SlPeft),
+            gb(SystemKind::MuxTune),
+        );
         println!("  {n:>6} {nemo:>12.1} {sl:>12.1} {mux:>12.1}");
         curves.push(serde_json::json!({ "tasks": n, "nemo_gb": nemo, "sl_gb": sl, "mux_gb": mux }));
     }
     let nemo_oom = oom_task_count(SystemKind::Nemo, cfg, &refs, &corpora, gpus, 1, &gpu);
     let sl_oom = oom_task_count(SystemKind::SlPeft, cfg, &refs, &corpora, gpus, 1, &gpu);
     let mux_oom = oom_task_count(SystemKind::MuxTune, cfg, &refs, &corpora, gpus, 1, &gpu);
-    row("  NeMo/HF-PEFT OOM point", paper_oom, &format!("{nemo_oom} tasks"));
+    row(
+        "  NeMo/HF-PEFT OOM point",
+        paper_oom,
+        &format!("{nemo_oom} tasks"),
+    );
     println!("  SL-PEFT fits {sl_oom} tasks, MuxTune fits {mux_oom} tasks");
 
-    let at = |sys, n: usize| memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64;
+    let at =
+        |sys, n: usize| memory_per_gpu(sys, cfg, &refs[..n], &corpora[..n], gpus, 1).total() as f64;
     let n_cmp = nemo_oom.max(1);
     let red_nemo_oom = at(SystemKind::Nemo, n_cmp) / at(SystemKind::MuxTune, n_cmp);
     let red_sl_oom = at(SystemKind::SlPeft, n_cmp) / at(SystemKind::MuxTune, n_cmp);
@@ -102,7 +112,10 @@ fn main() {
         'B',
         4,
         "OOM after 11 tasks",
-        ["3.57x / 1.37x", "3.57x / 1.37x (paper reports OOM-point only)"],
+        [
+            "3.57x / 1.37x",
+            "3.57x / 1.37x (paper reports OOM-point only)",
+        ],
     );
     save_json("fig17_memory", &serde_json::json!({ "a": a, "b": b }));
 }

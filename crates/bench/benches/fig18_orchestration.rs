@@ -8,7 +8,9 @@
 //!
 //! Also ablates the §3.4.3 CTA policy: small-CTA vs generous-CTA vs SHARP.
 
-use mux_bench::harness::{a40_cluster, banner, h100_cluster, row, save_json, x};
+use mux_bench::harness::{
+    a40_cluster, banner, h100_cluster, row, save_json, write_trace_file, x, TRACE_DIR_ENV,
+};
 use mux_gpu_sim::metrics::device_metrics;
 use mux_gpu_sim::timeline::Cluster;
 use mux_model::config::ModelConfig;
@@ -23,14 +25,21 @@ fn registry(n: usize) -> TaskRegistry {
     // One decoder layer, as in the paper's profile.
     let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(1));
     for i in 0..n {
-        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, 8, 128)).expect("ids");
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, 8, 128))
+            .expect("ids");
     }
     reg
 }
 
 /// Runs `n` single-task hTasks in one bucket for one round on 4-GPU TP and
 /// returns (latency_ms, mean utilization).
-fn run(cluster: &Cluster, n: usize, orchestrate: bool, overlap: bool, generous: bool) -> (f64, f64) {
+fn run(
+    cluster: &Cluster,
+    n: usize,
+    orchestrate: bool,
+    overlap: bool,
+    generous: bool,
+) -> (f64, f64) {
     let reg = registry(n);
     let htasks: Vec<HTask> = reg.tasks().map(|t| HTask::from_padded(&[t], 1)).collect();
     let options = EngineOptions {
@@ -41,30 +50,60 @@ fn run(cluster: &Cluster, n: usize, orchestrate: bool, overlap: bool, generous: 
         max_in_flight: 2,
         bucket_order: BucketOrder::Descending,
     };
-    let engine = MuxEngine::new(&reg, cluster, HybridParallelism::tensor(4), vec![htasks], options);
+    let engine = MuxEngine::new(
+        &reg,
+        cluster,
+        HybridParallelism::tensor(4),
+        vec![htasks],
+        options,
+    );
     let (m, _trace) = engine.run_traced().expect("fits");
     (m.makespan * 1e3, m.mean_utilization)
 }
 
 fn main() {
-    banner("Fig 18", "one-layer utilization under 4-GPU TP (fwd+bwd round)");
+    banner(
+        "Fig 18",
+        "one-layer utilization under 4-GPU TP (fwd+bwd round)",
+    );
     let a40 = a40_cluster(4);
     let (t1, u1) = run(&a40, 1, false, false, false);
     let (t4_seq, u4_seq) = run(&a40, 4, false, false, false);
     let (t4_mux, u4_mux) = run(&a40, 4, true, true, false);
-    println!("  (a) NeMo-style, 1 task     : {t1:.2} ms, utilization {:.1}%", u1 * 100.0);
-    println!("  (b) 4 tasks, no overlap    : {t4_seq:.2} ms, utilization {:.1}%", u4_seq * 100.0);
-    println!("  (c) MuxTune, 4 tasks       : {t4_mux:.2} ms, utilization {:.1}%", u4_mux * 100.0);
-    row("  (a) single-task utilization", "82.5% (43.2 ms)", &format!("{:.1}% ({t1:.1} ms)", u1 * 100.0));
+    println!(
+        "  (a) NeMo-style, 1 task     : {t1:.2} ms, utilization {:.1}%",
+        u1 * 100.0
+    );
+    println!(
+        "  (b) 4 tasks, no overlap    : {t4_seq:.2} ms, utilization {:.1}%",
+        u4_seq * 100.0
+    );
+    println!(
+        "  (c) MuxTune, 4 tasks       : {t4_mux:.2} ms, utilization {:.1}%",
+        u4_mux * 100.0
+    );
+    row(
+        "  (a) single-task utilization",
+        "82.5% (43.2 ms)",
+        &format!("{:.1}% ({t1:.1} ms)", u1 * 100.0),
+    );
     row(
         "  (b) interleaved-no-overlap grows ~linearly",
         "172.5 ms (~4x), util ~84.7%",
-        &format!("{t4_seq:.1} ms ({:.2}x of 4x), util {:.1}%", t4_seq / (4.0 * t1), u4_seq * 100.0),
+        &format!(
+            "{t4_seq:.1} ms ({:.2}x of 4x), util {:.1}%",
+            t4_seq / (4.0 * t1),
+            u4_seq * 100.0
+        ),
     );
     row(
         "  (c) MuxTune overlap beats (b)",
         "156.2 ms, 97.8% (1.19x util)",
-        &format!("{t4_mux:.1} ms, {:.1}% ({} util)", u4_mux * 100.0, x(u4_mux / u4_seq)),
+        &format!(
+            "{t4_mux:.1} ms, {:.1}% ({} util)",
+            u4_mux * 100.0,
+            x(u4_mux / u4_seq)
+        ),
     );
 
     // CTA-policy ablation (§3.4.3): generous CTAs vs small budget on A40,
@@ -73,7 +112,9 @@ fn main() {
     let h100 = h100_cluster(4);
     let (t_sharp_rel, u_sharp) = run(&h100, 4, true, true, false);
     let (t_h100_seq, _) = run(&h100, 4, false, false, false);
-    println!("\n  CTA tradeoff (A40, no SHARP): small-CTA {t4_mux:.1} ms vs generous-CTA {t_gen:.1} ms");
+    println!(
+        "\n  CTA tradeoff (A40, no SHARP): small-CTA {t4_mux:.1} ms vs generous-CTA {t_gen:.1} ms"
+    );
     row(
         "  SHARP overlap wins on NVSwitch",
         "full overlap with 8 CTAs",
@@ -91,9 +132,20 @@ fn main() {
         &a40,
         HybridParallelism::tensor(4),
         vec![htasks],
-        EngineOptions { max_in_flight: 2, ..EngineOptions::default() },
+        EngineOptions {
+            max_in_flight: 2,
+            ..EngineOptions::default()
+        },
     );
     let (m, trace) = engine.run_traced().expect("fits");
+    // Profiling hook (MUX_TRACE_DIR): the one-layer orchestration timeline.
+    if let Some(dir) = std::env::var_os(TRACE_DIR_ENV) {
+        if let Some(p) =
+            write_trace_file(std::path::Path::new(&dir), "fig18_orchestration", &trace, 4)
+        {
+            println!("  [trace] wrote {}", p.display());
+        }
+    }
     let dm = {
         // Recover device metrics from the trace via a scratch timeline is
         // unnecessary — utilization is already aggregated in `m`.

@@ -22,7 +22,8 @@ use muxtune_core::planner::{plan_and_run, PlannerConfig};
 fn registry(n_tasks: usize, micro_batch: usize, seq: usize) -> TaskRegistry {
     let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
     for i in 0..n_tasks {
-        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, micro_batch, seq)).expect("ids");
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, micro_batch, seq))
+            .expect("ids");
     }
     reg
 }
@@ -36,7 +37,12 @@ fn orchestration_only(plan: HybridParallelism, mbs: usize) -> PlannerConfig {
     pc
 }
 
-fn sweep(plan: HybridParallelism, micro_batches: usize, label: &str, paper: &str) -> serde_json::Value {
+fn sweep(
+    plan: HybridParallelism,
+    micro_batches: usize,
+    label: &str,
+    paper: &str,
+) -> serde_json::Value {
     println!("--- {label} ---");
     let cluster = a40_cluster(4);
     let mut rows = Vec::new();
@@ -45,12 +51,23 @@ fn sweep(plan: HybridParallelism, micro_batches: usize, label: &str, paper: &str
         let mut best = 0.0f64;
         for n in [2usize, 4, 8] {
             let reg = registry(n, 8, seq);
-            let mux = plan_and_run(&reg, &cluster, &BTreeMap::new(), &orchestration_only(plan, micro_batches))
-                .map(|r| r.metrics.throughput)
-                .unwrap_or(0.0);
-            let nemo = run_system(SystemKind::Nemo, &reg, &cluster, &BTreeMap::new(), micro_batches)
-                .map(|r| r.metrics.throughput)
-                .unwrap_or(f64::INFINITY);
+            let mux = plan_and_run(
+                &reg,
+                &cluster,
+                &BTreeMap::new(),
+                &orchestration_only(plan, micro_batches),
+            )
+            .map(|r| r.metrics.throughput)
+            .unwrap_or(0.0);
+            let nemo = run_system(
+                SystemKind::Nemo,
+                &reg,
+                &cluster,
+                &BTreeMap::new(),
+                micro_batches,
+            )
+            .map(|r| r.metrics.throughput)
+            .unwrap_or(f64::INFINITY);
             let ratio = mux / nemo;
             best = best.max(ratio);
             line.push_str(&format!(" {n}tasks {}", x(ratio)));
@@ -84,5 +101,8 @@ fn main() {
         "(b') pipeline, 4 micro-batches (more bubbles)",
         "up to 1.59x",
     );
-    save_json("fig19_orchestration_e2e", &serde_json::json!({ "a": a, "b": b, "fewer_mbs": c }));
+    save_json(
+        "fig19_orchestration_e2e",
+        &serde_json::json!({ "a": a, "b": b, "fewer_mbs": c }),
+    );
 }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use mux_bench::harness::{a40_cluster, banner, row, save_json, table2_workload, x};
+use mux_bench::harness::{a40_cluster, banner, dump_trace, row, save_json, table2_workload, x};
 use mux_data::align::AlignStrategy;
 use mux_data::corpus::Corpus;
 use mux_model::config::ModelConfig;
@@ -35,7 +35,8 @@ fn run_case(label: &str, wl: char, align: AlignStrategy, paper: [&str; 2]) -> se
         let mut corpora = BTreeMap::new();
         for (i, &(ds, mb)) in spec.iter().take(n).enumerate() {
             let id = i as TaskId + 1;
-            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len())).expect("ids");
+            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len()))
+                .expect("ids");
             // One micro-batch per iteration (the paper's Fig 20 setup): the
             // global batch is exactly the micro-batch.
             corpora.insert(id, Corpus::generate(ds, mb, id as u64).lengths);
@@ -71,6 +72,10 @@ fn run_case(label: &str, wl: char, align: AlignStrategy, paper: [&str; 2]) -> se
         // the number — effective is the economically meaningful one).
         best_overall = best_overall.max(mux.throughput / zp.throughput);
         best_effective = best_effective.max(mux.effective_throughput / zp.effective_throughput);
+        // Profiling hook (MUX_TRACE_DIR): the full-width hybrid task.
+        if n == 8 {
+            dump_trace(&format!("fig20_wl{wl}"), &reg, &cluster, &corpora, &mux_cfg);
+        }
         rows.push(serde_json::json!({
             "tasks": n,
             "mux": { "overall": mux.throughput, "effective": mux.effective_throughput },
@@ -84,7 +89,10 @@ fn run_case(label: &str, wl: char, align: AlignStrategy, paper: [&str; 2]) -> se
 }
 
 fn main() {
-    banner("Fig 20", "chunk-based alignment vs SL-PEFT zero padding (1 hTask)");
+    banner(
+        "Fig 20",
+        "chunk-based alignment vs SL-PEFT zero padding (1 hTask)",
+    );
     let a = run_case(
         "Fig 20a: chunk 64 (no intra-chunk padding)",
         'A',

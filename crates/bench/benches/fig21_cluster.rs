@@ -15,10 +15,16 @@ use mux_data::corpus::DatasetKind;
 use mux_model::config::ModelConfig;
 
 fn main() {
-    banner("Fig 21b", "cluster throughput on a Philly-like trace (128 GPUs, FCFS)");
+    banner(
+        "Fig 21b",
+        "cluster throughput on a Philly-like trace (128 GPUs, FCFS)",
+    );
     let backbone = ModelConfig::llama2_7b();
     let instance = a40_cluster(4);
-    let shape = ClusterShape { total_gpus: 128, gpus_per_instance: 4 };
+    let shape = ClusterShape {
+        total_gpus: 128,
+        gpus_per_instance: 4,
+    };
     let reference = reference_throughput(&backbone, &instance, 4);
     println!("  reference rate (NeMo, 1 QA task, 4 GPUs): {reference:.0} tokens/s");
 
@@ -65,8 +71,16 @@ fn main() {
                 row("  MuxTune vs SL-PEFT", "1.36x", &x(mux / tput["SL-PEFT"]));
             }
             _ => {
-                row("  MuxTune vs SL-PEFT (non-uniform)", "1.58x", &x(mux / tput["SL-PEFT"]));
-                row("  MuxTune vs NeMo (non-uniform)", "(cf. uniform 1.51x)", &x(mux / tput["NeMo"]));
+                row(
+                    "  MuxTune vs SL-PEFT (non-uniform)",
+                    "1.58x",
+                    &x(mux / tput["SL-PEFT"]),
+                );
+                row(
+                    "  MuxTune vs NeMo (non-uniform)",
+                    "(cf. uniform 1.51x)",
+                    &x(mux / tput["NeMo"]),
+                );
             }
         }
     }

@@ -7,7 +7,9 @@
 //!   for both, MuxTune up to ~1.28x ahead.
 
 use mux_baselines::runner::{run_system, SystemKind};
-use mux_bench::harness::{a40_cluster, a40_multinode, banner, build_workload, row, save_json, x, Combo};
+use mux_bench::harness::{
+    a40_cluster, a40_multinode, banner, build_workload, row, save_json, x, Combo,
+};
 use mux_data::corpus::DatasetKind;
 use mux_gpu_sim::timeline::Cluster;
 use mux_model::config::ModelConfig;
@@ -20,11 +22,16 @@ fn throughput(sys: SystemKind, cluster: &Cluster, n_tasks: usize) -> f64 {
         8,
         5,
     );
-    run_system(sys, &reg, cluster, &corpora, 4).map(|r| r.metrics.throughput).unwrap_or(0.0)
+    run_system(sys, &reg, cluster, &corpora, 4)
+        .map(|r| r.metrics.throughput)
+        .unwrap_or(0.0)
 }
 
 fn main() {
-    banner("Fig 21a", "scalability: up-only vs up-then-out (LLaMA7B, n tasks on n GPUs)");
+    banner(
+        "Fig 21a",
+        "scalability: up-only vs up-then-out (LLaMA7B, n tasks on n GPUs)",
+    );
     let mut rows = Vec::new();
     let mut best_up = 0.0f64;
     let mut best_out = 0.0f64;
@@ -34,14 +41,22 @@ fn main() {
     );
     for n in [4usize, 8, 16] {
         // Up-only: one instance spanning all n GPUs (multi-node past 4).
-        let up_cluster = if n <= 4 { a40_cluster(n) } else { a40_multinode(n / 2) };
+        let up_cluster = if n <= 4 {
+            a40_cluster(n)
+        } else {
+            a40_multinode(n / 2)
+        };
         let mux_up = throughput(SystemKind::MuxTune, &up_cluster, n);
         let nemo_up = throughput(SystemKind::Nemo, &up_cluster, n);
         // Up-then-out: n/4 replicated 4-GPU instances, each n/(n/4)=4 tasks.
         let replicas = n / 4;
         let inst = a40_cluster(4);
-        let mux_out: f64 = (0..replicas).map(|_| throughput(SystemKind::MuxTune, &inst, 4)).sum();
-        let nemo_out: f64 = (0..replicas).map(|_| throughput(SystemKind::Nemo, &inst, 4)).sum();
+        let mux_out: f64 = (0..replicas)
+            .map(|_| throughput(SystemKind::MuxTune, &inst, 4))
+            .sum();
+        let nemo_out: f64 = (0..replicas)
+            .map(|_| throughput(SystemKind::Nemo, &inst, 4))
+            .sum();
         println!("  {n:>6} {mux_up:>14.0} {nemo_up:>14.0} {mux_out:>16.0} {nemo_out:>16.0}");
         best_up = best_up.max(mux_up / nemo_up);
         best_out = best_out.max(mux_out / nemo_out);
@@ -51,7 +66,11 @@ fn main() {
         }));
     }
     row("  up-only: MuxTune vs NeMo", "1.61x", &x(best_up));
-    row("  up-then-out: MuxTune vs NeMo", "up to 1.28x", &x(best_out));
+    row(
+        "  up-then-out: MuxTune vs NeMo",
+        "up to 1.28x",
+        &x(best_out),
+    );
     row(
         "  up-then-out scales near-linearly",
         "near-linear for both",

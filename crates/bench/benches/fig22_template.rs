@@ -16,23 +16,36 @@ use muxtune_core::htask::HTask;
 use muxtune_core::template::BucketOrder;
 
 fn main() {
-    banner("Fig 22", "structured-template bucket orderings (Appendix A)");
+    banner(
+        "Fig 22",
+        "structured-template bucket orderings (Appendix A)",
+    );
     // Heterogeneous buckets: micro-batch sizes 16 / 8 / 4 / 2 create the
     // descending load profile the template exploits.
     let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
     for (i, mb) in [16usize, 8, 4, 2].iter().enumerate() {
-        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, *mb, 128)).expect("ids");
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, *mb, 128))
+            .expect("ids");
     }
     let cluster = a40_cluster(4);
     // One single-task hTask per bucket, 4 micro-batches each, already
     // sorted descending by load (registration order).
-    let buckets: Vec<Vec<HTask>> =
-        reg.tasks().map(|t| vec![HTask::from_padded(&[t], 4)]).collect();
+    let buckets: Vec<Vec<HTask>> = reg
+        .tasks()
+        .map(|t| vec![HTask::from_padded(&[t], 4)])
+        .collect();
 
     let mut results = Vec::new();
     let mut times = std::collections::BTreeMap::new();
-    for order in [BucketOrder::Descending, BucketOrder::Ascending, BucketOrder::MiddlePeak] {
-        let options = EngineOptions { bucket_order: order, ..EngineOptions::default() };
+    for order in [
+        BucketOrder::Descending,
+        BucketOrder::Ascending,
+        BucketOrder::MiddlePeak,
+    ] {
+        let options = EngineOptions {
+            bucket_order: order,
+            ..EngineOptions::default()
+        };
         let engine = MuxEngine::new(
             &reg,
             &cluster,

@@ -38,7 +38,11 @@ fn train_throughput(
     };
     let shapes = UniformShape(TokenShape::new(mbs, seq));
     let devices: Vec<usize> = (0..tp).collect();
-    let bwd = if peft { Pass::BackwardInputOnly } else { Pass::BackwardFull };
+    let bwd = if peft {
+        Pass::BackwardInputOnly
+    } else {
+        Pass::BackwardFull
+    };
     for _ in 0..steps {
         execute_stage_sequential(&mut tl, &graph, &shapes, Pass::Forward, &devices, &[]);
         execute_stage_sequential(&mut tl, &graph, &shapes, bwd, &devices, &[]);
@@ -47,12 +51,16 @@ fn train_throughput(
 }
 
 fn fig3a() -> serde_json::Value {
-    banner("Fig 3a", "single-GPU MFU, PEFT vs pretraining (8-layer models, gbs 32, seq 128)");
+    banner(
+        "Fig 3a",
+        "single-GPU MFU, PEFT vs pretraining (8-layer models, gbs 32, seq 128)",
+    );
     let mut out = Vec::new();
     for base in [ModelConfig::llama2_7b(), ModelConfig::gpt3_2_7b()] {
         let cfg = base.with_layers(8);
         let mut reg = TaskRegistry::new(cfg.clone());
-        reg.register_task(PeftTask::lora(1, 16, 8, 128)).expect("register");
+        reg.register_task(PeftTask::lora(1, 16, 8, 128))
+            .expect("register");
         println!("--- {} ---", cfg.name);
         let mut worst_gap: f64 = 0.0;
         for mbs in [1usize, 2, 4, 8] {
@@ -75,13 +83,20 @@ fn fig3a() -> serde_json::Value {
                 "mfu_pretrain": mfu_pre, "gap": gap,
             }));
         }
-        row("  worst PEFT-vs-pretrain MFU gap", "up to 1.47x", &x(worst_gap));
+        row(
+            "  worst PEFT-vs-pretrain MFU gap",
+            "up to 1.47x",
+            &x(worst_gap),
+        );
     }
     serde_json::json!(out)
 }
 
 fn fig3b() -> serde_json::Value {
-    banner("Fig 3b", "operator utilization & latency: LoRA ranks vs pretrain GEMM (MBS 8)");
+    banner(
+        "Fig 3b",
+        "operator utilization & latency: LoRA ranks vs pretrain GEMM (MBS 8)",
+    );
     let gpu = GpuSpec::a40();
     let sh = TokenShape::new(8, 128);
     let t = sh.tokens() as f64;
@@ -106,28 +121,42 @@ fn fig3b() -> serde_json::Value {
         );
         out.push(serde_json::json!({ "rank": r, "latency_ms": lat * 1e3, "utilization": util }));
     }
-    println!("  r=4096 latency {:.3} ms  utilization {:.1}%", pre_lat * 1e3, pre_util * 100.0);
+    println!(
+        "  r=4096 latency {:.3} ms  utilization {:.1}%",
+        pre_lat * 1e3,
+        pre_util * 100.0
+    );
     row(
         "  LoRA-op vs pretrain-GEMM latency",
         "0.46 ms vs 1.80 ms",
-        &format!("{:.2} ms vs {:.2} ms", gpu.compute_time(gemm(64), 1.0) * 1e3, pre_lat * 1e3),
+        &format!(
+            "{:.2} ms vs {:.2} ms",
+            gpu.compute_time(gemm(64), 1.0) * 1e3,
+            pre_lat * 1e3
+        ),
     );
     row(
         "  utilization gap",
         "up to 40.9%",
         &format!("{:.1}pp", (pre_util - gpu.op_utilization(gemm(4))) * 100.0),
     );
-    out.push(serde_json::json!({ "rank": 4096, "latency_ms": pre_lat * 1e3, "utilization": pre_util }));
+    out.push(
+        serde_json::json!({ "rank": 4096, "latency_ms": pre_lat * 1e3, "utilization": pre_util }),
+    );
     serde_json::json!(out)
 }
 
 fn fig3c() -> serde_json::Value {
-    banner("Fig 3c", "multi-GPU MFU of full models (gbs 128, seq 128, TP on Table 1 #GPUs)");
+    banner(
+        "Fig 3c",
+        "multi-GPU MFU of full models (gbs 128, seq 128, TP on Table 1 #GPUs)",
+    );
     let mut out = Vec::new();
     for base in [ModelConfig::gpt3_2_7b(), ModelConfig::llama2_7b()] {
         let tp = base.default_gpus.min(4);
         let mut reg = TaskRegistry::new(base.clone());
-        reg.register_task(PeftTask::lora(1, 16, 8, 128)).expect("register");
+        reg.register_task(PeftTask::lora(1, 16, 8, 128))
+            .expect("register");
         let peak = GpuSpec::a40().peak_flops * tp as f64;
         let tp_peft = train_throughput(&reg, true, tp, 8, 128, 4);
         let tp_pre = train_throughput(&reg, false, tp, 8, 128, 4);
@@ -149,16 +178,27 @@ fn fig3c() -> serde_json::Value {
 }
 
 fn fig3d() -> serde_json::Value {
-    banner("Fig 3d", "GPU and NVLink utilization, 4-GPU tensor parallelism (sequential launch)");
+    banner(
+        "Fig 3d",
+        "GPU and NVLink utilization, 4-GPU tensor parallelism (sequential launch)",
+    );
     let cfg = ModelConfig::llama2_7b();
     let mut reg = TaskRegistry::new(cfg.clone());
-    reg.register_task(PeftTask::lora(1, 16, 8, 128)).expect("register");
+    reg.register_task(PeftTask::lora(1, 16, 8, 128))
+        .expect("register");
     let cluster = a40_cluster(4);
     let mut tl = Timeline::new(&cluster);
     let graph = reg.build_multitask_stage_graph(0, 4, 4, &[1]);
     let shapes = UniformShape(TokenShape::new(8, 128));
     execute_stage_sequential(&mut tl, &graph, &shapes, Pass::Forward, &[0, 1, 2, 3], &[]);
-    execute_stage_sequential(&mut tl, &graph, &shapes, Pass::BackwardInputOnly, &[0, 1, 2, 3], &[]);
+    execute_stage_sequential(
+        &mut tl,
+        &graph,
+        &shapes,
+        Pass::BackwardInputOnly,
+        &[0, 1, 2, 3],
+        &[],
+    );
     let w = tl.finish_time();
     let m = device_metrics(&tl, w);
     let tr = utilization_trace(&tl, 0, w, 20);
@@ -170,12 +210,18 @@ fn fig3d() -> serde_json::Value {
     );
     println!(
         "  utilization trace (20 buckets, %): {:?}",
-        tr.compute.iter().map(|v| (v * 100.0).round() as i32).collect::<Vec<_>>()
+        tr.compute
+            .iter()
+            .map(|v| (v * 100.0).round() as i32)
+            .collect::<Vec<_>>()
     );
     row(
         "  stalls visible",
         "significant stalls (Fig 3d)",
-        &format!("compute idles {:.0}% of the window while comm runs", (1.0 - m[0].busy_fraction) * 100.0),
+        &format!(
+            "compute idles {:.0}% of the window while comm runs",
+            (1.0 - m[0].busy_fraction) * 100.0
+        ),
     );
     serde_json::json!({
         "busy": m[0].busy_fraction, "util": m[0].avg_utilization,
@@ -188,5 +234,8 @@ fn main() {
     let b = fig3b();
     let c = fig3c();
     let d = fig3d();
-    save_json("fig3_inefficiency", &serde_json::json!({ "a": a, "b": b, "c": c, "d": d }));
+    save_json(
+        "fig3_inefficiency",
+        &serde_json::json!({ "a": a, "b": b, "c": c, "d": d }),
+    );
 }

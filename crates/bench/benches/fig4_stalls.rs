@@ -11,16 +11,18 @@
 
 use mux_bench::harness::{a40_cluster, banner, row, save_json, x};
 use mux_gpu_sim::metrics::device_metrics;
+#[allow(unused_imports)]
+use mux_gpu_sim::spec::WorkClass;
 use mux_gpu_sim::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
 use mux_gpu_sim::timeline::{CollectiveKind, OpHandle, Timeline};
 use mux_model::config::ModelConfig;
 use mux_model::ops::{Pass, TokenShape};
 use mux_parallel::plan::stage_layers;
-use mux_parallel::pp::{dualpipe_like_with_w, one_f_one_b, simulate_pipeline, zb_h2, Phase, PipelineExec};
+use mux_parallel::pp::{
+    dualpipe_like_with_w, one_f_one_b, simulate_pipeline, zb_h2, Phase, PipelineExec,
+};
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::PeftTask;
-#[allow(unused_imports)]
-use mux_gpu_sim::spec::WorkClass;
 
 /// Executes pipeline cells with per-stage latencies from the real stage
 /// graphs (PEFT or pretrain costs).
@@ -33,7 +35,11 @@ struct StageExec {
 
 impl PipelineExec for StageExec {
     fn stage_devices(&self, stage: usize) -> Vec<usize> {
-        vec![if stage < self.ranks { stage } else { 2 * self.ranks - 1 - stage }]
+        vec![if stage < self.ranks {
+            stage
+        } else {
+            2 * self.ranks - 1 - stage
+        }]
     }
     fn exec(
         &mut self,
@@ -50,7 +56,14 @@ impl PipelineExec for StageExec {
             Phase::Weight => w,
         };
         let dev = self.stage_devices(stage)[0];
-        tl.compute_fixed(dev, secs, 0.6, 0.0, deps, format!("s{stage} mb{mb} {phase:?}"))
+        tl.compute_fixed(
+            dev,
+            secs,
+            0.6,
+            0.0,
+            deps,
+            format!("s{stage} mb{mb} {phase:?}"),
+        )
     }
     fn p2p_bytes(&self, _mb: usize) -> f64 {
         self.p2p
@@ -89,7 +102,8 @@ fn fig4a() -> serde_json::Value {
     );
     let cfg = ModelConfig::llama2_7b().with_layers(16);
     let mut reg = TaskRegistry::new(cfg.clone());
-    reg.register_task(PeftTask::lora(1, 16, 4, 128)).expect("register");
+    reg.register_task(PeftTask::lora(1, 16, 4, 128))
+        .expect("register");
     let shape = TokenShape::new(4, 128);
     let ranks = 4;
     let mbs = 8;
@@ -152,10 +166,26 @@ fn fig4a() -> serde_json::Value {
         t_zb_peft * 1e3,
         t_dual_peft * 1e3
     );
-    println!("  pretrain : 1F1B {:.1} ms | ZB-H2 {:.1} ms", t_1f1b_pre * 1e3, t_zb_pre * 1e3);
-    row("  ZB-H2 in pretrain vs 1F1B", "near-zero-bubble win", &x(t_1f1b_pre / t_zb_pre));
-    row("  DualPipe-like in PEFT vs 1F1B", "1.16x slower", &x(t_dual_peft / t_1f1b_peft));
-    row("  ZB-H2 in PEFT vs 1F1B", "no gain (W absent)", &x(t_zb_peft / t_1f1b_peft));
+    println!(
+        "  pretrain : 1F1B {:.1} ms | ZB-H2 {:.1} ms",
+        t_1f1b_pre * 1e3,
+        t_zb_pre * 1e3
+    );
+    row(
+        "  ZB-H2 in pretrain vs 1F1B",
+        "near-zero-bubble win",
+        &x(t_1f1b_pre / t_zb_pre),
+    );
+    row(
+        "  DualPipe-like in PEFT vs 1F1B",
+        "1.16x slower",
+        &x(t_dual_peft / t_1f1b_peft),
+    );
+    row(
+        "  ZB-H2 in PEFT vs 1F1B",
+        "no gain (W absent)",
+        &x(t_zb_peft / t_1f1b_peft),
+    );
     serde_json::json!({
         "peft": { "f1b_ms": t_1f1b_peft*1e3, "zb_ms": t_zb_peft*1e3, "dualpipe_ms": t_dual_peft*1e3 },
         "pretrain": { "f1b_ms": t_1f1b_pre*1e3, "zb_ms": t_zb_pre*1e3 },
@@ -164,7 +194,10 @@ fn fig4a() -> serde_json::Value {
 }
 
 fn fig4b() -> serde_json::Value {
-    banner("Fig 4b", "communication stalls: tile-decomposed overlap (GPT2.7B 2 layers, 2-GPU TP)");
+    banner(
+        "Fig 4b",
+        "communication stalls: tile-decomposed overlap (GPT2.7B 2 layers, 2-GPU TP)",
+    );
     let cfg = ModelConfig::gpt3_2_7b();
     let reg = TaskRegistry::new(cfg.clone());
     let shape = TokenShape::new(8, 128);
@@ -190,7 +223,12 @@ fn fig4b() -> serde_json::Value {
                 );
                 last = vec![h];
             } else {
-                let w = mux_parallel::tp::work_for(&n.template.cost, n.template.kind, shape, Pass::Forward);
+                let w = mux_parallel::tp::work_for(
+                    &n.template.cost,
+                    n.template.kind,
+                    shape,
+                    Pass::Forward,
+                );
                 let h0 = tl_seq.compute(0, w, &last, n.template.name.clone());
                 let h1 = tl_seq.compute(1, w, &last, n.template.name.clone());
                 last = vec![h0, h1];
@@ -211,13 +249,24 @@ fn fig4b() -> serde_json::Value {
         let mut i = 0;
         while i < nodes.len() {
             let n = &nodes[i];
-            let feeds_comm =
-                nodes.get(i + 1).map(|m| m.template.kind.is_comm()).unwrap_or(false);
+            let feeds_comm = nodes
+                .get(i + 1)
+                .map(|m| m.template.kind.is_comm())
+                .unwrap_or(false);
             if feeds_comm && !n.template.kind.is_comm() {
                 let comm = &nodes[i + 1];
-                let w = mux_parallel::tp::work_for(&n.template.cost, n.template.kind, shape, Pass::Forward);
+                let w = mux_parallel::tp::work_for(
+                    &n.template.cost,
+                    n.template.kind,
+                    shape,
+                    Pass::Forward,
+                );
                 let payload = comm.template.cost.comm_bytes(shape) / tiles as f64;
-                let tile = Work { flops: w.flops / tiles as f64, bytes: w.bytes / tiles as f64, ..w };
+                let tile = Work {
+                    flops: w.flops / tiles as f64,
+                    bytes: w.bytes / tiles as f64,
+                    ..w
+                };
                 let mut ars = Vec::new();
                 let mut prev = last.clone();
                 for t in 0..tiles {
@@ -238,7 +287,12 @@ fn fig4b() -> serde_json::Value {
                 last = ars;
                 i += 2;
             } else {
-                let w = mux_parallel::tp::work_for(&n.template.cost, n.template.kind, shape, Pass::Forward);
+                let w = mux_parallel::tp::work_for(
+                    &n.template.cost,
+                    n.template.kind,
+                    shape,
+                    Pass::Forward,
+                );
                 let h0 = tl_dec.compute(0, w, &last, n.template.name.clone());
                 let h1 = tl_dec.compute(1, w, &last, n.template.name.clone());
                 last = vec![h0, h1];
@@ -249,10 +303,26 @@ fn fig4b() -> serde_json::Value {
     let t_dec = tl_dec.finish_time();
     let u_dec = device_metrics(&tl_dec, t_dec)[0].avg_utilization;
 
-    println!("  sequential : {:.2} ms, utilization {:.1}%", t_seq * 1e3, u_seq * 100.0);
-    println!("  decomposed : {:.2} ms, utilization {:.1}% ({tiles} tiles)", t_dec * 1e3, u_dec * 100.0);
-    row("  latency inflation from decomposition", "1.17x", &x(t_dec / t_seq));
-    row("  utilization drop", "24.5%", &format!("{:.1}pp", (u_seq - u_dec) * 100.0));
+    println!(
+        "  sequential : {:.2} ms, utilization {:.1}%",
+        t_seq * 1e3,
+        u_seq * 100.0
+    );
+    println!(
+        "  decomposed : {:.2} ms, utilization {:.1}% ({tiles} tiles)",
+        t_dec * 1e3,
+        u_dec * 100.0
+    );
+    row(
+        "  latency inflation from decomposition",
+        "1.17x",
+        &x(t_dec / t_seq),
+    );
+    row(
+        "  utilization drop",
+        "24.5%",
+        &format!("{:.1}pp", (u_seq - u_dec) * 100.0),
+    );
     serde_json::json!({
         "sequential_ms": t_seq * 1e3, "decomposed_ms": t_dec * 1e3,
         "util_seq": u_seq, "util_dec": u_dec, "inflation": t_dec / t_seq,

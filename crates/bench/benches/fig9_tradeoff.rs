@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use mux_bench::harness::{a40_cluster, banner, row, save_json, x};
+use mux_bench::harness::{a40_cluster, banner, dump_trace, row, save_json, x};
 use mux_gpu_sim::spec::{GpuSpec, Work};
 use mux_model::config::ModelConfig;
 use mux_parallel::plan::HybridParallelism;
@@ -24,8 +24,10 @@ use muxtune_core::planner::{plan_and_run, PlannerConfig};
 fn run_policy(mbs_size: usize, policy: FusionPolicy) -> f64 {
     let cfg = ModelConfig::llama2_7b().with_layers(16);
     let mut reg = TaskRegistry::new(cfg);
-    reg.register_task(PeftTask::lora(1, 16, mbs_size, 64)).expect("t1");
-    reg.register_task(PeftTask::lora(2, 16, mbs_size, 64)).expect("t2");
+    reg.register_task(PeftTask::lora(1, 16, mbs_size, 64))
+        .expect("t1");
+    reg.register_task(PeftTask::lora(2, 16, mbs_size, 64))
+        .expect("t2");
     let cluster = a40_cluster(4);
     let mut pc = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
     pc.fusion = policy;
@@ -35,7 +37,10 @@ fn run_policy(mbs_size: usize, policy: FusionPolicy) -> f64 {
 }
 
 fn fig9a() -> serde_json::Value {
-    banner("Fig 9a", "spatial vs temporal: 2 tasks, 16-layer LLaMA7B, 4-GPU pipeline, seq 64");
+    banner(
+        "Fig 9a",
+        "spatial vs temporal: 2 tasks, 16-layer LLaMA7B, 4-GPU pipeline, seq 64",
+    );
     let mut out = Vec::new();
     let mut crossover = None;
     let mut prev_spatial_won = None;
@@ -43,7 +48,11 @@ fn fig9a() -> serde_json::Value {
         let spatial = run_policy(mbs, FusionPolicy::AllSpatial);
         let temporal = run_policy(mbs, FusionPolicy::AllTemporal);
         let dp = run_policy(mbs, FusionPolicy::Dp);
-        let winner = if spatial >= temporal { "spatial" } else { "temporal" };
+        let winner = if spatial >= temporal {
+            "spatial"
+        } else {
+            "temporal"
+        };
         println!(
             "  mbs {mbs:>3}: spatial {spatial:>9.0} t/s | temporal {temporal:>9.0} t/s | DP {dp:>9.0} t/s -> {winner}"
         );
@@ -66,7 +75,11 @@ fn fig9a() -> serde_json::Value {
             None => "no crossover in sweep".into(),
         },
     );
-    row("  DP >= max(spatial, temporal)", "DP picks the winner", "see per-row DP column");
+    row(
+        "  DP >= max(spatial, temporal)",
+        "DP picks the winner",
+        "see per-row DP column",
+    );
     serde_json::json!(out)
 }
 
@@ -82,14 +95,25 @@ fn batching_gain(gpu: &GpuSpec) -> f64 {
 }
 
 fn fig9b() -> serde_json::Value {
-    banner("Fig 9b", "diminishing batching returns (1 GPU, 8 tasks x mbs 8, seq 128)");
+    banner(
+        "Fig 9b",
+        "diminishing batching returns (1 GPU, 8 tasks x mbs 8, seq 128)",
+    );
     let real = batching_gain(&GpuSpec::a40());
     let mut ideal_gpu = GpuSpec::a40();
     ideal_gpu.flops_half = 1.0; // ablation: no saturation ramp
     ideal_gpu.launch_overhead = 0.0;
     let ideal = batching_gain(&ideal_gpu);
-    row("  throughput gain from batching 8 tasks", "~1.12x (vs ideal 8x)", &x(real));
-    row("  ablation (no efficiency ramp)", "-> gain vanishes to ~1x", &x(ideal));
+    row(
+        "  throughput gain from batching 8 tasks",
+        "~1.12x (vs ideal 8x)",
+        &x(real),
+    );
+    row(
+        "  ablation (no efficiency ramp)",
+        "-> gain vanishes to ~1x",
+        &x(ideal),
+    );
     serde_json::json!({ "gain": real, "gain_ideal_gpu": ideal })
 }
 
@@ -97,4 +121,16 @@ fn main() {
     let a = fig9a();
     let b = fig9b();
     save_json("fig9_tradeoff", &serde_json::json!({ "a": a, "b": b }));
+    // Profiling hook (MUX_TRACE_DIR): the DP plan at the crossover point.
+    let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+    reg.register_task(PeftTask::lora(1, 16, 8, 64)).expect("t1");
+    reg.register_task(PeftTask::lora(2, 16, 8, 64)).expect("t2");
+    let pc = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
+    dump_trace(
+        "fig9_tradeoff",
+        &reg,
+        &a40_cluster(4),
+        &BTreeMap::new(),
+        &pc,
+    );
 }

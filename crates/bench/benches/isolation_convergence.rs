@@ -15,7 +15,10 @@ use mux_peft::isolation::{compare_fused_vs_separate, nan_containment};
 use mux_peft::trainer::{ExecTask, MultiTaskTrainer, TaskBatch};
 
 fn main() {
-    banner("Isolation", "fused vs separate execution on real training (§3.2)");
+    banner(
+        "Isolation",
+        "fused vs separate execution on real training (§3.2)",
+    );
     let cfg = TinyConfig::small();
 
     // 1. Trajectory consistency across 6 steps, 3 tasks of 3 PEFT types.
@@ -40,7 +43,10 @@ fn main() {
         },
         &batches,
     );
-    println!("  per-task max MSD after {} steps: {:?}", report.steps, report.max_msd_per_task);
+    println!(
+        "  per-task max MSD after {} steps: {:?}",
+        report.steps, report.max_msd_per_task
+    );
     row(
         "  fused = separate trajectories (MSD)",
         "~0.07 consistency on GPUs",
@@ -49,7 +55,14 @@ fn main() {
     row(
         "  final-loss deviation",
         "no convergence impact",
-        &format!("{:.2e}", report.loss_diff_per_task.iter().cloned().fold(0.0f32, f32::max)),
+        &format!(
+            "{:.2e}",
+            report
+                .loss_diff_per_task
+                .iter()
+                .cloned()
+                .fold(0.0f32, f32::max)
+        ),
     );
 
     // 2. NaN containment.
@@ -86,10 +99,7 @@ fn main() {
     row(
         "  all fused tasks converge",
         "losses decrease",
-        &format!(
-            "{}",
-            first.iter().zip(&last).all(|(f, l)| l.loss < f.loss)
-        ),
+        &format!("{}", first.iter().zip(&last).all(|(f, l)| l.loss < f.loss)),
     );
     save_json(
         "isolation_convergence",

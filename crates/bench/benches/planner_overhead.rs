@@ -25,7 +25,8 @@ fn registry(m: usize) -> TaskRegistry {
     let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
     for i in 0..m {
         let seq = [64usize, 128, 256][i % 3];
-        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, 2 + (i % 4) * 2, seq)).expect("ids");
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 16, 2 + (i % 4) * 2, seq))
+            .expect("ids");
     }
     reg
 }
@@ -88,7 +89,42 @@ fn bench_packing(c: &mut Criterion) {
 fn bench_tensor(c: &mut Criterion) {
     let a = Tensor::full(vec![64, 64], 0.5);
     let bm = Tensor::full(vec![64, 64], 0.25);
-    c.bench_function("tensor_matmul_64x64", |b| b.iter(|| black_box(matmul(&a, &bm))));
+    c.bench_function("tensor_matmul_64x64", |b| {
+        b.iter(|| black_box(matmul(&a, &bm)))
+    });
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The planner/engine hot paths carry mux-obs spans permanently; the
+    // observability contract is < 2% overhead while collection is off (the
+    // default). Compare the full planner with spans disabled vs enabled,
+    // plus the raw cost of a disabled `span()` call (one relaxed atomic
+    // load) to show where the budget goes.
+    use mux_gpu_sim::spec::LinkSpec;
+    use mux_gpu_sim::timeline::Cluster;
+    use muxtune_core::planner::{plan_and_run, PlannerConfig};
+
+    let reg = registry(8);
+    let cluster = Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40());
+    let cfg = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
+    let corpora = std::collections::BTreeMap::new();
+    let mut g = c.benchmark_group("obs_overhead");
+    mux_obs::set_enabled(false);
+    g.bench_function("plan_spans_disabled", |b| {
+        b.iter(|| black_box(plan_and_run(&reg, &cluster, &corpora, &cfg)))
+    });
+    g.bench_function("plan_spans_enabled", |b| {
+        let _on = mux_obs::enabled_scope();
+        b.iter(|| black_box(plan_and_run(&reg, &cluster, &corpora, &cfg)))
+    });
+    g.bench_function("span_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(mux_obs::span("bench.noop"));
+            }
+        })
+    });
+    g.finish();
 }
 
 criterion_group!(
@@ -97,6 +133,7 @@ criterion_group!(
     bench_grouping,
     bench_subgraphs,
     bench_packing,
-    bench_tensor
+    bench_tensor,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -2,31 +2,60 @@
 //! figure benches write to `target/experiments/`.
 //!
 //! Usage: run `cargo bench --workspace` first, then
-//! `cargo run -p mux-bench --bin report [output.md]`.
+//! `cargo run -p mux-bench --bin report [output.md] [--trace-out trace.json]`.
+//!
+//! `--trace-out` additionally runs the Fig-14 Testbed-A scenario with
+//! tracing on and writes its timeline as chrome://tracing JSON (open in
+//! `chrome://tracing` or Perfetto), plus a planner phase/stall summary to
+//! stdout.
 
 use std::fs;
 use std::path::PathBuf;
+
+use mux_bench::harness::fig14_trace_scenario;
+use mux_gpu_sim::{chrome_trace, stall_breakdown};
 
 /// The experiment ids the bench suite produces, with one-line descriptions,
 /// in paper order.
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("table1_models", "Table 1 — model configurations"),
     ("fig3_inefficiency", "Fig 3 — PEFT resource inefficiencies"),
-    ("fig4_stalls", "Fig 4 — device stalls under model parallelism"),
-    ("fig9_tradeoff", "Fig 9 — spatial-temporal multiplexing tradeoff"),
+    (
+        "fig4_stalls",
+        "Fig 4 — device stalls under model parallelism",
+    ),
+    (
+        "fig9_tradeoff",
+        "Fig 9 — spatial-temporal multiplexing tradeoff",
+    ),
     ("fig13_chunk", "Fig 13 — chunk-size tradeoff"),
     ("fig14_end_to_end", "Fig 14 — end-to-end throughput (A40)"),
     ("fig15_h100", "Fig 15 — throughput on H100"),
     ("fig16_ablation", "Fig 16 — component ablation"),
     ("fig17_memory", "Fig 17 — memory footprint vs task count"),
-    ("fig18_orchestration", "Fig 18 — one-layer orchestration utilization"),
-    ("fig19_orchestration_e2e", "Fig 19 — orchestration-only speedups"),
+    (
+        "fig18_orchestration",
+        "Fig 18 — one-layer orchestration utilization",
+    ),
+    (
+        "fig19_orchestration_e2e",
+        "Fig 19 — orchestration-only speedups",
+    ),
     ("fig20_alignment", "Fig 20 — chunk-based data alignment"),
-    ("fig21_scalability", "Fig 21a — up-only vs up-then-out scaling"),
+    (
+        "fig21_scalability",
+        "Fig 21a — up-only vs up-then-out scaling",
+    ),
     ("fig21_cluster", "Fig 21b — 128-GPU cluster replay"),
     ("fig22_template", "Fig 22 / Appendix A — template orderings"),
-    ("isolation_convergence", "§3.2 — isolation & convergence on real training"),
-    ("ext_future_work", "§6 — energy, priority scheduling, SLO admission"),
+    (
+        "isolation_convergence",
+        "§3.2 — isolation & convergence on real training",
+    ),
+    (
+        "ext_future_work",
+        "§6 — energy, priority scheduling, SLO admission",
+    ),
 ];
 
 fn summarize(value: &serde_json::Value, depth: usize, out: &mut String) {
@@ -48,27 +77,82 @@ fn summarize(value: &serde_json::Value, depth: usize, out: &mut String) {
             for item in &items[..shown] {
                 match item {
                     serde_json::Value::Object(m) => {
-                        let line: Vec<String> =
-                            m.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                        let line: Vec<String> = m.iter().map(|(k, v)| format!("{k}={v}")).collect();
                         out.push_str(&format!("{indent}- {}\n", line.join(", ")));
                     }
                     other => out.push_str(&format!("{indent}- {other}\n")),
                 }
             }
             if items.len() > shown {
-                out.push_str(&format!("{indent}- … ({} more rows)\n", items.len() - shown));
+                out.push_str(&format!(
+                    "{indent}- … ({} more rows)\n",
+                    items.len() - shown
+                ));
             }
         }
         other => out.push_str(&format!("{indent}- {other}\n")),
     }
 }
 
+/// Runs the Fig-14 scenario traced and writes its Chrome trace to `path`.
+fn emit_trace(path: &PathBuf) {
+    let _on = mux_obs::enabled_scope();
+    mux_obs::reset();
+    let (report, ops, num_devices) = fig14_trace_scenario();
+    let trace = chrome_trace(&ops, num_devices);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = fs::create_dir_all(parent) {
+            eprintln!("error: cannot create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    let body = serde_json::to_string_pretty(&trace).expect("serialize trace");
+    if let Err(e) = fs::write(path, body) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({} events, makespan {:.3}s, effective {:.0} tok/s)",
+        path.display(),
+        trace["traceEvents"].as_array().map(Vec::len).unwrap_or(0),
+        report.metrics.makespan,
+        report.metrics.effective_throughput,
+    );
+    for b in stall_breakdown(&ops, num_devices) {
+        println!(
+            "  GPU {}: stalls bubble={:.4}s comm={:.4}s dependency={:.4}s",
+            b.device, b.bubble_seconds, b.comm_seconds, b.dependency_seconds
+        );
+    }
+    let snap = mux_obs::snapshot();
+    for (name, stat) in &snap.phases {
+        println!(
+            "  phase {name}: {} call(s), {:.4}s",
+            stat.count, stat.total_seconds
+        );
+    }
+}
+
 fn main() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    let out_path = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| dir.join("REPORT.md"));
+    let mut out_path: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let Some(path) = args.next() else {
+                eprintln!("error: --trace-out requires a path");
+                std::process::exit(2);
+            };
+            trace_out = Some(PathBuf::from(path));
+        } else {
+            out_path = Some(PathBuf::from(arg));
+        }
+    }
+    if let Some(path) = &trace_out {
+        emit_trace(path);
+    }
+    let out_path = out_path.unwrap_or_else(|| dir.join("REPORT.md"));
 
     let mut report = String::from("# MuxTune reproduction — experiment artifacts\n\n");
     report.push_str("Generated from `target/experiments/*.json` (run `cargo bench --workspace` to refresh).\n\n");
@@ -76,7 +160,10 @@ fn main() {
     for (id, title) in EXPERIMENTS {
         let path = dir.join(format!("{id}.json"));
         report.push_str(&format!("## {title}\n\n"));
-        match fs::read_to_string(&path).ok().and_then(|s| serde_json::from_str(&s).ok()) {
+        match fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+        {
             Some(v) => {
                 found += 1;
                 summarize(&v, 0, &mut report);
@@ -87,5 +174,9 @@ fn main() {
     }
     fs::create_dir_all(out_path.parent().expect("has parent")).expect("create output dir");
     fs::write(&out_path, &report).expect("write report");
-    println!("wrote {} ({found}/{} experiments present)", out_path.display(), EXPERIMENTS.len());
+    println!(
+        "wrote {} ({found}/{} experiments present)",
+        out_path.display(),
+        EXPERIMENTS.len()
+    );
 }

@@ -6,14 +6,17 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use mux_data::corpus::{Corpus, DatasetKind};
+use mux_gpu_sim::chrome_trace::chrome_trace;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
-use mux_gpu_sim::timeline::Cluster;
+use mux_gpu_sim::timeline::{Cluster, OpRecord};
 use mux_model::config::ModelConfig;
+use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
+use muxtune_core::planner::{plan_and_run_traced, MuxTuneReport, PlannerConfig};
 
 /// A single-node A40 testbed (Testbed-A style).
 pub fn a40_cluster(gpus: usize) -> Cluster {
@@ -22,7 +25,13 @@ pub fn a40_cluster(gpus: usize) -> Cluster {
 
 /// A multi-node A40 testbed (Testbed-B style: 2 GPUs per node, IB).
 pub fn a40_multinode(nodes: usize) -> Cluster {
-    Cluster::multi_node(GpuSpec::a40(), nodes, 2, LinkSpec::nvlink_a40(), LinkSpec::ib100())
+    Cluster::multi_node(
+        GpuSpec::a40(),
+        nodes,
+        2,
+        LinkSpec::nvlink_a40(),
+        LinkSpec::ib100(),
+    )
 }
 
 /// A single-node H100 testbed (Testbed-C style).
@@ -122,8 +131,12 @@ pub fn table2_registry(
     let mut id = 1;
     for r in 0..repeats {
         for &(ds, mb) in &spec {
-            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len())).expect("fresh ids");
-            corpora.insert(id, Corpus::generate(ds, 64, (r * 100 + id as usize) as u64).lengths);
+            reg.register_task(PeftTask::lora(id, 16, mb, ds.max_len()))
+                .expect("fresh ids");
+            corpora.insert(
+                id,
+                Corpus::generate(ds, 64, (r * 100 + id as usize) as u64).lengths,
+            );
             id += 1;
         }
     }
@@ -154,6 +167,69 @@ pub fn save_json(id: &str, value: &serde_json::Value) {
 /// Formats a speedup ratio.
 pub fn x(v: f64) -> String {
     format!("{v:.2}x")
+}
+
+/// Env var naming the directory the fig benches dump Chrome traces into.
+/// Unset (the default) disables trace dumping entirely.
+pub const TRACE_DIR_ENV: &str = "MUX_TRACE_DIR";
+
+/// Serializes `ops` as chrome://tracing JSON to `<dir>/<id>.trace.json`.
+pub fn write_trace_file(
+    dir: &Path,
+    id: &str,
+    ops: &[OpRecord],
+    num_devices: usize,
+) -> Option<PathBuf> {
+    fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{id}.trace.json"));
+    let body = serde_json::to_string_pretty(&chrome_trace(ops, num_devices)).ok()?;
+    fs::write(&path, body).ok()?;
+    Some(path)
+}
+
+/// Profiling hook for the fig benches: when [`TRACE_DIR_ENV`] is set,
+/// re-runs the given scenario with tracing on and dumps the winning
+/// configuration's timeline as `<dir>/<id>.trace.json`. No-op (and no
+/// extra simulation work) when the variable is unset, so benches call it
+/// unconditionally on their headline scenario.
+pub fn dump_trace(
+    id: &str,
+    registry: &TaskRegistry,
+    cluster: &Cluster,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    cfg: &PlannerConfig,
+) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os(TRACE_DIR_ENV)?);
+    let (_, ops) = plan_and_run_traced(registry, cluster, corpora, cfg).ok()?;
+    let path = write_trace_file(&dir, id, &ops, cluster.num_gpus())?;
+    println!("  [trace] wrote {}", path.display());
+    Some(path)
+}
+
+/// The Fig-14 Testbed-A reference scenario used by `report --trace-out`
+/// and the trace-format tests: 4 LoRA tasks on LLaMA2-7B over 4 A40s,
+/// uniform OpenBookQA, tp2 x pp2 — two-device stages so the trace carries
+/// tensor-parallel collectives as well as inter-stage pipeline traffic.
+pub fn fig14_trace_scenario() -> (MuxTuneReport, Vec<OpRecord>, usize) {
+    let cluster = a40_cluster(4);
+    let (reg, corpora) = build_workload(
+        &ModelConfig::llama2_7b(),
+        Combo::Uniform(DatasetKind::OpenBookQa),
+        4,
+        4,
+        42,
+    );
+    let cfg = PlannerConfig::muxtune(
+        HybridParallelism {
+            tp: 2,
+            pp: 2,
+            dp: 1,
+        },
+        4,
+    );
+    let (report, ops) =
+        plan_and_run_traced(&reg, &cluster, &corpora, &cfg).expect("fig14 scenario plans");
+    (report, ops, cluster.num_gpus())
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Validates the Chrome-trace JSON emitted for the Fig-14 scenario —
+//! the same artifact `report --trace-out` writes. The contract: the JSON
+//! round-trips through the parser, every device exposes at least three
+//! streams (compute / communication / stall lanes), and compute,
+//! collective, and stall categories are all present and distinct.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+
+use mux_bench::harness::fig14_trace_scenario;
+use mux_gpu_sim::chrome_trace;
+use serde_json::Value;
+
+/// The scenario is a full planner run; compute it once for all tests.
+fn trace() -> &'static (Value, usize, f64) {
+    static TRACE: OnceLock<(Value, usize, f64)> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let (report, ops, num_devices) = fig14_trace_scenario();
+        (
+            chrome_trace(&ops, num_devices),
+            num_devices,
+            report.metrics.makespan,
+        )
+    })
+}
+
+#[test]
+fn fig14_trace_is_valid_chrome_trace_json() {
+    let (value, _, _) = &trace();
+    // Serialize and parse back: what the viewer loads is what we checked.
+    let text = serde_json::to_string_pretty(&value).expect("serializes");
+    let parsed: Value = serde_json::from_str(&text).expect("round-trips through the parser");
+    assert_eq!(&parsed, value, "serialization must round-trip losslessly");
+
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has events");
+    for e in events {
+        let ph = e["ph"].as_str().expect("ph is a string");
+        match ph {
+            "X" => {
+                assert!(e["ts"].as_f64().expect("ts") >= 0.0);
+                assert!(e["dur"].as_f64().expect("dur") >= 0.0);
+                assert!(e["pid"].as_u64().is_some(), "pid present");
+                assert!(e["tid"].as_u64().is_some(), "tid present");
+                assert!(e["name"].as_str().is_some(), "name present");
+                assert!(e["cat"].as_str().is_some(), "cat present");
+            }
+            "M" => {
+                let name = e["name"].as_str().expect("metadata name");
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata record {name}"
+                );
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn fig14_trace_has_three_streams_and_distinct_categories_per_device() {
+    let (value, num_devices, makespan) = &trace();
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+
+    let mut streams: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut cats: BTreeSet<String> = BTreeSet::new();
+    let mut end_max = 0.0f64;
+    for e in events.iter().filter(|e| e["ph"].as_str() == Some("X")) {
+        let pid = e["pid"].as_u64().expect("pid");
+        streams
+            .entry(pid)
+            .or_default()
+            .insert(e["tid"].as_u64().expect("tid"));
+        cats.insert(e["cat"].as_str().expect("cat").to_string());
+        end_max = end_max.max(e["ts"].as_f64().expect("ts") + e["dur"].as_f64().expect("dur"));
+    }
+
+    // Every device appears, each with >= 3 streams.
+    assert_eq!(streams.len(), *num_devices, "one pid per device");
+    for (pid, tids) in &streams {
+        assert!(
+            tids.len() >= 3,
+            "device {pid} exposes only streams {tids:?}, need >= 3"
+        );
+    }
+
+    // The categories the paper's timeline distinguishes are all present.
+    for required in ["compute", "collective", "stall"] {
+        assert!(
+            cats.contains(required),
+            "missing category {required} (have {cats:?})"
+        );
+    }
+    // tp=2 x pp=2 also exercises inter-stage point-to-point transfers.
+    assert!(
+        cats.contains("p2p"),
+        "tp2xpp2 scenario should carry p2p events"
+    );
+
+    // Event times are microseconds; the last event must land on the
+    // reported makespan (seconds), within rounding.
+    assert!(
+        (end_max / 1e6 - makespan).abs() < 1e-3,
+        "trace ends at {end_max} us but makespan is {makespan} s"
+    );
+}
+
+#[test]
+fn fig14_trace_names_every_device_and_stream() {
+    let (value, num_devices, _) = &trace();
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    let process_names: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("process_name"))
+        .map(|e| e["pid"].as_u64().expect("pid"))
+        .collect();
+    assert_eq!(
+        process_names.len(),
+        *num_devices,
+        "every device has a process_name record"
+    );
+
+    // Every (pid, tid) that carries events also carries a thread_name.
+    let named: BTreeSet<(u64, u64)> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name"))
+        .map(|e| {
+            (
+                e["pid"].as_u64().expect("pid"),
+                e["tid"].as_u64().expect("tid"),
+            )
+        })
+        .collect();
+    for e in events.iter().filter(|e| e["ph"].as_str() == Some("X")) {
+        let key = (
+            e["pid"].as_u64().expect("pid"),
+            e["tid"].as_u64().expect("tid"),
+        );
+        assert!(
+            named.contains(&key),
+            "stream {key:?} carries events but has no thread_name"
+        );
+    }
+}

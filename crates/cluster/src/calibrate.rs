@@ -59,7 +59,11 @@ pub fn workload(
 
 /// The reference rate: NeMo running one QA task alone (tokens/s). Cluster
 /// profiles are expressed relative to this.
-pub fn reference_throughput(backbone: &ModelConfig, cluster: &Cluster, micro_batches: usize) -> f64 {
+pub fn reference_throughput(
+    backbone: &ModelConfig,
+    cluster: &Cluster,
+    micro_batches: usize,
+) -> f64 {
     let (r, corpora) = workload(backbone, Mix::Uniform(DatasetKind::OpenBookQa), 1, 4, 1);
     run_system(SystemKind::Nemo, &r, cluster, &corpora, micro_batches)
         .expect("reference run")
@@ -145,6 +149,10 @@ mod tests {
             reference,
         );
         assert_eq!(p.max_colocated, 1);
-        assert!((p.aggregate(1) - 1.0).abs() < 0.35, "NeMo ≈ reference: {}", p.aggregate(1));
+        assert!(
+            (p.aggregate(1) - 1.0).abs() < 0.35,
+            "NeMo ≈ reference: {}",
+            p.aggregate(1)
+        );
     }
 }

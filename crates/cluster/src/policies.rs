@@ -11,13 +11,11 @@
 
 use std::collections::VecDeque;
 
-use serde::Serialize;
-
 use crate::sim::{ClusterShape, ThroughputProfile};
 use crate::trace::TraceTask;
 
 /// Task priority classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Priority {
     /// Latency-sensitive: gets dedicated resources.
     High,
@@ -29,15 +27,25 @@ pub enum Priority {
 /// high-priority.
 pub fn assign_priorities(trace: &[TraceTask], high_fraction: f64) -> Vec<Priority> {
     assert!((0.0..=1.0).contains(&high_fraction));
-    let period = if high_fraction <= 0.0 { usize::MAX } else { (1.0 / high_fraction).round() as usize };
+    let period = if high_fraction <= 0.0 {
+        usize::MAX
+    } else {
+        (1.0 / high_fraction).round() as usize
+    };
     trace
         .iter()
-        .map(|t| if period != usize::MAX && (t.id as usize).is_multiple_of(period) { Priority::High } else { Priority::Low })
+        .map(|t| {
+            if period != usize::MAX && (t.id as usize).is_multiple_of(period) {
+                Priority::High
+            } else {
+                Priority::Low
+            }
+        })
         .collect()
 }
 
 /// Per-class outcome of a policy replay.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClassReport {
     /// Tasks in the class.
     pub count: usize,
@@ -50,7 +58,7 @@ pub struct ClassReport {
 }
 
 /// Result of a policy replay.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyReport {
     /// Makespan, minutes.
     pub makespan_min: f64,
@@ -136,7 +144,10 @@ pub fn replay_priority(
                 continue;
             }
             let rate = task_rate(inst.len(), profile);
-            let soonest = inst.iter().map(|a| a.remaining / rate).fold(f64::INFINITY, f64::min);
+            let soonest = inst
+                .iter()
+                .map(|a| a.remaining / rate)
+                .fold(f64::INFINITY, f64::min);
             let t = st.now + soonest;
             if next_completion.map(|bt| t < bt).unwrap_or(true) {
                 next_completion = Some(t);
@@ -190,7 +201,10 @@ pub fn replay_priority(
                     if let Some(ii) = st.instances.iter().position(|i| i.is_empty()) {
                         dedicated[ii] = true;
                         st.start[idx] = st.now;
-                        st.instances[ii].push(Active { idx, remaining: task.duration_min });
+                        st.instances[ii].push(Active {
+                            idx,
+                            remaining: task.duration_min,
+                        });
                         true
                     } else {
                         false
@@ -211,7 +225,10 @@ pub fn replay_priority(
                     match slot {
                         Some(ii) => {
                             st.start[idx] = st.now;
-                            st.instances[ii].push(Active { idx, remaining: task.duration_min });
+                            st.instances[ii].push(Active {
+                                idx,
+                                remaining: task.duration_min,
+                            });
                             true
                         }
                         None => false,
@@ -227,11 +244,20 @@ pub fn replay_priority(
     }
 
     let class_report = |class: Priority| -> ClassReport {
-        let idxs: Vec<usize> =
-            (0..trace.len()).filter(|&i| priorities[i] == class).collect();
+        let idxs: Vec<usize> = (0..trace.len())
+            .filter(|&i| priorities[i] == class)
+            .collect();
         let n = idxs.len().max(1) as f64;
-        let jct: f64 = idxs.iter().map(|&i| st.finish[i] - trace[i].arrival_min).sum::<f64>() / n;
-        let queue: f64 = idxs.iter().map(|&i| st.start[i] - trace[i].arrival_min).sum::<f64>() / n;
+        let jct: f64 = idxs
+            .iter()
+            .map(|&i| st.finish[i] - trace[i].arrival_min)
+            .sum::<f64>()
+            / n;
+        let queue: f64 = idxs
+            .iter()
+            .map(|&i| st.start[i] - trace[i].arrival_min)
+            .sum::<f64>()
+            / n;
         let slo = match slo_factor {
             Some(f) => {
                 idxs.iter()
@@ -241,7 +267,12 @@ pub fn replay_priority(
             }
             None => f64::NAN,
         };
-        ClassReport { count: idxs.len(), mean_jct_min: jct, mean_queue_min: queue, slo_attainment: slo }
+        ClassReport {
+            count: idxs.len(),
+            mean_jct_min: jct,
+            mean_queue_min: queue,
+            slo_attainment: slo,
+        }
     };
 
     let total_work: f64 = trace.iter().map(|t| t.duration_min).sum();
@@ -260,7 +291,10 @@ mod tests {
     use crate::trace::generate;
 
     fn shape() -> ClusterShape {
-        ClusterShape { total_gpus: 64, gpus_per_instance: 4 }
+        ClusterShape {
+            total_gpus: 64,
+            gpus_per_instance: 4,
+        }
     }
 
     fn mux_profile() -> ThroughputProfile {
@@ -290,8 +324,10 @@ mod tests {
             .map(|(t, _)| t.duration_min)
             .sum::<f64>()
             / rep.high.count as f64;
-        assert!((high_service - solo_mean).abs() / solo_mean < 0.01,
-            "high-priority service {high_service} vs solo {solo_mean}");
+        assert!(
+            (high_service - solo_mean).abs() / solo_mean < 0.01,
+            "high-priority service {high_service} vs solo {solo_mean}"
+        );
     }
 
     #[test]

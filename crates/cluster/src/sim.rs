@@ -10,13 +10,11 @@
 
 use std::collections::VecDeque;
 
-use serde::Serialize;
-
 use crate::trace::TraceTask;
 
 /// Aggregate instance throughput (relative to one reference task running
 /// alone = 1.0) as a function of the number of co-located tasks.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputProfile {
     /// `rate[k-1]` = aggregate rate with `k` co-located tasks.
     pub rate: Vec<f64>,
@@ -29,14 +27,20 @@ impl ThroughputProfile {
     /// A single-task system (HF-PEFT / NeMo): one task per instance at the
     /// given relative rate.
     pub fn single_task(rate: f64) -> Self {
-        Self { rate: vec![rate], max_colocated: 1 }
+        Self {
+            rate: vec![rate],
+            max_colocated: 1,
+        }
     }
 
     /// Builds a profile from measured aggregate rates for 1..=max tasks.
     pub fn from_rates(rate: Vec<f64>) -> Self {
         assert!(!rate.is_empty(), "profile needs at least the 1-task rate");
         let max = rate.len();
-        Self { rate, max_colocated: max }
+        Self {
+            rate,
+            max_colocated: max,
+        }
     }
 
     /// Aggregate rate with `k` tasks (clamped to the calibrated range).
@@ -47,7 +51,7 @@ impl ThroughputProfile {
 }
 
 /// Cluster geometry.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClusterShape {
     /// Total GPUs (the paper uses 128).
     pub total_gpus: usize,
@@ -63,7 +67,7 @@ impl ClusterShape {
 }
 
 /// Results of one trace replay.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// Time the last task completed, minutes.
     pub makespan_min: f64,
@@ -85,7 +89,11 @@ struct Active {
 }
 
 /// Replays `trace` under FCFS with the given per-instance profile.
-pub fn replay_fcfs(trace: &[TraceTask], shape: ClusterShape, profile: &ThroughputProfile) -> ClusterReport {
+pub fn replay_fcfs(
+    trace: &[TraceTask],
+    shape: ClusterShape,
+    profile: &ThroughputProfile,
+) -> ClusterReport {
     let n_inst = shape.instances();
     assert!(n_inst >= 1, "no instances");
     let mut instances: Vec<Vec<Active>> = vec![Vec::new(); n_inst];
@@ -165,7 +173,10 @@ pub fn replay_fcfs(trace: &[TraceTask], shape: ClusterShape, profile: &Throughpu
                 Some(ii) => {
                     queue.pop_front();
                     start[idx] = now;
-                    instances[ii].push(Active { idx, remaining: trace[idx].duration_min });
+                    instances[ii].push(Active {
+                        idx,
+                        remaining: trace[idx].duration_min,
+                    });
                 }
                 None => break,
             }
@@ -199,7 +210,10 @@ mod tests {
     use crate::trace::generate;
 
     fn shape() -> ClusterShape {
-        ClusterShape { total_gpus: 128, gpus_per_instance: 4 }
+        ClusterShape {
+            total_gpus: 128,
+            gpus_per_instance: 4,
+        }
     }
 
     #[test]
@@ -217,7 +231,12 @@ mod tests {
         // A multiplexing system: 4 co-located tasks run at 2.2x aggregate.
         let mux = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.9, 2.2]);
         let fast = replay_fcfs(&trace, shape(), &mux);
-        assert!(fast.throughput > slow.throughput, "{} vs {}", fast.throughput, slow.throughput);
+        assert!(
+            fast.throughput > slow.throughput,
+            "{} vs {}",
+            fast.throughput,
+            slow.throughput
+        );
         assert!(fast.mean_jct_min <= slow.mean_jct_min);
     }
 
@@ -225,10 +244,18 @@ mod tests {
     fn colocation_capacity_is_respected() {
         // With capacity 1 and one instance, tasks serialize.
         let trace = generate(4, 17, None);
-        let one = ClusterShape { total_gpus: 4, gpus_per_instance: 4 };
+        let one = ClusterShape {
+            total_gpus: 4,
+            gpus_per_instance: 4,
+        };
         let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0));
         let serial: f64 = trace.iter().map(|t| t.duration_min).sum();
-        assert!(rep.makespan_min >= serial * 0.999, "{} vs serial {}", rep.makespan_min, serial);
+        assert!(
+            rep.makespan_min >= serial * 0.999,
+            "{} vs serial {}",
+            rep.makespan_min,
+            serial
+        );
     }
 
     #[test]
@@ -245,9 +272,16 @@ mod tests {
     fn sharing_reduces_queueing_under_load() {
         // Tiny cluster, many tasks: co-location capacity 4 slashes queues.
         let trace = generate(100, 23, None);
-        let tiny = ClusterShape { total_gpus: 8, gpus_per_instance: 4 };
+        let tiny = ClusterShape {
+            total_gpus: 8,
+            gpus_per_instance: 4,
+        };
         let single = replay_fcfs(&trace, tiny, &ThroughputProfile::single_task(1.0));
-        let shared = replay_fcfs(&trace, tiny, &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]));
+        let shared = replay_fcfs(
+            &trace,
+            tiny,
+            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]),
+        );
         assert!(shared.mean_queue_min < single.mean_queue_min);
     }
 }

@@ -9,7 +9,6 @@
 use mux_data::corpus::DatasetKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 
 /// Published Philly-trace moments (§5.4).
 pub const MEAN_DURATION_MIN: f64 = 372.6;
@@ -19,7 +18,7 @@ pub const STD_DURATION_MIN: f64 = 612.9;
 pub const ARRIVAL_RATE_PER_MIN: f64 = 2.59;
 
 /// One fine-tuning task in the cluster trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceTask {
     /// Task id (also its submission order).
     pub id: u32,
@@ -56,21 +55,21 @@ pub fn generate(n: usize, seed: u64, uniform_dataset: Option<DatasetKind>) -> Ve
             // Exponential inter-arrival via inverse CDF.
             let u: f64 = rng.gen_range(1e-12..1.0);
             t += -u.ln() / ARRIVAL_RATE_PER_MIN;
-            let duration = (mu + sigma * normalish(&mut rng)).exp().clamp(1.0, 14.0 * 24.0 * 60.0);
-            let dataset = uniform_dataset.unwrap_or_else(|| {
-                match rng.gen_range(0..3) {
-                    0 => DatasetKind::Sst2,
-                    1 => DatasetKind::OpenBookQa,
-                    _ => DatasetKind::Rte,
-                }
+            let duration = (mu + sigma * normalish(&mut rng))
+                .exp()
+                .clamp(1.0, 14.0 * 24.0 * 60.0);
+            let dataset = uniform_dataset.unwrap_or_else(|| match rng.gen_range(0..3) {
+                0 => DatasetKind::Sst2,
+                1 => DatasetKind::OpenBookQa,
+                _ => DatasetKind::Rte,
             });
             TraceTask {
                 id: i as u32,
                 arrival_min: t,
                 duration_min: duration,
                 dataset,
-                micro_batch: 1 << rng.gen_range(1..4), // 2, 4, or 8
-                rank: 8 << rng.gen_range(0..3),        // 8, 16, or 32
+                micro_batch: 1usize << rng.gen_range(1..4), // 2, 4, or 8
+                rank: 8usize << rng.gen_range(0..3),        // 8, 16, or 32
             }
         })
         .collect()
@@ -81,7 +80,11 @@ pub fn generate(n: usize, seed: u64, uniform_dataset: Option<DatasetKind>) -> Ve
 pub fn stats(trace: &[TraceTask]) -> (f64, f64, f64) {
     let n = trace.len() as f64;
     let mean = trace.iter().map(|t| t.duration_min).sum::<f64>() / n;
-    let var = trace.iter().map(|t| (t.duration_min - mean).powi(2)).sum::<f64>() / n;
+    let var = trace
+        .iter()
+        .map(|t| (t.duration_min - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let span = trace.last().map(|t| t.arrival_min).unwrap_or(0.0);
     let rate = if span > 0.0 { n / span } else { 0.0 };
     (mean, var.sqrt(), rate)
@@ -95,9 +98,18 @@ mod tests {
     fn moments_match_published_values() {
         let trace = generate(20_000, 42, None);
         let (mean, std, rate) = stats(&trace);
-        assert!((mean - MEAN_DURATION_MIN).abs() / MEAN_DURATION_MIN < 0.1, "mean {mean}");
-        assert!((std - STD_DURATION_MIN).abs() / STD_DURATION_MIN < 0.2, "std {std}");
-        assert!((rate - ARRIVAL_RATE_PER_MIN).abs() / ARRIVAL_RATE_PER_MIN < 0.05, "rate {rate}");
+        assert!(
+            (mean - MEAN_DURATION_MIN).abs() / MEAN_DURATION_MIN < 0.1,
+            "mean {mean}"
+        );
+        assert!(
+            (std - STD_DURATION_MIN).abs() / STD_DURATION_MIN < 0.2,
+            "std {std}"
+        );
+        assert!(
+            (rate - ARRIVAL_RATE_PER_MIN).abs() / ARRIVAL_RATE_PER_MIN < 0.05,
+            "rate {rate}"
+        );
     }
 
     #[test]
@@ -113,8 +125,10 @@ mod tests {
         let a = generate(100, 1, None);
         let b = generate(100, 1, None);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.arrival_min == y.arrival_min
-            && x.duration_min == y.duration_min));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.arrival_min == y.arrival_min && x.duration_min == y.duration_min));
     }
 
     #[test]

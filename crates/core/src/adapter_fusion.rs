@@ -13,10 +13,9 @@
 //! 3. **no fusion across buckets** (they never share a pipeline clock).
 
 use mux_gpu_sim::spec::GpuSpec;
-use serde::Serialize;
 
 /// Where an adapter subgraph sits, for the fusion decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdapterSite {
     /// Bucket the owning hTask belongs to.
     pub bucket: usize,

@@ -62,10 +62,19 @@ impl<'a> CostModel<'a> {
                         _ => None,
                     })
                     .collect();
-                StageOps { compute, base_ops, layers: (a, b) }
+                StageOps {
+                    compute,
+                    base_ops,
+                    layers: (a, b),
+                }
             })
             .collect();
-        Self { registry, gpu, plan, stages }
+        Self {
+            registry,
+            gpu,
+            plan,
+            stages,
+        }
     }
 
     /// The backbone configuration.
@@ -117,8 +126,9 @@ impl<'a> CostModel<'a> {
     /// with forward ≈ backward (hence the factors of 2).
     pub fn pipeline_latency(&self, h: &HTask) -> f64 {
         let s_count = self.num_stages();
-        let per_stage: Vec<f64> =
-            (0..s_count).map(|s| self.stage_latency(s, h, Pass::Forward)).collect();
+        let per_stage: Vec<f64> = (0..s_count)
+            .map(|s| self.stage_latency(s, h, Pass::Forward))
+            .collect();
         let warm_drain: f64 = per_stage[..s_count - 1].iter().sum();
         let bottleneck = per_stage.iter().cloned().fold(0.0, f64::max);
         2.0 * warm_drain + 2.0 * h.micro_batches as f64 * bottleneck
@@ -226,7 +236,10 @@ pub fn htask_op_time(
     member: Option<usize>,
     pass: Pass,
 ) -> (f64, f64, f64) {
-    let is_attn = matches!(kind, OpKind::AttnScore | OpKind::AttnSoftmax | OpKind::AttnContext);
+    let is_attn = matches!(
+        kind,
+        OpKind::AttnScore | OpKind::AttnSoftmax | OpKind::AttnContext
+    );
     let tokens = match member {
         Some(i) => h.tokens_per_task[i],
         None => h.total_tokens(),
@@ -238,7 +251,11 @@ pub fn htask_op_time(
         let rows = per_kernel_tokens.div_ceil(ctx).max(1);
         let shape = mux_model::ops::TokenShape::new(rows, ctx);
         let w = work_for(cost, kind, shape, pass);
-        (gpu.compute_time(w, 1.0) * splits, gpu.op_utilization(w), w.flops * splits)
+        (
+            gpu.compute_time(w, 1.0) * splits,
+            gpu.op_utilization(w),
+            w.flops * splits,
+        )
     } else {
         let rows = tokens.div_ceil(h.unit_len.max(1)).max(1);
         let shape = mux_model::ops::TokenShape::new(rows, h.unit_len.max(1));
@@ -248,8 +265,14 @@ pub fn htask_op_time(
 }
 
 /// Convenience: the member tasks of an hTask, resolved from the registry.
-pub fn member_tasks<'r>(registry: &'r TaskRegistry, h: &HTask) -> Vec<&'r mux_peft::types::PeftTask> {
-    h.tasks.iter().map(|&id: &TaskId| registry.task(id).expect("registered")).collect()
+pub fn member_tasks<'r>(
+    registry: &'r TaskRegistry,
+    h: &HTask,
+) -> Vec<&'r mux_peft::types::PeftTask> {
+    h.tasks
+        .iter()
+        .map(|&id: &TaskId| registry.task(id).expect("registered"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -260,7 +283,8 @@ mod tests {
     fn setup(n_tasks: usize, plan: HybridParallelism) -> (TaskRegistry, HybridParallelism) {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
         for i in 0..n_tasks {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, 128)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, 128))
+                .expect("register");
         }
         (r, plan)
     }
@@ -310,14 +334,18 @@ mod tests {
     fn memory_feasibility_rejects_huge_fusions() {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
         for i in 0..64 {
-            r.register_task(PeftTask::lora(i + 1, 16, 32, 256)).expect("register");
+            r.register_task(PeftTask::lora(i + 1, 16, 32, 256))
+                .expect("register");
         }
         let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let small = htask_of(&r, &[1], 4);
         assert!(cm.fits_memory(std::slice::from_ref(&small), 4));
         let ids: Vec<TaskId> = (1..=64).collect();
         let huge = htask_of(&r, &ids, 4);
-        assert!(!cm.fits_memory(std::slice::from_ref(&huge), 4), "64 fat tasks cannot fit 48 GB");
+        assert!(
+            !cm.fits_memory(std::slice::from_ref(&huge), 4),
+            "64 fat tasks cannot fit 48 GB"
+        );
     }
 
     #[test]
@@ -325,13 +353,18 @@ mod tests {
         // One giant-rank adapter among tiny ones must dominate the fused
         // estimate (the Eq. 3 max-term avoiding the bottleneck effect).
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
-        r.register_task(PeftTask::lora(1, 4, 4, 128)).expect("register");
-        r.register_task(PeftTask::lora(2, 512, 4, 128)).expect("register");
+        r.register_task(PeftTask::lora(1, 4, 4, 128))
+            .expect("register");
+        r.register_task(PeftTask::lora(2, 512, 4, 128))
+            .expect("register");
         let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::single());
         let small_only = htask_of(&r, &[1], 4);
         let fused = htask_of(&r, &[1, 2], 4);
         let l_small = cm.stage_latency(0, &small_only, Pass::Forward);
         let l_fused = cm.stage_latency(0, &fused, Pass::Forward);
-        assert!(l_fused > l_small, "the rank-512 adapter must show up in the fused latency");
+        assert!(
+            l_fused > l_small,
+            "the rank-512 adapter must show up in the fused latency"
+        );
     }
 }

@@ -9,14 +9,13 @@
 
 use mux_gpu_sim::metrics::{device_metrics, mean_utilization};
 use mux_gpu_sim::spec::CommCtaPolicy;
-use mux_gpu_sim::timeline::{CollectiveKind, Cluster, OomError, OpHandle, OpRecord, Timeline};
+use mux_gpu_sim::timeline::{Cluster, CollectiveKind, OomError, OpHandle, OpRecord, Timeline};
 use mux_model::memory::activation_bytes;
 use mux_model::mfu::{train_flops_per_token, TrainMode};
 use mux_model::ops::Pass;
 use mux_parallel::plan::{stage_layers, HybridParallelism};
 use mux_parallel::pp::{simulate_pipeline, Phase, PipelineExec};
 use mux_peft::registry::TaskRegistry;
-use serde::Serialize;
 
 use crate::adapter_fusion::{fused_latency, fusible_across_htasks, AdapterSite};
 use crate::htask::HTask;
@@ -25,7 +24,7 @@ use crate::subgraph::segment;
 use crate::template::{build_template, BucketOrder, PipelineTemplate};
 
 /// Engine behaviour toggles (the Fig 16 ablation knobs).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
     /// Overlap collectives on the comm stream (operator orchestration
     /// "OO"); false = blocking sequential launch.
@@ -58,7 +57,7 @@ impl Default for EngineOptions {
 }
 
 /// Aggregate results of one simulated training round-trip.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// End-to-end latency of the pipeline run, seconds.
     pub makespan: f64,
@@ -132,6 +131,7 @@ impl<'a> MuxEngine<'a> {
             cluster.num_gpus(),
             "plan does not match cluster size"
         );
+        let _build_span = mux_obs::span("engine.build");
         let cfg = registry.backbone();
         let ranges = stage_layers(cfg.num_layers, plan.pp);
         let gpu = &cluster.gpus[0];
@@ -154,7 +154,10 @@ impl<'a> MuxEngine<'a> {
                     .iter()
                     .map(|h| registry.build_multitask_stage_graph(a, b, plan.tp, &h.tasks))
                     .collect();
-                let dags: Vec<_> = graphs.iter().map(segment).collect();
+                let dags: Vec<_> = {
+                    let _s = mux_obs::span("engine.segment");
+                    graphs.iter().map(segment).collect()
+                };
                 // Per-subgraph costs.
                 let sg_cost = |gi: usize, sg: &crate::subgraph::Subgraph, pass: Pass| {
                     let h = &bucket[gi];
@@ -205,6 +208,7 @@ impl<'a> MuxEngine<'a> {
                 };
                 // Launch order.
                 let order = if options.orchestrate {
+                    let _s = mux_obs::span("engine.schedule");
                     schedule_subgraphs(&dags, &|gi, sg| sg_cost(gi, sg, Pass::Forward).0)
                 } else {
                     dags.iter()
@@ -291,13 +295,19 @@ impl<'a> MuxEngine<'a> {
                     }
                     let (fd, fu) = if group.len() > 1 {
                         let d = fused_latency(&fwd_branches);
-                        (d, fwd_branches.iter().map(|(t, u)| t * u).sum::<f64>() / d.max(1e-12))
+                        (
+                            d,
+                            fwd_branches.iter().map(|(t, u)| t * u).sum::<f64>() / d.max(1e-12),
+                        )
                     } else {
                         fwd_branches[0]
                     };
                     let (bd, bu) = if group.len() > 1 {
                         let d = fused_latency(&bwd_branches);
-                        (d, bwd_branches.iter().map(|(t, u)| t * u).sum::<f64>() / d.max(1e-12))
+                        (
+                            d,
+                            bwd_branches.iter().map(|(t, u)| t * u).sum::<f64>() / d.max(1e-12),
+                        )
                     } else {
                         bwd_branches[0]
                     };
@@ -338,7 +348,11 @@ impl<'a> MuxEngine<'a> {
             .iter()
             .map(|b| b.iter().map(|h| h.micro_batches).max().unwrap_or(1))
             .collect();
-        let max_in_flight = if options.max_in_flight == 0 { plan.pp } else { options.max_in_flight };
+        let max_in_flight = if options.max_in_flight == 0 {
+            plan.pp
+        } else {
+            options.max_in_flight
+        };
         let template = build_template(plan.pp, &rounds, max_in_flight, options.bucket_order);
         // Mean unit length for model-FLOPs accounting.
         let unit = buckets
@@ -379,15 +393,20 @@ impl<'a> MuxEngine<'a> {
 
     /// Runs and also returns the full operator trace (Fig 18 style).
     pub fn run_traced(&self) -> Result<(RunMetrics, Vec<OpRecord>), OomError> {
-        self.run_inner(true).map(|(m, t)| (m, t.expect("trace requested")))
+        self.run_inner(true)
+            .map(|(m, t)| (m, t.expect("trace requested")))
     }
 
     fn run_inner(&self, trace: bool) -> Result<(RunMetrics, Option<Vec<OpRecord>>), OomError> {
+        let _sim_span = mux_obs::span("engine.simulate");
         let mut tl = Timeline::new(self.cluster);
         // Static memory (backbone shard + task state) is vetted by the
         // Eq. 5 cost model at planning time; the ledger enforces the
         // dynamic activation part during execution.
-        let mut exec = EngineExec { eng: self, oom: None };
+        let mut exec = EngineExec {
+            eng: self,
+            oom: None,
+        };
         let makespan = simulate_pipeline(&mut tl, &self.template.program, &mut exec, self.plan.pp);
         if let Some(oom) = exec.oom {
             return Err(oom);
@@ -395,18 +414,14 @@ impl<'a> MuxEngine<'a> {
         let mut total = 0u64;
         let mut eff = 0u64;
         for (b, &(t, e)) in self.tokens_per_round.iter().enumerate() {
-            let rounds = self
-                .template
-                .mb_bucket
-                .iter()
-                .filter(|&&x| x == b)
-                .count() as u64;
+            let rounds = self.template.mb_bucket.iter().filter(|&&x| x == b).count() as u64;
             total += t * rounds;
             eff += e * rounds;
         }
-        let peak: Vec<u64> = (0..self.cluster.num_gpus()).map(|d| tl.peak_mem(d)).collect();
-        let peak_flops: f64 =
-            self.cluster.gpus.iter().map(|g| g.peak_flops).sum();
+        let peak: Vec<u64> = (0..self.cluster.num_gpus())
+            .map(|d| tl.peak_mem(d))
+            .collect();
+        let peak_flops: f64 = self.cluster.gpus.iter().map(|g| g.peak_flops).sum();
         let dm = device_metrics(&tl, makespan);
         let energy: f64 = dm
             .iter()
@@ -428,7 +443,11 @@ impl<'a> MuxEngine<'a> {
             peak_mem: peak,
             mfu: self.train_flops_per_eff_token * eff as f64 / (makespan * peak_flops),
             energy_joules: energy,
-            tokens_per_joule: if energy > 0.0 { eff as f64 / energy } else { 0.0 },
+            tokens_per_joule: if energy > 0.0 {
+                eff as f64 / energy
+            } else {
+                0.0
+            },
         };
         let records = trace.then(|| tl.ops().to_vec());
         Ok((metrics, records))
@@ -531,24 +550,39 @@ mod tests {
     fn setup(n: usize) -> (TaskRegistry, Cluster) {
         let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
         for i in 0..n as u32 {
-            reg.register_task(PeftTask::lora(i + 1, 16, 4, 128)).expect("register");
+            reg.register_task(PeftTask::lora(i + 1, 16, 4, 128))
+                .expect("register");
         }
-        (reg, Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40()))
+        (
+            reg,
+            Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40()),
+        )
     }
 
     fn single_buckets(reg: &TaskRegistry, mbs: usize) -> Vec<Vec<HTask>> {
-        reg.tasks().map(|t| vec![HTask::from_padded(&[t], mbs)]).collect()
+        reg.tasks()
+            .map(|t| vec![HTask::from_padded(&[t], mbs)])
+            .collect()
     }
 
     #[test]
     fn engine_runs_and_accounts_tokens_exactly() {
         let (reg, cluster) = setup(2);
         let buckets = single_buckets(&reg, 4);
-        let eng = MuxEngine::new(&reg, &cluster, HybridParallelism::pipeline(4), buckets, EngineOptions::default());
+        let eng = MuxEngine::new(
+            &reg,
+            &cluster,
+            HybridParallelism::pipeline(4),
+            buckets,
+            EngineOptions::default(),
+        );
         let m = eng.run().expect("fits");
         // 2 tasks x 4 rounds x (4 seqs x 128 tokens) each.
         assert_eq!(m.total_tokens, 2 * 4 * 4 * 128);
-        assert_eq!(m.effective_tokens, m.total_tokens, "uniform caps, padded planning");
+        assert_eq!(
+            m.effective_tokens, m.total_tokens,
+            "uniform caps, padded planning"
+        );
         assert!(m.energy_joules > 0.0);
     }
 
@@ -556,7 +590,13 @@ mod tests {
     fn traced_run_reports_every_cell() {
         let (reg, cluster) = setup(2);
         let buckets = single_buckets(&reg, 2);
-        let eng = MuxEngine::new(&reg, &cluster, HybridParallelism::pipeline(4), buckets, EngineOptions::default());
+        let eng = MuxEngine::new(
+            &reg,
+            &cluster,
+            HybridParallelism::pipeline(4),
+            buckets,
+            EngineOptions::default(),
+        );
         let (m, trace) = eng.run_traced().expect("fits");
         assert!(m.makespan > 0.0);
         // 2 buckets x 2 rounds x 4 stages x 2 passes cells, each with >= 1 op.
@@ -566,18 +606,32 @@ mod tests {
     #[test]
     fn adapter_fusion_reduces_cell_items() {
         let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
-        reg.register_task(PeftTask::lora(1, 16, 4, 128)).expect("t1");
-        reg.register_task(PeftTask::lora(2, 16, 4, 128)).expect("t2");
+        reg.register_task(PeftTask::lora(1, 16, 4, 128))
+            .expect("t1");
+        reg.register_task(PeftTask::lora(2, 16, 4, 128))
+            .expect("t2");
         let cluster = Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40());
         let h = HTask::from_padded(&reg.tasks().collect::<Vec<_>>(), 2);
         let mk = |fuse: bool| {
-            let opts = EngineOptions { fuse_adapters: fuse, ..EngineOptions::default() };
-            MuxEngine::new(&reg, &cluster, HybridParallelism::pipeline(4), vec![vec![h.clone()]], opts)
+            let opts = EngineOptions {
+                fuse_adapters: fuse,
+                ..EngineOptions::default()
+            };
+            MuxEngine::new(
+                &reg,
+                &cluster,
+                HybridParallelism::pipeline(4),
+                vec![vec![h.clone()]],
+                opts,
+            )
         };
         let fused = mk(true);
         let unfused = mk(false);
         let items = |e: &MuxEngine<'_>| e.items[0].iter().map(Vec::len).sum::<usize>();
-        assert!(items(&fused) < items(&unfused), "fusion must merge adapter branches");
+        assert!(
+            items(&fused) < items(&unfused),
+            "fusion must merge adapter branches"
+        );
         // And fusing must not be slower.
         let tf = fused.run().expect("fits").makespan;
         let tu = unfused.run().expect("fits").makespan;
@@ -588,7 +642,13 @@ mod tests {
     fn template_matches_bucket_rounds() {
         let (reg, cluster) = setup(3);
         let buckets = single_buckets(&reg, 5);
-        let eng = MuxEngine::new(&reg, &cluster, HybridParallelism::pipeline(4), buckets, EngineOptions::default());
+        let eng = MuxEngine::new(
+            &reg,
+            &cluster,
+            HybridParallelism::pipeline(4),
+            buckets,
+            EngineOptions::default(),
+        );
         assert_eq!(eng.template().mb_bucket.len(), 3 * 5);
         assert_eq!(eng.buckets().len(), 3);
     }
@@ -604,11 +664,24 @@ mod tests {
         let peak_act = |mb: usize| -> (u64, u64) {
             let t = reg.tasks().next().expect("task").clone();
             let mut r2 = TaskRegistry::new(reg.backbone().clone());
-            r2.register_task(PeftTask { micro_batch: mb, ..t }).expect("register");
+            r2.register_task(PeftTask {
+                micro_batch: mb,
+                ..t
+            })
+            .expect("register");
             let h = HTask::from_padded(&r2.tasks().collect::<Vec<_>>(), 2);
             let model = cm.stage_memory(0, std::slice::from_ref(&h), 2);
-            let opts = EngineOptions { max_in_flight: 2, ..EngineOptions::default() };
-            let eng = MuxEngine::new(&r2, &cluster, HybridParallelism::pipeline(4), vec![vec![h]], opts);
+            let opts = EngineOptions {
+                max_in_flight: 2,
+                ..EngineOptions::default()
+            };
+            let eng = MuxEngine::new(
+                &r2,
+                &cluster,
+                HybridParallelism::pipeline(4),
+                vec![vec![h]],
+                opts,
+            );
             let m = eng.run().expect("fits");
             (model, m.peak_mem.iter().copied().max().unwrap_or(0))
         };
@@ -619,17 +692,30 @@ mod tests {
         let de = e2 as f64 - e1 as f64;
         assert!(dm > 0.0 && de > 0.0);
         let ratio = dm / de;
-        assert!(ratio > 0.5 && ratio < 2.0, "model/engine activation delta ratio {ratio}");
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "model/engine activation delta ratio {ratio}"
+        );
     }
 
     #[test]
     fn oom_reports_the_offending_device() {
         let mut reg = TaskRegistry::new(ModelConfig::llama2_7b());
-        reg.register_task(PeftTask::lora(1, 16, 256, 256)).expect("fat task");
+        reg.register_task(PeftTask::lora(1, 16, 256, 256))
+            .expect("fat task");
         let cluster = Cluster::single_node(GpuSpec::a40(), 2, LinkSpec::nvlink_a40());
         let h = HTask::from_padded(&reg.tasks().collect::<Vec<_>>(), 8);
-        let opts = EngineOptions { max_in_flight: 8, ..EngineOptions::default() };
-        let eng = MuxEngine::new(&reg, &cluster, HybridParallelism::pipeline(2), vec![vec![h]], opts);
+        let opts = EngineOptions {
+            max_in_flight: 8,
+            ..EngineOptions::default()
+        };
+        let eng = MuxEngine::new(
+            &reg,
+            &cluster,
+            HybridParallelism::pipeline(2),
+            vec![vec![h]],
+            opts,
+        );
         let err = eng.run().expect_err("must OOM");
         assert!(err.device < 2);
         assert!(err.requested > 0);

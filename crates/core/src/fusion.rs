@@ -6,13 +6,12 @@
 
 use mux_model::ops::Pass;
 use mux_peft::types::PeftTask;
-use serde::Serialize;
 
 use crate::cost::CostModel;
 use crate::htask::HTask;
 
 /// The fusion decision.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FusionPlan {
     /// The fused hTasks, each holding a contiguous run of the sorted tasks.
     pub htasks: Vec<HTask>,
@@ -21,7 +20,7 @@ pub struct FusionPlan {
 }
 
 /// Fusion policies (`Dp` is MuxTune; the rest are ablation baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FusionPolicy {
     /// Eq. 6 dynamic programming (the paper's algorithm).
     Dp,
@@ -57,7 +56,10 @@ pub fn fuse_tasks(
         FusionPolicy::AllSpatial => {
             let h = build(&sorted);
             let predicted = cm.pipeline_latency(&h);
-            FusionPlan { htasks: vec![h], predicted }
+            FusionPlan {
+                htasks: vec![h],
+                predicted,
+            }
         }
         FusionPolicy::AllTemporal => {
             let htasks: Vec<HTask> = sorted.iter().map(|t| build(&[*t])).collect();
@@ -69,7 +71,11 @@ pub fn fuse_tasks(
     }
 }
 
-fn fuse_greedy(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftTask]) -> HTask) -> FusionPlan {
+fn fuse_greedy(
+    cm: &CostModel<'_>,
+    sorted: &[&PeftTask],
+    build: &dyn Fn(&[&PeftTask]) -> HTask,
+) -> FusionPlan {
     let mut htasks = Vec::new();
     let mut start = 0;
     while start < sorted.len() {
@@ -101,7 +107,11 @@ fn fuse_greedy(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftT
 /// Eq. 6: `F(m, n) = min_i { F(i, n-1) + L(H_{i+1..m}) / S }`, with
 /// `F(m', 1) = L(H_{1..m'})`; the answer is `min_N F(M, N)`.
 #[allow(clippy::needless_range_loop)] // explicit DP indices mirror Eq. 6
-fn fuse_dp(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftTask]) -> HTask) -> FusionPlan {
+fn fuse_dp(
+    cm: &CostModel<'_>,
+    sorted: &[&PeftTask],
+    build: &dyn Fn(&[&PeftTask]) -> HTask,
+) -> FusionPlan {
     let m = sorted.len();
     let s = cm.num_stages() as f64;
     // Memoized hTask + latency per contiguous range [i, j) (1-indexed DP
@@ -173,7 +183,10 @@ fn fuse_dp(cm: &CostModel<'_>, sorted: &[&PeftTask], build: &dyn Fn(&[&PeftTask]
     for w in cuts.windows(2) {
         htasks.push(range(w[0], w[1]).0);
     }
-    FusionPlan { htasks, predicted: best_val }
+    FusionPlan {
+        htasks,
+        predicted: best_val,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +201,8 @@ mod tests {
     fn setup(task_shapes: &[(usize, usize)]) -> TaskRegistry {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
         for (i, &(mb, seq)) in task_shapes.iter().enumerate() {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq))
+                .expect("register");
         }
         r
     }
@@ -196,13 +210,20 @@ mod tests {
     fn run(r: &TaskRegistry, policy: FusionPolicy, mbs: usize) -> FusionPlan {
         let cm = CostModel::new(r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let tasks: Vec<&PeftTask> = r.tasks().collect();
-        fuse_tasks(&cm, &tasks, policy, &|members| HTask::from_padded(members, mbs))
+        fuse_tasks(&cm, &tasks, policy, &|members| {
+            HTask::from_padded(members, mbs)
+        })
     }
 
     #[test]
     fn every_task_appears_exactly_once() {
         let r = setup(&[(4, 64), (2, 128), (8, 64), (4, 128), (2, 256), (8, 128)]);
-        for policy in [FusionPolicy::Dp, FusionPolicy::Greedy, FusionPolicy::AllSpatial, FusionPolicy::AllTemporal] {
+        for policy in [
+            FusionPolicy::Dp,
+            FusionPolicy::Greedy,
+            FusionPolicy::AllSpatial,
+            FusionPolicy::AllTemporal,
+        ] {
             let plan = run(&r, policy, 4);
             let mut all: Vec<TaskId> = plan.htasks.iter().flat_map(|h| h.tasks.clone()).collect();
             all.sort_unstable();
@@ -219,9 +240,19 @@ mod tests {
         // The DP objective mixes full-latency and per-stage terms, so
         // compare on its own scale: DP must not exceed the better extreme
         // expressed in the same objective (AllSpatial with N=1 is F(M,1)).
-        assert!(dp.predicted <= spatial.predicted * 1.0001, "dp {} vs spatial {}", dp.predicted, spatial.predicted);
+        assert!(
+            dp.predicted <= spatial.predicted * 1.0001,
+            "dp {} vs spatial {}",
+            dp.predicted,
+            spatial.predicted
+        );
         let temporal_obj = temporal.predicted; // Σ L(H_i) >= DP's objective form
-        assert!(dp.predicted <= temporal_obj, "dp {} vs temporal {}", dp.predicted, temporal_obj);
+        assert!(
+            dp.predicted <= temporal_obj,
+            "dp {} vs temporal {}",
+            dp.predicted,
+            temporal_obj
+        );
     }
 
     #[test]
@@ -229,7 +260,11 @@ mod tests {
         // Many tiny tasks under-utilize alone: DP should batch them.
         let r = setup(&[(1, 64), (1, 64), (1, 64), (1, 64)]);
         let dp = run(&r, FusionPolicy::Dp, 4);
-        assert!(dp.htasks.len() < 4, "tiny tasks should fuse, got {} hTasks", dp.htasks.len());
+        assert!(
+            dp.htasks.len() < 4,
+            "tiny tasks should fuse, got {} hTasks",
+            dp.htasks.len()
+        );
     }
 
     #[test]
@@ -247,8 +282,11 @@ mod tests {
         let dp = run(&r, FusionPolicy::Dp, 4);
         // Token counts within the hTask sequence must be non-decreasing
         // across the concatenated plan (sorted ascending before cutting).
-        let tokens: Vec<usize> =
-            dp.htasks.iter().flat_map(|h| h.tokens_per_task.clone()).collect();
+        let tokens: Vec<usize> = dp
+            .htasks
+            .iter()
+            .flat_map(|h| h.tokens_per_task.clone())
+            .collect();
         let mut sorted = tokens.clone();
         sorted.sort_unstable();
         assert_eq!(tokens, sorted);
@@ -259,16 +297,23 @@ mod tests {
         // Tasks so fat that an all-spatial hTask would OOM: DP must split.
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
         for i in 0..8 {
-            r.register_task(PeftTask::lora(i + 1, 16, 8, 256)).expect("register");
+            r.register_task(PeftTask::lora(i + 1, 16, 8, 256))
+                .expect("register");
         }
         let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let tasks: Vec<&PeftTask> = r.tasks().collect();
         let all = HTask::from_padded(&tasks, 4);
-        assert!(!cm.fits_memory(std::slice::from_ref(&all), 4), "precondition: all-spatial OOMs");
+        assert!(
+            !cm.fits_memory(std::slice::from_ref(&all), 4),
+            "precondition: all-spatial OOMs"
+        );
         let plan = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|m| HTask::from_padded(m, 4));
         assert!(plan.htasks.len() >= 2);
         for h in &plan.htasks {
-            assert!(cm.fits_memory(std::slice::from_ref(h), 4), "each chosen hTask must fit");
+            assert!(
+                cm.fits_memory(std::slice::from_ref(h), 4),
+                "each chosen hTask must fit"
+            );
         }
     }
 }

@@ -8,13 +8,12 @@
 //! pipeline latency (Appendix A, Lemmas 1–2) is lowest.
 
 use mux_model::ops::Pass;
-use serde::Serialize;
 
 use crate::cost::CostModel;
 use crate::htask::HTask;
 
 /// A grouping of hTasks into buckets.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Grouping {
     /// Buckets of hTask indices, sorted descending by bucket latency
     /// (template rule 1).
@@ -25,7 +24,10 @@ pub struct Grouping {
 
 /// First-stage latency `L^(1)` of each hTask (the Eq. 7 balance metric).
 pub fn first_stage_latencies(cm: &CostModel<'_>, htasks: &[HTask]) -> Vec<f64> {
-    htasks.iter().map(|h| cm.stage_latency(0, h, Pass::Forward)).collect()
+    htasks
+        .iter()
+        .map(|h| cm.stage_latency(0, h, Pass::Forward))
+        .collect()
 }
 
 /// Greedy LPT partition of `lat` into `p` buckets minimizing variance:
@@ -52,8 +54,10 @@ fn lpt_partition(lat: &[f64], p: usize) -> Vec<Vec<usize>> {
 /// Inter-bucket variance of summed first-stage latency (the Eq. 7
 /// objective).
 pub fn bucket_variance(lat: &[f64], buckets: &[Vec<usize>]) -> f64 {
-    let loads: Vec<f64> =
-        buckets.iter().map(|b| b.iter().map(|&i| lat[i]).sum()).collect();
+    let loads: Vec<f64> = buckets
+        .iter()
+        .map(|b| b.iter().map(|&i| lat[i]).sum())
+        .collect();
     let mean = loads.iter().sum::<f64>() / loads.len() as f64;
     loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64
 }
@@ -78,11 +82,18 @@ fn estimate_grouped_latency(cm: &CostModel<'_>, htasks: &[HTask], buckets: &[Vec
         .collect();
     let bucket_rounds: Vec<usize> = buckets
         .iter()
-        .map(|b| b.iter().map(|&i| htasks[i].micro_batches).max().unwrap_or(0))
+        .map(|b| {
+            b.iter()
+                .map(|&i| htasks[i].micro_batches)
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     let mut order: Vec<usize> = (0..buckets.len()).collect();
     order.sort_by(|&a, &b| {
-        bucket_bottleneck[b].partial_cmp(&bucket_bottleneck[a]).expect("finite")
+        bucket_bottleneck[b]
+            .partial_cmp(&bucket_bottleneck[a])
+            .expect("finite")
     });
     let t_first = bucket_bottleneck[order[0]];
     let t_last = bucket_bottleneck[*order.last().expect("non-empty")];
@@ -109,7 +120,11 @@ pub fn group_htasks(cm: &CostModel<'_>, htasks: &[HTask]) -> Grouping {
             lb.partial_cmp(&la).expect("finite")
         });
         let estimated = estimate_grouped_latency(cm, htasks, &buckets);
-        if best.as_ref().map(|g| estimated < g.estimated).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|g| estimated < g.estimated)
+            .unwrap_or(true)
+        {
             best = Some(Grouping { buckets, estimated });
         }
     }
@@ -128,7 +143,8 @@ mod tests {
     fn setup(shapes: &[(usize, usize)]) -> TaskRegistry {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
         for (i, &(mb, seq)) in shapes.iter().enumerate() {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq))
+                .expect("register");
         }
         r
     }
@@ -172,10 +188,16 @@ mod tests {
         let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let g = group_htasks(&cm, &hts);
         let lat = first_stage_latencies(&cm, &hts);
-        let loads: Vec<f64> =
-            g.buckets.iter().map(|b| b.iter().map(|&i| lat[i]).sum()).collect();
+        let loads: Vec<f64> = g
+            .buckets
+            .iter()
+            .map(|b| b.iter().map(|&i| lat[i]).sum())
+            .collect();
         for w in loads.windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "buckets must be sorted descending: {loads:?}");
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "buckets must be sorted descending: {loads:?}"
+            );
         }
     }
 

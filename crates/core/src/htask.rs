@@ -8,10 +8,9 @@
 use mux_data::align::{align, AlignStrategy, AlignedBatch, TaskData};
 use mux_model::ops::TokenShape;
 use mux_peft::types::{PeftTask, TaskId};
-use serde::Serialize;
 
 /// A hybrid task: spatially fused PEFT tasks plus their aligned data shape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HTask {
     /// Member task ids, in fusion order.
     pub tasks: Vec<TaskId>,
@@ -46,7 +45,11 @@ impl HTask {
         let data: Vec<TaskData> = members
             .iter()
             .zip(corpora)
-            .map(|(t, lens)| TaskData { task: t.id, seq_lens: lens.clone(), cap: t.seq_len })
+            .map(|(t, lens)| TaskData {
+                task: t.id,
+                seq_lens: lens.clone(),
+                cap: t.seq_len,
+            })
             .collect();
         let aligned: AlignedBatch = align(&data, strategy);
         let tokens_per_task = members
@@ -57,13 +60,21 @@ impl HTask {
                 // content occupies `cap/unit_len`-ish rows, but the token
                 // count per micro-batch stays `micro_batch * cap` scaled by
                 // the alignment's padding behaviour.
-                let ta = aligned.tasks.iter().find(|a| a.task == t.id).expect("aligned member");
+                let ta = aligned
+                    .tasks
+                    .iter()
+                    .find(|a| a.task == t.id)
+                    .expect("aligned member");
                 let total = (ta.rows * aligned.unit_len) as f64;
                 (total / micro_batches as f64).ceil() as usize
             })
             .collect();
         // Token-weighted attention statistics across members.
-        let total: f64 = aligned.tasks.iter().map(|t| (t.rows * aligned.unit_len) as f64).sum();
+        let total: f64 = aligned
+            .tasks
+            .iter()
+            .map(|t| (t.rows * aligned.unit_len) as f64)
+            .sum();
         let wctx: f64 = aligned
             .tasks
             .iter()
@@ -80,8 +91,16 @@ impl HTask {
             unit_len: aligned.unit_len,
             micro_batches,
             effective_fraction: aligned.effective_fraction(),
-            attn_context: if total > 0.0 { (wctx / total).round() as usize } else { aligned.unit_len },
-            attn_splits: if total > 0.0 { (wsplit / total).max(1.0) } else { 1.0 },
+            attn_context: if total > 0.0 {
+                (wctx / total).round() as usize
+            } else {
+                aligned.unit_len
+            },
+            attn_splits: if total > 0.0 {
+                (wsplit / total).max(1.0)
+            } else {
+                1.0
+            },
         }
     }
 
@@ -92,8 +111,7 @@ impl HTask {
     pub fn from_padded(members: &[&PeftTask], micro_batches: usize) -> Self {
         assert!(!members.is_empty(), "empty hTask");
         let unit_len = members.iter().map(|t| t.seq_len).max().expect("non-empty");
-        let tokens_per_task =
-            members.iter().map(|t| t.micro_batch * unit_len).collect();
+        let tokens_per_task = members.iter().map(|t| t.micro_batch * unit_len).collect();
         Self {
             tasks: members.iter().map(|t| t.id).collect(),
             tokens_per_task,
@@ -103,7 +121,10 @@ impl HTask {
                 .iter()
                 .map(|t| (t.micro_batch * t.seq_len) as f64)
                 .sum::<f64>()
-                / members.iter().map(|t| (t.micro_batch * unit_len) as f64).sum::<f64>(),
+                / members
+                    .iter()
+                    .map(|t| (t.micro_batch * unit_len) as f64)
+                    .sum::<f64>(),
             attn_context: unit_len,
             attn_splits: 1.0,
         }
@@ -116,12 +137,18 @@ impl HTask {
 
     /// The unified batched shape one micro-batch presents to backbone ops.
     pub fn shape(&self) -> TokenShape {
-        TokenShape::new(self.total_tokens().div_ceil(self.unit_len).max(1), self.unit_len)
+        TokenShape::new(
+            self.total_tokens().div_ceil(self.unit_len).max(1),
+            self.unit_len,
+        )
     }
 
     /// The shape task `idx` (member index) presents to its adapters.
     pub fn member_shape(&self, idx: usize) -> TokenShape {
-        TokenShape::new(self.tokens_per_task[idx].div_ceil(self.unit_len).max(1), self.unit_len)
+        TokenShape::new(
+            self.tokens_per_task[idx].div_ceil(self.unit_len).max(1),
+            self.unit_len,
+        )
     }
 }
 
@@ -161,8 +188,12 @@ mod tests {
         let ca = Corpus::generate(DatasetKind::Sst2, 32, 1).lengths;
         let cb = Corpus::generate(DatasetKind::Rte, 32, 2).lengths;
         let padded = HTask::from_padded(&[&a, &b], 4);
-        let chunked =
-            HTask::fuse(&[&a, &b], &[ca, cb], 4, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let chunked = HTask::fuse(
+            &[&a, &b],
+            &[ca, cb],
+            4,
+            AlignStrategy::ChunkBased { min_chunk: 64 },
+        );
         assert!(chunked.effective_fraction > padded.effective_fraction);
         assert_eq!(chunked.unit_len, 64);
     }

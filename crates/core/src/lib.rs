@@ -33,5 +33,5 @@ pub use engine::{EngineOptions, MuxEngine, RunMetrics};
 pub use fusion::{fuse_tasks, FusionPlan, FusionPolicy};
 pub use grouping::{group_htasks, Grouping};
 pub use htask::HTask;
-pub use planner::{plan_and_run, MuxTuneReport, PlannerConfig};
+pub use planner::{plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig};
 pub use template::BucketOrder;

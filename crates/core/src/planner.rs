@@ -7,11 +7,10 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use mux_data::align::AlignStrategy;
-use mux_gpu_sim::timeline::{Cluster, OomError};
+use mux_gpu_sim::timeline::{Cluster, OomError, OpRecord};
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
-use serde::Serialize;
 
 use crate::cost::CostModel;
 use crate::engine::{EngineOptions, MuxEngine, RunMetrics};
@@ -48,7 +47,7 @@ impl PlannerConfig {
 }
 
 /// Everything the planner decided plus the measured outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MuxTuneReport {
     /// The fusion decision.
     pub fusion: FusionPlan,
@@ -71,6 +70,48 @@ pub fn plan_and_run(
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     cfg: &PlannerConfig,
 ) -> Result<MuxTuneReport, OomError> {
+    plan_and_run_inner(registry, cluster, corpora, cfg, false).map(|(r, _)| r)
+}
+
+/// [`plan_and_run`], additionally returning the winning configuration's
+/// full operator trace (export it with `mux_gpu_sim::chrome_trace`).
+///
+/// When the winner disabled orchestration (per-bucket back-to-back runs),
+/// the per-bucket traces are concatenated on a shifted time axis so the
+/// combined trace spans the summed makespan.
+pub fn plan_and_run_traced(
+    registry: &TaskRegistry,
+    cluster: &Cluster,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    cfg: &PlannerConfig,
+) -> Result<(MuxTuneReport, Vec<OpRecord>), OomError> {
+    plan_and_run_inner(registry, cluster, corpora, cfg, true)
+        .map(|(r, t)| (r, t.expect("trace requested")))
+}
+
+/// Appends `records` to `out`, shifting times by `t_off` and dependency
+/// indices by `out`'s current length (per-bucket traces index their own
+/// op lists).
+fn append_shifted(out: &mut Vec<OpRecord>, records: Vec<OpRecord>, t_off: f64) {
+    let base = out.len();
+    out.extend(records.into_iter().map(|mut r| {
+        r.start += t_off;
+        r.end += t_off;
+        for d in &mut r.deps {
+            *d += base;
+        }
+        r
+    }));
+}
+
+fn plan_and_run_inner(
+    registry: &TaskRegistry,
+    cluster: &Cluster,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    cfg: &PlannerConfig,
+    trace: bool,
+) -> Result<(MuxTuneReport, Option<Vec<OpRecord>>), OomError> {
+    let _total_span = mux_obs::span("planner.total");
     let t0 = Instant::now();
     let cm = CostModel::new(registry, cluster.gpus[0].clone(), cfg.plan);
     let tasks: Vec<&PeftTask> = registry.tasks().collect();
@@ -81,8 +122,7 @@ pub fn plan_and_run(
     let build = |members: &[&PeftTask]| -> HTask {
         let have_all = members.iter().all(|t| corpora.contains_key(&t.id));
         if have_all {
-            let lens: Vec<Vec<usize>> =
-                members.iter().map(|t| corpora[&t.id].clone()).collect();
+            let lens: Vec<Vec<usize>> = members.iter().map(|t| corpora[&t.id].clone()).collect();
             HTask::fuse(members, &lens, mbs, align)
         } else {
             HTask::from_padded(members, mbs)
@@ -94,14 +134,24 @@ pub fn plan_and_run(
     // profiles), we validate the shortlist on the simulator and keep the
     // fastest — the DP result plus the two multiplexing extremes.
     let policies: Vec<FusionPolicy> = match cfg.fusion {
-        FusionPolicy::Dp => vec![FusionPolicy::Dp, FusionPolicy::AllSpatial, FusionPolicy::AllTemporal],
+        FusionPolicy::Dp => vec![
+            FusionPolicy::Dp,
+            FusionPolicy::AllSpatial,
+            FusionPolicy::AllTemporal,
+        ],
         p => vec![p],
     };
-    let mut best: Option<(MuxTuneReport, f64)> = None;
+    let mut best: Option<(MuxTuneReport, f64, Option<Vec<OpRecord>>)> = None;
     let mut last_err: Option<OomError> = None;
     for policy in policies {
-        let fusion = fuse_tasks(&cm, &tasks, policy, &build);
-        let grouping = group_htasks(&cm, &fusion.htasks);
+        let fusion = {
+            let _s = mux_obs::span("planner.fusion");
+            fuse_tasks(&cm, &tasks, policy, &build)
+        };
+        let grouping = {
+            let _s = mux_obs::span("planner.grouping");
+            group_htasks(&cm, &fusion.htasks)
+        };
         let buckets: Vec<Vec<HTask>> = grouping
             .buckets
             .iter()
@@ -113,7 +163,9 @@ pub fn plan_and_run(
         // resident pipeline *cells*, not per-hTask copies.
         let mut options = cfg.options;
         if options.max_in_flight == 0 {
-            options.max_in_flight = cm.max_in_flight(&buckets).max(cfg.plan.pp.min(2 * cfg.plan.pp + 4));
+            options.max_in_flight = cm
+                .max_in_flight(&buckets)
+                .max(cfg.plan.pp.min(2 * cfg.plan.pp + 4));
         }
 
         // Overlapping communication pays a CTA/bandwidth toll (§3.4.3); it
@@ -126,19 +178,37 @@ pub fn plan_and_run(
             variants.push(seq_opts);
         }
         for opts in variants {
+            mux_obs::incr_counter("planner.candidates", 1);
+            let _cand_span = mux_obs::span("planner.candidate_run");
             // Disabling orchestration (-OO) removes *both* tiers of §3.4:
             // no Algorithm-1 interleaving inside a bucket (engine flag) and
             // no inter-stage interleaving across buckets — each bucket runs
             // as its own pipeline, back to back.
             let run_result = if opts.orchestrate {
-                MuxEngine::new(registry, cluster, cfg.plan, buckets.clone(), opts).run()
+                let eng = MuxEngine::new(registry, cluster, cfg.plan, buckets.clone(), opts);
+                if trace {
+                    eng.run_traced().map(|(m, t)| (m, Some(t)))
+                } else {
+                    eng.run().map(|m| (m, None))
+                }
             } else {
                 let mut combined: Option<RunMetrics> = None;
+                let mut records: Vec<OpRecord> = Vec::new();
                 let mut failed = None;
                 for bucket in &buckets {
-                    match MuxEngine::new(registry, cluster, cfg.plan, vec![bucket.clone()], opts).run()
-                    {
-                        Ok(m) => {
+                    let eng =
+                        MuxEngine::new(registry, cluster, cfg.plan, vec![bucket.clone()], opts);
+                    let bucket_result = if trace {
+                        eng.run_traced().map(|(m, t)| (m, Some(t)))
+                    } else {
+                        eng.run().map(|m| (m, None))
+                    };
+                    match bucket_result {
+                        Ok((m, t)) => {
+                            if let Some(t) = t {
+                                let t_off = combined.as_ref().map(|c| c.makespan).unwrap_or(0.0);
+                                append_shifted(&mut records, t, t_off);
+                            }
                             combined = Some(match combined {
                                 None => m,
                                 Some(mut acc) => {
@@ -171,15 +241,15 @@ pub fn plan_and_run(
                     }
                 }
                 match (combined, failed) {
-                    (Some(m), None) => Ok(m),
+                    (Some(m), None) => Ok((m, trace.then_some(records))),
                     (_, Some(e)) => Err(e),
                     (None, None) => unreachable!("at least one bucket exists"),
                 }
             };
             match run_result {
-                Ok(m) => {
+                Ok((m, t)) => {
                     let score = m.effective_throughput;
-                    if best.as_ref().map(|(_, b)| score > *b).unwrap_or(true) {
+                    if best.as_ref().map(|(_, b, _)| score > *b).unwrap_or(true) {
                         best = Some((
                             MuxTuneReport {
                                 fusion: fusion.clone(),
@@ -188,6 +258,7 @@ pub fn plan_and_run(
                                 planning_seconds: 0.0,
                             },
                             score,
+                            t,
                         ));
                     }
                 }
@@ -195,12 +266,19 @@ pub fn plan_and_run(
             }
         }
     }
-    let (mut report, _) = match best {
+    let (mut report, _, trace_out) = match best {
         Some(b) => b,
         None => return Err(last_err.expect("at least one candidate ran")),
     };
     report.planning_seconds = t0.elapsed().as_secs_f64();
-    Ok(report)
+    mux_obs::set_gauge("run.makespan_seconds", report.metrics.makespan);
+    mux_obs::set_gauge("run.mean_utilization", report.metrics.mean_utilization);
+    mux_obs::set_gauge(
+        "run.effective_throughput",
+        report.metrics.effective_throughput,
+    );
+    mux_obs::set_gauge("planner.planning_seconds", report.planning_seconds);
+    Ok((report, trace_out))
 }
 
 #[cfg(test)]
@@ -213,7 +291,8 @@ mod tests {
     fn registry(n: usize, seq: usize) -> TaskRegistry {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
         for i in 0..n {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, seq)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, 4, seq))
+                .expect("register");
         }
         r
     }
@@ -239,7 +318,11 @@ mod tests {
         assert!(rep.metrics.throughput > 0.0);
         assert!(rep.metrics.effective_throughput <= rep.metrics.throughput);
         assert!(rep.metrics.mean_utilization > 0.0 && rep.metrics.mean_utilization <= 1.0);
-        assert!(rep.metrics.mfu > 0.0 && rep.metrics.mfu < 1.0, "mfu {}", rep.metrics.mfu);
+        assert!(
+            rep.metrics.mfu > 0.0 && rep.metrics.mfu < 1.0,
+            "mfu {}",
+            rep.metrics.mfu
+        );
         assert!(rep.planning_seconds < 10.0, "planning overhead bound (§4)");
     }
 
@@ -285,7 +368,14 @@ mod tests {
     fn disabling_orchestration_costs_throughput() {
         let r = registry(4, 128);
         let c = cluster(4);
-        let base = PlannerConfig::muxtune(HybridParallelism { tp: 4, pp: 1, dp: 1 }, 4);
+        let base = PlannerConfig::muxtune(
+            HybridParallelism {
+                tp: 4,
+                pp: 1,
+                dp: 1,
+            },
+            4,
+        );
         let full = plan_and_run(&r, &c, &BTreeMap::new(), &base).expect("full");
         let mut no_oo = base.clone();
         no_oo.options.overlap_comm = false;
@@ -309,7 +399,11 @@ mod tests {
         r.register_task(PeftTask::lora(4, 16, 4, 256)).expect("t4");
         let mut corp = BTreeMap::new();
         for t in r.tasks() {
-            let kind = if t.seq_len == 64 { DatasetKind::Sst2 } else { DatasetKind::Rte };
+            let kind = if t.seq_len == 64 {
+                DatasetKind::Sst2
+            } else {
+                DatasetKind::Rte
+            };
             corp.insert(t.id, Corpus::generate(kind, 64, t.id as u64).lengths);
         }
         let c = cluster(4);
@@ -332,7 +426,8 @@ mod tests {
         // the engine's ledger must surface OOM.
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
         for i in 0..12 {
-            r.register_task(PeftTask::lora(i + 1, 16, 64, 256)).expect("register");
+            r.register_task(PeftTask::lora(i + 1, 16, 64, 256))
+                .expect("register");
         }
         let c = cluster(2);
         let mut cfg = PlannerConfig::muxtune(HybridParallelism::pipeline(2), 8);

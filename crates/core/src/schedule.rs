@@ -7,12 +7,10 @@
 //! cumulative latency — maximizing what in-flight communication can hide
 //! under.
 
-use serde::Serialize;
-
 use crate::subgraph::Subgraph;
 
 /// One launch-schedule entry: `(dag index, subgraph id)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchItem {
     /// Which hTask's DAG.
     pub dag: usize,
@@ -27,8 +25,10 @@ pub fn schedule_subgraphs(
     dags: &[Vec<Subgraph>],
     latency: &dyn Fn(usize, &Subgraph) -> f64,
 ) -> Vec<LaunchItem> {
-    let mut indeg: Vec<Vec<usize>> =
-        dags.iter().map(|d| d.iter().map(|s| s.deps.len()).collect()).collect();
+    let mut indeg: Vec<Vec<usize>> = dags
+        .iter()
+        .map(|d| d.iter().map(|s| s.deps.len()).collect())
+        .collect();
     let mut succ: Vec<Vec<Vec<usize>>> = dags
         .iter()
         .map(|d| {
@@ -46,7 +46,10 @@ pub fn schedule_subgraphs(
     for (di, d) in dags.iter().enumerate() {
         for sg in d {
             if sg.deps.is_empty() {
-                ready.push(LaunchItem { dag: di, subgraph: sg.id });
+                ready.push(LaunchItem {
+                    dag: di,
+                    subgraph: sg.id,
+                });
             }
         }
     }
@@ -79,7 +82,10 @@ pub fn schedule_subgraphs(
         for &nxt in &succ[item.dag][item.subgraph] {
             indeg[item.dag][nxt] -= 1;
             if indeg[item.dag][nxt] == 0 {
-                ready.push(LaunchItem { dag: item.dag, subgraph: nxt });
+                ready.push(LaunchItem {
+                    dag: item.dag,
+                    subgraph: nxt,
+                });
             }
         }
         succ[item.dag][item.subgraph].clear();
@@ -96,7 +102,9 @@ pub fn is_valid_order(dags: &[Vec<Subgraph>], order: &[LaunchItem]) -> bool {
     }
     for (di, d) in dags.iter().enumerate() {
         for sg in d {
-            let Some(me) = pos[di][sg.id] else { return false };
+            let Some(me) = pos[di][sg.id] else {
+                return false;
+            };
             for &dep in &sg.deps {
                 match pos[di][dep] {
                     Some(p) if p < me => {}
@@ -113,12 +121,24 @@ mod tests {
     use super::*;
 
     fn sg(id: usize, prio: usize, deps: Vec<usize>, comm: bool) -> Subgraph {
-        Subgraph { id, nodes: vec![id], priority: prio, deps, is_adapter: false, task: 0, has_comm: comm }
+        Subgraph {
+            id,
+            nodes: vec![id],
+            priority: prio,
+            deps,
+            is_adapter: false,
+            task: 0,
+            has_comm: comm,
+        }
     }
 
     #[test]
     fn single_dag_schedules_in_topological_order() {
-        let dag = vec![sg(0, 0, vec![], true), sg(1, 1, vec![0], true), sg(2, 2, vec![1], false)];
+        let dag = vec![
+            sg(0, 0, vec![], true),
+            sg(1, 1, vec![0], true),
+            sg(2, 2, vec![1], false),
+        ];
         let order = schedule_subgraphs(std::slice::from_ref(&dag), &|_, _| 1.0);
         assert!(is_valid_order(&[dag], &order));
         assert_eq!(order.len(), 3);
@@ -143,20 +163,34 @@ mod tests {
     fn longest_latency_launches_first_within_a_priority() {
         let mk = || vec![sg(0, 0, vec![], true)];
         let order = schedule_subgraphs(&[mk(), mk(), mk()], &|dag, _| dag as f64);
-        assert_eq!(order.iter().map(|i| i.dag).collect::<Vec<_>>(), vec![2, 1, 0]);
+        assert_eq!(
+            order.iter().map(|i| i.dag).collect::<Vec<_>>(),
+            vec![2, 1, 0]
+        );
     }
 
     #[test]
     fn respects_dependencies_under_any_latency() {
-        let dag_a = vec![sg(0, 0, vec![], true), sg(1, 1, vec![0], false), sg(2, 1, vec![0], false)];
+        let dag_a = vec![
+            sg(0, 0, vec![], true),
+            sg(1, 1, vec![0], false),
+            sg(2, 1, vec![0], false),
+        ];
         let dag_b = vec![sg(0, 0, vec![], false)];
-        let order = schedule_subgraphs(&[dag_a.clone(), dag_b.clone()], &|_, s| 100.0 - s.id as f64);
+        let order =
+            schedule_subgraphs(&[dag_a.clone(), dag_b.clone()], &|_, s| 100.0 - s.id as f64);
         assert!(is_valid_order(&[dag_a, dag_b], &order));
     }
 
     #[test]
     fn deterministic_output() {
-        let mk = || vec![sg(0, 0, vec![], true), sg(1, 1, vec![0], true), sg(2, 2, vec![1], false)];
+        let mk = || {
+            vec![
+                sg(0, 0, vec![], true),
+                sg(1, 1, vec![0], true),
+                sg(2, 2, vec![1], false),
+            ]
+        };
         let a = schedule_subgraphs(&[mk(), mk()], &|_, _| 1.0);
         let b = schedule_subgraphs(&[mk(), mk()], &|_, _| 1.0);
         assert_eq!(a, b);

@@ -8,10 +8,9 @@
 //! Each subgraph carries a priority equal to its topological depth.
 
 use mux_model::graph::OpGraph;
-use serde::Serialize;
 
 /// A segmented subgraph of one hTask's stage graph.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Subgraph {
     /// Id within the segmentation.
     pub id: usize,
@@ -43,16 +42,18 @@ pub fn segment(graph: &OpGraph) -> Vec<Subgraph> {
     // The currently-open backbone subgraph, if any.
     let mut open_backbone: Option<usize> = None;
     // The currently-open adapter chain per task tag.
-    let mut open_adapter: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    let mut open_adapter: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
 
     for node in graph.nodes() {
         let is_adapter_node = node.tag != 0;
         let sg_id = if is_adapter_node {
             // Continue this task's chain if the node directly depends on
             // its open chain; otherwise start a new chain.
-            let cont = open_adapter.get(&node.tag).copied().filter(|&sg| {
-                node.deps.iter().any(|&d| node_sg[d] == sg)
-            });
+            let cont = open_adapter
+                .get(&node.tag)
+                .copied()
+                .filter(|&sg| node.deps.iter().any(|&d| node_sg[d] == sg));
             match cont {
                 Some(sg) => sg,
                 None => {
@@ -140,7 +141,10 @@ pub fn validate_segmentation(graph: &OpGraph, sgs: &[Subgraph]) -> bool {
             covered[n] = true;
         }
     }
-    covered.iter().all(|&c| c) && sgs.iter().all(|sg| sg.deps.iter().all(|&d| d < sg.id || !sg.nodes.is_empty()))
+    covered.iter().all(|&c| c)
+        && sgs
+            .iter()
+            .all(|sg| sg.deps.iter().all(|&d| d < sg.id || !sg.nodes.is_empty()))
 }
 
 #[cfg(test)]
@@ -154,7 +158,8 @@ mod tests {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(2));
         let ids: Vec<u32> = (1..=n_tasks as u32).collect();
         for &i in &ids {
-            r.register_task(PeftTask::lora(i, 16, 4, 128)).expect("register");
+            r.register_task(PeftTask::lora(i, 16, 4, 128))
+                .expect("register");
         }
         r.build_multitask_stage_graph(0, 2, tp, &ids)
     }
@@ -174,7 +179,10 @@ mod tests {
             if sg.has_comm {
                 // The comm node must be the last node of its subgraph.
                 let last = *sg.nodes.last().expect("non-empty");
-                assert!(g.node(last).template.kind.is_comm(), "comm must close the run");
+                assert!(
+                    g.node(last).template.kind.is_comm(),
+                    "comm must close the run"
+                );
             }
             // No subgraph contains a comm node in its interior.
             for &n in &sg.nodes[..sg.nodes.len().saturating_sub(1)] {
@@ -236,7 +244,8 @@ mod tests {
         assert!(backbone <= 9, "backbone fragmented: {backbone} runs");
         // Without adapters there is exactly one run.
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(2));
-        r.register_task(PeftTask::lora(1, 16, 4, 128)).expect("register");
+        r.register_task(PeftTask::lora(1, 16, 4, 128))
+            .expect("register");
         let bare = r.build_multitask_stage_graph(0, 2, 1, &[]);
         let bare_sgs = segment(&bare);
         assert_eq!(bare_sgs.len(), 1);

@@ -8,11 +8,10 @@
 //! stage supplied with pending work.
 
 use mux_parallel::pp::{Phase, PipeInstr, PipeProgram};
-use serde::Serialize;
 
 /// Bucket orderings (descending is the paper's rule 1; the others are the
 /// Appendix-A Fig 22 ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BucketOrder {
     /// Longest bucket first (the paper's template).
     Descending,
@@ -23,7 +22,7 @@ pub enum BucketOrder {
 }
 
 /// A generated multi-task pipeline template.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineTemplate {
     /// Per-rank instruction programs over *global* micro-batch ids.
     pub program: PipeProgram,
@@ -93,22 +92,47 @@ pub fn build_template(
             // Rule 3: eager warm-up — as many in-flight micro-batches as
             // memory allows, never fewer than plain 1F1B's S - s - 1.
             let warm = (stages - s - 1)
-                .max(in_flight_cap.saturating_sub(1).min(2 * (stages - s).saturating_sub(1)))
+                .max(
+                    in_flight_cap
+                        .saturating_sub(1)
+                        .min(2 * (stages - s).saturating_sub(1)),
+                )
                 .min(total);
             let mut prog: Vec<PipeInstr> = (0..warm)
-                .map(|m| PipeInstr { stage: s, mb: m, phase: Phase::Forward })
+                .map(|m| PipeInstr {
+                    stage: s,
+                    mb: m,
+                    phase: Phase::Forward,
+                })
                 .collect();
             for i in 0..total - warm {
-                prog.push(PipeInstr { stage: s, mb: warm + i, phase: Phase::Forward });
-                prog.push(PipeInstr { stage: s, mb: i, phase: Phase::Backward });
+                prog.push(PipeInstr {
+                    stage: s,
+                    mb: warm + i,
+                    phase: Phase::Forward,
+                });
+                prog.push(PipeInstr {
+                    stage: s,
+                    mb: i,
+                    phase: Phase::Backward,
+                });
             }
             for i in total - warm..total {
-                prog.push(PipeInstr { stage: s, mb: i, phase: Phase::Backward });
+                prog.push(PipeInstr {
+                    stage: s,
+                    mb: i,
+                    phase: Phase::Backward,
+                });
             }
             prog
         })
         .collect();
-    PipelineTemplate { program, mb_bucket, mb_round, bucket_stream: stream }
+    PipelineTemplate {
+        program,
+        mb_bucket,
+        mb_round,
+        bucket_stream: stream,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +146,10 @@ mod tests {
         let mut seen = Vec::new();
         for &b in &t.mb_bucket {
             if seen.last() != Some(&b) {
-                assert!(!seen.contains(&b), "bucket {b} split into non-consecutive runs");
+                assert!(
+                    !seen.contains(&b),
+                    "bucket {b} split into non-consecutive runs"
+                );
                 seen.push(b);
             }
         }
@@ -144,18 +171,32 @@ mod tests {
     #[test]
     fn middle_peak_centers_the_largest() {
         let t = build_template(2, &[5, 3, 1], 2, BucketOrder::MiddlePeak);
-        let pos = t.bucket_stream.iter().position(|&b| b == 0).expect("bucket 0 present");
-        assert!(pos > 0 && pos < t.bucket_stream.len() - 1, "largest should be interior: {:?}", t.bucket_stream);
+        let pos = t
+            .bucket_stream
+            .iter()
+            .position(|&b| b == 0)
+            .expect("bucket 0 present");
+        assert!(
+            pos > 0 && pos < t.bucket_stream.len() - 1,
+            "largest should be interior: {:?}",
+            t.bucket_stream
+        );
     }
 
     #[test]
     fn program_executes_every_cell_once() {
         let t = build_template(3, &[4, 4], 3, BucketOrder::Descending);
         for (s, prog) in t.program.iter().enumerate() {
-            let fwd: Vec<usize> =
-                prog.iter().filter(|i| i.phase == Phase::Forward).map(|i| i.mb).collect();
-            let bwd: Vec<usize> =
-                prog.iter().filter(|i| i.phase == Phase::Backward).map(|i| i.mb).collect();
+            let fwd: Vec<usize> = prog
+                .iter()
+                .filter(|i| i.phase == Phase::Forward)
+                .map(|i| i.mb)
+                .collect();
+            let bwd: Vec<usize> = prog
+                .iter()
+                .filter(|i| i.phase == Phase::Backward)
+                .map(|i| i.mb)
+                .collect();
             assert_eq!(fwd.len(), 8, "stage {s}");
             assert_eq!(bwd.len(), 8, "stage {s}");
             let mut f = fwd.clone();
@@ -175,7 +216,10 @@ mod tests {
                 .take_while(|i| i.phase == Phase::Forward)
                 .count()
         };
-        assert!(warm(&eager, 0) >= warm(&lazy, 0), "more memory should allow more warm-up");
+        assert!(
+            warm(&eager, 0) >= warm(&lazy, 0),
+            "more memory should allow more warm-up"
+        );
         // Backward ordering is still 1F1B: first backward is mb 0.
         let first_b = eager.program[0]
             .iter()

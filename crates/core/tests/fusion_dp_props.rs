@@ -1,0 +1,126 @@
+//! Property test: the Eq. 6 fusion DP is exact. For M ≤ 8 tasks the
+//! contiguous partitions of the sorted task list can be enumerated
+//! outright (2^(M-1) of them); the DP's chosen objective must equal the
+//! brute-force optimum under the same cost model and memory filter, and
+//! the returned plan must itself be feasible and correctly priced.
+
+use mux_gpu_sim::spec::GpuSpec;
+use mux_model::config::ModelConfig;
+use mux_parallel::plan::HybridParallelism;
+use mux_peft::registry::TaskRegistry;
+use mux_peft::types::{PeftTask, TaskId};
+use muxtune_core::cost::CostModel;
+use muxtune_core::fusion::{fuse_tasks, sort_by_tokens, FusionPolicy};
+use muxtune_core::htask::HTask;
+use proptest::prelude::*;
+
+const MBS: usize = 4;
+
+fn registry(shapes: &[(usize, usize)]) -> TaskRegistry {
+    let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+    for (i, &(mb, seq)) in shapes.iter().enumerate() {
+        r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq))
+            .expect("register");
+    }
+    r
+}
+
+/// Objective of one contiguous partition (Eq. 6 unrolled):
+/// `L(part_1) + Σ_{j≥2} L(part_j)/S`, or `None` if any part violates the
+/// memory filter.
+fn partition_objective(cm: &CostModel<'_>, sorted: &[&PeftTask], cuts: &[usize]) -> Option<f64> {
+    let mut total = 0.0;
+    for (j, w) in cuts.windows(2).enumerate() {
+        let h = HTask::from_padded(&sorted[w[0]..w[1]], MBS);
+        if !cm.fits_memory(std::slice::from_ref(&h), cm.num_stages()) {
+            return None;
+        }
+        let lat = cm.pipeline_latency(&h);
+        total += if j == 0 {
+            lat
+        } else {
+            lat / cm.num_stages() as f64
+        };
+    }
+    Some(total)
+}
+
+/// Exhaustively scores every contiguous partition of `sorted` (bitmask
+/// over the M-1 possible cut points) and returns the feasible minimum.
+fn brute_force_optimum(cm: &CostModel<'_>, sorted: &[&PeftTask]) -> Option<f64> {
+    let m = sorted.len();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << (m - 1)) {
+        let mut cuts = vec![0];
+        for i in 0..m - 1 {
+            if mask & (1 << i) != 0 {
+                cuts.push(i + 1);
+            }
+        }
+        cuts.push(m);
+        if let Some(obj) = partition_objective(cm, sorted, &cuts) {
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dp_matches_exhaustive_enumeration(
+        shapes in prop::collection::vec(
+            (
+                prop::sample::select(vec![1usize, 2, 4, 8]),
+                prop::sample::select(vec![64usize, 128, 256]),
+            ),
+            1..9,
+        ),
+    ) {
+        let r = registry(&shapes);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let sorted = sort_by_tokens(&tasks);
+        // The DP asserts when not even the fully temporal split fits;
+        // restrict to workloads with at least one feasible partition.
+        let brute = brute_force_optimum(&cm, &sorted);
+        prop_assume!(brute.is_some());
+        let brute = brute.expect("assumed feasible");
+
+        let plan =
+            fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|m| HTask::from_padded(m, MBS));
+
+        // Exactness: the DP found the enumeration's optimum.
+        let rel = (plan.predicted - brute).abs() / brute.max(1e-12);
+        prop_assert!(
+            rel < 1e-9,
+            "DP predicted {} but exhaustive optimum is {}",
+            plan.predicted,
+            brute
+        );
+
+        // The returned plan prices to its own reported objective and is
+        // feasible part by part.
+        let cuts: Vec<usize> = std::iter::once(0)
+            .chain(plan.htasks.iter().scan(0, |acc, h| {
+                *acc += h.tasks.len();
+                Some(*acc)
+            }))
+            .collect();
+        let repriced = partition_objective(&cm, &sorted, &cuts)
+            .expect("chosen plan must satisfy the memory filter");
+        prop_assert!(
+            (repriced - plan.predicted).abs() / plan.predicted.max(1e-12) < 1e-9,
+            "plan reprices to {} but reported {}",
+            repriced,
+            plan.predicted
+        );
+
+        // Partition validity: concatenating the hTasks reproduces the
+        // sorted task list exactly once each.
+        let flat: Vec<TaskId> = plan.htasks.iter().flat_map(|h| h.tasks.clone()).collect();
+        let expect: Vec<TaskId> = sorted.iter().map(|t| t.id).collect();
+        prop_assert_eq!(flat, expect);
+    }
+}

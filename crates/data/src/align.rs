@@ -12,8 +12,6 @@
 //! * **ChunkBased** — MuxTune: per-task packing, then uniform chunk
 //!   partitioning with KV-reuse dependencies.
 
-use serde::Serialize;
-
 use crate::chunk::{chunk_packs, chunk_size_rule, Chunk};
 use crate::packing::{pack_ffd, Pack};
 
@@ -31,7 +29,7 @@ pub struct TaskData {
 }
 
 /// Alignment strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlignStrategy {
     /// Pad everything to the global maximum cap.
     ZeroPadGlobalMax,
@@ -51,7 +49,7 @@ pub enum AlignStrategy {
 }
 
 /// Per-task accounting after alignment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TaskAlignment {
     /// Task id.
     pub task: u32,
@@ -77,7 +75,7 @@ pub struct TaskAlignment {
 }
 
 /// The aligned global batch: a uniform `(rows, unit_len)` shape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AlignedBatch {
     /// Strategy used.
     pub strategy: AlignStrategy,
@@ -180,7 +178,10 @@ fn align_task_chunked(td: &TaskData, chunk: usize) -> (TaskAlignment, Vec<Chunk>
     // sequentially (KV dependency), so a pack spanning n chunks issues n
     // smaller attention kernels.
     let total_tokens: f64 = chunks.iter().map(|c| c.len() as f64).sum();
-    let weighted_ctx: f64 = chunks.iter().map(|c| (c.len() * (c.kv_context + c.len())) as f64).sum();
+    let weighted_ctx: f64 = chunks
+        .iter()
+        .map(|c| (c.len() * (c.kv_context + c.len())) as f64)
+        .sum();
     let n_packs = packs.len().max(1) as f64;
     let splits = chunks.len() as f64 / n_packs;
     (
@@ -195,7 +196,11 @@ fn align_task_chunked(td: &TaskData, chunk: usize) -> (TaskAlignment, Vec<Chunk>
             // plain packing (Fig 12c).
             attention_waste: 0,
             kv_context_tokens: kv,
-            avg_attn_context: if total_tokens > 0.0 { weighted_ctx / total_tokens } else { chunk as f64 },
+            avg_attn_context: if total_tokens > 0.0 {
+                weighted_ctx / total_tokens
+            } else {
+                chunk as f64
+            },
             attn_splits: splits.max(1.0),
         },
         chunks,
@@ -210,12 +215,18 @@ pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
         AlignStrategy::ZeroPadGlobalMax => AlignedBatch {
             strategy,
             unit_len: global_max,
-            tasks: tasks.iter().map(|t| align_task_zero_pad(t, global_max)).collect(),
+            tasks: tasks
+                .iter()
+                .map(|t| align_task_zero_pad(t, global_max))
+                .collect(),
         },
         AlignStrategy::PackOnly => AlignedBatch {
             strategy,
             unit_len: global_max,
-            tasks: tasks.iter().map(|t| align_task_pack_only(t, global_max).0).collect(),
+            tasks: tasks
+                .iter()
+                .map(|t| align_task_pack_only(t, global_max).0)
+                .collect(),
         },
         AlignStrategy::ChunkBased { min_chunk } => {
             let caps: Vec<usize> = tasks.iter().map(|t| t.cap).collect();
@@ -223,13 +234,19 @@ pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
             AlignedBatch {
                 strategy,
                 unit_len: chunk,
-                tasks: tasks.iter().map(|t| align_task_chunked(t, chunk).0).collect(),
+                tasks: tasks
+                    .iter()
+                    .map(|t| align_task_chunked(t, chunk).0)
+                    .collect(),
             }
         }
         AlignStrategy::ChunkExact { chunk } => AlignedBatch {
             strategy,
             unit_len: chunk,
-            tasks: tasks.iter().map(|t| align_task_chunked(t, chunk).0).collect(),
+            tasks: tasks
+                .iter()
+                .map(|t| align_task_chunked(t, chunk).0)
+                .collect(),
         },
     }
 }
@@ -241,14 +258,21 @@ mod tests {
 
     fn task_from(kind: DatasetKind, n: usize, seed: u64, id: u32) -> TaskData {
         let c = Corpus::generate(kind, n, seed);
-        TaskData { task: id, seq_lens: c.lengths, cap: kind.max_len() }
+        TaskData {
+            task: id,
+            seq_lens: c.lengths,
+            cap: kind.max_len(),
+        }
     }
 
     #[test]
     fn zero_pad_charges_short_tasks_heavily() {
         // An SST2 task (cap 64) aligned with an RTE task (cap 256) pays
         // 192 inter-task pad tokens per sequence under ZeroPad.
-        let tasks = vec![task_from(DatasetKind::Sst2, 8, 1, 1), task_from(DatasetKind::Rte, 8, 2, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::Sst2, 8, 1, 1),
+            task_from(DatasetKind::Rte, 8, 2, 2),
+        ];
         let a = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
         assert_eq!(a.unit_len, 256);
         assert_eq!(a.tasks[0].inter_task_padding, 8 * 192);
@@ -259,15 +283,23 @@ mod tests {
     fn chunking_keeps_inter_task_padding_below_one_chunk_per_pack() {
         // SST2 (64) + QA (128) with chunk 64: only each pack's final chunk
         // may pad, so padding stays far below ZeroPad's (Fig 20a regime).
-        let tasks =
-            vec![task_from(DatasetKind::Sst2, 16, 3, 1), task_from(DatasetKind::OpenBookQa, 16, 4, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::Sst2, 16, 3, 1),
+            task_from(DatasetKind::OpenBookQa, 16, 4, 2),
+        ];
         let a = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
         assert_eq!(a.unit_len, 64);
         let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
         let pad_cb: u64 = a.tasks.iter().map(|t| t.inter_task_padding).sum();
-        let pad_zp: u64 =
-            zp.tasks.iter().map(|t| t.inter_task_padding + t.intra_task_padding).sum();
-        assert!(pad_cb * 3 < pad_zp, "chunked pad {pad_cb} vs zero-pad {pad_zp}");
+        let pad_zp: u64 = zp
+            .tasks
+            .iter()
+            .map(|t| t.inter_task_padding + t.intra_task_padding)
+            .sum();
+        assert!(
+            pad_cb * 3 < pad_zp,
+            "chunked pad {pad_cb} vs zero-pad {pad_zp}"
+        );
     }
 
     #[test]
@@ -292,14 +324,20 @@ mod tests {
         let tasks = vec![task_from(DatasetKind::Sst2, 32, 8, 1)];
         let po = align(&tasks, AlignStrategy::PackOnly);
         let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
-        assert!(po.tasks[0].attention_waste > 0, "packing long rows wastes attention");
+        assert!(
+            po.tasks[0].attention_waste > 0,
+            "packing long rows wastes attention"
+        );
         assert_eq!(cb.tasks[0].attention_waste, 0);
     }
 
     #[test]
     fn chunked_rows_are_finer_than_packed_rows() {
         // Finer rows = more, shorter micro-units = finer pipeline (§3.5).
-        let tasks = vec![task_from(DatasetKind::Sst2, 16, 20, 1), task_from(DatasetKind::Rte, 16, 9, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::Sst2, 16, 20, 1),
+            task_from(DatasetKind::Rte, 16, 9, 2),
+        ];
         let po = align(&tasks, AlignStrategy::PackOnly);
         let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
         assert!(cb.unit_len < po.unit_len);
@@ -308,8 +346,10 @@ mod tests {
 
     #[test]
     fn effective_tokens_are_invariant_across_strategies() {
-        let tasks =
-            vec![task_from(DatasetKind::OpenBookQa, 24, 10, 1), task_from(DatasetKind::Rte, 24, 11, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::OpenBookQa, 24, 10, 1),
+            task_from(DatasetKind::Rte, 24, 11, 2),
+        ];
         let e1 = align(&tasks, AlignStrategy::ZeroPadGlobalMax).effective_tokens();
         let e2 = align(&tasks, AlignStrategy::PackOnly).effective_tokens();
         let e3 = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).effective_tokens();
@@ -322,21 +362,36 @@ mod tests {
         // With identical caps, ZeroPad has no inter-task padding — this is
         // why SL-PEFT looks fine in the Uniform case but degrades in the
         // Non-uniform case (§5.2).
-        let tasks = vec![task_from(DatasetKind::Sst2, 16, 12, 1), task_from(DatasetKind::Sst2, 16, 13, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::Sst2, 16, 12, 1),
+            task_from(DatasetKind::Sst2, 16, 13, 2),
+        ];
         let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
-        assert_eq!(zp.tasks.iter().map(|t| t.inter_task_padding).sum::<u64>(), 0);
+        assert_eq!(
+            zp.tasks.iter().map(|t| t.inter_task_padding).sum::<u64>(),
+            0
+        );
     }
 
     #[test]
     fn kv_context_appears_only_when_rows_span_chunks() {
         // Mixed SST2 + RTE forces chunk 64; RTE's 256-token packs then span
         // four chunks and chain through KV reuse.
-        let tasks = vec![task_from(DatasetKind::Sst2, 8, 21, 1), task_from(DatasetKind::Rte, 8, 14, 2)];
+        let tasks = vec![
+            task_from(DatasetKind::Sst2, 8, 21, 1),
+            task_from(DatasetKind::Rte, 8, 14, 2),
+        ];
         let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
         assert_eq!(cb.unit_len, 64);
-        assert!(cb.tasks[1].kv_context_tokens > 0, "256-cap rows span 64-token chunks");
+        assert!(
+            cb.tasks[1].kv_context_tokens > 0,
+            "256-cap rows span 64-token chunks"
+        );
         let short = vec![task_from(DatasetKind::Sst2, 8, 15, 1)];
         let cb2 = align(&short, AlignStrategy::ChunkBased { min_chunk: 64 });
-        assert_eq!(cb2.tasks[0].kv_context_tokens, 0, "64-cap rows fit one chunk");
+        assert_eq!(
+            cb2.tasks[0].kv_context_tokens, 0,
+            "64-cap rows fit one chunk"
+        );
     }
 }

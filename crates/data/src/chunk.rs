@@ -7,15 +7,13 @@
 //! size follows the paper's rule: the greatest power-of-two divisor of all
 //! task sequence caps, floored at a minimum threshold (typically 64).
 
-use serde::Serialize;
-
 use crate::packing::Pack;
 
 /// Default minimum chunk size (§3.5: "a minimum threshold (typically 64)").
 pub const DEFAULT_MIN_CHUNK: usize = 64;
 
 /// One chunk of one packed row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
     /// Index of the source pack within its task's pack list.
     pub pack: usize,

@@ -9,10 +9,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The three evaluation datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Stanford Sentiment Treebank v2: short sentences, cap 64.
     Sst2,
@@ -52,7 +51,7 @@ impl DatasetKind {
 }
 
 /// A corpus: raw (pre-padding) sequence lengths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Corpus {
     /// Which dataset this mimics.
     pub kind: DatasetKind,
@@ -76,7 +75,11 @@ impl Corpus {
                 // Right-skewed: base uniform around typical, occasionally
                 // stretched toward the cap.
                 let u: f64 = rng.gen_range(0.3..1.4);
-                let stretch: f64 = if rng.gen_bool(0.15) { rng.gen_range(1.2..2.2) } else { 1.0 };
+                let stretch: f64 = if rng.gen_bool(0.15) {
+                    rng.gen_range(1.2..2.2)
+                } else {
+                    1.0
+                };
                 ((typical * u * stretch).round() as usize).clamp(4, cap)
             })
             .collect();

@@ -5,10 +5,8 @@
 //! *within* one task and one global batch — the paper's condition for
 //! leaving convergence untouched.
 
-use serde::Serialize;
-
 /// One packed row: the original sequences it carries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pack {
     /// Lengths of the sequences packed into this row, in packing order.
     pub seq_lens: Vec<usize>,
@@ -52,13 +50,20 @@ pub fn pack_ffd(lengths: &[usize], capacity: usize) -> Vec<Pack> {
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut packs: Vec<Pack> = Vec::new();
     for len in sorted {
-        assert!(len <= capacity, "sequence of length {len} exceeds pack capacity {capacity}");
+        assert!(
+            len <= capacity,
+            "sequence of length {len} exceeds pack capacity {capacity}"
+        );
         match packs.iter_mut().find(|p| p.used + len <= capacity) {
             Some(p) => {
                 p.seq_lens.push(len);
                 p.used += len;
             }
-            None => packs.push(Pack { seq_lens: vec![len], used: len, capacity }),
+            None => packs.push(Pack {
+                seq_lens: vec![len],
+                used: len,
+                capacity,
+            }),
         }
     }
     packs

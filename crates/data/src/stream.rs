@@ -79,7 +79,11 @@ impl StreamingLoader {
                 ts
             })
             .collect();
-        Self { tasks, strategy, steps: 0 }
+        Self {
+            tasks,
+            strategy,
+            steps: 0,
+        }
     }
 
     /// Steps emitted so far.
@@ -92,7 +96,11 @@ impl StreamingLoader {
         let data: Vec<TaskData> = self
             .tasks
             .iter_mut()
-            .map(|t| TaskData { task: t.task, seq_lens: t.next_batch(), cap: t.cap })
+            .map(|t| TaskData {
+                task: t.task,
+                seq_lens: t.next_batch(),
+                cap: t.cap,
+            })
             .collect();
         self.steps += 1;
         align(&data, self.strategy)
@@ -143,7 +151,9 @@ mod tests {
                 AlignStrategy::ZeroPadGlobalMax,
                 seed,
             );
-            (0..6).map(|_| l.next_step().effective_tokens()).collect::<Vec<_>>()
+            (0..6)
+                .map(|_| l.next_step().effective_tokens())
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(9), collect(9));
         assert_ne!(collect(9), collect(10));
@@ -180,7 +190,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty corpus")]
     fn empty_corpus_is_rejected() {
-        let empty = Corpus { kind: DatasetKind::Sst2, lengths: vec![] };
+        let empty = Corpus {
+            kind: DatasetKind::Sst2,
+            lengths: vec![],
+        };
         StreamingLoader::new(vec![(1, empty, 2)], AlignStrategy::ZeroPadGlobalMax, 1);
     }
 }

@@ -1,0 +1,104 @@
+//! Property tests for the §3.5 chunk-size rule and chunk partitioning:
+//! the rule must return the greatest power-of-two divisor of all task
+//! sequence caps, floored at the minimum threshold, and chunking must
+//! conserve tokens exactly.
+
+use mux_data::chunk::{chunk_packs, chunk_size_rule};
+use mux_data::packing::pack_ffd;
+use proptest::prelude::*;
+
+/// Brute-force reference: the largest power of two dividing every cap
+/// (trying every power of two up to the largest cap), floored at `thr`.
+fn brute_force_rule(caps: &[usize], thr: usize) -> usize {
+    let max_cap = *caps.iter().max().expect("non-empty");
+    let mut best = 1;
+    let mut s = 1usize;
+    while s <= max_cap {
+        if caps.iter().all(|&c| c % s == 0) {
+            best = s;
+        }
+        s *= 2;
+    }
+    best.max(thr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rule_matches_brute_force(
+        caps in prop::collection::vec(1usize..512, 1..8),
+        thr in prop::sample::select(vec![16usize, 32, 64, 128]),
+    ) {
+        prop_assert_eq!(chunk_size_rule(&caps, thr), brute_force_rule(&caps, thr));
+    }
+
+    #[test]
+    fn rule_is_floored_at_threshold_and_power_of_two(
+        caps in prop::collection::vec(1usize..512, 1..8),
+        thr in prop::sample::select(vec![16usize, 32, 64, 128]),
+    ) {
+        let chunk = chunk_size_rule(&caps, thr);
+        prop_assert!(chunk >= thr);
+        prop_assert!(chunk.is_power_of_two(), "chunk {chunk}");
+    }
+
+    #[test]
+    fn rule_above_threshold_is_the_greatest_common_pow2_divisor(
+        caps in prop::collection::vec(1usize..2048, 1..8),
+    ) {
+        let chunk = chunk_size_rule(&caps, 64);
+        if chunk > 64 {
+            // Divides every cap...
+            for &c in &caps {
+                prop_assert_eq!(c % chunk, 0, "cap {c} not divisible by {chunk}");
+            }
+            // ...and no larger power of two does (greatest-ness).
+            prop_assert!(
+                caps.iter().any(|&c| c % (2 * chunk) != 0),
+                "2x{chunk} also divides all of {caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_is_order_and_duplicate_invariant(
+        caps in prop::collection::vec(1usize..512, 2..8),
+    ) {
+        let mut reversed = caps.clone();
+        reversed.reverse();
+        let mut doubled = caps.clone();
+        doubled.extend_from_slice(&caps);
+        prop_assert_eq!(chunk_size_rule(&caps, 64), chunk_size_rule(&reversed, 64));
+        prop_assert_eq!(chunk_size_rule(&caps, 64), chunk_size_rule(&doubled, 64));
+    }
+
+    #[test]
+    fn chunking_conserves_tokens_and_pads_only_pack_tails(
+        lens in prop::collection::vec(1usize..256, 1..40),
+        cap in prop::sample::select(vec![256usize, 512]),
+        chunk in prop::sample::select(vec![32usize, 64, 128]),
+    ) {
+        let packs = pack_ffd(&lens, cap);
+        let chunks = chunk_packs(&packs, chunk);
+        let total: usize = lens.iter().sum();
+        let effective: usize = chunks.iter().map(|c| c.effective).sum();
+        prop_assert_eq!(effective, total, "chunking must conserve content tokens");
+        for c in &chunks {
+            prop_assert_eq!(c.len(), chunk, "every chunk is exactly one chunk long");
+        }
+        // Within a pack, only the final chunk may carry padding, and the
+        // KV context grows by one chunk per step.
+        for p in 0..packs.len() {
+            let of_pack: Vec<_> = chunks.iter().filter(|c| c.pack == p).collect();
+            for (i, c) in of_pack.iter().enumerate() {
+                prop_assert_eq!(c.index, i);
+                prop_assert_eq!(c.kv_context, i * chunk);
+                prop_assert_eq!(c.depends_on_prev, i > 0);
+                if i + 1 < of_pack.len() {
+                    prop_assert_eq!(c.padding, 0, "interior chunk of pack {p} padded");
+                }
+            }
+        }
+    }
+}

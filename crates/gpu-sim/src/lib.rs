@@ -11,12 +11,20 @@
 //! stalls, bubbles, saturation, diminishing batching returns, memory
 //! ceilings — is a function of exactly the quantities modeled here.
 
+pub mod chrome_trace;
 pub mod metrics;
 pub mod render;
 pub mod spec;
 pub mod timeline;
 
-pub use metrics::{device_metrics, mean_utilization, utilization_trace, DeviceMetrics, UtilizationTrace};
+pub use chrome_trace::{
+    chrome_trace, stall_breakdown, stall_events, StallBreakdown, StallCause, StallEvent,
+};
+pub use metrics::{
+    device_metrics, mean_utilization, utilization_trace, DeviceMetrics, UtilizationTrace,
+};
 pub use render::{render_summary, render_timeline};
 pub use spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work, WorkClass};
-pub use timeline::{Cluster, CollectiveKind, LaneKind, OomError, OpHandle, OpRecord, Timeline};
+pub use timeline::{
+    Cluster, CollectiveKind, LaneKind, OomError, OpHandle, OpKind, OpRecord, Timeline,
+};

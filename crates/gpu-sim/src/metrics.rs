@@ -2,12 +2,10 @@
 //! device/link utilization, MFU inputs, and sampled utilization traces
 //! (the paper's Figs 3d and 18).
 
-use serde::Serialize;
-
 use crate::timeline::{LaneKind, Timeline};
 
 /// Aggregate metrics for one device over `[0, window]`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceMetrics {
     /// Device index.
     pub device: usize,
@@ -66,7 +64,7 @@ pub fn device_metrics(tl: &Timeline<'_>, window: f64) -> Vec<DeviceMetrics> {
 /// A sampled utilization trace for one device: `compute[i]` / `comm[i]` are
 /// the utilization-weighted compute coverage and comm-lane coverage of the
 /// i-th of `buckets` equal slices of `[0, window]`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationTrace {
     /// Device index.
     pub device: usize,
@@ -79,13 +77,23 @@ pub struct UtilizationTrace {
 }
 
 /// Samples a device's utilization over time (Figs 3d / 18 style traces).
-pub fn utilization_trace(tl: &Timeline<'_>, device: usize, window: f64, buckets: usize) -> UtilizationTrace {
+pub fn utilization_trace(
+    tl: &Timeline<'_>,
+    device: usize,
+    window: f64,
+    buckets: usize,
+) -> UtilizationTrace {
     assert!(buckets > 0, "need at least one bucket");
     let dt = window / buckets as f64;
     let mut compute = vec![0.0; buckets];
     let mut comm = vec![0.0; buckets];
     if window <= 0.0 {
-        return UtilizationTrace { device, dt, compute, comm };
+        return UtilizationTrace {
+            device,
+            dt,
+            compute,
+            comm,
+        };
     }
     for op in tl.ops() {
         if !op.devices.contains(&device) {
@@ -106,7 +114,12 @@ pub fn utilization_trace(tl: &Timeline<'_>, device: usize, window: f64, buckets:
     for v in compute.iter_mut().chain(comm.iter_mut()) {
         *v = v.min(1.0);
     }
-    UtilizationTrace { device, dt, compute, comm }
+    UtilizationTrace {
+        device,
+        dt,
+        compute,
+        comm,
+    }
 }
 
 /// Mean of the per-device average utilization — one number per run.
@@ -138,8 +151,16 @@ mod tests {
         t.compute(1, Work::tensor(50e9, 10e6), &[a], "b");
         let w = t.finish_time();
         let m = device_metrics(&t, w);
-        assert!((m[0].busy_fraction - 0.5).abs() < 0.02, "{}", m[0].busy_fraction);
-        assert!((m[1].busy_fraction - 0.5).abs() < 0.02, "{}", m[1].busy_fraction);
+        assert!(
+            (m[0].busy_fraction - 0.5).abs() < 0.02,
+            "{}",
+            m[0].busy_fraction
+        );
+        assert!(
+            (m[1].busy_fraction - 0.5).abs() < 0.02,
+            "{}",
+            m[1].busy_fraction
+        );
     }
 
     #[test]

@@ -15,11 +15,9 @@
 //! past saturation (Fig 9b), and faster GPUs (larger `F_half` in absolute
 //! terms) widen the PEFT-vs-pretrain MFU gap (§5.2, Fig 15).
 
-use serde::{Deserialize, Serialize};
-
 /// Execution-resource class of an operator, selecting which efficiency ramp
 /// applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkClass {
     /// Tensor-core GEMM-like work: ramps with `flops_half`.
     TensorCore,
@@ -29,7 +27,7 @@ pub enum WorkClass {
 }
 
 /// A unit of device work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Work {
     /// Floating-point operations.
     pub flops: f64,
@@ -42,12 +40,20 @@ pub struct Work {
 impl Work {
     /// Tensor-core work.
     pub fn tensor(flops: f64, bytes: f64) -> Self {
-        Self { flops, bytes, class: WorkClass::TensorCore }
+        Self {
+            flops,
+            bytes,
+            class: WorkClass::TensorCore,
+        }
     }
 
     /// Vector work.
     pub fn vector(flops: f64, bytes: f64) -> Self {
-        Self { flops, bytes, class: WorkClass::Vector }
+        Self {
+            flops,
+            bytes,
+            class: WorkClass::Vector,
+        }
     }
 }
 
@@ -62,7 +68,7 @@ impl Work {
 /// assert!(a40.op_utilization(lora) < 0.1);
 /// assert!(a40.op_utilization(backbone) > 0.7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: String,
@@ -197,7 +203,10 @@ impl GpuSpec {
     /// Latency of one operator, with an optional compute-rate derating in
     /// `(0, 1]` (CTA contention from an overlapping communication kernel).
     pub fn compute_time(&self, work: Work, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0,1], got {rate}"
+        );
         let t = match work.class {
             WorkClass::TensorCore => {
                 let tf = (work.flops + self.flops_half) / self.peak_flops;
@@ -229,7 +238,7 @@ impl GpuSpec {
 const GIB: u64 = 1 << 30;
 
 /// An interconnect between GPUs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Name, e.g. `"NVLink3"`.
     pub name: String,
@@ -250,22 +259,42 @@ impl LinkSpec {
     /// why the paper's Testbed-A shows such pronounced communication
     /// stalls (Figs 3d, 18).
     pub fn nvlink_a40() -> Self {
-        Self { name: "NVLink3".into(), bandwidth: 38.0e9, latency: 3.0e-6, sharp: false }
+        Self {
+            name: "NVLink3".into(),
+            bandwidth: 38.0e9,
+            latency: 3.0e-6,
+            sharp: false,
+        }
     }
 
     /// NVLink4 + NVSwitch on H100 nodes, 450 GB/s per direction, SHARP.
     pub fn nvlink_h100() -> Self {
-        Self { name: "NVLink4".into(), bandwidth: 450.0e9, latency: 2.0e-6, sharp: true }
+        Self {
+            name: "NVLink4".into(),
+            bandwidth: 450.0e9,
+            latency: 2.0e-6,
+            sharp: true,
+        }
     }
 
     /// PCIe 4.0 x16, ~25 GB/s effective.
     pub fn pcie4() -> Self {
-        Self { name: "PCIe4".into(), bandwidth: 25.0e9, latency: 5.0e-6, sharp: false }
+        Self {
+            name: "PCIe4".into(),
+            bandwidth: 25.0e9,
+            latency: 5.0e-6,
+            sharp: false,
+        }
     }
 
     /// 100 Gb/s InfiniBand (ConnectX-5, Testbed-B inter-node).
     pub fn ib100() -> Self {
-        Self { name: "IB-100G".into(), bandwidth: 12.0e9, latency: 8.0e-6, sharp: false }
+        Self {
+            name: "IB-100G".into(),
+            bandwidth: 12.0e9,
+            latency: 8.0e-6,
+            sharp: false,
+        }
     }
 
     /// Ring all-reduce time for `bytes` across `n` ranks.
@@ -299,7 +328,7 @@ impl LinkSpec {
 
 /// Communication-kernel CTA policy (§3.4.3): how many SM resources the
 /// collective steals from overlapped compute, and what bandwidth it reaches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommCtaPolicy {
     /// Fraction of compute throughput lost while a collective overlaps.
     pub compute_penalty: f64,
@@ -314,18 +343,30 @@ impl CommCtaPolicy {
     /// `generous_ctas` selects which side of the tradeoff.
     pub fn for_link(link: &LinkSpec, generous_ctas: bool) -> Self {
         if link.sharp {
-            Self { compute_penalty: 0.04, bandwidth_frac: 0.97 }
+            Self {
+                compute_penalty: 0.04,
+                bandwidth_frac: 0.97,
+            }
         } else if generous_ctas {
-            Self { compute_penalty: 0.25, bandwidth_frac: 0.92 }
+            Self {
+                compute_penalty: 0.25,
+                bandwidth_frac: 0.92,
+            }
         } else {
-            Self { compute_penalty: 0.08, bandwidth_frac: 0.55 }
+            Self {
+                compute_penalty: 0.08,
+                bandwidth_frac: 0.55,
+            }
         }
     }
 
     /// Policy when communication does not overlap compute at all
     /// (sequential launch): full bandwidth, no compute penalty.
     pub fn sequential() -> Self {
-        Self { compute_penalty: 0.0, bandwidth_frac: 1.0 }
+        Self {
+            compute_penalty: 0.0,
+            bandwidth_frac: 1.0,
+        }
     }
 }
 
@@ -349,7 +390,10 @@ mod tests {
         let pre = Work::tensor(2.0 * 1024.0 * 4096.0 * 4096.0, 100e6);
         let u_lora = g.op_utilization(lora);
         let u_pre = g.op_utilization(pre);
-        assert!(u_pre - u_lora > 0.3, "utilization gap {u_pre} vs {u_lora} (paper: up to 40.9%)");
+        assert!(
+            u_pre - u_lora > 0.3,
+            "utilization gap {u_pre} vs {u_lora} (paper: up to 40.9%)"
+        );
         let t_lora = g.compute_time(lora, 1.0);
         let t_pre = g.compute_time(pre, 1.0);
         let ratio = t_lora / t_pre;
@@ -416,7 +460,10 @@ mod tests {
         assert!((idle_hour - 60.0 * 3600.0).abs() < 1.0, "pure idle draw");
         let busy_hour = g.energy_joules(3600.0, 1.0, 0.9);
         assert!(busy_hour > idle_hour * 3.0, "load must dominate idle");
-        assert!(busy_hour <= g.peak_watts * 3600.0 * 1.01, "never above the power limit");
+        assert!(
+            busy_hour <= g.peak_watts * 3600.0 * 1.01,
+            "never above the power limit"
+        );
         // Same work done faster costs less total energy (the §6 argument).
         let slow = g.energy_joules(10.0, 0.6, 0.4);
         let fast = g.energy_joules(6.0, 1.0, 0.7);

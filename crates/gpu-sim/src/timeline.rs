@@ -8,8 +8,6 @@
 //! **communication** stream. Overlap between them is where both the benefit
 //! (hidden stalls) and the cost (CTA contention, §3.4.3) live.
 
-use serde::Serialize;
-
 use crate::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
 
 /// A multi-GPU machine (possibly multiple nodes).
@@ -29,7 +27,12 @@ pub struct Cluster {
 impl Cluster {
     /// A single node of `n` identical GPUs.
     pub fn single_node(gpu: GpuSpec, n: usize, link: LinkSpec) -> Self {
-        Self { gpus: vec![gpu; n], intra_link: link, inter_link: None, gpus_per_node: n }
+        Self {
+            gpus: vec![gpu; n],
+            intra_link: link,
+            inter_link: None,
+            gpus_per_node: n,
+        }
     }
 
     /// A multi-node cluster (`nodes` × `gpus_per_node`).
@@ -74,7 +77,7 @@ impl Cluster {
 pub struct OpHandle(usize);
 
 /// Which lane an operator ran on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneKind {
     /// Compute stream.
     Compute,
@@ -82,8 +85,21 @@ pub enum LaneKind {
     Comm,
 }
 
+/// What a submitted operator was, for trace export and stall attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A compute kernel (or fused subgraph).
+    Compute,
+    /// A group collective (all-reduce / all-gather).
+    Collective,
+    /// A point-to-point copy-engine transfer.
+    P2p,
+    /// A zero-duration synchronization point.
+    Join,
+}
+
 /// A completed operator record, for metrics and timeline export.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OpRecord {
     /// Start time, seconds.
     pub start: f64,
@@ -93,6 +109,11 @@ pub struct OpRecord {
     pub devices: Vec<usize>,
     /// Lane.
     pub lane: LaneKind,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Indices (into the timeline's op list) of the operators this one
+    /// waited on — the dependency edges needed for stall attribution.
+    pub deps: Vec<usize>,
     /// Achieved-utilization proxy in `[0, 1]` (compute ops only).
     pub utilization: f64,
     /// FLOPs performed.
@@ -236,6 +257,8 @@ impl<'a> Timeline<'a> {
             end,
             devices: vec![dev],
             lane: LaneKind::Compute,
+            kind: OpKind::Compute,
+            deps: deps.iter().map(|d| d.0).collect(),
             utilization,
             flops: work.flops,
             comm_bytes: 0.0,
@@ -279,6 +302,8 @@ impl<'a> Timeline<'a> {
             end,
             devices: vec![dev],
             lane: LaneKind::Compute,
+            kind: OpKind::Compute,
+            deps: deps.iter().map(|d| d.0).collect(),
             utilization: util,
             flops,
             comm_bytes: 0.0,
@@ -342,10 +367,16 @@ impl<'a> Timeline<'a> {
             end,
             devices: group.to_vec(),
             lane: LaneKind::Comm,
+            kind: OpKind::Collective,
+            deps: deps.iter().map(|d| d.0).collect(),
             utilization: 0.0,
             flops: 0.0,
             comm_bytes: payload_bytes,
-            compute_penalty: if blocking { 0.0 } else { policy.compute_penalty },
+            compute_penalty: if blocking {
+                0.0
+            } else {
+                policy.compute_penalty
+            },
             label: label.into(),
         });
         OpHandle(self.ops.len() - 1)
@@ -375,6 +406,8 @@ impl<'a> Timeline<'a> {
             end,
             devices: vec![src, dst],
             lane: LaneKind::Comm,
+            kind: OpKind::P2p,
+            deps: deps.iter().map(|d| d.0).collect(),
             utilization: 0.0,
             flops: 0.0,
             comm_bytes: bytes,
@@ -392,6 +425,8 @@ impl<'a> Timeline<'a> {
             end: t,
             devices: vec![],
             lane: LaneKind::Compute,
+            kind: OpKind::Join,
+            deps: deps.iter().map(|d| d.0).collect(),
             utilization: 0.0,
             flops: 0.0,
             comm_bytes: 0.0,
@@ -406,7 +441,12 @@ impl<'a> Timeline<'a> {
         let cap = self.cluster.gpus[dev].mem_capacity;
         let led = &mut self.mem[dev];
         if led.in_use + bytes > cap {
-            return Err(OomError { device: dev, requested: bytes, in_use: led.in_use, capacity: cap });
+            return Err(OomError {
+                device: dev,
+                requested: bytes,
+                in_use: led.in_use,
+                capacity: cap,
+            });
         }
         led.in_use += bytes;
         led.peak = led.peak.max(led.in_use);
@@ -600,7 +640,13 @@ mod tests {
 
     #[test]
     fn inter_node_groups_use_the_slow_link() {
-        let c = Cluster::multi_node(GpuSpec::a40(), 2, 2, LinkSpec::nvlink_a40(), LinkSpec::ib100());
+        let c = Cluster::multi_node(
+            GpuSpec::a40(),
+            2,
+            2,
+            LinkSpec::nvlink_a40(),
+            LinkSpec::ib100(),
+        );
         assert_eq!(c.link_for(&[0, 1]).name, "NVLink3");
         assert_eq!(c.link_for(&[1, 2]).name, "IB-100G");
     }

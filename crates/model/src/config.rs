@@ -1,13 +1,11 @@
 //! Backbone model configurations (paper Table 1) plus the truncated and
 //! tiny variants used throughout the evaluation.
 
-use serde::{Deserialize, Serialize};
-
 /// Architecture of a decoder-only transformer backbone.
 ///
 /// The scheduler never needs weight values — only shapes, from which every
 /// FLOP, byte and memory figure is derived.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Human-readable name, e.g. `"LLaMA2-7B"`.
     pub name: String,
@@ -86,7 +84,12 @@ impl ModelConfig {
 
     /// All four Table 1 configurations.
     pub fn table1() -> Vec<Self> {
-        vec![Self::gpt3_2_7b(), Self::llama2_7b(), Self::llama2_13b(), Self::opt_30b()]
+        vec![
+            Self::gpt3_2_7b(),
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+            Self::opt_30b(),
+        ]
     }
 
     /// A tiny config for real (CPU) training in tests and the convergence
@@ -115,7 +118,11 @@ impl ModelConfig {
 
     /// Per-head dimension.
     pub fn head_dim(&self) -> usize {
-        assert_eq!(self.hidden % self.num_heads, 0, "hidden not divisible by heads");
+        assert_eq!(
+            self.hidden % self.num_heads,
+            0,
+            "hidden not divisible by heads"
+        );
         self.hidden / self.num_heads
     }
 
@@ -158,13 +165,25 @@ mod tests {
         let t = ModelConfig::table1();
         assert_eq!(t.len(), 4);
         let gpt = &t[0];
-        assert_eq!((gpt.num_layers, gpt.hidden, gpt.num_heads, gpt.default_gpus), (32, 2560, 32, 2));
+        assert_eq!(
+            (gpt.num_layers, gpt.hidden, gpt.num_heads, gpt.default_gpus),
+            (32, 2560, 32, 2)
+        );
         let l7 = &t[1];
-        assert_eq!((l7.num_layers, l7.hidden, l7.num_heads, l7.default_gpus), (32, 4096, 32, 4));
+        assert_eq!(
+            (l7.num_layers, l7.hidden, l7.num_heads, l7.default_gpus),
+            (32, 4096, 32, 4)
+        );
         let l13 = &t[2];
-        assert_eq!((l13.num_layers, l13.hidden, l13.num_heads, l13.default_gpus), (40, 5120, 40, 8));
+        assert_eq!(
+            (l13.num_layers, l13.hidden, l13.num_heads, l13.default_gpus),
+            (40, 5120, 40, 8)
+        );
         let opt = &t[3];
-        assert_eq!((opt.num_layers, opt.hidden, opt.num_heads, opt.default_gpus), (48, 7168, 56, 16));
+        assert_eq!(
+            (opt.num_layers, opt.hidden, opt.num_heads, opt.default_gpus),
+            (48, 7168, 56, 16)
+        );
     }
 
     #[test]

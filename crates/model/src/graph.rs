@@ -6,12 +6,10 @@
 //! `tag` identifying its owner (0 = shared backbone, task ids otherwise) so
 //! multi-task graphs can be segmented and fused per task.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ops::{OpTemplate, Pass, TokenShape};
 
 /// One operator instance in a DAG.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OpNode {
     /// Index of this node within its graph.
     pub id: usize,
@@ -24,7 +22,7 @@ pub struct OpNode {
 }
 
 /// A DAG of operators, stored in topological order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OpGraph {
     nodes: Vec<OpNode>,
 }
@@ -45,7 +43,12 @@ impl OpGraph {
         for &d in &deps {
             assert!(d < id, "dependency {d} added after dependent {id}");
         }
-        self.nodes.push(OpNode { id, template, deps, tag });
+        self.nodes.push(OpNode {
+            id,
+            template,
+            deps,
+            tag,
+        });
         id
     }
 
@@ -99,17 +102,26 @@ impl OpGraph {
 
     /// Sum of FLOPs over all nodes for a token shape and pass.
     pub fn total_flops(&self, shape: TokenShape, pass: Pass) -> f64 {
-        self.nodes.iter().map(|n| n.template.cost.flops(shape, pass)).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.template.cost.flops(shape, pass))
+            .sum()
     }
 
     /// Sum of memory traffic over all nodes.
     pub fn total_bytes(&self, shape: TokenShape, pass: Pass) -> f64 {
-        self.nodes.iter().map(|n| n.template.cost.bytes(shape, pass)).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.template.cost.bytes(shape, pass))
+            .sum()
     }
 
     /// Sum of communication payload over all nodes.
     pub fn total_comm_bytes(&self, shape: TokenShape) -> f64 {
-        self.nodes.iter().map(|n| n.template.cost.comm_bytes(shape)).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.template.cost.comm_bytes(shape))
+            .sum()
     }
 
     /// Merges another graph into this one, offsetting ids, and returns the
@@ -134,7 +146,11 @@ impl OpGraph {
     pub fn to_dot(&self, name: &str) -> String {
         let mut out = format!("digraph {name} {{\n  rankdir=LR;\n");
         for n in &self.nodes {
-            let shape = if n.template.kind.is_comm() { "box" } else { "ellipse" };
+            let shape = if n.template.kind.is_comm() {
+                "box"
+            } else {
+                "ellipse"
+            };
             let color = match n.tag {
                 0 => "black".to_string(),
                 t => format!("/dark28/{}", (t - 1) % 8 + 1),
@@ -171,7 +187,15 @@ mod tests {
     use crate::ops::{OpCostSpec, OpKind};
 
     fn gemm(name: &str) -> OpTemplate {
-        OpTemplate::new(OpKind::QkvProj, name, OpCostSpec::Gemm { k: 16, n: 16, dtype: 2 })
+        OpTemplate::new(
+            OpKind::QkvProj,
+            name,
+            OpCostSpec::Gemm {
+                k: 16,
+                n: 16,
+                dtype: 2,
+            },
+        )
     }
 
     #[test]
@@ -244,6 +268,9 @@ mod tests {
         g.add(gemm("a"), vec![], 0);
         g.add(gemm("b"), vec![0], 0);
         let sh = TokenShape::new(1, 4);
-        assert_eq!(g.total_flops(sh, Pass::Forward), 2.0 * (2.0 * 4.0 * 16.0 * 16.0));
+        assert_eq!(
+            g.total_flops(sh, Pass::Forward),
+            2.0 * (2.0 * 4.0 * 16.0 * 16.0)
+        );
     }
 }

@@ -28,7 +28,12 @@ pub fn build_decoder_layer(
     input: Option<usize>,
 ) -> usize {
     assert!(tp >= 1, "tp degree must be >= 1");
-    assert_eq!(cfg.num_heads % tp, 0, "heads {} not divisible by tp {tp}", cfg.num_heads);
+    assert_eq!(
+        cfg.num_heads % tp,
+        0,
+        "heads {} not divisible by tp {tp}",
+        cfg.num_heads
+    );
     let h = cfg.hidden;
     let f = cfg.ffn_hidden();
     let heads = cfg.num_heads / tp;
@@ -41,7 +46,12 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::LayerNorm,
             p("ln1"),
-            OpCostSpec::Elementwise { width: h, accesses: 2, flops_per_elem: 8.0, dtype: d },
+            OpCostSpec::Elementwise {
+                width: h,
+                accesses: 2,
+                flops_per_elem: 8.0,
+                dtype: d,
+            },
         ),
         dep(input),
         BACKBONE_TAG,
@@ -50,7 +60,11 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::QkvProj,
             p("qkv_proj"),
-            OpCostSpec::Gemm { k: h, n: 3 * h / tp, dtype: d },
+            OpCostSpec::Gemm {
+                k: h,
+                n: 3 * h / tp,
+                dtype: d,
+            },
         ),
         vec![ln1],
         BACKBONE_TAG,
@@ -59,7 +73,11 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::AttnScore,
             p("attn_score"),
-            OpCostSpec::AttnMatmul { heads, head_dim: hd, dtype: d },
+            OpCostSpec::AttnMatmul {
+                heads,
+                head_dim: hd,
+                dtype: d,
+            },
         ),
         vec![qkv],
         BACKBONE_TAG,
@@ -77,7 +95,11 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::AttnContext,
             p("attn_context"),
-            OpCostSpec::AttnMatmul { heads, head_dim: hd, dtype: d },
+            OpCostSpec::AttnMatmul {
+                heads,
+                head_dim: hd,
+                dtype: d,
+            },
         ),
         vec![smax],
         BACKBONE_TAG,
@@ -86,7 +108,11 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::OutProj,
             p("out_proj"),
-            OpCostSpec::Gemm { k: h / tp, n: h, dtype: d },
+            OpCostSpec::Gemm {
+                k: h / tp,
+                n: h,
+                dtype: d,
+            },
         ),
         vec![ctx],
         BACKBONE_TAG,
@@ -112,7 +138,12 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::Residual,
             p("residual1"),
-            OpCostSpec::Elementwise { width: h, accesses: 3, flops_per_elem: 1.0, dtype: d },
+            OpCostSpec::Elementwise {
+                width: h,
+                accesses: 3,
+                flops_per_elem: 1.0,
+                dtype: d,
+            },
         ),
         res1_deps,
         BACKBONE_TAG,
@@ -121,13 +152,26 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::LayerNorm,
             p("ln2"),
-            OpCostSpec::Elementwise { width: h, accesses: 2, flops_per_elem: 8.0, dtype: d },
+            OpCostSpec::Elementwise {
+                width: h,
+                accesses: 2,
+                flops_per_elem: 8.0,
+                dtype: d,
+            },
         ),
         vec![res1],
         BACKBONE_TAG,
     );
     let up = g.add(
-        OpTemplate::new(OpKind::MlpUp, p("mlp_up"), OpCostSpec::Gemm { k: h, n: f / tp, dtype: d }),
+        OpTemplate::new(
+            OpKind::MlpUp,
+            p("mlp_up"),
+            OpCostSpec::Gemm {
+                k: h,
+                n: f / tp,
+                dtype: d,
+            },
+        ),
         vec![ln2],
         BACKBONE_TAG,
     );
@@ -135,7 +179,12 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::Gelu,
             p("gelu"),
-            OpCostSpec::Elementwise { width: f / tp, accesses: 2, flops_per_elem: 10.0, dtype: d },
+            OpCostSpec::Elementwise {
+                width: f / tp,
+                accesses: 2,
+                flops_per_elem: 10.0,
+                dtype: d,
+            },
         ),
         vec![up],
         BACKBONE_TAG,
@@ -144,7 +193,11 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::MlpDown,
             p("mlp_down"),
-            OpCostSpec::Gemm { k: f / tp, n: h, dtype: d },
+            OpCostSpec::Gemm {
+                k: f / tp,
+                n: h,
+                dtype: d,
+            },
         ),
         vec![gelu],
         BACKBONE_TAG,
@@ -165,7 +218,12 @@ pub fn build_decoder_layer(
         OpTemplate::new(
             OpKind::Residual,
             p("residual2"),
-            OpCostSpec::Elementwise { width: h, accesses: 3, flops_per_elem: 1.0, dtype: d },
+            OpCostSpec::Elementwise {
+                width: h,
+                accesses: 3,
+                flops_per_elem: 1.0,
+                dtype: d,
+            },
         ),
         vec![res1, mlp_end],
         BACKBONE_TAG,
@@ -174,7 +232,12 @@ pub fn build_decoder_layer(
 
 /// Builds the operator DAG for a pipeline stage holding layers
 /// `[layer_start, layer_end)` at tensor-parallel degree `tp`.
-pub fn build_stage_graph(cfg: &ModelConfig, layer_start: usize, layer_end: usize, tp: usize) -> OpGraph {
+pub fn build_stage_graph(
+    cfg: &ModelConfig,
+    layer_start: usize,
+    layer_end: usize,
+    tp: usize,
+) -> OpGraph {
     assert!(layer_end <= cfg.num_layers, "stage exceeds model layers");
     let mut g = OpGraph::new();
     let mut prev = None;
@@ -215,8 +278,15 @@ mod tests {
     fn tp_layer_has_two_allreduces() {
         let cfg = ModelConfig::llama2_7b();
         let g = build_stage_graph(&cfg, 0, 1, 4);
-        let ars = g.nodes().iter().filter(|n| n.template.kind == OpKind::AllReduce).count();
-        assert_eq!(ars, 2, "Megatron TP: one all-reduce after attention, one after MLP");
+        let ars = g
+            .nodes()
+            .iter()
+            .filter(|n| n.template.kind == OpKind::AllReduce)
+            .count();
+        assert_eq!(
+            ars, 2,
+            "Megatron TP: one all-reduce after attention, one after MLP"
+        );
     }
 
     #[test]
@@ -263,14 +333,21 @@ mod tests {
         let g4 = build_stage_graph(&cfg, 0, 1, 4);
         let f1 = g1.total_flops(sh, Pass::Forward);
         let f4 = g4.total_flops(sh, Pass::Forward);
-        assert!(f4 < f1 / 3.0, "4-way TP should cut per-GPU flops ~4x: {f1} -> {f4}");
+        assert!(
+            f4 < f1 / 3.0,
+            "4-way TP should cut per-GPU flops ~4x: {f1} -> {f4}"
+        );
     }
 
     #[test]
     fn base_ops_present_per_layer() {
         let cfg = ModelConfig::tiny(2, 64, 4, 100);
         let g = build_stage_graph(&cfg, 0, 2, 1);
-        let base = g.nodes().iter().filter(|n| n.template.kind.is_base_op()).count();
+        let base = g
+            .nodes()
+            .iter()
+            .filter(|n| n.template.kind.is_base_op())
+            .count();
         assert_eq!(base, 8, "4 BaseOps (qkv, out, mlp_up, mlp_down) per layer");
     }
 

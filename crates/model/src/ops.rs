@@ -5,10 +5,8 @@
 //! exact arithmetic for their work as a function of the token shape; the
 //! latency model itself lives in `mux-gpu-sim`.
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of one micro-batch flowing through an operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TokenShape {
     /// Number of sequences in the micro-batch.
     pub seqs: usize,
@@ -29,7 +27,7 @@ impl TokenShape {
 }
 
 /// Which training pass an operator instance belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// Forward pass.
     Forward,
@@ -41,7 +39,7 @@ pub enum Pass {
 }
 
 /// Classes of operators appearing in backbone and adapter graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Pre-attention / pre-MLP layer normalization.
     LayerNorm,
@@ -90,7 +88,10 @@ impl OpKind {
     /// Whether adapters may attach here (paper §3.2: QKV and linear
     /// projections are `BaseOp`s; attention internals are excluded).
     pub fn is_base_op(&self) -> bool {
-        matches!(self, OpKind::QkvProj | OpKind::OutProj | OpKind::MlpUp | OpKind::MlpDown)
+        matches!(
+            self,
+            OpKind::QkvProj | OpKind::OutProj | OpKind::MlpUp | OpKind::MlpDown
+        )
     }
 
     /// Whether this kind belongs to an adapter rather than the backbone.
@@ -100,7 +101,7 @@ impl OpKind {
 }
 
 /// Analytic cost description of one operator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpCostSpec {
     /// Dense GEMM `[tokens, k] x [k, n]`.
     Gemm {
@@ -172,7 +173,9 @@ impl OpCostSpec {
                     Pass::BackwardFull => 2.0 * fwd,
                 }
             }
-            OpCostSpec::AttnMatmul { heads, head_dim, .. } => {
+            OpCostSpec::AttnMatmul {
+                heads, head_dim, ..
+            } => {
                 let fwd = 2.0 * t * shape.seq_len as f64 * (*heads * *head_dim) as f64;
                 match pass {
                     Pass::Forward => fwd,
@@ -181,13 +184,13 @@ impl OpCostSpec {
             }
             OpCostSpec::AttnSoftmax { heads, .. } => {
                 // ~5 flops per score element, scores are [seqs, heads, s, s].
-                5.0 * shape.seqs as f64
-                    * (*heads as f64)
-                    * (shape.seq_len * shape.seq_len) as f64
+                5.0 * shape.seqs as f64 * (*heads as f64) * (shape.seq_len * shape.seq_len) as f64
             }
-            OpCostSpec::Elementwise { width, flops_per_elem, .. } => {
-                t * (*width as f64) * flops_per_elem
-            }
+            OpCostSpec::Elementwise {
+                width,
+                flops_per_elem,
+                ..
+            } => t * (*width as f64) * flops_per_elem,
             OpCostSpec::Collective { .. } => 0.0,
             OpCostSpec::Fixed { flops, .. } => *flops,
         }
@@ -205,18 +208,27 @@ impl OpCostSpec {
                 let d = *dtype as f64;
                 mult * d * (t * *k as f64 + (*k * *n) as f64 + t * *n as f64)
             }
-            OpCostSpec::AttnMatmul { heads, head_dim, dtype } => {
+            OpCostSpec::AttnMatmul {
+                heads,
+                head_dim,
+                dtype,
+            } => {
                 let d = *dtype as f64;
-                let scores = shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
+                let scores =
+                    shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
                 mult * d * (2.0 * t * (*heads * *head_dim) as f64 + scores)
             }
             OpCostSpec::AttnSoftmax { heads, dtype } => {
-                let scores = shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
+                let scores =
+                    shape.seqs as f64 * *heads as f64 * (shape.seq_len * shape.seq_len) as f64;
                 2.0 * scores * *dtype as f64
             }
-            OpCostSpec::Elementwise { width, accesses, dtype, .. } => {
-                t * (*width as f64) * (*accesses as f64) * (*dtype as f64)
-            }
+            OpCostSpec::Elementwise {
+                width,
+                accesses,
+                dtype,
+                ..
+            } => t * (*width as f64) * (*accesses as f64) * (*dtype as f64),
             OpCostSpec::Collective { width, dtype } => t * (*width as f64) * (*dtype as f64),
             OpCostSpec::Fixed { bytes, .. } => *bytes,
         }
@@ -234,7 +246,7 @@ impl OpCostSpec {
 }
 
 /// A fully-described operator instance template: what it is, what it costs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpTemplate {
     /// Operator class.
     pub kind: OpKind,
@@ -247,7 +259,11 @@ pub struct OpTemplate {
 impl OpTemplate {
     /// Creates a template.
     pub fn new(kind: OpKind, name: impl Into<String>, cost: OpCostSpec) -> Self {
-        Self { kind, name: name.into(), cost }
+        Self {
+            kind,
+            name: name.into(),
+            cost,
+        }
     }
 }
 
@@ -259,14 +275,22 @@ mod tests {
 
     #[test]
     fn gemm_flops_formula() {
-        let g = OpCostSpec::Gemm { k: 4096, n: 4096, dtype: FP16 };
+        let g = OpCostSpec::Gemm {
+            k: 4096,
+            n: 4096,
+            dtype: FP16,
+        };
         let sh = TokenShape::new(8, 128);
         assert_eq!(g.flops(sh, Pass::Forward), 2.0 * 1024.0 * 4096.0 * 4096.0);
     }
 
     #[test]
     fn peft_backward_gemm_is_half_of_full() {
-        let g = OpCostSpec::Gemm { k: 1024, n: 1024, dtype: FP16 };
+        let g = OpCostSpec::Gemm {
+            k: 1024,
+            n: 1024,
+            dtype: FP16,
+        };
         let sh = TokenShape::new(4, 64);
         let peft = g.flops(sh, Pass::BackwardInputOnly);
         let full = g.flops(sh, Pass::BackwardFull);
@@ -276,14 +300,25 @@ mod tests {
 
     #[test]
     fn attention_backward_is_double_even_in_peft() {
-        let a = OpCostSpec::AttnMatmul { heads: 8, head_dim: 64, dtype: FP16 };
+        let a = OpCostSpec::AttnMatmul {
+            heads: 8,
+            head_dim: 64,
+            dtype: FP16,
+        };
         let sh = TokenShape::new(2, 128);
-        assert_eq!(a.flops(sh, Pass::BackwardInputOnly), 2.0 * a.flops(sh, Pass::Forward));
+        assert_eq!(
+            a.flops(sh, Pass::BackwardInputOnly),
+            2.0 * a.flops(sh, Pass::Forward)
+        );
     }
 
     #[test]
     fn attention_flops_quadratic_in_seq_len() {
-        let a = OpCostSpec::AttnMatmul { heads: 8, head_dim: 64, dtype: FP16 };
+        let a = OpCostSpec::AttnMatmul {
+            heads: 8,
+            head_dim: 64,
+            dtype: FP16,
+        };
         let short = a.flops(TokenShape::new(1, 64), Pass::Forward);
         let long = a.flops(TokenShape::new(1, 128), Pass::Forward);
         // Same seqs, 2x seq_len: tokens double AND seq factor doubles -> 4x.
@@ -294,15 +329,26 @@ mod tests {
     fn lora_down_projection_is_tiny_vs_backbone_gemm() {
         // §2.2: LoRA rank (<= 64) is 64x smaller than LLaMA7B hidden 4096.
         let sh = TokenShape::new(8, 128);
-        let backbone = OpCostSpec::Gemm { k: 4096, n: 4096, dtype: FP16 };
-        let lora_down = OpCostSpec::Gemm { k: 4096, n: 64, dtype: FP16 };
+        let backbone = OpCostSpec::Gemm {
+            k: 4096,
+            n: 4096,
+            dtype: FP16,
+        };
+        let lora_down = OpCostSpec::Gemm {
+            k: 4096,
+            n: 64,
+            dtype: FP16,
+        };
         let ratio = backbone.flops(sh, Pass::Forward) / lora_down.flops(sh, Pass::Forward);
         assert_eq!(ratio, 64.0);
     }
 
     #[test]
     fn collective_has_no_flops_but_has_payload() {
-        let c = OpCostSpec::Collective { width: 4096, dtype: FP16 };
+        let c = OpCostSpec::Collective {
+            width: 4096,
+            dtype: FP16,
+        };
         let sh = TokenShape::new(8, 128);
         assert_eq!(c.flops(sh, Pass::Forward), 0.0);
         assert_eq!(c.comm_bytes(sh), 1024.0 * 4096.0 * 2.0);

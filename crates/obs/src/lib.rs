@@ -1,0 +1,246 @@
+//! # mux-obs
+//!
+//! Trace-level observability for the MuxTune planner and engine: named
+//! phase **spans** and a process-wide **metrics registry** (phase wall
+//! times, counters, gauges).
+//!
+//! The whole layer is gated by one global switch and is **zero-cost when
+//! disabled**: [`span`] performs a single relaxed atomic load and returns
+//! `None` — no clock read, no allocation, no lock. Instrumented code
+//! therefore stays on its fast path unless a caller (the report binary,
+//! the bench harness, a test) opts in via [`set_enabled`] or
+//! [`enabled_scope`].
+//!
+//! ```
+//! let _outer = mux_obs::enabled_scope();           // turn collection on
+//! {
+//!     let _s = mux_obs::span("planner.fusion");    // timed while in scope
+//! }
+//! mux_obs::incr_counter("planner.candidates", 3);
+//! mux_obs::set_gauge("run.mean_utilization", 0.71);
+//! let snap = mux_obs::snapshot();
+//! assert_eq!(snap.phases["planner.fusion"].count, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide registry. A plain `Mutex` is enough: writes happen only
+/// while observability is enabled, which is never on the measured fast path.
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+#[derive(Debug, Default, Clone)]
+struct Registry {
+    phases: BTreeMap<String, PhaseStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// Aggregate wall time of one named phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PhaseStat {
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Total wall time across those spans, seconds.
+    pub total_seconds: f64,
+}
+
+/// Turns collection on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables collection for the lifetime of the returned guard, restoring
+/// the previous state on drop. Scopes may nest.
+pub fn enabled_scope() -> EnabledScope {
+    let prev = ENABLED.swap(true, Ordering::Relaxed);
+    EnabledScope { prev }
+}
+
+/// Guard returned by [`enabled_scope`].
+#[must_use = "collection stops when the scope guard drops"]
+pub struct EnabledScope {
+    prev: bool,
+}
+
+impl Drop for EnabledScope {
+    fn drop(&mut self) {
+        ENABLED.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// A live span; records its elapsed wall time under `name` when dropped.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record_phase(self.name, self.start.elapsed().as_secs_f64());
+    }
+}
+
+/// Opens a span named `name`, or `None` when collection is disabled.
+///
+/// Bind the result to keep the span open: `let _s = mux_obs::span("x");`
+/// (binding to `_` drops — and closes — it immediately).
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        start: Instant::now(),
+    })
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Adds `seconds` of wall time to phase `name` (no-op when disabled).
+pub fn record_phase(name: &str, seconds: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let stat = r.phases.entry(name.to_string()).or_default();
+        stat.count += 1;
+        stat.total_seconds += seconds;
+    });
+}
+
+/// Increments counter `name` by `by` (no-op when disabled).
+pub fn incr_counter(name: &str, by: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| *r.counters.entry(name.to_string()).or_insert(0) += by);
+}
+
+/// Sets gauge `name` to `value` (no-op when disabled).
+pub fn set_gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// A copy of the registry contents at one point in time.
+#[derive(Debug, Default, Clone)]
+pub struct Snapshot {
+    /// Per-phase wall-time aggregates.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Snapshots the registry (works even while disabled — it reads whatever
+/// was collected before).
+pub fn snapshot() -> Snapshot {
+    let guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(r) => Snapshot {
+            phases: r.phases.clone(),
+            counters: r.counters.clone(),
+            gauges: r.gauges.clone(),
+        },
+        None => Snapshot::default(),
+    }
+}
+
+/// Clears all collected data.
+pub fn reset() {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests that observe it run under
+    // one lock to avoid cross-test interference.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_is_none_and_records_nothing() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        assert!(span("x").is_none());
+        record_phase("x", 1.0);
+        incr_counter("c", 1);
+        set_gauge("g", 1.0);
+        let snap = snapshot();
+        assert!(snap.phases.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn enabled_span_accumulates_phase_time() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        {
+            let _s = span("phase.a");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _s = span("phase.a");
+        }
+        let snap = snapshot();
+        let stat = snap.phases["phase.a"];
+        assert_eq!(stat.count, 2);
+        assert!(stat.total_seconds >= 0.0);
+    }
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        incr_counter("c", 2);
+        incr_counter("c", 3);
+        set_gauge("g", 1.5);
+        set_gauge("g", 2.5);
+        let snap = snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn scope_guard_restores_previous_state() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        {
+            let _on = enabled_scope();
+            assert!(enabled());
+            {
+                let _inner = enabled_scope();
+                assert!(enabled());
+            }
+            assert!(enabled(), "inner scope must not turn collection off");
+        }
+        assert!(!enabled());
+    }
+}

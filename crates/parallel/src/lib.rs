@@ -13,5 +13,10 @@ pub mod pp;
 pub mod tp;
 
 pub use plan::{stage_layers, stage_layers_for, HybridParallelism};
-pub use pp::{dualpipe_like, dualpipe_like_with_w, gpipe, interleaved_1f1b, one_f_one_b, simulate_pipeline, zb_h2, Phase, PipeInstr, PipeProgram, PipelineExec};
-pub use tp::{execute_stage_ordered, execute_stage_sequential, work_for, ShapeResolver, UniformShape};
+pub use pp::{
+    dualpipe_like, dualpipe_like_with_w, gpipe, interleaved_1f1b, one_f_one_b, simulate_pipeline,
+    zb_h2, Phase, PipeInstr, PipeProgram, PipelineExec,
+};
+pub use tp::{
+    execute_stage_ordered, execute_stage_sequential, work_for, ShapeResolver, UniformShape,
+};

@@ -1,10 +1,9 @@
 //! Hybrid parallelism plans and stage partitioning.
 
 use mux_model::config::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 /// A hybrid parallelism configuration over `tp * pp * dp` GPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HybridParallelism {
     /// Tensor-parallel degree (intra-stage).
     pub tp: usize,
@@ -17,17 +16,29 @@ pub struct HybridParallelism {
 impl HybridParallelism {
     /// A single-GPU plan.
     pub fn single() -> Self {
-        Self { tp: 1, pp: 1, dp: 1 }
+        Self {
+            tp: 1,
+            pp: 1,
+            dp: 1,
+        }
     }
 
     /// Pure tensor parallelism over `n` GPUs.
     pub fn tensor(n: usize) -> Self {
-        Self { tp: n, pp: 1, dp: 1 }
+        Self {
+            tp: n,
+            pp: 1,
+            dp: 1,
+        }
     }
 
     /// Pure pipeline parallelism over `n` stages.
     pub fn pipeline(n: usize) -> Self {
-        Self { tp: 1, pp: n, dp: 1 }
+        Self {
+            tp: 1,
+            pp: n,
+            dp: 1,
+        }
     }
 
     /// Total GPUs.
@@ -52,7 +63,11 @@ impl HybridParallelism {
         let mut tp = 1;
         while tp <= n {
             if n.is_multiple_of(tp) && tp <= gpus_per_node {
-                out.push(Self { tp, pp: n / tp, dp: 1 });
+                out.push(Self {
+                    tp,
+                    pp: n / tp,
+                    dp: 1,
+                });
             }
             tp *= 2;
         }
@@ -63,7 +78,10 @@ impl HybridParallelism {
 /// Splits `num_layers` into `pp` contiguous stages as evenly as possible
 /// (earlier stages take the remainder).
 pub fn stage_layers(num_layers: usize, pp: usize) -> Vec<(usize, usize)> {
-    assert!(pp >= 1 && pp <= num_layers, "cannot split {num_layers} layers into {pp} stages");
+    assert!(
+        pp >= 1 && pp <= num_layers,
+        "cannot split {num_layers} layers into {pp} stages"
+    );
     let base = num_layers / pp;
     let rem = num_layers % pp;
     let mut out = Vec::with_capacity(pp);
@@ -87,7 +105,11 @@ mod tests {
 
     #[test]
     fn stage_devices_are_contiguous_and_disjoint() {
-        let p = HybridParallelism { tp: 2, pp: 4, dp: 1 };
+        let p = HybridParallelism {
+            tp: 2,
+            pp: 4,
+            dp: 1,
+        };
         let mut seen = Vec::new();
         for s in 0..4 {
             let d = p.stage_devices(0, s);
@@ -100,7 +122,11 @@ mod tests {
 
     #[test]
     fn replicas_use_disjoint_gpus() {
-        let p = HybridParallelism { tp: 2, pp: 2, dp: 2 };
+        let p = HybridParallelism {
+            tp: 2,
+            pp: 2,
+            dp: 2,
+        };
         let a = p.stage_devices(0, 0);
         let b = p.stage_devices(1, 0);
         assert!(a.iter().all(|d| !b.contains(d)));
@@ -119,9 +145,20 @@ mod tests {
     #[test]
     fn search_space_respects_node_size() {
         let plans = HybridParallelism::search_space(8, 4);
-        assert!(plans.contains(&HybridParallelism { tp: 1, pp: 8, dp: 1 }));
-        assert!(plans.contains(&HybridParallelism { tp: 4, pp: 2, dp: 1 }));
-        assert!(!plans.iter().any(|p| p.tp == 8), "tp=8 exceeds the 4-GPU node");
+        assert!(plans.contains(&HybridParallelism {
+            tp: 1,
+            pp: 8,
+            dp: 1
+        }));
+        assert!(plans.contains(&HybridParallelism {
+            tp: 4,
+            pp: 2,
+            dp: 1
+        }));
+        assert!(
+            !plans.iter().any(|p| p.tp == 8),
+            "tp=8 exceeds the 4-GPU node"
+        );
     }
 
     #[test]

@@ -11,10 +11,9 @@
 use std::collections::HashMap;
 
 use mux_gpu_sim::timeline::{OpHandle, Timeline};
-use serde::Serialize;
 
 /// A pipeline compute phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Forward pass of a micro-batch through one stage.
     Forward,
@@ -25,7 +24,7 @@ pub enum Phase {
 }
 
 /// One instruction of a rank's program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipeInstr {
     /// Pipeline stage index this instruction computes.
     pub stage: usize,
@@ -39,13 +38,25 @@ pub struct PipeInstr {
 pub type PipeProgram = Vec<Vec<PipeInstr>>;
 
 fn f(stage: usize, mb: usize) -> PipeInstr {
-    PipeInstr { stage, mb, phase: Phase::Forward }
+    PipeInstr {
+        stage,
+        mb,
+        phase: Phase::Forward,
+    }
 }
 fn b(stage: usize, mb: usize) -> PipeInstr {
-    PipeInstr { stage, mb, phase: Phase::Backward }
+    PipeInstr {
+        stage,
+        mb,
+        phase: Phase::Backward,
+    }
 }
 fn w(stage: usize, mb: usize) -> PipeInstr {
-    PipeInstr { stage, mb, phase: Phase::Weight }
+    PipeInstr {
+        stage,
+        mb,
+        phase: Phase::Weight,
+    }
 }
 
 /// GPipe: all forwards, flush, all backwards.
@@ -120,7 +131,10 @@ pub fn zb_h2(stages: usize, mbs: usize) -> PipeProgram {
 /// Micro-batch ids `0..mbs/2` belong to direction 0, the rest to
 /// direction 1.
 pub fn dualpipe_like(stages: usize, mbs: usize) -> PipeProgram {
-    assert!(mbs.is_multiple_of(2), "DualPipe needs an even micro-batch count");
+    assert!(
+        mbs.is_multiple_of(2),
+        "DualPipe needs an even micro-batch count"
+    );
     let half = mbs / 2;
     // Build per-direction 1F1B programs over `stages` virtual stages, then
     // merge the two programs each rank hosts, round-robin.
@@ -188,7 +202,10 @@ pub fn interleaved_1f1b(ranks: usize, v: usize, mbs: usize) -> PipeProgram {
 /// "omitted" stalls — the structured template reserves them, but there is
 /// no weight-gradient computation to fill them.
 pub fn dualpipe_like_with_w(stages: usize, mbs: usize) -> PipeProgram {
-    assert!(mbs.is_multiple_of(2), "DualPipe needs an even micro-batch count");
+    assert!(
+        mbs.is_multiple_of(2),
+        "DualPipe needs an even micro-batch count"
+    );
     let half = mbs / 2;
     let dir0 = zb_h2(stages, half);
     let dir1 = zb_h2(stages, half);
@@ -323,7 +340,10 @@ pub fn simulate_pipeline(
                     Phase::Backward => {
                         if let Some(&d) = downstream.get(&instr.stage) {
                             let src = exec.stage_devices(d)[0];
-                            let dst = *exec.stage_devices(instr.stage).last().expect("stage devices");
+                            let dst = *exec
+                                .stage_devices(instr.stage)
+                                .last()
+                                .expect("stage devices");
                             let h = done[&b(d, instr.mb)];
                             let p = tl.p2p(
                                 src,
@@ -347,7 +367,10 @@ pub fn simulate_pipeline(
         if cursors.iter().zip(programs).all(|(&c, p)| c == p.len()) {
             break;
         }
-        assert!(progressed, "pipeline schedule deadlocked: cursors {cursors:?}");
+        assert!(
+            progressed,
+            "pipeline schedule deadlocked: cursors {cursors:?}"
+        );
     }
     tl.finish_time()
 }
@@ -388,7 +411,12 @@ mod tests {
             let dev = stage % self.stages;
             let spec = &tl.cluster().gpus[dev];
             let flops = (secs - spec.launch_overhead).max(0.0) * spec.peak_flops - spec.flops_half;
-            tl.compute(dev, Work::tensor(flops.max(0.0), 0.0), deps, format!("s{stage} mb{mb} {phase:?}"))
+            tl.compute(
+                dev,
+                Work::tensor(flops.max(0.0), 0.0),
+                deps,
+                format!("s{stage} mb{mb} {phase:?}"),
+            )
         }
         fn p2p_bytes(&self, _mb: usize) -> f64 {
             1e4
@@ -407,7 +435,12 @@ mod tests {
     fn run(programs: PipeProgram, stages: usize, virt: usize, fwd: f64, bwd: f64, wgt: f64) -> f64 {
         let cluster = Cluster::single_node(GpuSpec::a40(), stages, LinkSpec::nvlink_a40());
         let mut tl = Timeline::new(&cluster);
-        let mut exec = Uniform { stages, fwd, bwd, wgt };
+        let mut exec = Uniform {
+            stages,
+            fwd,
+            bwd,
+            wgt,
+        };
         simulate_pipeline(&mut tl, &programs, &mut exec, virt)
     }
 
@@ -438,7 +471,10 @@ mod tests {
             let t = run(one_f_one_b(s, c), s, s, 1e-3, 1e-3, 0.0);
             (c as f64 * 2e-3) / t
         };
-        assert!(eff(16) > eff(4), "bubble ratio should fall with more micro-batches");
+        assert!(
+            eff(16) > eff(4),
+            "bubble ratio should fall with more micro-batches"
+        );
     }
 
     #[test]
@@ -448,11 +484,17 @@ mod tests {
         // keeps ranks busier than 1F1B with monolithic 2x backward.
         let t_1f1b_pre = run(one_f_one_b(s, c), s, s, 1e-3, 2e-3, 0.0);
         let t_zb_pre = run(zb_h2(s, c), s, s, 1e-3, 1e-3, 1e-3);
-        assert!(t_zb_pre <= t_1f1b_pre * 1.02, "ZB {t_zb_pre} vs 1F1B {t_1f1b_pre} (pretrain)");
+        assert!(
+            t_zb_pre <= t_1f1b_pre * 1.02,
+            "ZB {t_zb_pre} vs 1F1B {t_1f1b_pre} (pretrain)"
+        );
         // PEFT: no W work exists; ZB degenerates to 1F1B plus overhead.
         let t_1f1b_peft = run(one_f_one_b(s, c), s, s, 1e-3, 1e-3, 0.0);
         let t_zb_peft = run(zb_h2(s, c), s, s, 1e-3, 1e-3, 0.0);
-        assert!(t_zb_peft >= t_1f1b_peft * 0.999, "ZB cannot beat 1F1B without W work");
+        assert!(
+            t_zb_peft >= t_1f1b_peft * 0.999,
+            "ZB cannot beat 1F1B without W work"
+        );
     }
 
     #[test]
@@ -463,7 +505,11 @@ mod tests {
         assert!(p[0].iter().any(|i| i.stage == 0));
         assert!(p[0].iter().any(|i| i.stage == 7));
         // All 8 micro-batches appear exactly once per hosted stage pair.
-        let fwd_count = p.iter().flatten().filter(|i| i.phase == Phase::Forward).count();
+        let fwd_count = p
+            .iter()
+            .flatten()
+            .filter(|i| i.phase == Phase::Forward)
+            .count();
         assert_eq!(fwd_count, 4 * 8);
     }
 
@@ -492,7 +538,14 @@ mod tests {
                 deps: &[OpHandle],
             ) -> OpHandle {
                 let dev = stage % self.ranks;
-                tl.compute_fixed(dev, self.secs, 0.7, 0.0, deps, format!("s{stage} m{mb} {phase:?}"))
+                tl.compute_fixed(
+                    dev,
+                    self.secs,
+                    0.7,
+                    0.0,
+                    deps,
+                    format!("s{stage} m{mb} {phase:?}"),
+                )
             }
             fn p2p_bytes(&self, _mb: usize) -> f64 {
                 1e4
@@ -513,7 +566,10 @@ mod tests {
             &mut E { ranks, secs: 1e-3 }, // half-size chunks
             ranks * v,
         );
-        assert!(t_inter < t_plain, "interleaved {t_inter} vs plain {t_plain}");
+        assert!(
+            t_inter < t_plain,
+            "interleaved {t_inter} vs plain {t_plain}"
+        );
     }
 
     #[test]
@@ -522,7 +578,11 @@ mod tests {
         // Rank 1 hosts virtual stages 1 and 5.
         assert!(p[1].iter().any(|i| i.stage == 1));
         assert!(p[1].iter().any(|i| i.stage == 5));
-        let fwd = p.iter().flatten().filter(|i| i.phase == Phase::Forward).count();
+        let fwd = p
+            .iter()
+            .flatten()
+            .filter(|i| i.phase == Phase::Forward)
+            .count();
         assert_eq!(fwd, 8 * 6, "8 virtual stages x 6 micro-batches");
     }
 
@@ -533,8 +593,16 @@ mod tests {
             for i in prog.iter().flatten() {
                 assert!(seen.insert(*i), "duplicate instruction {i:?}");
             }
-            let fwd = prog.iter().flatten().filter(|i| i.phase == Phase::Forward).count();
-            let bwd = prog.iter().flatten().filter(|i| i.phase == Phase::Backward).count();
+            let fwd = prog
+                .iter()
+                .flatten()
+                .filter(|i| i.phase == Phase::Forward)
+                .count();
+            let bwd = prog
+                .iter()
+                .flatten()
+                .filter(|i| i.phase == Phase::Backward)
+                .count();
             assert_eq!(fwd, 15);
             assert_eq!(bwd, 15);
         }

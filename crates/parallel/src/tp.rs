@@ -112,7 +112,15 @@ pub fn execute_stage_ordered(
                 OpKind::AllGather => CollectiveKind::AllGather,
                 _ => CollectiveKind::AllReduce,
             };
-            vec![tl.collective(devices, kind, payload, &deps, policy, blocking_comm, node.template.name.clone())]
+            vec![tl.collective(
+                devices,
+                kind,
+                payload,
+                &deps,
+                policy,
+                blocking_comm,
+                node.template.name.clone(),
+            )]
         } else {
             let work = work_for(&node.template.cost, node.template.kind, shape, pass);
             devices
@@ -148,7 +156,17 @@ mod tests {
         let devices: Vec<usize> = (0..tp).collect();
         let order: Vec<usize> = (0..g.len()).collect();
         let policy = CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), false);
-        execute_stage_ordered(&mut tl, &g, &order, &shapes, Pass::Forward, &devices, &[], blocking, policy);
+        execute_stage_ordered(
+            &mut tl,
+            &g,
+            &order,
+            &shapes,
+            Pass::Forward,
+            &devices,
+            &[],
+            blocking,
+            policy,
+        );
         tl.finish_time()
     }
 
@@ -188,7 +206,10 @@ mod tests {
         // §3.3: "forward and backward passes of the same stage share
         // similar latency in PEFT".
         assert!((b / f) < 1.35 && (b / f) > 0.95, "peft bwd/fwd = {}", b / f);
-        assert!(full > b * 1.3, "full bwd must be much slower: {full} vs {b}");
+        assert!(
+            full > b * 1.3,
+            "full bwd must be much slower: {full} vs {b}"
+        );
     }
 
     #[test]

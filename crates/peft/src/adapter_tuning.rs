@@ -45,7 +45,9 @@ impl AdapterModule for BottleneckAdapter {
     }
 
     fn forward(&self, g: &mut Graph, _base_in: Var, base_out: Var) -> Var {
-        let [d, db, u, ub] = self.vars.expect("BottleneckAdapter::register before forward");
+        let [d, db, u, ub] = self
+            .vars
+            .expect("BottleneckAdapter::register before forward");
         let h = g.matmul(base_out, d);
         let h = g.add_bias(h, db);
         let h = g.relu(h);
@@ -54,9 +56,15 @@ impl AdapterModule for BottleneckAdapter {
     }
 
     fn apply_grads(&mut self, g: &Graph, lr: f32) {
-        let Some([d, db, u, ub]) = self.vars else { return };
-        let params: [(&mut Tensor, Var); 4] =
-            [(&mut self.down, d), (&mut self.down_bias, db), (&mut self.up, u), (&mut self.up_bias, ub)];
+        let Some([d, db, u, ub]) = self.vars else {
+            return;
+        };
+        let params: [(&mut Tensor, Var); 4] = [
+            (&mut self.down, d),
+            (&mut self.down_bias, db),
+            (&mut self.up, u),
+            (&mut self.up_bias, ub),
+        ];
         for (p, v) in params {
             if let Some(gr) = g.grad(v) {
                 p.axpy(-lr, gr);
@@ -65,7 +73,12 @@ impl AdapterModule for BottleneckAdapter {
     }
 
     fn snapshot(&self) -> Vec<Tensor> {
-        vec![self.down.clone(), self.down_bias.clone(), self.up.clone(), self.up_bias.clone()]
+        vec![
+            self.down.clone(),
+            self.down_bias.clone(),
+            self.up.clone(),
+            self.up_bias.clone(),
+        ]
     }
 }
 

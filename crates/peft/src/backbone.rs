@@ -32,7 +32,13 @@ pub struct TinyConfig {
 impl TinyConfig {
     /// A 2-layer, 32-hidden default that trains in milliseconds.
     pub fn small() -> Self {
-        Self { layers: 2, hidden: 32, heads: 4, vocab: 64, max_seq: 32 }
+        Self {
+            layers: 2,
+            hidden: 32,
+            heads: 4,
+            vocab: 64,
+            max_seq: 32,
+        }
     }
 }
 
@@ -163,8 +169,13 @@ impl TinyBackbone {
         seq: usize,
         hook: &mut BaseOpHook<'_>,
     ) -> Var {
-        let mut no_prefix =
-            move |_l: usize, _g: &mut Graph| vec![PrefixSegment { batch_start: 0, batch_len: batch, kv: None }];
+        let mut no_prefix = move |_l: usize, _g: &mut Graph| {
+            vec![PrefixSegment {
+                batch_start: 0,
+                batch_len: batch,
+                kv: None,
+            }]
+        };
         self.forward_prefixed(g, tokens, batch, seq, hook, &mut no_prefix)
     }
 
@@ -182,7 +193,10 @@ impl TinyBackbone {
         prefix_hook: &mut PrefixHook<'_>,
     ) -> Var {
         assert_eq!(tokens.len(), batch * seq, "token count mismatch");
-        assert!(seq <= self.cfg.max_seq, "sequence longer than position table");
+        assert!(
+            seq <= self.cfg.max_seq,
+            "sequence longer than position table"
+        );
         let h = self.cfg.hidden;
         let heads = self.cfg.heads;
         let hd = h / heads;
@@ -265,7 +279,11 @@ impl TinyBackbone {
                 };
                 ctx_parts.push(ctx_s);
             }
-            let ctx = if ctx_parts.len() == 1 { ctx_parts[0] } else { g.concat_dim0(&ctx_parts) };
+            let ctx = if ctx_parts.len() == 1 {
+                ctx_parts[0]
+            } else {
+                g.concat_dim0(&ctx_parts)
+            };
 
             // [batch*heads, seq, hd] -> [n, h]
             let ctx = g.reshape(ctx, vec![batch, heads, seq, hd]);
@@ -350,7 +368,11 @@ mod tests {
         };
         let a = logits_with(1);
         let b = logits_with(60);
-        assert!(a.max_abs_diff(&b) < 1e-5, "causality violated: {}", a.max_abs_diff(&b));
+        assert!(
+            a.max_abs_diff(&b) < 1e-5,
+            "causality violated: {}",
+            a.max_abs_diff(&b)
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl DiffPruningAdapter {
                 *m = 1.0;
             }
         }
-        Self { delta: Tensor::zeros(vec![input, output]), mask, delta_var: None }
+        Self {
+            delta: Tensor::zeros(vec![input, output]),
+            mask,
+            delta_var: None,
+        }
     }
 
     /// Number of trainable (masked-in) entries.
@@ -47,7 +51,9 @@ impl AdapterModule for DiffPruningAdapter {
     }
 
     fn forward(&self, g: &mut Graph, base_in: Var, _base_out: Var) -> Var {
-        let d = self.delta_var.expect("DiffPruningAdapter::register before forward");
+        let d = self
+            .delta_var
+            .expect("DiffPruningAdapter::register before forward");
         let m = g.leaf(self.mask.clone(), false);
         let masked = g.mul_elem(d, m);
         g.matmul(base_in, masked)
@@ -100,7 +106,10 @@ mod tests {
                 assert_eq!(*d, 0.0, "unmasked entry moved");
             }
         }
-        assert!(a.delta.data().iter().any(|&v| v != 0.0), "masked entries trained");
+        assert!(
+            a.delta.data().iter().any(|&v| v != 0.0),
+            "masked entries trained"
+        );
     }
 
     #[test]

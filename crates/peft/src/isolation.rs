@@ -67,7 +67,11 @@ pub fn compare_fused_vs_separate(
         .zip(&last_fused)
         .map(|(a, b)| (a.loss - b.loss).abs())
         .collect();
-    IsolationReport { max_msd_per_task, loss_diff_per_task, steps: batches_per_step.len() }
+    IsolationReport {
+        max_msd_per_task,
+        loss_diff_per_task,
+        steps: batches_per_step.len(),
+    }
 }
 
 /// Result of the NaN-containment experiment.
@@ -128,7 +132,12 @@ mod tests {
         let report = compare_fused_vs_separate(
             cfg,
             77,
-            || vec![ExecTask::lora(&cfg, 1, 2, 1, 0.1), ExecTask::lora(&cfg, 2, 4, 2, 0.1)],
+            || {
+                vec![
+                    ExecTask::lora(&cfg, 1, 2, 1, 0.1),
+                    ExecTask::lora(&cfg, 2, 4, 2, 0.1),
+                ]
+            },
             &batches,
         );
         assert_eq!(report.steps, 4);
@@ -139,7 +148,10 @@ mod tests {
     #[test]
     fn nan_stays_inside_the_failing_task() {
         let report = nan_containment(TinyConfig::small(), 5);
-        assert!(report.bad_task_diverged, "the sabotaged task should blow up");
+        assert!(
+            report.bad_task_diverged,
+            "the sabotaged task should blow up"
+        );
         assert!(
             !report.healthy_task_contaminated,
             "healthy tasks must not be contaminated (backbone sharing isolation)"

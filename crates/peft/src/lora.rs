@@ -21,7 +21,13 @@ pub struct LoraAdapter {
 
 impl LoraAdapter {
     /// Creates a rank-`r` LoRA adapter for a `[input, output]` BaseOp.
-    pub fn new(init: &mut Initializer, input: usize, output: usize, rank: usize, alpha: f32) -> Self {
+    pub fn new(
+        init: &mut Initializer,
+        input: usize,
+        output: usize,
+        rank: usize,
+        alpha: f32,
+    ) -> Self {
         Self {
             a: init.kaiming(input, rank),
             b: Tensor::zeros(vec![rank, output]),

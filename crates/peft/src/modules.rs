@@ -31,8 +31,14 @@ pub enum AttachSite {
 
 impl AttachSite {
     /// All sites, in canonical order.
-    pub const ALL: [AttachSite; 6] =
-        [AttachSite::Q, AttachSite::K, AttachSite::V, AttachSite::Out, AttachSite::MlpUp, AttachSite::MlpDown];
+    pub const ALL: [AttachSite; 6] = [
+        AttachSite::Q,
+        AttachSite::K,
+        AttachSite::V,
+        AttachSite::Out,
+        AttachSite::MlpUp,
+        AttachSite::MlpDown,
+    ];
 }
 
 /// A trainable adapter attached to one `BaseOp` of one task.

@@ -24,9 +24,17 @@ impl PrefixAdapter {
     /// Creates a prefix of `prefix_len` virtual tokens for `layers` layers
     /// over a `hidden`-dim backbone.
     pub fn new(init: &mut Initializer, layers: usize, hidden: usize, prefix_len: usize) -> Self {
-        let keys = (0..layers).map(|_| init.normal(vec![prefix_len, hidden], 0.02)).collect();
-        let values = (0..layers).map(|_| init.normal(vec![prefix_len, hidden], 0.02)).collect();
-        Self { keys, values, vars: vec![None; layers] }
+        let keys = (0..layers)
+            .map(|_| init.normal(vec![prefix_len, hidden], 0.02))
+            .collect();
+        let values = (0..layers)
+            .map(|_| init.normal(vec![prefix_len, hidden], 0.02))
+            .collect();
+        Self {
+            keys,
+            values,
+            vars: vec![None; layers],
+        }
     }
 
     /// Number of virtual prefix tokens.
@@ -37,7 +45,10 @@ impl PrefixAdapter {
     /// Registers this step's parameter leaves.
     pub fn register(&mut self, g: &mut Graph) {
         for (l, slot) in self.vars.iter_mut().enumerate() {
-            *slot = Some((g.leaf(self.keys[l].clone(), true), g.leaf(self.values[l].clone(), true)));
+            *slot = Some((
+                g.leaf(self.keys[l].clone(), true),
+                g.leaf(self.values[l].clone(), true),
+            ));
         }
     }
 
@@ -65,7 +76,11 @@ impl PrefixAdapter {
 
     /// Snapshot of all prefix tensors.
     pub fn snapshot(&self) -> Vec<Tensor> {
-        self.keys.iter().chain(self.values.iter()).cloned().collect()
+        self.keys
+            .iter()
+            .chain(self.values.iter())
+            .cloned()
+            .collect()
     }
 
     /// Whether any prefix parameter is non-finite.
@@ -84,7 +99,8 @@ mod tests {
         let cfg = TinyConfig::small();
         let mut bb = TinyBackbone::new(cfg, 7);
         let tokens: Vec<usize> = (0..16).collect();
-        let mut no_hook = |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
+        let mut no_hook =
+            |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
 
         let plain = {
             let mut g = Graph::new();
@@ -99,12 +115,19 @@ mod tests {
             let mut pa = PrefixAdapter::new(&mut init, cfg.layers, cfg.hidden, 4);
             pa.register(&mut g);
             let mut hook = |l: usize, _g: &mut Graph| {
-                vec![PrefixSegment { batch_start: 0, batch_len: 2, kv: Some(pa.layer_vars(l)) }]
+                vec![PrefixSegment {
+                    batch_start: 0,
+                    batch_len: 2,
+                    kv: Some(pa.layer_vars(l)),
+                }]
             };
             let l = bb.forward_prefixed(&mut g, &tokens, 2, 8, &mut no_hook, &mut hook);
             g.value(l).clone()
         };
-        assert!(plain.max_abs_diff(&with_prefix) > 1e-4, "prefix must alter attention");
+        assert!(
+            plain.max_abs_diff(&with_prefix) > 1e-4,
+            "prefix must alter attention"
+        );
         assert!(!with_prefix.has_non_finite());
     }
 
@@ -114,7 +137,8 @@ mod tests {
         let cfg = TinyConfig::small();
         let mut bb = TinyBackbone::new(cfg, 9);
         let tokens: Vec<usize> = (0..24).collect();
-        let mut no_hook = |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
+        let mut no_hook =
+            |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
         let a = {
             let mut g = Graph::new();
             bb.register(&mut g);
@@ -128,14 +152,26 @@ mod tests {
             // numerically identical to the single-segment path.
             let mut hook = |_l: usize, _g: &mut Graph| {
                 vec![
-                    PrefixSegment { batch_start: 0, batch_len: 1, kv: None },
-                    PrefixSegment { batch_start: 1, batch_len: 2, kv: None },
+                    PrefixSegment {
+                        batch_start: 0,
+                        batch_len: 1,
+                        kv: None,
+                    },
+                    PrefixSegment {
+                        batch_start: 1,
+                        batch_len: 2,
+                        kv: None,
+                    },
                 ]
             };
             let l = bb.forward_prefixed(&mut g, &tokens, 3, 8, &mut no_hook, &mut hook);
             g.value(l).clone()
         };
-        assert!(a.max_abs_diff(&b) < 1e-5, "segmented attention must match: {}", a.max_abs_diff(&b));
+        assert!(
+            a.max_abs_diff(&b) < 1e-5,
+            "segmented attention must match: {}",
+            a.max_abs_diff(&b)
+        );
     }
 
     #[test]
@@ -143,7 +179,13 @@ mod tests {
         // End-to-end gradient check through the joint-softmax prefix
         // attention path (concat_last / slice_last / replicated KV),
         // perturbing individual prefix-key entries.
-        let cfg = TinyConfig { layers: 1, hidden: 8, heads: 2, vocab: 16, max_seq: 8 };
+        let cfg = TinyConfig {
+            layers: 1,
+            hidden: 8,
+            heads: 2,
+            vocab: 16,
+            max_seq: 8,
+        };
         let mut bb = TinyBackbone::new(cfg, 77);
         let mut init = Initializer::new(6);
         let pa0 = PrefixAdapter::new(&mut init, 1, cfg.hidden, 2);
@@ -162,7 +204,11 @@ mod tests {
             let mut no_hook =
                 |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
             let mut hook = |l: usize, _g: &mut Graph| {
-                vec![PrefixSegment { batch_start: 0, batch_len: 1, kv: Some(pa.layer_vars(l)) }]
+                vec![PrefixSegment {
+                    batch_start: 0,
+                    batch_len: 1,
+                    kv: Some(pa.layer_vars(l)),
+                }]
             };
             let logits = bb.forward_prefixed(&mut g, &tokens, 1, 4, &mut no_hook, &mut hook);
             let loss = g.cross_entropy(logits, &targets);
@@ -198,14 +244,19 @@ mod tests {
         let mut init = Initializer::new(5);
         let mut pa = PrefixAdapter::new(&mut init, cfg.layers, cfg.hidden, 4);
         let batch = crate::trainer::TaskBatch::synthetic(11, 3, 8, cfg.vocab);
-        let mut no_hook = |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
+        let mut no_hook =
+            |_: usize, _: crate::modules::AttachSite, _: &mut Graph, _i: Var, o: Var| o;
         let mut losses = Vec::new();
         for _ in 0..80 {
             let mut g = Graph::new();
             bb.register(&mut g);
             pa.register(&mut g);
             let mut hook = |l: usize, _g: &mut Graph| {
-                vec![PrefixSegment { batch_start: 0, batch_len: 3, kv: Some(pa.layer_vars(l)) }]
+                vec![PrefixSegment {
+                    batch_start: 0,
+                    batch_len: 3,
+                    kv: Some(pa.layer_vars(l)),
+                }]
             };
             let logits = bb.forward_prefixed(&mut g, &batch.tokens, 3, 8, &mut no_hook, &mut hook);
             let loss = g.cross_entropy(logits, &batch.targets);
@@ -218,7 +269,10 @@ mod tests {
         // Prefix-Tuning has far less capacity than LoRA (2·p·h per layer,
         // attention-only), so convergence is slower — require a steady but
         // modest improvement.
-        assert!(last < first * 0.93, "prefix tuning must learn: {first} -> {last}");
+        assert!(
+            last < first * 0.93,
+            "prefix tuning must learn: {first} -> {last}"
+        );
         assert!(!pa.has_non_finite());
     }
 }

@@ -64,7 +64,11 @@ pub struct TaskRegistry {
 impl TaskRegistry {
     /// Creates a registry over a backbone.
     pub fn new(cfg: ModelConfig) -> Self {
-        Self { cfg, tasks: BTreeMap::new(), generation: 0 }
+        Self {
+            cfg,
+            tasks: BTreeMap::new(),
+            generation: 0,
+        }
     }
 
     /// The backbone configuration (immutable for the instance's lifetime —
@@ -81,14 +85,20 @@ impl TaskRegistry {
             return Err(RegistryError::DuplicateId(task.id));
         }
         crate::validation::validate_task(&task, &self.cfg).map_err(RegistryError::Invalid)?;
-        assert_ne!(task.id, BACKBONE_TAG, "task id 0 is reserved for the backbone");
+        assert_ne!(
+            task.id, BACKBONE_TAG,
+            "task id 0 is reserved for the backbone"
+        );
         self.tasks.insert(task.id, task);
         self.generation += 1;
         Ok(())
     }
 
     /// Registers many tasks (the paper's `register_tasks()`).
-    pub fn register_tasks(&mut self, tasks: impl IntoIterator<Item = PeftTask>) -> Result<(), RegistryError> {
+    pub fn register_tasks(
+        &mut self,
+        tasks: impl IntoIterator<Item = PeftTask>,
+    ) -> Result<(), RegistryError> {
         for t in tasks {
             self.register_task(t)?;
         }
@@ -205,7 +215,8 @@ mod tests {
     fn registry_with(n: usize) -> TaskRegistry {
         let mut r = TaskRegistry::new(ModelConfig::tiny(2, 64, 4, 100));
         for i in 0..n {
-            r.register_task(PeftTask::lora(i as TaskId + 1, 8, 4, 64)).expect("register");
+            r.register_task(PeftTask::lora(i as TaskId + 1, 8, 4, 64))
+                .expect("register");
         }
         r
     }
@@ -241,8 +252,13 @@ mod tests {
     fn registration_does_not_touch_backbone() {
         let mut r = registry_with(0);
         let before = r.backbone().clone();
-        r.register_task(PeftTask::lora(9, 8, 4, 64)).expect("register");
-        assert_eq!(r.backbone(), &before, "backbone must stay non-intrusively shared");
+        r.register_task(PeftTask::lora(9, 8, 4, 64))
+            .expect("register");
+        assert_eq!(
+            r.backbone(),
+            &before,
+            "backbone must stay non-intrusively shared"
+        );
     }
 
     #[test]
@@ -262,13 +278,21 @@ mod tests {
         let g = r.build_multitask_stage_graph(0, 1, 1, &[1]);
         // Find the qkv BaseOp and its aggregate; the attention score op
         // must depend on the aggregate, not the bare BaseOp.
-        let qkv = g.nodes().iter().find(|n| n.template.name.contains("qkv_proj") && n.tag == 0).expect("qkv");
+        let qkv = g
+            .nodes()
+            .iter()
+            .find(|n| n.template.name.contains("qkv_proj") && n.tag == 0)
+            .expect("qkv");
         let agg = g
             .nodes()
             .iter()
             .find(|n| n.template.name.contains("qkv_proj.aggregate"))
             .expect("aggregate");
-        let score = g.nodes().iter().find(|n| n.template.kind == OpKind::AttnScore).expect("score");
+        let score = g
+            .nodes()
+            .iter()
+            .find(|n| n.template.kind == OpKind::AttnScore)
+            .expect("score");
         assert!(score.deps.contains(&agg.id));
         assert!(!score.deps.contains(&qkv.id));
     }
@@ -284,7 +308,8 @@ mod tests {
     #[test]
     fn adapter_flops_are_small_fraction_of_backbone() {
         let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
-        r.register_task(PeftTask::lora(1, 16, 8, 128)).expect("register");
+        r.register_task(PeftTask::lora(1, 16, 8, 128))
+            .expect("register");
         let g = r.build_multitask_stage_graph(0, 1, 1, &[1]);
         let sh = TokenShape::new(8, 128);
         let adapter: f64 = g
@@ -299,7 +324,11 @@ mod tests {
             .filter(|n| n.tag == 0)
             .map(|n| n.template.cost.flops(sh, Pass::Forward))
             .sum();
-        assert!(adapter / backbone < 0.05, "adapters add {} of backbone flops", adapter / backbone);
+        assert!(
+            adapter / backbone < 0.05,
+            "adapters add {} of backbone flops",
+            adapter / backbone
+        );
     }
 
     #[test]
@@ -311,6 +340,9 @@ mod tests {
         let g4 = r4.build_multitask_stage_graph(0, 2, 1, &ids);
         let backbone1 = g1.nodes().iter().filter(|n| n.tag == 0).count();
         let backbone4 = g4.nodes().iter().filter(|n| n.tag == 0).count();
-        assert_eq!(backbone1, backbone4, "backbone nodes are shared, never replicated");
+        assert_eq!(
+            backbone1, backbone4,
+            "backbone nodes are shared, never replicated"
+        );
     }
 }

@@ -58,7 +58,12 @@ impl TaskBatch {
                 }
             }
         }
-        Self { tokens, targets, batch, seq }
+        Self {
+            tokens,
+            targets,
+            batch,
+            seq,
+        }
     }
 }
 
@@ -87,10 +92,24 @@ impl ExecTask {
                     AttachSite::MlpDown => (4 * h, h),
                     _ => (h, h),
                 };
-                adapters.insert((l, site), Box::new(LoraAdapter::new(&mut init, input, output, rank, 2.0 * rank as f32)));
+                adapters.insert(
+                    (l, site),
+                    Box::new(LoraAdapter::new(
+                        &mut init,
+                        input,
+                        output,
+                        rank,
+                        2.0 * rank as f32,
+                    )),
+                );
             }
         }
-        Self { id, lr, adapters, prefix: None }
+        Self {
+            id,
+            lr,
+            adapters,
+            prefix: None,
+        }
     }
 
     /// A bottleneck (Adapter-Tuning) task on block outputs.
@@ -100,10 +119,18 @@ impl ExecTask {
         let mut adapters: BTreeMap<(usize, AttachSite), Box<dyn AdapterModule>> = BTreeMap::new();
         for l in 0..cfg.layers {
             for site in [AttachSite::Out, AttachSite::MlpDown] {
-                adapters.insert((l, site), Box::new(BottleneckAdapter::new(&mut init, h, width)));
+                adapters.insert(
+                    (l, site),
+                    Box::new(BottleneckAdapter::new(&mut init, h, width)),
+                );
             }
         }
-        Self { id, lr, adapters, prefix: None }
+        Self {
+            id,
+            lr,
+            adapters,
+            prefix: None,
+        }
     }
 
     /// A Diff-Pruning task on the Q projection of each layer.
@@ -112,19 +139,35 @@ impl ExecTask {
         let h = cfg.hidden;
         let mut adapters: BTreeMap<(usize, AttachSite), Box<dyn AdapterModule>> = BTreeMap::new();
         for l in 0..cfg.layers {
-            adapters.insert((l, AttachSite::Q), Box::new(DiffPruningAdapter::new(&mut init, h, h, sparsity)));
+            adapters.insert(
+                (l, AttachSite::Q),
+                Box::new(DiffPruningAdapter::new(&mut init, h, h, sparsity)),
+            );
         }
-        Self { id, lr, adapters, prefix: None }
+        Self {
+            id,
+            lr,
+            adapters,
+            prefix: None,
+        }
     }
 
     /// A Prefix-Tuning task with `prefix_len` virtual tokens per layer.
-    pub fn prefix_tuning(cfg: &TinyConfig, id: TaskId, prefix_len: usize, seed: u64, lr: f32) -> Self {
+    pub fn prefix_tuning(
+        cfg: &TinyConfig,
+        id: TaskId,
+        prefix_len: usize,
+        seed: u64,
+        lr: f32,
+    ) -> Self {
         let mut init = Initializer::new(seed);
         Self {
             id,
             lr,
             adapters: BTreeMap::new(),
-            prefix: Some(PrefixAdapter::new(&mut init, cfg.layers, cfg.hidden, prefix_len)),
+            prefix: Some(PrefixAdapter::new(
+                &mut init, cfg.layers, cfg.hidden, prefix_len,
+            )),
         }
     }
 
@@ -140,7 +183,11 @@ impl ExecTask {
     /// Whether any adapter parameter is non-finite.
     pub fn has_non_finite(&self) -> bool {
         self.adapters.values().any(|a| a.has_non_finite())
-            || self.prefix.as_ref().map(|p| p.has_non_finite()).unwrap_or(false)
+            || self
+                .prefix
+                .as_ref()
+                .map(|p| p.has_non_finite())
+                .unwrap_or(false)
     }
 }
 
@@ -164,12 +211,18 @@ pub struct MultiTaskTrainer {
 impl MultiTaskTrainer {
     /// Creates a trainer with a deterministic backbone.
     pub fn new(cfg: TinyConfig, seed: u64) -> Self {
-        Self { backbone: TinyBackbone::new(cfg, seed) }
+        Self {
+            backbone: TinyBackbone::new(cfg, seed),
+        }
     }
 
     /// Executes one step per task *separately* (dedicated instance per
     /// task — the single-task framework model).
-    pub fn step_separate(&mut self, tasks: &mut [ExecTask], batches: &[TaskBatch]) -> Vec<StepResult> {
+    pub fn step_separate(
+        &mut self,
+        tasks: &mut [ExecTask],
+        batches: &[TaskBatch],
+    ) -> Vec<StepResult> {
         assert_eq!(tasks.len(), batches.len(), "one batch per task");
         let mut out = Vec::with_capacity(tasks.len());
         for (task, batch) in tasks.iter_mut().zip(batches) {
@@ -217,7 +270,11 @@ impl MultiTaskTrainer {
             if let Some(p) = &mut task.prefix {
                 p.apply_grads(&g, task.lr);
             }
-            out.push(StepResult { task: task.id, loss: g.value(loss).item(), accuracy });
+            out.push(StepResult {
+                task: task.id,
+                loss: g.value(loss).item(),
+                accuracy,
+            });
         }
         out
     }
@@ -256,7 +313,10 @@ impl MultiTaskTrainer {
             offsets.push((total_rows, b.batch * b.seq));
             total_rows += b.batch * b.seq;
         }
-        let all_tokens: Vec<usize> = batches.iter().flat_map(|b| b.tokens.iter().copied()).collect();
+        let all_tokens: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| b.tokens.iter().copied())
+            .collect();
         let total_batch: usize = batches.iter().map(|b| b.batch).sum();
 
         // Per-task sequence (batch-row) offsets, for prefix segments.
@@ -315,7 +375,11 @@ impl MultiTaskTrainer {
         let mut total: Option<Var> = None;
         for (b, &(off, len)) in batches.iter().zip(&offsets) {
             let rows = g.slice_dim0(logits, off, len);
-            accs.push(mux_tensor::tensor::accuracy(g.value(rows), &b.targets, IGNORE_INDEX));
+            accs.push(mux_tensor::tensor::accuracy(
+                g.value(rows),
+                &b.targets,
+                IGNORE_INDEX,
+            ));
             let l = g.cross_entropy(rows, &b.targets);
             losses.push(l);
             total = Some(match total {
@@ -332,7 +396,11 @@ impl MultiTaskTrainer {
             if let Some(p) = &mut t.prefix {
                 p.apply_grads(&g, t.lr);
             }
-            out.push(StepResult { task: t.id, loss: g.value(*l).item(), accuracy: *acc });
+            out.push(StepResult {
+                task: t.id,
+                loss: g.value(*l).item(),
+                accuracy: *acc,
+            });
         }
         out
     }
@@ -346,10 +414,15 @@ mod tests {
     fn fused_step_matches_separate_step_losses() {
         let cfg = TinyConfig::small();
         let mk_tasks = || {
-            vec![ExecTask::lora(&cfg, 1, 2, 100, 0.05), ExecTask::lora(&cfg, 2, 4, 200, 0.05)]
+            vec![
+                ExecTask::lora(&cfg, 1, 2, 100, 0.05),
+                ExecTask::lora(&cfg, 2, 4, 200, 0.05),
+            ]
         };
-        let batches =
-            vec![TaskBatch::synthetic(1, 2, 8, cfg.vocab), TaskBatch::synthetic(2, 3, 8, cfg.vocab)];
+        let batches = vec![
+            TaskBatch::synthetic(1, 2, 8, cfg.vocab),
+            TaskBatch::synthetic(2, 3, 8, cfg.vocab),
+        ];
 
         let mut sep_tasks = mk_tasks();
         let mut t1 = MultiTaskTrainer::new(cfg, 7);
@@ -360,16 +433,28 @@ mod tests {
         let fused = t2.step_fused(&mut fused_tasks, &batches);
 
         for (a, b) in sep.iter().zip(&fused) {
-            assert!((a.loss - b.loss).abs() < 1e-5, "loss {} vs {}", a.loss, b.loss);
+            assert!(
+                (a.loss - b.loss).abs() < 1e-5,
+                "loss {} vs {}",
+                a.loss,
+                b.loss
+            );
         }
     }
 
     #[test]
     fn fused_training_trajectory_matches_separate() {
         let cfg = TinyConfig::small();
-        let mk = || vec![ExecTask::lora(&cfg, 1, 2, 42, 0.1), ExecTask::bottleneck(&cfg, 2, 4, 43, 0.1)];
-        let batches =
-            vec![TaskBatch::synthetic(5, 2, 8, cfg.vocab), TaskBatch::synthetic(6, 2, 8, cfg.vocab)];
+        let mk = || {
+            vec![
+                ExecTask::lora(&cfg, 1, 2, 42, 0.1),
+                ExecTask::bottleneck(&cfg, 2, 4, 43, 0.1),
+            ]
+        };
+        let batches = vec![
+            TaskBatch::synthetic(5, 2, 8, cfg.vocab),
+            TaskBatch::synthetic(6, 2, 8, cfg.vocab),
+        ];
 
         let mut sep_tasks = mk();
         let mut fused_tasks = mk();
@@ -398,8 +483,16 @@ mod tests {
         for _ in 0..30 {
             last = tr.step_fused(&mut tasks, &batches)[0];
         }
-        assert!(last.loss < first.loss * 0.9, "loss did not improve: {} -> {}", first.loss, last.loss);
-        assert!(last.accuracy > first.accuracy, "accuracy should rise with training");
+        assert!(
+            last.loss < first.loss * 0.9,
+            "loss did not improve: {} -> {}",
+            first.loss,
+            last.loss
+        );
+        assert!(
+            last.accuracy > first.accuracy,
+            "accuracy should rise with training"
+        );
     }
 
     #[test]
@@ -425,9 +518,14 @@ mod tests {
     #[should_panic(expected = "aligned sequence lengths")]
     fn fused_rejects_misaligned_sequences() {
         let cfg = TinyConfig::small();
-        let mut tasks = vec![ExecTask::lora(&cfg, 1, 2, 1, 0.05), ExecTask::lora(&cfg, 2, 2, 2, 0.05)];
-        let batches =
-            vec![TaskBatch::synthetic(1, 2, 8, cfg.vocab), TaskBatch::synthetic(2, 2, 4, cfg.vocab)];
+        let mut tasks = vec![
+            ExecTask::lora(&cfg, 1, 2, 1, 0.05),
+            ExecTask::lora(&cfg, 2, 2, 2, 0.05),
+        ];
+        let batches = vec![
+            TaskBatch::synthetic(1, 2, 8, cfg.vocab),
+            TaskBatch::synthetic(2, 2, 4, cfg.vocab),
+        ];
         let mut tr = MultiTaskTrainer::new(cfg, 3);
         tr.step_fused(&mut tasks, &batches);
     }
@@ -435,9 +533,16 @@ mod tests {
     #[test]
     fn prefix_tuning_fused_matches_separate() {
         let cfg = TinyConfig::small();
-        let mk = || vec![ExecTask::prefix_tuning(&cfg, 1, 4, 51, 0.1), ExecTask::lora(&cfg, 2, 2, 52, 0.1)];
-        let batches =
-            vec![TaskBatch::synthetic(61, 2, 8, cfg.vocab), TaskBatch::synthetic(62, 3, 8, cfg.vocab)];
+        let mk = || {
+            vec![
+                ExecTask::prefix_tuning(&cfg, 1, 4, 51, 0.1),
+                ExecTask::lora(&cfg, 2, 2, 52, 0.1),
+            ]
+        };
+        let batches = vec![
+            TaskBatch::synthetic(61, 2, 8, cfg.vocab),
+            TaskBatch::synthetic(62, 3, 8, cfg.vocab),
+        ];
         let mut sep_tasks = mk();
         let mut fused_tasks = mk();
         let mut t1 = MultiTaskTrainer::new(cfg, 33);
@@ -448,7 +553,10 @@ mod tests {
         }
         for (st, ft) in sep_tasks.iter().zip(&fused_tasks) {
             for (a, b) in st.snapshot().iter().zip(ft.snapshot().iter()) {
-                assert!(a.mean_square_deviation(b) < 1e-9, "prefix trajectories diverged");
+                assert!(
+                    a.mean_square_deviation(b) < 1e-9,
+                    "prefix trajectories diverged"
+                );
             }
         }
     }
@@ -465,7 +573,10 @@ mod tests {
             last = tr.step_fused(&mut tasks, &batches)[0].loss;
         }
         // Low-capacity method: modest but steady improvement expected.
-        assert!(last < first * 0.93, "prefix tuning did not learn: {first} -> {last}");
+        assert!(
+            last < first * 0.93,
+            "prefix tuning did not learn: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -473,7 +584,11 @@ mod tests {
         let b = TaskBatch::synthetic(9, 3, 8, 64);
         assert_eq!(b.tokens.len(), 24);
         for s in 0..3 {
-            assert_eq!(b.targets[s * 8 + 7], IGNORE_INDEX, "last position has no target");
+            assert_eq!(
+                b.targets[s * 8 + 7],
+                IGNORE_INDEX,
+                "last position has no target"
+            );
             for i in 0..7 {
                 assert_eq!(b.targets[s * 8 + i], b.tokens[s * 8 + i + 1]);
             }

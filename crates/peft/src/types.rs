@@ -7,7 +7,6 @@
 
 use mux_model::config::ModelConfig;
 use mux_model::ops::{OpCostSpec, OpKind, OpTemplate};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a PEFT task within an instance.
 pub type TaskId = u32;
@@ -15,7 +14,7 @@ pub type TaskId = u32;
 /// The three representative PEFT categories the paper implements (§2.1,
 /// §5.1): reparameterized (LoRA), additive (Adapter-Tuning), and selective
 /// (Diff-Pruning).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PeftType {
     /// LoRA: low-rank `down (h -> r)` / `up (r -> n)` pair per `BaseOp`.
     LoRA {
@@ -43,7 +42,7 @@ pub enum PeftType {
 }
 
 /// A submitted PEFT task: adapter configuration plus workload shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeftTask {
     /// Task id, unique within an instance.
     pub id: TaskId,
@@ -62,7 +61,13 @@ pub struct PeftTask {
 impl PeftTask {
     /// Creates a LoRA task — the paper's mainly-used type.
     pub fn lora(id: TaskId, rank: usize, micro_batch: usize, seq_len: usize) -> Self {
-        Self { id, peft: PeftType::LoRA { rank }, micro_batch, seq_len, lr: 1e-3 }
+        Self {
+            id,
+            peft: PeftType::LoRA { rank },
+            micro_batch,
+            seq_len,
+            lr: 1e-3,
+        }
     }
 
     /// Tokens per micro-batch.
@@ -124,12 +129,20 @@ impl PeftTask {
                 OpTemplate::new(
                     OpKind::AdapterGemm,
                     name(&format!("lora_down.{kind:?}")),
-                    OpCostSpec::Gemm { k: base_in, n: rank, dtype: d },
+                    OpCostSpec::Gemm {
+                        k: base_in,
+                        n: rank,
+                        dtype: d,
+                    },
                 ),
                 OpTemplate::new(
                     OpKind::AdapterGemm,
                     name(&format!("lora_up.{kind:?}")),
-                    OpCostSpec::Gemm { k: rank, n: base_out, dtype: d },
+                    OpCostSpec::Gemm {
+                        k: rank,
+                        n: base_out,
+                        dtype: d,
+                    },
                 ),
             ],
             PeftType::AdapterTuning { bottleneck } => {
@@ -142,7 +155,11 @@ impl PeftTask {
                     OpTemplate::new(
                         OpKind::AdapterGemm,
                         name(&format!("adpt_down.{kind:?}")),
-                        OpCostSpec::Gemm { k: base_out, n: bottleneck, dtype: d },
+                        OpCostSpec::Gemm {
+                            k: base_out,
+                            n: bottleneck,
+                            dtype: d,
+                        },
                     ),
                     OpTemplate::new(
                         OpKind::AdapterElementwise,
@@ -157,7 +174,11 @@ impl PeftTask {
                     OpTemplate::new(
                         OpKind::AdapterGemm,
                         name(&format!("adpt_up.{kind:?}")),
-                        OpCostSpec::Gemm { k: bottleneck, n: base_out, dtype: d },
+                        OpCostSpec::Gemm {
+                            k: bottleneck,
+                            n: base_out,
+                            dtype: d,
+                        },
                     ),
                 ]
             }
@@ -169,7 +190,10 @@ impl PeftTask {
                 vec![OpTemplate::new(
                     OpKind::AdapterElementwise,
                     name(&format!("diff_apply.{kind:?}")),
-                    OpCostSpec::Fixed { flops: 2.0 * selected, bytes: 3.0 * selected * d as f64 },
+                    OpCostSpec::Fixed {
+                        flops: 2.0 * selected,
+                        bytes: 3.0 * selected * d as f64,
+                    },
                 )]
             }
             PeftType::PrefixTuning { prefix_len } => {
@@ -184,7 +208,11 @@ impl PeftTask {
                     name("prefix_attn.QkvProj"),
                     // FLOPs scale with tokens x prefix_len x width; model as
                     // a GEMM with inner dim = prefix width, out = prefix_len.
-                    OpCostSpec::Gemm { k: base_in, n: prefix_len, dtype: d },
+                    OpCostSpec::Gemm {
+                        k: base_in,
+                        n: prefix_len,
+                        dtype: d,
+                    },
                 )]
             }
         }
@@ -215,7 +243,12 @@ mod tests {
     fn lora_attaches_down_up_to_every_base_op() {
         let cfg = ModelConfig::llama2_7b();
         let t = PeftTask::lora(3, 16, 4, 128);
-        for kind in [OpKind::QkvProj, OpKind::OutProj, OpKind::MlpUp, OpKind::MlpDown] {
+        for kind in [
+            OpKind::QkvProj,
+            OpKind::OutProj,
+            OpKind::MlpUp,
+            OpKind::MlpDown,
+        ] {
             let ops = t.adapter_ops(&cfg, kind, 4096, 4096);
             assert_eq!(ops.len(), 2);
             assert!(ops.iter().all(|o| o.kind == OpKind::AdapterGemm));

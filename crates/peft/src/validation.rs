@@ -7,12 +7,11 @@
 //! backbone.
 
 use mux_model::config::ModelConfig;
-use serde::Serialize;
 
 use crate::types::{PeftTask, PeftType};
 
 /// Why a task configuration was rejected.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ValidationError {
     /// LoRA rank must be in `[1, hidden]` (a rank above the hidden size is
     /// no longer low-rank and blows the adapter-memory model).
@@ -65,7 +64,10 @@ impl std::fmt::Display for ValidationError {
             ValidationError::SparsityOutOfRange { sparsity } => {
                 write!(f, "sparsity {sparsity} out of range (0, 1]")
             }
-            ValidationError::PrefixOutOfRange { prefix_len, seq_len } => {
+            ValidationError::PrefixOutOfRange {
+                prefix_len,
+                seq_len,
+            } => {
                 write!(f, "prefix length {prefix_len} out of range [1, {seq_len}]")
             }
             ValidationError::ZeroMicroBatch => write!(f, "micro-batch size must be positive"),
@@ -100,7 +102,10 @@ pub fn validate_task(task: &PeftTask, backbone: &ModelConfig) -> Result<(), Vali
         }
         PeftType::AdapterTuning { bottleneck } => {
             if bottleneck == 0 || bottleneck > h {
-                return Err(ValidationError::BottleneckOutOfRange { bottleneck, hidden: h });
+                return Err(ValidationError::BottleneckOutOfRange {
+                    bottleneck,
+                    hidden: h,
+                });
             }
         }
         PeftType::DiffPruning { sparsity } => {
@@ -110,7 +115,10 @@ pub fn validate_task(task: &PeftTask, backbone: &ModelConfig) -> Result<(), Vali
         }
         PeftType::PrefixTuning { prefix_len } => {
             if prefix_len == 0 || prefix_len > task.seq_len {
-                return Err(ValidationError::PrefixOutOfRange { prefix_len, seq_len: task.seq_len });
+                return Err(ValidationError::PrefixOutOfRange {
+                    prefix_len,
+                    seq_len: task.seq_len,
+                });
             }
         }
     }
@@ -129,9 +137,27 @@ mod tests {
     fn sensible_tasks_pass() {
         for task in [
             PeftTask::lora(1, 16, 4, 128),
-            PeftTask { id: 2, peft: PeftType::AdapterTuning { bottleneck: 64 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
-            PeftTask { id: 3, peft: PeftType::DiffPruning { sparsity: 0.005 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
-            PeftTask { id: 4, peft: PeftType::PrefixTuning { prefix_len: 16 }, micro_batch: 2, seq_len: 64, lr: 1e-3 },
+            PeftTask {
+                id: 2,
+                peft: PeftType::AdapterTuning { bottleneck: 64 },
+                micro_batch: 2,
+                seq_len: 64,
+                lr: 1e-3,
+            },
+            PeftTask {
+                id: 3,
+                peft: PeftType::DiffPruning { sparsity: 0.005 },
+                micro_batch: 2,
+                seq_len: 64,
+                lr: 1e-3,
+            },
+            PeftTask {
+                id: 4,
+                peft: PeftType::PrefixTuning { prefix_len: 16 },
+                micro_batch: 2,
+                seq_len: 64,
+                lr: 1e-3,
+            },
         ] {
             assert_eq!(validate_task(&task, &backbone()), Ok(()), "{:?}", task.peft);
         }
@@ -142,7 +168,10 @@ mod tests {
         let t = PeftTask::lora(1, 8192, 4, 128);
         assert!(matches!(
             validate_task(&t, &backbone()),
-            Err(ValidationError::LoraRankOutOfRange { rank: 8192, hidden: 4096 })
+            Err(ValidationError::LoraRankOutOfRange {
+                rank: 8192,
+                hidden: 4096
+            })
         ));
         let t0 = PeftTask::lora(1, 0, 4, 128);
         assert!(validate_task(&t0, &backbone()).is_err());
@@ -151,26 +180,53 @@ mod tests {
     #[test]
     fn bad_sparsity_is_rejected() {
         for s in [0.0, -0.1, 1.5] {
-            let t = PeftTask { id: 1, peft: PeftType::DiffPruning { sparsity: s }, micro_batch: 2, seq_len: 64, lr: 1e-3 };
-            assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::SparsityOutOfRange { .. })));
+            let t = PeftTask {
+                id: 1,
+                peft: PeftType::DiffPruning { sparsity: s },
+                micro_batch: 2,
+                seq_len: 64,
+                lr: 1e-3,
+            };
+            assert!(matches!(
+                validate_task(&t, &backbone()),
+                Err(ValidationError::SparsityOutOfRange { .. })
+            ));
         }
     }
 
     #[test]
     fn prefix_longer_than_context_is_rejected() {
-        let t = PeftTask { id: 1, peft: PeftType::PrefixTuning { prefix_len: 128 }, micro_batch: 2, seq_len: 64, lr: 1e-3 };
-        assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::PrefixOutOfRange { .. })));
+        let t = PeftTask {
+            id: 1,
+            peft: PeftType::PrefixTuning { prefix_len: 128 },
+            micro_batch: 2,
+            seq_len: 64,
+            lr: 1e-3,
+        };
+        assert!(matches!(
+            validate_task(&t, &backbone()),
+            Err(ValidationError::PrefixOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn degenerate_shapes_and_rates_are_rejected() {
         let mut t = PeftTask::lora(1, 16, 0, 128);
-        assert_eq!(validate_task(&t, &backbone()), Err(ValidationError::ZeroMicroBatch));
+        assert_eq!(
+            validate_task(&t, &backbone()),
+            Err(ValidationError::ZeroMicroBatch)
+        );
         t = PeftTask::lora(1, 16, 4, 0);
-        assert_eq!(validate_task(&t, &backbone()), Err(ValidationError::ZeroSeqLen));
+        assert_eq!(
+            validate_task(&t, &backbone()),
+            Err(ValidationError::ZeroSeqLen)
+        );
         t = PeftTask::lora(1, 16, 4, 128);
         t.lr = f32::NAN;
-        assert!(matches!(validate_task(&t, &backbone()), Err(ValidationError::BadLearningRate { .. })));
+        assert!(matches!(
+            validate_task(&t, &backbone()),
+            Err(ValidationError::BadLearningRate { .. })
+        ));
         t.lr = -1.0;
         assert!(validate_task(&t, &backbone()).is_err());
     }

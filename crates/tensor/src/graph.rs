@@ -100,7 +100,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -213,7 +218,17 @@ impl Graph {
     pub fn layernorm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let (v, mean, inv_std) = layernorm(self.value(x), self.value(gamma), self.value(beta), eps);
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
-        self.push(v, Op::LayerNorm { x, gamma, beta, mean, inv_std }, rg)
+        self.push(
+            v,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                mean,
+                inv_std,
+            },
+            rg,
+        )
     }
 
     /// Reshape to a new shape with the same element count.
@@ -248,7 +263,14 @@ impl Graph {
     pub fn embedding(&mut self, weight: Var, indices: &[usize]) -> Var {
         let v = embedding(self.value(weight), indices);
         let rg = self.rg(weight);
-        self.push(v, Op::Embedding { weight, indices: indices.to_vec() }, rg)
+        self.push(
+            v,
+            Op::Embedding {
+                weight,
+                indices: indices.to_vec(),
+            },
+            rg,
+        )
     }
 
     /// Mean cross-entropy loss against integer targets; positions equal to
@@ -259,7 +281,12 @@ impl Graph {
         let rg = self.rg(logits);
         self.push(
             Tensor::scalar(loss),
-            Op::CrossEntropy { logits, targets: targets.to_vec(), probs, counted },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+                counted,
+            },
             rg,
         )
     }
@@ -317,7 +344,11 @@ impl Graph {
     /// # Panics
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward from non-scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward from non-scalar"
+        );
         self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
         for i in (0..=loss.0).rev() {
             if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
@@ -409,7 +440,13 @@ impl Graph {
                 }
                 self.accum(*a, ga);
             }
-            Op::LayerNorm { x, gamma, beta, mean, inv_std } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                mean,
+                inv_std,
+            } => {
                 let xv = self.value(*x);
                 let gm = self.value(*gamma);
                 let n = gm.len();
@@ -463,9 +500,18 @@ impl Graph {
                 }
                 self.accum(*weight, gw);
             }
-            Op::CrossEntropy { logits, targets, probs, counted } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+                counted,
+            } => {
                 let v = probs.shape()[1];
-                let scale = if *counted > 0 { g.item() / *counted as f32 } else { 0.0 };
+                let scale = if *counted > 0 {
+                    g.item() / *counted as f32
+                } else {
+                    0.0
+                };
                 let mut gl = Tensor::zeros(probs.shape().to_vec());
                 for (i, &t) in targets.iter().enumerate() {
                     if t == IGNORE_INDEX {
@@ -561,7 +607,10 @@ mod tests {
     #[test]
     fn grad_matmul() {
         grad_check(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7], |g, x| {
-            let w = g.leaf(Tensor::new(vec![3, 2], vec![1., 2., -1., 0.5, 0.25, -2.]), false);
+            let w = g.leaf(
+                Tensor::new(vec![3, 2], vec![1., 2., -1., 0.5, 0.25, -2.]),
+                false,
+            );
             let y = g.matmul(x, w);
             g.mean_all(y)
         });
@@ -569,11 +618,18 @@ mod tests {
 
     #[test]
     fn grad_bat_matmul() {
-        grad_check(vec![2, 2, 2], vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4], |g, x| {
-            let w = g.leaf(Tensor::new(vec![2, 2, 2], vec![1., 0., 0., 1., 2., 1., -1., 0.5]), false);
-            let y = g.bat_matmul(x, w);
-            g.mean_all(y)
-        });
+        grad_check(
+            vec![2, 2, 2],
+            vec![0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4],
+            |g, x| {
+                let w = g.leaf(
+                    Tensor::new(vec![2, 2, 2], vec![1., 0., 0., 1., 2., 1., -1., 0.5]),
+                    false,
+                );
+                let y = g.bat_matmul(x, w);
+                g.mean_all(y)
+            },
+        );
     }
 
     #[test]
@@ -588,7 +644,10 @@ mod tests {
     fn grad_softmax() {
         grad_check(vec![2, 3], vec![0.1, 0.9, -0.4, 1.0, 0.0, -1.0], |g, x| {
             let s = g.softmax_last_dim(x);
-            let w = g.leaf(Tensor::new(vec![2, 3], vec![1., -2., 0.5, 0.3, 1.2, -0.8]), false);
+            let w = g.leaf(
+                Tensor::new(vec![2, 3], vec![1., -2., 0.5, 0.3, 1.2, -0.8]),
+                false,
+            );
             let y = g.mul_elem(s, w);
             g.mean_all(y)
         });
@@ -596,14 +655,21 @@ mod tests {
 
     #[test]
     fn grad_layernorm_input() {
-        grad_check(vec![2, 4], vec![0.3, -0.1, 0.8, 1.2, -0.5, 0.2, 0.9, -1.1], |g, x| {
-            let gamma = g.leaf(Tensor::new(vec![4], vec![1.0, 0.5, 2.0, 1.5]), false);
-            let beta = g.leaf(Tensor::new(vec![4], vec![0.1, -0.1, 0.0, 0.2]), false);
-            let y = g.layernorm(x, gamma, beta, 1e-5);
-            let w = g.leaf(Tensor::new(vec![2, 4], vec![0.7, -0.2, 1.0, 0.4, -0.3, 0.8, 0.2, -0.6]), false);
-            let z = g.mul_elem(y, w);
-            g.mean_all(z)
-        });
+        grad_check(
+            vec![2, 4],
+            vec![0.3, -0.1, 0.8, 1.2, -0.5, 0.2, 0.9, -1.1],
+            |g, x| {
+                let gamma = g.leaf(Tensor::new(vec![4], vec![1.0, 0.5, 2.0, 1.5]), false);
+                let beta = g.leaf(Tensor::new(vec![4], vec![0.1, -0.1, 0.0, 0.2]), false);
+                let y = g.layernorm(x, gamma, beta, 1e-5);
+                let w = g.leaf(
+                    Tensor::new(vec![2, 4], vec![0.7, -0.2, 1.0, 0.4, -0.3, 0.8, 0.2, -0.6]),
+                    false,
+                );
+                let z = g.mul_elem(y, w);
+                g.mean_all(z)
+            },
+        );
     }
 
     #[test]
@@ -679,7 +745,10 @@ mod tests {
         let y = g.matmul(frozen, train);
         let loss = g.mean_all(y);
         g.backward(loss);
-        assert!(g.grad(frozen).is_none(), "frozen backbone must get no gradient");
+        assert!(
+            g.grad(frozen).is_none(),
+            "frozen backbone must get no gradient"
+        );
         assert!(g.grad(train).is_some());
     }
 

@@ -13,7 +13,9 @@ pub struct Initializer {
 impl Initializer {
     /// Creates an initializer from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform values in `[-bound, bound]`.

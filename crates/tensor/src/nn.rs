@@ -53,8 +53,12 @@ impl Linear {
 
     /// Forward through a registered layer: `x [n, in] -> [n, out]`.
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let w = self.w_var.expect("Linear::register must run before forward");
-        let b = self.b_var.expect("Linear::register must run before forward");
+        let w = self
+            .w_var
+            .expect("Linear::register must run before forward");
+        let b = self
+            .b_var
+            .expect("Linear::register must run before forward");
         let y = g.matmul(x, w);
         g.add_bias(y, b)
     }
@@ -107,8 +111,12 @@ impl LayerNorm {
 
     /// Forward over the last dimension.
     pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let gamma = self.g_var.expect("LayerNorm::register must run before forward");
-        let beta = self.b_var.expect("LayerNorm::register must run before forward");
+        let gamma = self
+            .g_var
+            .expect("LayerNorm::register must run before forward");
+        let beta = self
+            .b_var
+            .expect("LayerNorm::register must run before forward");
         g.layernorm(x, gamma, beta, 1e-5)
     }
 
@@ -140,7 +148,11 @@ pub struct Embedding {
 impl Embedding {
     /// Creates a normal(0, 0.02)-initialized embedding.
     pub fn new(init: &mut Initializer, vocab: usize, hidden: usize) -> Self {
-        Self { weight: init.normal(vec![vocab, hidden], 0.02), trainable: true, w_var: None }
+        Self {
+            weight: init.normal(vec![vocab, hidden], 0.02),
+            trainable: true,
+            w_var: None,
+        }
     }
 
     /// Registers the table as a leaf on `g`.
@@ -150,7 +162,9 @@ impl Embedding {
 
     /// Gathers `indices` into `[len, hidden]`.
     pub fn forward(&self, g: &mut Graph, indices: &[usize]) -> Var {
-        let w = self.w_var.expect("Embedding::register must run before forward");
+        let w = self
+            .w_var
+            .expect("Embedding::register must run before forward");
         g.embedding(w, indices)
     }
 
@@ -188,7 +202,11 @@ mod tests {
             g.backward(loss);
             lin.apply_grads(&g, |p, gr| sgd.step(p, gr));
         }
-        assert!((lin.weight.data()[0] - 2.0).abs() < 0.05, "w={}", lin.weight.data()[0]);
+        assert!(
+            (lin.weight.data()[0] - 2.0).abs() < 0.05,
+            "w={}",
+            lin.weight.data()[0]
+        );
         assert!(lin.bias.data()[0].abs() < 0.05, "b={}", lin.bias.data()[0]);
     }
 
@@ -215,7 +233,10 @@ mod tests {
         let mut ln = LayerNorm::new(4);
         let mut g = Graph::new();
         ln.register(&mut g);
-        let x = g.leaf(Tensor::new(vec![2, 4], (0..8).map(|v| v as f32).collect()), false);
+        let x = g.leaf(
+            Tensor::new(vec![2, 4], (0..8).map(|v| v as f32).collect()),
+            false,
+        );
         let y = ln.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), &[2, 4]);
     }

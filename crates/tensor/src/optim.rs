@@ -19,7 +19,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Applies one update: `p -= lr * (g + wd * p)`.
@@ -51,7 +54,13 @@ pub struct AdamW {
 impl AdamW {
     /// Common defaults (lr supplied by the caller).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        }
     }
 
     /// Applies one AdamW update, advancing the parameter's state.
@@ -106,7 +115,10 @@ mod tests {
 
     #[test]
     fn sgd_weight_decay_shrinks_params() {
-        let sgd = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let sgd = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
         let mut p = Tensor::new(vec![1], vec![1.0]);
         let g = Tensor::zeros(vec![1]);
         sgd.step(&mut p, &g);
@@ -116,7 +128,10 @@ mod tests {
     #[test]
     fn adamw_converges_on_quadratic() {
         // Minimize f(x) = (x - 3)^2; grad = 2(x - 3).
-        let adam = AdamW { weight_decay: 0.0, ..AdamW::new(0.1) };
+        let adam = AdamW {
+            weight_decay: 0.0,
+            ..AdamW::new(0.1)
+        };
         let mut p = Tensor::new(vec![1], vec![0.0]);
         let mut st = AdamState::default();
         for _ in 0..500 {
@@ -129,7 +144,10 @@ mod tests {
     #[test]
     fn adamw_first_step_has_unit_scale() {
         // With bias correction the first step is ~lr regardless of grad scale.
-        let adam = AdamW { weight_decay: 0.0, ..AdamW::new(0.1) };
+        let adam = AdamW {
+            weight_decay: 0.0,
+            ..AdamW::new(0.1)
+        };
         let mut p = Tensor::new(vec![1], vec![0.0]);
         let mut st = AdamState::default();
         let g = Tensor::new(vec![1], vec![1e-4]);

@@ -32,31 +32,48 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the product of `shape`.
     pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, data.len(), "shape {shape:?} does not match data length {}", data.len());
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
         Self { shape, data }
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Self { shape, data: vec![0.0; n] }
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a one-filled tensor.
     pub fn ones(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Self { shape, data: vec![1.0; n] }
+        Self {
+            shape,
+            data: vec![1.0; n],
+        }
     }
 
     /// Creates a tensor filled with `v`.
     pub fn full(shape: Vec<usize>, v: f32) -> Self {
         let n = shape.iter().product();
-        Self { shape, data: vec![v; n] }
+        Self {
+            shape,
+            data: vec![v; n],
+        }
     }
 
     /// Creates a rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(v: f32) -> Self {
-        Self { shape: vec![1], data: vec![v] }
+        Self {
+            shape: vec![1],
+            data: vec![v],
+        }
     }
 
     /// The tensor shape.
@@ -89,42 +106,82 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
     /// Returns a copy reshaped to `shape` (element count must match).
     pub fn reshape(&self, shape: Vec<usize>) -> Tensor {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape to {shape:?} from {:?}", self.shape);
-        Tensor { shape, data: self.data.clone() }
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape to {shape:?} from {:?}",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Element-wise `self + other`.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise `self - other`.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise `self * other`.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "mul shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// `self * c` for a scalar `c`.
     pub fn scale(&self, c: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * c).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place `self += other * c` (axpy). Used by optimizers and grad
@@ -217,7 +274,11 @@ impl Tensor {
 pub fn concat_last(a: &Tensor, b: &Tensor) -> Tensor {
     let (sa, sb) = (a.shape(), b.shape());
     assert_eq!(sa.len(), sb.len(), "concat_last rank mismatch");
-    assert_eq!(&sa[..sa.len() - 1], &sb[..sb.len() - 1], "concat_last leading dims");
+    assert_eq!(
+        &sa[..sa.len() - 1],
+        &sb[..sb.len() - 1],
+        "concat_last leading dims"
+    );
     let (na, nb) = (*sa.last().expect("rank>=1"), *sb.last().expect("rank>=1"));
     let rows = a.len() / na;
     let mut data = Vec::with_capacity(a.len() + b.len());
@@ -246,11 +307,25 @@ pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
 
 /// 2-D matrix multiply: `[m,k] x [k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape.len(), 2, "matmul lhs must be 2-D, got {:?}", a.shape);
-    assert_eq!(b.shape.len(), 2, "matmul rhs must be 2-D, got {:?}", b.shape);
+    assert_eq!(
+        a.shape.len(),
+        2,
+        "matmul lhs must be 2-D, got {:?}",
+        a.shape
+    );
+    assert_eq!(
+        b.shape.len(),
+        2,
+        "matmul rhs must be 2-D, got {:?}",
+        b.shape
+    );
     let (m, k) = (a.shape[0], a.shape[1]);
     let (k2, n) = (b.shape[0], b.shape[1]);
-    assert_eq!(k, k2, "matmul inner-dim mismatch: {:?} x {:?}", a.shape, b.shape);
+    assert_eq!(
+        k, k2,
+        "matmul inner-dim mismatch: {:?} x {:?}",
+        a.shape, b.shape
+    );
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         let arow = &a.data[i * k..(i + 1) * k];
@@ -265,7 +340,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor { shape: vec![m, n], data: out }
+    Tensor {
+        shape: vec![m, n],
+        data: out,
+    }
 }
 
 /// Batched 3-D matrix multiply: `[b,m,k] x [b,k,n] -> [b,m,n]`.
@@ -295,7 +373,10 @@ pub fn bat_matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor { shape: vec![ba, m, n], data: out }
+    Tensor {
+        shape: vec![ba, m, n],
+        data: out,
+    }
 }
 
 /// Transpose of a 2-D tensor.
@@ -308,7 +389,10 @@ pub fn transpose2d(a: &Tensor) -> Tensor {
             out[j * m + i] = a.data[i * n + j];
         }
     }
-    Tensor { shape: vec![n, m], data: out }
+    Tensor {
+        shape: vec![n, m],
+        data: out,
+    }
 }
 
 /// Swaps the last two dims of a 3-D tensor: `[b,m,n] -> [b,n,m]`.
@@ -323,7 +407,10 @@ pub fn transpose_last2(a: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor { shape: vec![b, n, m], data: out }
+    Tensor {
+        shape: vec![b, n, m],
+        data: out,
+    }
 }
 
 /// Permutes a 4-D tensor from `[a,b,c,d]` to `[a,c,b,d]` (the head
@@ -341,7 +428,10 @@ pub fn permute_0213(x: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor { shape: vec![a, c, b, d], data: out }
+    Tensor {
+        shape: vec![a, c, b, d],
+        data: out,
+    }
 }
 
 /// Numerically-stable softmax over the last dimension.
@@ -360,13 +450,19 @@ pub fn softmax_last_dim(a: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
-    Tensor { shape: a.shape.clone(), data: out }
+    Tensor {
+        shape: a.shape.clone(),
+        data: out,
+    }
 }
 
 /// Tanh-approximation GeLU, matching the GPT-2 implementation.
 pub fn gelu(a: &Tensor) -> Tensor {
     let data = a.data.iter().map(|&x| gelu_scalar(x)).collect();
-    Tensor { shape: a.shape.clone(), data }
+    Tensor {
+        shape: a.shape.clone(),
+        data,
+    }
 }
 
 pub(crate) fn gelu_scalar(x: f32) -> f32 {
@@ -385,14 +481,22 @@ pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
 /// ReLU.
 pub fn relu(a: &Tensor) -> Tensor {
     let data = a.data.iter().map(|&x| x.max(0.0)).collect();
-    Tensor { shape: a.shape.clone(), data }
+    Tensor {
+        shape: a.shape.clone(),
+        data,
+    }
 }
 
 /// Layer normalization over the last dimension with affine parameters.
 ///
 /// Returns `(output, mean, inv_std)`; the statistics are re-used by the
 /// backward pass.
-pub fn layernorm(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, Vec<f32>, Vec<f32>) {
+pub fn layernorm(
+    a: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
     let n = *a.shape.last().expect("layernorm on rank-0 tensor");
     assert_eq!(gamma.len(), n, "layernorm gamma size");
     assert_eq!(beta.len(), n, "layernorm beta size");
@@ -411,7 +515,14 @@ pub fn layernorm(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor
             out[r * n + j] = (row[j] - mean) * inv_std * gamma.data[j] + beta.data[j];
         }
     }
-    (Tensor { shape: a.shape.clone(), data: out }, means, inv_stds)
+    (
+        Tensor {
+            shape: a.shape.clone(),
+            data: out,
+        },
+        means,
+        inv_stds,
+    )
 }
 
 /// Embedding lookup: `weight[v, h]` gathered by `indices` into `[len, h]`.
@@ -423,7 +534,10 @@ pub fn embedding(weight: &Tensor, indices: &[usize]) -> Tensor {
         assert!(ix < v, "embedding index {ix} out of vocab {v}");
         data.extend_from_slice(&weight.data[ix * h..(ix + 1) * h]);
     }
-    Tensor { shape: vec![indices.len(), h], data }
+    Tensor {
+        shape: vec![indices.len(), h],
+        data,
+    }
 }
 
 /// Next-token accuracy of `[n, vocab]` logits against integer `targets`
@@ -559,7 +673,12 @@ mod tests {
         let b = Tensor::zeros(vec![4]);
         let (out, _, _) = layernorm(&a, &g, &b, 1e-5);
         let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = out.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = out
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -582,7 +701,10 @@ mod tests {
     fn cross_entropy_ignores_padding() {
         let logits = Tensor::new(vec![2, 2], vec![100., 0., 0., 0.]);
         let (loss, _) = cross_entropy(&logits, &[0, usize::MAX], usize::MAX);
-        assert!(loss.abs() < 1e-3, "only the confident row should count: {loss}");
+        assert!(
+            loss.abs() < 1e-3,
+            "only the confident row should count: {loss}"
+        );
     }
 
     #[test]

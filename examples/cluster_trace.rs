@@ -24,19 +24,18 @@ fn main() {
     let reference = reference_throughput(&backbone, &instance, 4);
     println!("reference rate (NeMo, 1 task alone): {reference:.0} tokens/s");
 
-    let shape = ClusterShape { total_gpus: 128, gpus_per_instance: 4 };
-    println!("cluster: {} instances of {} GPUs", shape.instances(), shape.gpus_per_instance);
+    let shape = ClusterShape {
+        total_gpus: 128,
+        gpus_per_instance: 4,
+    };
+    println!(
+        "cluster: {} instances of {} GPUs",
+        shape.instances(),
+        shape.gpus_per_instance
+    );
 
     for sys in [SystemKind::MuxTune, SystemKind::Nemo] {
-        let profile = calibrate(
-            sys,
-            &backbone,
-            &instance,
-            Mix::NonUniform,
-            4,
-            4,
-            reference,
-        );
+        let profile = calibrate(sys, &backbone, &instance, Mix::NonUniform, 4, 4, reference);
         let rep = replay_fcfs(&trace, shape, &profile);
         println!(
             "{:<8}: cluster throughput {:.1} (rel. units), mean JCT {:.0} min, mean queueing {:.0} min",

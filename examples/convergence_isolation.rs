@@ -44,7 +44,11 @@ fn main() {
             },
             f.loss,
             l.loss,
-            if l.loss < f.loss { "converging" } else { "NOT converging" }
+            if l.loss < f.loss {
+                "converging"
+            } else {
+                "NOT converging"
+            }
         );
     }
 
@@ -60,17 +64,31 @@ fn main() {
     let report = compare_fused_vs_separate(
         cfg,
         99,
-        || vec![ExecTask::lora(&cfg, 1, 4, 1, 0.1), ExecTask::bottleneck(&cfg, 2, 8, 2, 0.1)],
+        || {
+            vec![
+                ExecTask::lora(&cfg, 1, 4, 1, 0.1),
+                ExecTask::bottleneck(&cfg, 2, 8, 2, 0.1),
+            ]
+        },
         &per_step,
     );
-    println!("   worst parameter mean-square deviation after 8 steps: {:.3e}", report.worst_msd());
+    println!(
+        "   worst parameter mean-square deviation after 8 steps: {:.3e}",
+        report.worst_msd()
+    );
     println!("   (paper reports ~0.07-scale consistency on nondeterministic GPU kernels;");
     println!("    our CPU kernels are deterministic, so fused == separate to float noise)");
 
     println!("\n3. Failure containment: tenant 1 uses an absurd learning rate...");
     let containment = nan_containment(cfg, 6);
-    println!("   sabotaged task diverged: {}", containment.bad_task_diverged);
-    println!("   healthy tasks contaminated: {}", containment.healthy_task_contaminated);
+    println!(
+        "   sabotaged task diverged: {}",
+        containment.bad_task_diverged
+    );
+    println!(
+        "   healthy tasks contaminated: {}",
+        containment.healthy_task_contaminated
+    );
     println!("   healthy final losses: {:?}", containment.healthy_losses);
     assert!(containment.bad_task_diverged && !containment.healthy_task_contaminated);
     println!("   -> numerical failure stayed inside the failing tenant's adapters.");

@@ -37,7 +37,9 @@ fn main() {
 
     // Tenant A submits a LoRA sentiment task (SST2-like, short sequences).
     println!("event: tenant A registers task 1 (LoRA r=16, SST2)");
-    registry.register_task(PeftTask::lora(1, 16, 4, 64)).expect("register");
+    registry
+        .register_task(PeftTask::lora(1, 16, 4, 64))
+        .expect("register");
     corpora.insert(1, Corpus::generate(DatasetKind::Sst2, 16, 1).lengths);
     plan(&registry, &cluster, &corpora);
 
@@ -86,8 +88,13 @@ fn main() {
     // instance absorbs them all.
     println!("event: burst of 5 more LoRA tasks (ids 10..14)");
     for id in 10..15 {
-        registry.register_task(PeftTask::lora(id, 16, 2, 64)).expect("register");
-        corpora.insert(id, Corpus::generate(DatasetKind::Sst2, 8, id as u64).lengths);
+        registry
+            .register_task(PeftTask::lora(id, 16, 2, 64))
+            .expect("register");
+        corpora.insert(
+            id,
+            Corpus::generate(DatasetKind::Sst2, 8, id as u64).lengths,
+        );
     }
     plan(&registry, &cluster, &corpora);
     println!(

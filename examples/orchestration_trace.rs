@@ -19,8 +19,12 @@ use muxtune::prelude::*;
 fn main() {
     let backbone = ModelConfig::llama2_7b().with_layers(1);
     let mut registry = TaskRegistry::new(backbone);
-    registry.register_task(PeftTask::lora(1, 16, 8, 128)).expect("t1");
-    registry.register_task(PeftTask::lora(2, 16, 8, 128)).expect("t2");
+    registry
+        .register_task(PeftTask::lora(1, 16, 8, 128))
+        .expect("t1");
+    registry
+        .register_task(PeftTask::lora(2, 16, 8, 128))
+        .expect("t2");
     let cluster = Cluster::single_node(GpuSpec::a40(), 4, LinkSpec::nvlink_a40());
     let shape = UniformShape(TokenShape::new(8, 128));
     let devices = [0usize, 1, 2, 3];
@@ -41,7 +45,10 @@ fn main() {
         CommCtaPolicy::sequential(),
     );
     let w = tl_seq.finish_time();
-    println!("(a) NeMo-style: 1 task, sequential launch — {:.2} ms", w * 1e3);
+    println!(
+        "(a) NeMo-style: 1 task, sequential launch — {:.2} ms",
+        w * 1e3
+    );
     println!("{}", render_timeline(&tl_seq, w, 72));
     println!("{}\n", render_summary(&tl_seq, w));
 
@@ -79,11 +86,21 @@ fn main() {
                     format!("t{} {}", item.dag + 1, node.template.name),
                 )]
             } else {
-                let w = work_for(&node.template.cost, node.template.kind, shape.0, Pass::Forward);
+                let w = work_for(
+                    &node.template.cost,
+                    node.template.kind,
+                    shape.0,
+                    Pass::Forward,
+                );
                 devices
                     .iter()
                     .map(|&dev| {
-                        tl_mux.compute(dev, w, &deps, format!("t{} {}", item.dag + 1, node.template.name))
+                        tl_mux.compute(
+                            dev,
+                            w,
+                            &deps,
+                            format!("t{} {}", item.dag + 1, node.template.name),
+                        )
                     })
                     .collect()
             };
@@ -91,7 +108,10 @@ fn main() {
         }
     }
     let w2 = tl_mux.finish_time();
-    println!("(b) MuxTune: 2 tasks, interleaved + overlapped — {:.2} ms total", w2 * 1e3);
+    println!(
+        "(b) MuxTune: 2 tasks, interleaved + overlapped — {:.2} ms total",
+        w2 * 1e3
+    );
     println!("{}", render_timeline(&tl_mux, w2, 72));
     println!("{}", render_summary(&tl_mux, w2));
     println!(

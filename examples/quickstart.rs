@@ -17,8 +17,14 @@ fn main() {
 
     // 2. Tasks arrive on the fly via the register API — no model rebuild.
     //    Each task picks its own PEFT config, batch size and dataset cap.
-    for (id, (rank, micro_batch, seq)) in
-        [(16usize, 4usize, 64usize), (16, 4, 64), (32, 2, 128), (8, 8, 128)].iter().enumerate()
+    for (id, (rank, micro_batch, seq)) in [
+        (16usize, 4usize, 64usize),
+        (16, 4, 64),
+        (32, 2, 128),
+        (8, 8, 128),
+    ]
+    .iter()
+    .enumerate()
     {
         registry
             .register_task(PeftTask::lora(id as TaskId + 1, *rank, *micro_batch, *seq))
@@ -30,7 +36,11 @@ fn main() {
     let corpora: BTreeMap<TaskId, Vec<usize>> = registry
         .tasks()
         .map(|t| {
-            let kind = if t.seq_len <= 64 { DatasetKind::Sst2 } else { DatasetKind::OpenBookQa };
+            let kind = if t.seq_len <= 64 {
+                DatasetKind::Sst2
+            } else {
+                DatasetKind::OpenBookQa
+            };
             (t.id, Corpus::generate(kind, 64, t.id as u64).lengths)
         })
         .collect();
@@ -41,7 +51,11 @@ fn main() {
     let report = plan_and_run(&registry, &cluster, &corpora, &cfg).expect("runs within memory");
 
     println!("MuxTune plan:");
-    println!("  {} tasks fused into {} hTask(s)", registry.len(), report.fusion.htasks.len());
+    println!(
+        "  {} tasks fused into {} hTask(s)",
+        registry.len(),
+        report.fusion.htasks.len()
+    );
     for (i, h) in report.fusion.htasks.iter().enumerate() {
         println!(
             "    hTask {i}: tasks {:?}, {} tokens/micro-batch, unit len {}",
@@ -50,13 +64,32 @@ fn main() {
             h.unit_len
         );
     }
-    println!("  {} temporal bucket(s): {:?}", report.grouping.buckets.len(), report.grouping.buckets);
-    println!("  planning overhead: {:.1} ms", report.planning_seconds * 1e3);
+    println!(
+        "  {} temporal bucket(s): {:?}",
+        report.grouping.buckets.len(),
+        report.grouping.buckets
+    );
+    println!(
+        "  planning overhead: {:.1} ms",
+        report.planning_seconds * 1e3
+    );
     println!("Simulated run:");
-    println!("  makespan               {:.1} ms", report.metrics.makespan * 1e3);
-    println!("  throughput             {:.0} tokens/s", report.metrics.throughput);
-    println!("  effective throughput   {:.0} tokens/s", report.metrics.effective_throughput);
-    println!("  mean GPU utilization   {:.1}%", report.metrics.mean_utilization * 100.0);
+    println!(
+        "  makespan               {:.1} ms",
+        report.metrics.makespan * 1e3
+    );
+    println!(
+        "  throughput             {:.0} tokens/s",
+        report.metrics.throughput
+    );
+    println!(
+        "  effective throughput   {:.0} tokens/s",
+        report.metrics.effective_throughput
+    );
+    println!(
+        "  mean GPU utilization   {:.1}%",
+        report.metrics.mean_utilization * 100.0
+    );
     println!("  MFU                    {:.3}", report.metrics.mfu);
 
     // 5. Baseline: the same four tasks, each on its own instance, run
@@ -72,5 +105,8 @@ fn main() {
     }
     let seq_tp = seq_tokens as f64 / seq_time;
     println!("Single-task sequential baseline: {seq_tp:.0} tokens/s");
-    println!("MuxTune speedup: {:.2}x", report.metrics.throughput / seq_tp);
+    println!(
+        "MuxTune speedup: {:.2}x",
+        report.metrics.throughput / seq_tp
+    );
 }

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal, std-only micro-benchmark harness exposing the API subset the
+//! bench suite uses: `Criterion::{bench_function, benchmark_group}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: a short warm-up, then timed batches until ~0.5 s of samples
+//! (bounded iteration count), reporting mean time per iteration. No
+//! statistics beyond the mean — this is a smoke-speed harness, not a
+//! measurement lab; use it for relative before/after comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints (accepted for API parity; batches are per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+}
+
+/// Per-benchmark driver passed to the closure of `bench_function`.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut iters = 0u64;
+        let budget = Duration::from_millis(500);
+        let start = Instant::now();
+        while start.elapsed() < budget && iters < 10_000 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    /// Times `f` with fresh input from `setup` each iteration (setup time
+    /// excluded).
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        for _ in 0..3 {
+            std::hint::black_box(f(setup()));
+        }
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        let budget = Duration::from_millis(500);
+        let wall = Instant::now();
+        while wall.elapsed() < budget && iters < 10_000 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.total = timed;
+        self.iters = iters.max(1);
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let per = b.total.as_secs_f64() / b.iters as f64;
+    let (value, unit) = if per >= 1.0 {
+        (per, "s")
+    } else if per >= 1e-3 {
+        (per * 1e3, "ms")
+    } else if per >= 1e-6 {
+        (per * 1e6, "µs")
+    } else {
+        (per * 1e9, "ns")
+    };
+    println!(
+        "bench {name:<44} {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Top-level benchmark context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&name.into(), &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+}
+
+/// A named group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.into()), &b);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion;
+        quick(&mut c);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! small, std-only property-testing harness that is API-compatible with the
+//! subset of `proptest` the repo's tests use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, range / collection / sample / option / tuple
+//! strategies, `prop_map`, [`prop_oneof!`], `any::<T>()`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! * **no shrinking** — a failure reports the generated inputs verbatim;
+//! * **derandomized** — cases are generated from a fixed seed (overridable
+//!   via `MUX_PROPTEST_SEED`), so CI failures always reproduce locally.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-case failure or rejection, mirroring `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with a message.
+    Fail(String),
+    /// Case rejected by `prop_assume!` — retried, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// Generated value type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.0.is_empty(), "empty prop_oneof!");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Constant "strategy": a plain value generates itself. This mirrors
+/// proptest's `Just` under the only uses the workspace has (selection lists
+/// are expressed through `prop::sample::select`).
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Strategy generating uniformly random values of `Self`.
+    fn any_strategy() -> AnyStrategy<Self>;
+}
+
+/// Marker strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn any_strategy() -> AnyStrategy<$t> {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+    )*};
+}
+arbitrary_uniform! {
+    u8 => |r| (r.gen::<u64>() & 0xff) as u8,
+    u16 => |r| (r.gen::<u64>() & 0xffff) as u16,
+    u32 => |r| r.gen::<u32>(),
+    u64 => |r| r.gen::<u64>(),
+    usize => |r| r.gen::<u64>() as usize,
+    i8 => |r| (r.gen::<u64>() & 0xff) as i8,
+    i16 => |r| (r.gen::<u64>() & 0xffff) as i16,
+    i32 => |r| r.gen::<u32>() as i32,
+    i64 => |r| r.gen::<u64>() as i64,
+    isize => |r| r.gen::<u64>() as isize,
+    bool => |r| r.gen::<u64>() & 1 == 1,
+    f32 => |r| r.gen::<f32>(),
+    f64 => |r| r.gen::<f64>(),
+}
+
+/// Uniform strategy over all values of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::any_strategy()
+}
+
+/// The `prop::` strategy namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec`s with random length in `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `Vec` of `element` values with a length drawn from `len`
+        /// (mirrors `prop::collection::vec`).
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy {
+                element,
+                min: len.start,
+                max: len.end,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.min..self.max);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T: Clone + fmt::Debug>(Vec<T>);
+
+        /// Uniform choice from `options` (mirrors `prop::sample::select`).
+        pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "empty select list");
+            Select(options)
+        }
+
+        impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::*;
+
+        /// Strategy for `Option<T>` (`None` 25% of the time, like proptest's
+        /// default weight).
+        pub struct OptionStrategy<S>(S);
+
+        /// `Some(inner)` 75% / `None` 25% (mirrors `prop::option::of`).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_range(0..4usize) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runs one property: draws inputs from `strategy`, passes them to `body`,
+/// retries rejected cases, panics on the first failure (inputs included).
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let seed = std::env::var("MUX_PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x6d75_7874_756e_6531);
+    // Derive a per-property stream so properties are independent.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ h);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match body(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!("property {name}: too many prop_assume! rejections ({rejected})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed after {accepted} passing case(s)\n  inputs: {shown}\n  {msg}\n  (seed: set MUX_PROPTEST_SEED={seed} to reproduce)"
+                );
+            }
+        }
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va == vb, "{va:?} != {vb:?}");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va == vb, "{va:?} != {vb:?}: {}", format!($($fmt)*));
+    }};
+}
+
+/// Fails the current property case unless `a != b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va != vb, "{va:?} == {vb:?}");
+    }};
+}
+
+/// Rejects (skips and retries) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// The `#[test]` attribute test files write inside the macro body is
+/// captured by the generic attribute matcher and re-emitted verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (
+        @cfg ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            $crate::run_property(
+                stringify!($name),
+                &$config,
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)+) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in 0.5f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0u8..=255, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+
+        #[test]
+        fn select_picks_from_list(c in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&c));
+        }
+
+        #[test]
+        fn assume_retries(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_prop_map_compose(
+            v in prop_oneof![
+                (0usize..4).prop_map(|x| x * 2),
+                prop::sample::select(vec![100usize, 200]),
+            ]
+        ) {
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_inputs() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            &(0usize..10,),
+            |(_x,)| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

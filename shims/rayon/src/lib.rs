@@ -1,0 +1,123 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal, std-only replacement covering the subset the benches use:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`. The implementation fans the
+//! input out across `std::thread::scope` workers in contiguous chunks and
+//! reassembles results in order — semantically identical to rayon for pure
+//! `map`, minus work stealing.
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` (runs at `collect` time).
+    pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting collection.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across available parallelism and collects in order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(&'a T) -> C::Item + Sync,
+        C: FromParallel,
+        C::Item: Send,
+    {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let mut out: Vec<Option<C::Item>> = (0..n).map(|_| None).collect();
+        if n > 0 {
+            let chunk = n.div_ceil(workers);
+            let f = &self.f;
+            let items = self.items;
+            std::thread::scope(|scope| {
+                for (ci, slot) in out.chunks_mut(chunk).enumerate() {
+                    let start = ci * chunk;
+                    scope.spawn(move || {
+                        for (i, s) in slot.iter_mut().enumerate() {
+                            *s = Some(f(&items[start + i]));
+                        }
+                    });
+                }
+            });
+        }
+        C::from_ordered(out.into_iter().map(|v| v.expect("worker filled slot")))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`] (only `Vec` is needed here).
+pub trait FromParallel {
+    /// Element type.
+    type Item;
+    /// Builds the collection from an ordered iterator.
+    fn from_ordered(iter: impl Iterator<Item = Self::Item>) -> Self;
+}
+
+impl<T> FromParallel for Vec<T> {
+    type Item = T;
+    fn from_ordered(iter: impl Iterator<Item = T>) -> Self {
+        iter.collect()
+    }
+}
+
+/// Entry points, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Adds `.par_iter()` to slice-like containers.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: 'a;
+        /// A parallel iterator borrowing `self`'s elements.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let ys: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

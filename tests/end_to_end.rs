@@ -14,7 +14,8 @@ fn workload(n: usize) -> (TaskRegistry, BTreeMap<TaskId, Vec<usize>>) {
             1 => DatasetKind::OpenBookQa,
             _ => DatasetKind::Rte,
         };
-        reg.register_task(PeftTask::lora(i + 1, 16, 4, ds.max_len())).expect("register");
+        reg.register_task(PeftTask::lora(i + 1, 16, 4, ds.max_len()))
+            .expect("register");
         corpora.insert(i + 1, Corpus::generate(ds, 16, i as u64).lengths);
     }
     (reg, corpora)
@@ -31,7 +32,10 @@ fn full_pipeline_is_deterministic() {
     let cfg = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
     let a = plan_and_run(&reg, &cluster, &corpora, &cfg).expect("run a");
     let b = plan_and_run(&reg, &cluster, &corpora, &cfg).expect("run b");
-    assert_eq!(a.metrics.makespan, b.metrics.makespan, "simulation must be bit-reproducible");
+    assert_eq!(
+        a.metrics.makespan, b.metrics.makespan,
+        "simulation must be bit-reproducible"
+    );
     assert_eq!(a.metrics.total_tokens, b.metrics.total_tokens);
     assert_eq!(a.fusion.htasks.len(), b.fusion.htasks.len());
 }
@@ -59,7 +63,11 @@ fn effective_throughput_never_exceeds_total() {
     let cluster = a40(4);
     for sys in SystemKind::ALL {
         let rep = run_system(sys, &reg, &cluster, &corpora, 4).expect("run");
-        assert!(rep.metrics.effective_tokens <= rep.metrics.total_tokens, "{}", sys.name());
+        assert!(
+            rep.metrics.effective_tokens <= rep.metrics.total_tokens,
+            "{}",
+            sys.name()
+        );
         assert!(rep.metrics.effective_throughput <= rep.metrics.throughput + 1e-9);
     }
 }
@@ -71,7 +79,10 @@ fn peak_memory_respects_device_capacity() {
     let cfg = PlannerConfig::muxtune(HybridParallelism::pipeline(4), 4);
     let rep = plan_and_run(&reg, &cluster, &corpora, &cfg).expect("run");
     for (d, &peak) in rep.metrics.peak_mem.iter().enumerate() {
-        assert!(peak <= cluster.gpus[d].mem_capacity, "device {d} over capacity");
+        assert!(
+            peak <= cluster.gpus[d].mem_capacity,
+            "device {d} over capacity"
+        );
     }
 }
 
@@ -92,10 +103,18 @@ fn dynamic_arrival_changes_plans_without_rebuilding_backbone() {
     let before = plan_and_run(&reg, &cluster, &corpora, &cfg).expect("before");
     let backbone_before = reg.backbone().clone();
     // A new tenant arrives.
-    reg.register_task(PeftTask::lora(99, 16, 4, 128)).expect("arrival");
-    corpora.insert(99, Corpus::generate(DatasetKind::OpenBookQa, 16, 99).lengths);
+    reg.register_task(PeftTask::lora(99, 16, 4, 128))
+        .expect("arrival");
+    corpora.insert(
+        99,
+        Corpus::generate(DatasetKind::OpenBookQa, 16, 99).lengths,
+    );
     let after = plan_and_run(&reg, &cluster, &corpora, &cfg).expect("after");
-    assert_eq!(reg.backbone(), &backbone_before, "backbone untouched by arrival");
+    assert_eq!(
+        reg.backbone(),
+        &backbone_before,
+        "backbone untouched by arrival"
+    );
     assert!(after.metrics.total_tokens > before.metrics.total_tokens);
     // Departure restores the old token volume.
     reg.deregister_task(99).expect("departure");

@@ -15,10 +15,18 @@ fn train_fused(mut tasks: Vec<ExecTask>, steps: usize, seed: u64) -> (Vec<f32>, 
         .map(|i| TaskBatch::synthetic(seed + i as u64, 3, 8, cfg.vocab))
         .collect();
     let mut tr = MultiTaskTrainer::new(cfg, seed);
-    let first: Vec<f32> = tr.step_fused(&mut tasks, &batches).iter().map(|r| r.loss).collect();
+    let first: Vec<f32> = tr
+        .step_fused(&mut tasks, &batches)
+        .iter()
+        .map(|r| r.loss)
+        .collect();
     let mut last = first.clone();
     for _ in 0..steps {
-        last = tr.step_fused(&mut tasks, &batches).iter().map(|r| r.loss).collect();
+        last = tr
+            .step_fused(&mut tasks, &batches)
+            .iter()
+            .map(|r| r.loss)
+            .collect();
     }
     (first, last)
 }
@@ -35,10 +43,30 @@ fn every_peft_type_learns_on_the_shared_backbone() {
     let (first, last) = train_fused(tasks, 60, 900);
     // Higher-capacity methods must clearly converge; prefix tuning is
     // lower-capacity and only needs steady improvement.
-    assert!(last[0] < first[0] * 0.6, "LoRA: {} -> {}", first[0], last[0]);
-    assert!(last[1] < first[1] * 0.8, "Adapter-Tuning: {} -> {}", first[1], last[1]);
-    assert!(last[2] < first[2] * 0.9, "Diff-Pruning: {} -> {}", first[2], last[2]);
-    assert!(last[3] < first[3] * 0.97, "Prefix-Tuning: {} -> {}", first[3], last[3]);
+    assert!(
+        last[0] < first[0] * 0.6,
+        "LoRA: {} -> {}",
+        first[0],
+        last[0]
+    );
+    assert!(
+        last[1] < first[1] * 0.8,
+        "Adapter-Tuning: {} -> {}",
+        first[1],
+        last[1]
+    );
+    assert!(
+        last[2] < first[2] * 0.9,
+        "Diff-Pruning: {} -> {}",
+        first[2],
+        last[2]
+    );
+    assert!(
+        last[3] < first[3] * 0.97,
+        "Prefix-Tuning: {} -> {}",
+        first[3],
+        last[3]
+    );
 }
 
 #[test]
@@ -47,8 +75,9 @@ fn co_training_does_not_perturb_a_single_task() {
     // tenants: identical batches, identical trajectory (the §3.2 claim at
     // 30 steps' horizon).
     let cfg = TinyConfig::small();
-    let batches_all: Vec<TaskBatch> =
-        (0..4).map(|i| TaskBatch::synthetic(500 + i, 2, 8, cfg.vocab)).collect();
+    let batches_all: Vec<TaskBatch> = (0..4)
+        .map(|i| TaskBatch::synthetic(500 + i, 2, 8, cfg.vocab))
+        .collect();
 
     let mut solo = vec![ExecTask::lora(&cfg, 1, 4, 700, 0.15)];
     let mut tr1 = MultiTaskTrainer::new(cfg, 77);
@@ -105,7 +134,12 @@ fn adamw_drives_an_adapter_loop() {
         adam.step(&mut b, g.grad(bv).expect("gb"), &mut sb);
         losses.push(g.value(loss).item());
     }
-    assert!(losses[149] < losses[0] * 0.05, "AdamW loop: {} -> {}", losses[0], losses[149]);
+    assert!(
+        losses[149] < losses[0] * 0.05,
+        "AdamW loop: {} -> {}",
+        losses[0],
+        losses[149]
+    );
     assert!(!a.has_non_finite() && !b.has_non_finite());
 }
 
@@ -114,10 +148,13 @@ fn fused_losses_are_independent_of_task_order() {
     // Permuting the co-location order must not change any task's loss
     // (Dispatch/Aggregate are pure row routing).
     let cfg = TinyConfig::small();
-    let batches: Vec<TaskBatch> =
-        (0..3).map(|i| TaskBatch::synthetic(300 + i, 2, 8, cfg.vocab)).collect();
+    let batches: Vec<TaskBatch> = (0..3)
+        .map(|i| TaskBatch::synthetic(300 + i, 2, 8, cfg.vocab))
+        .collect();
     let mk = |ids: [u32; 3]| -> Vec<ExecTask> {
-        ids.iter().map(|&i| ExecTask::lora(&cfg, i, 4, 600 + i as u64, 0.1)).collect()
+        ids.iter()
+            .map(|&i| ExecTask::lora(&cfg, i, 4, 600 + i as u64, 0.1))
+            .collect()
     };
     let mut fwd_tasks = mk([1, 2, 3]);
     let mut rev_tasks = mk([3, 2, 1]);
@@ -127,7 +164,10 @@ fn fused_losses_are_independent_of_task_order() {
     let r_fwd = t1.step_fused(&mut fwd_tasks, &batches);
     let r_rev = t2.step_fused(&mut rev_tasks, &rev_batches);
     for (f, task_id) in r_fwd.iter().zip([1u32, 2, 3]) {
-        let r = r_rev.iter().find(|r| r.task == task_id).expect("task present");
+        let r = r_rev
+            .iter()
+            .find(|r| r.task == task_id)
+            .expect("task present");
         assert!(
             (f.loss - r.loss).abs() < 1e-5,
             "task {task_id} loss depends on co-location order: {} vs {}",

@@ -14,7 +14,8 @@ use muxtune::prelude::*;
 #[test]
 fn all_four_peft_types_plan_and_run_together() {
     let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
-    reg.register_task(PeftTask::lora(1, 16, 4, 128)).expect("lora");
+    reg.register_task(PeftTask::lora(1, 16, 4, 128))
+        .expect("lora");
     reg.register_task(PeftTask {
         id: 2,
         peft: PeftType::AdapterTuning { bottleneck: 64 },
@@ -55,8 +56,20 @@ fn service_runs_a_mixed_tenant_day() {
     let jobs: Vec<_> = vec![
         svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 4, 40_000)),
         svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Rte, 32, 2, 60_000)),
-        svc.submit(JobSpec::lora("GPT3-2.7B", DatasetKind::OpenBookQa, 8, 4, 40_000)),
-        svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 40_000)),
+        svc.submit(JobSpec::lora(
+            "GPT3-2.7B",
+            DatasetKind::OpenBookQa,
+            8,
+            4,
+            40_000,
+        )),
+        svc.submit(JobSpec::lora(
+            "LLaMA2-7B",
+            DatasetKind::OpenBookQa,
+            16,
+            4,
+            40_000,
+        )),
     ];
     // LLaMA jobs share one instance; the GPT job gets its own.
     assert_eq!(svc.instance_count(), 2);
@@ -88,7 +101,10 @@ fn energy_efficiency_favors_muxtune() {
 fn priority_policy_protects_the_high_class() {
     let trace = generate(300, 31, None);
     let prios = assign_priorities(&trace, 0.2);
-    let shape = ClusterShape { total_gpus: 64, gpus_per_instance: 4 };
+    let shape = ClusterShape {
+        total_gpus: 64,
+        gpus_per_instance: 4,
+    };
     let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]);
     let rep = replay_priority(&trace, &prios, shape, &profile, None);
     // High-priority service time == solo duration (dedicated instances).
@@ -102,17 +118,46 @@ fn priority_policy_protects_the_high_class() {
         hi.iter().sum::<f64>() / hi.len() as f64
     };
     let svc_time = rep.high.mean_jct_min - rep.high.mean_queue_min;
-    assert!((svc_time - solo).abs() / solo < 0.01, "{svc_time} vs {solo}");
+    assert!(
+        (svc_time - solo).abs() / solo < 0.01,
+        "{svc_time} vs {solo}"
+    );
 }
 
 #[test]
 fn validation_guards_every_peft_family() {
     let backbone = ModelConfig::llama2_7b();
     let bad = [
-        PeftTask { id: 1, peft: PeftType::LoRA { rank: 0 }, micro_batch: 1, seq_len: 64, lr: 1e-3 },
-        PeftTask { id: 2, peft: PeftType::AdapterTuning { bottleneck: 100_000 }, micro_batch: 1, seq_len: 64, lr: 1e-3 },
-        PeftTask { id: 3, peft: PeftType::DiffPruning { sparsity: 2.0 }, micro_batch: 1, seq_len: 64, lr: 1e-3 },
-        PeftTask { id: 4, peft: PeftType::PrefixTuning { prefix_len: 0 }, micro_batch: 1, seq_len: 64, lr: 1e-3 },
+        PeftTask {
+            id: 1,
+            peft: PeftType::LoRA { rank: 0 },
+            micro_batch: 1,
+            seq_len: 64,
+            lr: 1e-3,
+        },
+        PeftTask {
+            id: 2,
+            peft: PeftType::AdapterTuning {
+                bottleneck: 100_000,
+            },
+            micro_batch: 1,
+            seq_len: 64,
+            lr: 1e-3,
+        },
+        PeftTask {
+            id: 3,
+            peft: PeftType::DiffPruning { sparsity: 2.0 },
+            micro_batch: 1,
+            seq_len: 64,
+            lr: 1e-3,
+        },
+        PeftTask {
+            id: 4,
+            peft: PeftType::PrefixTuning { prefix_len: 0 },
+            micro_batch: 1,
+            seq_len: 64,
+            lr: 1e-3,
+        },
     ];
     for t in bad {
         assert!(validate_task(&t, &backbone).is_err(), "{:?}", t.peft);

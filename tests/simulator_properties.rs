@@ -20,9 +20,15 @@ enum ScriptOp {
 fn script_strategy(len: usize) -> impl Strategy<Value = Vec<ScriptOp>> {
     prop::collection::vec(
         prop_oneof![
-            (any::<usize>(), any::<u8>(), prop::option::of(0usize..64), prop::option::of(0usize..64))
+            (
+                any::<usize>(),
+                any::<u8>(),
+                prop::option::of(0usize..64),
+                prop::option::of(0usize..64)
+            )
                 .prop_map(|(d, f, a, b)| ScriptOp::Compute(d, f, a, b)),
-            (any::<u8>(), prop::option::of(0usize..64)).prop_map(|(f, d)| ScriptOp::AllReduce(f, d)),
+            (any::<u8>(), prop::option::of(0usize..64))
+                .prop_map(|(f, d)| ScriptOp::AllReduce(f, d)),
         ],
         1..len,
     )
