@@ -24,6 +24,9 @@ pub struct JobSpec {
     pub total_tokens: u64,
     /// Requested learning rate.
     pub lr: f32,
+    /// Optional completion-time SLO: the job should finish within this
+    /// many seconds of submission. `None` means best-effort.
+    pub slo_seconds: Option<f64>,
 }
 
 impl JobSpec {
@@ -42,7 +45,14 @@ impl JobSpec {
             micro_batch,
             total_tokens,
             lr: 1e-3,
+            slo_seconds: None,
         }
+    }
+
+    /// Attaches a completion-time SLO (seconds from submission).
+    pub fn with_slo(mut self, seconds: f64) -> Self {
+        self.slo_seconds = Some(seconds);
+        self
     }
 
     /// Converts the spec into the scheduler-facing task description.
@@ -110,6 +120,23 @@ impl Job {
     pub fn jct(&self) -> Option<f64> {
         matches!(self.state, JobState::Completed).then(|| self.finished_at - self.submitted_at)
     }
+
+    /// Whether the job violates (or is predicted to violate) its SLO.
+    ///
+    /// For completed jobs this compares the realized JCT against the SLO;
+    /// for in-flight jobs it compares elapsed time plus `eta_seconds`
+    /// (remaining-time estimate) against it. `None` when the spec carries
+    /// no SLO; rejected jobs never count as violations.
+    pub fn slo_violated(&self, now: f64, eta_seconds: Option<f64>) -> Option<bool> {
+        let slo = self.spec.slo_seconds?;
+        Some(match self.state {
+            JobState::Completed => self.finished_at - self.submitted_at > slo,
+            JobState::Rejected => false,
+            JobState::Queued | JobState::Running { .. } => {
+                now - self.submitted_at + eta_seconds.unwrap_or(0.0) > slo
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +150,27 @@ mod tests {
         assert_eq!(task.id, 7);
         assert_eq!(task.seq_len, 256);
         assert_eq!(task.micro_batch, 4);
+    }
+
+    #[test]
+    fn slo_violation_tracks_eta_and_realized_jct() {
+        let spec = JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 8, 2, 1000).with_slo(100.0);
+        let mut job = Job::new(JobId(1), spec, 0.0);
+        // Queued at t=10 with 50s of work left: predicted JCT 60s, fine.
+        assert_eq!(job.slo_violated(10.0, Some(50.0)), Some(false));
+        // Same job but 200s of work left: predicted violation.
+        assert_eq!(job.slo_violated(10.0, Some(200.0)), Some(true));
+        // Completed late: realized violation regardless of ETA.
+        job.state = JobState::Completed;
+        job.finished_at = 150.0;
+        assert_eq!(job.slo_violated(150.0, None), Some(true));
+        // No SLO on the spec -> no verdict.
+        let free = Job::new(
+            JobId(2),
+            JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 8, 2, 1000),
+            0.0,
+        );
+        assert_eq!(free.slo_violated(1e9, None), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # mux-api
 //!
 //! The fine-tuning API front end of the paper's Fig 1: tenants submit
-//! [`JobSpec`](job::JobSpec)s; the cluster scheduler dispatches each job
+//! [`JobSpec`]s; the cluster scheduler dispatches each job
 //! onto an in-flight instance with the same backbone (multiplexing-aware)
 //! or spins up a new instance; each membership change re-invokes the
 //! MuxTune planner, and job progress follows the planner's measured

@@ -12,12 +12,15 @@ use std::collections::BTreeMap;
 use mux_data::corpus::Corpus;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
 use mux_gpu_sim::timeline::Cluster;
-use mux_gpu_sim::timeline::OpKind;
+use mux_gpu_sim::timeline::{OpKind, OpRecord};
 use mux_model::config::ModelConfig;
+use mux_obs_analysis::{
+    critical_path, device_attribution, CriticalPath, DeviceAttribution, HTaskRef, StallClass,
+};
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
-use muxtune_core::planner::{plan_and_run, plan_and_run_traced, PlannerConfig};
+use muxtune_core::planner::{plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig};
 use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
@@ -84,6 +87,42 @@ struct Instance {
     /// Per-task effective token rates (tokens/sec) under the current plan.
     rates: BTreeMap<TaskId, f64>,
     next_task_id: TaskId,
+}
+
+/// The derived analyses of one traced instance re-plan (see
+/// [`FineTuneService::instance_analysis`]).
+struct InstanceAnalysis {
+    report: MuxTuneReport,
+    ops: Vec<OpRecord>,
+    attribution: Vec<DeviceAttribution>,
+    cp: CriticalPath,
+    /// Attributed stall seconds charged to each job: shared blame on an
+    /// hTask splits evenly among its member jobs.
+    stall_by_job: BTreeMap<JobId, f64>,
+}
+
+/// Resolves an engine-label hTask reference to the jobs behind it:
+/// `b{bucket}h{dag}` indexes `grouping.buckets[bucket][dag]`, which names
+/// a fused hTask whose member tasks map to jobs via the instance's
+/// task-to-job table.
+fn jobs_of_htask(inst: &Instance, report: &MuxTuneReport, href: &HTaskRef) -> Vec<JobId> {
+    let Some(bucket) = report.grouping.buckets.get(href.bucket) else {
+        return Vec::new();
+    };
+    let Some(&hidx) = bucket.get(href.htask) else {
+        return Vec::new();
+    };
+    let Some(htask) = report.fusion.htasks.get(hidx) else {
+        return Vec::new();
+    };
+    let mut jobs: Vec<JobId> = htask
+        .tasks
+        .iter()
+        .filter_map(|t| inst.job_of_task.get(t).copied())
+        .collect();
+    jobs.sort_unstable();
+    jobs.dedup();
+    jobs
 }
 
 /// The multi-tenant fine-tuning service.
@@ -334,15 +373,112 @@ impl FineTuneService {
         }
     }
 
-    /// Builds the service's observability report as JSON: the job table,
-    /// per-instance plan outcomes with **per-device utilization** and a
-    /// **stall breakdown by cause** (pipeline bubble / communication /
-    /// dependency, from a traced re-plan of the current membership), and
-    /// the `mux-obs` registry — planner phase wall times, counters, and
-    /// gauges — collected while those re-plans ran.
+    /// Traced re-plan of instance `i` plus the derived analyses: 4-class
+    /// stall attribution per device, the critical path, and attributed
+    /// stall seconds folded back onto the jobs responsible.
+    ///
+    /// Shared by [`Self::service_report`] and [`Self::snapshot_prom`].
+    /// `None` when the instance is empty or the planner cannot place the
+    /// current membership.
+    fn instance_analysis(&self, i: usize) -> Option<InstanceAnalysis> {
+        let inst = &self.instances[i];
+        if inst.registry.is_empty() {
+            return None;
+        }
+        let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
+        let (report, ops) =
+            plan_and_run_traced(&inst.registry, &self.cluster, &inst.corpora, &cfg).ok()?;
+        let num_devices = self.cluster.gpus.len();
+        for op in &ops {
+            let dur = op.end - op.start;
+            if dur <= 0.0 {
+                continue;
+            }
+            match op.kind {
+                OpKind::Compute => mux_obs::record_histogram("engine.compute_op_seconds", dur),
+                OpKind::Collective => mux_obs::record_histogram("engine.collective_seconds", dur),
+                _ => {}
+            }
+        }
+        let attribution = device_attribution(&ops, num_devices);
+        let cp = critical_path(&ops);
+        let mut stall_by_job: BTreeMap<JobId, f64> = BTreeMap::new();
+        for d in &attribution {
+            for (href, &secs) in &d.by_htask {
+                let jobs = jobs_of_htask(inst, &report, href);
+                if jobs.is_empty() {
+                    continue;
+                }
+                let share = secs / jobs.len() as f64;
+                for j in jobs {
+                    *stall_by_job.entry(j).or_insert(0.0) += share;
+                }
+            }
+        }
+        Some(InstanceAnalysis {
+            report,
+            ops,
+            attribution,
+            cp,
+            stall_by_job,
+        })
+    }
+
+    /// Current aggregate progress rate of a job, tokens/second (0 when
+    /// not running).
+    fn job_rate(&self, id: JobId) -> f64 {
+        self.instances
+            .iter()
+            .map(|inst| {
+                inst.job_of_task
+                    .iter()
+                    .filter(|&(_, &jid)| jid == id)
+                    .map(|(t, _)| inst.rates.get(t).copied().unwrap_or(0.0))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Estimated seconds until job `id` completes at its current rate.
+    /// `None` for jobs that are not accruing progress.
+    fn job_eta(&self, id: JobId) -> Option<f64> {
+        let j = &self.jobs[&id];
+        if !matches!(j.state, JobState::Running { .. }) {
+            return None;
+        }
+        let rate = self.job_rate(id);
+        (rate > 0.0).then(|| ((j.spec.total_tokens as f64 - j.progressed_tokens) / rate).max(0.0))
+    }
+
+    /// Builds the service's observability report as JSON: the job table
+    /// with **per-job throughput, stall share, ETA, and SLO verdicts**;
+    /// per-instance plan outcomes with per-device utilization, a 4-class
+    /// **stall attribution** (pipeline bubble / comm wait / dependency
+    /// wait / alignment imbalance, from a traced re-plan of the current
+    /// membership) alongside the legacy 3-way breakdown, and the
+    /// **critical path** through the instance's timeline; and the
+    /// `mux-obs` registry — planner phase wall times, counters, gauges,
+    /// and histograms — collected while those re-plans ran.
     pub fn service_report(&self) -> Value {
         let _on = mux_obs::enabled_scope();
         mux_obs::reset();
+
+        let analyses: Vec<Option<InstanceAnalysis>> = (0..self.instances.len())
+            .map(|i| self.instance_analysis(i))
+            .collect();
+
+        // Attributed stall seconds per job, normalized by the hosting
+        // instance's total device-window (a share in [0, 1]).
+        let mut stall_share_of_job: BTreeMap<JobId, f64> = BTreeMap::new();
+        for analysis in analyses.iter().flatten() {
+            let total_window: f64 = analysis.attribution.iter().map(|d| d.window).sum();
+            if total_window <= 0.0 {
+                continue;
+            }
+            for (&jid, &secs) in &analysis.stall_by_job {
+                *stall_share_of_job.entry(jid).or_insert(0.0) += secs / total_window;
+            }
+        }
 
         let jobs: Vec<Value> = self
             .jobs
@@ -364,6 +500,29 @@ impl FineTuneService {
                     Some(jct) => m.insert("jct_seconds".into(), jct.into()),
                     None => m.insert("jct_seconds".into(), Value::Null),
                 };
+                m.insert(
+                    "throughput_tokens_per_second".into(),
+                    self.job_rate(j.id).into(),
+                );
+                let eta = self.job_eta(j.id);
+                m.insert(
+                    "eta_seconds".into(),
+                    eta.map(Value::from).unwrap_or(Value::Null),
+                );
+                m.insert(
+                    "stall_share".into(),
+                    stall_share_of_job.get(&j.id).copied().unwrap_or(0.0).into(),
+                );
+                m.insert(
+                    "slo_seconds".into(),
+                    j.spec.slo_seconds.map(Value::from).unwrap_or(Value::Null),
+                );
+                m.insert(
+                    "slo_violated".into(),
+                    j.slo_violated(self.now, eta)
+                        .map(Value::from)
+                        .unwrap_or(Value::Null),
+                );
                 Value::Object(m)
             })
             .collect();
@@ -378,60 +537,86 @@ impl FineTuneService {
                 m.insert("instance".into(), i.into());
                 m.insert("backbone".into(), inst.backbone_name.as_str().into());
                 m.insert("tasks".into(), inst.registry.len().into());
-                if inst.registry.is_empty() {
+                let Some(analysis) = &analyses[i] else {
                     return Value::Object(m);
-                }
-                let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
-                if let Ok((report, ops)) =
-                    plan_and_run_traced(&inst.registry, &self.cluster, &inst.corpora, &cfg)
-                {
-                    m.insert("makespan_seconds".into(), report.metrics.makespan.into());
-                    m.insert(
-                        "effective_throughput".into(),
-                        report.metrics.effective_throughput.into(),
-                    );
-                    m.insert(
-                        "mean_utilization".into(),
-                        report.metrics.mean_utilization.into(),
-                    );
-                    // Per-device compute-lane occupancy + achieved utilization.
-                    let mut busy = vec![0.0f64; num_devices];
-                    let mut util_weighted = vec![0.0f64; num_devices];
-                    for op in &ops {
-                        if op.kind == OpKind::Compute && op.end > op.start {
-                            let d = op.devices[0];
-                            let dur = op.end - op.start;
-                            busy[d] += dur;
-                            util_weighted[d] += op.utilization * dur;
-                        }
+                };
+                let (report, ops) = (&analysis.report, &analysis.ops);
+                m.insert("makespan_seconds".into(), report.metrics.makespan.into());
+                m.insert(
+                    "effective_throughput".into(),
+                    report.metrics.effective_throughput.into(),
+                );
+                m.insert(
+                    "mean_utilization".into(),
+                    report.metrics.mean_utilization.into(),
+                );
+                // Per-device compute-lane occupancy + achieved utilization.
+                let mut busy = vec![0.0f64; num_devices];
+                let mut util_weighted = vec![0.0f64; num_devices];
+                for op in ops {
+                    if op.kind == OpKind::Compute && op.end > op.start {
+                        let d = op.devices[0];
+                        let dur = op.end - op.start;
+                        busy[d] += dur;
+                        util_weighted[d] += op.utilization * dur;
                     }
-                    let span = report.metrics.makespan.max(1e-12);
-                    let devices: Vec<Value> = (0..num_devices)
-                        .map(|d| {
-                            let mut dm = Map::new();
-                            dm.insert("device".into(), d.into());
-                            dm.insert("busy_fraction".into(), (busy[d] / span).into());
-                            dm.insert(
-                                "avg_utilization".into(),
-                                (util_weighted[d] / busy[d].max(1e-12)).into(),
-                            );
-                            Value::Object(dm)
-                        })
-                        .collect();
-                    m.insert("devices".into(), Value::Array(devices));
-                    let stalls: Vec<Value> = mux_gpu_sim::stall_breakdown(&ops, num_devices)
-                        .iter()
-                        .map(|b| {
-                            let mut sm = Map::new();
-                            sm.insert("device".into(), b.device.into());
-                            sm.insert("bubble_seconds".into(), b.bubble_seconds.into());
-                            sm.insert("comm_seconds".into(), b.comm_seconds.into());
-                            sm.insert("dependency_seconds".into(), b.dependency_seconds.into());
-                            Value::Object(sm)
-                        })
-                        .collect();
-                    m.insert("stall_breakdown".into(), Value::Array(stalls));
                 }
+                let span = report.metrics.makespan.max(1e-12);
+                let devices: Vec<Value> = (0..num_devices)
+                    .map(|d| {
+                        let mut dm = Map::new();
+                        dm.insert("device".into(), d.into());
+                        dm.insert("busy_fraction".into(), (busy[d] / span).into());
+                        dm.insert(
+                            "avg_utilization".into(),
+                            (util_weighted[d] / busy[d].max(1e-12)).into(),
+                        );
+                        Value::Object(dm)
+                    })
+                    .collect();
+                m.insert("devices".into(), Value::Array(devices));
+                let stalls: Vec<Value> = mux_gpu_sim::stall_breakdown(ops, num_devices)
+                    .iter()
+                    .map(|b| {
+                        let mut sm = Map::new();
+                        sm.insert("device".into(), b.device.into());
+                        sm.insert("bubble_seconds".into(), b.bubble_seconds.into());
+                        sm.insert("comm_seconds".into(), b.comm_seconds.into());
+                        sm.insert("dependency_seconds".into(), b.dependency_seconds.into());
+                        Value::Object(sm)
+                    })
+                    .collect();
+                m.insert("stall_breakdown".into(), Value::Array(stalls));
+                // 4-class attribution with the conservation-checked window.
+                let attribution: Vec<Value> = analysis
+                    .attribution
+                    .iter()
+                    .map(|d| {
+                        let mut am = Map::new();
+                        am.insert("device".into(), d.device.into());
+                        am.insert("window_seconds".into(), d.window.into());
+                        am.insert("busy_seconds".into(), d.busy_seconds.into());
+                        for class in StallClass::ALL {
+                            am.insert(
+                                format!("{}_seconds", class.name()),
+                                d.class_seconds(class).into(),
+                            );
+                        }
+                        Value::Object(am)
+                    })
+                    .collect();
+                m.insert("attribution".into(), Value::Array(attribution));
+                let total_window: f64 = analysis.attribution.iter().map(|d| d.window).sum();
+                let total_stall: f64 = analysis
+                    .attribution
+                    .iter()
+                    .map(DeviceAttribution::stall_seconds)
+                    .sum();
+                m.insert(
+                    "stall_share".into(),
+                    (total_stall / total_window.max(1e-12)).into(),
+                );
+                m.insert("critical_path".into(), analysis.cp.to_json(16));
                 Value::Object(m)
             })
             .collect();
@@ -452,6 +637,18 @@ impl FineTuneService {
         for (name, v) in &snap.gauges {
             gauges.insert(name.clone(), (*v).into());
         }
+        let mut histograms = Map::new();
+        for (name, h) in &snap.histograms {
+            let mut hm = Map::new();
+            hm.insert("count".into(), h.count.into());
+            hm.insert("sum".into(), h.sum.into());
+            hm.insert("min".into(), h.min.into());
+            hm.insert("max".into(), h.max.into());
+            hm.insert("p50".into(), h.quantile(0.50).into());
+            hm.insert("p95".into(), h.quantile(0.95).into());
+            hm.insert("p99".into(), h.quantile(0.99).into());
+            histograms.insert(name.clone(), Value::Object(hm));
+        }
 
         let mut root = Map::new();
         root.insert("now_seconds".into(), self.now.into());
@@ -461,8 +658,110 @@ impl FineTuneService {
         obs.insert("phases".into(), Value::Object(phases));
         obs.insert("counters".into(), Value::Object(counters));
         obs.insert("gauges".into(), Value::Object(gauges));
+        obs.insert("histograms".into(), Value::Object(histograms));
         root.insert("observability".into(), Value::Object(obs));
         Value::Object(root)
+    }
+
+    /// Renders the service's current state in Prometheus text-exposition
+    /// format: per-job progress/throughput/ETA/stall-share/SLO gauges,
+    /// per-instance makespan, utilization and per-class stall seconds,
+    /// followed by the `mux-obs` registry (planner phases, counters,
+    /// gauges, histograms) captured during the underlying re-plans.
+    pub fn snapshot_prom(&self) -> String {
+        let _on = mux_obs::enabled_scope();
+        mux_obs::reset();
+
+        let analyses: Vec<Option<InstanceAnalysis>> = (0..self.instances.len())
+            .map(|i| self.instance_analysis(i))
+            .collect();
+        let mut stall_share_of_job: BTreeMap<JobId, f64> = BTreeMap::new();
+        for analysis in analyses.iter().flatten() {
+            let total_window: f64 = analysis.attribution.iter().map(|d| d.window).sum();
+            if total_window <= 0.0 {
+                continue;
+            }
+            for (&jid, &secs) in &analysis.stall_by_job {
+                *stall_share_of_job.entry(jid).or_insert(0.0) += secs / total_window;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str("# TYPE muxtune_service_now_seconds gauge\n");
+        out.push_str(&format!("muxtune_service_now_seconds {}\n", self.now));
+
+        out.push_str("# TYPE muxtune_job_progress_tokens gauge\n");
+        out.push_str("# TYPE muxtune_job_throughput_tokens_per_second gauge\n");
+        out.push_str("# TYPE muxtune_job_eta_seconds gauge\n");
+        out.push_str("# TYPE muxtune_job_stall_share gauge\n");
+        out.push_str("# TYPE muxtune_job_slo_violated gauge\n");
+        for j in self.jobs.values() {
+            let id = j.id.0;
+            out.push_str(&format!(
+                "muxtune_job_progress_tokens{{job=\"{id}\"}} {}\n",
+                j.progressed_tokens
+            ));
+            out.push_str(&format!(
+                "muxtune_job_throughput_tokens_per_second{{job=\"{id}\"}} {}\n",
+                self.job_rate(j.id)
+            ));
+            let eta = self.job_eta(j.id);
+            if let Some(eta_s) = eta {
+                out.push_str(&format!(
+                    "muxtune_job_eta_seconds{{job=\"{id}\"}} {eta_s}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "muxtune_job_stall_share{{job=\"{id}\"}} {}\n",
+                stall_share_of_job.get(&j.id).copied().unwrap_or(0.0)
+            ));
+            if let Some(v) = j.slo_violated(self.now, eta) {
+                out.push_str(&format!(
+                    "muxtune_job_slo_violated{{job=\"{id}\"}} {}\n",
+                    v as u8
+                ));
+            }
+        }
+
+        out.push_str("# TYPE muxtune_instance_makespan_seconds gauge\n");
+        out.push_str("# TYPE muxtune_instance_mean_utilization gauge\n");
+        out.push_str("# TYPE muxtune_instance_stall_share gauge\n");
+        out.push_str("# TYPE muxtune_instance_stall_seconds gauge\n");
+        for (i, analysis) in analyses.iter().enumerate() {
+            let Some(analysis) = analysis else { continue };
+            out.push_str(&format!(
+                "muxtune_instance_makespan_seconds{{instance=\"{i}\"}} {}\n",
+                analysis.report.metrics.makespan
+            ));
+            out.push_str(&format!(
+                "muxtune_instance_mean_utilization{{instance=\"{i}\"}} {}\n",
+                analysis.report.metrics.mean_utilization
+            ));
+            let total_window: f64 = analysis.attribution.iter().map(|d| d.window).sum();
+            let total_stall: f64 = analysis
+                .attribution
+                .iter()
+                .map(DeviceAttribution::stall_seconds)
+                .sum();
+            out.push_str(&format!(
+                "muxtune_instance_stall_share{{instance=\"{i}\"}} {}\n",
+                total_stall / total_window.max(1e-12)
+            ));
+            for class in StallClass::ALL {
+                let secs: f64 = analysis
+                    .attribution
+                    .iter()
+                    .map(|d| d.class_seconds(class))
+                    .sum();
+                out.push_str(&format!(
+                    "muxtune_instance_stall_seconds{{instance=\"{i}\",class=\"{}\"}} {secs}\n",
+                    class.name()
+                ));
+            }
+        }
+
+        out.push_str(&mux_obs::snapshot_prom());
+        out
     }
 
     /// Runs until every job is completed or rejected. Returns the final
@@ -605,6 +904,108 @@ mod tests {
         assert!(phases.contains_key("engine.simulate"), "phases: {phases:?}");
         assert!(obs["counters"]["planner.candidates"].as_u64().unwrap() >= 1);
         assert!(obs["gauges"]["run.mean_utilization"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn service_report_attributes_stalls_and_tracks_slos() {
+        let mut svc = service(4);
+        let relaxed = svc.submit(spec(100_000).with_slo(1e9));
+        let tight = svc.submit(spec(100_000).with_slo(1e-3));
+        let rep = svc.service_report();
+        let inst = &rep["instances"][0];
+
+        // 4-class attribution conserves busy + stalls == window per device.
+        let attribution = inst["attribution"].as_array().expect("attribution");
+        assert_eq!(attribution.len(), 4);
+        for d in attribution {
+            let window = d["window_seconds"].as_f64().unwrap();
+            let accounted = d["busy_seconds"].as_f64().unwrap()
+                + d["pipeline_bubble_seconds"].as_f64().unwrap()
+                + d["comm_wait_seconds"].as_f64().unwrap()
+                + d["dependency_wait_seconds"].as_f64().unwrap()
+                + d["alignment_imbalance_seconds"].as_f64().unwrap();
+            assert!(
+                (accounted - window).abs() <= 1e-9 * window.max(1.0),
+                "device {}: accounted {accounted} vs window {window}",
+                d["device"]
+            );
+        }
+
+        // Critical path spans exactly the instance makespan.
+        let cp = &inst["critical_path"];
+        let makespan = inst["makespan_seconds"].as_f64().unwrap();
+        let cp_len = cp["length_seconds"].as_f64().unwrap();
+        assert!(
+            (cp_len - makespan).abs() <= 1e-9 * makespan.max(1.0),
+            "critical path {cp_len} vs makespan {makespan}"
+        );
+        assert!(cp["segments"].as_array().unwrap().len() >= 1);
+
+        // Instance stall share is a sane fraction.
+        let share = inst["stall_share"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&share), "stall share {share}");
+
+        // Per-job accounting: both jobs progress, only the tight SLO is
+        // (predicted to be) violated.
+        for j in rep["jobs"].as_array().unwrap() {
+            assert!(j["throughput_tokens_per_second"].as_f64().unwrap() > 0.0);
+            assert!(j["eta_seconds"].as_f64().unwrap() > 0.0);
+            let share = j["stall_share"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&share));
+            let id = j["id"].as_u64().unwrap();
+            let violated = j["slo_violated"].as_bool().unwrap();
+            assert_eq!(violated, id == tight.0, "job {id}");
+        }
+        assert_ne!(relaxed, tight);
+
+        // Histograms captured during the traced re-plan surface in the
+        // obs section with quantiles.
+        let hists = rep["observability"]["histograms"]
+            .as_object()
+            .expect("histograms");
+        let h = hists
+            .get("engine.compute_op_seconds")
+            .expect("compute-op histogram");
+        assert!(h["count"].as_u64().unwrap() > 0);
+        assert!(h["p99"].as_f64().unwrap() >= h["p50"].as_f64().unwrap());
+    }
+
+    #[test]
+    fn snapshot_prom_is_well_formed_exposition() {
+        let mut svc = service(4);
+        svc.submit(spec(100_000).with_slo(3600.0));
+        svc.submit(spec(100_000));
+        let text = svc.snapshot_prom();
+        assert!(text.contains("muxtune_job_progress_tokens{job=\"1\"}"));
+        assert!(text.contains("muxtune_job_throughput_tokens_per_second{job=\"2\"}"));
+        assert!(text.contains("muxtune_job_slo_violated{job=\"1\"}"));
+        // Job 2 has no SLO, so no verdict series for it.
+        assert!(!text.contains("muxtune_job_slo_violated{job=\"2\"}"));
+        assert!(text.contains("muxtune_instance_makespan_seconds{instance=\"0\"}"));
+        for class in [
+            "pipeline_bubble",
+            "comm_wait",
+            "dependency_wait",
+            "alignment_imbalance",
+        ] {
+            assert!(
+                text.contains(&format!(
+                    "muxtune_instance_stall_seconds{{instance=\"0\",class=\"{class}\"}}"
+                )),
+                "missing class {class}"
+            );
+        }
+        // The obs registry rides along (planner phases from the re-plan).
+        assert!(text.contains("muxtune_phase_seconds_total{phase=\"planner.total\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty(), "{line:?}");
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
     }
 
     #[test]

@@ -1,19 +1,34 @@
 //! Regenerates a markdown experiment report from the JSON artifacts the
-//! figure benches write to `target/experiments/`.
+//! figure benches write to `target/experiments/`, and hosts the CI
+//! perf-regression gate.
 //!
 //! Usage: run `cargo bench --workspace` first, then
-//! `cargo run -p mux-bench --bin report [output.md] [--trace-out trace.json]`.
+//! `cargo run -p mux-bench --bin report [output.md] [flags]`.
 //!
-//! `--trace-out` additionally runs the Fig-14 Testbed-A scenario with
-//! tracing on and writes its timeline as chrome://tracing JSON (open in
-//! `chrome://tracing` or Perfetto), plus a planner phase/stall summary to
-//! stdout.
+//! Flags:
+//! - `--trace-out <path>`: run the Fig-14 Testbed-A scenario with tracing
+//!   on and write its timeline as chrome://tracing JSON (open in
+//!   `chrome://tracing` or Perfetto) plus an `<path>.attribution.json`
+//!   stall-attribution/critical-path summary, with a planner phase/stall
+//!   report on stdout.
+//! - `--format prom`: instead of markdown, emit the Fig-14-small
+//!   scenario's metrics (makespan, utilization, 4-class stall seconds,
+//!   planner phases, histograms) in Prometheus text-exposition format.
+//! - `--write-baseline <json>`: run the Fig-14-small scenario and write
+//!   its headline numbers as a perf baseline with default tolerances.
+//! - `--check-baseline <json>`: run the Fig-14-small scenario and compare
+//!   against the checked-in baseline; exits non-zero on any regression
+//!   (the CI gate).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-use mux_bench::harness::fig14_trace_scenario;
+use mux_bench::harness::{
+    attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
+};
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
+use mux_obs_analysis::{check_baseline, device_attribution, PerfBaseline, StallClass};
 
 /// The experiment ids the bench suite produces, with one-line descriptions,
 /// in paper order.
@@ -94,23 +109,38 @@ fn summarize(value: &serde_json::Value, depth: usize, out: &mut String) {
     }
 }
 
-/// Runs the Fig-14 scenario traced and writes its Chrome trace to `path`.
-fn emit_trace(path: &PathBuf) {
+/// Creates `path`'s parent directory when it names one, with a readable
+/// error instead of a raw panic ("foo.md" has the empty parent, which
+/// needs no creation).
+fn ensure_parent_dir(path: &Path) -> Result<(), String> {
+    match path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        Some(parent) => fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create directory {}: {e}", parent.display())),
+        None => Ok(()),
+    }
+}
+
+/// Writes `body` to `path`, creating parent directories, with readable
+/// errors.
+fn write_file(path: &Path, body: &str) -> Result<(), String> {
+    ensure_parent_dir(path)?;
+    fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(1)
+}
+
+/// Runs the Fig-14 scenario traced and writes its Chrome trace to `path`
+/// plus the attribution summary next to it.
+fn emit_trace(path: &PathBuf) -> Result<(), String> {
     let _on = mux_obs::enabled_scope();
     mux_obs::reset();
     let (report, ops, num_devices) = fig14_trace_scenario();
     let trace = chrome_trace(&ops, num_devices);
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        if let Err(e) = fs::create_dir_all(parent) {
-            eprintln!("error: cannot create {}: {e}", parent.display());
-            std::process::exit(1);
-        }
-    }
-    let body = serde_json::to_string_pretty(&trace).expect("serialize trace");
-    if let Err(e) = fs::write(path, body) {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
-    }
+    let body = serde_json::to_string_pretty(&trace).map_err(|e| format!("serialize trace: {e}"))?;
+    write_file(path, &body)?;
     println!(
         "wrote {} ({} events, makespan {:.3}s, effective {:.0} tok/s)",
         path.display(),
@@ -118,6 +148,13 @@ fn emit_trace(path: &PathBuf) {
         report.metrics.makespan,
         report.metrics.effective_throughput,
     );
+    let attr_path = path.with_extension("attribution.json");
+    let attr = attribution_json(&ops, num_devices);
+    write_file(
+        &attr_path,
+        &serde_json::to_string_pretty(&attr).map_err(|e| format!("serialize attribution: {e}"))?,
+    )?;
+    println!("wrote {}", attr_path.display());
     for b in stall_breakdown(&ops, num_devices) {
         println!(
             "  GPU {}: stalls bubble={:.4}s comm={:.4}s dependency={:.4}s",
@@ -131,52 +168,214 @@ fn emit_trace(path: &PathBuf) {
             stat.count, stat.total_seconds
         );
     }
+    Ok(())
 }
 
-fn main() {
+/// Renders the Fig-14-small scenario's metrics as Prometheus text
+/// exposition: run headline gauges, per-device stall classes, and the
+/// `mux-obs` registry captured during the run.
+fn render_prom() -> String {
+    let _on = mux_obs::enabled_scope();
+    mux_obs::reset();
+    let (report, ops, num_devices) = fig14_small_trace_scenario();
+    for op in &ops {
+        let dur = op.end - op.start;
+        if dur > 0.0 {
+            match op.kind {
+                mux_gpu_sim::timeline::OpKind::Compute => {
+                    mux_obs::record_histogram("engine.compute_op_seconds", dur)
+                }
+                mux_gpu_sim::timeline::OpKind::Collective => {
+                    mux_obs::record_histogram("engine.collective_seconds", dur)
+                }
+                _ => {}
+            }
+        }
+    }
+    let m = measure_run(&report, &ops, num_devices);
+    let mut out = String::new();
+    out.push_str("# TYPE muxtune_run_makespan_seconds gauge\n");
+    out.push_str(&format!(
+        "muxtune_run_makespan_seconds {}\n",
+        m.makespan_seconds
+    ));
+    out.push_str("# TYPE muxtune_run_mean_utilization gauge\n");
+    out.push_str(&format!(
+        "muxtune_run_mean_utilization {}\n",
+        m.mean_utilization
+    ));
+    out.push_str("# TYPE muxtune_run_stall_share gauge\n");
+    out.push_str(&format!("muxtune_run_stall_share {}\n", m.stall_share));
+    out.push_str("# TYPE muxtune_device_stall_seconds gauge\n");
+    for d in device_attribution(&ops, num_devices) {
+        for class in StallClass::ALL {
+            out.push_str(&format!(
+                "muxtune_device_stall_seconds{{device=\"{}\",class=\"{}\"}} {}\n",
+                d.device,
+                class.name(),
+                d.class_seconds(class)
+            ));
+        }
+    }
+    out.push_str(&mux_obs::snapshot_prom());
+    out
+}
+
+fn write_baseline(path: &Path) -> Result<(), String> {
+    let (report, ops, num_devices) = fig14_small_trace_scenario();
+    let m = measure_run(&report, &ops, num_devices);
+    let base = PerfBaseline::new("fig14-small", &m);
+    let body = serde_json::to_string_pretty(&base.to_json())
+        .map_err(|e| format!("serialize baseline: {e}"))?;
+    write_file(path, &body)?;
+    println!(
+        "wrote {} (makespan {:.6}s, utilization {:.4}, stall share {:.4})",
+        path.display(),
+        m.makespan_seconds,
+        m.mean_utilization,
+        m.stall_share
+    );
+    Ok(())
+}
+
+/// The CI gate: compare a fresh Fig-14-small run against the checked-in
+/// baseline. `Ok(true)` = within tolerance, `Ok(false)` = regression.
+fn check_against_baseline(path: &Path) -> Result<bool, String> {
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&body).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    let base = PerfBaseline::from_json(&value)?;
+    let (report, ops, num_devices) = fig14_small_trace_scenario();
+    let m = measure_run(&report, &ops, num_devices);
+    println!(
+        "perf gate: scenario `{}` vs {}",
+        base.scenario,
+        path.display()
+    );
+    match check_baseline(&base, &m) {
+        Ok(lines) => {
+            for l in lines {
+                println!("  ok: {l}");
+            }
+            Ok(true)
+        }
+        Err(lines) => {
+            for l in lines {
+                eprintln!("  REGRESSION: {l}");
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     let mut out_path: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut format = String::from("md");
+    let mut baseline_check: Option<PathBuf> = None;
+    let mut baseline_write: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace-out" {
-            let Some(path) = args.next() else {
-                eprintln!("error: --trace-out requires a path");
-                std::process::exit(2);
-            };
-            trace_out = Some(PathBuf::from(path));
-        } else {
-            out_path = Some(PathBuf::from(arg));
-        }
-    }
-    if let Some(path) = &trace_out {
-        emit_trace(path);
-    }
-    let out_path = out_path.unwrap_or_else(|| dir.join("REPORT.md"));
-
-    let mut report = String::from("# MuxTune reproduction — experiment artifacts\n\n");
-    report.push_str("Generated from `target/experiments/*.json` (run `cargo bench --workspace` to refresh).\n\n");
-    let mut found = 0;
-    for (id, title) in EXPERIMENTS {
-        let path = dir.join(format!("{id}.json"));
-        report.push_str(&format!("## {title}\n\n"));
-        match fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-        {
-            Some(v) => {
-                found += 1;
-                summarize(&v, 0, &mut report);
-                report.push('\n');
+        let mut take = |flag: &str| -> Option<PathBuf> {
+            match args.next() {
+                Some(v) => Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("error: {flag} requires a value");
+                    None
+                }
             }
-            None => report.push_str("*(artifact missing — bench not run yet)*\n\n"),
+        };
+        match arg.as_str() {
+            "--trace-out" => match take("--trace-out") {
+                Some(p) => trace_out = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--check-baseline" => match take("--check-baseline") {
+                Some(p) => baseline_check = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--write-baseline" => match take("--write-baseline") {
+                Some(p) => baseline_write = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--format" => match take("--format") {
+                Some(p) => format = p.to_string_lossy().into_owned(),
+                None => return ExitCode::from(2),
+            },
+            _ => out_path = Some(PathBuf::from(arg)),
         }
     }
-    fs::create_dir_all(out_path.parent().expect("has parent")).expect("create output dir");
-    fs::write(&out_path, &report).expect("write report");
-    println!(
-        "wrote {} ({found}/{} experiments present)",
-        out_path.display(),
-        EXPERIMENTS.len()
-    );
+
+    if let Some(path) = &trace_out {
+        if let Err(e) = emit_trace(path) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &baseline_write {
+        if let Err(e) = write_baseline(path) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &baseline_check {
+        match check_against_baseline(path) {
+            Ok(true) => println!("perf gate: PASS"),
+            Ok(false) => {
+                eprintln!("perf gate: FAIL");
+                return ExitCode::from(1);
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    // Baseline-only invocations skip report generation entirely.
+    if (baseline_check.is_some() || baseline_write.is_some()) && out_path.is_none() {
+        return ExitCode::SUCCESS;
+    }
+
+    match format.as_str() {
+        "prom" => {
+            let text = render_prom();
+            match &out_path {
+                Some(path) => {
+                    if let Err(e) = write_file(path, &text) {
+                        return fail(&e);
+                    }
+                    println!("wrote {}", path.display());
+                }
+                None => print!("{text}"),
+            }
+        }
+        "md" => {
+            let out_path = out_path.unwrap_or_else(|| dir.join("REPORT.md"));
+            let mut report = String::from("# MuxTune reproduction — experiment artifacts\n\n");
+            report.push_str("Generated from `target/experiments/*.json` (run `cargo bench --workspace` to refresh).\n\n");
+            let mut found = 0;
+            for (id, title) in EXPERIMENTS {
+                let path = dir.join(format!("{id}.json"));
+                report.push_str(&format!("## {title}\n\n"));
+                match fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| serde_json::from_str(&s).ok())
+                {
+                    Some(v) => {
+                        found += 1;
+                        summarize(&v, 0, &mut report);
+                        report.push('\n');
+                    }
+                    None => report.push_str("*(artifact missing — bench not run yet)*\n\n"),
+                }
+            }
+            if let Err(e) = write_file(&out_path, &report) {
+                return fail(&e);
+            }
+            println!(
+                "wrote {} ({found}/{} experiments present)",
+                out_path.display(),
+                EXPERIMENTS.len()
+            );
+        }
+        other => return fail(&format!("unknown --format `{other}` (expected md or prom)")),
+    }
+    ExitCode::SUCCESS
 }

@@ -13,6 +13,7 @@ use mux_gpu_sim::chrome_trace::chrome_trace;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
 use mux_gpu_sim::timeline::{Cluster, OpRecord};
 use mux_model::config::ModelConfig;
+use mux_obs_analysis::{critical_path, device_attribution, PerfMeasurement, StallClass};
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
@@ -187,11 +188,57 @@ pub fn write_trace_file(
     Some(path)
 }
 
+/// Builds the stall-attribution + critical-path JSON for a finished run:
+/// per-device 4-class breakdown (with the conservation window) and the
+/// critical-path summary.
+pub fn attribution_json(ops: &[OpRecord], num_devices: usize) -> serde_json::Value {
+    let attribution = device_attribution(ops, num_devices);
+    let devices: Vec<serde_json::Value> = attribution
+        .iter()
+        .map(|d| {
+            let mut m = serde_json::Map::new();
+            m.insert("device".into(), d.device.into());
+            m.insert("window_seconds".into(), d.window.into());
+            m.insert("busy_seconds".into(), d.busy_seconds.into());
+            for class in StallClass::ALL {
+                m.insert(
+                    format!("{}_seconds", class.name()),
+                    d.class_seconds(class).into(),
+                );
+            }
+            serde_json::Value::Object(m)
+        })
+        .collect();
+    let mut root = serde_json::Map::new();
+    root.insert("devices".into(), serde_json::Value::Array(devices));
+    root.insert("critical_path".into(), critical_path(ops).to_json(32));
+    serde_json::Value::Object(root)
+}
+
+/// Headline numbers of a finished run for the perf-regression gate:
+/// makespan, mean achieved utilization, and the attributed stall share
+/// (stall seconds over total device-windows).
+pub fn measure_run(
+    report: &MuxTuneReport,
+    ops: &[OpRecord],
+    num_devices: usize,
+) -> PerfMeasurement {
+    let attribution = device_attribution(ops, num_devices);
+    let total_window: f64 = attribution.iter().map(|d| d.window).sum();
+    let total_stall: f64 = attribution.iter().map(|d| d.stall_seconds()).sum();
+    PerfMeasurement {
+        makespan_seconds: report.metrics.makespan,
+        mean_utilization: report.metrics.mean_utilization,
+        stall_share: total_stall / total_window.max(1e-12),
+    }
+}
+
 /// Profiling hook for the fig benches: when [`TRACE_DIR_ENV`] is set,
 /// re-runs the given scenario with tracing on and dumps the winning
-/// configuration's timeline as `<dir>/<id>.trace.json`. No-op (and no
-/// extra simulation work) when the variable is unset, so benches call it
-/// unconditionally on their headline scenario.
+/// configuration's timeline as `<dir>/<id>.trace.json`, plus the
+/// stall-attribution/critical-path summary as `<dir>/<id>.attribution.json`.
+/// No-op (and no extra simulation work) when the variable is unset, so
+/// benches call it unconditionally on their headline scenario.
 pub fn dump_trace(
     id: &str,
     registry: &TaskRegistry,
@@ -203,6 +250,12 @@ pub fn dump_trace(
     let (_, ops) = plan_and_run_traced(registry, cluster, corpora, cfg).ok()?;
     let path = write_trace_file(&dir, id, &ops, cluster.num_gpus())?;
     println!("  [trace] wrote {}", path.display());
+    let attr_path = dir.join(format!("{id}.attribution.json"));
+    if let Ok(body) = serde_json::to_string_pretty(&attribution_json(&ops, cluster.num_gpus())) {
+        if fs::write(&attr_path, body).is_ok() {
+            println!("  [trace] wrote {}", attr_path.display());
+        }
+    }
     Some(path)
 }
 
@@ -229,6 +282,34 @@ pub fn fig14_trace_scenario() -> (MuxTuneReport, Vec<OpRecord>, usize) {
     );
     let (report, ops) =
         plan_and_run_traced(&reg, &cluster, &corpora, &cfg).expect("fig14 scenario plans");
+    (report, ops, cluster.num_gpus())
+}
+
+/// A truncated Fig-14 scenario for CI: the same task mix and tp2 x pp2
+/// layout as [`fig14_trace_scenario`] on an 8-layer backbone, so it plans
+/// and simulates in well under a second while still exercising pipeline
+/// bubbles, tensor-parallel collectives, and inter-stage traffic. The CI
+/// perf-regression gate (`report --check-baseline`) pins this scenario's
+/// headline numbers.
+pub fn fig14_small_trace_scenario() -> (MuxTuneReport, Vec<OpRecord>, usize) {
+    let cluster = a40_cluster(4);
+    let (reg, corpora) = build_workload(
+        &ModelConfig::llama2_7b().with_layers(8),
+        Combo::Uniform(DatasetKind::OpenBookQa),
+        4,
+        4,
+        42,
+    );
+    let cfg = PlannerConfig::muxtune(
+        HybridParallelism {
+            tp: 2,
+            pp: 2,
+            dp: 1,
+        },
+        4,
+    );
+    let (report, ops) =
+        plan_and_run_traced(&reg, &cluster, &corpora, &cfg).expect("fig14-small scenario plans");
     (report, ops, cluster.num_gpus())
 }
 

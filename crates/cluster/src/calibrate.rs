@@ -1,6 +1,6 @@
 //! Profile calibration: measure per-instance aggregate throughput for
 //! 1..=k co-located tasks with the real engine, producing the
-//! [`ThroughputProfile`](crate::sim::ThroughputProfile) the cluster replay
+//! [`ThroughputProfile`] the cluster replay
 //! consumes.
 
 use std::collections::BTreeMap;

@@ -66,6 +66,29 @@ impl ClusterShape {
     }
 }
 
+/// Per-instance usage accounting over one replay: how much of the
+/// makespan each instance spent hosting work, and how densely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceUsage {
+    /// Instance index.
+    pub instance: usize,
+    /// Minutes with at least one active task.
+    pub busy_min: f64,
+    /// Task-minutes of occupancy (`∫ active-task-count dt`), so
+    /// `occupancy_task_min / busy_min` is the mean co-location depth
+    /// while busy.
+    pub occupancy_task_min: f64,
+    /// Tasks that finished on this instance.
+    pub completed: usize,
+}
+
+impl InstanceUsage {
+    /// Fraction of `makespan` this instance was hosting work.
+    pub fn busy_fraction(&self, makespan_min: f64) -> f64 {
+        self.busy_min / makespan_min.max(1e-12)
+    }
+}
+
 /// Results of one trace replay.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
@@ -80,6 +103,24 @@ pub struct ClusterReport {
     pub mean_queue_min: f64,
     /// Tasks completed.
     pub completed: usize,
+    /// Per-instance busy time / occupancy / completion accounting.
+    pub instances: Vec<InstanceUsage>,
+}
+
+impl ClusterReport {
+    /// Mean busy fraction across instances (idle-instance attribution:
+    /// `1 - mean_busy_fraction` of the pool-makespan product was spent
+    /// with no work placed).
+    pub fn mean_busy_fraction(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 0.0;
+        }
+        self.instances
+            .iter()
+            .map(|u| u.busy_fraction(self.makespan_min))
+            .sum::<f64>()
+            / self.instances.len() as f64
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -103,6 +144,14 @@ pub fn replay_fcfs(
     let mut finish = vec![f64::NAN; trace.len()];
     let mut start = vec![f64::NAN; trace.len()];
     let mut completed = 0usize;
+    let mut usage: Vec<InstanceUsage> = (0..n_inst)
+        .map(|instance| InstanceUsage {
+            instance,
+            busy_min: 0.0,
+            occupancy_task_min: 0.0,
+            completed: 0,
+        })
+        .collect();
 
     let task_rate = |k: usize, profile: &ThroughputProfile| profile.aggregate(k) / k as f64;
 
@@ -132,10 +181,12 @@ pub fn replay_fcfs(
         };
         // Advance progress on every instance.
         let dt = advance_to - now;
-        for inst in instances.iter_mut() {
+        for (ii, inst) in instances.iter_mut().enumerate() {
             if inst.is_empty() {
                 continue;
             }
+            usage[ii].busy_min += dt;
+            usage[ii].occupancy_task_min += inst.len() as f64 * dt;
             let rate = task_rate(inst.len(), profile);
             for a in inst.iter_mut() {
                 a.remaining -= rate * dt;
@@ -143,11 +194,12 @@ pub fn replay_fcfs(
         }
         now = advance_to;
         // Completions (tolerate float dust).
-        for inst in instances.iter_mut() {
+        for (ii, inst) in instances.iter_mut().enumerate() {
             inst.retain(|a| {
                 if a.remaining <= 1e-9 {
                     finish[a.idx] = now;
                     completed += 1;
+                    usage[ii].completed += 1;
                     false
                 } else {
                     true
@@ -201,6 +253,7 @@ pub fn replay_fcfs(
             .sum::<f64>()
             / n,
         completed,
+        instances: usage,
     }
 }
 
@@ -266,6 +319,60 @@ mod tests {
         let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
         assert!(rep.makespan_min > 100.0);
         assert!(rep.mean_queue_min < 1e-9, "no queueing with a huge cluster");
+    }
+
+    #[test]
+    fn instance_usage_conserves_work_and_completions() {
+        let trace = generate(200, 29, None);
+        let rep = replay_fcfs(
+            &trace,
+            shape(),
+            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]),
+        );
+        assert_eq!(rep.instances.len(), shape().instances());
+        // Completions across instances sum to the trace.
+        let total: usize = rep.instances.iter().map(|u| u.completed).sum();
+        assert_eq!(total, trace.len());
+        for u in &rep.instances {
+            assert!(
+                u.busy_min <= rep.makespan_min + 1e-9,
+                "instance {}",
+                u.instance
+            );
+            // Occupancy is at least busy time (>=1 task while busy) and at
+            // most busy * co-location capacity.
+            assert!(u.occupancy_task_min >= u.busy_min - 1e-9);
+            assert!(u.occupancy_task_min <= u.busy_min * 4.0 + 1e-9);
+            let f = u.busy_fraction(rep.makespan_min);
+            assert!((0.0..=1.0 + 1e-9).contains(&f));
+        }
+        let mean = rep.mean_busy_fraction();
+        assert!(mean > 0.0 && mean <= 1.0 + 1e-9, "mean busy {mean}");
+    }
+
+    #[test]
+    fn serialized_instance_is_busy_for_the_whole_work() {
+        // Capacity 1, one instance, simultaneous arrivals: the instance is
+        // busy for exactly the serial duration sum.
+        let mut trace = generate(4, 17, None);
+        for t in &mut trace {
+            t.arrival_min = 0.0;
+        }
+        let one = ClusterShape {
+            total_gpus: 4,
+            gpus_per_instance: 4,
+        };
+        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0));
+        let serial: f64 = trace.iter().map(|t| t.duration_min).sum();
+        let u = &rep.instances[0];
+        assert!(
+            (u.busy_min - serial).abs() <= 1e-6 * serial,
+            "busy {} vs serial {serial}",
+            u.busy_min
+        );
+        // One task at a time: occupancy equals busy time.
+        assert!((u.occupancy_task_min - u.busy_min).abs() <= 1e-6 * serial);
+        assert_eq!(u.completed, 4);
     }
 
     #[test]

@@ -124,7 +124,7 @@ fn cause_of(ops: &[OpRecord], gap_start: f64, gap_ender: usize) -> StallCause {
 /// For every idle gap on a device's compute lane: sub-intervals overlapped
 /// by a collective on that device's comm stream are attributed to
 /// [`StallCause::Comm`]; the rest take the cause of the operator that ended
-/// the gap (see [`cause_of`]'s rules in the source).
+/// the gap (see `cause_of`'s rules in the source).
 pub fn stall_events(ops: &[OpRecord], num_devices: usize) -> Vec<StallEvent> {
     let mut out = Vec::new();
     for dev in 0..num_devices {

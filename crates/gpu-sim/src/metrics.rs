@@ -1,4 +1,4 @@
-//! Metrics extracted from a finished [`Timeline`](crate::timeline::Timeline):
+//! Metrics extracted from a finished [`Timeline`] run:
 //! device/link utilization, MFU inputs, and sampled utilization traces
 //! (the paper's Figs 3d and 18).
 

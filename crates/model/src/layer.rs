@@ -17,7 +17,7 @@ pub const BACKBONE_TAG: u32 = 0;
 /// node.
 ///
 /// The same builder serves forward and backward: operator *costs* are
-/// pass-dependent (queried with [`Pass`] later), while the structure —
+/// pass-dependent (queried per pass later), while the structure —
 /// including all-reduce placement — mirrors between passes, which is what
 /// the stall analysis needs.
 pub fn build_decoder_layer(

@@ -1,0 +1,234 @@
+//! Perf-regression baselines for CI.
+//!
+//! A [`PerfBaseline`] is a checked-in JSON snapshot of a reference
+//! scenario's headline numbers — makespan, mean utilization, stall share —
+//! plus tolerances. [`check_baseline`] compares a fresh
+//! [`PerfMeasurement`] against it and reports violations; the `report`
+//! binary's `--check-baseline` flag turns those into a non-zero exit, so a
+//! scheduling change that silently costs 10% makespan fails the build
+//! instead of landing.
+//!
+//! Only regressions fail: a run that is *faster*, *better utilized*, or
+//! *less stalled* than the baseline passes (and should eventually be
+//! re-blessed via `--write-baseline` to tighten the gate).
+
+use serde_json::{json, Value};
+
+/// Checked-in reference numbers plus tolerances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Scenario identifier (informational).
+    pub scenario: String,
+    /// Reference makespan, seconds.
+    pub makespan_seconds: f64,
+    /// Reference mean achieved utilization in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Reference stall share: attributed stall time over device-windows,
+    /// in `[0, 1]`.
+    pub stall_share: f64,
+    /// Allowed relative makespan growth (e.g. 0.05 = +5%).
+    pub makespan_rel_tolerance: f64,
+    /// Allowed absolute utilization drop.
+    pub utilization_abs_tolerance: f64,
+    /// Allowed absolute stall-share growth.
+    pub stall_share_abs_tolerance: f64,
+}
+
+impl PerfBaseline {
+    /// Default tolerances: 5% makespan, 0.05 utilization, 0.05 stall share.
+    pub fn new(scenario: &str, m: &PerfMeasurement) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            makespan_seconds: m.makespan_seconds,
+            mean_utilization: m.mean_utilization,
+            stall_share: m.stall_share,
+            makespan_rel_tolerance: 0.05,
+            utilization_abs_tolerance: 0.05,
+            stall_share_abs_tolerance: 0.05,
+        }
+    }
+
+    /// Serializes to the checked-in JSON shape.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "scenario": self.scenario.clone(),
+            "makespan_seconds": self.makespan_seconds,
+            "mean_utilization": self.mean_utilization,
+            "stall_share": self.stall_share,
+            "tolerances": {
+                "makespan_rel": self.makespan_rel_tolerance,
+                "utilization_abs": self.utilization_abs_tolerance,
+                "stall_share_abs": self.stall_share_abs_tolerance,
+            },
+        })
+    }
+
+    /// Parses the checked-in JSON shape; `Err` carries a readable reason.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let f = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("baseline missing numeric field `{key}`"))
+        };
+        let tol = |key: &str, default: f64| {
+            v.get("tolerances")
+                .and_then(|t| t.get(key))
+                .and_then(Value::as_f64)
+                .unwrap_or(default)
+        };
+        Ok(Self {
+            scenario: v
+                .get("scenario")
+                .and_then(Value::as_str)
+                .unwrap_or("unnamed")
+                .to_string(),
+            makespan_seconds: f("makespan_seconds")?,
+            mean_utilization: f("mean_utilization")?,
+            stall_share: f("stall_share")?,
+            makespan_rel_tolerance: tol("makespan_rel", 0.05),
+            utilization_abs_tolerance: tol("utilization_abs", 0.05),
+            stall_share_abs_tolerance: tol("stall_share_abs", 0.05),
+        })
+    }
+}
+
+/// A fresh run's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfMeasurement {
+    /// Measured makespan, seconds.
+    pub makespan_seconds: f64,
+    /// Measured mean achieved utilization.
+    pub mean_utilization: f64,
+    /// Measured stall share (attributed stalls over device-windows).
+    pub stall_share: f64,
+}
+
+/// Compares a measurement against a baseline.
+///
+/// Returns `Ok(summary_lines)` when every metric is within tolerance, or
+/// `Err(violation_lines)` naming each regressed metric with both values
+/// and the allowed bound.
+pub fn check_baseline(
+    base: &PerfBaseline,
+    m: &PerfMeasurement,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+
+    let makespan_limit = base.makespan_seconds * (1.0 + base.makespan_rel_tolerance);
+    if m.makespan_seconds > makespan_limit {
+        bad.push(format!(
+            "makespan regressed: {:.6}s > {:.6}s (baseline {:.6}s +{:.0}%)",
+            m.makespan_seconds,
+            makespan_limit,
+            base.makespan_seconds,
+            base.makespan_rel_tolerance * 100.0,
+        ));
+    } else {
+        ok.push(format!(
+            "makespan {:.6}s within {:.6}s (baseline {:.6}s)",
+            m.makespan_seconds, makespan_limit, base.makespan_seconds,
+        ));
+    }
+
+    let util_floor = base.mean_utilization - base.utilization_abs_tolerance;
+    if m.mean_utilization < util_floor {
+        bad.push(format!(
+            "mean utilization regressed: {:.4} < {:.4} (baseline {:.4} -{:.2})",
+            m.mean_utilization, util_floor, base.mean_utilization, base.utilization_abs_tolerance,
+        ));
+    } else {
+        ok.push(format!(
+            "mean utilization {:.4} above floor {:.4} (baseline {:.4})",
+            m.mean_utilization, util_floor, base.mean_utilization,
+        ));
+    }
+
+    let stall_ceiling = base.stall_share + base.stall_share_abs_tolerance;
+    if m.stall_share > stall_ceiling {
+        bad.push(format!(
+            "stall share regressed: {:.4} > {:.4} (baseline {:.4} +{:.2})",
+            m.stall_share, stall_ceiling, base.stall_share, base.stall_share_abs_tolerance,
+        ));
+    } else {
+        ok.push(format!(
+            "stall share {:.4} below ceiling {:.4} (baseline {:.4})",
+            m.stall_share, stall_ceiling, base.stall_share,
+        ));
+    }
+
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement() -> PerfMeasurement {
+        PerfMeasurement {
+            makespan_seconds: 10.0,
+            mean_utilization: 0.6,
+            stall_share: 0.2,
+        }
+    }
+
+    #[test]
+    fn identical_measurement_passes() {
+        let base = PerfBaseline::new("t", &measurement());
+        assert!(check_baseline(&base, &measurement()).is_ok());
+    }
+
+    #[test]
+    fn ten_percent_makespan_regression_fails() {
+        let base = PerfBaseline::new("t", &measurement());
+        let mut m = measurement();
+        m.makespan_seconds *= 1.10;
+        let err = check_baseline(&base, &m).expect_err("must regress");
+        assert!(err[0].contains("makespan regressed"), "{err:?}");
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = PerfBaseline::new("t", &measurement());
+        let m = PerfMeasurement {
+            makespan_seconds: 8.0,
+            mean_utilization: 0.8,
+            stall_share: 0.05,
+        };
+        assert!(check_baseline(&base, &m).is_ok());
+    }
+
+    #[test]
+    fn utilization_and_stall_regressions_fail() {
+        let base = PerfBaseline::new("t", &measurement());
+        let m = PerfMeasurement {
+            makespan_seconds: 10.0,
+            mean_utilization: 0.5,
+            stall_share: 0.3,
+        };
+        let err = check_baseline(&base, &m).expect_err("must regress");
+        assert_eq!(err.len(), 2, "{err:?}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let base = PerfBaseline::new("fig14-small", &measurement());
+        let v = base.to_json();
+        let parsed = PerfBaseline::from_json(
+            &serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap(),
+        )
+        .expect("parses");
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn missing_field_is_a_readable_error() {
+        let v = json!({ "scenario": "x" });
+        let err = PerfBaseline::from_json(&v).expect_err("incomplete");
+        assert!(err.contains("makespan_seconds"), "{err}");
+    }
+}

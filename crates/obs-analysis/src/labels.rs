@@ -1,0 +1,127 @@
+//! Parsing hTask identity out of engine-issued operator labels.
+//!
+//! The engine labels compute cells `b{bucket} s{stage} mb{mb} {Phase}
+//! h{dag}sg{subgraph}[+h{dag}sg{subgraph}...]`, collectives `... {Phase} ar`,
+//! and join cells `cell b{bucket} ...`. The bucket index plus the per-bucket
+//! hTask (dag) index identify which hybrid task an operator worked for; the
+//! planner's `Grouping::buckets` maps that pair back to the flat hTask list
+//! and, through it, to tenant task ids.
+
+use std::fmt;
+
+/// Identity of one hTask inside a run: its template bucket plus its index
+/// (the engine's "dag") within that bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HTaskRef {
+    /// Template bucket index (`b` in labels).
+    pub bucket: usize,
+    /// hTask index within the bucket (`h` in labels).
+    pub htask: usize,
+}
+
+impl fmt::Display for HTaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}h{}", self.bucket, self.htask)
+    }
+}
+
+fn leading_number(s: &str) -> Option<(usize, usize)> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok().map(|n| (n, digits.len()))
+}
+
+/// Extracts the hTasks an engine label refers to (deduplicated, sorted).
+///
+/// Returns an empty vec for labels that carry no hTask identity (raw
+/// timeline labels, collectives, joins without member subgraphs).
+pub fn htask_refs_in_label(label: &str) -> Vec<HTaskRef> {
+    let mut bucket: Option<usize> = None;
+    let mut htasks: Vec<usize> = Vec::new();
+    for token in label.split_whitespace() {
+        if bucket.is_none() {
+            if let Some(rest) = token.strip_prefix('b') {
+                if let Some((n, used)) = leading_number(rest) {
+                    if used == rest.len() {
+                        bucket = Some(n);
+                        continue;
+                    }
+                }
+            }
+        }
+        // A fused-cell token: h0sg3 or h0sg3+h1sg4+...
+        for part in token.split('+') {
+            let Some(rest) = part.strip_prefix('h') else {
+                continue;
+            };
+            let Some((n, used)) = leading_number(rest) else {
+                continue;
+            };
+            if rest[used..].starts_with("sg") {
+                htasks.push(n);
+            }
+        }
+    }
+    let Some(bucket) = bucket else {
+        return Vec::new();
+    };
+    htasks.sort_unstable();
+    htasks.dedup();
+    htasks
+        .into_iter()
+        .map(|htask| HTaskRef { bucket, htask })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_fused_cells() {
+        assert_eq!(
+            htask_refs_in_label("b0 s1 mb2 Forward h0sg3"),
+            vec![HTaskRef {
+                bucket: 0,
+                htask: 0
+            }]
+        );
+        assert_eq!(
+            htask_refs_in_label("b2 s0 mb1 Backward h1sg4+h3sg4"),
+            vec![
+                HTaskRef {
+                    bucket: 2,
+                    htask: 1
+                },
+                HTaskRef {
+                    bucket: 2,
+                    htask: 3
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn collectives_and_raw_labels_have_no_htask() {
+        assert!(htask_refs_in_label("b0 s1 mb2 Forward ar").is_empty());
+        assert!(htask_refs_in_label("gemm").is_empty());
+        assert!(htask_refs_in_label("").is_empty());
+    }
+
+    #[test]
+    fn join_cell_labels_resolve_their_bucket() {
+        // Join labels look like "cell b0 s0 mb0 Forward" — bucket parses,
+        // but with no h-token there is nothing to attribute.
+        assert!(htask_refs_in_label("cell b0 s0 mb0 Forward").is_empty());
+    }
+
+    #[test]
+    fn dedups_repeated_htasks() {
+        assert_eq!(
+            htask_refs_in_label("b1 s0 mb0 Forward h2sg0+h2sg1").len(),
+            1
+        );
+    }
+}

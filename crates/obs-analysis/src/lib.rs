@@ -1,0 +1,33 @@
+//! # mux-obs-analysis
+//!
+//! Turns the raw telemetry of a finished run — the [`OpRecord`] list a
+//! traced engine run produces — into *explanations*:
+//!
+//! - [`critical_path()`]: the chain of operators (and the idle gaps
+//!   between them) that determines the makespan, with per-category
+//!   (compute / collective / p2p / stall) and per-hTask time breakdowns.
+//! - [`attribute_stalls`] / [`device_attribution`]: every idle interval on
+//!   every device's compute lane assigned to a cause (pipeline bubble,
+//!   communication wait, dependency wait, alignment imbalance) and to the
+//!   hTask(s) responsible, under the conservation invariant
+//!   `busy + attributed stalls == window` per device.
+//! - [`PerfBaseline`]: a checked-in makespan/utilization/stall-share
+//!   baseline with tolerances, for a CI perf-regression gate.
+//!
+//! Everything here is pure post-processing: no simulator state is needed
+//! beyond the op records, so the analyzers run on live engine output, on
+//! re-loaded traces, and inside property tests alike.
+//!
+//! [`OpRecord`]: mux_gpu_sim::timeline::OpRecord
+
+pub mod attribution;
+pub mod baseline;
+pub mod critical_path;
+mod labels;
+
+pub use attribution::{
+    attribute_stalls, device_attribution, AttributedStall, DeviceAttribution, StallClass,
+};
+pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
+pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};
+pub use labels::{htask_refs_in_label, HTaskRef};

@@ -2,7 +2,9 @@
 //!
 //! Trace-level observability for the MuxTune planner and engine: named
 //! phase **spans** and a process-wide **metrics registry** (phase wall
-//! times, counters, gauges).
+//! times, counters, gauges, and log-bucketed **histograms** with quantile
+//! snapshots). [`render_prom`] / [`snapshot_prom`] serialize the registry
+//! as Prometheus text exposition for scraping dashboards.
 //!
 //! The whole layer is gated by one global switch and is **zero-cost when
 //! disabled**: [`span`] performs a single relaxed atomic load and returns
@@ -38,6 +40,7 @@ struct Registry {
     phases: BTreeMap<String, PhaseStat>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramStat>,
 }
 
 /// Aggregate wall time of one named phase.
@@ -142,6 +145,101 @@ pub fn set_gauge(name: &str, value: f64) {
     });
 }
 
+/// One observation distribution: log₂-bucketed counts plus exact
+/// count / sum / min / max.
+///
+/// Buckets hold values in `(2^(e-1), 2^e]`; non-positive and sub-1e-12
+/// observations collapse into the smallest bucket. Quantiles are estimated
+/// from the buckets ([`HistogramStat::quantile`]) with ≤ 2x relative error
+/// — plenty for p50/p95/p99 dashboards of latencies spanning decades.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HistogramStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// `(bucket upper bound, count)`, ascending; bounds are powers of two.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Values at or below this floor share the smallest bucket.
+const HISTOGRAM_FLOOR: f64 = 1e-12;
+
+fn bucket_upper(value: f64) -> f64 {
+    let v = value.max(HISTOGRAM_FLOOR);
+    let e = v.log2().ceil();
+    // Guard the exact-power edge: ceil(log2(2^k)) can land below k by a ulp.
+    let mut upper = e.exp2();
+    if upper < v {
+        upper *= 2.0;
+    }
+    upper
+}
+
+impl HistogramStat {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let upper = bucket_upper(value);
+        match self.buckets.binary_search_by(|&(b, _)| b.total_cmp(&upper)) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (upper, 1)),
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the geometric midpoint of
+    /// the first bucket whose cumulative count reaches `q * count`,
+    /// clamped to the exact `[min, max]` range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let mid = upper / std::f64::consts::SQRT_2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Records `value` into histogram `name` (no-op when disabled).
+pub fn record_histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    });
+}
+
 /// A copy of the registry contents at one point in time.
 #[derive(Debug, Default, Clone)]
 pub struct Snapshot {
@@ -151,6 +249,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Last-write-wins gauges.
     pub gauges: BTreeMap<String, f64>,
+    /// Observation distributions.
+    pub histograms: BTreeMap<String, HistogramStat>,
 }
 
 /// Snapshots the registry (works even while disabled — it reads whatever
@@ -162,9 +262,102 @@ pub fn snapshot() -> Snapshot {
             phases: r.phases.clone(),
             counters: r.counters.clone(),
             gauges: r.gauges.clone(),
+            histograms: r.histograms.clone(),
         },
         None => Snapshot::default(),
     }
+}
+
+/// Sanitizes a registry name into a Prometheus metric-name fragment:
+/// `[a-zA-Z0-9_]`, everything else becomes `_`.
+pub fn prom_sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // prometheus floats: keep a decimal point
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a [`Snapshot`] as Prometheus text exposition (version 0.0.4).
+///
+/// Phases become `muxtune_phase_seconds_total` / `muxtune_phase_count`
+/// families labeled by phase name; counters and gauges become
+/// `muxtune_<sanitized-name>` metrics; histograms become native prom
+/// histograms (`_bucket{le=...}` cumulative series plus `_sum`/`_count`).
+pub fn render_prom(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.phases.is_empty() {
+        out.push_str("# HELP muxtune_phase_seconds_total Wall time per instrumented phase.\n");
+        out.push_str("# TYPE muxtune_phase_seconds_total counter\n");
+        for (name, stat) in &snap.phases {
+            out.push_str(&format!(
+                "muxtune_phase_seconds_total{{phase=\"{name}\"}} {}\n",
+                prom_f64(stat.total_seconds)
+            ));
+        }
+        out.push_str("# HELP muxtune_phase_count Spans recorded per instrumented phase.\n");
+        out.push_str("# TYPE muxtune_phase_count counter\n");
+        for (name, stat) in &snap.phases {
+            out.push_str(&format!(
+                "muxtune_phase_count{{phase=\"{name}\"}} {}\n",
+                stat.count
+            ));
+        }
+    }
+    for (name, v) in &snap.counters {
+        let metric = format!("muxtune_{}_total", prom_sanitize(name));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let metric = format!("muxtune_{}", prom_sanitize(name));
+        out.push_str(&format!(
+            "# TYPE {metric} gauge\n{metric} {}\n",
+            prom_f64(*v)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let metric = format!("muxtune_{}", prom_sanitize(name));
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(upper, n) in &h.buckets {
+            cumulative += n;
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                prom_f64(upper)
+            ));
+        }
+        out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{metric}_sum {}\n", prom_f64(h.sum)));
+        out.push_str(&format!("{metric}_count {}\n", h.count));
+    }
+    out
+}
+
+/// [`render_prom`] over the live registry.
+pub fn snapshot_prom() -> String {
+    render_prom(&snapshot())
 }
 
 /// Clears all collected data.
@@ -226,6 +419,107 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counters["c"], 5);
         assert_eq!(snap.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        for v in [0.5, 2.0, 8.0, 8.0] {
+            record_histogram("lat", v);
+        }
+        let snap = snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 18.5).abs() < 1e-12);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 8.0);
+        assert!((h.mean() - 4.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_right() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        // 90 fast observations around 1ms, 10 slow around 1s.
+        for i in 0..90 {
+            record_histogram("q", 1e-3 * (1.0 + (i % 7) as f64 * 0.05));
+        }
+        for _ in 0..10 {
+            record_histogram("q", 1.0);
+        }
+        let h = snapshot().histograms["q"].clone();
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < 5e-3, "p50 {p50}");
+        assert!(p99 > 0.5, "p99 {p99}");
+        assert!(h.quantile(1.0) <= h.max + 1e-12);
+        assert!(h.quantile(0.0) >= h.min - 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cover_all_observations() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        for v in [0.3, 0.6, 1.2, 100.0, 0.0, -5.0] {
+            record_histogram("b", v);
+        }
+        let h = snapshot().histograms["b"].clone();
+        let total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count, "every observation lands in a bucket");
+        for w in h.buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "ascending bucket bounds");
+        }
+        for &(upper, _) in &h.buckets {
+            let e = upper.log2();
+            assert!((e - e.round()).abs() < 1e-9, "power-of-two bound {upper}");
+        }
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        record_histogram("h", 1.0);
+        assert!(snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn prom_exposition_renders_every_family() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        record_phase("planner.total", 0.25);
+        incr_counter("planner.candidates", 3);
+        set_gauge("run.mean_utilization", 0.75);
+        record_histogram("engine.step_seconds", 0.002);
+        record_histogram("engine.step_seconds", 0.004);
+        let text = snapshot_prom();
+        assert!(text.contains("muxtune_phase_seconds_total{phase=\"planner.total\"} 0.25"));
+        assert!(text.contains("muxtune_planner_candidates_total 3"));
+        assert!(text.contains("muxtune_run_mean_utilization 0.75"));
+        assert!(text.contains("muxtune_engine_step_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("muxtune_engine_step_seconds_count 2"));
+        // Exposition hygiene: every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn prom_sanitize_produces_legal_names() {
+        assert_eq!(
+            prom_sanitize("run.mean-utilization"),
+            "run_mean_utilization"
+        );
+        assert_eq!(prom_sanitize("9lives"), "_9lives");
+        assert_eq!(prom_sanitize(""), "_");
     }
 
     #[test]

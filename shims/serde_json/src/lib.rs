@@ -94,6 +94,14 @@ impl Value {
         }
     }
 
+    /// Borrow as `bool` if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Borrow as `&str` if a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -21,7 +21,11 @@
 //! * [`core`] — hTask fusion, cost model, orchestration, the engine;
 //! * [`baselines`] — HF-PEFT, NeMo, SL-PEFT strategies;
 //! * [`cluster`] — trace generation and cluster-level replay;
-//! * [`api`] — the fine-tuning service front end (job lifecycle, dispatch).
+//! * [`api`] — the fine-tuning service front end (job lifecycle, dispatch);
+//! * [`obs`] — the observability registry (phases, counters, gauges,
+//!   histograms, Prometheus exposition);
+//! * [`obs_analysis`] — critical-path extraction, 4-class stall
+//!   attribution, and perf-regression baselines.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,8 @@ pub use mux_cluster as cluster;
 pub use mux_data as data;
 pub use mux_gpu_sim as gpu_sim;
 pub use mux_model as model;
+pub use mux_obs as obs;
+pub use mux_obs_analysis as obs_analysis;
 pub use mux_parallel as parallel;
 pub use mux_peft as peft;
 pub use mux_tensor as tensor;

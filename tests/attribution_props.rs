@@ -1,0 +1,151 @@
+//! Property-based tests of the `mux-obs-analysis` invariants over random
+//! schedules driven through the real [`Timeline`]:
+//!
+//! - **Conservation**: per device, busy compute time plus every attributed
+//!   stall interval tiles the whole window exactly —
+//!   `busy + Σ stalls == finish_time` (no unexplained idle time, no
+//!   double counting).
+//! - **Critical-path identity**: the reconstructed critical path tiles
+//!   `[0, finish_time]`, so its length equals the makespan exactly.
+
+use proptest::prelude::*;
+
+use muxtune::gpu_sim::spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work};
+use muxtune::gpu_sim::timeline::{Cluster, CollectiveKind, OpHandle, OpRecord, Timeline};
+use muxtune::obs_analysis::{critical_path, device_attribution};
+
+/// A randomized operation script covering every op kind the engine emits:
+/// compute, (blocking or overlapped) collectives, p2p copies, and joins.
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    /// Compute on device (index mod n), GFLOPs scale, up to two deps.
+    Compute(usize, u8, Option<usize>, Option<usize>),
+    /// All-reduce over all devices; `bool` = blocking (occupies compute).
+    AllReduce(u8, Option<usize>, bool),
+    /// P2p copy src -> dst (mod n), one optional dep.
+    P2p(usize, u8, Option<usize>),
+    /// Zero-duration join of up to two earlier ops.
+    Join(Option<usize>, Option<usize>),
+}
+
+fn script_strategy(len: usize) -> impl Strategy<Value = Vec<ScriptOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (
+                any::<usize>(),
+                any::<u8>(),
+                prop::option::of(0usize..64),
+                prop::option::of(0usize..64)
+            )
+                .prop_map(|(d, f, a, b)| ScriptOp::Compute(d, f, a, b)),
+            (any::<u8>(), prop::option::of(0usize..64), any::<bool>())
+                .prop_map(|(f, d, blk)| ScriptOp::AllReduce(f, d, blk)),
+            (any::<usize>(), any::<u8>(), prop::option::of(0usize..64))
+                .prop_map(|(s, f, d)| ScriptOp::P2p(s, f, d)),
+            (prop::option::of(0usize..64), prop::option::of(0usize..64))
+                .prop_map(|(a, b)| ScriptOp::Join(a, b)),
+        ],
+        1..len,
+    )
+}
+
+fn run_script(script: &[ScriptOp], devices: usize) -> (Vec<OpRecord>, f64) {
+    let cluster = Cluster::single_node(GpuSpec::a40(), devices, LinkSpec::nvlink_a40());
+    let mut tl = Timeline::new(&cluster);
+    let mut handles: Vec<OpHandle> = Vec::new();
+    let group: Vec<usize> = (0..devices).collect();
+    for op in script {
+        let pick = |i: &Option<usize>, handles: &[OpHandle]| -> Vec<OpHandle> {
+            i.and_then(|x| handles.get(x % handles.len().max(1)).copied())
+                .into_iter()
+                .collect()
+        };
+        let h = match op {
+            ScriptOp::Compute(d, f, a, b) => {
+                let mut deps = pick(a, &handles);
+                deps.extend(pick(b, &handles));
+                tl.compute(
+                    d % devices,
+                    Work::tensor((*f as f64 + 1.0) * 1e8, 1e5),
+                    &deps,
+                    "c",
+                )
+            }
+            ScriptOp::AllReduce(f, d, blocking) => {
+                let deps = pick(d, &handles);
+                tl.collective(
+                    &group,
+                    CollectiveKind::AllReduce,
+                    (*f as f64 + 1.0) * 1e5,
+                    &deps,
+                    CommCtaPolicy::for_link(&LinkSpec::nvlink_a40(), false),
+                    *blocking,
+                    "ar",
+                )
+            }
+            ScriptOp::P2p(s, f, d) => {
+                let src = s % devices;
+                let dst = (s + 1) % devices;
+                tl.p2p(src, dst, (*f as f64 + 1.0) * 1e5, &pick(d, &handles), "p2p")
+            }
+            ScriptOp::Join(a, b) => {
+                let mut deps = pick(a, &handles);
+                deps.extend(pick(b, &handles));
+                tl.join(&deps, "join")
+            }
+        };
+        handles.push(h);
+    }
+    (tl.ops().to_vec(), tl.finish_time())
+}
+
+const DEVICES: usize = 3;
+const REL_TOL: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `busy + Σ attributed stalls == window` on every device, exactly.
+    #[test]
+    fn attribution_conserves_the_window(script in script_strategy(48)) {
+        let (ops, window) = run_script(&script, DEVICES);
+        for d in device_attribution(&ops, DEVICES) {
+            let accounted = d.accounted_seconds();
+            prop_assert!(
+                (accounted - window).abs() <= REL_TOL * window.max(1.0),
+                "device {}: busy {} + stalls {} = {} vs window {}",
+                d.device, d.busy_seconds, d.stall_seconds(), accounted, window
+            );
+            prop_assert!((d.window - window).abs() <= REL_TOL * window.max(1.0));
+            // No negative components.
+            prop_assert!(d.busy_seconds >= 0.0);
+            prop_assert!(d.bubble_seconds >= 0.0);
+            prop_assert!(d.comm_seconds >= 0.0);
+            prop_assert!(d.dependency_seconds >= 0.0);
+            prop_assert!(d.alignment_seconds >= 0.0);
+        }
+    }
+
+    /// The critical path tiles `[0, finish_time]`: contiguous segments,
+    /// total length equal to the makespan.
+    #[test]
+    fn critical_path_length_is_the_makespan(script in script_strategy(48)) {
+        let (ops, makespan) = run_script(&script, DEVICES);
+        let cp = critical_path(&ops);
+        prop_assert!(
+            (cp.length() - makespan).abs() <= REL_TOL * makespan.max(1.0),
+            "critical path {} vs makespan {}", cp.length(), makespan
+        );
+        // Segments are contiguous from 0 to the makespan.
+        let mut cursor = 0.0;
+        for s in &cp.segments {
+            prop_assert!(
+                (s.start - cursor).abs() <= REL_TOL * makespan.max(1.0),
+                "gap before segment at {} (cursor {cursor})", s.start
+            );
+            prop_assert!(s.end >= s.start - REL_TOL);
+            cursor = s.end;
+        }
+        prop_assert!((cursor - makespan).abs() <= REL_TOL * makespan.max(1.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-schema regression test for `FineTuneService::service_report()`:
+//! pins the *key set* of the report (every object key path, with array
+//! elements collapsed to `[]`), not the values — so metric drift doesn't
+//! fail the test, but silently dropping or renaming a field the dashboards
+//! depend on does.
+//!
+//! Regenerate the golden after an *intentional* schema change with:
+//! `MUX_BLESS=1 cargo test --test service_report_schema`
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use muxtune::data::corpus::DatasetKind;
+use muxtune::prelude::*;
+use serde_json::Value;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/service_report.schema.json")
+}
+
+/// A small deterministic service: two same-backbone LoRA jobs (one with an
+/// SLO) sharing a 4-GPU instance on a truncated backbone.
+fn report() -> Value {
+    let mut cfg = ServiceConfig::a40_pool(4);
+    cfg.backbone_layers = Some(8);
+    let mut svc = FineTuneService::new(cfg);
+    svc.submit(
+        JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 100_000).with_slo(3600.0),
+    );
+    svc.submit(JobSpec::lora(
+        "LLaMA2-7B",
+        DatasetKind::OpenBookQa,
+        16,
+        4,
+        100_000,
+    ));
+    svc.service_report()
+}
+
+/// Collects every key path in `v`. Array elements collapse to `[]` and
+/// contribute the union of their members' paths, so per-run cardinality
+/// (job counts, device counts, segment counts) never shows up in the
+/// schema.
+fn key_paths(v: &Value, prefix: &str, out: &mut BTreeSet<String>) {
+    match v {
+        Value::Object(map) => {
+            for (k, child) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(path.clone());
+                key_paths(child, &path, out);
+            }
+        }
+        Value::Array(items) => {
+            let path = format!("{prefix}.[]");
+            out.insert(path.clone());
+            for item in items {
+                key_paths(item, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn service_report_schema_matches_golden() {
+    let rep = report();
+    let mut paths = BTreeSet::new();
+    key_paths(&rep, "", &mut paths);
+    let current: Vec<Value> = paths.iter().map(|p| Value::from(p.as_str())).collect();
+    let body = serde_json::to_string_pretty(&Value::Array(current.clone())).expect("serialize");
+
+    let path = golden_path();
+    if std::env::var_os("MUX_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, body).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let golden: Value = serde_json::from_str(&fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with MUX_BLESS=1 to create it",
+            path.display()
+        )
+    }))
+    .expect("golden parses");
+    let golden_paths: BTreeSet<String> = golden
+        .as_array()
+        .expect("golden is an array of key paths")
+        .iter()
+        .map(|p| p.as_str().expect("path is a string").to_string())
+        .collect();
+
+    let missing: Vec<&String> = golden_paths.difference(&paths).collect();
+    let added: Vec<&String> = paths.difference(&golden_paths).collect();
+    assert!(
+        missing.is_empty() && added.is_empty(),
+        "service_report schema drifted (MUX_BLESS=1 to accept an intentional change)\n\
+         missing keys: {missing:?}\nnew keys: {added:?}"
+    );
+}
