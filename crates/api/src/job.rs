@@ -27,6 +27,12 @@ pub struct JobSpec {
     /// Optional completion-time SLO: the job should finish within this
     /// many seconds of submission. `None` means best-effort.
     pub slo_seconds: Option<f64>,
+    /// Optional tenant-supplied corpus sequence lengths. When absent the
+    /// service synthesizes a corpus from `dataset`. Lengths above the
+    /// dataset's sequence cap are **truncated to the cap at ingestion**
+    /// (they would otherwise be unpackable); zero-length rows are dropped.
+    /// A corpus that is empty after that filtering rejects the job.
+    pub sequence_lengths: Option<Vec<usize>>,
 }
 
 impl JobSpec {
@@ -46,7 +52,16 @@ impl JobSpec {
             total_tokens,
             lr: 1e-3,
             slo_seconds: None,
+            sequence_lengths: None,
         }
+    }
+
+    /// Attaches an explicit corpus (sequence lengths). See
+    /// [`JobSpec::sequence_lengths`] for the ingestion-time truncation
+    /// contract.
+    pub fn with_sequence_lengths(mut self, lens: Vec<usize>) -> Self {
+        self.sequence_lengths = Some(lens);
+        self
     }
 
     /// Attaches a completion-time SLO (seconds from submission).
@@ -100,6 +115,9 @@ pub struct Job {
     pub finished_at: f64,
     /// Effective tokens processed so far.
     pub progressed_tokens: f64,
+    /// Why the job was rejected, when [`JobState::Rejected`]. `None` for
+    /// every other state.
+    pub reject_reason: Option<String>,
 }
 
 impl Job {
@@ -113,6 +131,7 @@ impl Job {
             started_at: f64::NAN,
             finished_at: f64::NAN,
             progressed_tokens: 0.0,
+            reject_reason: None,
         }
     }
 

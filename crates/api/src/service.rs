@@ -7,7 +7,8 @@
 //! reflect the current co-location — arrival and departure events never
 //! rebuild the backbone (the registry's dynamic attachment).
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use mux_data::corpus::Corpus;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
@@ -87,6 +88,41 @@ struct Instance {
     /// Per-task effective token rates (tokens/sec) under the current plan.
     rates: BTreeMap<TaskId, f64>,
     next_task_id: TaskId,
+    /// Simulated time the current `rates` took effect. Progress accrues
+    /// lazily: a running job's live total is its banked
+    /// `progressed_tokens` plus `rate × (now − planned_at)`; the bank is
+    /// materialized whenever membership (and therefore rates) changes.
+    planned_at: f64,
+    /// Monotonic replan counter; completion events recorded under an
+    /// older epoch are stale and are discarded lazily off the heap.
+    epoch: u64,
+}
+
+/// A scheduled "some job finishes" event: under the rates of `epoch`, the
+/// job behind `task` on `instance` completes at absolute time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompletionEvent {
+    at: f64,
+    instance: usize,
+    task: TaskId,
+    epoch: u64,
+}
+
+impl Eq for CompletionEvent {}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.instance.cmp(&other.instance))
+            .then_with(|| self.task.cmp(&other.task))
+    }
 }
 
 /// The derived analyses of one traced instance re-plan (see
@@ -130,8 +166,15 @@ pub struct FineTuneService {
     cfg: ServiceConfig,
     cluster: Cluster,
     instances: Vec<Instance>,
+    /// Instance indices hosting each backbone — bounds the dispatch scan
+    /// to same-backbone candidates instead of the whole pool.
+    by_backbone: BTreeMap<String, Vec<usize>>,
     jobs: BTreeMap<JobId, Job>,
-    queue: Vec<JobId>,
+    queue: VecDeque<JobId>,
+    /// Min-heap of pending completion events (lazily invalidated by each
+    /// instance's epoch): `advance` jumps straight to the next event
+    /// instead of re-scanning every running task per tick.
+    completions: BinaryHeap<Reverse<CompletionEvent>>,
     next_job: u64,
     now: f64,
 }
@@ -145,8 +188,10 @@ impl FineTuneService {
             cfg,
             cluster,
             instances: Vec::new(),
+            by_backbone: BTreeMap::new(),
             jobs: BTreeMap::new(),
-            queue: Vec::new(),
+            queue: VecDeque::new(),
+            completions: BinaryHeap::new(),
             next_job: 1,
             now: 0.0,
         }
@@ -180,14 +225,43 @@ impl FineTuneService {
         Some(cfg)
     }
 
-    /// Submits a job; returns its handle. Dispatch is attempted
-    /// immediately; otherwise the job queues FCFS.
+    /// Admission checks on untrusted tenant input. Anything that would
+    /// later make planning or progress accounting degenerate is refused
+    /// here, with a reason, instead of panicking deep in the planner.
+    fn validate(spec: &JobSpec) -> Result<(), String> {
+        if spec.micro_batch == 0 {
+            return Err("micro_batch must be at least 1".into());
+        }
+        if spec.total_tokens == 0 {
+            return Err("total_tokens must be at least 1".into());
+        }
+        if let Some(lens) = &spec.sequence_lengths {
+            if !lens.iter().any(|&l| l > 0) {
+                return Err("sequence_lengths holds no non-empty sequences".into());
+            }
+        }
+        if !spec.lr.is_finite() {
+            return Err("learning rate must be finite".into());
+        }
+        Ok(())
+    }
+
+    /// Submits a job; returns its handle. Invalid specs are rejected
+    /// immediately (see [`Job::reject_reason`]); otherwise dispatch is
+    /// attempted at once and the job queues FCFS when no instance fits.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
-        let job = Job::new(id, spec, self.now);
+        let verdict = Self::validate(&spec);
+        let mut job = Job::new(id, spec, self.now);
+        if let Err(reason) = verdict {
+            job.state = JobState::Rejected;
+            job.reject_reason = Some(reason);
+            self.jobs.insert(id, job);
+            return id;
+        }
         self.jobs.insert(id, job);
-        self.queue.push(id);
+        self.queue.push_back(id);
         self.dispatch_queued();
         id
     }
@@ -196,27 +270,57 @@ impl FineTuneService {
         self.cfg.gpus_total / self.cfg.gpus_per_instance - self.instances.len()
     }
 
-    fn dispatch_queued(&mut self) {
-        let mut qi = 0;
-        while qi < self.queue.len() {
-            let id = self.queue[qi];
-            let spec = self.jobs[&id].spec.clone();
-            let target = match self.cfg.dispatch {
-                DispatchPolicy::SameBackboneFirst => self
-                    .instances
+    fn reject(&mut self, id: JobId, reason: String) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.state = JobState::Rejected;
+            job.reject_reason = Some(reason);
+        }
+    }
+
+    /// The tenant's corpus for one dispatched job: either synthesized from
+    /// the declared dataset or the tenant's own lengths, truncated to the
+    /// dataset cap at ingestion (see [`JobSpec::sequence_lengths`]).
+    fn ingest_corpus(&self, spec: &JobSpec, id: JobId) -> Vec<usize> {
+        match &spec.sequence_lengths {
+            Some(custom) => {
+                let cap = spec.dataset.max_len();
+                custom
                     .iter()
-                    .enumerate()
-                    .filter(|(_, inst)| {
-                        inst.backbone_name == spec.backbone
-                            && inst.registry.len() < self.cfg.max_tasks_per_instance
-                    })
-                    .min_by_key(|(_, inst)| inst.registry.len())
-                    .map(|(i, _)| i),
+                    .map(|&l| l.min(cap))
+                    .filter(|&l| l > 0)
+                    .collect()
+            }
+            // The tenant's global batch: micro_batch x C sequences.
+            None => {
+                let n = spec.micro_batch * self.cfg.micro_batches;
+                Corpus::generate(spec.dataset, n, id.0 ^ 0xa5a5).lengths
+            }
+        }
+    }
+
+    fn dispatch_queued(&mut self) {
+        for _ in 0..self.queue.len() {
+            let Some(id) = self.queue.pop_front() else {
+                break;
+            };
+            let spec = self.jobs[&id].spec.clone();
+            let same_backbone = self
+                .by_backbone
+                .get(&spec.backbone)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let target = match self.cfg.dispatch {
+                DispatchPolicy::SameBackboneFirst => same_backbone
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.instances[i].registry.len() < self.cfg.max_tasks_per_instance)
+                    .min_by_key(|&i| self.instances[i].registry.len()),
                 // Dedicated instances: reuse an *empty* same-backbone
                 // instance (a completed job releases its slot), never share.
-                DispatchPolicy::DedicatedInstances => self.instances.iter().position(|inst| {
-                    inst.backbone_name == spec.backbone && inst.registry.is_empty()
-                }),
+                DispatchPolicy::DedicatedInstances => same_backbone
+                    .iter()
+                    .copied()
+                    .find(|&i| self.instances[i].registry.is_empty()),
             };
             let target = match target {
                 Some(i) => Some(i),
@@ -230,14 +334,19 @@ impl FineTuneService {
                                 job_of_task: BTreeMap::new(),
                                 rates: BTreeMap::new(),
                                 next_task_id: 1,
+                                planned_at: self.now,
+                                epoch: 0,
                             });
-                            Some(self.instances.len() - 1)
+                            let i = self.instances.len() - 1;
+                            self.by_backbone
+                                .entry(spec.backbone.clone())
+                                .or_default()
+                                .push(i);
+                            Some(i)
                         }
                         None => {
                             // Unknown backbone: reject at the API boundary.
-                            let job = self.jobs.get_mut(&id).expect("job exists");
-                            job.state = JobState::Rejected;
-                            self.queue.remove(qi);
+                            self.reject(id, format!("unknown backbone {:?}", spec.backbone));
                             continue;
                         }
                     }
@@ -246,131 +355,202 @@ impl FineTuneService {
             };
             match target {
                 Some(i) => {
+                    let lens = self.ingest_corpus(&spec, id);
                     let inst = &mut self.instances[i];
                     let tid = inst.next_task_id;
                     inst.next_task_id += 1;
-                    inst.registry
-                        .register_task(spec.to_task(tid))
-                        .expect("fresh task id");
-                    // The tenant's global batch: micro_batch x C sequences.
-                    let n = spec.micro_batch * self.cfg.micro_batches;
-                    inst.corpora.insert(
-                        tid,
-                        Corpus::generate(spec.dataset, n, id.0 ^ 0xa5a5).lengths,
-                    );
+                    if let Err(e) = inst.registry.register_task(spec.to_task(tid)) {
+                        self.reject(id, format!("task validation failed: {e}"));
+                        continue;
+                    }
+                    inst.corpora.insert(tid, lens);
                     inst.job_of_task.insert(tid, id);
-                    let job = self.jobs.get_mut(&id).expect("job exists");
-                    job.state = JobState::Running { instance: i };
-                    job.started_at = self.now;
-                    self.queue.remove(qi);
+                    if let Some(job) = self.jobs.get_mut(&id) {
+                        job.state = JobState::Running { instance: i };
+                        job.started_at = self.now;
+                    }
+                    self.materialize(i);
                     self.replan(i);
                 }
-                None => qi += 1,
+                None => self.queue.push_back(id),
             }
+        }
+    }
+
+    /// Banks every running job's lazily-accrued progress on instance `i`
+    /// up to `self.now`. Must run before anything changes the instance's
+    /// rates (membership change, replan).
+    fn materialize(&mut self, i: usize) {
+        let inst = &mut self.instances[i];
+        let dt = self.now - inst.planned_at;
+        if dt > 0.0 {
+            for (&tid, &rate) in &inst.rates {
+                if let Some(job) = self.jobs.get_mut(&inst.job_of_task[&tid]) {
+                    job.progressed_tokens += rate * dt;
+                }
+            }
+        }
+        inst.planned_at = self.now;
+    }
+
+    /// Evicts task `tid` from instance `i`, rejecting its job with
+    /// `reason`. Co-located jobs stay registered and keep running.
+    fn shed(&mut self, i: usize, tid: TaskId, reason: String) {
+        let inst = &mut self.instances[i];
+        let _ = inst.registry.deregister_task(tid);
+        inst.corpora.remove(&tid);
+        inst.rates.remove(&tid);
+        if let Some(jid) = inst.job_of_task.remove(&tid) {
+            self.reject(jid, reason);
+        }
+    }
+
+    /// Records instance `i`'s earliest pending completion on the event
+    /// heap (under the instance's current epoch).
+    fn push_completion(&mut self, i: usize) {
+        let inst = &self.instances[i];
+        let mut best: Option<(f64, TaskId)> = None;
+        for (&tid, &rate) in &inst.rates {
+            let job = &self.jobs[&inst.job_of_task[&tid]];
+            let left = ((job.spec.total_tokens as f64 - job.progressed_tokens) / rate).max(0.0);
+            if best.map(|(b, _)| left < b).unwrap_or(true) {
+                best = Some((left, tid));
+            }
+        }
+        if let Some((left, task)) = best {
+            self.completions.push(Reverse(CompletionEvent {
+                at: self.now + left,
+                instance: i,
+                task,
+                epoch: inst.epoch,
+            }));
         }
     }
 
     /// Re-plans instance `i` with the current membership and refreshes
-    /// per-task progress rates.
+    /// per-task progress rates. Progress must already be materialized.
+    ///
+    /// A membership the planner cannot place ([`PlanError`]) sheds the
+    /// newest task — the arrival that broke feasibility — rejecting its
+    /// job with the planner's reason, and retries with the remaining
+    /// co-tenants; likewise any task whose computed rate is non-positive
+    /// or non-finite (it could never complete). The loop is bounded by
+    /// the instance's task count.
     fn replan(&mut self, i: usize) {
-        let inst = &mut self.instances[i];
-        inst.rates.clear();
-        if inst.registry.is_empty() {
-            return;
-        }
-        let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
-        match plan_and_run(&inst.registry, &self.cluster, &inst.corpora, &cfg) {
-            Ok(report) => {
-                // Split effective throughput across tasks in proportion to
-                // their raw content per round.
-                let raw: BTreeMap<TaskId, f64> = inst
-                    .corpora
-                    .iter()
-                    .map(|(&t, lens)| (t, lens.iter().map(|&l| l as f64).sum()))
-                    .collect();
-                let total: f64 = raw.values().sum();
-                for (&t, r) in &raw {
-                    inst.rates
-                        .insert(t, report.metrics.effective_throughput * r / total.max(1.0));
-                }
+        loop {
+            let inst = &mut self.instances[i];
+            inst.rates.clear();
+            inst.epoch += 1;
+            inst.planned_at = self.now;
+            if inst.registry.is_empty() {
+                return;
             }
-            Err(_) => {
-                // OOM under current co-location: fall back to a trickle rate
-                // so progress still completes (a real system would shed the
-                // newest task; the planner's memory model normally prevents
-                // reaching this).
-                for &t in inst.corpora.keys() {
-                    inst.rates.insert(t, 1.0);
+            let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
+            match plan_and_run(&inst.registry, &self.cluster, &inst.corpora, &cfg) {
+                Ok(report) => {
+                    // Split effective throughput across tasks in proportion
+                    // to their raw content per round.
+                    let raw: BTreeMap<TaskId, f64> = inst
+                        .corpora
+                        .iter()
+                        .map(|(&t, lens)| (t, lens.iter().map(|&l| l as f64).sum()))
+                        .collect();
+                    let total: f64 = raw.values().sum();
+                    for (&t, r) in &raw {
+                        inst.rates
+                            .insert(t, report.metrics.effective_throughput * r / total.max(1.0));
+                    }
+                    if let Some((&bad, &rate)) = inst
+                        .rates
+                        .iter()
+                        .find(|(_, &rate)| !(rate.is_finite() && rate > 0.0))
+                    {
+                        self.shed(i, bad, format!("degenerate progress rate {rate}"));
+                        continue;
+                    }
+                    self.push_completion(i);
+                    return;
+                }
+                Err(e) => {
+                    let newest = *inst.job_of_task.keys().next_back().expect("non-empty");
+                    self.shed(i, newest, e.to_string());
                 }
             }
         }
     }
 
+    /// The earliest still-valid completion event, discarding stale ones.
+    fn peek_completion(&mut self) -> Option<CompletionEvent> {
+        while let Some(&Reverse(ev)) = self.completions.peek() {
+            if self.instances[ev.instance].epoch == ev.epoch {
+                return Some(ev);
+            }
+            self.completions.pop();
+        }
+        None
+    }
+
     /// Seconds until the next job completes, if any job is running.
-    fn next_completion_in(&self) -> Option<f64> {
-        let mut best: Option<f64> = None;
-        for inst in &self.instances {
-            for (&tid, &rate) in &inst.rates {
-                let job = &self.jobs[&inst.job_of_task[&tid]];
-                if rate <= 0.0 {
-                    continue;
+    fn next_completion_in(&mut self) -> Option<f64> {
+        let now = self.now;
+        self.peek_completion().map(|ev| (ev.at - now).max(0.0))
+    }
+
+    /// Completes the job behind `forced` on instance `i` (its completion
+    /// event just fired) plus any co-located job whose banked progress
+    /// reached its target.
+    fn retire_completed(&mut self, i: usize, forced: TaskId) {
+        let inst = &self.instances[i];
+        let done: Vec<(TaskId, JobId)> = inst
+            .job_of_task
+            .iter()
+            .filter(|&(&t, jid)| {
+                t == forced || {
+                    let j = &self.jobs[jid];
+                    j.progressed_tokens + 1e-6 >= j.spec.total_tokens as f64
                 }
-                let left = (job.spec.total_tokens as f64 - job.progressed_tokens) / rate;
-                if best.map(|b| left < b).unwrap_or(true) {
-                    best = Some(left.max(0.0));
-                }
+            })
+            .map(|(&t, &jid)| (t, jid))
+            .collect();
+        for (t, jid) in done {
+            let inst = &mut self.instances[i];
+            inst.job_of_task.remove(&t);
+            let _ = inst.registry.deregister_task(t);
+            inst.corpora.remove(&t);
+            inst.rates.remove(&t);
+            if let Some(job) = self.jobs.get_mut(&jid) {
+                job.progressed_tokens = job.spec.total_tokens as f64;
+                job.state = JobState::Completed;
+                job.finished_at = self.now;
             }
         }
-        best
     }
 
     /// Advances simulated time by `dt` seconds, progressing every running
     /// job and retiring completions (which may unblock queued jobs).
+    ///
+    /// Event-driven: time jumps from completion to completion off the
+    /// event heap; between events progress accrues lazily (no per-tick
+    /// scan of the running set). Non-positive or non-finite `dt` is a
+    /// no-op.
     pub fn advance(&mut self, dt: f64) {
-        assert!(dt >= 0.0);
-        let mut remaining = dt;
-        while remaining > 1e-12 {
-            let step = match self.next_completion_in() {
-                Some(c) if c < remaining => c,
-                _ => remaining,
-            };
-            // Progress everything by `step`.
-            for inst in self.instances.iter_mut() {
-                for (&tid, &rate) in &inst.rates {
-                    let job = self.jobs.get_mut(&inst.job_of_task[&tid]).expect("job");
-                    job.progressed_tokens += rate * step;
-                }
+        // NaN compares false, so a NaN `dt` is a no-op too.
+        if dt.is_nan() || dt <= 0.0 {
+            return;
+        }
+        let end = self.now + dt;
+        while let Some(ev) = self.peek_completion() {
+            if ev.at.is_nan() || ev.at > end {
+                break;
             }
-            self.now += step;
-            remaining -= step;
-            // Retire completions.
-            let mut touched = Vec::new();
-            for (i, inst) in self.instances.iter_mut().enumerate() {
-                let done: Vec<TaskId> = inst
-                    .job_of_task
-                    .iter()
-                    .filter(|(_, jid)| {
-                        let j = &self.jobs[jid];
-                        j.progressed_tokens + 1e-6 >= j.spec.total_tokens as f64
-                    })
-                    .map(|(&t, _)| t)
-                    .collect();
-                for t in done {
-                    let jid = inst.job_of_task.remove(&t).expect("mapped");
-                    inst.registry.deregister_task(t).expect("registered");
-                    inst.corpora.remove(&t);
-                    inst.rates.remove(&t);
-                    let job = self.jobs.get_mut(&jid).expect("job");
-                    job.state = JobState::Completed;
-                    job.finished_at = self.now;
-                    touched.push(i);
-                }
-            }
-            for i in touched {
-                self.replan(i);
-            }
+            self.completions.pop();
+            self.now = ev.at.max(self.now);
+            self.materialize(ev.instance);
+            self.retire_completed(ev.instance, ev.task);
+            self.replan(ev.instance);
             self.dispatch_queued();
         }
+        self.now = end;
     }
 
     /// Traced re-plan of instance `i` plus the derived analyses: 4-class
@@ -439,6 +619,19 @@ impl FineTuneService {
             .sum()
     }
 
+    /// Live progress of a job, tokens: the banked total plus whatever has
+    /// accrued lazily since its instance's last replan.
+    fn job_progress(&self, j: &Job) -> f64 {
+        match j.state {
+            JobState::Running { instance } => {
+                let inst = &self.instances[instance];
+                let accrued = self.job_rate(j.id) * (self.now - inst.planned_at).max(0.0);
+                (j.progressed_tokens + accrued).min(j.spec.total_tokens as f64)
+            }
+            _ => j.progressed_tokens,
+        }
+    }
+
     /// Estimated seconds until job `id` completes at its current rate.
     /// `None` for jobs that are not accruing progress.
     fn job_eta(&self, id: JobId) -> Option<f64> {
@@ -447,7 +640,7 @@ impl FineTuneService {
             return None;
         }
         let rate = self.job_rate(id);
-        (rate > 0.0).then(|| ((j.spec.total_tokens as f64 - j.progressed_tokens) / rate).max(0.0))
+        (rate > 0.0).then(|| ((j.spec.total_tokens as f64 - self.job_progress(j)) / rate).max(0.0))
     }
 
     /// Builds the service's observability report as JSON: the job table
@@ -494,8 +687,15 @@ impl FineTuneService {
                     JobState::Rejected => "rejected".to_string(),
                 };
                 m.insert("state".into(), state.into());
+                m.insert(
+                    "reject_reason".into(),
+                    j.reject_reason
+                        .as_deref()
+                        .map(Value::from)
+                        .unwrap_or(Value::Null),
+                );
                 m.insert("total_tokens".into(), j.spec.total_tokens.into());
-                m.insert("progressed_tokens".into(), j.progressed_tokens.into());
+                m.insert("progressed_tokens".into(), self.job_progress(j).into());
                 match j.jct() {
                     Some(jct) => m.insert("jct_seconds".into(), jct.into()),
                     None => m.insert("jct_seconds".into(), Value::Null),
@@ -699,7 +899,7 @@ impl FineTuneService {
             let id = j.id.0;
             out.push_str(&format!(
                 "muxtune_job_progress_tokens{{job=\"{id}\"}} {}\n",
-                j.progressed_tokens
+                self.job_progress(j)
             ));
             out.push_str(&format!(
                 "muxtune_job_throughput_tokens_per_second{{job=\"{id}\"}} {}\n",
@@ -764,17 +964,24 @@ impl FineTuneService {
         out
     }
 
-    /// Runs until every job is completed or rejected. Returns the final
-    /// time. Panics if progress stalls (a job with zero rate).
+    /// Runs until every job is completed or rejected, or no pending
+    /// completion remains (replan sheds zero-rate jobs, so a live running
+    /// set always has one). Returns the final time.
     pub fn run_to_completion(&mut self) -> f64 {
         while self
             .jobs
             .values()
             .any(|j| matches!(j.state, JobState::Queued | JobState::Running { .. }))
         {
-            let step = self
-                .next_completion_in()
-                .expect("runnable jobs must progress");
+            let Some(step) = self.next_completion_in() else {
+                // Nothing is running: retry dispatch once for any queued
+                // stragglers, then stop rather than spin forever.
+                self.dispatch_queued();
+                if self.next_completion_in().is_none() {
+                    break;
+                }
+                continue;
+            };
             self.advance(step.max(1e-6));
         }
         self.now
@@ -1005,6 +1212,69 @@ mod tests {
             let (name, value) = line.rsplit_once(' ').expect("name value");
             assert!(!name.is_empty(), "{line:?}");
             assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_submit_with_reasons() {
+        let mut svc = service(8);
+        let zero_mb = svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 0, 1000));
+        let zero_tok = svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 4, 0));
+        let empty_corpus = svc.submit(spec(1000).with_sequence_lengths(vec![0, 0, 0]));
+        for id in [zero_mb, zero_tok, empty_corpus] {
+            let j = svc.job(id).unwrap();
+            assert_eq!(j.state, JobState::Rejected, "job {id:?}");
+            assert!(j.reject_reason.is_some(), "job {id:?} carries a reason");
+        }
+        assert_eq!(svc.instance_count(), 0, "nothing was dispatched");
+        svc.advance(1.0); // no panic on an empty service
+    }
+
+    #[test]
+    fn oversize_sequences_are_truncated_to_the_dataset_cap() {
+        let mut svc = service(4);
+        // OpenBookQA caps at 256; these rows would be unpackable untruncated.
+        let id = svc.submit(spec(20_000).with_sequence_lengths(vec![10_000, 300, 64, 0, 128]));
+        assert!(matches!(
+            svc.job(id).unwrap().state,
+            JobState::Running { .. }
+        ));
+        svc.run_to_completion();
+        assert_eq!(svc.job(id).unwrap().state, JobState::Completed);
+    }
+
+    #[test]
+    fn infeasible_job_is_shed_with_a_reason_while_cotenants_complete() {
+        let mut svc = service(4);
+        let a = svc.submit(spec(50_000));
+        let b = svc.submit(spec(50_000));
+        // A single task whose corpus is so large no fusion fits it in A40
+        // memory (its per-micro-batch activations alone overflow the
+        // card): the planner errors, and the service must shed exactly
+        // this job.
+        let hog = svc.submit(
+            JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 50_000)
+                .with_sequence_lengths(vec![256; 2000]),
+        );
+        let j = svc.job(hog).unwrap();
+        assert_eq!(j.state, JobState::Rejected, "infeasible job is rejected");
+        let reason = j.reject_reason.as_deref().expect("carries the plan error");
+        assert!(
+            reason.contains("infeasible") || reason.contains("memory") || reason.contains("oom"),
+            "reason names the cause: {reason:?}"
+        );
+        let rep = svc.service_report();
+        let rejected = rep["jobs"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|v| v["id"].as_u64() == Some(hog.0))
+            .unwrap();
+        assert!(rejected["reject_reason"].as_str().is_some());
+        // Co-tenants were unaffected and run to completion.
+        svc.run_to_completion();
+        for id in [a, b] {
+            assert_eq!(svc.job(id).unwrap().state, JobState::Completed);
         }
     }
 

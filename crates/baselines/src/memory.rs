@@ -58,7 +58,8 @@ fn aligned_tokens(system: SystemKind, tasks: &[&PeftTask], corpora: &[Vec<usize>
                     cap: t.seq_len,
                 })
                 .collect();
-            let aligned = align(&data, AlignStrategy::ChunkBased { min_chunk: 64 });
+            let aligned = align(&data, AlignStrategy::ChunkBased { min_chunk: 64 })
+                .expect("fig17 corpora are cap-truncated");
             tasks
                 .iter()
                 .map(|t| {

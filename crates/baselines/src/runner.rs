@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use mux_data::align::AlignStrategy;
-use mux_gpu_sim::timeline::{Cluster, OomError};
+use mux_gpu_sim::timeline::Cluster;
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
@@ -12,6 +12,7 @@ use muxtune_core::engine::{EngineOptions, RunMetrics};
 use muxtune_core::fusion::FusionPolicy;
 use muxtune_core::planner::{plan_and_run, PlannerConfig};
 use muxtune_core::template::BucketOrder;
+use muxtune_core::PlanError;
 
 /// The systems under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +108,7 @@ fn run_once(
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     plan: HybridParallelism,
     mbs: usize,
-) -> Result<RunMetrics, OomError> {
+) -> Result<RunMetrics, PlanError> {
     let cfg = planner_for(system, plan, mbs);
     match system {
         SystemKind::MuxTune | SystemKind::SlPeft => {
@@ -169,10 +170,10 @@ pub fn run_system(
     cluster: &Cluster,
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     micro_batches: usize,
-) -> Result<SystemReport, OomError> {
+) -> Result<SystemReport, PlanError> {
     let candidates = search_space(system, cluster.num_gpus(), cluster.gpus_per_node);
     let mut best: Option<SystemReport> = None;
-    let mut last_err: Option<OomError> = None;
+    let mut last_err: Option<PlanError> = None;
     for plan in candidates {
         if registry.backbone().num_layers < plan.pp {
             continue;

@@ -15,7 +15,7 @@ use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
 use mux_tensor::tensor::{matmul, Tensor};
 use muxtune_core::cost::CostModel;
-use muxtune_core::fusion::{fuse_tasks, FusionPolicy};
+use muxtune_core::fusion::{fuse_tasks, FusionPolicy, RangeBuild};
 use muxtune_core::grouping::group_htasks;
 use muxtune_core::htask::HTask;
 use muxtune_core::schedule::schedule_subgraphs;
@@ -39,9 +39,12 @@ fn bench_fusion(c: &mut Criterion) {
         g.bench_function(format!("M={m}"), |b| {
             b.iter(|| {
                 let tasks: Vec<&PeftTask> = reg.tasks().collect();
-                black_box(fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|mem| {
-                    HTask::from_padded(mem, 4)
-                }))
+                black_box(fuse_tasks(
+                    &cm,
+                    &tasks,
+                    FusionPolicy::Dp,
+                    &RangeBuild::Padded { micro_batches: 4 },
+                ))
             })
         });
     }

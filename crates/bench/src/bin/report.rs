@@ -14,11 +14,12 @@
 //! - `--format prom`: instead of markdown, emit the Fig-14-small
 //!   scenario's metrics (makespan, utilization, 4-class stall seconds,
 //!   planner phases, histograms) in Prometheus text-exposition format.
-//! - `--write-baseline <json>`: run the Fig-14-small scenario and write
-//!   its headline numbers as a perf baseline with default tolerances.
-//! - `--check-baseline <json>`: run the Fig-14-small scenario and compare
-//!   against the checked-in baseline; exits non-zero on any regression
-//!   (the CI gate).
+//! - `--write-baseline <json>`: run every gate scenario (`fig14-small`
+//!   end-to-end run, `planner-scale` planning wall time at M=1024) and
+//!   write their headline numbers as a perf-baseline array.
+//! - `--check-baseline <json>`: re-run each scenario named in the
+//!   checked-in baseline (array, or a single legacy object) and compare;
+//!   exits non-zero on any regression (the CI gate).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -26,9 +27,12 @@ use std::process::ExitCode;
 
 use mux_bench::harness::{
     attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
+    planner_scale_measurement, PLANNER_SCALE_M,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
-use mux_obs_analysis::{check_baseline, device_attribution, PerfBaseline, StallClass};
+use mux_obs_analysis::{
+    check_baseline, device_attribution, PerfBaseline, PerfMeasurement, StallClass,
+};
 
 /// The experiment ids the bench suite produces, with one-line descriptions,
 /// in paper order.
@@ -221,52 +225,91 @@ fn render_prom() -> String {
     out
 }
 
+/// The scenario names the baseline gate knows how to (re)measure.
+const GATE_SCENARIOS: &[&str] = &["fig14-small", "planner-scale"];
+
+/// Runs one gate scenario and returns its headline numbers.
+fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
+    match name {
+        "fig14-small" => {
+            let (report, ops, num_devices) = fig14_small_trace_scenario();
+            Ok(measure_run(&report, &ops, num_devices))
+        }
+        "planner-scale" => Ok(planner_scale_measurement()),
+        other => Err(format!(
+            "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
+        )),
+    }
+}
+
 fn write_baseline(path: &Path) -> Result<(), String> {
-    let (report, ops, num_devices) = fig14_small_trace_scenario();
-    let m = measure_run(&report, &ops, num_devices);
-    let base = PerfBaseline::new("fig14-small", &m);
-    let body = serde_json::to_string_pretty(&base.to_json())
+    let mut entries = Vec::new();
+    for &name in GATE_SCENARIOS {
+        let m = measure_scenario(name)?;
+        let mut base = PerfBaseline::new(name, &m);
+        if name == "planner-scale" {
+            // Planning wall time at M=1024 varies with CI host load far
+            // more than the simulated-makespan scenarios do; gate only
+            // order-of-magnitude blowups (the O(M³) -> O(M²) regression
+            // this scenario exists to catch costs ~100x, not 4x).
+            base.makespan_rel_tolerance = 3.0;
+        }
+        println!(
+            "  {name}: makespan {:.6}s, utilization {:.4}, stall share {:.4}",
+            m.makespan_seconds, m.mean_utilization, m.stall_share
+        );
+        entries.push(base.to_json());
+    }
+    let body = serde_json::to_string_pretty(&serde_json::Value::Array(entries))
         .map_err(|e| format!("serialize baseline: {e}"))?;
     write_file(path, &body)?;
     println!(
-        "wrote {} (makespan {:.6}s, utilization {:.4}, stall share {:.4})",
+        "wrote {} ({} scenario(s), planner-scale at M={PLANNER_SCALE_M})",
         path.display(),
-        m.makespan_seconds,
-        m.mean_utilization,
-        m.stall_share
+        GATE_SCENARIOS.len()
     );
     Ok(())
 }
 
-/// The CI gate: compare a fresh Fig-14-small run against the checked-in
-/// baseline. `Ok(true)` = within tolerance, `Ok(false)` = regression.
+/// The CI gate: re-run each scenario named in the checked-in baseline file
+/// (an array, or a single legacy object) and compare. `Ok(true)` = every
+/// scenario within tolerance, `Ok(false)` = at least one regression.
 fn check_against_baseline(path: &Path) -> Result<bool, String> {
     let body =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let value: serde_json::Value =
         serde_json::from_str(&body).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
-    let base = PerfBaseline::from_json(&value)?;
-    let (report, ops, num_devices) = fig14_small_trace_scenario();
-    let m = measure_run(&report, &ops, num_devices);
-    println!(
-        "perf gate: scenario `{}` vs {}",
-        base.scenario,
-        path.display()
-    );
-    match check_baseline(&base, &m) {
-        Ok(lines) => {
-            for l in lines {
-                println!("  ok: {l}");
+    let entries: Vec<serde_json::Value> = match value {
+        serde_json::Value::Array(items) => items,
+        single => vec![single],
+    };
+    if entries.is_empty() {
+        return Err(format!("{} holds no baseline entries", path.display()));
+    }
+    let mut all_ok = true;
+    for entry in &entries {
+        let base = PerfBaseline::from_json(entry)?;
+        let m = measure_scenario(&base.scenario)?;
+        println!(
+            "perf gate: scenario `{}` vs {}",
+            base.scenario,
+            path.display()
+        );
+        match check_baseline(&base, &m) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("  ok: {l}");
+                }
             }
-            Ok(true)
-        }
-        Err(lines) => {
-            for l in lines {
-                eprintln!("  REGRESSION: {l}");
+            Err(lines) => {
+                for l in lines {
+                    eprintln!("  REGRESSION: {l}");
+                }
+                all_ok = false;
             }
-            Ok(false)
         }
     }
+    Ok(all_ok)
 }
 
 fn main() -> ExitCode {

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use mux_data::corpus::{Corpus, DatasetKind};
 use mux_gpu_sim::chrome_trace::chrome_trace;
@@ -17,6 +18,9 @@ use mux_obs_analysis::{critical_path, device_attribution, PerfMeasurement, Stall
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
+use muxtune_core::cost::CostModel;
+use muxtune_core::fusion::{fuse_dp_seed, fuse_tasks, FusionPolicy, RangeBuild};
+use muxtune_core::grouping::group_htasks;
 use muxtune_core::planner::{plan_and_run_traced, MuxTuneReport, PlannerConfig};
 
 /// A single-node A40 testbed (Testbed-A style).
@@ -313,6 +317,76 @@ pub fn fig14_small_trace_scenario() -> (MuxTuneReport, Vec<OpRecord>, usize) {
     (report, ops, cluster.num_gpus())
 }
 
+/// The task count the `planner-scale` CI gate measures at.
+pub const PLANNER_SCALE_M: usize = 1024;
+
+/// Registry of `m` varied-shape LoRA tasks on an 8-layer backbone for the
+/// `planner-scale` scenario. No corpora are attached: fusion runs on the
+/// padded range-prober path, which is exactly the hot path the scale gate
+/// times. The rank-1024 adapters carry enough optimizer state that only
+/// narrow task ranges fit in one hTask — the memory-tight multi-tenant
+/// regime the DP's feasibility pruning is built for.
+pub fn planner_scale_registry(m: usize) -> TaskRegistry {
+    let mut reg = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
+    for i in 0..m {
+        let seq = [64usize, 128, 256][i % 3];
+        reg.register_task(PeftTask::lora(i as TaskId + 1, 1024, 1 + i % 4, seq))
+            .expect("fresh ids");
+    }
+    reg
+}
+
+fn planner_scale_cost_model(reg: &TaskRegistry) -> CostModel<'_> {
+    CostModel::new(reg, GpuSpec::a40(), HybridParallelism::pipeline(4))
+}
+
+/// One timed planner hot-path pass at `m` tasks: value-table DP fusion
+/// (Eq. 6) over the padded prober, then Eq. 7 grouping of the fused hTasks.
+/// Returns wall-clock seconds.
+pub fn planner_scale_seconds(m: usize) -> f64 {
+    let reg = planner_scale_registry(m);
+    let cm = planner_scale_cost_model(&reg);
+    let tasks: Vec<&PeftTask> = reg.tasks().collect();
+    let build = RangeBuild::Padded { micro_batches: 4 };
+    let start = Instant::now();
+    let plan = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build)
+        .expect("padded scale workload is feasible");
+    let grouping = group_htasks(&cm, &plan.htasks);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box((plan.htasks.len(), grouping.estimated));
+    secs
+}
+
+/// The same `m`-task workload through the retained seed O(M³) DP
+/// ([`fuse_dp_seed`], no grouping), for the `planner-scale` speedup
+/// comparison. Slow by design — keep `m` modest unless you mean it.
+pub fn planner_scale_seed_seconds(m: usize) -> f64 {
+    let reg = planner_scale_registry(m);
+    let cm = planner_scale_cost_model(&reg);
+    let tasks: Vec<&PeftTask> = reg.tasks().collect();
+    let build = RangeBuild::Padded { micro_batches: 4 };
+    let start = Instant::now();
+    let plan = fuse_dp_seed(&cm, &tasks, &build).expect("padded scale workload is feasible");
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(plan.htasks.len());
+    secs
+}
+
+/// The `planner-scale` CI measurement: best-of-3 planning wall time at
+/// [`PLANNER_SCALE_M`] tasks reported as the makespan. Utilization and
+/// stall share are pinned at their ideal values so only the wall-time axis
+/// gates.
+pub fn planner_scale_measurement() -> PerfMeasurement {
+    let secs = (0..3)
+        .map(|_| planner_scale_seconds(PLANNER_SCALE_M))
+        .fold(f64::INFINITY, f64::min);
+    PerfMeasurement {
+        makespan_seconds: secs,
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +413,13 @@ mod tests {
     fn table2_registry_repeats() {
         let (reg, _) = table2_registry(&ModelConfig::gpt3_2_7b(), 'A', 4);
         assert_eq!(reg.len(), 32);
+    }
+
+    #[test]
+    fn planner_scale_scenario_plans_at_small_m() {
+        let fast = planner_scale_seconds(16);
+        let seed = planner_scale_seed_seconds(16);
+        assert!(fast.is_finite() && fast >= 0.0);
+        assert!(seed.is_finite() && seed >= 0.0);
     }
 }

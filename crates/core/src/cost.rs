@@ -182,6 +182,46 @@ impl<'a> CostModel<'a> {
         &self.gpu
     }
 
+    /// Builds an exact O(1)-per-query memory-feasibility prober for
+    /// contiguous ranges of `sorted` built with [`HTask::from_padded`].
+    ///
+    /// Eq. 5 memory for a padded range decomposes into integer prefix sums:
+    /// per-task state quotients, micro-batch counts (total tokens are
+    /// `Σ micro_batch × max seq_len`), and a range-max over sequence caps —
+    /// so `fits(a, b)` reproduces `fits_memory` bit-for-bit without
+    /// materializing the hTask. This is what lets the fusion DP probe all
+    /// O(M²) ranges while paying the per-member latency cost only on the
+    /// feasible ones.
+    pub fn padded_prober(&self, sorted: &[&mux_peft::types::PeftTask]) -> PaddedRangeProber<'a> {
+        let cfg = self.registry.backbone();
+        let shards = self.num_stages() as u64 * self.plan.tp as u64;
+        let mut state_prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut mb_prefix = Vec::with_capacity(sorted.len() + 1);
+        state_prefix.push(0u64);
+        mb_prefix.push(0u64);
+        for t in sorted {
+            // Same per-task quotient `stage_memory` sums, so the prefix
+            // difference is exactly its m_g term.
+            let q = task_state_bytes(t.adapter_params(cfg)) / shards;
+            state_prefix.push(state_prefix.last().unwrap() + q);
+            mb_prefix.push(mb_prefix.last().unwrap() + t.micro_batch as u64);
+        }
+        PaddedRangeProber {
+            cfg,
+            state_prefix,
+            mb_prefix,
+            seq_max: RangeMax::new(&sorted.iter().map(|t| t.seq_len).collect::<Vec<_>>()),
+            stage_layer_counts: self
+                .stages
+                .iter()
+                .map(|s| s.layers.1 - s.layers.0)
+                .collect(),
+            m_b: cfg.param_bytes() / shards,
+            in_flight: self.num_stages(),
+            capacity: self.gpu.mem_capacity,
+        }
+    }
+
     /// The largest in-flight micro-batch count the memory budget allows for
     /// a *bucketed* plan (template rule 3).
     ///
@@ -217,6 +257,70 @@ impl<'a> CostModel<'a> {
             k += 1;
         }
         k
+    }
+}
+
+/// Sparse table answering `max(values[a..b])` in O(1) after O(n log n)
+/// preprocessing.
+#[derive(Debug, Clone)]
+struct RangeMax {
+    /// `rows[k][i] = max(values[i .. i + 2^k])`.
+    rows: Vec<Vec<usize>>,
+}
+
+impl RangeMax {
+    fn new(values: &[usize]) -> Self {
+        let n = values.len();
+        let mut rows = vec![values.to_vec()];
+        let mut width = 1;
+        while width * 2 <= n {
+            let prev = rows.last().expect("seeded");
+            let next: Vec<usize> = (0..=n - width * 2)
+                .map(|i| prev[i].max(prev[i + width]))
+                .collect();
+            rows.push(next);
+            width *= 2;
+        }
+        Self { rows }
+    }
+
+    /// Max over the non-empty half-open range `[a, b)`.
+    fn query(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b <= self.rows[0].len());
+        let k = (usize::BITS - 1 - (b - a).leading_zeros()) as usize;
+        let w = 1 << k;
+        self.rows[k][a].max(self.rows[k][b - w])
+    }
+}
+
+/// Exact memory-feasibility prober for contiguous `from_padded` ranges.
+///
+/// Built by [`CostModel::padded_prober`]; see there for the decomposition
+/// argument. Valid *only* for ranges of the same sorted task slice it was
+/// built from, built via [`HTask::from_padded`] (corpus-backed alignment
+/// changes token totals and breaks the prefix-sum identity).
+pub struct PaddedRangeProber<'a> {
+    cfg: &'a ModelConfig,
+    state_prefix: Vec<u64>,
+    mb_prefix: Vec<u64>,
+    seq_max: RangeMax,
+    stage_layer_counts: Vec<usize>,
+    m_b: u64,
+    in_flight: usize,
+    capacity: u64,
+}
+
+impl PaddedRangeProber<'_> {
+    /// Whether `HTask::from_padded(&sorted[a..b], _)` would pass
+    /// [`CostModel::fits_memory`] with `num_stages` in-flight micro-batches.
+    pub fn fits(&self, a: usize, b: usize) -> bool {
+        let unit_len = self.seq_max.query(a, b);
+        let tokens = ((self.mb_prefix[b] - self.mb_prefix[a]) as usize) * unit_len;
+        let m_g = self.state_prefix[b] - self.state_prefix[a];
+        self.stage_layer_counts.iter().all(|&layers| {
+            let m_a = activation_bytes(self.cfg, layers, tokens) * self.in_flight as u64;
+            self.m_b + m_g + m_a <= self.capacity
+        })
     }
 }
 
@@ -346,6 +450,40 @@ mod tests {
             !cm.fits_memory(std::slice::from_ref(&huge), 4),
             "64 fat tasks cannot fit 48 GB"
         );
+    }
+
+    #[test]
+    fn padded_prober_matches_fits_memory_on_every_range() {
+        // Mixed shapes spanning the feasible/infeasible boundary.
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
+        let shapes = [
+            (1, 64),
+            (2, 128),
+            (8, 256),
+            (4, 64),
+            (16, 256),
+            (2, 64),
+            (32, 256),
+            (1, 128),
+        ];
+        for (i, &(mb, seq)) in shapes.iter().enumerate() {
+            r.register_task(PeftTask::lora(i as TaskId + 1, 16, mb, seq))
+                .expect("register");
+        }
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(2));
+        let sorted: Vec<&PeftTask> = r.tasks().collect();
+        let prober = cm.padded_prober(&sorted);
+        let s = cm.num_stages();
+        for a in 0..sorted.len() {
+            for b in a + 1..=sorted.len() {
+                let h = HTask::from_padded(&sorted[a..b], 4);
+                assert_eq!(
+                    prober.fits(a, b),
+                    cm.fits_memory(std::slice::from_ref(&h), s),
+                    "range [{a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

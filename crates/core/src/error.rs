@@ -1,0 +1,89 @@
+//! Typed planning errors.
+//!
+//! Every failure the planner can hit on the job-admission path — an
+//! infeasible fusion, an oversize sequence, a degenerate cost model, an
+//! engine OOM — surfaces as a [`PlanError`] value instead of a panic, so a
+//! multi-tenant service can reject the offending job with a reason while
+//! co-located tenants keep training.
+
+use mux_data::align::AlignError;
+use mux_data::packing::PackError;
+use mux_gpu_sim::timeline::OomError;
+
+/// Why a plan could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No tasks were supplied to the planner.
+    NoTasks,
+    /// No memory-feasible fusion exists — even fully temporal, some single
+    /// task overflows device memory on its own.
+    Infeasible {
+        /// Number of tasks in the rejected set.
+        tasks: usize,
+    },
+    /// A sequence exceeds the row capacity it must pack into (tenant input
+    /// that escaped cap truncation).
+    Oversize {
+        /// Offending sequence length.
+        len: usize,
+        /// Capacity it failed to fit.
+        capacity: usize,
+    },
+    /// The cost model produced non-finite latencies for every feasible
+    /// fusion (degenerate shapes, e.g. zero tokens).
+    DegenerateCost {
+        /// Human-readable description of the degeneracy.
+        detail: String,
+    },
+    /// The execution engine ran out of device memory.
+    Oom(OomError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoTasks => write!(f, "no tasks to plan"),
+            PlanError::Infeasible { tasks } => {
+                write!(f, "no memory-feasible fusion exists for {tasks} task(s)")
+            }
+            PlanError::Oversize { len, capacity } => {
+                write!(f, "sequence of length {len} exceeds capacity {capacity}")
+            }
+            PlanError::DegenerateCost { detail } => {
+                write!(f, "degenerate cost model: {detail}")
+            }
+            PlanError::Oom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<OomError> for PlanError {
+    fn from(e: OomError) -> Self {
+        PlanError::Oom(e)
+    }
+}
+
+impl From<PackError> for PlanError {
+    fn from(e: PackError) -> Self {
+        match e {
+            PackError::OversizeSequence { len, capacity } => PlanError::Oversize { len, capacity },
+            PackError::ZeroCapacity => PlanError::DegenerateCost {
+                detail: "pack capacity is zero".to_string(),
+            },
+        }
+    }
+}
+
+impl From<AlignError> for PlanError {
+    fn from(e: AlignError) -> Self {
+        match e {
+            AlignError::NoTasks => PlanError::NoTasks,
+            AlignError::ZeroChunk => PlanError::DegenerateCost {
+                detail: "chunk size is zero".to_string(),
+            },
+            AlignError::Pack(p) => p.into(),
+        }
+    }
+}

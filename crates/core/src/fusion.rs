@@ -3,11 +3,31 @@
 //! Bin-packs `M` tasks (sorted ascending by token count) into `N`
 //! contiguous hTasks, minimizing predicted end-to-end pipeline latency
 //! under the Eq. 3–5 cost model, with a memory-feasibility filter.
+//!
+//! ## Complexity
+//!
+//! The textbook Eq. 6 table `F(m, n)` has O(M²) states and O(M)
+//! transitions each — O(M³) probes. Because the objective only ever charges
+//! the *first* hTask at full latency and every later one at `L/S`, the
+//! minimum over all `N` collapses into one unbounded recurrence
+//!
+//! ```text
+//! G(m) = min( L(0..m) [if it fits],  min_{0<j<m} G(j) + L(j..m)/S )
+//! ```
+//!
+//! with `G(M) = min_N F(M, N)` — every partition contributes the exact same
+//! floating-point sum in both formulations (left-to-right association), so
+//! the minimum is bit-for-bit identical. That is O(M²) transitions over
+//! plain `(latency, fits)` value tables; hTasks are materialized only at
+//! reconstruction. Each contiguous range is costed exactly once, and with a
+//! [`PaddedRangeProber`] feasibility is decided in O(1) *before* paying the
+//! per-member latency cost, so infeasible ranges are never built at all.
 
 use mux_model::ops::Pass;
 use mux_peft::types::PeftTask;
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, PaddedRangeProber};
+use crate::error::PlanError;
 use crate::htask::HTask;
 
 /// The fusion decision.
@@ -33,6 +53,28 @@ pub enum FusionPolicy {
     Greedy,
 }
 
+/// How to build the hTask for a contiguous task run.
+pub enum RangeBuild<'b> {
+    /// Arbitrary builder (e.g. corpus-backed data alignment).
+    Custom(&'b dyn Fn(&[&PeftTask]) -> Result<HTask, PlanError>),
+    /// The canonical padded build — `HTask::from_padded(range, micro_batches)`.
+    /// Declaring it lets the DP prove memory feasibility in O(1) per range
+    /// via [`CostModel::padded_prober`] instead of building every candidate.
+    Padded {
+        /// Unified micro-batch count `C` for every built hTask.
+        micro_batches: usize,
+    },
+}
+
+impl RangeBuild<'_> {
+    fn build(&self, range: &[&PeftTask]) -> Result<HTask, PlanError> {
+        match self {
+            RangeBuild::Custom(f) => f(range),
+            RangeBuild::Padded { micro_batches } => Ok(HTask::from_padded(range, *micro_batches)),
+        }
+    }
+}
+
 /// Sorts tasks ascending by token count (`n_i`), the Eq. 6 precondition.
 pub fn sort_by_tokens<'t>(tasks: &[&'t PeftTask]) -> Vec<&'t PeftTask> {
     let mut v = tasks.to_vec();
@@ -43,28 +85,39 @@ pub fn sort_by_tokens<'t>(tasks: &[&'t PeftTask]) -> Vec<&'t PeftTask> {
 /// Runs task fusion under `policy`.
 ///
 /// `build` constructs the hTask for a contiguous task run (injecting the
-/// data-alignment strategy); `micro_batches` is the unified `C`.
+/// data-alignment strategy).
+///
+/// # Errors
+/// [`PlanError::NoTasks`] on an empty task set, [`PlanError::Infeasible`]
+/// when no memory-feasible fusion exists (even fully temporal),
+/// [`PlanError::DegenerateCost`] when the cost model yields non-finite
+/// latencies for every feasible fusion, plus anything `build` returns.
 pub fn fuse_tasks(
     cm: &CostModel<'_>,
     tasks: &[&PeftTask],
     policy: FusionPolicy,
-    build: &dyn Fn(&[&PeftTask]) -> HTask,
-) -> FusionPlan {
-    assert!(!tasks.is_empty(), "no tasks to fuse");
+    build: &RangeBuild<'_>,
+) -> Result<FusionPlan, PlanError> {
+    if tasks.is_empty() {
+        return Err(PlanError::NoTasks);
+    }
     let sorted = sort_by_tokens(tasks);
     match policy {
         FusionPolicy::AllSpatial => {
-            let h = build(&sorted);
+            let h = build.build(&sorted)?;
             let predicted = cm.pipeline_latency(&h);
-            FusionPlan {
+            Ok(FusionPlan {
                 htasks: vec![h],
                 predicted,
-            }
+            })
         }
         FusionPolicy::AllTemporal => {
-            let htasks: Vec<HTask> = sorted.iter().map(|t| build(&[*t])).collect();
+            let htasks: Vec<HTask> = sorted
+                .iter()
+                .map(|t| build.build(&[*t]))
+                .collect::<Result<_, _>>()?;
             let predicted = htasks.iter().map(|h| cm.pipeline_latency(h)).sum();
-            FusionPlan { htasks, predicted }
+            Ok(FusionPlan { htasks, predicted })
         }
         FusionPolicy::Greedy => fuse_greedy(cm, &sorted, build),
         FusionPolicy::Dp => fuse_dp(cm, &sorted, build),
@@ -74,17 +127,17 @@ pub fn fuse_tasks(
 fn fuse_greedy(
     cm: &CostModel<'_>,
     sorted: &[&PeftTask],
-    build: &dyn Fn(&[&PeftTask]) -> HTask,
-) -> FusionPlan {
+    build: &RangeBuild<'_>,
+) -> Result<FusionPlan, PlanError> {
     let mut htasks = Vec::new();
     let mut start = 0;
     while start < sorted.len() {
         let mut end = start + 1;
-        let mut best = build(&sorted[start..end]);
+        let mut best = build.build(&sorted[start..end])?;
         let mut best_per_token =
             cm.stage_latency(0, &best, Pass::Forward) / best.total_tokens() as f64;
         while end < sorted.len() {
-            let cand = build(&sorted[start..end + 1]);
+            let cand = build.build(&sorted[start..end + 1])?;
             if !cm.fits_memory(std::slice::from_ref(&cand), cm.num_stages()) {
                 break;
             }
@@ -101,38 +154,178 @@ fn fuse_greedy(
         start = end;
     }
     let predicted = htasks.iter().map(|h| cm.pipeline_latency(h)).sum();
-    FusionPlan { htasks, predicted }
+    Ok(FusionPlan { htasks, predicted })
+}
+
+/// Per-range `(latency, fits)` value tables over `sorted[a..b)`.
+///
+/// Latency is paid only for feasible ranges; with a padded prober the
+/// infeasible ones never even construct their hTask.
+struct RangeValues {
+    m: usize,
+    lat: Vec<f64>,
+    fits: Vec<bool>,
+    /// Count of feasible ranges whose latency came out non-finite.
+    degenerate: usize,
+}
+
+impl RangeValues {
+    fn idx(&self, a: usize, b: usize) -> usize {
+        a * (self.m + 1) + b
+    }
+
+    fn fill(
+        cm: &CostModel<'_>,
+        sorted: &[&PeftTask],
+        build: &RangeBuild<'_>,
+    ) -> Result<Self, PlanError> {
+        let m = sorted.len();
+        let prober: Option<PaddedRangeProber<'_>> = match build {
+            RangeBuild::Padded { .. } => Some(cm.padded_prober(sorted)),
+            RangeBuild::Custom(_) => None,
+        };
+        let mut v = Self {
+            m,
+            lat: vec![f64::INFINITY; m * (m + 1) + 1],
+            fits: vec![false; m * (m + 1) + 1],
+            degenerate: 0,
+        };
+        let s = cm.num_stages();
+        for a in 0..m {
+            for b in a + 1..=m {
+                let i = v.idx(a, b);
+                match &prober {
+                    Some(p) => {
+                        v.fits[i] = p.fits(a, b);
+                        if v.fits[i] {
+                            v.lat[i] = cm.pipeline_latency(&build.build(&sorted[a..b])?);
+                        }
+                    }
+                    None => {
+                        let h = build.build(&sorted[a..b])?;
+                        v.fits[i] = cm.fits_memory(std::slice::from_ref(&h), s);
+                        if v.fits[i] {
+                            v.lat[i] = cm.pipeline_latency(&h);
+                        }
+                    }
+                }
+                if v.fits[i] && !v.lat[i].is_finite() {
+                    v.degenerate += 1;
+                }
+            }
+        }
+        Ok(v)
+    }
 }
 
 /// Eq. 6: `F(m, n) = min_i { F(i, n-1) + L(H_{i+1..m}) / S }`, with
-/// `F(m', 1) = L(H_{1..m'})`; the answer is `min_N F(M, N)`.
-#[allow(clippy::needless_range_loop)] // explicit DP indices mirror Eq. 6
+/// `F(m', 1) = L(H_{1..m'})`; the answer is `min_N F(M, N)`, computed here
+/// as the equivalent unbounded recurrence `G` (see the module docs).
 fn fuse_dp(
     cm: &CostModel<'_>,
     sorted: &[&PeftTask],
-    build: &dyn Fn(&[&PeftTask]) -> HTask,
-) -> FusionPlan {
+    build: &RangeBuild<'_>,
+) -> Result<FusionPlan, PlanError> {
     let m = sorted.len();
     let s = cm.num_stages() as f64;
-    // Memoized hTask + latency per contiguous range [i, j) (1-indexed DP
-    // below uses [i+1..=m] style; store by (start, end) 0-indexed).
+    let values = RangeValues::fill(cm, sorted, build)?;
+
+    const INF: f64 = f64::INFINITY;
+    // g[mm] = best objective over partitions of the first mm tasks.
+    // choice[mm] = start of the last hTask (0 ⇒ a single hTask [0, mm)).
+    let mut g = vec![INF; m + 1];
+    let mut choice = vec![usize::MAX; m + 1];
+    for mm in 1..=m {
+        let whole = values.idx(0, mm);
+        if values.fits[whole] && values.lat[whole] < g[mm] {
+            g[mm] = values.lat[whole];
+            choice[mm] = 0;
+        }
+        for j in 1..mm {
+            if g[j] == INF {
+                continue;
+            }
+            let i = values.idx(j, mm);
+            if !values.fits[i] {
+                continue;
+            }
+            let cand = g[j] + values.lat[i] / s;
+            if cand < g[mm] {
+                g[mm] = cand;
+                choice[mm] = j;
+            }
+        }
+    }
+
+    let best_val = g[m];
+    if !best_val.is_finite() {
+        // No memory-feasible partition — or every feasible one cost NaN.
+        return Err(if values.degenerate > 0 {
+            PlanError::DegenerateCost {
+                detail: format!(
+                    "{} feasible range(s) had non-finite latency",
+                    values.degenerate
+                ),
+            }
+        } else {
+            PlanError::Infeasible { tasks: m }
+        });
+    }
+
+    // Reconstruct cuts, then materialize hTasks — the only point where
+    // range hTasks are built for the DP (the tables hold plain values).
+    let mut cuts = vec![m];
+    let mut mm = m;
+    while choice[mm] != 0 {
+        mm = choice[mm];
+        cuts.push(mm);
+    }
+    cuts.push(0);
+    cuts.reverse();
+    let mut htasks = Vec::with_capacity(cuts.len() - 1);
+    for w in cuts.windows(2) {
+        htasks.push(build.build(&sorted[w[0]..w[1]])?);
+    }
+    Ok(FusionPlan {
+        htasks,
+        predicted: best_val,
+    })
+}
+
+/// The seed O(M³) Eq. 6 implementation, retained verbatim (modulo the
+/// panic-to-error conversion) as the differential reference for the DP
+/// proptests and the `planner-scale` speedup measurement. Do not use on
+/// hot paths.
+#[allow(clippy::needless_range_loop)] // explicit DP indices mirror Eq. 6
+pub fn fuse_dp_seed(
+    cm: &CostModel<'_>,
+    tasks: &[&PeftTask],
+    build: &RangeBuild<'_>,
+) -> Result<FusionPlan, PlanError> {
+    if tasks.is_empty() {
+        return Err(PlanError::NoTasks);
+    }
+    let sorted = sort_by_tokens(tasks);
+    let m = sorted.len();
+    let s = cm.num_stages() as f64;
+    // Memoized hTask + latency per contiguous range, cloned on every probe
+    // (the seed behaviour the value tables replace).
     let mut range_cache: Vec<Vec<Option<(HTask, f64, bool)>>> = vec![vec![None; m + 1]; m];
-    let mut range = |a: usize, b: usize| -> (HTask, f64, bool) {
+    let mut range = |a: usize, b: usize| -> Result<(HTask, f64, bool), PlanError> {
         if range_cache[a][b].is_none() {
-            let h = build(&sorted[a..b]);
+            let h = build.build(&sorted[a..b])?;
             let lat = cm.pipeline_latency(&h);
             let fits = cm.fits_memory(std::slice::from_ref(&h), cm.num_stages());
             range_cache[a][b] = Some((h, lat, fits));
         }
-        range_cache[a][b].clone().expect("just filled")
+        Ok(range_cache[a][b].clone().expect("just filled"))
     };
 
     const INF: f64 = f64::INFINITY;
-    // f[n][m] = best objective packing first m tasks into n hTasks.
     let mut f = vec![vec![INF; m + 1]; m + 1];
     let mut choice = vec![vec![usize::MAX; m + 1]; m + 1];
     for m1 in 1..=m {
-        let (_, lat, fits) = range(0, m1);
+        let (_, lat, fits) = range(0, m1)?;
         if fits {
             f[1][m1] = lat;
         }
@@ -143,7 +336,7 @@ fn fuse_dp(
                 if f[n - 1][i] == INF {
                     continue;
                 }
-                let (_, lat, fits) = range(i, mm);
+                let (_, lat, fits) = range(i, mm)?;
                 if !fits {
                     continue;
                 }
@@ -155,7 +348,6 @@ fn fuse_dp(
             }
         }
     }
-    // Pick the best N and reconstruct.
     let mut best_n = 1;
     let mut best_val = f[1][m];
     for n in 2..=m {
@@ -164,10 +356,9 @@ fn fuse_dp(
             best_n = n;
         }
     }
-    assert!(
-        best_val.is_finite(),
-        "no memory-feasible fusion exists even fully temporal — reject tasks upstream"
-    );
+    if !best_val.is_finite() {
+        return Err(PlanError::Infeasible { tasks: m });
+    }
     let mut cuts = Vec::new();
     let (mut n, mut mm) = (best_n, m);
     while n > 1 {
@@ -181,12 +372,12 @@ fn fuse_dp(
     cuts.push(m);
     let mut htasks = Vec::with_capacity(best_n);
     for w in cuts.windows(2) {
-        htasks.push(range(w[0], w[1]).0);
+        htasks.push(range(w[0], w[1])?.0);
     }
-    FusionPlan {
+    Ok(FusionPlan {
         htasks,
         predicted: best_val,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -210,9 +401,13 @@ mod tests {
     fn run(r: &TaskRegistry, policy: FusionPolicy, mbs: usize) -> FusionPlan {
         let cm = CostModel::new(r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let tasks: Vec<&PeftTask> = r.tasks().collect();
-        fuse_tasks(&cm, &tasks, policy, &|members| {
-            HTask::from_padded(members, mbs)
-        })
+        fuse_tasks(
+            &cm,
+            &tasks,
+            policy,
+            &RangeBuild::Padded { micro_batches: mbs },
+        )
+        .expect("feasible")
     }
 
     #[test]
@@ -307,13 +502,72 @@ mod tests {
             !cm.fits_memory(std::slice::from_ref(&all), 4),
             "precondition: all-spatial OOMs"
         );
-        let plan = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|m| HTask::from_padded(m, 4));
+        let plan = fuse_tasks(
+            &cm,
+            &tasks,
+            FusionPolicy::Dp,
+            &RangeBuild::Padded { micro_batches: 4 },
+        )
+        .expect("splittable");
         assert!(plan.htasks.len() >= 2);
         for h in &plan.htasks {
             assert!(
                 cm.fits_memory(std::slice::from_ref(h), 4),
                 "each chosen hTask must fit"
             );
+        }
+    }
+
+    #[test]
+    fn infeasible_single_task_is_an_error_not_a_panic() {
+        // One task so fat it cannot fit alone: even fully temporal fails,
+        // and the DP reports it instead of aborting the process.
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
+        r.register_task(PeftTask::lora(1, 16, 4096, 256))
+            .expect("register");
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let err = fuse_tasks(
+            &cm,
+            &tasks,
+            FusionPolicy::Dp,
+            &RangeBuild::Padded { micro_batches: 4 },
+        )
+        .expect_err("cannot fit");
+        assert_eq!(err, PlanError::Infeasible { tasks: 1 });
+    }
+
+    #[test]
+    fn empty_task_set_is_an_error() {
+        let r = setup(&[(1, 64)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let err = fuse_tasks(
+            &cm,
+            &[],
+            FusionPolicy::Dp,
+            &RangeBuild::Padded { micro_batches: 4 },
+        )
+        .expect_err("empty");
+        assert_eq!(err, PlanError::NoTasks);
+    }
+
+    #[test]
+    fn value_table_dp_matches_seed_dp() {
+        // The G-recurrence must reproduce the seed F(m, n) table's optimum
+        // bit-for-bit (same candidate sums, same minimum).
+        for shapes in [
+            vec![(4, 64), (2, 128), (8, 64), (4, 128), (2, 256), (8, 128)],
+            vec![(1, 64), (1, 64), (1, 64), (1, 64)],
+            vec![(64, 256), (64, 256), (64, 256), (64, 256)],
+            vec![(8, 128), (1, 64), (4, 64), (2, 256)],
+        ] {
+            let r = setup(&shapes);
+            let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+            let tasks: Vec<&PeftTask> = r.tasks().collect();
+            let build = RangeBuild::Padded { micro_batches: 4 };
+            let new = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("feasible");
+            let seed = fuse_dp_seed(&cm, &tasks, &build).expect("feasible");
+            assert_eq!(new.predicted.to_bits(), seed.predicted.to_bits());
         }
     }
 }

@@ -7,6 +7,9 @@
 //! assignment); the driver then picks the `P` whose estimated multi-task
 //! pipeline latency (Appendix A, Lemmas 1–2) is lowest.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use mux_model::ops::Pass;
 
 use crate::cost::CostModel;
@@ -30,22 +33,50 @@ pub fn first_stage_latencies(cm: &CostModel<'_>, htasks: &[HTask]) -> Vec<f64> {
         .collect()
 }
 
+/// A min-heap key over a bucket's `(load, index)`: load ascending via
+/// [`f64::total_cmp`] (no panics on non-finite loads), index ascending to
+/// match the seed's first-minimum tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BucketLoad {
+    load: f64,
+    index: usize,
+}
+
+impl Eq for BucketLoad {}
+
+impl PartialOrd for BucketLoad {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BucketLoad {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.load
+            .total_cmp(&other.load)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
 /// Greedy LPT partition of `lat` into `p` buckets minimizing variance:
-/// assign items largest-first to the currently lightest bucket.
+/// assign items largest-first to the currently lightest bucket. The
+/// lightest bucket comes off a min-heap — O(N log P) per call instead of
+/// the seed's O(N·P) linear re-scan, which made the `P`-traversal in
+/// [`group_htasks`] cubic in the hTask count.
 fn lpt_partition(lat: &[f64], p: usize) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..lat.len()).collect();
-    order.sort_by(|&a, &b| lat[b].partial_cmp(&lat[a]).expect("finite latencies"));
+    order.sort_by(|&a, &b| lat[b].total_cmp(&lat[a]));
     let mut buckets = vec![Vec::new(); p];
-    let mut loads = vec![0.0f64; p];
+    let mut loads: BinaryHeap<Reverse<BucketLoad>> = (0..p)
+        .map(|index| Reverse(BucketLoad { load: 0.0, index }))
+        .collect();
     for i in order {
-        let j = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
-            .map(|(j, _)| j)
-            .expect("p >= 1");
-        buckets[j].push(i);
-        loads[j] += lat[i];
+        let Reverse(BucketLoad { load, index }) = loads.pop().expect("p >= 1");
+        buckets[index].push(i);
+        loads.push(Reverse(BucketLoad {
+            load: load + lat[i],
+            index,
+        }));
     }
     buckets.retain(|b| !b.is_empty());
     buckets
@@ -66,17 +97,20 @@ pub fn bucket_variance(lat: &[f64], buckets: &[Vec<usize>]) -> f64 {
 /// warm-up/drain of the first and last sorted buckets plus every bucket's
 /// steady phase (`2 · C_j · t_j`, Lemma 2), where a bucket's stage latency
 /// is the sum of its members' (they interleave within a clock).
-fn estimate_grouped_latency(cm: &CostModel<'_>, htasks: &[HTask], buckets: &[Vec<usize>]) -> f64 {
-    let s = cm.num_stages();
+/// `stage_lat[i][stage]` is the memoized per-hTask forward stage latency —
+/// each `(hTask, stage)` pair is costed once per grouping run, not once per
+/// candidate `P`.
+fn estimate_grouped_latency(
+    stage_lat: &[Vec<f64>],
+    htasks: &[HTask],
+    buckets: &[Vec<usize>],
+) -> f64 {
+    let s = stage_lat.first().map_or(0, Vec::len);
     let bucket_bottleneck: Vec<f64> = buckets
         .iter()
         .map(|b| {
             (0..s)
-                .map(|stage| {
-                    b.iter()
-                        .map(|&i| cm.stage_latency(stage, &htasks[i], Pass::Forward))
-                        .sum::<f64>()
-                })
+                .map(|stage| b.iter().map(|&i| stage_lat[i][stage]).sum::<f64>())
                 .fold(0.0, f64::max)
         })
         .collect();
@@ -90,11 +124,7 @@ fn estimate_grouped_latency(cm: &CostModel<'_>, htasks: &[HTask], buckets: &[Vec
         })
         .collect();
     let mut order: Vec<usize> = (0..buckets.len()).collect();
-    order.sort_by(|&a, &b| {
-        bucket_bottleneck[b]
-            .partial_cmp(&bucket_bottleneck[a])
-            .expect("finite")
-    });
+    order.sort_by(|&a, &b| bucket_bottleneck[b].total_cmp(&bucket_bottleneck[a]));
     let t_first = bucket_bottleneck[order[0]];
     let t_last = bucket_bottleneck[*order.last().expect("non-empty")];
     let warm_drain = (s as f64 - 1.0) * (t_first + t_last);
@@ -109,7 +139,16 @@ fn estimate_grouped_latency(cm: &CostModel<'_>, htasks: &[HTask], buckets: &[Vec
 /// the result are sorted descending by latency (template rule 1).
 pub fn group_htasks(cm: &CostModel<'_>, htasks: &[HTask]) -> Grouping {
     assert!(!htasks.is_empty(), "no hTasks to group");
-    let lat = first_stage_latencies(cm, htasks);
+    let s = cm.num_stages();
+    let stage_lat: Vec<Vec<f64>> = htasks
+        .iter()
+        .map(|h| {
+            (0..s)
+                .map(|stage| cm.stage_latency(stage, h, Pass::Forward))
+                .collect()
+        })
+        .collect();
+    let lat: Vec<f64> = stage_lat.iter().map(|row| row[0]).collect();
     let mut best: Option<Grouping> = None;
     for p in 1..=htasks.len() {
         let mut buckets = lpt_partition(&lat, p);
@@ -117,9 +156,9 @@ pub fn group_htasks(cm: &CostModel<'_>, htasks: &[HTask]) -> Grouping {
         buckets.sort_by(|a, b| {
             let la: f64 = a.iter().map(|&i| lat[i]).sum();
             let lb: f64 = b.iter().map(|&i| lat[i]).sum();
-            lb.partial_cmp(&la).expect("finite")
+            lb.total_cmp(&la)
         });
-        let estimated = estimate_grouped_latency(cm, htasks, &buckets);
+        let estimated = estimate_grouped_latency(&stage_lat, htasks, &buckets);
         if best
             .as_ref()
             .map(|g| estimated < g.estimated)

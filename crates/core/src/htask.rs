@@ -9,6 +9,8 @@ use mux_data::align::{align, AlignStrategy, AlignedBatch, TaskData};
 use mux_model::ops::TokenShape;
 use mux_peft::types::{PeftTask, TaskId};
 
+use crate::error::PlanError;
+
 /// A hybrid task: spatially fused PEFT tasks plus their aligned data shape.
 #[derive(Debug, Clone)]
 pub struct HTask {
@@ -34,14 +36,22 @@ impl HTask {
     ///
     /// Per-task tokens per micro-batch are the aligned row counts scaled to
     /// one micro-batch; alignment decides `unit_len` and the padding bill.
+    ///
+    /// # Errors
+    /// Propagates alignment failures (empty member set, oversize sequences,
+    /// degenerate caps) as [`PlanError`] — fusion sits on the job-admission
+    /// path and must not panic on tenant input.
     pub fn fuse(
         members: &[&PeftTask],
         corpora: &[Vec<usize>],
         micro_batches: usize,
         strategy: AlignStrategy,
-    ) -> Self {
-        assert!(!members.is_empty(), "empty hTask");
-        assert_eq!(members.len(), corpora.len(), "one corpus per member");
+    ) -> Result<Self, PlanError> {
+        if members.len() != corpora.len() {
+            return Err(PlanError::DegenerateCost {
+                detail: format!("{} member(s) but {} corpora", members.len(), corpora.len()),
+            });
+        }
         let data: Vec<TaskData> = members
             .iter()
             .zip(corpora)
@@ -51,7 +61,7 @@ impl HTask {
                 cap: t.seq_len,
             })
             .collect();
-        let aligned: AlignedBatch = align(&data, strategy);
+        let aligned: AlignedBatch = align(&data, strategy)?;
         let tokens_per_task = members
             .iter()
             .map(|t| {
@@ -85,7 +95,7 @@ impl HTask {
             .iter()
             .map(|t| t.attn_splits * (t.rows * aligned.unit_len) as f64)
             .sum();
-        Self {
+        Ok(Self {
             tasks: members.iter().map(|t| t.id).collect(),
             tokens_per_task,
             unit_len: aligned.unit_len,
@@ -101,7 +111,7 @@ impl HTask {
             } else {
                 1.0
             },
-        }
+        })
     }
 
     /// Builds an hTask directly from per-task padded shapes (no corpus):
@@ -193,7 +203,8 @@ mod tests {
             &[ca, cb],
             4,
             AlignStrategy::ChunkBased { min_chunk: 64 },
-        );
+        )
+        .expect("fuses");
         assert!(chunked.effective_fraction > padded.effective_fraction);
         assert_eq!(chunked.unit_len, 64);
     }

@@ -20,6 +20,7 @@
 pub mod adapter_fusion;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod fusion;
 pub mod grouping;
 pub mod htask;
@@ -30,7 +31,8 @@ pub mod template;
 
 pub use cost::CostModel;
 pub use engine::{EngineOptions, MuxEngine, RunMetrics};
-pub use fusion::{fuse_tasks, FusionPlan, FusionPolicy};
+pub use error::PlanError;
+pub use fusion::{fuse_tasks, FusionPlan, FusionPolicy, RangeBuild};
 pub use grouping::{group_htasks, Grouping};
 pub use htask::HTask;
 pub use planner::{plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig};

@@ -14,7 +14,8 @@ use mux_peft::types::{PeftTask, TaskId};
 
 use crate::cost::CostModel;
 use crate::engine::{EngineOptions, MuxEngine, RunMetrics};
-use crate::fusion::{fuse_tasks, FusionPlan, FusionPolicy};
+use crate::error::PlanError;
+use crate::fusion::{fuse_tasks, FusionPlan, FusionPolicy, RangeBuild};
 use crate::grouping::{group_htasks, Grouping};
 use crate::htask::HTask;
 
@@ -64,12 +65,17 @@ pub struct MuxTuneReport {
 ///
 /// `corpora` supplies per-task raw sequence lengths for alignment-aware
 /// fusion; tasks without a corpus fall back to padded-shape planning.
+///
+/// # Errors
+/// Returns a typed [`PlanError`] — infeasible fusion, oversize sequence,
+/// degenerate cost, engine OOM — instead of panicking, so multi-tenant
+/// callers can reject the offending job while co-tenants keep running.
 pub fn plan_and_run(
     registry: &TaskRegistry,
     cluster: &Cluster,
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     cfg: &PlannerConfig,
-) -> Result<MuxTuneReport, OomError> {
+) -> Result<MuxTuneReport, PlanError> {
     plan_and_run_inner(registry, cluster, corpora, cfg, false).map(|(r, _)| r)
 }
 
@@ -84,7 +90,7 @@ pub fn plan_and_run_traced(
     cluster: &Cluster,
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     cfg: &PlannerConfig,
-) -> Result<(MuxTuneReport, Vec<OpRecord>), OomError> {
+) -> Result<(MuxTuneReport, Vec<OpRecord>), PlanError> {
     plan_and_run_inner(registry, cluster, corpora, cfg, true)
         .map(|(r, t)| (r, t.expect("trace requested")))
 }
@@ -110,23 +116,32 @@ fn plan_and_run_inner(
     corpora: &BTreeMap<TaskId, Vec<usize>>,
     cfg: &PlannerConfig,
     trace: bool,
-) -> Result<(MuxTuneReport, Option<Vec<OpRecord>>), OomError> {
+) -> Result<(MuxTuneReport, Option<Vec<OpRecord>>), PlanError> {
     let _total_span = mux_obs::span("planner.total");
     let t0 = Instant::now();
     let cm = CostModel::new(registry, cluster.gpus[0].clone(), cfg.plan);
     let tasks: Vec<&PeftTask> = registry.tasks().collect();
-    assert!(!tasks.is_empty(), "no tasks registered");
+    if tasks.is_empty() {
+        return Err(PlanError::NoTasks);
+    }
 
     let mbs = cfg.micro_batches;
     let align = cfg.align;
-    let build = |members: &[&PeftTask]| -> HTask {
+    let custom = |members: &[&PeftTask]| -> Result<HTask, PlanError> {
         let have_all = members.iter().all(|t| corpora.contains_key(&t.id));
         if have_all {
             let lens: Vec<Vec<usize>> = members.iter().map(|t| corpora[&t.id].clone()).collect();
             HTask::fuse(members, &lens, mbs, align)
         } else {
-            HTask::from_padded(members, mbs)
+            Ok(HTask::from_padded(members, mbs))
         }
+    };
+    // Without corpora every range is the canonical padded build, which lets
+    // the fusion DP prove memory feasibility in O(1) per range.
+    let build = if corpora.is_empty() {
+        RangeBuild::Padded { micro_batches: mbs }
+    } else {
+        RangeBuild::Custom(&custom)
     };
 
     // Candidate fusion plans. The Eq. 6 DP minimizes the *cost model's*
@@ -142,11 +157,21 @@ fn plan_and_run_inner(
         p => vec![p],
     };
     let mut best: Option<(MuxTuneReport, f64, Option<Vec<OpRecord>>)> = None;
-    let mut last_err: Option<OomError> = None;
+    // Fusion-level errors (infeasible, oversize, degenerate) carry the
+    // actionable reason; engine OOMs are the fallback diagnosis when every
+    // policy that fused still failed to run.
+    let mut plan_err: Option<PlanError> = None;
+    let mut run_err: Option<OomError> = None;
     for policy in policies {
         let fusion = {
             let _s = mux_obs::span("planner.fusion");
-            fuse_tasks(&cm, &tasks, policy, &build)
+            match fuse_tasks(&cm, &tasks, policy, &build) {
+                Ok(f) => f,
+                Err(e) => {
+                    plan_err.get_or_insert(e);
+                    continue;
+                }
+            }
         };
         let grouping = {
             let _s = mux_obs::span("planner.grouping");
@@ -262,13 +287,17 @@ fn plan_and_run_inner(
                         ));
                     }
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => run_err = Some(e),
             }
         }
     }
     let (mut report, _, trace_out) = match best {
         Some(b) => b,
-        None => return Err(last_err.expect("at least one candidate ran")),
+        None => {
+            return Err(plan_err
+                .or(run_err.map(PlanError::Oom))
+                .expect("at least one candidate was attempted"))
+        }
     };
     report.planning_seconds = t0.elapsed().as_secs_f64();
     mux_obs::set_gauge("run.makespan_seconds", report.metrics.makespan);

@@ -6,6 +6,18 @@
 //! (smallest topological depth) and launch the one with the longest
 //! cumulative latency — maximizing what in-flight communication can hide
 //! under.
+//!
+//! Selection runs on a [`BinaryHeap`] keyed by a precomputed
+//! `(priority, latency, dag, id)` tuple: each subgraph's latency is
+//! evaluated exactly once when it becomes ready, instead of twice per
+//! comparison inside an O(ready²) scan. Non-finite latencies (a degenerate
+//! cost model) order *after* every finite one via [`f64::total_cmp`] — the
+//! schedule degrades instead of crashing — and are surfaced on the
+//! `schedule.nonfinite_latency` warning counter in `mux-obs`.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::subgraph::Subgraph;
 
@@ -18,9 +30,56 @@ pub struct LaunchItem {
     pub subgraph: usize,
 }
 
+/// Precomputed selection key. The `Ord` instance realizes Algorithm 1's
+/// line-8 rule as a *minimum*: priority ascending, then latency descending
+/// (finite before non-finite), then `(dag, id)` for determinism.
+#[derive(Debug, Clone, Copy)]
+struct ReadyKey {
+    priority: usize,
+    latency: f64,
+    dag: usize,
+    subgraph: usize,
+}
+
+impl ReadyKey {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            // Finite latencies outrank non-finite ones: a degenerate cost
+            // model demotes its subgraphs instead of crashing the planner.
+            .then_with(|| other.latency.is_finite().cmp(&self.latency.is_finite()))
+            // Descending latency, matching the seed's partial_cmp on finite
+            // values; total_cmp keeps NaN payloads deterministic.
+            .then_with(|| other.latency.total_cmp(&self.latency))
+            .then_with(|| self.dag.cmp(&other.dag))
+            .then_with(|| self.subgraph.cmp(&other.subgraph))
+    }
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ReadyKey {}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_key(other)
+    }
+}
+
 /// Algorithm 1: multi-DAG Kahn with (priority, latency)-ordered selection.
 ///
-/// `latency(dag, sg)` supplies each subgraph's cumulative operator latency.
+/// `latency(dag, sg)` supplies each subgraph's cumulative operator latency;
+/// it is invoked exactly once per subgraph, when the subgraph becomes ready.
 pub fn schedule_subgraphs(
     dags: &[Vec<Subgraph>],
     latency: &dyn Fn(usize, &Subgraph) -> f64,
@@ -41,7 +100,73 @@ pub fn schedule_subgraphs(
             s
         })
         .collect();
-    // Ready set: (dag, sg) with in-degree 0, not yet launched.
+    let mut nonfinite = 0u64;
+    let mut push_ready = |heap: &mut BinaryHeap<Reverse<ReadyKey>>, dag: usize, sg: &Subgraph| {
+        let lat = latency(dag, sg);
+        if !lat.is_finite() {
+            nonfinite += 1;
+        }
+        heap.push(Reverse(ReadyKey {
+            priority: sg.priority,
+            latency: lat,
+            dag,
+            subgraph: sg.id,
+        }));
+    };
+    let mut ready: BinaryHeap<Reverse<ReadyKey>> = BinaryHeap::new();
+    for (di, d) in dags.iter().enumerate() {
+        for sg in d {
+            if sg.deps.is_empty() {
+                push_ready(&mut ready, di, sg);
+            }
+        }
+    }
+    let total: usize = dags.iter().map(|d| d.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(key)) = ready.pop() {
+        let item = LaunchItem {
+            dag: key.dag,
+            subgraph: key.subgraph,
+        };
+        out.push(item);
+        for &nxt in &succ[item.dag][item.subgraph] {
+            indeg[item.dag][nxt] -= 1;
+            if indeg[item.dag][nxt] == 0 {
+                push_ready(&mut ready, item.dag, &dags[item.dag][nxt]);
+            }
+        }
+        succ[item.dag][item.subgraph].clear();
+    }
+    if nonfinite > 0 {
+        mux_obs::incr_counter("schedule.nonfinite_latency", nonfinite);
+    }
+    assert_eq!(out.len(), total, "cycle detected in subgraph DAGs");
+    out
+}
+
+/// The seed O(ready²) selection loop, retained verbatim as the differential
+/// reference for the heap scheduler's equivalence proptest. Panics on
+/// non-finite latencies (the seed behaviour) — reference/test use only.
+pub fn schedule_subgraphs_reference(
+    dags: &[Vec<Subgraph>],
+    latency: &dyn Fn(usize, &Subgraph) -> f64,
+) -> Vec<LaunchItem> {
+    let mut indeg: Vec<Vec<usize>> = dags
+        .iter()
+        .map(|d| d.iter().map(|s| s.deps.len()).collect())
+        .collect();
+    let mut succ: Vec<Vec<Vec<usize>>> = dags
+        .iter()
+        .map(|d| {
+            let mut s = vec![Vec::new(); d.len()];
+            for sg in d {
+                for &dep in &sg.deps {
+                    s[dep].push(sg.id);
+                }
+            }
+            s
+        })
+        .collect();
     let mut ready: Vec<LaunchItem> = Vec::new();
     for (di, d) in dags.iter().enumerate() {
         for sg in d {
@@ -56,9 +181,6 @@ pub fn schedule_subgraphs(
     let total: usize = dags.iter().map(|d| d.len()).sum();
     let mut out = Vec::with_capacity(total);
     while !ready.is_empty() {
-        // Highest priority = minimal topological depth; break ties by the
-        // longest cumulative latency (line 8 of Algorithm 1), then by
-        // (dag, id) for determinism.
         let best = ready
             .iter()
             .enumerate()
@@ -194,5 +316,33 @@ mod tests {
         let a = schedule_subgraphs(&[mk(), mk()], &|_, _| 1.0);
         let b = schedule_subgraphs(&[mk(), mk()], &|_, _| 1.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nonfinite_latency_degrades_and_counts_instead_of_panicking() {
+        let _guard = mux_obs::enabled_scope();
+        mux_obs::reset();
+        // DAG 1's root costs NaN: it must still be scheduled (last among
+        // its priority class), dependencies intact, with a warning counted.
+        let dag_a = vec![sg(0, 0, vec![], true), sg(1, 1, vec![0], true)];
+        let dag_b = vec![sg(0, 0, vec![], true), sg(1, 1, vec![0], true)];
+        let order = schedule_subgraphs(&[dag_a.clone(), dag_b.clone()], &|dag, s| {
+            if dag == 1 && s.id == 0 {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        assert!(is_valid_order(&[dag_a, dag_b], &order));
+        assert_eq!(
+            order[0],
+            LaunchItem {
+                dag: 0,
+                subgraph: 0
+            },
+            "finite-latency root outranks the NaN one"
+        );
+        let snap = mux_obs::snapshot();
+        assert_eq!(snap.counters.get("schedule.nonfinite_latency"), Some(&1));
     }
 }

@@ -1,8 +1,11 @@
-//! Property test: the Eq. 6 fusion DP is exact. For M ≤ 8 tasks the
-//! contiguous partitions of the sorted task list can be enumerated
-//! outright (2^(M-1) of them); the DP's chosen objective must equal the
-//! brute-force optimum under the same cost model and memory filter, and
-//! the returned plan must itself be feasible and correctly priced.
+//! Property tests: the Eq. 6 fusion DP is exact and the value-table
+//! refactor is a pure optimization. For M ≤ 8 tasks the contiguous
+//! partitions of the sorted task list can be enumerated outright
+//! (2^(M-1) of them); the DP's chosen objective must equal the
+//! brute-force optimum under the same cost model and memory filter, the
+//! returned plan must itself be feasible and correctly priced, and the
+//! O(M²) value-table DP must reproduce the seed O(M³) implementation's
+//! optimum bit for bit.
 
 use mux_gpu_sim::spec::GpuSpec;
 use mux_model::config::ModelConfig;
@@ -10,7 +13,8 @@ use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
 use muxtune_core::cost::CostModel;
-use muxtune_core::fusion::{fuse_tasks, sort_by_tokens, FusionPolicy};
+use muxtune_core::error::PlanError;
+use muxtune_core::fusion::{fuse_dp_seed, fuse_tasks, sort_by_tokens, FusionPolicy, RangeBuild};
 use muxtune_core::htask::HTask;
 use proptest::prelude::*;
 
@@ -65,31 +69,39 @@ fn brute_force_optimum(cm: &CostModel<'_>, sorted: &[&PeftTask]) -> Option<f64> 
     best
 }
 
+fn shape_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![1usize, 2, 4, 8]),
+            prop::sample::select(vec![64usize, 128, 256]),
+        ),
+        1..9,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn dp_matches_exhaustive_enumeration(
-        shapes in prop::collection::vec(
-            (
-                prop::sample::select(vec![1usize, 2, 4, 8]),
-                prop::sample::select(vec![64usize, 128, 256]),
-            ),
-            1..9,
-        ),
-    ) {
+    fn dp_matches_exhaustive_enumeration(shapes in shape_strategy()) {
         let r = registry(&shapes);
         let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let tasks: Vec<&PeftTask> = r.tasks().collect();
         let sorted = sort_by_tokens(&tasks);
-        // The DP asserts when not even the fully temporal split fits;
-        // restrict to workloads with at least one feasible partition.
         let brute = brute_force_optimum(&cm, &sorted);
-        prop_assume!(brute.is_some());
-        let brute = brute.expect("assumed feasible");
 
-        let plan =
-            fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &|m| HTask::from_padded(m, MBS));
+        let build = RangeBuild::Padded { micro_batches: MBS };
+        let plan = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build);
+
+        // With no feasible partition at all the DP must report, not panic.
+        let Some(brute) = brute else {
+            prop_assert_eq!(
+                plan.expect_err("no feasible partition"),
+                PlanError::Infeasible { tasks: sorted.len() }
+            );
+            return Ok(());
+        };
+        let plan = plan.expect("a feasible partition exists");
 
         // Exactness: the DP found the enumeration's optimum.
         let rel = (plan.predicted - brute).abs() / brute.max(1e-12);
@@ -122,5 +134,47 @@ proptest! {
         let flat: Vec<TaskId> = plan.htasks.iter().flat_map(|h| h.tasks.clone()).collect();
         let expect: Vec<TaskId> = sorted.iter().map(|t| t.id).collect();
         prop_assert_eq!(flat, expect);
+    }
+
+    /// The cache refactor is value-preserving: the O(M²) value-table DP
+    /// and the seed O(M³) clone-cache DP see the exact same candidate
+    /// sums (left-to-right association in both), so their optima must be
+    /// bitwise identical — as must each returned plan's re-priced
+    /// objective.
+    #[test]
+    fn value_table_dp_is_bitwise_identical_to_seed(shapes in shape_strategy()) {
+        let r = registry(&shapes);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let build = RangeBuild::Padded { micro_batches: MBS };
+        let new = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build);
+        let seed = fuse_dp_seed(&cm, &tasks, &build);
+        match (new, seed) {
+            (Ok(n), Ok(s)) => {
+                prop_assert_eq!(
+                    n.predicted.to_bits(),
+                    s.predicted.to_bits(),
+                    "value-table {} vs seed {}",
+                    n.predicted,
+                    s.predicted
+                );
+                // Tie-broken *partitions* may differ; both must price to
+                // the shared optimum.
+                let sorted = sort_by_tokens(&tasks);
+                for plan in [&n, &s] {
+                    let cuts: Vec<usize> = std::iter::once(0)
+                        .chain(plan.htasks.iter().scan(0, |acc, h| {
+                            *acc += h.tasks.len();
+                            Some(*acc)
+                        }))
+                        .collect();
+                    let repriced = partition_objective(&cm, &sorted, &cuts)
+                        .expect("chosen plan must be feasible");
+                    prop_assert_eq!(repriced.to_bits(), n.predicted.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (n, s) => prop_assert!(false, "divergence: new {:?} vs seed {:?}", n, s),
+        }
     }
 }

@@ -1,0 +1,53 @@
+//! Property test: the heap-based Algorithm 1 scheduler produces exactly
+//! the launch order of the seed O(ready²) scan it replaced, on random
+//! multi-DAG inputs with finite positive latencies (the seed's domain).
+
+use muxtune_core::schedule::{is_valid_order, schedule_subgraphs, schedule_subgraphs_reference};
+use muxtune_core::subgraph::Subgraph;
+use proptest::prelude::*;
+
+/// A random forward-edge DAG: `deps[i] ⊆ {0..i}`, priority = topological
+/// depth (as the segmenter produces it, which the priority rule assumes).
+fn dag_strategy() -> impl Strategy<Value = Vec<Subgraph>> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), 0..6), 1..8).prop_map(|rows| {
+        let n = rows.len();
+        let mut depth = vec![0usize; n];
+        let mut dags = Vec::with_capacity(n);
+        for (i, row) in rows.into_iter().enumerate() {
+            let deps: Vec<usize> = row
+                .into_iter()
+                .take(i)
+                .enumerate()
+                .filter_map(|(j, keep)| keep.then_some(j))
+                .collect();
+            depth[i] = deps.iter().map(|&d| depth[d] + 1).max().unwrap_or(0);
+            dags.push(Subgraph {
+                id: i,
+                nodes: vec![i],
+                priority: depth[i],
+                deps,
+                is_adapter: i % 2 == 0,
+                task: 0,
+                has_comm: i % 3 == 0,
+            });
+        }
+        dags
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn heap_scheduler_matches_seed_reference(
+        dags in prop::collection::vec(dag_strategy(), 1..5),
+        // Finite, positive, occasionally tied latencies.
+        lat_seed in prop::collection::vec(prop::sample::select(vec![0.5f64, 1.0, 1.0, 2.5, 7.0, 100.0]), 64..65),
+    ) {
+        let latency = |dag: usize, sg: &Subgraph| lat_seed[(dag * 31 + sg.id * 7) % lat_seed.len()];
+        let fast = schedule_subgraphs(&dags, &latency);
+        let slow = schedule_subgraphs_reference(&dags, &latency);
+        prop_assert!(is_valid_order(&dags, &fast));
+        prop_assert_eq!(fast, slow);
+    }
+}

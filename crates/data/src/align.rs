@@ -13,7 +13,41 @@
 //!   partitioning with KV-reuse dependencies.
 
 use crate::chunk::{chunk_packs, chunk_size_rule, Chunk};
-use crate::packing::{pack_ffd, Pack};
+use crate::packing::{pack_ffd, Pack, PackError};
+
+/// Why a set of task batches could not be aligned.
+///
+/// Alignment runs on the job-admission path of a multi-tenant service, so
+/// bad tenant input (an empty task set, a zero cap, an un-truncated
+/// oversize sequence) must surface as a value the caller can attach to the
+/// offending job — never as a panic that takes down co-tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignError {
+    /// No tasks were supplied.
+    NoTasks,
+    /// A chunked strategy was asked to use chunk size zero.
+    ZeroChunk,
+    /// Packing failed (oversize sequence or zero capacity).
+    Pack(PackError),
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::NoTasks => write!(f, "no tasks to align"),
+            AlignError::ZeroChunk => write!(f, "chunk size must be positive"),
+            AlignError::Pack(e) => write!(f, "packing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+impl From<PackError> for AlignError {
+    fn from(e: PackError) -> Self {
+        AlignError::Pack(e)
+    }
+}
 
 /// A task's data contribution to one aligned global batch.
 #[derive(Debug, Clone)]
@@ -138,13 +172,16 @@ fn truncated_lens(td: &TaskData) -> Vec<usize> {
     td.seq_lens.iter().map(|&l| l.min(td.cap)).collect()
 }
 
-fn align_task_pack_only(td: &TaskData, unit: usize) -> (TaskAlignment, Vec<Pack>) {
+fn align_task_pack_only(
+    td: &TaskData,
+    unit: usize,
+) -> Result<(TaskAlignment, Vec<Pack>), AlignError> {
     let raw = truncated_lens(td);
     let effective: u64 = raw.iter().map(|&l| l as u64).sum();
-    let packs = pack_ffd(&raw, unit);
+    let packs = pack_ffd(&raw, unit)?;
     let slack: u64 = packs.iter().map(|p| p.slack() as u64).sum();
     let waste: u64 = packs.iter().map(|p| p.cross_attention_waste()).sum();
-    (
+    Ok((
         TaskAlignment {
             task: td.task,
             rows: packs.len(),
@@ -159,17 +196,23 @@ fn align_task_pack_only(td: &TaskData, unit: usize) -> (TaskAlignment, Vec<Pack>
             attn_splits: 1.0,
         },
         packs,
-    )
+    ))
 }
 
-fn align_task_chunked(td: &TaskData, chunk: usize) -> (TaskAlignment, Vec<Chunk>) {
+fn align_task_chunked(
+    td: &TaskData,
+    chunk: usize,
+) -> Result<(TaskAlignment, Vec<Chunk>), AlignError> {
+    if chunk == 0 {
+        return Err(AlignError::ZeroChunk);
+    }
     let raw = truncated_lens(td);
     let effective: u64 = raw.iter().map(|&l| l as u64).sum();
     // Pack within the task into dense rows sized to the cap rounded up to
     // a whole number of chunks, then partition uniformly. Rows spanning
     // multiple chunks chain through KV-cache reuse.
     let pack_cap = td.cap.div_ceil(chunk) * chunk;
-    let packs = pack_ffd(&raw, pack_cap);
+    let packs = pack_ffd(&raw, pack_cap)?;
     let chunks = chunk_packs(&packs, chunk);
     let inter: u64 = chunks.iter().map(|c| c.padding as u64).sum();
     let kv: u64 = chunks.iter().map(|c| c.kv_context as u64).sum();
@@ -184,7 +227,7 @@ fn align_task_chunked(td: &TaskData, chunk: usize) -> (TaskAlignment, Vec<Chunk>
         .sum();
     let n_packs = packs.len().max(1) as f64;
     let splits = chunks.len() as f64 / n_packs;
-    (
+    Ok((
         TaskAlignment {
             task: td.task,
             rows: chunks.len(),
@@ -204,14 +247,22 @@ fn align_task_chunked(td: &TaskData, chunk: usize) -> (TaskAlignment, Vec<Chunk>
             attn_splits: splits.max(1.0),
         },
         chunks,
-    )
+    ))
 }
 
 /// Aligns the global batches of spatially fused tasks.
-pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
-    assert!(!tasks.is_empty(), "no tasks to align");
-    let global_max = tasks.iter().map(|t| t.cap).max().expect("non-empty");
-    match strategy {
+///
+/// # Errors
+/// Returns [`AlignError`] on bad tenant input — an empty task set, a zero
+/// chunk size, or packing failures — instead of panicking, so callers on
+/// the job-admission path can reject only the offending job.
+pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> Result<AlignedBatch, AlignError> {
+    let global_max = tasks
+        .iter()
+        .map(|t| t.cap)
+        .max()
+        .ok_or(AlignError::NoTasks)?;
+    Ok(match strategy {
         AlignStrategy::ZeroPadGlobalMax => AlignedBatch {
             strategy,
             unit_len: global_max,
@@ -225,8 +276,8 @@ pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
             unit_len: global_max,
             tasks: tasks
                 .iter()
-                .map(|t| align_task_pack_only(t, global_max).0)
-                .collect(),
+                .map(|t| align_task_pack_only(t, global_max).map(|r| r.0))
+                .collect::<Result<Vec<_>, _>>()?,
         },
         AlignStrategy::ChunkBased { min_chunk } => {
             let caps: Vec<usize> = tasks.iter().map(|t| t.cap).collect();
@@ -236,8 +287,8 @@ pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
                 unit_len: chunk,
                 tasks: tasks
                     .iter()
-                    .map(|t| align_task_chunked(t, chunk).0)
-                    .collect(),
+                    .map(|t| align_task_chunked(t, chunk).map(|r| r.0))
+                    .collect::<Result<Vec<_>, _>>()?,
             }
         }
         AlignStrategy::ChunkExact { chunk } => AlignedBatch {
@@ -245,10 +296,10 @@ pub fn align(tasks: &[TaskData], strategy: AlignStrategy) -> AlignedBatch {
             unit_len: chunk,
             tasks: tasks
                 .iter()
-                .map(|t| align_task_chunked(t, chunk).0)
-                .collect(),
+                .map(|t| align_task_chunked(t, chunk).map(|r| r.0))
+                .collect::<Result<Vec<_>, _>>()?,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -273,7 +324,7 @@ mod tests {
             task_from(DatasetKind::Sst2, 8, 1, 1),
             task_from(DatasetKind::Rte, 8, 2, 2),
         ];
-        let a = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
+        let a = align(&tasks, AlignStrategy::ZeroPadGlobalMax).expect("aligns");
         assert_eq!(a.unit_len, 256);
         assert_eq!(a.tasks[0].inter_task_padding, 8 * 192);
         assert_eq!(a.tasks[1].inter_task_padding, 0);
@@ -287,9 +338,9 @@ mod tests {
             task_from(DatasetKind::Sst2, 16, 3, 1),
             task_from(DatasetKind::OpenBookQa, 16, 4, 2),
         ];
-        let a = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let a = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert_eq!(a.unit_len, 64);
-        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
+        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax).expect("aligns");
         let pad_cb: u64 = a.tasks.iter().map(|t| t.inter_task_padding).sum();
         let pad_zp: u64 = zp
             .tasks
@@ -309,8 +360,8 @@ mod tests {
             task_from(DatasetKind::Sst2, 16, 6, 2),
             task_from(DatasetKind::Rte, 16, 7, 3),
         ];
-        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
-        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax).expect("aligns");
+        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert!(
             cb.effective_fraction() > zp.effective_fraction() * 1.2,
             "chunked {} vs zero-pad {}",
@@ -322,8 +373,8 @@ mod tests {
     #[test]
     fn pack_only_has_attention_waste_but_chunked_does_not() {
         let tasks = vec![task_from(DatasetKind::Sst2, 32, 8, 1)];
-        let po = align(&tasks, AlignStrategy::PackOnly);
-        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let po = align(&tasks, AlignStrategy::PackOnly).expect("aligns");
+        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert!(
             po.tasks[0].attention_waste > 0,
             "packing long rows wastes attention"
@@ -338,8 +389,8 @@ mod tests {
             task_from(DatasetKind::Sst2, 16, 20, 1),
             task_from(DatasetKind::Rte, 16, 9, 2),
         ];
-        let po = align(&tasks, AlignStrategy::PackOnly);
-        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let po = align(&tasks, AlignStrategy::PackOnly).expect("aligns");
+        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert!(cb.unit_len < po.unit_len);
         assert!(cb.total_rows() > po.total_rows());
     }
@@ -350,9 +401,10 @@ mod tests {
             task_from(DatasetKind::OpenBookQa, 24, 10, 1),
             task_from(DatasetKind::Rte, 24, 11, 2),
         ];
-        let e1 = align(&tasks, AlignStrategy::ZeroPadGlobalMax).effective_tokens();
-        let e2 = align(&tasks, AlignStrategy::PackOnly).effective_tokens();
-        let e3 = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).effective_tokens();
+        let effective = |s: AlignStrategy| align(&tasks, s).expect("aligns").effective_tokens();
+        let e1 = effective(AlignStrategy::ZeroPadGlobalMax);
+        let e2 = effective(AlignStrategy::PackOnly);
+        let e3 = effective(AlignStrategy::ChunkBased { min_chunk: 64 });
         assert_eq!(e1, e2);
         assert_eq!(e2, e3);
     }
@@ -366,7 +418,7 @@ mod tests {
             task_from(DatasetKind::Sst2, 16, 12, 1),
             task_from(DatasetKind::Sst2, 16, 13, 2),
         ];
-        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax);
+        let zp = align(&tasks, AlignStrategy::ZeroPadGlobalMax).expect("aligns");
         assert_eq!(
             zp.tasks.iter().map(|t| t.inter_task_padding).sum::<u64>(),
             0
@@ -381,17 +433,30 @@ mod tests {
             task_from(DatasetKind::Sst2, 8, 21, 1),
             task_from(DatasetKind::Rte, 8, 14, 2),
         ];
-        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let cb = align(&tasks, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert_eq!(cb.unit_len, 64);
         assert!(
             cb.tasks[1].kv_context_tokens > 0,
             "256-cap rows span 64-token chunks"
         );
         let short = vec![task_from(DatasetKind::Sst2, 8, 15, 1)];
-        let cb2 = align(&short, AlignStrategy::ChunkBased { min_chunk: 64 });
+        let cb2 = align(&short, AlignStrategy::ChunkBased { min_chunk: 64 }).expect("aligns");
         assert_eq!(
             cb2.tasks[0].kv_context_tokens, 0,
             "64-cap rows fit one chunk"
+        );
+    }
+
+    #[test]
+    fn bad_input_is_an_error_not_a_panic() {
+        assert_eq!(
+            align(&[], AlignStrategy::ZeroPadGlobalMax).expect_err("empty"),
+            AlignError::NoTasks
+        );
+        let tasks = vec![task_from(DatasetKind::Sst2, 4, 16, 1)];
+        assert_eq!(
+            align(&tasks, AlignStrategy::ChunkExact { chunk: 0 }).expect_err("zero chunk"),
+            AlignError::ZeroChunk
         );
     }
 }

@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn chunking_preserves_tokens() {
-        let packs = pack_ffd(&[60, 50, 40, 30, 20, 10], 128);
+        let packs = pack_ffd(&[60, 50, 40, 30, 20, 10], 128).expect("fits");
         let chunks = chunk_packs(&packs, 64);
         let eff: usize = chunks.iter().map(|c| c.effective).sum();
         assert_eq!(eff, 210);
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn only_final_chunk_of_a_pack_pads() {
-        let packs = pack_ffd(&[100, 60], 256);
+        let packs = pack_ffd(&[100, 60], 256).expect("fits");
         let chunks = chunk_packs(&packs, 64);
         // One pack of 160 tokens -> 3 chunks: 64, 64, 32(+32 pad).
         assert_eq!(chunks.len(), 3);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn kv_dependencies_chain_within_pack() {
-        let packs = pack_ffd(&[200], 256);
+        let packs = pack_ffd(&[200], 256).expect("fits");
         let chunks = chunk_packs(&packs, 64);
         assert_eq!(chunks.len(), 4);
         assert!(!chunks[0].depends_on_prev);
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn smaller_chunks_reduce_padding() {
         // Fig 13's tradeoff: padding falls as chunks shrink.
-        let packs = pack_ffd(&[70, 70, 70], 256);
+        let packs = pack_ffd(&[70, 70, 70], 256).expect("fits");
         let frac_small = padding_fraction(&chunk_packs(&packs, 16));
         let frac_large = padding_fraction(&chunk_packs(&packs, 128));
         assert!(frac_small < frac_large, "{frac_small} vs {frac_large}");
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn full_packs_have_zero_padding() {
-        let packs = pack_ffd(&[64, 64], 64);
+        let packs = pack_ffd(&[64, 64], 64).expect("fits");
         let chunks = chunk_packs(&packs, 64);
         assert_eq!(padding_fraction(&chunks), 0.0);
     }

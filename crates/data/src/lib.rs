@@ -12,8 +12,8 @@ pub mod corpus;
 pub mod packing;
 pub mod stream;
 
-pub use align::{align, AlignStrategy, AlignedBatch, TaskAlignment, TaskData};
+pub use align::{align, AlignError, AlignStrategy, AlignedBatch, TaskAlignment, TaskData};
 pub use chunk::{chunk_size_rule, Chunk, DEFAULT_MIN_CHUNK};
 pub use corpus::{Corpus, DatasetKind};
-pub use packing::{pack_ffd, Pack};
+pub use packing::{pack_ffd, Pack, PackError};
 pub use stream::StreamingLoader;

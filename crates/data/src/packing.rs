@@ -32,28 +32,67 @@ impl Pack {
     }
 }
 
+/// Why a packing request could not be satisfied.
+///
+/// Packing failures are tenant-input problems (a sequence that does not
+/// fit the advertised row capacity), so they surface as values rather than
+/// panics: a multi-tenant service must reject the offending job, not abort
+/// the process for everyone sharing the backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// A sequence is longer than the pack capacity. Callers that want the
+    /// lenient behaviour truncate to the dataset cap *before* packing (the
+    /// service does this at corpus ingestion).
+    OversizeSequence {
+        /// Offending sequence length.
+        len: usize,
+        /// Row capacity it failed to fit.
+        capacity: usize,
+    },
+    /// The requested row capacity is zero but there are sequences to pack.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::OversizeSequence { len, capacity } => {
+                write!(
+                    f,
+                    "sequence of length {len} exceeds pack capacity {capacity}"
+                )
+            }
+            PackError::ZeroCapacity => write!(f, "pack capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
 /// Packs `lengths` into bins of `capacity` with first-fit-decreasing.
 ///
 /// ```
 /// use mux_data::packing::pack_ffd;
-/// let packs = pack_ffd(&[30, 30, 20, 10], 64);
+/// let packs = pack_ffd(&[30, 30, 20, 10], 64).expect("fits");
 /// assert_eq!(packs.len(), 2); // [30+30], [20+10] — half the rows
 /// assert!(packs.iter().all(|p| p.used <= 64));
 /// ```
 ///
-/// # Panics
-/// Panics if any sequence exceeds `capacity` (callers truncate to the
-/// dataset cap first).
-pub fn pack_ffd(lengths: &[usize], capacity: usize) -> Vec<Pack> {
-    assert!(capacity > 0, "capacity must be positive");
+/// # Errors
+/// Returns [`PackError::OversizeSequence`] if any sequence exceeds
+/// `capacity` (callers truncate to the dataset cap first) and
+/// [`PackError::ZeroCapacity`] if `capacity == 0` with a non-empty input.
+pub fn pack_ffd(lengths: &[usize], capacity: usize) -> Result<Vec<Pack>, PackError> {
+    if capacity == 0 && !lengths.is_empty() {
+        return Err(PackError::ZeroCapacity);
+    }
     let mut sorted: Vec<usize> = lengths.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut packs: Vec<Pack> = Vec::new();
     for len in sorted {
-        assert!(
-            len <= capacity,
-            "sequence of length {len} exceeds pack capacity {capacity}"
-        );
+        if len > capacity {
+            return Err(PackError::OversizeSequence { len, capacity });
+        }
         match packs.iter_mut().find(|p| p.used + len <= capacity) {
             Some(p) => {
                 p.seq_lens.push(len);
@@ -66,7 +105,7 @@ pub fn pack_ffd(lengths: &[usize], capacity: usize) -> Vec<Pack> {
             }),
         }
     }
-    packs
+    Ok(packs)
 }
 
 /// Density of a packing: effective tokens / (packs × capacity).
@@ -86,7 +125,7 @@ mod tests {
     #[test]
     fn packing_preserves_all_sequences() {
         let lens = vec![10, 20, 30, 40, 50, 60];
-        let packs = pack_ffd(&lens, 64);
+        let packs = pack_ffd(&lens, 64).expect("fits");
         let mut recovered: Vec<usize> = packs.iter().flat_map(|p| p.seq_lens.clone()).collect();
         recovered.sort_unstable();
         assert_eq!(recovered, vec![10, 20, 30, 40, 50, 60]);
@@ -95,7 +134,7 @@ mod tests {
     #[test]
     fn packing_never_overflows_capacity() {
         let lens: Vec<usize> = (1..=50).map(|i| (i * 7) % 63 + 1).collect();
-        for p in pack_ffd(&lens, 64) {
+        for p in pack_ffd(&lens, 64).expect("fits") {
             assert!(p.used <= 64);
             assert_eq!(p.used, p.seq_lens.iter().sum::<usize>());
         }
@@ -104,36 +143,52 @@ mod tests {
     #[test]
     fn ffd_beats_one_sequence_per_row() {
         let lens = vec![30, 30, 30, 30, 4, 4, 4, 4];
-        let packs = pack_ffd(&lens, 64);
+        let packs = pack_ffd(&lens, 64).expect("fits");
         assert!(packs.len() < lens.len(), "packing should merge rows");
         assert!(packing_density(&packs) > 0.5);
     }
 
     #[test]
     fn full_sequences_get_own_packs() {
-        let packs = pack_ffd(&[64, 64, 64], 64);
+        let packs = pack_ffd(&[64, 64, 64], 64).expect("fits");
         assert_eq!(packs.len(), 3);
         assert!(packs.iter().all(|p| p.slack() == 0));
     }
 
     #[test]
     fn cross_attention_waste_zero_for_single_sequence() {
-        let packs = pack_ffd(&[40], 64);
+        let packs = pack_ffd(&[40], 64).expect("fits");
         assert_eq!(packs[0].cross_attention_waste(), 0);
-        let multi = pack_ffd(&[30, 30], 64);
+        let multi = pack_ffd(&[30, 30], 64).expect("fits");
         // (60² - 2·30²) = 1800 void score entries.
         assert_eq!(multi[0].cross_attention_waste(), 1800);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds pack capacity")]
-    fn oversize_sequence_rejected() {
-        pack_ffd(&[100], 64);
+    fn oversize_sequence_is_an_error_not_a_panic() {
+        let err = pack_ffd(&[100], 64).expect_err("oversize");
+        assert_eq!(
+            err,
+            PackError::OversizeSequence {
+                len: 100,
+                capacity: 64
+            }
+        );
+        assert!(err.to_string().contains("exceeds pack capacity"));
+    }
+
+    #[test]
+    fn zero_capacity_is_an_error_for_nonempty_input() {
+        assert_eq!(
+            pack_ffd(&[1], 0).expect_err("zero cap"),
+            PackError::ZeroCapacity
+        );
+        assert!(pack_ffd(&[], 0).expect("vacuous").is_empty());
     }
 
     #[test]
     fn empty_input_gives_no_packs() {
-        assert!(pack_ffd(&[], 64).is_empty());
+        assert!(pack_ffd(&[], 64).expect("empty").is_empty());
         assert_eq!(packing_density(&[]), 0.0);
     }
 }

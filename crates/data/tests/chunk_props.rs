@@ -79,7 +79,7 @@ proptest! {
         cap in prop::sample::select(vec![256usize, 512]),
         chunk in prop::sample::select(vec![32usize, 64, 128]),
     ) {
-        let packs = pack_ffd(&lens, cap);
+        let packs = pack_ffd(&lens, cap).expect("lens bounded by cap");
         let chunks = chunk_packs(&packs, chunk);
         let total: usize = lens.iter().sum();
         let effective: usize = chunks.iter().map(|c| c.effective).sum();

@@ -5,7 +5,6 @@ use proptest::prelude::*;
 
 use muxtune::core::cost::CostModel;
 use muxtune::core::fusion::{fuse_tasks, FusionPolicy};
-use muxtune::core::htask::HTask;
 use muxtune::core::schedule::{is_valid_order, schedule_subgraphs};
 use muxtune::core::subgraph::{segment, validate_segmentation};
 use muxtune::core::template::{build_template, BucketOrder};
@@ -26,7 +25,7 @@ proptest! {
 
     #[test]
     fn packing_is_a_partition(lens in prop::collection::vec(1usize..=256, 1..80)) {
-        let packs = pack_ffd(&lens, 256);
+        let packs = pack_ffd(&lens, 256).expect("lens bounded by cap");
         let mut out: Vec<usize> = packs.iter().flat_map(|p| p.seq_lens.clone()).collect();
         let mut inp = lens.clone();
         out.sort_unstable();
@@ -39,7 +38,7 @@ proptest! {
 
     #[test]
     fn packing_density_is_sane(lens in prop::collection::vec(1usize..=128, 1..60)) {
-        let packs = pack_ffd(&lens, 128);
+        let packs = pack_ffd(&lens, 128).expect("lens bounded by cap");
         let d = packing_density(&packs);
         prop_assert!(d > 0.0 && d <= 1.0);
         // FFD never uses more bins than one-sequence-per-bin.
@@ -53,7 +52,7 @@ proptest! {
         lens in prop::collection::vec(1usize..=256, 1..40),
         chunk in prop::sample::select(vec![16usize, 32, 64, 128]),
     ) {
-        let packs = pack_ffd(&lens, 256);
+        let packs = pack_ffd(&lens, 256).expect("lens bounded by cap");
         let chunks = chunk_packs(&packs, chunk);
         let eff: usize = chunks.iter().map(|c| c.effective).sum();
         prop_assert_eq!(eff, lens.iter().sum::<usize>());
@@ -99,7 +98,7 @@ proptest! {
             AlignStrategy::PackOnly,
             AlignStrategy::ChunkBased { min_chunk: 64 },
         ] {
-            let a = align(&[t1.clone(), t2.clone()], strategy);
+            let a = align(&[t1.clone(), t2.clone()], strategy).expect("non-empty corpora align");
             prop_assert_eq!(a.effective_tokens(), raw);
             prop_assert!(a.effective_fraction() <= 1.0);
             // Processed tokens = rows * unit >= effective content.
@@ -223,7 +222,13 @@ proptest! {
         }
         let cm = CostModel::new(&reg, GpuSpec::a40(), HybridParallelism::pipeline(4));
         let tasks: Vec<&PeftTask> = reg.tasks().collect();
-        let plan = fuse_tasks(&cm, &tasks, policy, &|m| HTask::from_padded(m, 2));
+        let plan = fuse_tasks(
+            &cm,
+            &tasks,
+            policy,
+            &muxtune::core::fusion::RangeBuild::Padded { micro_batches: 2 },
+        )
+        .expect("small padded workloads are feasible");
         let mut all: Vec<TaskId> = plan.htasks.iter().flat_map(|h| h.tasks.clone()).collect();
         all.sort_unstable();
         prop_assert_eq!(all, (1..=shapes.len() as TaskId).collect::<Vec<_>>());

@@ -1,0 +1,81 @@
+//! Property test: the multi-tenant service never panics on untrusted job
+//! input. Random job streams — including zero-sized specs, unknown
+//! backbones, oversize and degenerate custom corpora, and memory-infeasible
+//! workloads — flow end to end through `submit`/`advance`/
+//! `run_to_completion`; every job must land in a terminal state, rejected
+//! ones with a reason, and co-tenants must be unaffected.
+
+use muxtune::prelude::*;
+use proptest::prelude::*;
+
+/// One randomized tenant submission. The corpus axis deliberately covers
+/// pathological shapes: empty, all-zero, oversize rows, and huge rows that
+/// make the membership memory-infeasible.
+fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        prop::sample::select(vec!["LLaMA2-7B", "GPT3-2.7B", "NoSuchModel"]),
+        prop::sample::select(vec![
+            DatasetKind::Sst2,
+            DatasetKind::Rte,
+            DatasetKind::OpenBookQa,
+        ]),
+        prop::sample::select(vec![0usize, 1, 4, 8]),
+        prop::sample::select(vec![0u64, 1, 10_000, 60_000]),
+        prop::sample::select(vec![
+            None,
+            Some(vec![]),
+            Some(vec![0, 0]),
+            Some(vec![64, 0, 9_999, 128]),
+            Some(vec![256; 600]),
+        ]),
+        prop::sample::select(vec![None, Some(1e-3), Some(1e9)]),
+    )
+        .prop_map(|(backbone, dataset, mb, tokens, lens, slo)| {
+            let mut s = JobSpec::lora(backbone, dataset, 16, mb, tokens);
+            if let Some(lens) = lens {
+                s = s.with_sequence_lengths(lens);
+            }
+            if let Some(slo) = slo {
+                s = s.with_slo(slo);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_job_streams_never_panic_end_to_end(
+        specs in prop::collection::vec(spec_strategy(), 1..7),
+        dt in prop::sample::select(vec![0.0f64, 1e-9, 5.0, f64::NAN, -1.0]),
+    ) {
+        let mut cfg = ServiceConfig::a40_pool(8);
+        cfg.backbone_layers = Some(8);
+        let mut svc = FineTuneService::new(cfg);
+        let mut ids = Vec::new();
+        for spec in specs {
+            ids.push(svc.submit(spec));
+            svc.advance(dt);
+        }
+        let _ = svc.service_report();
+        svc.run_to_completion();
+        for id in ids {
+            let job = svc.job(id).expect("job recorded");
+            match job.state {
+                JobState::Completed => {
+                    prop_assert!(job.jct().expect("jct") >= 0.0);
+                }
+                JobState::Rejected => {
+                    prop_assert!(
+                        job.reject_reason.is_some(),
+                        "rejection carries a reason: {:?}",
+                        job.id
+                    );
+                }
+                other => prop_assert!(false, "non-terminal state {other:?} for {:?}", job.id),
+            }
+        }
+        let _ = svc.snapshot_prom();
+    }
+}
