@@ -1,0 +1,613 @@
+//! The replayable event journal: an append-only, JSONL-serializable log
+//! of every service state transition.
+//!
+//! Each [`JournalEvent`] carries a monotonically increasing sequence
+//! number, the service tick and simulated time it happened at, and a
+//! typed [`EventKind`]. The journal is the ground truth for offline
+//! debugging: [`Journal::replay`] reconstructs the per-job lifecycle
+//! state and the active alert set from the events alone, and the service
+//! property-tests that any *prefix* of the journal replays to exactly the
+//! live state at that tick (the **replay invariant**).
+//!
+//! A sealed journal ends with an [`EventKind::Final`] record embedding
+//! the writer's own final state; [`Journal::verify`] replays the log and
+//! compares against it, so `report --replay` can detect a corrupted or
+//! truncated journal with no other inputs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde_json::{Map, Value};
+
+/// What happened. One variant per service state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A tenant submitted a job.
+    Submit {
+        /// Job handle.
+        job: u64,
+        /// Requested backbone.
+        backbone: String,
+        /// Total training tokens requested.
+        total_tokens: u64,
+        /// Completion SLO, seconds (absent for best-effort jobs).
+        slo_seconds: Option<f64>,
+    },
+    /// A job was rejected (admission, planning, or shedding outcome).
+    Reject {
+        /// Job handle.
+        job: u64,
+        /// Why.
+        reason: String,
+    },
+    /// A job was placed on an instance and started running.
+    Dispatch {
+        /// Job handle.
+        job: u64,
+        /// Hosting instance.
+        instance: usize,
+    },
+    /// An instance re-planned (membership change).
+    Replan {
+        /// Instance index.
+        instance: usize,
+        /// The instance's new plan epoch.
+        epoch: u64,
+        /// Tasks co-located after the replan.
+        tasks: usize,
+    },
+    /// A job was evicted from an instance to restore feasibility.
+    Shed {
+        /// Job handle.
+        job: u64,
+        /// Instance it was evicted from.
+        instance: usize,
+        /// Why.
+        reason: String,
+    },
+    /// A job finished all requested tokens.
+    Complete {
+        /// Job handle.
+        job: u64,
+    },
+    /// A monitoring rule started firing.
+    AlertFired {
+        /// Rule name (e.g. `slo_burn`).
+        rule: String,
+        /// Severity name (`warning` / `critical`).
+        severity: String,
+        /// Job concerned.
+        job: u64,
+        /// Evaluation window, ticks.
+        window: usize,
+        /// Breaching value.
+        value: f64,
+        /// Threshold breached.
+        threshold: f64,
+    },
+    /// A monitoring rule stopped firing.
+    AlertCleared {
+        /// Rule name.
+        rule: String,
+        /// Job concerned.
+        job: u64,
+    },
+    /// The writer's own final state, for [`Journal::verify`].
+    Final {
+        /// Job handle → lifecycle state string (`queued`, `running@<i>`,
+        /// `completed`, `rejected`).
+        jobs: BTreeMap<u64, String>,
+        /// Active `(rule, job)` alert pairs.
+        alerts: BTreeSet<(String, u64)>,
+    },
+}
+
+impl EventKind {
+    /// Stable event-type name (the JSONL `event` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submit { .. } => "submit",
+            EventKind::Reject { .. } => "reject",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Replan { .. } => "replan",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Complete { .. } => "complete",
+            EventKind::AlertFired { .. } => "alert_fired",
+            EventKind::AlertCleared { .. } => "alert_cleared",
+            EventKind::Final { .. } => "final",
+        }
+    }
+}
+
+/// One journal line: sequence number, tick, simulated time, and the event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEvent {
+    /// Monotonic per-journal sequence number, starting at 0.
+    pub seq: u64,
+    /// Service tick the event happened at.
+    pub tick: u64,
+    /// Simulated time, seconds.
+    pub now: f64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl JournalEvent {
+    /// Serializes the event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("seq".into(), self.seq.into());
+        m.insert("tick".into(), self.tick.into());
+        m.insert("now".into(), self.now.into());
+        m.insert("event".into(), self.kind.name().into());
+        match &self.kind {
+            EventKind::Submit {
+                job,
+                backbone,
+                total_tokens,
+                slo_seconds,
+            } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("backbone".into(), backbone.as_str().into());
+                m.insert("total_tokens".into(), (*total_tokens).into());
+                m.insert(
+                    "slo_seconds".into(),
+                    slo_seconds.map(Value::from).unwrap_or(Value::Null),
+                );
+            }
+            EventKind::Reject { job, reason } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("reason".into(), reason.as_str().into());
+            }
+            EventKind::Dispatch { job, instance } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("instance".into(), (*instance).into());
+            }
+            EventKind::Replan {
+                instance,
+                epoch,
+                tasks,
+            } => {
+                m.insert("instance".into(), (*instance).into());
+                m.insert("epoch".into(), (*epoch).into());
+                m.insert("tasks".into(), (*tasks).into());
+            }
+            EventKind::Shed {
+                job,
+                instance,
+                reason,
+            } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("instance".into(), (*instance).into());
+                m.insert("reason".into(), reason.as_str().into());
+            }
+            EventKind::Complete { job } => {
+                m.insert("job".into(), (*job).into());
+            }
+            EventKind::AlertFired {
+                rule,
+                severity,
+                job,
+                window,
+                value,
+                threshold,
+            } => {
+                m.insert("rule".into(), rule.as_str().into());
+                m.insert("severity".into(), severity.as_str().into());
+                m.insert("job".into(), (*job).into());
+                m.insert("window".into(), (*window).into());
+                m.insert("value".into(), (*value).into());
+                m.insert("threshold".into(), (*threshold).into());
+            }
+            EventKind::AlertCleared { rule, job } => {
+                m.insert("rule".into(), rule.as_str().into());
+                m.insert("job".into(), (*job).into());
+            }
+            EventKind::Final { jobs, alerts } => {
+                let mut jm = Map::new();
+                for (job, state) in jobs {
+                    jm.insert(job.to_string(), state.as_str().into());
+                }
+                m.insert("jobs".into(), Value::Object(jm));
+                let am: Vec<Value> = alerts
+                    .iter()
+                    .map(|(rule, job)| {
+                        let mut e = Map::new();
+                        e.insert("rule".into(), rule.as_str().into());
+                        e.insert("job".into(), (*job).into());
+                        Value::Object(e)
+                    })
+                    .collect();
+                m.insert("alerts".into(), Value::Array(am));
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// Parses one JSONL line back into an event.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let obj = v.as_object().ok_or("journal line is not an object")?;
+        let get_u64 = |k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing/invalid field {k:?}"))
+        };
+        let get_f64 = |k: &str| -> Result<f64, String> {
+            obj.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing/invalid field {k:?}"))
+        };
+        let get_str = |k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing/invalid field {k:?}"))
+        };
+        let seq = get_u64("seq")?;
+        let tick = get_u64("tick")?;
+        let now = get_f64("now")?;
+        let event = get_str("event")?;
+        let kind = match event.as_str() {
+            "submit" => EventKind::Submit {
+                job: get_u64("job")?,
+                backbone: get_str("backbone")?,
+                total_tokens: get_u64("total_tokens")?,
+                slo_seconds: obj.get("slo_seconds").and_then(Value::as_f64),
+            },
+            "reject" => EventKind::Reject {
+                job: get_u64("job")?,
+                reason: get_str("reason")?,
+            },
+            "dispatch" => EventKind::Dispatch {
+                job: get_u64("job")?,
+                instance: get_u64("instance")? as usize,
+            },
+            "replan" => EventKind::Replan {
+                instance: get_u64("instance")? as usize,
+                epoch: get_u64("epoch")?,
+                tasks: get_u64("tasks")? as usize,
+            },
+            "shed" => EventKind::Shed {
+                job: get_u64("job")?,
+                instance: get_u64("instance")? as usize,
+                reason: get_str("reason")?,
+            },
+            "complete" => EventKind::Complete {
+                job: get_u64("job")?,
+            },
+            "alert_fired" => EventKind::AlertFired {
+                rule: get_str("rule")?,
+                severity: get_str("severity")?,
+                job: get_u64("job")?,
+                window: get_u64("window")? as usize,
+                value: get_f64("value")?,
+                threshold: get_f64("threshold")?,
+            },
+            "alert_cleared" => EventKind::AlertCleared {
+                rule: get_str("rule")?,
+                job: get_u64("job")?,
+            },
+            "final" => {
+                let jobs_obj = obj
+                    .get("jobs")
+                    .and_then(Value::as_object)
+                    .ok_or("final record missing jobs map")?;
+                let mut jobs = BTreeMap::new();
+                for (k, v) in jobs_obj {
+                    let job: u64 = k.parse().map_err(|_| format!("bad job id {k:?}"))?;
+                    let state = v.as_str().ok_or("job state is not a string")?;
+                    jobs.insert(job, state.to_string());
+                }
+                let alerts_arr = obj
+                    .get("alerts")
+                    .and_then(Value::as_array)
+                    .ok_or("final record missing alerts array")?;
+                let mut alerts = BTreeSet::new();
+                for a in alerts_arr {
+                    let rule = a
+                        .get("rule")
+                        .and_then(Value::as_str)
+                        .ok_or("alert missing rule")?;
+                    let job = a
+                        .get("job")
+                        .and_then(Value::as_u64)
+                        .ok_or("alert missing job")?;
+                    alerts.insert((rule.to_string(), job));
+                }
+                EventKind::Final { jobs, alerts }
+            }
+            other => return Err(format!("unknown event type {other:?}")),
+        };
+        Ok(JournalEvent {
+            seq,
+            tick,
+            now,
+            kind,
+        })
+    }
+}
+
+/// State reconstructed by replaying a journal (prefix).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayState {
+    /// Tick of the last replayed event.
+    pub tick: u64,
+    /// Job handle → lifecycle state string.
+    pub jobs: BTreeMap<u64, String>,
+    /// Active `(rule, job)` alert pairs.
+    pub alerts: BTreeSet<(String, u64)>,
+}
+
+/// The append-only event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    events: Vec<JournalEvent>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event, assigning the next sequence number.
+    pub fn push(&mut self, tick: u64, now: f64, kind: EventKind) {
+        self.events.push(JournalEvent {
+            seq: self.events.len() as u64,
+            tick,
+            now,
+            kind,
+        });
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the journal as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&serde_json::to_string(&ev.to_json()).expect("serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL journal, validating that sequence numbers are the
+    /// contiguous run 0..n (any splice or dropped line breaks this).
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+            let ev = JournalEvent::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if ev.seq != events.len() as u64 {
+                return Err(format!(
+                    "line {}: sequence gap: expected seq {}, found {}",
+                    i + 1,
+                    events.len(),
+                    ev.seq
+                ));
+            }
+            events.push(ev);
+        }
+        Ok(Self { events })
+    }
+
+    /// Replays the whole journal into a [`ReplayState`].
+    pub fn replay(&self) -> ReplayState {
+        self.replay_prefix(u64::MAX)
+    }
+
+    /// Replays only events with `tick <= tick_limit`.
+    pub fn replay_prefix(&self, tick_limit: u64) -> ReplayState {
+        let mut state = ReplayState::default();
+        for ev in &self.events {
+            if ev.tick > tick_limit {
+                break;
+            }
+            state.tick = ev.tick;
+            match &ev.kind {
+                EventKind::Submit { job, .. } => {
+                    state.jobs.insert(*job, "queued".to_string());
+                }
+                EventKind::Reject { job, .. } => {
+                    state.jobs.insert(*job, "rejected".to_string());
+                }
+                EventKind::Dispatch { job, instance } => {
+                    state.jobs.insert(*job, format!("running@{instance}"));
+                }
+                EventKind::Complete { job } => {
+                    state.jobs.insert(*job, "completed".to_string());
+                }
+                EventKind::AlertFired { rule, job, .. } => {
+                    state.alerts.insert((rule.clone(), *job));
+                }
+                EventKind::AlertCleared { rule, job } => {
+                    state.alerts.remove(&(rule.clone(), *job));
+                }
+                // Shed is informational (the paired Reject moves the job);
+                // Replan and Final do not change replayed job state.
+                EventKind::Shed { .. } | EventKind::Replan { .. } | EventKind::Final { .. } => {}
+            }
+        }
+        state
+    }
+
+    /// The embedded [`EventKind::Final`] record, if the journal is sealed.
+    pub fn embedded_final(&self) -> Option<ReplayState> {
+        self.events.iter().rev().find_map(|ev| match &ev.kind {
+            EventKind::Final { jobs, alerts } => Some(ReplayState {
+                tick: ev.tick,
+                jobs: jobs.clone(),
+                alerts: alerts.clone(),
+            }),
+            _ => None,
+        })
+    }
+
+    /// Replays the journal and checks it against the embedded final-state
+    /// record. `Err` when the journal is unsealed or the replayed state
+    /// disagrees (corruption / truncation).
+    pub fn verify(&self) -> Result<ReplayState, String> {
+        let expected = self
+            .embedded_final()
+            .ok_or("journal is not sealed (no final record)")?;
+        let replayed = self.replay();
+        if replayed.jobs != expected.jobs {
+            return Err(format!(
+                "replayed job states diverge from the final record:\n  replayed: {:?}\n  recorded: {:?}",
+                replayed.jobs, expected.jobs
+            ));
+        }
+        if replayed.alerts != expected.alerts {
+            return Err(format!(
+                "replayed alert set diverges from the final record:\n  replayed: {:?}\n  recorded: {:?}",
+                replayed.alerts, expected.alerts
+            ));
+        }
+        Ok(replayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        j.push(
+            0,
+            0.0,
+            EventKind::Submit {
+                job: 1,
+                backbone: "LLaMA2-7B".into(),
+                total_tokens: 1000,
+                slo_seconds: Some(60.0),
+            },
+        );
+        j.push(
+            0,
+            0.0,
+            EventKind::Dispatch {
+                job: 1,
+                instance: 0,
+            },
+        );
+        j.push(
+            0,
+            0.0,
+            EventKind::Replan {
+                instance: 0,
+                epoch: 1,
+                tasks: 1,
+            },
+        );
+        j.push(
+            3,
+            0.3,
+            EventKind::AlertFired {
+                rule: "slo_burn".into(),
+                severity: "critical".into(),
+                job: 1,
+                window: 5,
+                value: 2.5,
+                threshold: 1.0,
+            },
+        );
+        j.push(
+            5,
+            0.5,
+            EventKind::AlertCleared {
+                rule: "slo_burn".into(),
+                job: 1,
+            },
+        );
+        j.push(9, 0.9, EventKind::Complete { job: 1 });
+        j
+    }
+
+    fn seal(j: &mut Journal) {
+        let state = j.replay();
+        j.push(
+            state.tick,
+            0.9,
+            EventKind::Final {
+                jobs: state.jobs,
+                alerts: state.alerts,
+            },
+        );
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_event() {
+        let mut j = sample_journal();
+        seal(&mut j);
+        let text = j.to_jsonl();
+        let back = Journal::from_jsonl(&text).expect("parse");
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn replay_reconstructs_job_lifecycle_and_alerts() {
+        let j = sample_journal();
+        let mid = j.replay_prefix(3);
+        assert_eq!(mid.jobs[&1], "running@0");
+        assert!(mid.alerts.contains(&("slo_burn".to_string(), 1)));
+        let end = j.replay();
+        assert_eq!(end.jobs[&1], "completed");
+        assert!(end.alerts.is_empty());
+        assert_eq!(end.tick, 9);
+    }
+
+    #[test]
+    fn verify_accepts_a_sealed_journal_and_rejects_tampering() {
+        let mut j = sample_journal();
+        seal(&mut j);
+        assert!(j.verify().is_ok());
+
+        // Unsealed journal.
+        assert!(sample_journal().verify().is_err());
+
+        // Drop the completion line: seqs break on parse.
+        let text = j.to_jsonl();
+        let without_complete: String = text
+            .lines()
+            .filter(|l| !l.contains("\"complete\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Journal::from_jsonl(&without_complete).is_err());
+
+        // Tamper with the final record instead: parse succeeds, verify
+        // catches the divergence.
+        let tampered = text.replace("\"completed\"", "\"queued\"");
+        let parsed = Journal::from_jsonl(&tampered).expect("still valid JSONL");
+        assert!(parsed.verify().is_err());
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage_and_gaps() {
+        assert!(Journal::from_jsonl("not json\n").is_err());
+        assert!(
+            Journal::from_jsonl("{\"seq\":0}\n").is_err(),
+            "missing fields"
+        );
+        let gap = "{\"seq\":1,\"tick\":0,\"now\":0.0,\"event\":\"complete\",\"job\":1}\n";
+        assert!(Journal::from_jsonl(gap).is_err(), "seq must start at 0");
+        assert!(Journal::from_jsonl("\n\n").unwrap().is_empty());
+    }
+}

@@ -8,7 +8,10 @@
 //! effective throughput.
 
 pub mod job;
+pub mod journal;
 pub mod service;
 
 pub use job::{Job, JobId, JobSpec, JobState};
-pub use service::{DispatchPolicy, FineTuneService, ServiceConfig};
+pub use journal::{EventKind, Journal, JournalEvent, ReplayState};
+pub use mux_obs_analysis::online::{Alert, MonitorConfig, Severity};
+pub use service::{DispatchPolicy, FineTuneService, ServiceConfig, TelemetrySummary};

@@ -8,13 +8,14 @@
 //! rebuild the backbone (the registry's dynamic attachment).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use mux_data::corpus::Corpus;
 use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
 use mux_gpu_sim::timeline::Cluster;
 use mux_gpu_sim::timeline::{OpKind, OpRecord};
 use mux_model::config::ModelConfig;
+use mux_obs_analysis::online::{self, Alert, AlertEvent, MonitorConfig, OnlineMonitor};
 use mux_obs_analysis::{
     critical_path, device_attribution, CriticalPath, DeviceAttribution, HTaskRef, StallClass,
 };
@@ -25,6 +26,7 @@ use muxtune_core::planner::{plan_and_run, plan_and_run_traced, MuxTuneReport, Pl
 use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
+use crate::journal::{EventKind, Journal, ReplayState};
 
 /// Dispatch policies (§3.1 mentions budget-based Kubernetes scheduling;
 /// §6 sketches multiplexing-aware variants).
@@ -161,6 +163,42 @@ fn jobs_of_htask(inst: &Instance, report: &MuxTuneReport, href: &HTaskRef) -> Ve
     jobs
 }
 
+/// Live streaming-monitoring state (see
+/// [`FineTuneService::enable_monitoring`]).
+struct MonitorRuntime {
+    monitor: OnlineMonitor,
+    /// Last observed per-job progress, for burn-rate deltas.
+    last_progress: BTreeMap<JobId, f64>,
+    /// Per-instance stall-class shares, cached by plan epoch so the
+    /// traced attribution re-plan runs once per membership change, not
+    /// once per tick.
+    stall_cache: BTreeMap<usize, (u64, [f64; 4])>,
+}
+
+/// One `--watch` line: the service's live state at a tick.
+#[derive(Debug, Clone)]
+pub struct TelemetrySummary {
+    /// Service tick.
+    pub tick: u64,
+    /// Simulated time, seconds.
+    pub now: f64,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs queued for dispatch.
+    pub queued: usize,
+    /// Jobs completed so far.
+    pub completed: usize,
+    /// Jobs rejected so far.
+    pub rejected: usize,
+    /// Aggregate throughput over running jobs, tokens/second.
+    pub throughput_tokens_per_second: f64,
+    /// Mean stall-class shares over live instances, in
+    /// [`StallClass::ALL`] order.
+    pub stall_class_shares: [f64; 4],
+    /// Active `(rule, job)` alerts.
+    pub active_alerts: Vec<(String, u64)>,
+}
+
 /// The multi-tenant fine-tuning service.
 pub struct FineTuneService {
     cfg: ServiceConfig,
@@ -177,6 +215,13 @@ pub struct FineTuneService {
     completions: BinaryHeap<Reverse<CompletionEvent>>,
     next_job: u64,
     now: f64,
+    /// Monotonic observation tick, advanced by [`Self::tick`].
+    tick: u64,
+    /// Append-only event journal (always recording; see
+    /// [`crate::journal`]).
+    journal: Journal,
+    /// Streaming alert engine, when monitoring is enabled.
+    monitor: Option<MonitorRuntime>,
 }
 
 impl FineTuneService {
@@ -194,6 +239,9 @@ impl FineTuneService {
             completions: BinaryHeap::new(),
             next_job: 1,
             now: 0.0,
+            tick: 0,
+            journal: Journal::new(),
+            monitor: None,
         }
     }
 
@@ -253,14 +301,22 @@ impl FineTuneService {
         let id = JobId(self.next_job);
         self.next_job += 1;
         let verdict = Self::validate(&spec);
-        let mut job = Job::new(id, spec, self.now);
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::Submit {
+                job: id.0,
+                backbone: spec.backbone.clone(),
+                total_tokens: spec.total_tokens,
+                slo_seconds: spec.slo_seconds,
+            },
+        );
+        let job = Job::new(id, spec, self.now);
+        self.jobs.insert(id, job);
         if let Err(reason) = verdict {
-            job.state = JobState::Rejected;
-            job.reject_reason = Some(reason);
-            self.jobs.insert(id, job);
+            self.reject(id, reason);
             return id;
         }
-        self.jobs.insert(id, job);
         self.queue.push_back(id);
         self.dispatch_queued();
         id
@@ -271,6 +327,14 @@ impl FineTuneService {
     }
 
     fn reject(&mut self, id: JobId, reason: String) {
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::Reject {
+                job: id.0,
+                reason: reason.clone(),
+            },
+        );
         if let Some(job) = self.jobs.get_mut(&id) {
             job.state = JobState::Rejected;
             job.reject_reason = Some(reason);
@@ -369,6 +433,14 @@ impl FineTuneService {
                         job.state = JobState::Running { instance: i };
                         job.started_at = self.now;
                     }
+                    self.journal.push(
+                        self.tick,
+                        self.now,
+                        EventKind::Dispatch {
+                            job: id.0,
+                            instance: i,
+                        },
+                    );
                     self.materialize(i);
                     self.replan(i);
                 }
@@ -400,7 +472,17 @@ impl FineTuneService {
         let _ = inst.registry.deregister_task(tid);
         inst.corpora.remove(&tid);
         inst.rates.remove(&tid);
-        if let Some(jid) = inst.job_of_task.remove(&tid) {
+        let evicted = inst.job_of_task.remove(&tid);
+        if let Some(jid) = evicted {
+            self.journal.push(
+                self.tick,
+                self.now,
+                EventKind::Shed {
+                    job: jid.0,
+                    instance: i,
+                    reason: reason.clone(),
+                },
+            );
             self.reject(jid, reason);
         }
     }
@@ -443,6 +525,16 @@ impl FineTuneService {
             inst.epoch += 1;
             inst.planned_at = self.now;
             if inst.registry.is_empty() {
+                let epoch = inst.epoch;
+                self.journal.push(
+                    self.tick,
+                    self.now,
+                    EventKind::Replan {
+                        instance: i,
+                        epoch,
+                        tasks: 0,
+                    },
+                );
                 return;
             }
             let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
@@ -468,7 +560,17 @@ impl FineTuneService {
                         self.shed(i, bad, format!("degenerate progress rate {rate}"));
                         continue;
                     }
+                    let (epoch, tasks) = (inst.epoch, inst.registry.len());
                     self.push_completion(i);
+                    self.journal.push(
+                        self.tick,
+                        self.now,
+                        EventKind::Replan {
+                            instance: i,
+                            epoch,
+                            tasks,
+                        },
+                    );
                     return;
                 }
                 Err(e) => {
@@ -523,6 +625,8 @@ impl FineTuneService {
                 job.state = JobState::Completed;
                 job.finished_at = self.now;
             }
+            self.journal
+                .push(self.tick, self.now, EventKind::Complete { job: jid.0 });
         }
     }
 
@@ -551,6 +655,280 @@ impl FineTuneService {
             self.dispatch_queued();
         }
         self.now = end;
+    }
+
+    /// Turns on streaming monitoring: per-job throughput-drop and
+    /// stall-spike anomaly detectors plus the SLO burn-rate rule (see
+    /// [`mux_obs_analysis::online`]). Observations are taken by
+    /// [`Self::tick`]; fired/cleared alerts land in the journal and in
+    /// [`Self::alerts`] / `service_report()` / `snapshot_prom()`.
+    pub fn enable_monitoring(&mut self, cfg: MonitorConfig) {
+        self.monitor = Some(MonitorRuntime {
+            monitor: OnlineMonitor::new(cfg),
+            last_progress: BTreeMap::new(),
+            stall_cache: BTreeMap::new(),
+        });
+    }
+
+    /// Whether streaming monitoring is on.
+    pub fn monitoring_enabled(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// The current observation tick (count of [`Self::tick`] calls).
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The event journal recorded so far.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Appends the [`EventKind::Final`] record embedding the live state,
+    /// sealing the journal for [`Journal::verify`] / `report --replay`.
+    pub fn seal_journal(&mut self) {
+        let state = self.state_fingerprint();
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::Final {
+                jobs: state.jobs,
+                alerts: state.alerts,
+            },
+        );
+    }
+
+    /// Currently-firing alerts (empty when monitoring is off).
+    pub fn alerts(&self) -> Vec<&Alert> {
+        self.monitor
+            .as_ref()
+            .map(|rt| rt.monitor.active().collect())
+            .unwrap_or_default()
+    }
+
+    /// The live state in journal-replay terms: per-job lifecycle strings
+    /// plus the active `(rule, job)` alert set. The **replay invariant**:
+    /// replaying the journal up to the current tick reproduces exactly
+    /// this (see `tests/telemetry_props.rs`).
+    pub fn state_fingerprint(&self) -> ReplayState {
+        let mut jobs = BTreeMap::new();
+        for j in self.jobs.values() {
+            let state = match j.state {
+                JobState::Queued => "queued".to_string(),
+                JobState::Running { instance } => format!("running@{instance}"),
+                JobState::Completed => "completed".to_string(),
+                JobState::Rejected => "rejected".to_string(),
+            };
+            jobs.insert(j.id.0, state);
+        }
+        let alerts = self
+            .monitor
+            .as_ref()
+            .map(|rt| {
+                rt.monitor
+                    .active()
+                    .map(|a| (a.rule.clone(), a.job))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ReplayState {
+            tick: self.tick,
+            jobs,
+            alerts,
+        }
+    }
+
+    /// Advances one observation tick: bumps the tick counter (and the
+    /// global telemetry tick when streaming telemetry is on), advances
+    /// simulated time by `dt`, then samples every running job through the
+    /// monitor's detectors.
+    pub fn tick(&mut self, dt: f64) {
+        self.tick += 1;
+        if mux_obs::timeseries::telemetry_enabled() {
+            mux_obs::timeseries::advance_tick();
+        }
+        self.advance(dt);
+        self.sample_and_detect(dt);
+    }
+
+    /// Samples throughput, stall shares, and SLO burn for every running
+    /// job, feeding the detectors and journaling every alert transition.
+    fn sample_and_detect(&mut self, dt: f64) {
+        // Taking the runtime out avoids borrowing `self` twice: the
+        // sampling below reads service state while mutating the monitor.
+        let Some(mut rt) = self.monitor.take() else {
+            return;
+        };
+        let tick = self.tick;
+
+        // Refresh the per-instance stall-class shares for any instance
+        // whose plan epoch changed (one traced re-plan per membership
+        // change, amortized over all the ticks in between).
+        for i in 0..self.instances.len() {
+            let epoch = self.instances[i].epoch;
+            let stale = rt
+                .stall_cache
+                .get(&i)
+                .map(|&(e, _)| e != epoch)
+                .unwrap_or(true);
+            if !stale {
+                continue;
+            }
+            let shares = self
+                .instance_analysis(i)
+                .map(|a| {
+                    let total: f64 = a.attribution.iter().map(|d| d.window).sum();
+                    let mut s = [0.0f64; 4];
+                    for (ci, class) in StallClass::ALL.iter().enumerate() {
+                        let secs: f64 = a.attribution.iter().map(|d| d.class_seconds(*class)).sum();
+                        s[ci] = secs / total.max(1e-12);
+                    }
+                    s
+                })
+                .unwrap_or([0.0; 4]);
+            rt.stall_cache.insert(i, (epoch, shares));
+        }
+
+        let running: Vec<(JobId, usize)> = self
+            .jobs
+            .values()
+            .filter_map(|j| match j.state {
+                JobState::Running { instance } => Some((j.id, instance)),
+                _ => None,
+            })
+            .collect();
+        let mut events: Vec<AlertEvent> = Vec::new();
+        for &(jid, inst_idx) in &running {
+            let rate = self.job_rate(jid);
+            if mux_obs::timeseries::telemetry_enabled() {
+                mux_obs::set_gauge(
+                    &format!("service.job.{}.throughput_tokens_per_second", jid.0),
+                    rate,
+                );
+            }
+            events.extend(rt.monitor.observe_throughput(jid.0, rate, tick));
+            if let Some(&(_, shares)) = rt.stall_cache.get(&inst_idx) {
+                for (ci, class) in StallClass::ALL.iter().enumerate() {
+                    events.extend(
+                        rt.monitor
+                            .observe_stall_share(jid.0, *class, shares[ci], tick),
+                    );
+                }
+            }
+            let j = &self.jobs[&jid];
+            let progress = self.job_progress(j);
+            if let Some(slo) = j.spec.slo_seconds {
+                let last = rt.last_progress.get(&jid).copied().unwrap_or(0.0);
+                let delta = (progress - last).max(0.0);
+                let budget_fraction = dt / slo.max(1e-12);
+                let progress_fraction = delta / (j.spec.total_tokens.max(1) as f64);
+                events.extend(rt.monitor.observe_slo_burn(
+                    jid.0,
+                    budget_fraction,
+                    progress_fraction,
+                    tick,
+                ));
+            }
+            rt.last_progress.insert(jid, progress);
+        }
+
+        // Jobs that completed or were shed stop being tracked; their
+        // still-active alerts clear.
+        let running_ids: BTreeSet<u64> = running.iter().map(|&(j, _)| j.0).collect();
+        for job in rt.monitor.tracked_jobs() {
+            if !running_ids.contains(&job) {
+                events.extend(rt.monitor.forget_job(job));
+            }
+        }
+        rt.last_progress.retain(|j, _| running_ids.contains(&j.0));
+
+        for ev in events {
+            match ev {
+                AlertEvent::Fired(a) => self.journal.push(
+                    tick,
+                    self.now,
+                    EventKind::AlertFired {
+                        rule: a.rule,
+                        severity: a.severity.name().to_string(),
+                        job: a.job,
+                        window: a.window,
+                        value: a.value,
+                        threshold: a.threshold,
+                    },
+                ),
+                AlertEvent::Cleared(a) => self.journal.push(
+                    tick,
+                    self.now,
+                    EventKind::AlertCleared {
+                        rule: a.rule,
+                        job: a.job,
+                    },
+                ),
+            }
+        }
+        self.monitor = Some(rt);
+    }
+
+    /// The live per-tick summary a `--watch` loop prints: job counts,
+    /// aggregate throughput, mean stall-class shares, active alerts.
+    pub fn telemetry_summary(&self) -> TelemetrySummary {
+        let mut running = 0;
+        let mut queued = 0;
+        let mut completed = 0;
+        let mut rejected = 0;
+        let mut throughput = 0.0;
+        for j in self.jobs.values() {
+            match j.state {
+                JobState::Running { .. } => {
+                    running += 1;
+                    throughput += self.job_rate(j.id);
+                }
+                JobState::Queued => queued += 1,
+                JobState::Completed => completed += 1,
+                JobState::Rejected => rejected += 1,
+            }
+        }
+        let mut stall_class_shares = [0.0f64; 4];
+        if let Some(rt) = &self.monitor {
+            let live: Vec<&[f64; 4]> = self
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(_, inst)| !inst.registry.is_empty())
+                .filter_map(|(i, _)| rt.stall_cache.get(&i).map(|(_, s)| s))
+                .collect();
+            if !live.is_empty() {
+                for s in &live {
+                    for (ci, v) in s.iter().enumerate() {
+                        stall_class_shares[ci] += v;
+                    }
+                }
+                for v in &mut stall_class_shares {
+                    *v /= live.len() as f64;
+                }
+            }
+        }
+        TelemetrySummary {
+            tick: self.tick,
+            now: self.now,
+            running,
+            queued,
+            completed,
+            rejected,
+            throughput_tokens_per_second: throughput,
+            stall_class_shares,
+            active_alerts: self
+                .monitor
+                .as_ref()
+                .map(|rt| {
+                    rt.monitor
+                        .active()
+                        .map(|a| (a.rule.clone(), a.job))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
     }
 
     /// Traced re-plan of instance `i` plus the derived analyses: 4-class
@@ -852,8 +1230,10 @@ impl FineTuneService {
 
         let mut root = Map::new();
         root.insert("now_seconds".into(), self.now.into());
+        root.insert("tick".into(), self.tick.into());
         root.insert("jobs".into(), Value::Array(jobs));
         root.insert("instances".into(), Value::Array(instances));
+        root.insert("alerts".into(), self.alerts_json());
         let mut obs = Map::new();
         obs.insert("phases".into(), Value::Object(phases));
         obs.insert("counters".into(), Value::Object(counters));
@@ -861,6 +1241,56 @@ impl FineTuneService {
         obs.insert("histograms".into(), Value::Object(histograms));
         root.insert("observability".into(), Value::Object(obs));
         Value::Object(root)
+    }
+
+    /// The report's `alerts` section: the active alert list, counts by
+    /// severity, and total fires per rule. Every rule in
+    /// [`online::rules`] is always present (0 when it never fired), so
+    /// the key set is stable whether or not monitoring is on.
+    fn alerts_json(&self) -> Value {
+        let mut m = Map::new();
+        let active: Vec<Value> = self
+            .monitor
+            .as_ref()
+            .map(|rt| {
+                rt.monitor
+                    .active()
+                    .map(|a| {
+                        let mut am = Map::new();
+                        am.insert("rule".into(), a.rule.as_str().into());
+                        am.insert("severity".into(), a.severity.name().into());
+                        am.insert("job".into(), a.job.into());
+                        am.insert("window".into(), a.window.into());
+                        am.insert("value".into(), a.value.into());
+                        am.insert("threshold".into(), a.threshold.into());
+                        am.insert("tick".into(), a.tick.into());
+                        Value::Object(am)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut by_severity = Map::new();
+        for sev in [online::Severity::Warning, online::Severity::Critical] {
+            let n = self
+                .monitor
+                .as_ref()
+                .map(|rt| rt.monitor.active().filter(|a| a.severity == sev).count())
+                .unwrap_or(0);
+            by_severity.insert(sev.name().to_string(), n.into());
+        }
+        let mut fired = Map::new();
+        for (rule, _) in online::rules() {
+            let n = self
+                .monitor
+                .as_ref()
+                .and_then(|rt| rt.monitor.fired_total().get(&rule).copied())
+                .unwrap_or(0);
+            fired.insert(rule, n.into());
+        }
+        m.insert("active".into(), Value::Array(active));
+        m.insert("active_by_severity".into(), Value::Object(by_severity));
+        m.insert("fired_total".into(), Value::Object(fired));
+        Value::Object(m)
     }
 
     /// Renders the service's current state in Prometheus text-exposition
@@ -897,12 +1327,13 @@ impl FineTuneService {
         out.push_str("# TYPE muxtune_job_slo_violated gauge\n");
         for j in self.jobs.values() {
             let id = j.id.0;
+            let backbone = mux_obs::prom_escape_label(&j.spec.backbone);
             out.push_str(&format!(
-                "muxtune_job_progress_tokens{{job=\"{id}\"}} {}\n",
+                "muxtune_job_progress_tokens{{job=\"{id}\",backbone=\"{backbone}\"}} {}\n",
                 self.job_progress(j)
             ));
             out.push_str(&format!(
-                "muxtune_job_throughput_tokens_per_second{{job=\"{id}\"}} {}\n",
+                "muxtune_job_throughput_tokens_per_second{{job=\"{id}\",backbone=\"{backbone}\"}} {}\n",
                 self.job_rate(j.id)
             ));
             let eta = self.job_eta(j.id);
@@ -958,6 +1389,31 @@ impl FineTuneService {
                     class.name()
                 ));
             }
+        }
+
+        // Alert families are always rendered (zeros while quiet or with
+        // monitoring off), so dashboards can pin queries on them.
+        out.push_str("# TYPE muxtune_alerts_active gauge\n");
+        out.push_str("# TYPE muxtune_alerts_fired_total counter\n");
+        for (rule, severity) in online::rules() {
+            let active = self
+                .monitor
+                .as_ref()
+                .map(|rt| rt.monitor.active().filter(|a| a.rule == rule).count())
+                .unwrap_or(0);
+            let fired = self
+                .monitor
+                .as_ref()
+                .and_then(|rt| rt.monitor.fired_total().get(&rule).copied())
+                .unwrap_or(0);
+            let label = mux_obs::prom_escape_label(&rule);
+            out.push_str(&format!(
+                "muxtune_alerts_active{{rule=\"{label}\",severity=\"{}\"}} {active}\n",
+                severity.name()
+            ));
+            out.push_str(&format!(
+                "muxtune_alerts_fired_total{{rule=\"{label}\"}} {fired}\n"
+            ));
         }
 
         out.push_str(&mux_obs::snapshot_prom());
@@ -1183,9 +1639,14 @@ mod tests {
         svc.submit(spec(100_000).with_slo(3600.0));
         svc.submit(spec(100_000));
         let text = svc.snapshot_prom();
-        assert!(text.contains("muxtune_job_progress_tokens{job=\"1\"}"));
-        assert!(text.contains("muxtune_job_throughput_tokens_per_second{job=\"2\"}"));
+        assert!(text.contains("muxtune_job_progress_tokens{job=\"1\",backbone=\"LLaMA2-7B\"}"));
+        assert!(text.contains(
+            "muxtune_job_throughput_tokens_per_second{job=\"2\",backbone=\"LLaMA2-7B\"}"
+        ));
         assert!(text.contains("muxtune_job_slo_violated{job=\"1\"}"));
+        // Alert families render (zeros) even with monitoring off.
+        assert!(text.contains("muxtune_alerts_active{rule=\"slo_burn\",severity=\"critical\"} 0"));
+        assert!(text.contains("muxtune_alerts_fired_total{rule=\"throughput_drop\"} 0"));
         // Job 2 has no SLO, so no verdict series for it.
         assert!(!text.contains("muxtune_job_slo_violated{job=\"2\"}"));
         assert!(text.contains("muxtune_instance_makespan_seconds{instance=\"0\"}"));
@@ -1276,6 +1737,138 @@ mod tests {
         for id in [a, b] {
             assert_eq!(svc.job(id).unwrap().state, JobState::Completed);
         }
+    }
+
+    #[test]
+    fn journal_records_lifecycle_and_seals_verifiably() {
+        let mut svc = service(4);
+        let ok = svc.submit(spec(20_000));
+        let bad = svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 0, 1000));
+        svc.run_to_completion();
+        svc.seal_journal();
+        let kinds: Vec<&str> = svc
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(kinds.contains(&"submit"));
+        assert!(kinds.contains(&"dispatch"));
+        assert!(kinds.contains(&"replan"));
+        assert!(kinds.contains(&"reject"));
+        assert!(kinds.contains(&"complete"));
+        assert_eq!(kinds.last(), Some(&"final"));
+        // Replay reproduces the live state, and the sealed journal
+        // verifies after a JSONL round trip.
+        let replayed = svc.journal().verify().expect("sealed journal verifies");
+        let live = svc.state_fingerprint();
+        assert_eq!(replayed.jobs, live.jobs);
+        assert_eq!(replayed.jobs[&ok.0], "completed");
+        assert_eq!(replayed.jobs[&bad.0], "rejected");
+        let text = svc.journal().to_jsonl();
+        let back = crate::journal::Journal::from_jsonl(&text).expect("parse");
+        assert!(back.verify().is_ok());
+    }
+
+    #[test]
+    fn monitoring_fires_slo_burn_on_a_hopeless_slo_and_stays_quiet_otherwise() {
+        let mut svc = service(4);
+        svc.enable_monitoring(MonitorConfig::default());
+        // A job that cannot possibly finish within its SLO burns budget
+        // from the first tick; a best-effort co-tenant never alerts.
+        let doomed = svc.submit(spec(10_000_000).with_slo(0.5));
+        let easy = svc.submit(spec(10_000_000));
+        let dt = 0.05;
+        let mut fired_tick = None;
+        for _ in 0..12 {
+            svc.tick(dt);
+            if svc.alerts().iter().any(|a| a.rule == "slo_burn") {
+                fired_tick = Some(svc.current_tick());
+                break;
+            }
+        }
+        let fired_tick = fired_tick.expect("slo_burn fires on a hopeless SLO");
+        // Within 2 fast windows of the first possible evaluation.
+        assert!(fired_tick <= 10, "fired at tick {fired_tick}");
+        let alert = svc
+            .alerts()
+            .into_iter()
+            .find(|a| a.rule == "slo_burn")
+            .unwrap()
+            .clone();
+        assert_eq!(alert.job, doomed.0);
+        assert_ne!(alert.job, easy.0);
+        // The alert surfaces in the report and the exposition.
+        let rep = svc.service_report();
+        assert!(rep["alerts"]["fired_total"]["slo_burn"].as_u64().unwrap() >= 1);
+        assert!(
+            rep["alerts"]["active_by_severity"]["critical"]
+                .as_u64()
+                .unwrap()
+                >= 1
+        );
+        let active = rep["alerts"]["active"].as_array().unwrap();
+        assert!(active.iter().any(|a| {
+            a["rule"].as_str() == Some("slo_burn") && a["job"].as_u64() == Some(doomed.0)
+        }));
+        let prom = svc.snapshot_prom();
+        assert!(prom.contains("muxtune_alerts_active{rule=\"slo_burn\",severity=\"critical\"} 1"));
+        // The journal carries the fire event.
+        assert!(svc
+            .journal()
+            .events()
+            .iter()
+            .any(|e| e.kind.name() == "alert_fired"));
+    }
+
+    #[test]
+    fn monitoring_stays_quiet_on_steady_state() {
+        let mut svc = service(4);
+        svc.enable_monitoring(MonitorConfig::default());
+        svc.submit(spec(10_000_000));
+        svc.submit(spec(10_000_000));
+        for _ in 0..30 {
+            svc.tick(0.05);
+        }
+        assert!(svc.alerts().is_empty(), "steady state must not alert");
+        let rep = svc.service_report();
+        for (rule, _) in online::rules() {
+            assert_eq!(
+                rep["alerts"]["fired_total"][rule.as_str()].as_u64(),
+                Some(0),
+                "rule {rule} fired on steady state"
+            );
+        }
+    }
+
+    #[test]
+    fn monitoring_fires_throughput_drop_on_cotenant_storm() {
+        let mut svc = service(4);
+        svc.enable_monitoring(MonitorConfig::default());
+        let victim = svc.submit(spec(50_000_000));
+        // Let the detector baseline on the solo rate.
+        for _ in 0..10 {
+            svc.tick(0.05);
+        }
+        // Storm: a burst of co-tenants joins the instance, so the replan
+        // splits effective throughput and the victim's rate collapses.
+        for _ in 0..6 {
+            svc.submit(spec(50_000_000));
+        }
+        let mut fired_tick = None;
+        for _ in 0..10 {
+            svc.tick(0.05);
+            if svc
+                .alerts()
+                .iter()
+                .any(|a| a.rule == "throughput_drop" && a.job == victim.0)
+            {
+                fired_tick = Some(svc.current_tick());
+                break;
+            }
+        }
+        let fired_tick = fired_tick.expect("throughput_drop fires on the victim");
+        assert!(fired_tick <= 12, "fired at tick {fired_tick}");
     }
 
     #[test]

@@ -15,19 +15,30 @@
 //!   scenario's metrics (makespan, utilization, 4-class stall seconds,
 //!   planner phases, histograms) in Prometheus text-exposition format.
 //! - `--write-baseline <json>`: run every gate scenario (`fig14-small`
-//!   end-to-end run, `planner-scale` planning wall time at M=1024) and
-//!   write their headline numbers as a perf-baseline array.
+//!   end-to-end run, `planner-scale` planning wall time at M=1024,
+//!   `telemetry-overhead` disabled-path ingest wall time) and write their
+//!   headline numbers as a perf-baseline array.
 //! - `--check-baseline <json>`: re-run each scenario named in the
 //!   checked-in baseline (array, or a single legacy object) and compare;
 //!   exits non-zero on any regression (the CI gate).
+//! - `--journal-out <path>`: run the service-telemetry scenario (storm +
+//!   hopeless SLO, monitoring on), seal its event journal, and write it
+//!   as JSONL.
+//! - `--replay <journal>`: parse a JSONL journal, replay it, and check
+//!   the result against the embedded final-state record; exits non-zero
+//!   on corruption or state mismatch.
+//! - `--watch <ticks>`: run the service-telemetry scenario live, printing
+//!   one summary line per tick (throughput, stall shares, active alerts).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use mux_api::Journal;
 use mux_bench::harness::{
     attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
-    planner_scale_measurement, PLANNER_SCALE_M,
+    planner_scale_measurement, service_telemetry_scenario, service_telemetry_step,
+    telemetry_overhead_measurement, PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
@@ -226,7 +237,7 @@ fn render_prom() -> String {
 }
 
 /// The scenario names the baseline gate knows how to (re)measure.
-const GATE_SCENARIOS: &[&str] = &["fig14-small", "planner-scale"];
+const GATE_SCENARIOS: &[&str] = &["fig14-small", "planner-scale", "telemetry-overhead"];
 
 /// Runs one gate scenario and returns its headline numbers.
 fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
@@ -236,9 +247,108 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
             Ok(measure_run(&report, &ops, num_devices))
         }
         "planner-scale" => Ok(planner_scale_measurement()),
+        "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
         other => Err(format!(
             "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
         )),
+    }
+}
+
+/// Runs the service-telemetry scenario to its configured horizon, seals
+/// the journal, and writes it as JSONL.
+fn emit_journal(path: &Path) -> Result<(), String> {
+    let mut svc = service_telemetry_scenario();
+    for _ in 0..SERVICE_TELEMETRY_TICKS {
+        service_telemetry_step(&mut svc);
+    }
+    svc.seal_journal();
+    let journal = svc.journal();
+    write_file(path, &journal.to_jsonl())?;
+    let alerts = svc.alerts();
+    println!(
+        "wrote {} ({} events over {} ticks, {} active alert(s))",
+        path.display(),
+        journal.len(),
+        svc.current_tick(),
+        alerts.len()
+    );
+    for a in alerts {
+        println!(
+            "  active: {} [{}] job {} (value {:.3} vs threshold {:.3})",
+            a.rule,
+            a.severity.name(),
+            a.job,
+            a.value,
+            a.threshold
+        );
+    }
+    Ok(())
+}
+
+/// Parses and replays a JSONL journal, checking the reconstruction
+/// against the embedded final-state record.
+fn replay_journal(path: &Path) -> Result<(), String> {
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let journal = Journal::from_jsonl(&body)
+        .map_err(|e| format!("{}: corrupt journal: {e}", path.display()))?;
+    let state = journal
+        .verify()
+        .map_err(|e| format!("{}: replay mismatch: {e}", path.display()))?;
+    println!(
+        "replay OK: {} events, final tick {}, {} job(s), {} active alert(s)",
+        journal.len(),
+        state.tick,
+        state.jobs.len(),
+        state.alerts.len()
+    );
+    for (job, st) in &state.jobs {
+        println!("  job {job}: {st}");
+    }
+    for (rule, job) in &state.alerts {
+        println!("  alert: {rule} on job {job}");
+    }
+    Ok(())
+}
+
+/// Runs the service-telemetry scenario live for `ticks` ticks, printing
+/// one summary line per tick.
+fn watch(ticks: usize) {
+    let _telemetry = mux_obs::timeseries::telemetry_scope();
+    let mut svc = service_telemetry_scenario();
+    println!(
+        "{:>5} {:>9} {:>4} {:>4} {:>4} {:>4} {:>14}  {:<34} alerts",
+        "tick", "now", "run", "que", "done", "rej", "tokens/s", "stall shares (bub/comm/dep/align)"
+    );
+    for _ in 0..ticks {
+        service_telemetry_step(&mut svc);
+        let s = svc.telemetry_summary();
+        let alerts = if s.active_alerts.is_empty() {
+            "-".to_string()
+        } else {
+            s.active_alerts
+                .iter()
+                .map(|(rule, job)| format!("{rule}@job{job}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "{:>5} {:>9.3} {:>4} {:>4} {:>4} {:>4} {:>14.0}  {:<34} {alerts}",
+            s.tick,
+            s.now,
+            s.running,
+            s.queued,
+            s.completed,
+            s.rejected,
+            s.throughput_tokens_per_second,
+            format!(
+                "{:.3}/{:.3}/{:.3}/{:.3}",
+                s.stall_class_shares[0],
+                s.stall_class_shares[1],
+                s.stall_class_shares[2],
+                s.stall_class_shares[3]
+            ),
+        );
     }
 }
 
@@ -247,11 +357,12 @@ fn write_baseline(path: &Path) -> Result<(), String> {
     for &name in GATE_SCENARIOS {
         let m = measure_scenario(name)?;
         let mut base = PerfBaseline::new(name, &m);
-        if name == "planner-scale" {
-            // Planning wall time at M=1024 varies with CI host load far
-            // more than the simulated-makespan scenarios do; gate only
-            // order-of-magnitude blowups (the O(M³) -> O(M²) regression
-            // this scenario exists to catch costs ~100x, not 4x).
+        if name == "planner-scale" || name == "telemetry-overhead" {
+            // Wall-time scenarios vary with CI host load far more than
+            // the simulated-makespan scenarios do; gate only
+            // order-of-magnitude blowups (the regressions these exist to
+            // catch — an O(M³) planner, a non-zero-cost disabled
+            // telemetry path — cost ~100x, not 4x).
             base.makespan_rel_tolerance = 3.0;
         }
         println!(
@@ -319,6 +430,9 @@ fn main() -> ExitCode {
     let mut format = String::from("md");
     let mut baseline_check: Option<PathBuf> = None;
     let mut baseline_write: Option<PathBuf> = None;
+    let mut journal_out: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut watch_ticks: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -347,6 +461,24 @@ fn main() -> ExitCode {
                 Some(p) => format = p.to_string_lossy().into_owned(),
                 None => return ExitCode::from(2),
             },
+            "--journal-out" => match take("--journal-out") {
+                Some(p) => journal_out = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--replay" => match take("--replay") {
+                Some(p) => replay = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--watch" => match take("--watch") {
+                Some(p) => match p.to_string_lossy().parse::<usize>() {
+                    Ok(n) => watch_ticks = Some(n),
+                    Err(_) => {
+                        eprintln!("error: --watch requires a tick count");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
             _ => out_path = Some(PathBuf::from(arg)),
         }
     }
@@ -371,8 +503,26 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         }
     }
-    // Baseline-only invocations skip report generation entirely.
-    if (baseline_check.is_some() || baseline_write.is_some()) && out_path.is_none() {
+    if let Some(path) = &journal_out {
+        if let Err(e) = emit_journal(path) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &replay {
+        if let Err(e) = replay_journal(path) {
+            return fail(&e);
+        }
+    }
+    if let Some(ticks) = watch_ticks {
+        watch(ticks);
+    }
+    // Baseline/journal/watch-only invocations skip report generation entirely.
+    let side_mode = baseline_check.is_some()
+        || baseline_write.is_some()
+        || journal_out.is_some()
+        || replay.is_some()
+        || watch_ticks.is_some();
+    if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }
 

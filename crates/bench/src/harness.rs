@@ -387,6 +387,77 @@ pub fn planner_scale_measurement() -> PerfMeasurement {
     }
 }
 
+/// Ticks the service-telemetry scenario runs for (`report --journal-out`
+/// / `--watch` defaults).
+pub const SERVICE_TELEMETRY_TICKS: usize = 60;
+
+/// Simulated seconds per tick of the service-telemetry scenario.
+pub const SERVICE_TELEMETRY_DT: f64 = 0.05;
+
+/// Tick at which [`service_telemetry_step`] injects the co-tenant storm.
+pub const SERVICE_TELEMETRY_STORM_TICK: u64 = 20;
+
+/// The streaming-telemetry reference scenario: an 8-GPU A40 pool
+/// (8-layer backbones for speed) with monitoring on, seeded with a
+/// steady co-tenant pair, one best-effort long job, and one job whose
+/// SLO is hopeless — so a full run always exercises the `slo_burn` rule,
+/// and the mid-run storm injected by [`service_telemetry_step`] exercises
+/// `throughput_drop` on the victim.
+pub fn service_telemetry_scenario() -> mux_api::FineTuneService {
+    let mut cfg = mux_api::ServiceConfig::a40_pool(8);
+    cfg.backbone_layers = Some(8);
+    let mut svc = mux_api::FineTuneService::new(cfg);
+    svc.enable_monitoring(mux_api::MonitorConfig::default());
+    let spec =
+        |tokens: u64| mux_api::JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, tokens);
+    svc.submit(spec(40_000_000));
+    svc.submit(spec(40_000_000));
+    svc.submit(spec(40_000_000).with_slo(0.5)); // hopeless: burns from tick 1
+    svc
+}
+
+/// Advances the telemetry scenario by one tick, injecting a co-tenant
+/// storm (a burst of arrivals on the shared backbone) at
+/// [`SERVICE_TELEMETRY_STORM_TICK`] so the established jobs' throughput
+/// collapses mid-run.
+pub fn service_telemetry_step(svc: &mut mux_api::FineTuneService) {
+    if svc.current_tick() == SERVICE_TELEMETRY_STORM_TICK {
+        for _ in 0..5 {
+            svc.submit(mux_api::JobSpec::lora(
+                "LLaMA2-7B",
+                DatasetKind::OpenBookQa,
+                16,
+                4,
+                40_000_000,
+            ));
+        }
+    }
+    svc.tick(SERVICE_TELEMETRY_DT);
+}
+
+/// The `telemetry-overhead` CI measurement: best-of-3 wall time of 2M
+/// **disabled-path** telemetry ingests (the zero-cost guarantee),
+/// reported as the makespan. Utilization and stall share are pinned so
+/// only the wall-time axis gates.
+pub fn telemetry_overhead_measurement() -> PerfMeasurement {
+    const OPS: usize = 2_000_000;
+    mux_obs::timeseries::set_telemetry(false);
+    let secs = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for i in 0..OPS {
+                mux_obs::timeseries::ingest("bench.telemetry.off", i as f64);
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    PerfMeasurement {
+        makespan_seconds: secs,
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

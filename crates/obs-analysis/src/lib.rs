@@ -24,6 +24,7 @@ pub mod attribution;
 pub mod baseline;
 pub mod critical_path;
 mod labels;
+pub mod online;
 
 pub use attribution::{
     attribute_stalls, device_attribution, AttributedStall, DeviceAttribution, StallClass,
@@ -31,3 +32,7 @@ pub use attribution::{
 pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
 pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};
 pub use labels::{htask_refs_in_label, HTaskRef};
+pub use online::{
+    Alert, AlertEvent, BurnRateConfig, BurnRateEvaluator, DetectorConfig, EwmaMadDetector,
+    Hysteresis, MonitorConfig, OnlineMonitor, Severity,
+};

@@ -24,6 +24,8 @@
 //! assert_eq!(snap.phases["planner.fusion"].count, 1);
 //! ```
 
+pub mod timeseries;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -116,7 +118,14 @@ fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
 }
 
 /// Adds `seconds` of wall time to phase `name` (no-op when disabled).
+///
+/// While streaming telemetry is on, the observation also lands in the
+/// time-series store under the same name (independently of the span
+/// switch — the two layers gate separately).
 pub fn record_phase(name: &str, seconds: f64) {
+    if timeseries::telemetry_enabled() {
+        timeseries::ingest(name, seconds);
+    }
     if !enabled() {
         return;
     }
@@ -129,6 +138,9 @@ pub fn record_phase(name: &str, seconds: f64) {
 
 /// Increments counter `name` by `by` (no-op when disabled).
 pub fn incr_counter(name: &str, by: u64) {
+    if timeseries::telemetry_enabled() {
+        timeseries::ingest(name, by as f64);
+    }
     if !enabled() {
         return;
     }
@@ -137,6 +149,9 @@ pub fn incr_counter(name: &str, by: u64) {
 
 /// Sets gauge `name` to `value` (no-op when disabled).
 pub fn set_gauge(name: &str, value: f64) {
+    if timeseries::telemetry_enabled() {
+        timeseries::ingest(name, value);
+    }
     if !enabled() {
         return;
     }
@@ -229,6 +244,9 @@ impl HistogramStat {
 
 /// Records `value` into histogram `name` (no-op when disabled).
 pub fn record_histogram(name: &str, value: f64) {
+    if timeseries::telemetry_enabled() {
+        timeseries::ingest(name, value);
+    }
     if !enabled() {
         return;
     }
@@ -269,12 +287,12 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Sanitizes a registry name into a Prometheus metric-name fragment:
-/// `[a-zA-Z0-9_]`, everything else becomes `_`.
+/// `[a-zA-Z0-9_:]`, everything else becomes `_`.
 pub fn prom_sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '_' {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
                 c
             } else {
                 '_'
@@ -288,6 +306,21 @@ pub fn prom_sanitize(name: &str) -> String {
         .unwrap_or(true)
     {
         out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a string for use inside a Prometheus label value: `\`, `"`,
+/// and newlines become backslash escapes per the text-exposition spec.
+pub fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
     }
     out
 }
@@ -313,7 +346,8 @@ pub fn render_prom(snap: &Snapshot) -> String {
         out.push_str("# TYPE muxtune_phase_seconds_total counter\n");
         for (name, stat) in &snap.phases {
             out.push_str(&format!(
-                "muxtune_phase_seconds_total{{phase=\"{name}\"}} {}\n",
+                "muxtune_phase_seconds_total{{phase=\"{}\"}} {}\n",
+                prom_escape_label(name),
                 prom_f64(stat.total_seconds)
             ));
         }
@@ -321,7 +355,8 @@ pub fn render_prom(snap: &Snapshot) -> String {
         out.push_str("# TYPE muxtune_phase_count counter\n");
         for (name, stat) in &snap.phases {
             out.push_str(&format!(
-                "muxtune_phase_count{{phase=\"{name}\"}} {}\n",
+                "muxtune_phase_count{{phase=\"{}\"}} {}\n",
+                prom_escape_label(name),
                 stat.count
             ));
         }
@@ -520,6 +555,33 @@ mod tests {
         );
         assert_eq!(prom_sanitize("9lives"), "_9lives");
         assert_eq!(prom_sanitize(""), "_");
+        // Colons are legal in prometheus metric names (recording rules).
+        assert_eq!(prom_sanitize("job:rate:5m"), "job:rate:5m");
+    }
+
+    #[test]
+    fn prom_escape_label_handles_hostile_values() {
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn hostile_phase_names_render_as_valid_exposition() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        record_phase("tenant \"alpha\"\\prod\nstage", 0.5);
+        let text = snapshot_prom();
+        assert!(
+            text.contains("phase=\"tenant \\\"alpha\\\"\\\\prod\\nstage\""),
+            "escaped label in {text:?}"
+        );
+        // No raw newline may survive inside any exposition line's label.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Streaming telemetry: fixed-capacity ring-buffer time series with
+//! sliding-window aggregation.
+//!
+//! A [`TimeSeries`] holds one **sub-window bucket per tick** (count / sum /
+//! min / max plus a bounded raw-sample tail), in a ring capped at a fixed
+//! capacity, so ingest is O(1) amortized: a sample lands in the newest
+//! bucket (or opens one and evicts the oldest). Window queries
+//! ([`TimeSeries::window_agg`]) fold the ≤ `window` buckets that overlap
+//! the window — the per-sample work never depends on how many samples the
+//! window saw.
+//!
+//! The module also hosts the process-wide telemetry store that the
+//! `mux-obs` registry feeds: while [`telemetry_enabled`] is on, every
+//! [`crate::incr_counter`] / [`crate::set_gauge`] /
+//! [`crate::record_histogram`] call *also* appends to the time series
+//! named after the metric, at the current [`current_tick`] — no call-site
+//! changes. Like the span layer, the whole path is **zero-cost when
+//! disabled**: one relaxed atomic load and out.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static TELEMETRY: AtomicBool = AtomicBool::new(false);
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide series store. A plain `Mutex` suffices for the same
+/// reason the registry's does: writes only happen while telemetry is on,
+/// which is never the measured fast path.
+static SERIES: Mutex<Option<BTreeMap<String, TimeSeries>>> = Mutex::new(None);
+
+/// Ticks a process-wide series retains (≈ 5 slow windows of 50 ticks).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Raw samples kept per tick-bucket for exact quantiles; past this, p95
+/// degrades gracefully to the retained-sample estimate.
+pub const BUCKET_SAMPLE_CAP: usize = 256;
+
+/// Turns streaming telemetry on or off globally.
+pub fn set_telemetry(on: bool) {
+    TELEMETRY.store(on, Ordering::Relaxed);
+}
+
+/// Whether streaming telemetry is currently on.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    TELEMETRY.load(Ordering::Relaxed)
+}
+
+/// Enables telemetry for the lifetime of the returned guard, restoring the
+/// previous state on drop. Scopes may nest.
+pub fn telemetry_scope() -> TelemetryScope {
+    let prev = TELEMETRY.swap(true, Ordering::Relaxed);
+    TelemetryScope { prev }
+}
+
+/// Guard returned by [`telemetry_scope`].
+#[must_use = "telemetry stops when the scope guard drops"]
+pub struct TelemetryScope {
+    prev: bool,
+}
+
+impl Drop for TelemetryScope {
+    fn drop(&mut self) {
+        TELEMETRY.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// The current telemetry tick (monotonic; advanced by the driving loop).
+#[inline]
+pub fn current_tick() -> u64 {
+    TICK.load(Ordering::Relaxed)
+}
+
+/// Advances the telemetry tick by one and returns the new value.
+pub fn advance_tick() -> u64 {
+    TICK.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Sets the telemetry tick (tests / replay).
+pub fn set_tick(tick: u64) {
+    TICK.store(tick, Ordering::Relaxed);
+}
+
+/// One tick's sub-window aggregate plus a bounded raw-sample tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Tick this bucket covers.
+    pub tick: u64,
+    /// Samples observed this tick.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Raw samples (first [`BUCKET_SAMPLE_CAP`] of the tick), for
+    /// window quantiles.
+    samples: Vec<f64>,
+}
+
+impl Bucket {
+    fn new(tick: u64, value: f64) -> Self {
+        Self {
+            tick,
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            samples: vec![value],
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.samples.len() < BUCKET_SAMPLE_CAP {
+            self.samples.push(value);
+        }
+    }
+
+    /// The retained raw samples of this tick.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Aggregate of a sliding window of ticks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowAgg {
+    /// Samples in the window.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// 95th-percentile sample (0 when empty), exact over the retained
+    /// per-bucket sample tails.
+    pub p95: f64,
+}
+
+impl WindowAgg {
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The `q`-quantile of `values` by the ceil-rank rule (`q` in `[0, 1]`):
+/// the element at ascending rank `ceil(q · n)`.
+pub fn quantile_of(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let rank = (q.clamp(0.0, 1.0) * values.len() as f64).ceil().max(1.0) as usize;
+    values[rank.min(values.len()) - 1]
+}
+
+/// A fixed-capacity ring of per-tick buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    capacity: usize,
+    buckets: VecDeque<Bucket>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TimeSeries {
+    /// A series retaining at most `capacity` tick-buckets.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buckets: VecDeque::new(),
+        }
+    }
+
+    /// Records one sample at `tick`. Ticks must be non-decreasing; a
+    /// sample stamped before the newest bucket folds into the newest
+    /// bucket (late arrivals never reorder the ring).
+    pub fn record(&mut self, tick: u64, value: f64) {
+        match self.buckets.back_mut() {
+            Some(last) if tick <= last.tick => last.observe(value),
+            _ => {
+                self.buckets.push_back(Bucket::new(tick, value));
+                if self.buckets.len() > self.capacity {
+                    self.buckets.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Retained buckets, oldest first.
+    pub fn buckets(&self) -> impl Iterator<Item = &Bucket> {
+        self.buckets.iter()
+    }
+
+    /// Every retained `(tick, value)` sample pair, oldest first.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.samples.iter().map(move |&v| (b.tick, v)))
+            .collect()
+    }
+
+    /// Tick of the newest bucket, if any.
+    pub fn latest_tick(&self) -> Option<u64> {
+        self.buckets.back().map(|b| b.tick)
+    }
+
+    /// Aggregates the `window`-tick sliding window ending at `end_tick`
+    /// (inclusive): buckets with `end_tick - window < tick <= end_tick`.
+    /// O(window) — independent of how many samples the window saw.
+    pub fn window_agg(&self, end_tick: u64, window: u64) -> WindowAgg {
+        let lo = end_tick.saturating_sub(window);
+        let mut agg = WindowAgg::default();
+        let mut samples: Vec<f64> = Vec::new();
+        for b in self.buckets.iter().rev() {
+            if b.tick > end_tick {
+                continue;
+            }
+            if b.tick <= lo {
+                break;
+            }
+            if agg.count == 0 {
+                agg.min = b.min;
+                agg.max = b.max;
+            } else {
+                agg.min = agg.min.min(b.min);
+                agg.max = agg.max.max(b.max);
+            }
+            agg.count += b.count;
+            agg.sum += b.sum;
+            samples.extend_from_slice(&b.samples);
+        }
+        agg.p95 = quantile_of(&mut samples, 0.95);
+        agg
+    }
+}
+
+fn with_series<R>(f: impl FnOnce(&mut BTreeMap<String, TimeSeries>) -> R) -> R {
+    let mut guard = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(BTreeMap::new))
+}
+
+/// Appends one sample to the process-wide series `name` at the current
+/// tick (no-op when telemetry is disabled).
+pub fn ingest(name: &str, value: f64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let tick = current_tick();
+    with_series(|s| {
+        s.entry(name.to_string())
+            .or_insert_with(TimeSeries::default)
+            .record(tick, value)
+    });
+}
+
+/// Sliding-window aggregate of the process-wide series `name`, over the
+/// last `window` ticks ending at the current tick. `None` when the series
+/// was never written.
+pub fn window(name: &str, window: u64) -> Option<WindowAgg> {
+    let end = current_tick();
+    let guard = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|s| s.get(name))
+        .map(|ts| ts.window_agg(end, window))
+}
+
+/// A copy of every process-wide series.
+pub fn snapshot_series() -> BTreeMap<String, TimeSeries> {
+    let guard = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().cloned().unwrap_or_default()
+}
+
+/// Clears every series and resets the tick to zero.
+pub fn reset_telemetry() {
+    let mut guard = SERIES.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+    TICK.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The store is process-global; serialize the tests that touch it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn ring_evicts_oldest_buckets() {
+        let mut ts = TimeSeries::new(4);
+        for t in 0..10u64 {
+            ts.record(t, t as f64);
+        }
+        let ticks: Vec<u64> = ts.buckets().map(|b| b.tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn late_samples_fold_into_the_newest_bucket() {
+        let mut ts = TimeSeries::new(8);
+        ts.record(5, 1.0);
+        ts.record(3, 2.0); // late: folds into tick 5
+        let b: Vec<&Bucket> = ts.buckets().collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].count, 2);
+        assert_eq!(b[0].sum, 3.0);
+    }
+
+    #[test]
+    fn window_agg_matches_hand_computation() {
+        let mut ts = TimeSeries::new(16);
+        ts.record(1, 10.0);
+        ts.record(2, 20.0);
+        ts.record(2, 30.0);
+        ts.record(3, 40.0);
+        // Window of 2 ending at 3: ticks {2, 3} -> samples 20, 30, 40.
+        let w = ts.window_agg(3, 2);
+        assert_eq!(w.count, 3);
+        assert_eq!(w.sum, 90.0);
+        assert_eq!(w.min, 20.0);
+        assert_eq!(w.max, 40.0);
+        assert!((w.mean() - 30.0).abs() < 1e-12);
+        assert_eq!(w.p95, 40.0);
+        // Window of 10 ending at 3 covers everything.
+        assert_eq!(ts.window_agg(3, 10).count, 4);
+        // Empty window.
+        assert_eq!(ts.window_agg(0, 5).count, 0);
+        assert_eq!(ts.window_agg(0, 5).mean(), 0.0);
+    }
+
+    #[test]
+    fn p95_is_the_ceil_rank_sample() {
+        let mut ts = TimeSeries::new(8);
+        for (i, v) in (1..=20).enumerate() {
+            ts.record(i as u64 / 5 + 1, v as f64);
+        }
+        let w = ts.window_agg(10, 10);
+        // 20 samples: rank ceil(0.95*20) = 19 -> value 19.
+        assert_eq!(w.p95, 19.0);
+    }
+
+    #[test]
+    fn disabled_ingest_records_nothing() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_telemetry();
+        set_telemetry(false);
+        ingest("x", 1.0);
+        assert!(snapshot_series().is_empty());
+        assert!(window("x", 5).is_none());
+    }
+
+    #[test]
+    fn global_store_tracks_ticks_and_windows() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_telemetry();
+        let _on = telemetry_scope();
+        for v in [1.0, 2.0] {
+            advance_tick();
+            ingest("s", v);
+        }
+        assert_eq!(current_tick(), 2);
+        let w = window("s", 1).expect("series exists");
+        assert_eq!(w.count, 1);
+        assert_eq!(w.sum, 2.0);
+        let all = window("s", 10).unwrap();
+        assert_eq!(all.count, 2);
+        reset_telemetry();
+        assert_eq!(current_tick(), 0);
+    }
+
+    #[test]
+    fn registry_hooks_feed_series_without_call_site_changes() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_telemetry();
+        crate::reset();
+        let _on = telemetry_scope();
+        advance_tick();
+        // Plain registry calls — telemetry rides along.
+        crate::incr_counter("hook.counter", 3);
+        crate::set_gauge("hook.gauge", 1.5);
+        crate::record_histogram("hook.hist", 0.25);
+        let series = snapshot_series();
+        assert_eq!(series["hook.counter"].points(), vec![(1, 3.0)]);
+        assert_eq!(series["hook.gauge"].points(), vec![(1, 1.5)]);
+        assert_eq!(series["hook.hist"].points(), vec![(1, 0.25)]);
+        // Registry itself untouched while spans are disabled.
+        crate::set_enabled(false);
+        assert!(crate::snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn telemetry_scope_restores_previous_state() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_telemetry(false);
+        {
+            let _on = telemetry_scope();
+            assert!(telemetry_enabled());
+        }
+        assert!(!telemetry_enabled());
+    }
+}

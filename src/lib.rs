@@ -21,7 +21,8 @@
 //! * [`core`] — hTask fusion, cost model, orchestration, the engine;
 //! * [`baselines`] — HF-PEFT, NeMo, SL-PEFT strategies;
 //! * [`cluster`] — trace generation and cluster-level replay;
-//! * [`api`] — the fine-tuning service front end (job lifecycle, dispatch);
+//! * [`api`] — the fine-tuning service front end (job lifecycle, dispatch,
+//!   online monitoring, replayable event journal);
 //! * [`obs`] — the observability registry (phases, counters, gauges,
 //!   histograms, Prometheus exposition);
 //! * [`obs_analysis`] — critical-path extraction, 4-class stall
@@ -59,7 +60,10 @@ pub use muxtune_core as core;
 
 /// The most common imports for driving MuxTune end to end.
 pub mod prelude {
-    pub use mux_api::{DispatchPolicy, FineTuneService, JobSpec, JobState, ServiceConfig};
+    pub use mux_api::{
+        DispatchPolicy, FineTuneService, JobSpec, JobState, Journal, MonitorConfig, ServiceConfig,
+        TelemetrySummary,
+    };
     pub use mux_baselines::runner::{run_system, SystemKind};
     pub use mux_data::align::AlignStrategy;
     pub use mux_data::corpus::{Corpus, DatasetKind};

@@ -19,14 +19,17 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/service_report.schema.json")
 }
 
-/// A small deterministic service: two same-backbone LoRA jobs (one with an
-/// SLO) sharing a 4-GPU instance on a truncated backbone.
+/// A small deterministic service: two same-backbone LoRA jobs (one with a
+/// hopeless SLO, so the alerts section is populated) sharing a 4-GPU
+/// instance on a truncated backbone, with online monitoring enabled and a
+/// few ticks run so `slo_burn` has fired.
 fn report() -> Value {
     let mut cfg = ServiceConfig::a40_pool(4);
     cfg.backbone_layers = Some(8);
     let mut svc = FineTuneService::new(cfg);
+    svc.enable_monitoring(MonitorConfig::default());
     svc.submit(
-        JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 100_000).with_slo(3600.0),
+        JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 10_000_000).with_slo(0.5),
     );
     svc.submit(JobSpec::lora(
         "LLaMA2-7B",
@@ -35,6 +38,13 @@ fn report() -> Value {
         4,
         100_000,
     ));
+    for _ in 0..12 {
+        svc.tick(0.05);
+    }
+    assert!(
+        !svc.alerts().is_empty(),
+        "schema scenario must exercise the alerts section"
+    );
     svc.service_report()
 }
 
