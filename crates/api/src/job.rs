@@ -33,6 +33,9 @@ pub struct JobSpec {
     /// (they would otherwise be unpackable); zero-length rows are dropped.
     /// A corpus that is empty after that filtering rejects the job.
     pub sequence_lengths: Option<Vec<usize>>,
+    /// Tenant priority: higher values survive graceful degradation longer.
+    /// Ties break toward older jobs when a shed victim must be chosen.
+    pub priority: u8,
 }
 
 impl JobSpec {
@@ -53,6 +56,7 @@ impl JobSpec {
             lr: 1e-3,
             slo_seconds: None,
             sequence_lengths: None,
+            priority: 0,
         }
     }
 
@@ -67,6 +71,12 @@ impl JobSpec {
     /// Attaches a completion-time SLO (seconds from submission).
     pub fn with_slo(mut self, seconds: f64) -> Self {
         self.slo_seconds = Some(seconds);
+        self
+    }
+
+    /// Sets the tenant priority (higher = shed last under degradation).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 

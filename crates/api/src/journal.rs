@@ -91,6 +91,62 @@ pub enum EventKind {
         /// Job concerned.
         job: u64,
     },
+    /// A fault was injected into the service (chaos layer or operator).
+    FaultInjected {
+        /// Fault kind (`device_slowdown`, `link_degrade`, `comm_transient`,
+        /// `device_loss`).
+        kind: String,
+        /// Affected instance.
+        instance: usize,
+        /// Affected device within the instance (absent for link faults).
+        device: Option<usize>,
+        /// Slowdown / degradation factor, or outage duration in seconds
+        /// for transient faults (0 for permanent loss).
+        magnitude: f64,
+    },
+    /// A previously injected fault stopped applying.
+    FaultCleared {
+        /// Fault kind.
+        kind: String,
+        /// Affected instance.
+        instance: usize,
+    },
+    /// The service retried a transient comm fault with backoff.
+    RecoverRetry {
+        /// Affected instance.
+        instance: usize,
+        /// 1-based retry attempt.
+        attempt: u64,
+        /// Backoff applied before the retry, seconds.
+        backoff_seconds: f64,
+    },
+    /// A job was checkpoint/restarted at its last completed step.
+    RecoverRestart {
+        /// Job handle.
+        job: u64,
+        /// Hosting instance.
+        instance: usize,
+        /// Tokens banked at the checkpoint (progress is preserved).
+        checkpoint_tokens: f64,
+    },
+    /// An instance re-planned onto its surviving devices after a loss.
+    RecoverReplan {
+        /// Affected instance.
+        instance: usize,
+        /// Devices still alive on the instance.
+        devices_left: usize,
+        /// The instance's new plan epoch.
+        epoch: u64,
+    },
+    /// Graceful degradation: a job was shed so co-tenants keep running.
+    RecoverShed {
+        /// Job handle.
+        job: u64,
+        /// Instance it was shed from.
+        instance: usize,
+        /// Why replan could not keep it.
+        reason: String,
+    },
     /// The writer's own final state, for [`Journal::verify`].
     Final {
         /// Job handle → lifecycle state string (`queued`, `running@<i>`,
@@ -113,6 +169,12 @@ impl EventKind {
             EventKind::Complete { .. } => "complete",
             EventKind::AlertFired { .. } => "alert_fired",
             EventKind::AlertCleared { .. } => "alert_cleared",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::FaultCleared { .. } => "fault_cleared",
+            EventKind::RecoverRetry { .. } => "recover_retry",
+            EventKind::RecoverRestart { .. } => "recover_restart",
+            EventKind::RecoverReplan { .. } => "recover_replan",
+            EventKind::RecoverShed { .. } => "recover_shed",
             EventKind::Final { .. } => "final",
         }
     }
@@ -202,6 +264,60 @@ impl JournalEvent {
                 m.insert("rule".into(), rule.as_str().into());
                 m.insert("job".into(), (*job).into());
             }
+            EventKind::FaultInjected {
+                kind,
+                instance,
+                device,
+                magnitude,
+            } => {
+                m.insert("kind".into(), kind.as_str().into());
+                m.insert("instance".into(), (*instance).into());
+                m.insert(
+                    "device".into(),
+                    device.map(|d| Value::from(d as u64)).unwrap_or(Value::Null),
+                );
+                m.insert("magnitude".into(), (*magnitude).into());
+            }
+            EventKind::FaultCleared { kind, instance } => {
+                m.insert("kind".into(), kind.as_str().into());
+                m.insert("instance".into(), (*instance).into());
+            }
+            EventKind::RecoverRetry {
+                instance,
+                attempt,
+                backoff_seconds,
+            } => {
+                m.insert("instance".into(), (*instance).into());
+                m.insert("attempt".into(), (*attempt).into());
+                m.insert("backoff_seconds".into(), (*backoff_seconds).into());
+            }
+            EventKind::RecoverRestart {
+                job,
+                instance,
+                checkpoint_tokens,
+            } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("instance".into(), (*instance).into());
+                m.insert("checkpoint_tokens".into(), (*checkpoint_tokens).into());
+            }
+            EventKind::RecoverReplan {
+                instance,
+                devices_left,
+                epoch,
+            } => {
+                m.insert("instance".into(), (*instance).into());
+                m.insert("devices_left".into(), (*devices_left).into());
+                m.insert("epoch".into(), (*epoch).into());
+            }
+            EventKind::RecoverShed {
+                job,
+                instance,
+                reason,
+            } => {
+                m.insert("job".into(), (*job).into());
+                m.insert("instance".into(), (*instance).into());
+                m.insert("reason".into(), reason.as_str().into());
+            }
             EventKind::Final { jobs, alerts } => {
                 let mut jm = Map::new();
                 for (job, state) in jobs {
@@ -285,6 +401,39 @@ impl JournalEvent {
             "alert_cleared" => EventKind::AlertCleared {
                 rule: get_str("rule")?,
                 job: get_u64("job")?,
+            },
+            "fault_injected" => EventKind::FaultInjected {
+                kind: get_str("kind")?,
+                instance: get_u64("instance")? as usize,
+                device: obj
+                    .get("device")
+                    .and_then(Value::as_u64)
+                    .map(|d| d as usize),
+                magnitude: get_f64("magnitude")?,
+            },
+            "fault_cleared" => EventKind::FaultCleared {
+                kind: get_str("kind")?,
+                instance: get_u64("instance")? as usize,
+            },
+            "recover_retry" => EventKind::RecoverRetry {
+                instance: get_u64("instance")? as usize,
+                attempt: get_u64("attempt")?,
+                backoff_seconds: get_f64("backoff_seconds")?,
+            },
+            "recover_restart" => EventKind::RecoverRestart {
+                job: get_u64("job")?,
+                instance: get_u64("instance")? as usize,
+                checkpoint_tokens: get_f64("checkpoint_tokens")?,
+            },
+            "recover_replan" => EventKind::RecoverReplan {
+                instance: get_u64("instance")? as usize,
+                devices_left: get_u64("devices_left")? as usize,
+                epoch: get_u64("epoch")?,
+            },
+            "recover_shed" => EventKind::RecoverShed {
+                job: get_u64("job")?,
+                instance: get_u64("instance")? as usize,
+                reason: get_str("reason")?,
             },
             "final" => {
                 let jobs_obj = obj
@@ -408,6 +557,20 @@ impl Journal {
         Ok(Self { events })
     }
 
+    /// A 64-bit FNV-1a fingerprint of the serialized journal.
+    ///
+    /// Two runs are behaviourally identical iff every journal line matches,
+    /// so fingerprint equality is the determinism oracle the chaos harness
+    /// pins: same seed ⇒ same fingerprint, bit for bit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_jsonl().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Replays the whole journal into a [`ReplayState`].
     pub fn replay(&self) -> ReplayState {
         self.replay_prefix(u64::MAX)
@@ -440,9 +603,18 @@ impl Journal {
                 EventKind::AlertCleared { rule, job } => {
                     state.alerts.remove(&(rule.clone(), *job));
                 }
-                // Shed is informational (the paired Reject moves the job);
-                // Replan and Final do not change replayed job state.
-                EventKind::Shed { .. } | EventKind::Replan { .. } | EventKind::Final { .. } => {}
+                // Shed / RecoverShed are informational (the paired Reject
+                // moves the job); fault and recovery markers, Replan, and
+                // Final do not change replayed job state.
+                EventKind::Shed { .. }
+                | EventKind::Replan { .. }
+                | EventKind::FaultInjected { .. }
+                | EventKind::FaultCleared { .. }
+                | EventKind::RecoverRetry { .. }
+                | EventKind::RecoverRestart { .. }
+                | EventKind::RecoverReplan { .. }
+                | EventKind::RecoverShed { .. }
+                | EventKind::Final { .. } => {}
             }
         }
         state
@@ -597,6 +769,85 @@ mod tests {
         let tampered = text.replace("\"completed\"", "\"queued\"");
         let parsed = Journal::from_jsonl(&tampered).expect("still valid JSONL");
         assert!(parsed.verify().is_err());
+    }
+
+    #[test]
+    fn fault_and_recovery_events_roundtrip_and_do_not_move_jobs() {
+        let mut j = sample_journal();
+        j.push(
+            4,
+            0.4,
+            EventKind::FaultInjected {
+                kind: "device_loss".into(),
+                instance: 0,
+                device: Some(2),
+                magnitude: 0.0,
+            },
+        );
+        j.push(
+            4,
+            0.4,
+            EventKind::RecoverRestart {
+                job: 1,
+                instance: 0,
+                checkpoint_tokens: 420.0,
+            },
+        );
+        j.push(
+            4,
+            0.4,
+            EventKind::RecoverReplan {
+                instance: 0,
+                devices_left: 3,
+                epoch: 2,
+            },
+        );
+        j.push(
+            5,
+            0.5,
+            EventKind::RecoverRetry {
+                instance: 0,
+                attempt: 1,
+                backoff_seconds: 0.1,
+            },
+        );
+        j.push(
+            5,
+            0.5,
+            EventKind::FaultCleared {
+                kind: "comm_transient".into(),
+                instance: 0,
+            },
+        );
+        j.push(
+            6,
+            0.6,
+            EventKind::RecoverShed {
+                job: 7,
+                instance: 0,
+                reason: "replan infeasible".into(),
+            },
+        );
+        let back = Journal::from_jsonl(&j.to_jsonl()).expect("roundtrip");
+        assert_eq!(back, j);
+        // Recovery markers never move job lifecycle state on their own.
+        let state = j.replay();
+        assert_eq!(state.jobs[&1], "completed");
+        assert!(
+            !state.jobs.contains_key(&7),
+            "shed marker alone moves nothing"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = sample_journal();
+        let b = sample_journal();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample_journal();
+        c.push(10, 1.0, EventKind::Complete { job: 99 });
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(Journal::new().fingerprint(), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

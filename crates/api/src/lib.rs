@@ -14,4 +14,7 @@ pub mod service;
 pub use job::{Job, JobId, JobSpec, JobState};
 pub use journal::{EventKind, Journal, JournalEvent, ReplayState};
 pub use mux_obs_analysis::online::{Alert, MonitorConfig, Severity};
-pub use service::{DispatchPolicy, FineTuneService, ServiceConfig, TelemetrySummary};
+pub use service::{
+    DispatchPolicy, FaultError, FaultStats, FineTuneService, RetryPolicy, ServiceConfig,
+    ServiceFault, TelemetrySummary,
+};

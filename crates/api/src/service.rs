@@ -22,7 +22,9 @@ use mux_obs_analysis::{
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
-use muxtune_core::planner::{plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig};
+use muxtune_core::planner::{
+    degraded_plan, plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig,
+};
 use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
@@ -39,6 +41,33 @@ pub enum DispatchPolicy {
     /// One instance per job while GPUs remain (the single-task-framework
     /// deployment model).
     DedicatedInstances,
+}
+
+/// Exponential-backoff schedule for transient comm-fault retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry, seconds.
+    pub base_backoff: f64,
+    /// Hard cap on any single backoff, seconds.
+    pub max_backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_backoff: 0.05,
+            max_backoff: 0.8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before 1-based retry `attempt`:
+    /// `min(base · 2^(attempt−1), cap)`.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        (self.base_backoff * 2f64.powi(attempt.saturating_sub(1).min(62) as i32))
+            .min(self.max_backoff)
+    }
 }
 
 /// Service configuration.
@@ -62,6 +91,8 @@ pub struct ServiceConfig {
     pub dispatch: DispatchPolicy,
     /// Optional layer truncation of every backbone (tests/demo speed).
     pub backbone_layers: Option<usize>,
+    /// Backoff schedule for transient comm-fault retries.
+    pub retry: RetryPolicy,
 }
 
 impl ServiceConfig {
@@ -77,8 +108,115 @@ impl ServiceConfig {
             max_tasks_per_instance: 8,
             dispatch: DispatchPolicy::SameBackboneFirst,
             backbone_layers: None,
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// A fault an operator (or the chaos harness) injects into the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceFault {
+    /// One device computes `factor`× slower (straggler): the hosting
+    /// instance's pipeline runs at the straggler's pace until cleared.
+    DeviceSlowdown {
+        /// Affected instance.
+        instance: usize,
+        /// Straggling device within the instance.
+        device: usize,
+        /// Slowdown factor, > 1.
+        factor: f64,
+    },
+    /// The instance's interconnect degrades by `factor` until cleared.
+    LinkDegrade {
+        /// Affected instance.
+        instance: usize,
+        /// Bandwidth degradation factor, > 1.
+        factor: f64,
+    },
+    /// The instance's comm stack fails transiently: progress freezes and
+    /// the service retries with exponential backoff; the `failures`-th
+    /// retry succeeds and the instance resumes.
+    TransientComm {
+        /// Affected instance.
+        instance: usize,
+        /// Retry attempts needed before the comm layer recovers (≥ 1).
+        failures: u32,
+    },
+    /// A device is lost permanently: affected jobs checkpoint/restart and
+    /// the instance re-plans onto its surviving devices (or sheds).
+    DeviceLoss {
+        /// Affected instance.
+        instance: usize,
+        /// Lost device within the instance.
+        device: usize,
+    },
+}
+
+/// Typed rejection of an invalid fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// Instance index out of range.
+    NoSuchInstance(usize),
+    /// Device index out of range for the instance shape.
+    NoSuchDevice {
+        /// Targeted instance.
+        instance: usize,
+        /// Out-of-range device.
+        device: usize,
+    },
+    /// Slowdown/degradation factors must be finite and > 1.
+    BadFactor(f64),
+    /// Transient faults need at least one failing attempt.
+    ZeroFailures,
+    /// The device was already lost (loss is permanent).
+    DeviceAlreadyLost {
+        /// Targeted instance.
+        instance: usize,
+        /// Already-lost device.
+        device: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::NoSuchInstance(i) => write!(f, "no such instance {i}"),
+            FaultError::NoSuchDevice { instance, device } => {
+                write!(f, "instance {instance} has no device {device}")
+            }
+            FaultError::BadFactor(x) => {
+                write!(f, "fault factor must be finite and > 1, got {x}")
+            }
+            FaultError::ZeroFailures => write!(f, "transient fault needs failures >= 1"),
+            FaultError::DeviceAlreadyLost { instance, device } => {
+                write!(f, "device {device} on instance {instance} is already lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Running totals of injected faults and recovery actions, for the
+/// report's `faults` section and chaos-harness assertions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Injections by fault-kind name (`device_slowdown`, `link_degrade`,
+    /// `comm_transient`, `device_loss`).
+    pub injected: BTreeMap<String, u64>,
+    /// Recovery actions by name (`retry`, `restart`, `replan`, `shed`).
+    pub recoveries: BTreeMap<String, u64>,
+}
+
+/// Live transient-comm outage state on one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OutageState {
+    /// Retries attempted so far.
+    attempt: u32,
+    /// Retries needed before the comm layer recovers.
+    failures: u32,
+    /// Injection token; resume events with a stale token are discarded.
+    token: u64,
 }
 
 struct Instance {
@@ -87,8 +225,26 @@ struct Instance {
     corpora: BTreeMap<TaskId, Vec<usize>>,
     /// Which job each registered task belongs to.
     job_of_task: BTreeMap<TaskId, JobId>,
-    /// Per-task effective token rates (tokens/sec) under the current plan.
+    /// Per-task effective token rates (tokens/sec): the planner's raw
+    /// rates scaled by the live fault state (0 during an outage).
     rates: BTreeMap<TaskId, f64>,
+    /// The planner's fault-free rates under the current plan; `rates` is
+    /// always derivable from these plus the fault state.
+    raw_rates: BTreeMap<TaskId, f64>,
+    /// Live per-device compute slowdown factors (stragglers).
+    slow_factors: BTreeMap<usize, f64>,
+    /// Live interconnect degradation factor (1 = healthy).
+    link_factor: f64,
+    /// Permanently lost devices.
+    lost_devices: BTreeSet<usize>,
+    /// In-flight transient comm outage, if any.
+    outage: Option<OutageState>,
+    /// Monotonic outage-injection counter (staleness check for resumes).
+    outage_token: u64,
+    /// Degraded plan after device loss (None = the service-wide plan).
+    plan_override: Option<HybridParallelism>,
+    /// Shrunk cluster after device loss (None = the service-wide shape).
+    cluster_override: Option<Cluster>,
     next_task_id: TaskId,
     /// Simulated time the current `rates` took effect. Progress accrues
     /// lazily: a running job's live total is its banked
@@ -124,6 +280,34 @@ impl Ord for CompletionEvent {
             .total_cmp(&other.at)
             .then_with(|| self.instance.cmp(&other.instance))
             .then_with(|| self.task.cmp(&other.task))
+    }
+}
+
+/// A scheduled comm-retry event: at absolute time `at`, instance
+/// `instance` attempts the next retry of outage `token`. Kept on its own
+/// heap (not `completions`) so epoch bumps during an outage can never
+/// orphan the resume and freeze the instance forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ResumeEvent {
+    at: f64,
+    instance: usize,
+    token: u64,
+}
+
+impl Eq for ResumeEvent {}
+
+impl PartialOrd for ResumeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ResumeEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.instance.cmp(&other.instance))
+            .then_with(|| self.token.cmp(&other.token))
     }
 }
 
@@ -172,7 +356,7 @@ struct MonitorRuntime {
     /// Per-instance stall-class shares, cached by plan epoch so the
     /// traced attribution re-plan runs once per membership change, not
     /// once per tick.
-    stall_cache: BTreeMap<usize, (u64, [f64; 4])>,
+    stall_cache: BTreeMap<usize, (u64, [f64; StallClass::COUNT])>,
 }
 
 /// One `--watch` line: the service's live state at a tick.
@@ -194,7 +378,7 @@ pub struct TelemetrySummary {
     pub throughput_tokens_per_second: f64,
     /// Mean stall-class shares over live instances, in
     /// [`StallClass::ALL`] order.
-    pub stall_class_shares: [f64; 4],
+    pub stall_class_shares: [f64; StallClass::COUNT],
     /// Active `(rule, job)` alerts.
     pub active_alerts: Vec<(String, u64)>,
 }
@@ -213,6 +397,10 @@ pub struct FineTuneService {
     /// instance's epoch): `advance` jumps straight to the next event
     /// instead of re-scanning every running task per tick.
     completions: BinaryHeap<Reverse<CompletionEvent>>,
+    /// Min-heap of pending comm-retry events (see [`ResumeEvent`]).
+    resumes: BinaryHeap<Reverse<ResumeEvent>>,
+    /// Running fault/recovery totals.
+    fault_stats: FaultStats,
     next_job: u64,
     now: f64,
     /// Monotonic observation tick, advanced by [`Self::tick`].
@@ -237,6 +425,8 @@ impl FineTuneService {
             jobs: BTreeMap::new(),
             queue: VecDeque::new(),
             completions: BinaryHeap::new(),
+            resumes: BinaryHeap::new(),
+            fault_stats: FaultStats::default(),
             next_job: 1,
             now: 0.0,
             tick: 0,
@@ -397,6 +587,14 @@ impl FineTuneService {
                                 corpora: BTreeMap::new(),
                                 job_of_task: BTreeMap::new(),
                                 rates: BTreeMap::new(),
+                                raw_rates: BTreeMap::new(),
+                                slow_factors: BTreeMap::new(),
+                                link_factor: 1.0,
+                                lost_devices: BTreeSet::new(),
+                                outage: None,
+                                outage_token: 0,
+                                plan_override: None,
+                                cluster_override: None,
                                 next_task_id: 1,
                                 planned_at: self.now,
                                 epoch: 0,
@@ -414,6 +612,20 @@ impl FineTuneService {
                             continue;
                         }
                     }
+                }
+                None if same_backbone.is_empty() => {
+                    // No same-backbone instance exists and the pool is
+                    // full. Instances are never torn down, so capacity
+                    // can only shrink: the job is permanently starved.
+                    // Reject it now instead of queueing it forever.
+                    self.reject(
+                        id,
+                        format!(
+                            "no capacity: pool exhausted and no {:?} instance to join",
+                            spec.backbone
+                        ),
+                    );
+                    continue;
                 }
                 None => None,
             };
@@ -466,14 +678,33 @@ impl FineTuneService {
     }
 
     /// Evicts task `tid` from instance `i`, rejecting its job with
-    /// `reason`. Co-located jobs stay registered and keep running.
-    fn shed(&mut self, i: usize, tid: TaskId, reason: String) {
+    /// `reason`. Co-located jobs stay registered and keep running. With
+    /// `recovery` set the eviction is graceful degradation after a fault
+    /// and additionally records a [`EventKind::RecoverShed`] marker.
+    fn shed(&mut self, i: usize, tid: TaskId, reason: String, recovery: bool) {
         let inst = &mut self.instances[i];
         let _ = inst.registry.deregister_task(tid);
         inst.corpora.remove(&tid);
         inst.rates.remove(&tid);
+        inst.raw_rates.remove(&tid);
         let evicted = inst.job_of_task.remove(&tid);
         if let Some(jid) = evicted {
+            if recovery {
+                self.journal.push(
+                    self.tick,
+                    self.now,
+                    EventKind::RecoverShed {
+                        job: jid.0,
+                        instance: i,
+                        reason: reason.clone(),
+                    },
+                );
+                *self
+                    .fault_stats
+                    .recoveries
+                    .entry("shed".into())
+                    .or_insert(0) += 1;
+            }
             self.journal.push(
                 self.tick,
                 self.now,
@@ -493,6 +724,11 @@ impl FineTuneService {
         let inst = &self.instances[i];
         let mut best: Option<(f64, TaskId)> = None;
         for (&tid, &rate) in &inst.rates {
+            // Zero-rate tasks (instance in outage) never complete on their
+            // own; the resume event re-prices them back onto the heap.
+            if rate <= 0.0 {
+                continue;
+            }
             let job = &self.jobs[&inst.job_of_task[&tid]];
             let left = ((job.spec.total_tokens as f64 - job.progressed_tokens) / rate).max(0.0);
             if best.map(|(b, _)| left < b).unwrap_or(true) {
@@ -522,6 +758,7 @@ impl FineTuneService {
         loop {
             let inst = &mut self.instances[i];
             inst.rates.clear();
+            inst.raw_rates.clear();
             inst.epoch += 1;
             inst.planned_at = self.now;
             if inst.registry.is_empty() {
@@ -537,8 +774,14 @@ impl FineTuneService {
                 );
                 return;
             }
-            let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
-            match plan_and_run(&inst.registry, &self.cluster, &inst.corpora, &cfg) {
+            let plan = inst.plan_override.unwrap_or(self.cfg.plan);
+            let cfg = PlannerConfig::muxtune(plan, self.cfg.micro_batches);
+            let result = {
+                let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
+                plan_and_run(&inst.registry, cluster, &inst.corpora, &cfg)
+            };
+            let degrading = !inst.lost_devices.is_empty();
+            match result {
                 Ok(report) => {
                     // Split effective throughput across tasks in proportion
                     // to their raw content per round.
@@ -549,17 +792,30 @@ impl FineTuneService {
                         .collect();
                     let total: f64 = raw.values().sum();
                     for (&t, r) in &raw {
-                        inst.rates
+                        inst.raw_rates
                             .insert(t, report.metrics.effective_throughput * r / total.max(1.0));
                     }
+                    // Degeneracy is judged on the planner's raw rates:
+                    // fault-scaled rates are legitimately 0 during outages.
                     if let Some((&bad, &rate)) = inst
-                        .rates
+                        .raw_rates
                         .iter()
                         .find(|(_, &rate)| !(rate.is_finite() && rate > 0.0))
                     {
-                        self.shed(i, bad, format!("degenerate progress rate {rate}"));
+                        self.shed(
+                            i,
+                            bad,
+                            format!("degenerate progress rate {rate}"),
+                            degrading,
+                        );
                         continue;
                     }
+                    let mult = Self::degrade_multiplier(inst);
+                    inst.rates = inst
+                        .raw_rates
+                        .iter()
+                        .map(|(&t, &r)| (t, r * mult))
+                        .collect();
                     let (epoch, tasks) = (inst.epoch, inst.registry.len());
                     self.push_completion(i);
                     self.journal.push(
@@ -574,11 +830,46 @@ impl FineTuneService {
                     return;
                 }
                 Err(e) => {
-                    let newest = *inst.job_of_task.keys().next_back().expect("non-empty");
-                    self.shed(i, newest, e.to_string());
+                    // Graceful degradation: shed the lowest-priority tenant
+                    // (newest on ties — the arrival that broke feasibility)
+                    // so co-tenants keep running.
+                    let victim = *inst
+                        .job_of_task
+                        .iter()
+                        .min_by_key(|(&tid, jid)| (self.jobs[jid].spec.priority, Reverse(tid)))
+                        .map(|(t, _)| t)
+                        .expect("non-empty");
+                    self.shed(i, victim, e.to_string(), degrading);
                 }
             }
         }
+    }
+
+    /// The factor `raw_rates` shrink by under the instance's live fault
+    /// state: 0 during an outage, else the reciprocal of the worst
+    /// straggler slowdown times the link degradation.
+    fn degrade_multiplier(inst: &Instance) -> f64 {
+        if inst.outage.is_some() {
+            return 0.0;
+        }
+        let slow = inst.slow_factors.values().fold(1.0f64, |a, &b| a.max(b));
+        1.0 / (slow * inst.link_factor).max(1.0)
+    }
+
+    /// Recomputes instance `i`'s effective rates from its raw planner
+    /// rates and the current fault state, invalidating stale completion
+    /// events. Progress must already be materialized.
+    fn reprice(&mut self, i: usize) {
+        let inst = &mut self.instances[i];
+        let mult = Self::degrade_multiplier(inst);
+        inst.rates = inst
+            .raw_rates
+            .iter()
+            .map(|(&t, &r)| (t, r * mult))
+            .collect();
+        inst.epoch += 1;
+        inst.planned_at = self.now;
+        self.push_completion(i);
     }
 
     /// The earliest still-valid completion event, discarding stale ones.
@@ -592,10 +883,85 @@ impl FineTuneService {
         None
     }
 
-    /// Seconds until the next job completes, if any job is running.
-    fn next_completion_in(&mut self) -> Option<f64> {
+    /// The earliest still-valid resume (comm-retry) event, discarding
+    /// entries whose outage token went stale.
+    fn peek_resume(&mut self) -> Option<ResumeEvent> {
+        while let Some(&Reverse(ev)) = self.resumes.peek() {
+            let live = self.instances[ev.instance]
+                .outage
+                .map(|o| o.token == ev.token)
+                .unwrap_or(false);
+            if live {
+                return Some(ev);
+            }
+            self.resumes.pop();
+        }
+        None
+    }
+
+    /// Seconds until the next event (completion or comm retry) fires.
+    fn next_event_in(&mut self) -> Option<f64> {
         let now = self.now;
-        self.peek_completion().map(|ev| (ev.at - now).max(0.0))
+        let c = self.peek_completion().map(|ev| ev.at);
+        let r = self.peek_resume().map(|ev| ev.at);
+        [c, r]
+            .into_iter()
+            .flatten()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .map(|at| (at - now).max(0.0))
+    }
+
+    /// Fires retry `token` on instance `i`: journals the attempt, and
+    /// either clears the fault (the comm layer recovered) or schedules
+    /// the next retry after exponential backoff.
+    fn handle_retry(&mut self, i: usize, token: u64) {
+        let (attempt, failures) = {
+            let Some(outage) = self.instances[i].outage.as_mut() else {
+                return;
+            };
+            if outage.token != token {
+                return;
+            }
+            outage.attempt += 1;
+            (outage.attempt, outage.failures)
+        };
+        let backoff = self.cfg.retry.backoff(attempt);
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::RecoverRetry {
+                instance: i,
+                attempt: u64::from(attempt),
+                backoff_seconds: backoff,
+            },
+        );
+        *self
+            .fault_stats
+            .recoveries
+            .entry("retry".into())
+            .or_insert(0) += 1;
+        if attempt >= failures {
+            self.instances[i].outage = None;
+            self.journal.push(
+                self.tick,
+                self.now,
+                EventKind::FaultCleared {
+                    kind: "comm_transient".into(),
+                    instance: i,
+                },
+            );
+            self.materialize(i);
+            self.reprice(i);
+        } else {
+            let next = self.cfg.retry.backoff(attempt + 1);
+            self.resumes.push(Reverse(ResumeEvent {
+                at: self.now + next,
+                instance: i,
+                token,
+            }));
+        }
     }
 
     /// Completes the job behind `forced` on instance `i` (its completion
@@ -643,16 +1009,37 @@ impl FineTuneService {
             return;
         }
         let end = self.now + dt;
-        while let Some(ev) = self.peek_completion() {
-            if ev.at.is_nan() || ev.at > end {
-                break;
+        loop {
+            let next_c = self.peek_completion().map(|ev| ev.at);
+            let next_r = self.peek_resume().map(|ev| ev.at);
+            let take_resume = match (next_c, next_r) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                // On ties the retry fires first: it restores rates the
+                // completion may depend on.
+                (Some(c), Some(r)) => r <= c,
+            };
+            if take_resume {
+                let ev = self.peek_resume().expect("just peeked");
+                if ev.at.is_nan() || ev.at > end {
+                    break;
+                }
+                self.resumes.pop();
+                self.now = ev.at.max(self.now);
+                self.handle_retry(ev.instance, ev.token);
+            } else {
+                let ev = self.peek_completion().expect("just peeked");
+                if ev.at.is_nan() || ev.at > end {
+                    break;
+                }
+                self.completions.pop();
+                self.now = ev.at.max(self.now);
+                self.materialize(ev.instance);
+                self.retire_completed(ev.instance, ev.task);
+                self.replan(ev.instance);
+                self.dispatch_queued();
             }
-            self.completions.pop();
-            self.now = ev.at.max(self.now);
-            self.materialize(ev.instance);
-            self.retire_completed(ev.instance, ev.task);
-            self.replan(ev.instance);
-            self.dispatch_queued();
         }
         self.now = end;
     }
@@ -779,14 +1166,14 @@ impl FineTuneService {
                 .instance_analysis(i)
                 .map(|a| {
                     let total: f64 = a.attribution.iter().map(|d| d.window).sum();
-                    let mut s = [0.0f64; 4];
+                    let mut s = [0.0f64; StallClass::COUNT];
                     for (ci, class) in StallClass::ALL.iter().enumerate() {
                         let secs: f64 = a.attribution.iter().map(|d| d.class_seconds(*class)).sum();
                         s[ci] = secs / total.max(1e-12);
                     }
                     s
                 })
-                .unwrap_or([0.0; 4]);
+                .unwrap_or([0.0; StallClass::COUNT]);
             rt.stall_cache.insert(i, (epoch, shares));
         }
 
@@ -889,9 +1276,9 @@ impl FineTuneService {
                 JobState::Rejected => rejected += 1,
             }
         }
-        let mut stall_class_shares = [0.0f64; 4];
+        let mut stall_class_shares = [0.0f64; StallClass::COUNT];
         if let Some(rt) = &self.monitor {
-            let live: Vec<&[f64; 4]> = self
+            let live: Vec<&[f64; StallClass::COUNT]> = self
                 .instances
                 .iter()
                 .enumerate()
@@ -943,10 +1330,12 @@ impl FineTuneService {
         if inst.registry.is_empty() {
             return None;
         }
-        let cfg = PlannerConfig::muxtune(self.cfg.plan, self.cfg.micro_batches);
+        let plan = inst.plan_override.unwrap_or(self.cfg.plan);
+        let cfg = PlannerConfig::muxtune(plan, self.cfg.micro_batches);
+        let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
         let (report, ops) =
-            plan_and_run_traced(&inst.registry, &self.cluster, &inst.corpora, &cfg).ok()?;
-        let num_devices = self.cluster.gpus.len();
+            plan_and_run_traced(&inst.registry, cluster, &inst.corpora, &cfg).ok()?;
+        let num_devices = cluster.gpus.len();
         for op in &ops {
             let dur = op.end - op.start;
             if dur <= 0.0 {
@@ -1234,6 +1623,7 @@ impl FineTuneService {
         root.insert("jobs".into(), Value::Array(jobs));
         root.insert("instances".into(), Value::Array(instances));
         root.insert("alerts".into(), self.alerts_json());
+        root.insert("faults".into(), self.faults_json());
         let mut obs = Map::new();
         obs.insert("phases".into(), Value::Object(phases));
         obs.insert("counters".into(), Value::Object(counters));
@@ -1290,6 +1680,75 @@ impl FineTuneService {
         m.insert("active".into(), Value::Array(active));
         m.insert("active_by_severity".into(), Value::Object(by_severity));
         m.insert("fired_total".into(), Value::Object(fired));
+        Value::Object(m)
+    }
+
+    /// The report's `faults` section: injection and recovery totals plus
+    /// per-instance live fault state. The key set is stable — every fault
+    /// kind and recovery action is always present (0 when it never
+    /// happened) — so dashboards and goldens can pin on it.
+    fn faults_json(&self) -> Value {
+        let mut injected = Map::new();
+        for kind in [
+            "device_slowdown",
+            "link_degrade",
+            "comm_transient",
+            "device_loss",
+        ] {
+            injected.insert(
+                kind.to_string(),
+                self.fault_stats
+                    .injected
+                    .get(kind)
+                    .copied()
+                    .unwrap_or(0)
+                    .into(),
+            );
+        }
+        let mut recoveries = Map::new();
+        for action in ["retry", "restart", "replan", "shed"] {
+            recoveries.insert(
+                action.to_string(),
+                self.fault_stats
+                    .recoveries
+                    .get(action)
+                    .copied()
+                    .unwrap_or(0)
+                    .into(),
+            );
+        }
+        let instances: Vec<Value> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let mut im = Map::new();
+                im.insert("instance".into(), i.into());
+                im.insert(
+                    "lost_devices".into(),
+                    Value::Array(
+                        inst.lost_devices
+                            .iter()
+                            .map(|&d| Value::from(d as u64))
+                            .collect(),
+                    ),
+                );
+                im.insert(
+                    "slow_factor".into(),
+                    inst.slow_factors
+                        .values()
+                        .fold(1.0f64, |a, &b| a.max(b))
+                        .into(),
+                );
+                im.insert("link_factor".into(), inst.link_factor.into());
+                im.insert("in_outage".into(), inst.outage.is_some().into());
+                Value::Object(im)
+            })
+            .collect();
+        let mut m = Map::new();
+        m.insert("injected_total".into(), Value::Object(injected));
+        m.insert("recoveries_total".into(), Value::Object(recoveries));
+        m.insert("instances".into(), Value::Array(instances));
         Value::Object(m)
     }
 
@@ -1420,6 +1879,267 @@ impl FineTuneService {
         out
     }
 
+    /// Running fault/recovery totals (chaos-harness assertions, reports).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    fn check_instance(&self, i: usize) -> Result<(), FaultError> {
+        if i < self.instances.len() {
+            Ok(())
+        } else {
+            Err(FaultError::NoSuchInstance(i))
+        }
+    }
+
+    fn check_device(&self, instance: usize, device: usize) -> Result<(), FaultError> {
+        if device < self.cfg.gpus_per_instance {
+            Ok(())
+        } else {
+            Err(FaultError::NoSuchDevice { instance, device })
+        }
+    }
+
+    fn journal_fault(
+        &mut self,
+        kind: &str,
+        instance: usize,
+        device: Option<usize>,
+        magnitude: f64,
+    ) {
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::FaultInjected {
+                kind: kind.to_string(),
+                instance,
+                device,
+                magnitude,
+            },
+        );
+        *self
+            .fault_stats
+            .injected
+            .entry(kind.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Injects a fault, triggering the matching typed recovery path:
+    ///
+    /// - [`ServiceFault::DeviceSlowdown`] / [`ServiceFault::LinkDegrade`]:
+    ///   the instance's effective rates shrink by the factor until
+    ///   [`Self::clear_fault`].
+    /// - [`ServiceFault::TransientComm`]: progress freezes; the service
+    ///   retries with exponential backoff ([`RetryPolicy`]), journaling a
+    ///   [`EventKind::RecoverRetry`] per attempt, and resumes when the
+    ///   comm layer recovers.
+    /// - [`ServiceFault::DeviceLoss`]: progress is checkpointed
+    ///   ([`EventKind::RecoverRestart`] per hosted job) and the instance
+    ///   re-plans onto its surviving devices via the degraded-plan path
+    ///   ([`EventKind::RecoverReplan`]); with no survivors — or when the
+    ///   degraded plan is infeasible — the lowest-priority tenants shed
+    ///   ([`EventKind::RecoverShed`]) so co-tenants keep running.
+    ///
+    /// Invalid injections return a typed [`FaultError`] and leave the
+    /// service (and its journal) untouched.
+    pub fn inject_fault(&mut self, fault: ServiceFault) -> Result<(), FaultError> {
+        match fault {
+            ServiceFault::DeviceSlowdown {
+                instance,
+                device,
+                factor,
+            } => {
+                self.check_instance(instance)?;
+                self.check_device(instance, device)?;
+                if !(factor.is_finite() && factor > 1.0) {
+                    return Err(FaultError::BadFactor(factor));
+                }
+                self.journal_fault("device_slowdown", instance, Some(device), factor);
+                self.materialize(instance);
+                self.instances[instance].slow_factors.insert(device, factor);
+                self.reprice(instance);
+            }
+            ServiceFault::LinkDegrade { instance, factor } => {
+                self.check_instance(instance)?;
+                if !(factor.is_finite() && factor > 1.0) {
+                    return Err(FaultError::BadFactor(factor));
+                }
+                self.journal_fault("link_degrade", instance, None, factor);
+                self.materialize(instance);
+                let inst = &mut self.instances[instance];
+                inst.link_factor = inst.link_factor.max(factor);
+                self.reprice(instance);
+            }
+            ServiceFault::TransientComm { instance, failures } => {
+                self.check_instance(instance)?;
+                if failures == 0 {
+                    return Err(FaultError::ZeroFailures);
+                }
+                self.journal_fault("comm_transient", instance, None, f64::from(failures));
+                self.materialize(instance);
+                let inst = &mut self.instances[instance];
+                inst.outage_token += 1;
+                let token = inst.outage_token;
+                inst.outage = Some(OutageState {
+                    attempt: 0,
+                    failures,
+                    token,
+                });
+                self.reprice(instance); // rates drop to 0 until resume
+                let backoff = self.cfg.retry.backoff(1);
+                self.resumes.push(Reverse(ResumeEvent {
+                    at: self.now + backoff,
+                    instance,
+                    token,
+                }));
+            }
+            ServiceFault::DeviceLoss { instance, device } => {
+                self.check_instance(instance)?;
+                self.check_device(instance, device)?;
+                if self.instances[instance].lost_devices.contains(&device) {
+                    return Err(FaultError::DeviceAlreadyLost { instance, device });
+                }
+                self.journal_fault("device_loss", instance, Some(device), 0.0);
+                // Checkpoint: bank every hosted job's progress at its last
+                // completed step before the topology changes.
+                self.materialize(instance);
+                self.instances[instance].lost_devices.insert(device);
+                let survivors =
+                    self.cfg.gpus_per_instance - self.instances[instance].lost_devices.len();
+                let hosted: Vec<JobId> = self.instances[instance]
+                    .job_of_task
+                    .values()
+                    .copied()
+                    .collect();
+                for jid in &hosted {
+                    let banked = self.jobs[jid].progressed_tokens;
+                    self.journal.push(
+                        self.tick,
+                        self.now,
+                        EventKind::RecoverRestart {
+                            job: jid.0,
+                            instance,
+                            checkpoint_tokens: banked,
+                        },
+                    );
+                    *self
+                        .fault_stats
+                        .recoveries
+                        .entry("restart".into())
+                        .or_insert(0) += 1;
+                }
+                match degraded_plan(self.cfg.plan, survivors) {
+                    Some(plan) => {
+                        let inst = &mut self.instances[instance];
+                        inst.plan_override = Some(plan);
+                        inst.cluster_override = Some(Cluster::single_node(
+                            self.cfg.gpu.clone(),
+                            survivors,
+                            self.cfg.link.clone(),
+                        ));
+                        self.replan(instance);
+                        let epoch = self.instances[instance].epoch;
+                        self.journal.push(
+                            self.tick,
+                            self.now,
+                            EventKind::RecoverReplan {
+                                instance,
+                                devices_left: survivors,
+                                epoch,
+                            },
+                        );
+                        *self
+                            .fault_stats
+                            .recoveries
+                            .entry("replan".into())
+                            .or_insert(0) += 1;
+                    }
+                    None => {
+                        let tasks: Vec<TaskId> = self.instances[instance]
+                            .job_of_task
+                            .keys()
+                            .copied()
+                            .collect();
+                        for t in tasks {
+                            self.shed(instance, t, "no surviving devices on instance".into(), true);
+                        }
+                        self.replan(instance);
+                    }
+                }
+                self.dispatch_queued();
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears live slowdown / link-degradation faults on `instance`,
+    /// restoring its fault-free rates. Transient comm faults clear
+    /// themselves via the retry path; device loss is permanent.
+    pub fn clear_fault(&mut self, instance: usize) -> Result<(), FaultError> {
+        self.check_instance(instance)?;
+        self.materialize(instance);
+        let inst = &mut self.instances[instance];
+        let had_slow = !inst.slow_factors.is_empty();
+        let had_link = inst.link_factor > 1.0;
+        inst.slow_factors.clear();
+        inst.link_factor = 1.0;
+        if had_slow {
+            self.journal.push(
+                self.tick,
+                self.now,
+                EventKind::FaultCleared {
+                    kind: "device_slowdown".into(),
+                    instance,
+                },
+            );
+        }
+        if had_link {
+            self.journal.push(
+                self.tick,
+                self.now,
+                EventKind::FaultCleared {
+                    kind: "link_degrade".into(),
+                    instance,
+                },
+            );
+        }
+        if had_slow || had_link {
+            self.reprice(instance);
+        }
+        Ok(())
+    }
+
+    /// Tenant job churn: cancels a queued or running job, rejecting it
+    /// with `reason`; co-tenants re-plan and keep running. Returns whether
+    /// anything was cancelled (completed/rejected/unknown jobs are no-ops).
+    pub fn cancel(&mut self, id: JobId, reason: &str) -> bool {
+        match self.jobs.get(&id).map(|j| j.state) {
+            Some(JobState::Queued) => {
+                self.queue.retain(|&q| q != id);
+                self.reject(id, format!("cancelled: {reason}"));
+                true
+            }
+            Some(JobState::Running { instance }) => {
+                let tid = self.instances[instance]
+                    .job_of_task
+                    .iter()
+                    .find(|&(_, &jid)| jid == id)
+                    .map(|(&t, _)| t);
+                match tid {
+                    Some(tid) => {
+                        self.materialize(instance);
+                        self.shed(instance, tid, format!("cancelled: {reason}"), false);
+                        self.replan(instance);
+                        self.dispatch_queued();
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
     /// Runs until every job is completed or rejected, or no pending
     /// completion remains (replan sheds zero-rate jobs, so a live running
     /// set always has one). Returns the final time.
@@ -1429,11 +2149,11 @@ impl FineTuneService {
             .values()
             .any(|j| matches!(j.state, JobState::Queued | JobState::Running { .. }))
         {
-            let Some(step) = self.next_completion_in() else {
+            let Some(step) = self.next_event_in() else {
                 // Nothing is running: retry dispatch once for any queued
                 // stragglers, then stop rather than spin forever.
                 self.dispatch_queued();
-                if self.next_completion_in().is_none() {
+                if self.next_event_in().is_none() {
                     break;
                 }
                 continue;
@@ -1586,7 +2306,8 @@ mod tests {
                 + d["pipeline_bubble_seconds"].as_f64().unwrap()
                 + d["comm_wait_seconds"].as_f64().unwrap()
                 + d["dependency_wait_seconds"].as_f64().unwrap()
-                + d["alignment_imbalance_seconds"].as_f64().unwrap();
+                + d["alignment_imbalance_seconds"].as_f64().unwrap()
+                + d["fault_recovery_seconds"].as_f64().unwrap();
             assert!(
                 (accounted - window).abs() <= 1e-9 * window.max(1.0),
                 "device {}: accounted {accounted} vs window {window}",
@@ -1602,7 +2323,7 @@ mod tests {
             (cp_len - makespan).abs() <= 1e-9 * makespan.max(1.0),
             "critical path {cp_len} vs makespan {makespan}"
         );
-        assert!(cp["segments"].as_array().unwrap().len() >= 1);
+        assert!(!cp["segments"].as_array().unwrap().is_empty());
 
         // Instance stall share is a sane fraction.
         let share = inst["stall_share"].as_f64().unwrap();
@@ -1655,6 +2376,7 @@ mod tests {
             "comm_wait",
             "dependency_wait",
             "alignment_imbalance",
+            "fault_recovery",
         ] {
             assert!(
                 text.contains(&format!(
@@ -1869,6 +2591,331 @@ mod tests {
         }
         let fired_tick = fired_tick.expect("throughput_drop fires on the victim");
         assert!(fired_tick <= 12, "fired at tick {fired_tick}");
+    }
+
+    #[test]
+    fn device_slowdown_stretches_jct_and_clear_restores() {
+        let baseline = {
+            let mut svc = service(4);
+            let id = svc.submit(spec(50_000));
+            svc.run_to_completion();
+            svc.job(id).unwrap().jct().unwrap()
+        };
+        // Straggler at 2x from t=0: the whole pipeline runs at its pace.
+        let mut svc = service(4);
+        let id = svc.submit(spec(50_000));
+        svc.inject_fault(ServiceFault::DeviceSlowdown {
+            instance: 0,
+            device: 1,
+            factor: 2.0,
+        })
+        .expect("valid fault");
+        svc.run_to_completion();
+        let slowed = svc.job(id).unwrap().jct().unwrap();
+        assert!(
+            (slowed - 2.0 * baseline).abs() < 1e-6 * baseline,
+            "straggler doubles JCT: {slowed} vs {baseline}"
+        );
+        // Injecting and clearing before any time passes leaves JCT intact.
+        let mut svc = service(4);
+        let id = svc.submit(spec(50_000));
+        svc.inject_fault(ServiceFault::DeviceSlowdown {
+            instance: 0,
+            device: 0,
+            factor: 8.0,
+        })
+        .expect("valid fault");
+        svc.clear_fault(0).expect("clear");
+        svc.run_to_completion();
+        let cleared = svc.job(id).unwrap().jct().unwrap();
+        assert!(
+            (cleared - baseline).abs() < 1e-9 * baseline.max(1.0),
+            "cleared fault restores the fault-free JCT: {cleared} vs {baseline}"
+        );
+        let kinds: Vec<&str> = svc
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(kinds.contains(&"fault_injected"));
+        assert!(kinds.contains(&"fault_cleared"));
+    }
+
+    #[test]
+    fn transient_comm_fault_retries_with_backoff_and_recovers() {
+        let baseline = {
+            let mut svc = service(4);
+            let id = svc.submit(spec(50_000));
+            svc.run_to_completion();
+            svc.job(id).unwrap().jct().unwrap()
+        };
+        let mut svc = service(4);
+        let retry = svc.cfg.retry;
+        let id = svc.submit(spec(50_000));
+        svc.inject_fault(ServiceFault::TransientComm {
+            instance: 0,
+            failures: 3,
+        })
+        .expect("valid fault");
+        svc.run_to_completion();
+        let j = svc.job(id).unwrap();
+        assert_eq!(j.state, JobState::Completed, "job survives the outage");
+        // The outage lasts exactly the backoff schedule: 1st + 2nd + 3rd.
+        let outage: f64 = (1..=3).map(|k| retry.backoff(k)).sum();
+        let jct = j.jct().unwrap();
+        assert!(
+            (jct - (baseline + outage)).abs() < 1e-6,
+            "JCT is baseline plus the backoff schedule: {jct} vs {} + {outage}",
+            baseline
+        );
+        // Journal: one retry per attempt, each within the cap, then clear.
+        let mut attempts = Vec::new();
+        for ev in svc.journal().events() {
+            if let EventKind::RecoverRetry {
+                attempt,
+                backoff_seconds,
+                ..
+            } = &ev.kind
+            {
+                assert!(
+                    *backoff_seconds <= retry.max_backoff + 1e-12,
+                    "backoff never exceeds its cap"
+                );
+                attempts.push(*attempt);
+            }
+        }
+        assert_eq!(attempts, vec![1, 2, 3]);
+        assert!(svc.journal().events().iter().any(
+            |e| matches!(&e.kind, EventKind::FaultCleared { kind, .. } if kind == "comm_transient")
+        ));
+        assert_eq!(svc.fault_stats().recoveries.get("retry"), Some(&3));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_up_to_the_cap() {
+        let p = RetryPolicy {
+            base_backoff: 0.1,
+            max_backoff: 0.5,
+        };
+        assert_eq!(p.backoff(1), 0.1);
+        assert_eq!(p.backoff(2), 0.2);
+        assert_eq!(p.backoff(3), 0.4);
+        assert_eq!(p.backoff(4), 0.5, "capped");
+        assert_eq!(p.backoff(40), 0.5, "stays capped");
+    }
+
+    #[test]
+    fn device_loss_replans_affected_jobs_and_leaves_cotenants_untouched() {
+        // Two instances via two backbones: the fault hits instance 0 only.
+        let run = |fault: bool| {
+            let mut svc = service(8);
+            let a = svc.submit(spec(60_000));
+            let b = svc.submit(spec(60_000));
+            let c = svc.submit(JobSpec::lora("GPT3-2.7B", DatasetKind::Sst2, 8, 4, 60_000));
+            svc.advance(5.0);
+            if fault {
+                svc.inject_fault(ServiceFault::DeviceLoss {
+                    instance: 0,
+                    device: 3,
+                })
+                .expect("valid fault");
+            }
+            svc.run_to_completion();
+            (svc, a, b, c)
+        };
+        let (healthy, _, _, c0) = run(false);
+        let (faulty, a, b, c) = run(true);
+        // Affected jobs recover: checkpoint/restart, degraded replan, and
+        // completion on the 3 surviving GPUs.
+        for id in [a, b] {
+            assert_eq!(faulty.job(id).unwrap().state, JobState::Completed);
+        }
+        let restarts: Vec<f64> = faulty
+            .journal()
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::RecoverRestart {
+                    checkpoint_tokens, ..
+                } => Some(*checkpoint_tokens),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(restarts.len(), 2, "both hosted jobs checkpoint");
+        for t in &restarts {
+            assert!(*t > 0.0, "checkpoint preserves pre-fault progress");
+        }
+        assert!(faulty.journal().events().iter().any(|e| matches!(
+            &e.kind,
+            EventKind::RecoverReplan {
+                instance: 0,
+                devices_left: 3,
+                ..
+            }
+        )));
+        // The degraded instance is slower: affected JCTs grow.
+        assert!(
+            faulty.job(a).unwrap().jct().unwrap() > healthy.job(a).unwrap().jct().unwrap(),
+            "3-GPU degraded plan is slower than the healthy 4-GPU plan"
+        );
+        // The unaffected co-tenant's completion time is bit-identical.
+        assert_eq!(
+            faulty.job(c).unwrap().finished_at,
+            healthy.job(c0).unwrap().finished_at,
+            "co-tenant on the untouched instance is unaffected"
+        );
+        assert_eq!(faulty.fault_stats().injected.get("device_loss"), Some(&1));
+        assert_eq!(faulty.fault_stats().recoveries.get("replan"), Some(&1));
+    }
+
+    #[test]
+    fn permanently_starved_backbone_is_rejected_not_queued_forever() {
+        // One instance slot, taken by a LLaMA pool. Instances are never
+        // torn down, so a GPT3 job can never be hosted: reject it at
+        // dispatch instead of starving it in the queue.
+        let mut svc = service(4);
+        let keep = svc.submit(spec(50_000));
+        let starved = svc.submit(JobSpec::lora("GPT3-2.7B", DatasetKind::Sst2, 8, 4, 50_000));
+        let j = svc.job(starved).unwrap();
+        assert_eq!(j.state, JobState::Rejected);
+        assert!(j.reject_reason.as_deref().unwrap().contains("no capacity"));
+        svc.run_to_completion();
+        assert_eq!(svc.job(keep).unwrap().state, JobState::Completed);
+    }
+
+    #[test]
+    fn cancelled_job_is_rejected_and_cotenants_keep_running() {
+        let mut svc = service(4);
+        let keep = svc.submit(spec(50_000));
+        let churn = svc.submit(spec(50_000));
+        svc.advance(2.0);
+        assert!(svc.cancel(churn, "tenant gave up"));
+        let j = svc.job(churn).unwrap();
+        assert_eq!(j.state, JobState::Rejected);
+        assert!(j.reject_reason.as_deref().unwrap().contains("cancelled"));
+        // Cancelling again (or cancelling a completed job) is a no-op.
+        assert!(!svc.cancel(churn, "again"));
+        svc.run_to_completion();
+        assert_eq!(svc.job(keep).unwrap().state, JobState::Completed);
+        assert!(!svc.cancel(keep, "too late"));
+        assert!(svc
+            .journal()
+            .events()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Shed { job, .. } if *job == churn.0)));
+    }
+
+    #[test]
+    fn invalid_fault_injections_are_typed_errors_and_leave_no_trace() {
+        let mut svc = service(4);
+        svc.submit(spec(50_000));
+        let before = svc.journal().len();
+        assert_eq!(
+            svc.inject_fault(ServiceFault::DeviceSlowdown {
+                instance: 9,
+                device: 0,
+                factor: 2.0
+            }),
+            Err(FaultError::NoSuchInstance(9))
+        );
+        assert_eq!(
+            svc.inject_fault(ServiceFault::DeviceLoss {
+                instance: 0,
+                device: 64
+            }),
+            Err(FaultError::NoSuchDevice {
+                instance: 0,
+                device: 64
+            })
+        );
+        assert_eq!(
+            svc.inject_fault(ServiceFault::LinkDegrade {
+                instance: 0,
+                factor: 0.5
+            }),
+            Err(FaultError::BadFactor(0.5))
+        );
+        assert_eq!(
+            svc.inject_fault(ServiceFault::TransientComm {
+                instance: 0,
+                failures: 0
+            }),
+            Err(FaultError::ZeroFailures)
+        );
+        assert_eq!(
+            svc.journal().len(),
+            before,
+            "failed injections journal nothing"
+        );
+        // Losing the same device twice is refused (loss is permanent).
+        svc.inject_fault(ServiceFault::DeviceLoss {
+            instance: 0,
+            device: 2,
+        })
+        .expect("first loss");
+        assert_eq!(
+            svc.inject_fault(ServiceFault::DeviceLoss {
+                instance: 0,
+                device: 2
+            }),
+            Err(FaultError::DeviceAlreadyLost {
+                instance: 0,
+                device: 2
+            })
+        );
+    }
+
+    #[test]
+    fn report_faults_section_has_stable_keys_and_live_counts() {
+        let mut svc = service(4);
+        svc.submit(spec(50_000));
+        let quiet = svc.service_report();
+        for kind in [
+            "device_slowdown",
+            "link_degrade",
+            "comm_transient",
+            "device_loss",
+        ] {
+            assert_eq!(quiet["faults"]["injected_total"][kind].as_u64(), Some(0));
+        }
+        for action in ["retry", "restart", "replan", "shed"] {
+            assert_eq!(
+                quiet["faults"]["recoveries_total"][action].as_u64(),
+                Some(0)
+            );
+        }
+        svc.inject_fault(ServiceFault::LinkDegrade {
+            instance: 0,
+            factor: 3.0,
+        })
+        .expect("valid fault");
+        svc.inject_fault(ServiceFault::DeviceLoss {
+            instance: 0,
+            device: 0,
+        })
+        .expect("valid fault");
+        let rep = svc.service_report();
+        assert_eq!(
+            rep["faults"]["injected_total"]["link_degrade"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            rep["faults"]["injected_total"]["device_loss"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            rep["faults"]["recoveries_total"]["restart"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            rep["faults"]["recoveries_total"]["replan"].as_u64(),
+            Some(1)
+        );
+        let inst = &rep["faults"]["instances"][0];
+        assert_eq!(inst["link_factor"].as_f64(), Some(3.0));
+        assert_eq!(inst["lost_devices"][0].as_u64(), Some(0));
+        assert_eq!(inst["in_outage"].as_bool(), Some(false));
     }
 
     #[test]

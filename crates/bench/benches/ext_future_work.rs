@@ -70,13 +70,13 @@ fn priority_and_slo() -> serde_json::Value {
         total_gpus: 128,
         gpus_per_instance: 4,
     };
-    let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]);
+    let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]).expect("non-empty");
 
     // Plain FCFS with co-location everywhere.
-    let fcfs = replay_fcfs(&trace, shape, &profile);
+    let fcfs = replay_fcfs(&trace, shape, &profile).expect("valid shape");
     // Priority-aware: 15% high-priority tasks get dedicated instances.
-    let prios = assign_priorities(&trace, 0.15);
-    let pri = replay_priority(&trace, &prios, shape, &profile, None);
+    let prios = assign_priorities(&trace, 0.15).expect("fraction in range");
+    let pri = replay_priority(&trace, &prios, shape, &profile, None).expect("valid inputs");
     let solo_high: f64 = {
         let hi: Vec<f64> = trace
             .iter()
@@ -109,7 +109,7 @@ fn priority_and_slo() -> serde_json::Value {
 
     // SLO-aware admission control over an all-low-priority trace.
     let all_low = vec![Priority::Low; trace.len()];
-    let slo = replay_priority(&trace, &all_low, shape, &profile, Some(1.8));
+    let slo = replay_priority(&trace, &all_low, shape, &profile, Some(1.8)).expect("valid inputs");
     println!(
         "  SLO admission (1.8x): attainment {:.1}%, throughput {:.1}",
         slo.low.slo_attainment * 100.0,

@@ -12,7 +12,7 @@
 //!   stall-attribution/critical-path summary, with a planner phase/stall
 //!   report on stdout.
 //! - `--format prom`: instead of markdown, emit the Fig-14-small
-//!   scenario's metrics (makespan, utilization, 4-class stall seconds,
+//!   scenario's metrics (makespan, utilization, 5-class stall seconds,
 //!   planner phases, histograms) in Prometheus text-exposition format.
 //! - `--write-baseline <json>`: run every gate scenario (`fig14-small`
 //!   end-to-end run, `planner-scale` planning wall time at M=1024,
@@ -29,6 +29,12 @@
 //!   on corruption or state mismatch.
 //! - `--watch <ticks>`: run the service-telemetry scenario live, printing
 //!   one summary line per tick (throughput, stall shares, active alerts).
+//! - `--chaos-seed <u64>`: run the deterministic chaos harness
+//!   (`mux-chaos`) under the given seed, print the journal fingerprint
+//!   and job outcomes, and re-verify the sealed journal by replay. With
+//!   `--journal-out <path>`, the chaos journal is written there instead
+//!   of the telemetry-scenario journal. Exits non-zero if the journal
+//!   fails re-verification.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -149,7 +155,7 @@ fn fail(msg: &str) -> ExitCode {
 
 /// Runs the Fig-14 scenario traced and writes its Chrome trace to `path`
 /// plus the attribution summary next to it.
-fn emit_trace(path: &PathBuf) -> Result<(), String> {
+fn emit_trace(path: &Path) -> Result<(), String> {
     let _on = mux_obs::enabled_scope();
     mux_obs::reset();
     let (report, ops, num_devices) = fig14_trace_scenario();
@@ -317,8 +323,15 @@ fn watch(ticks: usize) {
     let _telemetry = mux_obs::timeseries::telemetry_scope();
     let mut svc = service_telemetry_scenario();
     println!(
-        "{:>5} {:>9} {:>4} {:>4} {:>4} {:>4} {:>14}  {:<34} alerts",
-        "tick", "now", "run", "que", "done", "rej", "tokens/s", "stall shares (bub/comm/dep/align)"
+        "{:>5} {:>9} {:>4} {:>4} {:>4} {:>4} {:>14}  {:<39} alerts",
+        "tick",
+        "now",
+        "run",
+        "que",
+        "done",
+        "rej",
+        "tokens/s",
+        "stall shares (bub/comm/dep/align/fault)"
     );
     for _ in 0..ticks {
         service_telemetry_step(&mut svc);
@@ -333,7 +346,7 @@ fn watch(ticks: usize) {
                 .join(" ")
         };
         println!(
-            "{:>5} {:>9.3} {:>4} {:>4} {:>4} {:>4} {:>14.0}  {:<34} {alerts}",
+            "{:>5} {:>9.3} {:>4} {:>4} {:>4} {:>4} {:>14.0}  {:<39} {alerts}",
             s.tick,
             s.now,
             s.running,
@@ -341,15 +354,47 @@ fn watch(ticks: usize) {
             s.completed,
             s.rejected,
             s.throughput_tokens_per_second,
-            format!(
-                "{:.3}/{:.3}/{:.3}/{:.3}",
-                s.stall_class_shares[0],
-                s.stall_class_shares[1],
-                s.stall_class_shares[2],
-                s.stall_class_shares[3]
-            ),
+            s.stall_class_shares
+                .iter()
+                .map(|share| format!("{share:.3}"))
+                .collect::<Vec<_>>()
+                .join("/"),
         );
     }
+}
+
+/// Runs the deterministic chaos harness under `seed`, prints the journal
+/// fingerprint and job outcomes, re-verifies the sealed journal by
+/// replay, and optionally writes the journal as JSONL.
+fn run_chaos_seed(seed: u64, journal_out: Option<&Path>) -> Result<(), String> {
+    let run = mux_chaos::run_chaos(&mux_chaos::DstConfig::seeded(seed));
+    println!(
+        "chaos seed {seed}: journal fingerprint {:016x}",
+        run.fingerprint
+    );
+    println!(
+        "  {} fault(s) applied, {} job(s) submitted",
+        run.applied_faults, run.submitted_jobs
+    );
+    for (state, n) in &run.outcome_counts {
+        println!("  {state}: {n}");
+    }
+    let (fp, replayed) = mux_chaos::verify_journal(&run.journal_jsonl)?;
+    if fp != run.fingerprint || replayed != run.final_state {
+        return Err(format!(
+            "chaos journal failed re-verification (live {:016x}, replay {fp:016x})",
+            run.fingerprint
+        ));
+    }
+    println!(
+        "  replay: OK ({} events)",
+        run.journal_jsonl.lines().count()
+    );
+    if let Some(path) = journal_out {
+        write_file(path, &run.journal_jsonl)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 fn write_baseline(path: &Path) -> Result<(), String> {
@@ -433,6 +478,7 @@ fn main() -> ExitCode {
     let mut journal_out: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
     let mut watch_ticks: Option<usize> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -479,6 +525,16 @@ fn main() -> ExitCode {
                 },
                 None => return ExitCode::from(2),
             },
+            "--chaos-seed" => match take("--chaos-seed") {
+                Some(p) => match p.to_string_lossy().parse::<u64>() {
+                    Ok(n) => chaos_seed = Some(n),
+                    Err(_) => {
+                        eprintln!("error: --chaos-seed requires a u64 seed");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
             _ => out_path = Some(PathBuf::from(arg)),
         }
     }
@@ -503,7 +559,11 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         }
     }
-    if let Some(path) = &journal_out {
+    if let Some(seed) = chaos_seed {
+        if let Err(e) = run_chaos_seed(seed, journal_out.as_deref()) {
+            return fail(&e);
+        }
+    } else if let Some(path) = &journal_out {
         if let Err(e) = emit_journal(path) {
             return fail(&e);
         }
@@ -521,7 +581,8 @@ fn main() -> ExitCode {
         || baseline_write.is_some()
         || journal_out.is_some()
         || replay.is_some()
-        || watch_ticks.is_some();
+        || watch_ticks.is_some()
+        || chaos_seed.is_some();
     if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }

@@ -28,7 +28,7 @@ fn trace() -> &'static (Value, usize, f64) {
 fn fig14_trace_is_valid_chrome_trace_json() {
     let (value, _, _) = &trace();
     // Serialize and parse back: what the viewer loads is what we checked.
-    let text = serde_json::to_string_pretty(&value).expect("serializes");
+    let text = serde_json::to_string_pretty(value).expect("serializes");
     let parsed: Value = serde_json::from_str(&text).expect("round-trips through the parser");
     assert_eq!(&parsed, value, "serialization must round-trip losslessly");
 

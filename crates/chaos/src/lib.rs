@@ -1,0 +1,25 @@
+//! # mux-chaos
+//!
+//! Deterministic fault injection for the MuxTune fine-tuning service.
+//!
+//! The crate has two halves:
+//!
+//! - [`plan`]: a seeded [`plan::FaultPlan`] — a schedule of faults
+//!   (stragglers, link degradation, transient comm outages, permanent
+//!   device loss) and tenant churn (mid-run submits and cancellations)
+//!   generated from a single `u64` seed.
+//! - [`dst`]: the deterministic-simulation-test harness that drives a
+//!   [`mux_api::FineTuneService`] through a fault plan tick by tick and
+//!   returns the sealed journal plus its fingerprint. Same seed, same
+//!   config ⇒ bitwise-identical journal, every time — which is what lets
+//!   CI pin a seed matrix and diff two independent runs.
+//!
+//! Nothing here reads the wall clock or any other ambient entropy: all
+//! randomness flows from `StdRng::seed_from_u64`, so a failing seed can
+//! be replayed locally with `report --chaos-seed <seed>`.
+
+pub mod dst;
+pub mod plan;
+
+pub use dst::{run_chaos, verify_journal, DstConfig, DstRun};
+pub use plan::{ChaosAction, FaultEvent, FaultPlan, FaultPlanConfig};

@@ -1,0 +1,254 @@
+//! Seeded fault plans: the schedule of what goes wrong, and when.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One thing the chaos harness does to the service at a scheduled tick.
+///
+/// Instance indices are *virtual*: the harness resolves them modulo the
+/// number of live instances at application time, so a plan generated
+/// before the cluster topology is known still lands its faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// One device computes `factor`× slower until cleared.
+    DeviceSlowdown {
+        /// Virtual instance index (resolved modulo live instances).
+        instance: usize,
+        /// Device within the instance.
+        device: usize,
+        /// Slowdown factor, > 1.
+        factor: f64,
+    },
+    /// The instance interconnect degrades by `factor` until cleared.
+    LinkDegrade {
+        /// Virtual instance index.
+        instance: usize,
+        /// Bandwidth degradation factor, > 1.
+        factor: f64,
+    },
+    /// Training pauses; the service retries with exponential backoff and
+    /// the `failures`-th retry succeeds.
+    TransientComm {
+        /// Virtual instance index.
+        instance: usize,
+        /// Retries needed before the fault clears.
+        failures: u32,
+    },
+    /// A device drops out permanently; the service must replan or shed.
+    DeviceLoss {
+        /// Virtual instance index.
+        instance: usize,
+        /// Device within the instance.
+        device: usize,
+    },
+    /// Clears every transient fault on the instance.
+    ClearFaults {
+        /// Virtual instance index.
+        instance: usize,
+    },
+    /// Tenant churn: a new job arrives mid-run.
+    SubmitJob {
+        /// Backbone index into the harness's backbone list.
+        backbone: usize,
+        /// Dataset index into the harness's dataset list.
+        dataset: usize,
+        /// Total training tokens.
+        tokens: u64,
+        /// Tenant priority (higher sheds last).
+        priority: u8,
+    },
+    /// Tenant churn: an existing job is cancelled (index is resolved
+    /// modulo the number of jobs submitted so far).
+    CancelJob {
+        /// Virtual job index.
+        job: usize,
+    },
+}
+
+/// A [`ChaosAction`] pinned to the simulation tick it fires on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Tick (0-based) at which the harness applies the action, before
+    /// advancing the service.
+    pub at_tick: u64,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// Knobs for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Simulation length in ticks; events land in `[0, ticks)`.
+    pub ticks: u64,
+    /// How many chaos events to schedule.
+    pub events: usize,
+    /// Virtual instance range the plan draws from.
+    pub instances: usize,
+    /// Devices per instance (bounds `device` fields).
+    pub devices_per_instance: usize,
+    /// Cap on permanent device losses across the whole plan — losing
+    /// every device just tests the shed path over and over, so keep
+    /// permanent faults rare relative to transient ones.
+    pub max_device_losses: usize,
+    /// Backbone list length the harness will index into.
+    pub backbones: usize,
+    /// Dataset list length the harness will index into.
+    pub datasets: usize,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 200,
+            events: 12,
+            instances: 2,
+            devices_per_instance: 4,
+            max_device_losses: 2,
+            backbones: 2,
+            datasets: 3,
+        }
+    }
+}
+
+/// A seeded, reproducible schedule of faults and tenant churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (kept for reporting).
+    pub seed: u64,
+    /// Events sorted by `at_tick` (stable for equal ticks, preserving
+    /// generation order — the tie-break is part of determinism).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generates a plan from `seed`. The same `(seed, cfg)` pair always
+    /// yields the same plan — byte for byte.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut losses = 0usize;
+        let mut events: Vec<FaultEvent> = (0..cfg.events)
+            .map(|_| {
+                let at_tick = rng.gen_range(0..cfg.ticks.max(1));
+                let instance = rng.gen_range(0..cfg.instances.max(1));
+                let device = rng.gen_range(0..cfg.devices_per_instance.max(1));
+                let action = match rng.gen_range(0..8u32) {
+                    0 => ChaosAction::DeviceSlowdown {
+                        instance,
+                        device,
+                        factor: 1.5 + rng.gen_range(0..6) as f64 * 0.5,
+                    },
+                    1 => ChaosAction::LinkDegrade {
+                        instance,
+                        factor: 2.0 + rng.gen_range(0..4) as f64,
+                    },
+                    2 => ChaosAction::TransientComm {
+                        instance,
+                        failures: rng.gen_range(1..5),
+                    },
+                    3 if losses < cfg.max_device_losses => {
+                        losses += 1;
+                        ChaosAction::DeviceLoss { instance, device }
+                    }
+                    3 | 4 => ChaosAction::ClearFaults { instance },
+                    5 | 6 => ChaosAction::SubmitJob {
+                        backbone: rng.gen_range(0..cfg.backbones.max(1)),
+                        dataset: rng.gen_range(0..cfg.datasets.max(1)),
+                        tokens: 10_000 * rng.gen_range(2..8u64),
+                        priority: rng.gen_range(0..4) as u8,
+                    },
+                    _ => ChaosAction::CancelJob {
+                        job: rng.gen_range(0..64),
+                    },
+                };
+                FaultEvent { at_tick, action }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at_tick);
+        Self { seed, events }
+    }
+
+    /// Events firing at `tick`, in plan order.
+    pub fn at(&self, tick: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.at_tick == tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_generates_the_identical_plan() {
+        let cfg = FaultPlanConfig::default();
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let a = FaultPlan::generate(seed, &cfg);
+            let b = FaultPlan::generate(seed, &cfg);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+            assert_eq!(a.events.len(), cfg.events);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(1, &cfg);
+        let b = FaultPlan::generate(2, &cfg);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn plans_respect_config_bounds() {
+        let cfg = FaultPlanConfig {
+            ticks: 50,
+            events: 200,
+            instances: 3,
+            devices_per_instance: 4,
+            max_device_losses: 2,
+            backbones: 2,
+            datasets: 3,
+        };
+        for seed in 0..20u64 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            let mut losses = 0;
+            let mut sorted = true;
+            let mut prev = 0u64;
+            for ev in &plan.events {
+                sorted &= ev.at_tick >= prev;
+                prev = ev.at_tick;
+                assert!(ev.at_tick < cfg.ticks);
+                match &ev.action {
+                    ChaosAction::DeviceSlowdown {
+                        instance,
+                        device,
+                        factor,
+                    } => {
+                        assert!(*instance < cfg.instances && *device < cfg.devices_per_instance);
+                        assert!(*factor > 1.0);
+                    }
+                    ChaosAction::LinkDegrade { instance, factor } => {
+                        assert!(*instance < cfg.instances && *factor > 1.0);
+                    }
+                    ChaosAction::TransientComm { instance, failures } => {
+                        assert!(*instance < cfg.instances && *failures >= 1);
+                    }
+                    ChaosAction::DeviceLoss { instance, device } => {
+                        assert!(*instance < cfg.instances && *device < cfg.devices_per_instance);
+                        losses += 1;
+                    }
+                    ChaosAction::ClearFaults { instance } => assert!(*instance < cfg.instances),
+                    ChaosAction::SubmitJob {
+                        backbone,
+                        dataset,
+                        tokens,
+                        priority,
+                    } => {
+                        assert!(*backbone < cfg.backbones && *dataset < cfg.datasets);
+                        assert!(*tokens > 0 && *priority < 4);
+                    }
+                    ChaosAction::CancelJob { .. } => {}
+                }
+            }
+            assert!(sorted, "events sorted by tick");
+            assert!(losses <= cfg.max_device_losses, "loss budget respected");
+        }
+    }
+}

@@ -98,7 +98,7 @@ pub fn calibrate(
         // per instance; aggregate rate is the 1-task rate.
         ThroughputProfile::single_task(rates[0])
     } else {
-        ThroughputProfile::from_rates(rates)
+        ThroughputProfile::from_rates(rates).expect("rates checked non-empty above")
     }
 }
 

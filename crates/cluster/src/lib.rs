@@ -11,5 +11,8 @@ pub mod trace;
 
 pub use calibrate::{calibrate, reference_throughput, workload, Mix};
 pub use policies::{assign_priorities, replay_priority, PolicyReport, Priority};
-pub use sim::{replay_fcfs, ClusterReport, ClusterShape, ThroughputProfile};
+pub use sim::{
+    replay_fcfs, replay_fcfs_faulty, ClusterError, ClusterReport, ClusterShape, InstanceOutage,
+    ThroughputProfile,
+};
 pub use trace::{generate, TraceTask};

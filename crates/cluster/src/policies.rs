@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use crate::sim::{ClusterShape, ThroughputProfile};
+use crate::sim::{ClusterError, ClusterShape, ThroughputProfile};
 use crate::trace::TraceTask;
 
 /// Task priority classes.
@@ -24,15 +24,21 @@ pub enum Priority {
 }
 
 /// Assigns priorities deterministically: every `1/high_fraction`-th task is
-/// high-priority.
-pub fn assign_priorities(trace: &[TraceTask], high_fraction: f64) -> Vec<Priority> {
-    assert!((0.0..=1.0).contains(&high_fraction));
+/// high-priority. A `high_fraction` outside `[0, 1]` (or NaN) is a typed
+/// error, not a panic — it arrives from tenant-facing configuration.
+pub fn assign_priorities(
+    trace: &[TraceTask],
+    high_fraction: f64,
+) -> Result<Vec<Priority>, ClusterError> {
+    if !(0.0..=1.0).contains(&high_fraction) {
+        return Err(ClusterError::HighFractionOutOfRange(high_fraction));
+    }
     let period = if high_fraction <= 0.0 {
         usize::MAX
     } else {
         (1.0 / high_fraction).round() as usize
     };
-    trace
+    Ok(trace
         .iter()
         .map(|t| {
             if period != usize::MAX && (t.id as usize).is_multiple_of(period) {
@@ -41,7 +47,7 @@ pub fn assign_priorities(trace: &[TraceTask], high_fraction: f64) -> Vec<Priorit
                 Priority::Low
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Per-class outcome of a policy replay.
@@ -103,9 +109,20 @@ pub fn replay_priority(
     shape: ClusterShape,
     profile: &ThroughputProfile,
     slo_factor: Option<f64>,
-) -> PolicyReport {
-    assert_eq!(trace.len(), priorities.len());
+) -> Result<PolicyReport, ClusterError> {
+    if trace.len() != priorities.len() {
+        return Err(ClusterError::PriorityLengthMismatch {
+            trace: trace.len(),
+            priorities: priorities.len(),
+        });
+    }
     let n_inst = shape.instances();
+    if n_inst == 0 {
+        return Err(ClusterError::ZeroInstances {
+            total_gpus: shape.total_gpus,
+            gpus_per_instance: shape.gpus_per_instance,
+        });
+    }
     let mut st = State {
         instances: vec![Vec::new(); n_inst],
         queue: VecDeque::new(),
@@ -276,12 +293,12 @@ pub fn replay_priority(
     };
 
     let total_work: f64 = trace.iter().map(|t| t.duration_min).sum();
-    PolicyReport {
+    Ok(PolicyReport {
         makespan_min: st.now,
         throughput: total_work / st.now,
         high: class_report(Priority::High),
         low: class_report(Priority::Low),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -298,13 +315,13 @@ mod tests {
     }
 
     fn mux_profile() -> ThroughputProfile {
-        ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0])
+        ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]).unwrap()
     }
 
     #[test]
     fn priorities_are_deterministic_and_proportional() {
         let trace = generate(1000, 5, None);
-        let p = assign_priorities(&trace, 0.2);
+        let p = assign_priorities(&trace, 0.2).unwrap();
         let high = p.iter().filter(|&&x| x == Priority::High).count();
         assert!((high as f64 / 1000.0 - 0.2).abs() < 0.02);
     }
@@ -312,8 +329,8 @@ mod tests {
     #[test]
     fn high_priority_tasks_run_undiluted() {
         let trace = generate(400, 7, None);
-        let prios = assign_priorities(&trace, 0.15);
-        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None);
+        let prios = assign_priorities(&trace, 0.15).unwrap();
+        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None).unwrap();
         // Dedicated execution: high-priority mean service time equals the
         // solo duration, so JCT_high - queue_high == mean solo duration.
         let high_service = rep.high.mean_jct_min - rep.high.mean_queue_min;
@@ -333,8 +350,8 @@ mod tests {
     #[test]
     fn low_priority_service_is_diluted_but_cluster_throughput_holds() {
         let trace = generate(400, 9, None);
-        let prios = assign_priorities(&trace, 0.1);
-        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None);
+        let prios = assign_priorities(&trace, 0.1).unwrap();
+        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None).unwrap();
         let low_service = rep.low.mean_jct_min - rep.low.mean_queue_min;
         let solo_mean: f64 = trace
             .iter()
@@ -345,7 +362,7 @@ mod tests {
             / rep.low.count as f64;
         assert!(low_service > solo_mean, "co-location dilutes per-task rate");
         // But aggregate throughput beats single-task FCFS.
-        let single = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        let single = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0)).unwrap();
         assert!(rep.throughput > single.throughput);
     }
 
@@ -356,7 +373,7 @@ mod tests {
         // SLO: finish within 2.2x solo duration. Without admission control,
         // 4-way co-location runs each task at rate 0.5 -> 2x slowdown plus
         // fluctuation; with it, placements that would break the SLO wait.
-        let with = replay_priority(&trace, &prios, shape(), &mux_profile(), Some(1.8));
+        let with = replay_priority(&trace, &prios, shape(), &mux_profile(), Some(1.8)).unwrap();
         assert!(
             with.low.slo_attainment > 0.95,
             "admission control must protect SLOs: {}",
@@ -368,7 +385,7 @@ mod tests {
     fn no_slo_means_nan_attainment() {
         let trace = generate(50, 13, None);
         let prios = vec![Priority::Low; trace.len()];
-        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None);
+        let rep = replay_priority(&trace, &prios, shape(), &mux_profile(), None).unwrap();
         assert!(rep.low.slo_attainment.is_nan());
         assert_eq!(rep.low.count, 50);
     }

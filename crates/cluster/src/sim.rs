@@ -12,6 +12,58 @@ use std::collections::VecDeque;
 
 use crate::trace::TraceTask;
 
+/// Typed errors for cluster replay and policy entry points — tenant-supplied
+/// shapes and profiles must never panic the replayer (the same
+/// panic-free-planning contract the planner's `PlanError` established).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A throughput profile was built with no rates at all.
+    EmptyProfile,
+    /// The cluster shape carves out zero instances
+    /// (`total_gpus < gpus_per_instance`).
+    ZeroInstances {
+        /// Total GPUs in the offending shape.
+        total_gpus: usize,
+        /// GPUs per instance in the offending shape.
+        gpus_per_instance: usize,
+    },
+    /// `priorities` does not line up 1:1 with the trace.
+    PriorityLengthMismatch {
+        /// Trace length.
+        trace: usize,
+        /// Priority vector length.
+        priorities: usize,
+    },
+    /// `high_fraction` fell outside `[0, 1]`.
+    HighFractionOutOfRange(f64),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::EmptyProfile => {
+                write!(f, "throughput profile needs at least the 1-task rate")
+            }
+            ClusterError::ZeroInstances {
+                total_gpus,
+                gpus_per_instance,
+            } => write!(
+                f,
+                "cluster shape yields zero instances ({total_gpus} GPUs at {gpus_per_instance}/instance)"
+            ),
+            ClusterError::PriorityLengthMismatch { trace, priorities } => write!(
+                f,
+                "priority vector length {priorities} does not match trace length {trace}"
+            ),
+            ClusterError::HighFractionOutOfRange(x) => {
+                write!(f, "high_fraction {x} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// Aggregate instance throughput (relative to one reference task running
 /// alone = 1.0) as a function of the number of co-located tasks.
 #[derive(Debug, Clone)]
@@ -34,19 +86,45 @@ impl ThroughputProfile {
     }
 
     /// Builds a profile from measured aggregate rates for 1..=max tasks.
-    pub fn from_rates(rate: Vec<f64>) -> Self {
-        assert!(!rate.is_empty(), "profile needs at least the 1-task rate");
+    pub fn from_rates(rate: Vec<f64>) -> Result<Self, ClusterError> {
+        if rate.is_empty() {
+            return Err(ClusterError::EmptyProfile);
+        }
         let max = rate.len();
-        Self {
+        Ok(Self {
             rate,
             max_colocated: max,
-        }
+        })
     }
 
-    /// Aggregate rate with `k` tasks (clamped to the calibrated range).
+    /// Aggregate rate with `k` tasks, clamped to the calibrated range on
+    /// both ends (`k = 0` reads the 1-task rate; an empty hand-built
+    /// profile reads as rate 0 instead of panicking).
     pub fn aggregate(&self, k: usize) -> f64 {
-        assert!(k >= 1);
-        self.rate[(k - 1).min(self.rate.len() - 1)]
+        match self.rate.len() {
+            0 => 0.0,
+            n => self.rate[k.saturating_sub(1).min(n - 1)],
+        }
+    }
+}
+
+/// One instance-wide outage window for fault-aware replay: the instance
+/// freezes (no progress, no placements) over `[start_min, end_min)` and
+/// resumes its paused co-residents afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceOutage {
+    /// Instance index.
+    pub instance: usize,
+    /// Outage start, minutes.
+    pub start_min: f64,
+    /// Outage end, minutes.
+    pub end_min: f64,
+}
+
+impl InstanceOutage {
+    /// Whether the instance is down at `now`.
+    fn covers(&self, now: f64) -> bool {
+        self.start_min <= now && now < self.end_min
     }
 }
 
@@ -134,9 +212,41 @@ pub fn replay_fcfs(
     trace: &[TraceTask],
     shape: ClusterShape,
     profile: &ThroughputProfile,
-) -> ClusterReport {
+) -> Result<ClusterReport, ClusterError> {
+    replay_fcfs_faulty(trace, shape, profile, &[])
+}
+
+/// Fault-aware FCFS replay: instances freeze inside their [`InstanceOutage`]
+/// windows — in-flight tasks pause (their work is preserved, checkpoint
+/// semantics) and no new work is placed — then resume when the outage
+/// lifts. With an empty outage list this is exactly [`replay_fcfs`].
+pub fn replay_fcfs_faulty(
+    trace: &[TraceTask],
+    shape: ClusterShape,
+    profile: &ThroughputProfile,
+    outages: &[InstanceOutage],
+) -> Result<ClusterReport, ClusterError> {
     let n_inst = shape.instances();
-    assert!(n_inst >= 1, "no instances");
+    if n_inst == 0 {
+        return Err(ClusterError::ZeroInstances {
+            total_gpus: shape.total_gpus,
+            gpus_per_instance: shape.gpus_per_instance,
+        });
+    }
+    let down =
+        |ii: usize, now: f64| -> bool { outages.iter().any(|o| o.instance == ii && o.covers(now)) };
+    // The next outage boundary (start or end) strictly after `now`: rates
+    // are piecewise-constant only between boundaries, so the event loop
+    // must not integrate across one.
+    let next_boundary = |now: f64| -> Option<f64> {
+        outages
+            .iter()
+            .flat_map(|o| [o.start_min, o.end_min])
+            .filter(|&t| t > now + 1e-12)
+            .fold(None, |best: Option<f64>, t| {
+                Some(best.map_or(t, |b| b.min(t)))
+            })
+    };
     let mut instances: Vec<Vec<Active>> = vec![Vec::new(); n_inst];
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut next_arrival = 0usize;
@@ -156,10 +266,12 @@ pub fn replay_fcfs(
     let task_rate = |k: usize, profile: &ThroughputProfile| profile.aggregate(k) / k as f64;
 
     while completed < trace.len() {
-        // Next event: earliest completion across instances, or next arrival.
+        // Next event: earliest completion across *up* instances, the next
+        // arrival, or the next outage boundary (down instances make no
+        // progress, so they produce no completions until they resume).
         let mut next_completion: Option<(f64, usize)> = None; // (time, instance)
         for (ii, inst) in instances.iter().enumerate() {
-            if inst.is_empty() {
+            if inst.is_empty() || down(ii, now) {
                 continue;
             }
             let rate = task_rate(inst.len(), profile);
@@ -173,16 +285,18 @@ pub fn replay_fcfs(
             }
         }
         let arrival_t = trace.get(next_arrival).map(|t| t.arrival_min);
-        let advance_to = match (next_completion, arrival_t) {
-            (Some((ct, _)), Some(at)) => ct.min(at),
-            (Some((ct, _)), None) => ct,
-            (None, Some(at)) => at,
-            (None, None) => break,
-        };
-        // Advance progress on every instance.
+        let boundary_t = next_boundary(now);
+        let advance_to = [next_completion.map(|(ct, _)| ct), arrival_t, boundary_t]
+            .into_iter()
+            .flatten()
+            .fold(None, |best: Option<f64>, t| {
+                Some(best.map_or(t, |b| b.min(t)))
+            });
+        let Some(advance_to) = advance_to else { break };
+        // Advance progress on every up instance.
         let dt = advance_to - now;
         for (ii, inst) in instances.iter_mut().enumerate() {
-            if inst.is_empty() {
+            if inst.is_empty() || down(ii, now) {
                 continue;
             }
             usage[ii].busy_min += dt;
@@ -211,14 +325,14 @@ pub fn replay_fcfs(
             queue.push_back(next_arrival);
             next_arrival += 1;
         }
-        // FCFS placement: head of queue goes to the least-loaded instance
-        // with spare co-location capacity; stop at the first that cannot
-        // be placed (strict FCFS, as in the paper).
+        // FCFS placement: head of queue goes to the least-loaded *up*
+        // instance with spare co-location capacity; stop at the first that
+        // cannot be placed (strict FCFS, as in the paper).
         while let Some(&idx) = queue.front() {
             let slot = instances
                 .iter()
                 .enumerate()
-                .filter(|(_, inst)| inst.len() < profile.max_colocated)
+                .filter(|(ii, inst)| inst.len() < profile.max_colocated && !down(*ii, now))
                 .min_by_key(|(_, inst)| inst.len())
                 .map(|(ii, _)| ii);
             match slot {
@@ -237,7 +351,7 @@ pub fn replay_fcfs(
 
     let total_work: f64 = trace.iter().map(|t| t.duration_min).sum();
     let n = trace.len() as f64;
-    ClusterReport {
+    Ok(ClusterReport {
         makespan_min: now,
         throughput: total_work / now,
         mean_jct_min: trace
@@ -254,7 +368,7 @@ pub fn replay_fcfs(
             / n,
         completed,
         instances: usage,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -272,7 +386,7 @@ mod tests {
     #[test]
     fn all_tasks_complete() {
         let trace = generate(500, 11, None);
-        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0)).unwrap();
         assert_eq!(rep.completed, 500);
         assert!(rep.makespan_min >= trace.last().expect("non-empty").arrival_min);
     }
@@ -280,10 +394,10 @@ mod tests {
     #[test]
     fn higher_aggregate_rate_raises_cluster_throughput() {
         let trace = generate(800, 13, None);
-        let slow = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        let slow = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0)).unwrap();
         // A multiplexing system: 4 co-located tasks run at 2.2x aggregate.
-        let mux = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.9, 2.2]);
-        let fast = replay_fcfs(&trace, shape(), &mux);
+        let mux = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.9, 2.2]).unwrap();
+        let fast = replay_fcfs(&trace, shape(), &mux).unwrap();
         assert!(
             fast.throughput > slow.throughput,
             "{} vs {}",
@@ -301,7 +415,7 @@ mod tests {
             total_gpus: 4,
             gpus_per_instance: 4,
         };
-        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0));
+        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0)).unwrap();
         let serial: f64 = trace.iter().map(|t| t.duration_min).sum();
         assert!(
             rep.makespan_min >= serial * 0.999,
@@ -316,7 +430,7 @@ mod tests {
         let mut trace = generate(2, 19, None);
         trace[0].arrival_min = 100.0;
         trace[1].arrival_min = 100.0;
-        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0));
+        let rep = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0)).unwrap();
         assert!(rep.makespan_min > 100.0);
         assert!(rep.mean_queue_min < 1e-9, "no queueing with a huge cluster");
     }
@@ -327,8 +441,9 @@ mod tests {
         let rep = replay_fcfs(
             &trace,
             shape(),
-            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]),
-        );
+            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(rep.instances.len(), shape().instances());
         // Completions across instances sum to the trace.
         let total: usize = rep.instances.iter().map(|u| u.completed).sum();
@@ -362,7 +477,7 @@ mod tests {
             total_gpus: 4,
             gpus_per_instance: 4,
         };
-        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0));
+        let rep = replay_fcfs(&trace, one, &ThroughputProfile::single_task(1.0)).unwrap();
         let serial: f64 = trace.iter().map(|t| t.duration_min).sum();
         let u = &rep.instances[0];
         assert!(
@@ -383,12 +498,113 @@ mod tests {
             total_gpus: 8,
             gpus_per_instance: 4,
         };
-        let single = replay_fcfs(&trace, tiny, &ThroughputProfile::single_task(1.0));
+        let single = replay_fcfs(&trace, tiny, &ThroughputProfile::single_task(1.0)).unwrap();
         let shared = replay_fcfs(
             &trace,
             tiny,
-            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]),
-        );
+            &ThroughputProfile::from_rates(vec![1.0, 1.6, 2.0, 2.3]).unwrap(),
+        )
+        .unwrap();
         assert!(shared.mean_queue_min < single.mean_queue_min);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors_not_panics() {
+        assert_eq!(
+            ThroughputProfile::from_rates(vec![]).unwrap_err(),
+            ClusterError::EmptyProfile
+        );
+        let trace = generate(4, 3, None);
+        let bad = ClusterShape {
+            total_gpus: 2,
+            gpus_per_instance: 4,
+        };
+        assert!(matches!(
+            replay_fcfs(&trace, bad, &ThroughputProfile::single_task(1.0)),
+            Err(ClusterError::ZeroInstances { .. })
+        ));
+        // Degenerate aggregate queries clamp instead of panicking.
+        let p = ThroughputProfile::single_task(1.0);
+        assert_eq!(p.aggregate(0), 1.0);
+        assert_eq!(p.aggregate(100), 1.0);
+    }
+
+    #[test]
+    fn zero_length_outage_matches_fault_free_replay() {
+        let trace = generate(200, 31, None);
+        let base = replay_fcfs(&trace, shape(), &ThroughputProfile::single_task(1.0)).unwrap();
+        let noop = [InstanceOutage {
+            instance: 0,
+            start_min: 5.0,
+            end_min: 5.0,
+        }];
+        let faulty =
+            replay_fcfs_faulty(&trace, shape(), &ThroughputProfile::single_task(1.0), &noop)
+                .unwrap();
+        assert_eq!(faulty.completed, base.completed);
+        assert!((faulty.makespan_min - base.makespan_min).abs() < 1e-9);
+        assert!((faulty.mean_jct_min - base.mean_jct_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_pauses_work_and_everything_still_completes() {
+        // One instance, serialized work: an outage in the middle delays the
+        // makespan by at least its length, but every task still finishes.
+        let mut trace = generate(4, 17, None);
+        for t in &mut trace {
+            t.arrival_min = 0.0;
+        }
+        let one = ClusterShape {
+            total_gpus: 4,
+            gpus_per_instance: 4,
+        };
+        let profile = ThroughputProfile::single_task(1.0);
+        let base = replay_fcfs(&trace, one, &profile).unwrap();
+        let outage = [InstanceOutage {
+            instance: 0,
+            start_min: 1.0,
+            end_min: 11.0,
+        }];
+        let faulty = replay_fcfs_faulty(&trace, one, &profile, &outage).unwrap();
+        assert_eq!(faulty.completed, trace.len(), "no task lost to the outage");
+        assert!(
+            faulty.makespan_min >= base.makespan_min + 10.0 - 1e-6,
+            "outage of 10 min delays the makespan: {} vs {}",
+            faulty.makespan_min,
+            base.makespan_min
+        );
+        // Paused time is not busy time.
+        assert!(faulty.instances[0].busy_min <= base.instances[0].busy_min + 1e-6);
+    }
+
+    #[test]
+    fn outage_on_one_instance_leaves_others_unaffected() {
+        // Two instances, two simultaneous tasks: each lands on its own
+        // instance; knocking instance 1 out delays only its own task.
+        let mut trace = generate(2, 23, None);
+        for t in &mut trace {
+            t.arrival_min = 0.0;
+        }
+        let two = ClusterShape {
+            total_gpus: 8,
+            gpus_per_instance: 4,
+        };
+        let profile = ThroughputProfile::single_task(1.0);
+        let outage = [InstanceOutage {
+            instance: 1,
+            start_min: 0.5,
+            end_min: 2.5,
+        }];
+        let base = replay_fcfs(&trace, two, &profile).unwrap();
+        let faulty = replay_fcfs_faulty(&trace, two, &profile, &outage).unwrap();
+        assert_eq!(faulty.completed, 2);
+        assert_eq!(
+            faulty.instances[0].completed, base.instances[0].completed,
+            "co-tenant instance unaffected"
+        );
+        assert!(
+            (faulty.instances[0].busy_min - base.instances[0].busy_min).abs() < 1e-9,
+            "co-tenant busy time unchanged"
+        );
     }
 }

@@ -95,6 +95,24 @@ pub fn plan_and_run_traced(
         .map(|(r, t)| (r, t.expect("trace requested")))
 }
 
+/// Shrinks a parallelism plan to fit on `devices` surviving GPUs after a
+/// permanent device loss — the replan entry point the recovery path uses.
+///
+/// The original plan is kept verbatim when it still fits; otherwise the
+/// plan degrades to a pure pipeline over the survivors (the smallest-memory
+/// shape, maximising the chance the re-fused workload still fits). Returns
+/// `None` only when no device survives, in which case the caller must shed.
+pub fn degraded_plan(plan: HybridParallelism, devices: usize) -> Option<HybridParallelism> {
+    if devices == 0 {
+        return None;
+    }
+    if plan.num_gpus() <= devices {
+        Some(plan)
+    } else {
+        Some(HybridParallelism::pipeline(devices))
+    }
+}
+
 /// Appends `records` to `out`, shifting times by `t_off` and dependency
 /// indices by `out`'s current length (per-bucket traces index their own
 /// op lists).
@@ -464,5 +482,34 @@ mod tests {
         cfg.options.max_in_flight = 8;
         let res = plan_and_run(&r, &c, &BTreeMap::new(), &cfg);
         assert!(res.is_err(), "expected OOM");
+    }
+
+    #[test]
+    fn degraded_plan_shrinks_to_survivors() {
+        // A fitting plan is preserved verbatim.
+        let p = HybridParallelism::pipeline(2);
+        assert_eq!(degraded_plan(p, 4), Some(p));
+        assert_eq!(degraded_plan(p, 2), Some(p));
+        // An oversized plan collapses to a pipeline over the survivors.
+        let big = HybridParallelism::pipeline(4);
+        assert_eq!(degraded_plan(big, 3), Some(HybridParallelism::pipeline(3)));
+        assert_eq!(degraded_plan(big, 1), Some(HybridParallelism::single()));
+        // No survivors: the caller must shed.
+        assert_eq!(degraded_plan(big, 0), None);
+    }
+
+    #[test]
+    fn degraded_plan_still_runs_on_the_shrunk_cluster() {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(8));
+        for i in 0..2 {
+            r.register_task(PeftTask::lora(i + 1, 8, 4, 128))
+                .expect("register");
+        }
+        // Lost one of 4 GPUs: replan onto 3 and run end-to-end.
+        let plan = degraded_plan(HybridParallelism::pipeline(4), 3).expect("survivors");
+        let c = cluster(3);
+        let rep = plan_and_run(&r, &c, &BTreeMap::new(), &PlannerConfig::muxtune(plan, 4))
+            .expect("degraded run succeeds");
+        assert!(rep.metrics.effective_throughput > 0.0);
     }
 }

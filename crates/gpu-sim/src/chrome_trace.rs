@@ -439,13 +439,13 @@ mod tests {
         t.compute(1, Work::tensor(10e9, 1e6), &[s], "b");
         let ev = stall_events(t.ops(), 2);
         let bd = stall_breakdown(t.ops(), 2);
-        for d in 0..2 {
+        for (d, dev_bd) in bd.iter().enumerate() {
             let from_events: f64 = ev
                 .iter()
                 .filter(|e| e.device == d)
                 .map(|e| e.end - e.start)
                 .sum();
-            assert!((bd[d].total() - from_events).abs() < 1e-9);
+            assert!((dev_bd.total() - from_events).abs() < 1e-9);
         }
     }
 

@@ -21,10 +21,12 @@ pub use chrome_trace::{
     chrome_trace, stall_breakdown, stall_events, StallBreakdown, StallCause, StallEvent,
 };
 pub use metrics::{
-    device_metrics, mean_utilization, utilization_trace, DeviceMetrics, UtilizationTrace,
+    device_metrics, fault_impact, mean_utilization, utilization_trace, DeviceMetrics, FaultImpact,
+    UtilizationTrace,
 };
 pub use render::{render_summary, render_timeline};
 pub use spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work, WorkClass};
 pub use timeline::{
-    Cluster, CollectiveKind, LaneKind, OomError, OpHandle, OpKind, OpRecord, Timeline,
+    Cluster, CollectiveKind, FaultWindow, FaultWindows, LaneKind, OomError, OpHandle, OpKind,
+    OpRecord, Timeline,
 };

@@ -122,6 +122,33 @@ pub fn utilization_trace(
     }
 }
 
+/// Summary of how injected faults perturbed a timeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultImpact {
+    /// Number of ops whose duration was stretched by a fault window.
+    pub perturbed_ops: usize,
+    /// Total extra seconds added across all perturbed ops.
+    pub added_seconds: f64,
+    /// Fraction of the makespan attributable to fault-induced stretching
+    /// (0 when no faults fired or the run is empty).
+    pub delay_fraction: f64,
+}
+
+/// Extracts the fault-perturbation summary from a finished run.
+pub fn fault_impact(tl: &Timeline<'_>) -> FaultImpact {
+    let added = tl.fault_delay_seconds();
+    let makespan = tl.finish_time();
+    FaultImpact {
+        perturbed_ops: tl.perturbed_ops(),
+        added_seconds: added,
+        delay_fraction: if makespan > 0.0 {
+            added / makespan
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Mean of the per-device average utilization — one number per run.
 pub fn mean_utilization(tl: &Timeline<'_>, window: f64) -> f64 {
     let m = device_metrics(tl, window);

@@ -158,6 +158,86 @@ struct MemLedger {
     peak: u64,
 }
 
+/// One fault window perturbing the timeline: operators *starting* inside
+/// `[start, end)` run `factor`× slower (the factor is sampled at op start —
+/// an op straddling the boundary keeps its start-time factor, the standard
+/// piecewise-constant discrete-event approximation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Afflicted device, or `None` for a cluster-wide fault (e.g. a shared
+    /// link degradation).
+    pub device: Option<usize>,
+    /// Window start, seconds.
+    pub start: f64,
+    /// Window end, seconds.
+    pub end: f64,
+    /// Duration multiplier, `>= 1.0` (1.0 = no effect).
+    pub factor: f64,
+}
+
+impl FaultWindow {
+    fn applies(&self, dev: Option<usize>, t: f64) -> bool {
+        let dev_match = match (self.device, dev) {
+            (None, _) => true,
+            (Some(fd), Some(d)) => fd == d,
+            (Some(_), None) => false,
+        };
+        dev_match && self.start <= t && t < self.end && self.factor > 1.0
+    }
+}
+
+/// The deterministic fault schedule a [`Timeline`] consults on every
+/// submission — the chaos layer's hook into the discrete-event loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultWindows {
+    /// Compute slowdowns (straggler devices): stretch compute operators.
+    pub compute_slow: Vec<FaultWindow>,
+    /// Link-bandwidth degradations: stretch collectives and P2P transfers.
+    pub link_degrade: Vec<FaultWindow>,
+}
+
+impl FaultWindows {
+    /// True when no window can perturb anything.
+    pub fn is_empty(&self) -> bool {
+        self.compute_slow.is_empty() && self.link_degrade.is_empty()
+    }
+
+    fn worst(windows: &[FaultWindow], dev: Option<usize>, t: f64) -> f64 {
+        windows
+            .iter()
+            .filter(|w| w.applies(dev, t))
+            .map(|w| w.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Compute-duration multiplier for an op starting at `t` on `dev`.
+    pub fn compute_factor(&self, dev: usize, t: f64) -> f64 {
+        Self::worst(&self.compute_slow, Some(dev), t)
+    }
+
+    /// Comm-duration multiplier for a transfer over `devices` starting at
+    /// `t` (worst afflicted participant wins).
+    pub fn link_factor(&self, devices: &[usize], t: f64) -> f64 {
+        devices
+            .iter()
+            .map(|&d| Self::worst(&self.link_degrade, Some(d), t))
+            .fold(Self::worst(&self.link_degrade, None, t), f64::max)
+    }
+
+    /// Every window as a `(device, start, end)` span, cluster-wide windows
+    /// expanded over `num_devices` — the shape stall attribution consumes.
+    pub fn spans(&self, num_devices: usize) -> Vec<(usize, f64, f64)> {
+        let mut out = Vec::new();
+        for w in self.compute_slow.iter().chain(&self.link_degrade) {
+            match w.device {
+                Some(d) => out.push((d, w.start, w.end)),
+                None => out.extend((0..num_devices).map(|d| (d, w.start, w.end))),
+            }
+        }
+        out
+    }
+}
+
 /// The execution timeline of one simulated run.
 ///
 /// ```
@@ -181,6 +261,12 @@ pub struct Timeline<'a> {
     /// penalty, sorted by start (the comm lane is FIFO, so intervals on one
     /// device never overlap each other).
     comm_intervals: Vec<Vec<(f64, f64, f64)>>,
+    /// Injected fault schedule (empty = perfect hardware).
+    faults: FaultWindows,
+    /// Total extra seconds faults added across perturbed operators.
+    fault_delay: f64,
+    /// Operators whose duration a fault window stretched.
+    perturbed_ops: usize,
 }
 
 impl<'a> Timeline<'a> {
@@ -194,12 +280,48 @@ impl<'a> Timeline<'a> {
             ops: Vec::new(),
             mem: vec![MemLedger::default(); n],
             comm_intervals: vec![Vec::new(); n],
+            faults: FaultWindows::default(),
+            fault_delay: 0.0,
+            perturbed_ops: 0,
         }
     }
 
     /// The cluster this timeline runs on.
     pub fn cluster(&self) -> &Cluster {
         self.cluster
+    }
+
+    /// Installs a fault schedule. Call before submitting work — already
+    /// submitted operators are not retroactively perturbed.
+    pub fn set_faults(&mut self, faults: FaultWindows) {
+        self.faults = faults;
+    }
+
+    /// The installed fault schedule.
+    pub fn faults(&self) -> &FaultWindows {
+        &self.faults
+    }
+
+    /// Total extra seconds injected faults added to operator durations.
+    pub fn fault_delay_seconds(&self) -> f64 {
+        self.fault_delay
+    }
+
+    /// Number of operators a fault window stretched.
+    pub fn perturbed_ops(&self) -> usize {
+        self.perturbed_ops
+    }
+
+    /// Applies the fault multiplier `f` to a base duration, recording the
+    /// perturbation. Returns the stretched duration.
+    fn perturb(&mut self, base: f64, f: f64) -> f64 {
+        if f > 1.0 && base > 0.0 {
+            self.fault_delay += base * (f - 1.0);
+            self.perturbed_ops += 1;
+            base * f
+        } else {
+            base
+        }
     }
 
     fn deps_ready(&self, deps: &[OpHandle]) -> f64 {
@@ -236,7 +358,9 @@ impl<'a> Timeline<'a> {
         assert!(dev < self.cluster.num_gpus(), "device {dev} out of range");
         let spec = &self.cluster.gpus[dev];
         let start = self.compute_free[dev].max(self.deps_ready(deps));
-        let base = spec.compute_time(work, 1.0);
+        let healthy = spec.compute_time(work, 1.0);
+        let slow = self.faults.compute_factor(dev, start);
+        let base = self.perturb(healthy, slow);
         // One fixpoint iteration of contention stretching: during overlap
         // with a comm kernel of penalty p, compute progresses at rate
         // (1 - p), so the overlapped work takes o * p / (1 - p) longer.
@@ -283,6 +407,8 @@ impl<'a> Timeline<'a> {
         assert!(dev < self.cluster.num_gpus(), "device {dev} out of range");
         assert!(seconds >= 0.0, "negative duration");
         let start = self.compute_free[dev].max(self.deps_ready(deps));
+        let slow = self.faults.compute_factor(dev, start);
+        let seconds = self.perturb(seconds, slow);
         let overlap_weighted = self.comm_contention(dev, start, start + seconds);
         let stretch = if overlap_weighted > 0.0 && seconds > 0.0 {
             let p = (overlap_weighted / seconds).min(0.6);
@@ -353,6 +479,8 @@ impl<'a> Timeline<'a> {
         } else {
             base
         };
+        let degrade = self.faults.link_factor(group, start);
+        let dur = self.perturb(dur, degrade);
         let end = start + dur;
         for &g in group {
             self.comm_free[g] = end;
@@ -400,7 +528,9 @@ impl<'a> Timeline<'a> {
     ) -> OpHandle {
         let link = self.cluster.link_for(&[src, dst]).clone();
         let start = self.deps_ready(deps);
-        let end = start + link.p2p_time(bytes);
+        let healthy = link.p2p_time(bytes);
+        let degrade = self.faults.link_factor(&[src, dst], start);
+        let end = start + self.perturb(healthy, degrade);
         self.ops.push(OpRecord {
             start,
             end,
@@ -658,5 +788,127 @@ mod tests {
         let a = t.compute(0, Work::tensor(1e9, 1e6), &[], "a");
         let j = t.join(&[a], "sync");
         assert_eq!(t.end_of(j), t.end_of(a));
+    }
+
+    #[test]
+    fn slowdown_window_stretches_ops_inside_it_only() {
+        let c = cluster(1);
+        let mut healthy = Timeline::new(&c);
+        let h = healthy.compute(0, Work::tensor(10e9, 1e6), &[], "h");
+        let base_dur = healthy.end_of(h) - healthy.ops()[h.0].start;
+
+        let mut faulty = Timeline::new(&c);
+        faulty.set_faults(FaultWindows {
+            compute_slow: vec![FaultWindow {
+                device: Some(0),
+                start: 0.0,
+                end: base_dur * 1.5,
+                factor: 2.0,
+            }],
+            link_degrade: vec![],
+        });
+        let a = faulty.compute(0, Work::tensor(10e9, 1e6), &[], "slow");
+        let dur_a = faulty.end_of(a) - faulty.ops()[a.0].start;
+        assert!(
+            (dur_a - 2.0 * base_dur).abs() < 1e-9,
+            "op starting inside the window is 2x: {dur_a} vs {base_dur}"
+        );
+        // The next op starts after the window closes and is untouched.
+        let b = faulty.compute(0, Work::tensor(10e9, 1e6), &[], "fast");
+        let dur_b = faulty.end_of(b) - faulty.ops()[b.0].start;
+        assert!((dur_b - base_dur).abs() < 1e-9, "{dur_b} vs {base_dur}");
+        assert_eq!(faulty.perturbed_ops(), 1);
+        assert!((faulty.fault_delay_seconds() - base_dur).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_wide_slowdown_applies_to_every_device() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        t.set_faults(FaultWindows {
+            compute_slow: vec![FaultWindow {
+                device: None,
+                start: 0.0,
+                end: 1e9,
+                factor: 3.0,
+            }],
+            link_degrade: vec![],
+        });
+        t.compute(0, Work::tensor(10e9, 1e6), &[], "a");
+        t.compute(1, Work::tensor(10e9, 1e6), &[], "b");
+        assert_eq!(t.perturbed_ops(), 2);
+    }
+
+    #[test]
+    fn link_degradation_stretches_collectives_and_p2p() {
+        let c = cluster(2);
+        let mut healthy = Timeline::new(&c);
+        let ar = healthy.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            100e6,
+            &[],
+            CommCtaPolicy::sequential(),
+            false,
+            "ar",
+        );
+        let base_ar = healthy.end_of(ar);
+        let p = healthy.p2p(0, 1, 50e6, &[], "p");
+        let base_p2p = healthy.end_of(p) - healthy.ops()[p.0].start;
+
+        let mut faulty = Timeline::new(&c);
+        faulty.set_faults(FaultWindows {
+            compute_slow: vec![],
+            link_degrade: vec![FaultWindow {
+                device: Some(1),
+                start: 0.0,
+                end: 1e9,
+                factor: 4.0,
+            }],
+        });
+        let ar2 = faulty.collective(
+            &[0, 1],
+            CollectiveKind::AllReduce,
+            100e6,
+            &[],
+            CommCtaPolicy::sequential(),
+            false,
+            "ar",
+        );
+        assert!(
+            (faulty.end_of(ar2) - 4.0 * base_ar).abs() < 1e-9,
+            "collective touching the degraded device is 4x: {} vs {}",
+            faulty.end_of(ar2),
+            base_ar
+        );
+        let p2 = faulty.p2p(0, 1, 50e6, &[], "p");
+        let dur_p2 = faulty.end_of(p2) - faulty.ops()[p2.0].start;
+        assert!((dur_p2 - 4.0 * base_p2p).abs() < 1e-9);
+        // A transfer not touching device 1 is unaffected — but in a 2-GPU
+        // cluster every pair touches it, so check the factor floor instead.
+        assert!(faulty.fault_delay_seconds() > 0.0);
+    }
+
+    #[test]
+    fn empty_fault_windows_leave_the_timeline_bit_identical() {
+        let c = cluster(2);
+        let mut plain = Timeline::new(&c);
+        let mut hooked = Timeline::new(&c);
+        hooked.set_faults(FaultWindows::default());
+        for t in [&mut plain, &mut hooked] {
+            let a = t.compute(0, Work::tensor(5e9, 1e6), &[], "a");
+            t.collective(
+                &[0, 1],
+                CollectiveKind::AllReduce,
+                10e6,
+                &[a],
+                CommCtaPolicy::sequential(),
+                false,
+                "ar",
+            );
+        }
+        assert_eq!(plain.finish_time(), hooked.finish_time());
+        assert_eq!(hooked.perturbed_ops(), 0);
+        assert_eq!(hooked.fault_delay_seconds(), 0.0);
     }
 }

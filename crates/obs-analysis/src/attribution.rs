@@ -27,6 +27,11 @@
 //!   the 1F1B template), or the device had no work left (drain tail).
 //! - [`StallClass::DependencyWait`]: the gap-ending operator waited on a
 //!   compute operator (launch-order edges, tensor-parallel peers).
+//! - [`StallClass::FaultRecovery`]: the idle instant falls inside an
+//!   injected-fault window ([`attribute_stalls_with_faults`]) — the device
+//!   was waiting out a fault or a recovery action, not a scheduling
+//!   artifact. Produced only when fault spans are supplied; fault-free
+//!   attribution never emits it.
 
 use std::collections::BTreeMap;
 
@@ -47,6 +52,9 @@ pub enum StallClass {
     DependencyWait,
     /// Waiting for straggling collective participants (load imbalance).
     AlignmentImbalance,
+    /// Idle inside an injected-fault window (straggler slowdown, link
+    /// degradation, comm outage, device loss) or the recovery it triggered.
+    FaultRecovery,
 }
 
 impl StallClass {
@@ -57,16 +65,21 @@ impl StallClass {
             StallClass::CommWait => "comm_wait",
             StallClass::DependencyWait => "dependency_wait",
             StallClass::AlignmentImbalance => "alignment_imbalance",
+            StallClass::FaultRecovery => "fault_recovery",
         }
     }
 
     /// All classes, in display order.
-    pub const ALL: [StallClass; 4] = [
+    pub const ALL: [StallClass; 5] = [
         StallClass::PipelineBubble,
         StallClass::CommWait,
         StallClass::DependencyWait,
         StallClass::AlignmentImbalance,
+        StallClass::FaultRecovery,
     ];
+
+    /// Number of classes (`ALL.len()`, usable in array lengths).
+    pub const COUNT: usize = StallClass::ALL.len();
 }
 
 /// One attributed idle interval on a device's compute lane.
@@ -108,6 +121,9 @@ pub struct DeviceAttribution {
     pub dependency_seconds: f64,
     /// Straggler waits before collectives.
     pub alignment_seconds: f64,
+    /// Idle time inside injected-fault windows (zero unless fault spans
+    /// were supplied to the attribution).
+    pub fault_seconds: f64,
     /// Stall seconds attributed to each responsible hTask (an interval
     /// blaming k hTasks contributes 1/k to each).
     pub by_htask: BTreeMap<HTaskRef, f64>,
@@ -116,7 +132,11 @@ pub struct DeviceAttribution {
 impl DeviceAttribution {
     /// Total attributed stall time.
     pub fn stall_seconds(&self) -> f64 {
-        self.bubble_seconds + self.comm_seconds + self.dependency_seconds + self.alignment_seconds
+        self.bubble_seconds
+            + self.comm_seconds
+            + self.dependency_seconds
+            + self.alignment_seconds
+            + self.fault_seconds
     }
 
     /// `busy + stalls` — equals `window` (conservation invariant).
@@ -131,8 +151,20 @@ impl DeviceAttribution {
             StallClass::CommWait => self.comm_seconds,
             StallClass::DependencyWait => self.dependency_seconds,
             StallClass::AlignmentImbalance => self.alignment_seconds,
+            StallClass::FaultRecovery => self.fault_seconds,
         }
     }
+}
+
+/// One injected-fault interval on one device, in timeline seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpan {
+    /// Device the fault afflicted.
+    pub device: usize,
+    /// Fault start, seconds.
+    pub start: f64,
+    /// Fault end, seconds.
+    pub end: f64,
 }
 
 /// The non-join operator (chasing through zero-duration joins) whose
@@ -366,9 +398,95 @@ fn push_stall(out: &mut Vec<AttributedStall>, device: usize, piece: Piece) {
     }
 }
 
+/// Merged, sorted, disjoint fault intervals for one device.
+fn merged_spans(faults: &[FaultSpan], device: usize) -> Vec<(f64, f64)> {
+    let mut spans: Vec<(f64, f64)> = faults
+        .iter()
+        .filter(|f| f.device == device && f.end > f.start)
+        .map(|f| (f.start, f.end))
+        .collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// [`attribute_stalls`], then reclassifies every idle instant that falls
+/// inside one of `faults`'s windows as [`StallClass::FaultRecovery`]. The
+/// fault pass is a pure partition refinement — intervals are only split,
+/// never created or dropped — so the per-device conservation invariant
+/// `busy + stalls == window` survives any fault plan. hTask blame is kept
+/// on the refined pieces.
+pub fn attribute_stalls_with_faults(
+    ops: &[OpRecord],
+    num_devices: usize,
+    window: f64,
+    faults: &[FaultSpan],
+) -> Vec<AttributedStall> {
+    let base = attribute_stalls(ops, num_devices, window);
+    if faults.is_empty() {
+        return base;
+    }
+    let spans: Vec<Vec<(f64, f64)>> = (0..num_devices).map(|d| merged_spans(faults, d)).collect();
+    let mut out = Vec::with_capacity(base.len());
+    for ev in base {
+        let dev_spans = &spans[ev.device];
+        let mut t = ev.start;
+        for &(fs, fe) in dev_spans {
+            let (cs, ce) = (fs.max(t), fe.min(ev.end));
+            if ce <= cs {
+                continue;
+            }
+            if cs > t {
+                out.push(AttributedStall {
+                    device: ev.device,
+                    start: t,
+                    end: cs,
+                    class: ev.class,
+                    htasks: ev.htasks.clone(),
+                });
+            }
+            out.push(AttributedStall {
+                device: ev.device,
+                start: cs,
+                end: ce,
+                class: StallClass::FaultRecovery,
+                htasks: ev.htasks.clone(),
+            });
+            t = ce;
+        }
+        if ev.end > t {
+            out.push(AttributedStall {
+                device: ev.device,
+                start: t,
+                end: ev.end,
+                class: ev.class,
+                htasks: ev.htasks,
+            });
+        }
+    }
+    out
+}
+
 /// Aggregates [`attribute_stalls`] (over the whole run: `window` = latest
 /// op end) into per-device totals plus per-hTask responsibility shares.
 pub fn device_attribution(ops: &[OpRecord], num_devices: usize) -> Vec<DeviceAttribution> {
+    device_attribution_with_faults(ops, num_devices, &[])
+}
+
+/// [`device_attribution`] with injected-fault windows: idle time inside a
+/// device's fault spans lands in `fault_seconds` instead of its scheduling
+/// class, and conservation still holds.
+pub fn device_attribution_with_faults(
+    ops: &[OpRecord],
+    num_devices: usize,
+    faults: &[FaultSpan],
+) -> Vec<DeviceAttribution> {
     let window = ops.iter().map(|o| o.end).fold(0.0, f64::max);
     let mut out: Vec<DeviceAttribution> = (0..num_devices)
         .map(|device| DeviceAttribution {
@@ -386,7 +504,7 @@ pub fn device_attribution(ops: &[OpRecord], num_devices: usize) -> Vec<DeviceAtt
             }
         }
     }
-    for ev in attribute_stalls(ops, num_devices, window) {
+    for ev in attribute_stalls_with_faults(ops, num_devices, window, faults) {
         let d = &mut out[ev.device];
         let dur = ev.seconds();
         match ev.class {
@@ -394,6 +512,7 @@ pub fn device_attribution(ops: &[OpRecord], num_devices: usize) -> Vec<DeviceAtt
             StallClass::CommWait => d.comm_seconds += dur,
             StallClass::DependencyWait => d.dependency_seconds += dur,
             StallClass::AlignmentImbalance => d.alignment_seconds += dur,
+            StallClass::FaultRecovery => d.fault_seconds += dur,
         }
         if !ev.htasks.is_empty() {
             let share = dur / ev.htasks.len() as f64;
@@ -522,6 +641,64 @@ mod tests {
         let d1 = &device_attribution(t.ops(), 2)[1];
         assert_eq!(d1.busy_seconds, 0.0);
         assert!((d1.bubble_seconds - d1.window).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_windows_reclassify_idle_time_and_conserve() {
+        let c = cluster(2);
+        let mut t = Timeline::new(&c);
+        let a = t.compute_fixed(0, 4.0, 0.5, 1e9, &[], "b0 s0 mb0 Forward h0sg0");
+        t.compute_fixed(1, 1.0, 0.5, 1e9, &[a], "b0 s1 mb0 Forward h0sg1");
+        // Device 1 idles over [0, 4]; declare [1, 3] a fault window.
+        let faults = [FaultSpan {
+            device: 1,
+            start: 1.0,
+            end: 3.0,
+        }];
+        let window = t.finish_time();
+        let attr = device_attribution_with_faults(t.ops(), 2, &faults);
+        let d1 = &attr[1];
+        assert!((d1.fault_seconds - 2.0).abs() < 1e-9, "{d1:?}");
+        assert!(
+            (d1.accounted_seconds() - window).abs() <= 1e-9 * window.max(1.0),
+            "conservation holds under faults: {d1:?}"
+        );
+        // Fault-free path is byte-identical to the plain attribution.
+        assert_eq!(
+            device_attribution_with_faults(t.ops(), 2, &[]),
+            device_attribution(t.ops(), 2)
+        );
+        assert_eq!(device_attribution(t.ops(), 2)[1].fault_seconds, 0.0);
+    }
+
+    #[test]
+    fn overlapping_fault_spans_merge_before_carving() {
+        let c = cluster(1);
+        let mut t = Timeline::new(&c);
+        t.compute_fixed(0, 1.0, 0.5, 1e9, &[], "b0 s0 mb0 Forward h0sg0");
+        // Idle tail [1, 5] via an explicit window; two overlapping spans
+        // must count once.
+        let faults = [
+            FaultSpan {
+                device: 0,
+                start: 1.5,
+                end: 3.0,
+            },
+            FaultSpan {
+                device: 0,
+                start: 2.0,
+                end: 4.0,
+            },
+        ];
+        let evs = attribute_stalls_with_faults(t.ops(), 1, 5.0, &faults);
+        let fault_secs: f64 = evs
+            .iter()
+            .filter(|e| e.class == StallClass::FaultRecovery)
+            .map(|e| e.seconds())
+            .sum();
+        assert!((fault_secs - 2.5).abs() < 1e-9, "{evs:?}");
+        let total: f64 = evs.iter().map(|e| e.seconds()).sum();
+        assert!((total - 4.0).abs() < 1e-9, "idle time still tiles: {evs:?}");
     }
 
     #[test]

@@ -27,7 +27,8 @@ mod labels;
 pub mod online;
 
 pub use attribution::{
-    attribute_stalls, device_attribution, AttributedStall, DeviceAttribution, StallClass,
+    attribute_stalls, attribute_stalls_with_faults, device_attribution,
+    device_attribution_with_faults, AttributedStall, DeviceAttribution, FaultSpan, StallClass,
 };
 pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
 pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};

@@ -736,11 +736,13 @@ mod tests {
     #[test]
     fn rule_table_is_stable_and_complete() {
         let r = rules();
-        assert_eq!(r.len(), 6);
+        // throughput_drop + slo_burn + one stall_spike per class.
+        assert_eq!(r.len(), 2 + StallClass::COUNT);
         assert!(r
             .iter()
             .any(|(n, s)| n == "slo_burn" && *s == Severity::Critical));
         assert!(r.iter().any(|(n, _)| n == "stall_spike:pipeline_bubble"));
+        assert!(r.iter().any(|(n, _)| n == "stall_spike:fault_recovery"));
         let mon = OnlineMonitor::new(MonitorConfig::default());
         for (rule, _) in r {
             assert_eq!(mon.fired_total()[&rule], 0);

@@ -541,9 +541,12 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
 macro_rules! json {
     (null) => { $crate::Value::Null };
     ([ $($tt:tt)* ]) => {{
-        #[allow(unused_mut)]
-        let mut arr: Vec<$crate::Value> = Vec::new();
-        $crate::json_array!(arr, $($tt)*);
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let arr: Vec<$crate::Value> = {
+            let mut arr = Vec::new();
+            $crate::json_array!(arr, $($tt)*);
+            arr
+        };
         $crate::Value::Array(arr)
     }};
     ({ $($tt:tt)* }) => {{

@@ -22,7 +22,9 @@
 //! * [`baselines`] — HF-PEFT, NeMo, SL-PEFT strategies;
 //! * [`cluster`] — trace generation and cluster-level replay;
 //! * [`api`] — the fine-tuning service front end (job lifecycle, dispatch,
-//!   online monitoring, replayable event journal);
+//!   online monitoring, fault injection/recovery, replayable event journal);
+//! * [`chaos`] — seeded fault plans and the deterministic-simulation-test
+//!   harness (same seed ⇒ bitwise-identical journal);
 //! * [`obs`] — the observability registry (phases, counters, gauges,
 //!   histograms, Prometheus exposition);
 //! * [`obs_analysis`] — critical-path extraction, 4-class stall
@@ -47,6 +49,7 @@
 
 pub use mux_api as api;
 pub use mux_baselines as baselines;
+pub use mux_chaos as chaos;
 pub use mux_cluster as cluster;
 pub use mux_data as data;
 pub use mux_gpu_sim as gpu_sim;
@@ -65,6 +68,7 @@ pub mod prelude {
         TelemetrySummary,
     };
     pub use mux_baselines::runner::{run_system, SystemKind};
+    pub use mux_chaos::{run_chaos, DstConfig, DstRun, FaultPlan};
     pub use mux_data::align::AlignStrategy;
     pub use mux_data::corpus::{Corpus, DatasetKind};
     pub use mux_gpu_sim::spec::{GpuSpec, LinkSpec};

@@ -1,0 +1,251 @@
+//! Property tests for the fault-injection/recovery stack (the chaos
+//! harness's correctness pins):
+//!
+//! 1. **No job is lost**: under any seeded fault plan — stragglers, link
+//!    degradation, transient outages, permanent device loss, churn — every
+//!    submitted job ends in exactly one terminal state.
+//! 2. **Replay under faults**: the journal of a faulted run reproduces the
+//!    live job/alert state at every tick prefix, exactly as it does for
+//!    fault-free runs.
+//! 3. **Time conservation with faults**: perturbed timelines stay
+//!    physical — fault delay is non-negative, ops never travel back in
+//!    time, and per-device stall attribution still conserves the window.
+//! 4. **Backoff discipline**: retry backoff doubles from its base and
+//!    never exceeds its cap, for any policy and attempt number.
+
+use muxtune::api::{
+    EventKind, FineTuneService, JobSpec, Journal, RetryPolicy, ServiceConfig, ServiceFault,
+};
+use muxtune::chaos::{run_chaos, DstConfig};
+use muxtune::gpu_sim::{CollectiveKind, CommCtaPolicy, FaultWindow, FaultWindows, Timeline, Work};
+use muxtune::obs_analysis::{device_attribution_with_faults, FaultSpan};
+use muxtune::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every job submitted to a chaos run — up front or via churn — lands
+    /// in exactly one terminal state. Nothing is lost, nothing is left
+    /// queued or running after the drain.
+    #[test]
+    fn no_job_is_lost_under_any_fault_plan(
+        seed in 0u64..1_000_000,
+        gpus in prop::sample::select(vec![4usize, 8]),
+        initial_jobs in 1usize..5,
+        fault_events in 4usize..16,
+        max_device_losses in 0usize..4,
+    ) {
+        let cfg = DstConfig {
+            seed,
+            gpus_total: gpus,
+            initial_jobs,
+            fault_events,
+            max_device_losses,
+            ..DstConfig::default()
+        };
+        let run = run_chaos(&cfg);
+        let accounted: usize = run.outcome_counts.values().sum();
+        prop_assert_eq!(accounted, run.submitted_jobs, "every job has an outcome");
+        for state in run.outcome_counts.keys() {
+            prop_assert!(
+                state == "completed" || state == "rejected",
+                "non-terminal outcome {} after drain", state
+            );
+        }
+    }
+
+    /// Replaying the journal of a *faulted* run up to tick `t` reproduces
+    /// the live job-state map at tick `t`, for every prefix — fault and
+    /// recovery events must not desynchronize replay.
+    #[test]
+    fn journal_replay_under_faults_matches_live_state_at_every_prefix(
+        seed in 0u64..1000,
+        ticks in 6u64..18,
+        losses in 0usize..2,
+    ) {
+        let mut cfg = ServiceConfig::a40_pool(4);
+        cfg.backbone_layers = Some(8);
+        let mut svc = FineTuneService::new(cfg);
+        svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 4, 40_000));
+        svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Rte, 16, 4, 30_000).with_priority(2));
+
+        let mut fingerprints = Vec::new();
+        for step in 0..ticks {
+            // A deterministic mid-run fault schedule derived from the seed.
+            if step == 2 {
+                let _ = svc.inject_fault(ServiceFault::DeviceSlowdown {
+                    instance: 0,
+                    device: (seed % 4) as usize,
+                    factor: 1.5 + (seed % 3) as f64,
+                });
+            }
+            if step == 4 {
+                let _ = svc.inject_fault(ServiceFault::TransientComm {
+                    instance: 0,
+                    failures: 1 + (seed % 3) as u32,
+                });
+            }
+            if step == 6 && losses > 0 {
+                let _ = svc.inject_fault(ServiceFault::DeviceLoss {
+                    instance: 0,
+                    device: (seed % 4) as usize,
+                });
+            }
+            svc.tick(0.2);
+            fingerprints.push((svc.current_tick(), svc.state_fingerprint()));
+        }
+        // Drain with ticks (not `run_to_completion`) so every Complete
+        // event lands on a fresh tick and prefix replay stays aligned.
+        for _ in 0..10_000 {
+            if svc.state_fingerprint().jobs.values().all(|s| s == "completed" || s == "rejected") {
+                break;
+            }
+            svc.tick(1.0);
+        }
+        svc.seal_journal();
+
+        let text = svc.journal().to_jsonl();
+        let journal = Journal::from_jsonl(&text).expect("parse own journal");
+        let replayed = journal.verify().expect("faulted journal still verifies");
+        let last = svc.state_fingerprint();
+        prop_assert_eq!(&replayed.jobs, &last.jobs);
+        prop_assert_eq!(&replayed.alerts, &last.alerts);
+        for (t, fp) in &fingerprints {
+            let state = journal.replay_prefix(*t);
+            prop_assert_eq!(&state.jobs, &fp.jobs, "job states diverge at tick {}", t);
+        }
+    }
+
+    /// A perturbed timeline stays physical: op intervals are well-formed,
+    /// the accumulated fault delay is non-negative (faults only ever slow
+    /// things down), and per-device stall attribution with fault spans
+    /// still conserves busy + stalls == window on every device.
+    #[test]
+    fn perturbed_timelines_conserve_per_device_time(
+        factor in prop::sample::select(vec![1.5f64, 2.0, 3.0, 4.0]),
+        fault_start in prop::sample::select(vec![0.0f64, 0.001, 0.01]),
+        fault_len in prop::sample::select(vec![0.005f64, 0.05, 1.0]),
+        dev in 0usize..2,
+        cluster_wide in any::<bool>(),
+    ) {
+        let cluster = Cluster::single_node(GpuSpec::a40(), 2, LinkSpec::nvlink_a40());
+        let window = FaultWindow {
+            device: if cluster_wide { None } else { Some(dev) },
+            start: fault_start,
+            end: fault_start + fault_len,
+            factor,
+        };
+        let build = |faults: FaultWindows| {
+            let mut tl = Timeline::new(&cluster);
+            tl.set_faults(faults);
+            let a = tl.compute(0, Work::tensor(5e9, 1e6), &[], "a");
+            let b = tl.compute(1, Work::tensor(5e9, 1e6), &[], "b");
+            let ar = tl.collective(
+                &[0, 1],
+                CollectiveKind::AllReduce,
+                64e6,
+                &[a, b],
+                CommCtaPolicy::sequential(),
+                true,
+                "sync",
+            );
+            tl.compute(0, Work::tensor(5e9, 1e6), &[ar], "a2");
+            tl.compute(1, Work::tensor(5e9, 1e6), &[ar], "b2");
+            tl
+        };
+        let healthy = build(FaultWindows::default());
+        let faulty = build(FaultWindows {
+            compute_slow: vec![window],
+            link_degrade: vec![window],
+        });
+
+        prop_assert!(faulty.fault_delay_seconds() >= 0.0);
+        prop_assert!(
+            faulty.finish_time() >= healthy.finish_time() - 1e-12,
+            "faults never speed a timeline up: {} vs {}",
+            faulty.finish_time(), healthy.finish_time()
+        );
+        for op in faulty.ops() {
+            prop_assert!(op.end >= op.start, "op interval is well-formed");
+        }
+        if faulty.perturbed_ops() == 0 {
+            prop_assert!((faulty.finish_time() - healthy.finish_time()).abs() < 1e-12);
+        }
+        // Attribution with the fault span still conserves each device's window.
+        let spans: Vec<FaultSpan> = match window.device {
+            Some(d) => vec![FaultSpan { device: d, start: window.start, end: window.end }],
+            None => (0..2)
+                .map(|d| FaultSpan { device: d, start: window.start, end: window.end })
+                .collect(),
+        };
+        for d in device_attribution_with_faults(faulty.ops(), 2, &spans) {
+            let stalls = d.bubble_seconds
+                + d.comm_seconds
+                + d.dependency_seconds
+                + d.alignment_seconds
+                + d.fault_seconds;
+            prop_assert!(
+                (d.busy_seconds + stalls - d.window).abs() < 1e-6 * d.window.max(1.0),
+                "device {}: busy {} + stalls {} != window {}",
+                d.device, d.busy_seconds, stalls, d.window
+            );
+        }
+    }
+
+    /// `min(base · 2^(attempt−1), cap)`: the backoff sequence starts at
+    /// the base, doubles, never exceeds the cap, and is monotone.
+    #[test]
+    fn retry_backoff_never_exceeds_its_cap(
+        base in prop::sample::select(vec![0.01f64, 0.05, 0.3, 1.0]),
+        cap_mult in prop::sample::select(vec![1.0f64, 4.0, 100.0]),
+        attempts in 1u32..80,
+    ) {
+        let p = RetryPolicy { base_backoff: base, max_backoff: base * cap_mult };
+        let mut prev = 0.0;
+        for attempt in 1..=attempts {
+            let b = p.backoff(attempt);
+            prop_assert!(b <= p.max_backoff, "attempt {}: {} > cap {}", attempt, b, p.max_backoff);
+            prop_assert!(b >= base.min(p.max_backoff), "backoff below base");
+            prop_assert!(b >= prev, "backoff is monotone non-decreasing");
+            prev = b;
+        }
+        prop_assert_eq!(p.backoff(1), base.min(p.max_backoff));
+    }
+}
+
+/// A transient outage pauses progress, retries on the journaled backoff
+/// schedule, and clears; the journal records the full retry ladder.
+#[test]
+fn transient_outage_retry_ladder_is_fully_journaled() {
+    let mut cfg = ServiceConfig::a40_pool(4);
+    cfg.backbone_layers = Some(8);
+    let mut svc = FineTuneService::new(cfg);
+    let id = svc.submit(JobSpec::lora("LLaMA2-7B", DatasetKind::Sst2, 16, 4, 30_000));
+    svc.inject_fault(ServiceFault::TransientComm {
+        instance: 0,
+        failures: 4,
+    })
+    .expect("valid fault");
+    svc.run_to_completion();
+    assert_eq!(svc.job(id).unwrap().state, JobState::Completed);
+    let retries: Vec<(u64, f64)> = svc
+        .journal()
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::RecoverRetry {
+                attempt,
+                backoff_seconds,
+                ..
+            } => Some((*attempt, *backoff_seconds)),
+            _ => None,
+        })
+        .collect();
+    let policy = RetryPolicy::default();
+    assert_eq!(retries.len(), 4);
+    for (i, (attempt, backoff)) in retries.iter().enumerate() {
+        assert_eq!(*attempt, i as u64 + 1);
+        assert!((backoff - policy.backoff(i as u32 + 1)).abs() < 1e-12);
+    }
+}

@@ -93,6 +93,60 @@ fn exhaustive_journal() -> Journal {
             job: 1,
         },
     );
+    j.push(
+        3,
+        1.5,
+        EventKind::FaultInjected {
+            kind: "device_loss".into(),
+            instance: 0,
+            device: Some(2),
+            magnitude: 1.0,
+        },
+    );
+    j.push(
+        3,
+        1.5,
+        EventKind::RecoverRetry {
+            instance: 0,
+            attempt: 1,
+            backoff_seconds: 0.05,
+        },
+    );
+    j.push(
+        3,
+        1.5,
+        EventKind::RecoverRestart {
+            job: 1,
+            instance: 0,
+            checkpoint_tokens: 512.0,
+        },
+    );
+    j.push(
+        3,
+        1.5,
+        EventKind::RecoverReplan {
+            instance: 0,
+            devices_left: 3,
+            epoch: 2,
+        },
+    );
+    j.push(
+        3,
+        1.6,
+        EventKind::RecoverShed {
+            job: 3,
+            instance: 0,
+            reason: "no feasible degraded plan".into(),
+        },
+    );
+    j.push(
+        3,
+        1.7,
+        EventKind::FaultCleared {
+            kind: "comm_transient".into(),
+            instance: 0,
+        },
+    );
     j.push(4, 2.0, EventKind::Complete { job: 1 });
     let mut jobs = BTreeMap::new();
     jobs.insert(1, "completed".to_string());

@@ -100,13 +100,13 @@ fn energy_efficiency_favors_muxtune() {
 #[test]
 fn priority_policy_protects_the_high_class() {
     let trace = generate(300, 31, None);
-    let prios = assign_priorities(&trace, 0.2);
+    let prios = assign_priorities(&trace, 0.2).expect("fraction in range");
     let shape = ClusterShape {
         total_gpus: 64,
         gpus_per_instance: 4,
     };
-    let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]);
-    let rep = replay_priority(&trace, &prios, shape, &profile, None);
+    let profile = ThroughputProfile::from_rates(vec![1.0, 1.5, 1.8, 2.0]).expect("non-empty");
+    let rep = replay_priority(&trace, &prios, shape, &profile, None).expect("valid inputs");
     // High-priority service time == solo duration (dedicated instances).
     let solo: f64 = {
         let hi: Vec<f64> = trace
