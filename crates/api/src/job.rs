@@ -36,6 +36,10 @@ pub struct JobSpec {
     /// Tenant priority: higher values survive graceful degradation longer.
     /// Ties break toward older jobs when a shed victim must be chosen.
     pub priority: u8,
+    /// Tenant the job belongs to. Fairness accounting (Jain indices,
+    /// weighted shares, SLO attainment) aggregates per tenant; jobs that
+    /// never set one land in the `"default"` tenant.
+    pub tenant: String,
 }
 
 impl JobSpec {
@@ -57,6 +61,7 @@ impl JobSpec {
             slo_seconds: None,
             sequence_lengths: None,
             priority: 0,
+            tenant: "default".to_string(),
         }
     }
 
@@ -77,6 +82,13 @@ impl JobSpec {
     /// Sets the tenant priority (higher = shed last under degradation).
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attributes the job to a tenant (fairness accounting aggregates
+    /// per tenant).
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = tenant.to_string();
         self
     }
 

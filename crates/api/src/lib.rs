@@ -9,12 +9,17 @@
 
 pub mod job;
 pub mod journal;
+pub mod policy;
 pub mod service;
 
 pub use job::{Job, JobId, JobSpec, JobState};
 pub use journal::{EventKind, Journal, JournalEvent, ReplayState};
 pub use mux_obs_analysis::online::{Alert, MonitorConfig, Severity};
+pub use policy::{
+    policy_by_name, Drf, Fcfs, PendingJob, SchedulingPolicy, StrictPriority, TenantUsage,
+    WeightedFair, POLICY_NAMES,
+};
 pub use service::{
-    DispatchPolicy, FaultError, FaultStats, FineTuneService, RetryPolicy, ServiceConfig,
-    ServiceFault, TelemetrySummary,
+    DispatchPolicy, FaultError, FaultStats, FineTuneService, ReplanMode, RetryPolicy,
+    ServiceConfig, ServiceFault, TelemetrySummary,
 };

@@ -17,13 +17,14 @@ use mux_gpu_sim::timeline::{OpKind, OpRecord};
 use mux_model::config::ModelConfig;
 use mux_obs_analysis::online::{self, Alert, AlertEvent, MonitorConfig, OnlineMonitor};
 use mux_obs_analysis::{
-    critical_path, device_attribution, CriticalPath, DeviceAttribution, HTaskRef, StallClass,
+    critical_path, device_attribution, jain_index, slo_attainment, CriticalPath, DeviceAttribution,
+    HTaskRef, StallClass,
 };
 use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
 use muxtune_core::planner::{
-    degraded_plan, plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig,
+    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, MuxTuneReport, PlannerConfig,
 };
 use serde_json::{Map, Value};
 
@@ -93,6 +94,23 @@ pub struct ServiceConfig {
     pub backbone_layers: Option<usize>,
     /// Backoff schedule for transient comm-fault retries.
     pub retry: RetryPolicy,
+    /// How membership changes are re-priced (see [`ReplanMode`]).
+    pub replan_mode: ReplanMode,
+}
+
+/// How the service prices progress rates on a replan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanMode {
+    /// Full fidelity: plan candidates are validated on the GPU simulator
+    /// ([`plan_and_run`]) — several engine runs per membership change.
+    #[default]
+    Simulate,
+    /// Cost-model fast path: throughput comes from the fusion DP plus the
+    /// Appendix-A grouped-latency estimate ([`plan_estimate`]), no engine
+    /// runs. ~100× cheaper per replan with the same feasibility/error
+    /// surface; rates are estimates, not simulator measurements. The
+    /// 10⁴–10⁵-job trace replayer runs in this mode.
+    Estimate,
 }
 
 impl ServiceConfig {
@@ -109,6 +127,7 @@ impl ServiceConfig {
             dispatch: DispatchPolicy::SameBackboneFirst,
             backbone_layers: None,
             retry: RetryPolicy::default(),
+            replan_mode: ReplanMode::default(),
         }
     }
 }
@@ -412,6 +431,19 @@ pub struct FineTuneService {
     monitor: Option<MonitorRuntime>,
 }
 
+/// Per-tenant aggregates behind the report's `tenants` section.
+#[derive(Debug, Clone, Default)]
+struct TenantStats {
+    queued: usize,
+    running: usize,
+    completed: usize,
+    rejected: usize,
+    progressed_tokens: f64,
+    throughput: f64,
+    slo_met: usize,
+    slo_violated: usize,
+}
+
 impl FineTuneService {
     /// Creates an empty service over a GPU pool.
     pub fn new(cfg: ServiceConfig) -> Self {
@@ -440,6 +472,11 @@ impl FineTuneService {
         self.now
     }
 
+    /// The service configuration (read-only).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
     /// The job table (inspection).
     pub fn job(&self, id: JobId) -> Option<&Job> {
         self.jobs.get(&id)
@@ -453,6 +490,51 @@ impl FineTuneService {
     /// Tasks co-located on instance `i`.
     pub fn instance_load(&self, i: usize) -> usize {
         self.instances[i].registry.len()
+    }
+
+    /// Backbone hosted by instance `i`.
+    pub fn instance_backbone(&self, i: usize) -> &str {
+        &self.instances[i].backbone_name
+    }
+
+    /// Whether a `backbone` job submitted now could be placed (or at
+    /// least queued with a live host to wait for) instead of being
+    /// permanently starved: either a same-backbone instance exists, or
+    /// the pool can still spin one up. Admission layers consult this
+    /// before submitting; a `false` submit is rejected with
+    /// `"no capacity"` (the pool never shrinks).
+    pub fn can_host(&self, backbone: &str) -> bool {
+        self.by_backbone
+            .get(backbone)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+            || self.capacity_left() > 0
+    }
+
+    /// Instances the pool can still spin up.
+    pub fn instance_headroom(&self) -> usize {
+        self.capacity_left()
+    }
+
+    /// Cluster-wide co-location slot capacity: every possible instance
+    /// times the per-instance task cap.
+    pub fn slot_capacity(&self) -> usize {
+        (self.cfg.gpus_total / self.cfg.gpus_per_instance) * self.cfg.max_tasks_per_instance
+    }
+
+    /// Co-location slots still free: headroom on live instances plus
+    /// every slot on instances not yet spun up.
+    pub fn slots_free(&self) -> usize {
+        let live: usize = self
+            .instances
+            .iter()
+            .map(|inst| {
+                self.cfg
+                    .max_tasks_per_instance
+                    .saturating_sub(inst.registry.len())
+            })
+            .sum();
+        live + self.capacity_left() * self.cfg.max_tasks_per_instance
     }
 
     fn backbone_config(&self, name: &str) -> Option<ModelConfig> {
@@ -496,6 +578,7 @@ impl FineTuneService {
             self.now,
             EventKind::Submit {
                 job: id.0,
+                tenant: spec.tenant.clone(),
                 backbone: spec.backbone.clone(),
                 total_tokens: spec.total_tokens,
                 slo_seconds: spec.slo_seconds,
@@ -778,11 +861,19 @@ impl FineTuneService {
             let cfg = PlannerConfig::muxtune(plan, self.cfg.micro_batches);
             let result = {
                 let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
-                plan_and_run(&inst.registry, cluster, &inst.corpora, &cfg)
+                match self.cfg.replan_mode {
+                    ReplanMode::Simulate => {
+                        plan_and_run(&inst.registry, cluster, &inst.corpora, &cfg)
+                            .map(|report| report.metrics.effective_throughput)
+                    }
+                    ReplanMode::Estimate => {
+                        plan_estimate(&inst.registry, cluster, &inst.corpora, &cfg)
+                    }
+                }
             };
             let degrading = !inst.lost_devices.is_empty();
             match result {
-                Ok(report) => {
+                Ok(effective_throughput) => {
                     // Split effective throughput across tasks in proportion
                     // to their raw content per round.
                     let raw: BTreeMap<TaskId, f64> = inst
@@ -793,7 +884,7 @@ impl FineTuneService {
                     let total: f64 = raw.values().sum();
                     for (&t, r) in &raw {
                         inst.raw_rates
-                            .insert(t, report.metrics.effective_throughput * r / total.max(1.0));
+                            .insert(t, effective_throughput * r / total.max(1.0));
                     }
                     // Degeneracy is judged on the planner's raw rates:
                     // fault-scaled rates are legitimately 0 during outages.
@@ -900,7 +991,10 @@ impl FineTuneService {
     }
 
     /// Seconds until the next event (completion or comm retry) fires.
-    fn next_event_in(&mut self) -> Option<f64> {
+    /// `None` when nothing is scheduled. External drivers (the workload
+    /// trace replayer) use this to jump straight to the next state change
+    /// instead of polling in fixed steps.
+    pub fn next_event_in(&mut self) -> Option<f64> {
         let now = self.now;
         let c = self.peek_completion().map(|ev| ev.at);
         let r = self.peek_resume().map(|ev| ev.at);
@@ -1446,6 +1540,7 @@ impl FineTuneService {
             .map(|j| {
                 let mut m = Map::new();
                 m.insert("id".into(), j.id.0.into());
+                m.insert("tenant".into(), j.spec.tenant.as_str().into());
                 m.insert("backbone".into(), j.spec.backbone.as_str().into());
                 let state = match j.state {
                     JobState::Queued => "queued".to_string(),
@@ -1622,6 +1717,8 @@ impl FineTuneService {
         root.insert("tick".into(), self.tick.into());
         root.insert("jobs".into(), Value::Array(jobs));
         root.insert("instances".into(), Value::Array(instances));
+        root.insert("tenants".into(), self.tenants_json());
+        root.insert("capacity".into(), self.capacity_json());
         root.insert("alerts".into(), self.alerts_json());
         root.insert("faults".into(), self.faults_json());
         let mut obs = Map::new();
@@ -1631,6 +1728,98 @@ impl FineTuneService {
         obs.insert("histograms".into(), Value::Object(histograms));
         root.insert("observability".into(), Value::Object(obs));
         Value::Object(root)
+    }
+
+    /// Per-tenant accounting the report and exposition aggregate over:
+    /// job-state counts, work and throughput totals, and SLO verdicts
+    /// (realized for completed jobs, predicted for in-flight ones).
+    fn tenant_stats(&self) -> BTreeMap<String, TenantStats> {
+        let mut stats: BTreeMap<String, TenantStats> = BTreeMap::new();
+        for j in self.jobs.values() {
+            let s = stats.entry(j.spec.tenant.clone()).or_default();
+            match j.state {
+                JobState::Queued => s.queued += 1,
+                JobState::Running { .. } => s.running += 1,
+                JobState::Completed => s.completed += 1,
+                JobState::Rejected => s.rejected += 1,
+            }
+            s.progressed_tokens += self.job_progress(j);
+            s.throughput += self.job_rate(j.id);
+            match j.slo_violated(self.now, self.job_eta(j.id)) {
+                Some(true) => s.slo_violated += 1,
+                Some(false) => s.slo_met += 1,
+                None => {}
+            }
+        }
+        stats
+    }
+
+    /// The report's `tenants` section: one entry per tenant plus
+    /// cross-tenant Jain fairness indices over throughput and dispatched
+    /// work. Fairness is vacuously 1.0 with zero or one tenant.
+    fn tenants_json(&self) -> Value {
+        let stats = self.tenant_stats();
+        let per_tenant: Vec<Value> = stats
+            .iter()
+            .map(|(tenant, s)| {
+                let mut m = Map::new();
+                m.insert("tenant".into(), tenant.as_str().into());
+                m.insert("queued".into(), s.queued.into());
+                m.insert("running".into(), s.running.into());
+                m.insert("completed".into(), s.completed.into());
+                m.insert("rejected".into(), s.rejected.into());
+                m.insert("progressed_tokens".into(), s.progressed_tokens.into());
+                m.insert("throughput_tokens_per_second".into(), s.throughput.into());
+                m.insert("slo_met".into(), s.slo_met.into());
+                m.insert("slo_violated".into(), s.slo_violated.into());
+                m.insert(
+                    "slo_attainment".into(),
+                    slo_attainment(s.slo_met, s.slo_violated).into(),
+                );
+                Value::Object(m)
+            })
+            .collect();
+        let mut fairness = Map::new();
+        fairness.insert(
+            "jain_throughput".into(),
+            jain_index(stats.values().map(|s| s.throughput)).into(),
+        );
+        fairness.insert(
+            "jain_work".into(),
+            jain_index(stats.values().map(|s| s.progressed_tokens)).into(),
+        );
+        let mut m = Map::new();
+        m.insert("per_tenant".into(), Value::Array(per_tenant));
+        m.insert("fairness".into(), Value::Object(fairness));
+        Value::Object(m)
+    }
+
+    /// The report's `capacity` section: how much multiplexing headroom
+    /// the pool has left, in instances and in co-location task slots.
+    fn capacity_json(&self) -> Value {
+        let max_instances = self.cfg.gpus_total / self.cfg.gpus_per_instance;
+        let slot_capacity = self.slot_capacity();
+        let slots_free = self.slots_free();
+        let mut m = Map::new();
+        m.insert("gpus_total".into(), self.cfg.gpus_total.into());
+        m.insert(
+            "gpus_per_instance".into(),
+            self.cfg.gpus_per_instance.into(),
+        );
+        m.insert("instances_max".into(), max_instances.into());
+        m.insert("instances_live".into(), self.instances.len().into());
+        m.insert("instance_headroom".into(), self.capacity_left().into());
+        m.insert(
+            "max_tasks_per_instance".into(),
+            self.cfg.max_tasks_per_instance.into(),
+        );
+        m.insert("task_slots_total".into(), slot_capacity.into());
+        m.insert("task_slots_free".into(), slots_free.into());
+        m.insert(
+            "headroom_fraction".into(),
+            (slots_free as f64 / (slot_capacity as f64).max(1.0)).into(),
+        );
+        Value::Object(m)
     }
 
     /// The report's `alerts` section: the active alert list, counts by
@@ -1849,6 +2038,62 @@ impl FineTuneService {
                 ));
             }
         }
+
+        // Per-tenant fairness/SLO families plus pool headroom, mirroring
+        // the report's `tenants`/`capacity` sections.
+        let stats = self.tenant_stats();
+        out.push_str("# TYPE muxtune_tenant_jobs gauge\n");
+        out.push_str("# TYPE muxtune_tenant_throughput_tokens_per_second gauge\n");
+        out.push_str("# TYPE muxtune_tenant_progressed_tokens gauge\n");
+        out.push_str("# TYPE muxtune_tenant_slo_attainment gauge\n");
+        for (tenant, s) in &stats {
+            let label = mux_obs::prom_escape_label(tenant);
+            for (state, n) in [
+                ("queued", s.queued),
+                ("running", s.running),
+                ("completed", s.completed),
+                ("rejected", s.rejected),
+            ] {
+                out.push_str(&format!(
+                    "muxtune_tenant_jobs{{tenant=\"{label}\",state=\"{state}\"}} {n}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "muxtune_tenant_throughput_tokens_per_second{{tenant=\"{label}\"}} {}\n",
+                s.throughput
+            ));
+            out.push_str(&format!(
+                "muxtune_tenant_progressed_tokens{{tenant=\"{label}\"}} {}\n",
+                s.progressed_tokens
+            ));
+            out.push_str(&format!(
+                "muxtune_tenant_slo_attainment{{tenant=\"{label}\"}} {}\n",
+                slo_attainment(s.slo_met, s.slo_violated)
+            ));
+        }
+        out.push_str("# TYPE muxtune_fairness_jain gauge\n");
+        out.push_str(&format!(
+            "muxtune_fairness_jain{{dimension=\"throughput\"}} {}\n",
+            jain_index(stats.values().map(|s| s.throughput))
+        ));
+        out.push_str(&format!(
+            "muxtune_fairness_jain{{dimension=\"work\"}} {}\n",
+            jain_index(stats.values().map(|s| s.progressed_tokens))
+        ));
+        out.push_str("# TYPE muxtune_capacity_instances gauge\n");
+        out.push_str(&format!(
+            "muxtune_capacity_instances{{state=\"live\"}} {}\n",
+            self.instances.len()
+        ));
+        out.push_str(&format!(
+            "muxtune_capacity_instances{{state=\"headroom\"}} {}\n",
+            self.capacity_left()
+        ));
+        out.push_str("# TYPE muxtune_capacity_headroom_fraction gauge\n");
+        out.push_str(&format!(
+            "muxtune_capacity_headroom_fraction {}\n",
+            self.slots_free() as f64 / (self.slot_capacity() as f64).max(1.0)
+        ));
 
         // Alert families are always rendered (zeros while quiet or with
         // monitoring off), so dashboards can pin queries on them.

@@ -91,12 +91,13 @@ fn priority_and_slo() -> serde_json::Value {
         fcfs.throughput, fcfs.mean_jct_min
     );
     println!(
-        "  priority-aware: throughput {:.1}, high JCT {:.0} (service {:.0} = solo {:.0}), low JCT {:.0}",
+        "  priority-aware: throughput {:.1}, high JCT {:.0} (service {:.0} = solo {:.0}), low JCT {:.0}, jain(slowdown) {:.3}",
         pri.throughput,
         pri.high.mean_jct_min,
         pri.high.mean_jct_min - pri.high.mean_queue_min,
         solo_high,
-        pri.low.mean_jct_min
+        pri.low.mean_jct_min,
+        pri.jain_slowdown
     );
     row(
         "  high-priority latency guarantee",

@@ -1,0 +1,126 @@
+//! `trace-replay`: end-to-end workload replay wall time vs trace size.
+//!
+//! Generates the seed-42 standard trace at 10³/10⁴ jobs and replays it
+//! through `FineTuneService` under all four scheduling policies, then a
+//! 10⁵-job trace under FCFS only (the other policies scale identically —
+//! policy choice changes ordering, not the event count). The 10⁵ leg
+//! takes minutes and is skipped by default — set
+//! `MUX_TRACE_REPLAY_FULL=1` to run it. The 10⁴-job FCFS wall time is
+//! the number the CI perf gate pins via `report --check-baseline`
+//! (scenario `trace-replay`).
+
+use std::time::Instant;
+
+use mux_bench::harness::{banner, row, save_json, TRACE_REPLAY_SEED};
+use mux_workload::{generate, replay_trace_by_name, Admission, ReplayOptions, TraceConfig};
+
+fn main() {
+    banner(
+        "trace_replay",
+        "multi-tenant trace replay wall time vs jobs and policy",
+    );
+    let opts = ReplayOptions::default();
+    let mut records = Vec::new();
+    for &jobs in &[1_000usize, 10_000] {
+        let trace = generate(TRACE_REPLAY_SEED, &TraceConfig::standard(jobs));
+        for policy in mux_api::POLICY_NAMES {
+            let start = Instant::now();
+            let report = replay_trace_by_name(&trace, policy, &opts).expect("trace replays");
+            let secs = start.elapsed().as_secs_f64();
+            row(
+                &format!("{jobs} jobs / {policy}"),
+                "~seconds budget",
+                &format!(
+                    "{secs:.3}s wall ({} completed, jain(work) {:.3}, SLO {:.3})",
+                    report.completed, report.jain_work, report.slo_attainment
+                ),
+            );
+            records.push(serde_json::json!({
+                "jobs": jobs,
+                "policy": policy,
+                "wall_seconds": secs,
+                "completed": report.completed,
+                "jain_work": report.jain_work,
+                "slo_attainment": report.slo_attainment,
+                "makespan_seconds": report.makespan_seconds,
+            }));
+        }
+    }
+    // SLO attainment vs offered load: scale the arrival rate around the
+    // standard profile and compare best-effort admission with
+    // SLO-feasibility gating (EXPERIMENTS.md plots this curve). The
+    // standard profile's slack is tight enough that co-location slowdown
+    // alone dominates violations at every load; a 10× slack isolates the
+    // queueing-delay component, which is what should bend with load.
+    let mut slo_series = Vec::new();
+    for &mult in &[0.5f64, 1.0, 2.0, 4.0] {
+        let mut cfg = TraceConfig::standard(2_000);
+        cfg.base_rate *= mult;
+        for tenant in &mut cfg.tenants {
+            tenant.slo_slack *= 10.0;
+        }
+        let trace = generate(TRACE_REPLAY_SEED, &cfg);
+        let be =
+            replay_trace_by_name(&trace, "drf", &ReplayOptions::default()).expect("trace replays");
+        let ac = replay_trace_by_name(
+            &trace,
+            "drf",
+            &ReplayOptions {
+                admission: Admission::SloFeasible,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("trace replays");
+        row(
+            &format!("load x{mult} / drf"),
+            "SLO attainment: admission >= best-effort",
+            &format!(
+                "best-effort {:.3}, slo-feasible {:.3} ({} admission-rejected)",
+                be.slo_attainment, ac.slo_attainment, ac.admission_rejected
+            ),
+        );
+        slo_series.push(serde_json::json!({
+            "load_multiplier": mult,
+            "policy": "drf",
+            "best_effort_slo_attainment": be.slo_attainment,
+            "slo_feasible_slo_attainment": ac.slo_attainment,
+            "admission_rejected": ac.admission_rejected,
+            "best_effort_completed": be.completed,
+            "slo_feasible_completed": ac.completed,
+        }));
+    }
+    if std::env::var_os("MUX_TRACE_REPLAY_FULL").is_some() {
+        let trace = generate(TRACE_REPLAY_SEED, &TraceConfig::standard(100_000));
+        let start = Instant::now();
+        let report = replay_trace_by_name(&trace, "fcfs", &opts).expect("trace replays");
+        let secs = start.elapsed().as_secs_f64();
+        row(
+            "100000 jobs / fcfs",
+            "~minutes budget",
+            &format!("{secs:.3}s wall ({} completed)", report.completed),
+        );
+        records.push(serde_json::json!({
+            "jobs": 100_000,
+            "policy": "fcfs",
+            "wall_seconds": secs,
+            "completed": report.completed,
+            "jain_work": report.jain_work,
+            "slo_attainment": report.slo_attainment,
+            "makespan_seconds": report.makespan_seconds,
+        }));
+    } else {
+        row(
+            "100000 jobs / fcfs",
+            "~minutes budget",
+            "skipped; MUX_TRACE_REPLAY_FULL=1 to run",
+        );
+    }
+    save_json(
+        "trace_replay",
+        &serde_json::json!({
+            "series": records,
+            "slo_vs_load": slo_series,
+            "note": "end-to-end FineTuneService replay; policy changes ordering, not event count",
+        }),
+    );
+}

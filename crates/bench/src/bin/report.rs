@@ -35,6 +35,19 @@
 //!   `--journal-out <path>`, the chaos journal is written there instead
 //!   of the telemetry-scenario journal. Exits non-zero if the journal
 //!   fails re-verification.
+//! - `--trace-gen <u64>`: generate a seeded multi-tenant workload trace
+//!   (`mux-workload`: diurnal Poisson arrivals, bounded-Pareto sizes,
+//!   per-tenant SLOs, cancellation churn) and write it as sealed JSONL to
+//!   `--trace-path <path>` (default
+//!   `target/experiments/workload_trace_<seed>.jsonl`). `--trace-jobs <n>`
+//!   sizes it (default 10000). Same seed ⇒ bitwise-identical file.
+//! - `--replay-trace <path>`: load a generated trace and replay it
+//!   end-to-end through `FineTuneService` under `--policy
+//!   <fcfs|priority|wfs|drf>` — or all four when the flag is absent —
+//!   printing terminal-outcome counts, per-tenant Jain fairness indices,
+//!   SLO attainment, capacity makespan, and the sealed journal
+//!   fingerprint per policy. Exits non-zero if any trace job is lost or
+//!   the replayed journal fails verification.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,7 +57,8 @@ use mux_api::Journal;
 use mux_bench::harness::{
     attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
     planner_scale_measurement, service_telemetry_scenario, service_telemetry_step,
-    telemetry_overhead_measurement, PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
+    telemetry_overhead_measurement, trace_replay_measurement, PLANNER_SCALE_M,
+    SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
@@ -243,7 +257,16 @@ fn render_prom() -> String {
 }
 
 /// The scenario names the baseline gate knows how to (re)measure.
-const GATE_SCENARIOS: &[&str] = &["fig14-small", "planner-scale", "telemetry-overhead"];
+const GATE_SCENARIOS: &[&str] = &[
+    "fig14-small",
+    "planner-scale",
+    "telemetry-overhead",
+    "trace-replay",
+];
+
+/// Gate scenarios measuring host wall time (CI-noise-tolerant gating)
+/// rather than simulated makespan.
+const WALL_TIME_SCENARIOS: &[&str] = &["planner-scale", "telemetry-overhead", "trace-replay"];
 
 /// Runs one gate scenario and returns its headline numbers.
 fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
@@ -254,6 +277,7 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
         }
         "planner-scale" => Ok(planner_scale_measurement()),
         "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
+        "trace-replay" => Ok(trace_replay_measurement()),
         other => Err(format!(
             "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
         )),
@@ -397,12 +421,87 @@ fn run_chaos_seed(seed: u64, journal_out: Option<&Path>) -> Result<(), String> {
     Ok(())
 }
 
+/// Generates a seeded workload trace and writes it as sealed JSONL.
+fn trace_gen(seed: u64, jobs: usize, path: &Path) -> Result<(), String> {
+    let cfg = mux_workload::TraceConfig::standard(jobs);
+    let trace = mux_workload::generate(seed, &cfg);
+    write_file(path, &trace.to_jsonl())?;
+    println!(
+        "wrote {} ({} jobs, {} tenant(s), horizon {:.1}s, fingerprint {:016x})",
+        path.display(),
+        trace.jobs.len(),
+        trace.tenants.len(),
+        trace.horizon_seconds,
+        trace.fingerprint()
+    );
+    Ok(())
+}
+
+/// Replays a trace file through the service under one policy — or all
+/// built-ins when `policy` is `None` — printing the fairness/SLO report
+/// and re-verifying every sealed journal.
+fn replay_trace_file(path: &Path, policy: Option<&str>) -> Result<(), String> {
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace = mux_workload::Trace::from_jsonl(&body)
+        .map_err(|e| format!("{}: corrupt trace: {e}", path.display()))?;
+    let policies: Vec<&str> = match policy {
+        Some(p) => vec![p],
+        None => mux_api::POLICY_NAMES.to_vec(),
+    };
+    let opts = mux_workload::ReplayOptions::default();
+    for name in policies {
+        let report = mux_workload::replay_trace_by_name(&trace, name, &opts)?;
+        if report.terminal_total() != report.trace_jobs {
+            return Err(format!(
+                "policy {name}: {} of {} trace jobs unaccounted for",
+                report.trace_jobs - report.terminal_total(),
+                report.trace_jobs
+            ));
+        }
+        let (fp, _) = mux_chaos::verify_journal(&report.journal_jsonl)
+            .map_err(|e| format!("policy {name}: journal failed verification: {e}"))?;
+        if fp != report.journal_fingerprint {
+            return Err(format!(
+                "policy {name}: journal fingerprint mismatch (live {:016x}, replay {fp:016x})",
+                report.journal_fingerprint
+            ));
+        }
+        println!(
+            "policy {name}: {} jobs -> {} completed, {} rejected ({} at admission), {} shed, {} cancelled in {:.1}s simulated",
+            report.trace_jobs,
+            report.completed,
+            report.rejected,
+            report.admission_rejected,
+            report.shed,
+            report.cancelled,
+            report.makespan_seconds
+        );
+        println!(
+            "  fairness: jain(work) {:.4}, jain(jobs) {:.4}; SLO attainment {:.4}; journal fingerprint {:016x}",
+            report.jain_work, report.jain_jobs, report.slo_attainment, report.journal_fingerprint
+        );
+        for (tenant, t) in &report.per_tenant {
+            println!(
+                "  tenant {tenant}: {} completed / {} rejected / {} shed / {} cancelled, {:.0} tokens, SLO attainment {:.4}",
+                t.completed,
+                t.rejected,
+                t.shed,
+                t.cancelled,
+                t.completed_tokens,
+                t.slo_attainment()
+            );
+        }
+    }
+    Ok(())
+}
+
 fn write_baseline(path: &Path) -> Result<(), String> {
     let mut entries = Vec::new();
     for &name in GATE_SCENARIOS {
         let m = measure_scenario(name)?;
         let mut base = PerfBaseline::new(name, &m);
-        if name == "planner-scale" || name == "telemetry-overhead" {
+        if WALL_TIME_SCENARIOS.contains(&name) {
             // Wall-time scenarios vary with CI host load far more than
             // the simulated-makespan scenarios do; gate only
             // order-of-magnitude blowups (the regressions these exist to
@@ -479,6 +578,11 @@ fn main() -> ExitCode {
     let mut replay: Option<PathBuf> = None;
     let mut watch_ticks: Option<usize> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut trace_gen_seed: Option<u64> = None;
+    let mut trace_jobs: usize = 10_000;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut replay_trace: Option<PathBuf> = None;
+    let mut policy: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -535,6 +639,48 @@ fn main() -> ExitCode {
                 },
                 None => return ExitCode::from(2),
             },
+            "--trace-gen" => match take("--trace-gen") {
+                Some(p) => match p.to_string_lossy().parse::<u64>() {
+                    Ok(n) => trace_gen_seed = Some(n),
+                    Err(_) => {
+                        eprintln!("error: --trace-gen requires a u64 seed");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
+            "--trace-jobs" => match take("--trace-jobs") {
+                Some(p) => match p.to_string_lossy().parse::<usize>() {
+                    Ok(n) if n > 0 => trace_jobs = n,
+                    _ => {
+                        eprintln!("error: --trace-jobs requires a positive job count");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
+            "--trace-path" => match take("--trace-path") {
+                Some(p) => trace_path = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--replay-trace" => match take("--replay-trace") {
+                Some(p) => replay_trace = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--policy" => match take("--policy") {
+                Some(p) => {
+                    let name = p.to_string_lossy().into_owned();
+                    if !mux_api::POLICY_NAMES.contains(&name.as_str()) {
+                        eprintln!(
+                            "error: unknown --policy `{name}` (expected one of {:?})",
+                            mux_api::POLICY_NAMES
+                        );
+                        return ExitCode::from(2);
+                    }
+                    policy = Some(name);
+                }
+                None => return ExitCode::from(2),
+            },
             _ => out_path = Some(PathBuf::from(arg)),
         }
     }
@@ -573,6 +719,19 @@ fn main() -> ExitCode {
             return fail(&e);
         }
     }
+    if let Some(seed) = trace_gen_seed {
+        let path = trace_path
+            .clone()
+            .unwrap_or_else(|| dir.join(format!("workload_trace_{seed}.jsonl")));
+        if let Err(e) = trace_gen(seed, trace_jobs, &path) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &replay_trace {
+        if let Err(e) = replay_trace_file(path, policy.as_deref()) {
+            return fail(&e);
+        }
+    }
     if let Some(ticks) = watch_ticks {
         watch(ticks);
     }
@@ -582,7 +741,9 @@ fn main() -> ExitCode {
         || journal_out.is_some()
         || replay.is_some()
         || watch_ticks.is_some()
-        || chaos_seed.is_some();
+        || chaos_seed.is_some()
+        || trace_gen_seed.is_some()
+        || replay_trace.is_some();
     if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }

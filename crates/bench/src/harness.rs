@@ -458,6 +458,34 @@ pub fn telemetry_overhead_measurement() -> PerfMeasurement {
     }
 }
 
+/// Jobs in the `trace-replay` CI gate scenario (10⁴ — the scale the
+/// workload tentpole promises; the criterion bench also covers 10⁵).
+pub const TRACE_REPLAY_JOBS: usize = 10_000;
+
+/// Seed of the `trace-replay` gate trace (matches the golden trace).
+pub const TRACE_REPLAY_SEED: u64 = 42;
+
+/// The `trace-replay` CI measurement: wall time of one full 10⁴-job FCFS
+/// trace replay (generation excluded), reported as the makespan. A single
+/// run — the scenario takes tens of seconds, so best-of-N would dominate
+/// the gate, and its 3× relative tolerance absorbs host noise anyway.
+/// Utilization and stall share are pinned at their ideal values so only
+/// the wall-time axis gates.
+pub fn trace_replay_measurement() -> PerfMeasurement {
+    let cfg = mux_workload::TraceConfig::standard(TRACE_REPLAY_JOBS);
+    let trace = mux_workload::generate(TRACE_REPLAY_SEED, &cfg);
+    let opts = mux_workload::ReplayOptions::default();
+    let start = Instant::now();
+    let report = mux_workload::replay_trace_by_name(&trace, "fcfs", &opts)
+        .expect("golden-seed trace replays");
+    std::hint::black_box(report.journal_fingerprint);
+    PerfMeasurement {
+        makespan_seconds: start.elapsed().as_secs_f64(),
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,7 +117,7 @@ pub fn run_chaos(cfg: &DstConfig) -> DstRun {
     let mut applied = 0usize;
     for tick in 0..cfg.ticks {
         for ev in plan.at(tick) {
-            applied += apply(&mut svc, &mut submitted, &ev.action) as usize;
+            applied += apply_action(&mut svc, &mut submitted, &ev.action) as usize;
         }
         svc.advance(cfg.dt);
     }
@@ -166,7 +166,16 @@ fn gen_spec(rng: &mut StdRng) -> JobSpec {
 /// Applies one chaos action; returns whether it landed. Invalid targets
 /// (no live instance, device already lost, job already terminal) are
 /// skipped — the *attempt* is still deterministic, so skipping is too.
-fn apply(svc: &mut FineTuneService, submitted: &mut Vec<JobId>, action: &ChaosAction) -> bool {
+///
+/// Public so external drivers (the workload trace replayer) can inject a
+/// [`FaultPlan`]'s actions mid-run with exactly the chaos harness's
+/// virtual-index resolution. `submitted` is the churn ledger: SubmitJob
+/// appends the new handle, CancelJob picks its victim from it.
+pub fn apply_action(
+    svc: &mut FineTuneService,
+    submitted: &mut Vec<JobId>,
+    action: &ChaosAction,
+) -> bool {
     let live = svc.instance_count();
     let resolve = |virtual_idx: usize| -> Option<usize> { (live > 0).then(|| virtual_idx % live) };
     match action {

@@ -21,5 +21,5 @@
 pub mod dst;
 pub mod plan;
 
-pub use dst::{run_chaos, verify_journal, DstConfig, DstRun};
+pub use dst::{apply_action, run_chaos, verify_journal, DstConfig, DstRun};
 pub use plan::{ChaosAction, FaultEvent, FaultPlan, FaultPlanConfig};

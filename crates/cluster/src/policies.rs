@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use mux_obs_analysis::fairness::jain_index;
+
 use crate::sim::{ClusterError, ClusterShape, ThroughputProfile};
 use crate::trace::TraceTask;
 
@@ -74,6 +76,9 @@ pub struct PolicyReport {
     pub high: ClassReport,
     /// Low-priority class outcome.
     pub low: ClassReport,
+    /// Jain fairness of per-task slowdowns (JCT ÷ ideal duration) across
+    /// the whole trace: 1 = every task sees the same slowdown.
+    pub jain_slowdown: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -293,11 +298,16 @@ pub fn replay_priority(
     };
 
     let total_work: f64 = trace.iter().map(|t| t.duration_min).sum();
+    let jain_slowdown = jain_index(
+        (0..trace.len())
+            .map(|i| (st.finish[i] - trace[i].arrival_min) / trace[i].duration_min.max(1e-9)),
+    );
     Ok(PolicyReport {
         makespan_min: st.now,
         throughput: total_work / st.now,
         high: class_report(Priority::High),
         low: class_report(Priority::Low),
+        jain_slowdown,
     })
 }
 

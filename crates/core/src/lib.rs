@@ -35,5 +35,7 @@ pub use error::PlanError;
 pub use fusion::{fuse_tasks, FusionPlan, FusionPolicy, RangeBuild};
 pub use grouping::{group_htasks, Grouping};
 pub use htask::HTask;
-pub use planner::{degraded_plan, plan_and_run, plan_and_run_traced, MuxTuneReport, PlannerConfig};
+pub use planner::{
+    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, MuxTuneReport, PlannerConfig,
+};
 pub use template::BucketOrder;

@@ -95,6 +95,58 @@ pub fn plan_and_run_traced(
         .map(|(r, t)| (r, t.expect("trace requested")))
 }
 
+/// Cost-model-only planning fast path: runs the Eq. 6 fusion DP and the
+/// Eq. 7 grouping exactly like [`plan_and_run`], but derives effective
+/// throughput from the grouped pipeline's Appendix-A latency estimate
+/// instead of validating candidates on the simulator — no engine runs,
+/// no launch-variant sweep. Feasibility (memory, degenerate workloads)
+/// is still proven by the fusion DP, so the error surface matches
+/// [`plan_and_run`]. Two orders of magnitude cheaper per call; the
+/// high-job-count trace replayer (`mux-workload`) runs the service in
+/// this mode to reach 10⁴–10⁵ job replays.
+///
+/// Returns estimated effective tokens per second.
+pub fn plan_estimate(
+    registry: &TaskRegistry,
+    cluster: &Cluster,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    cfg: &PlannerConfig,
+) -> Result<f64, PlanError> {
+    let _total_span = mux_obs::span("planner.estimate");
+    let cm = CostModel::new(registry, cluster.gpus[0].clone(), cfg.plan);
+    let tasks: Vec<&PeftTask> = registry.tasks().collect();
+    if tasks.is_empty() {
+        return Err(PlanError::NoTasks);
+    }
+    let mbs = cfg.micro_batches;
+    let align = cfg.align;
+    let custom = |members: &[&PeftTask]| -> Result<HTask, PlanError> {
+        let have_all = members.iter().all(|t| corpora.contains_key(&t.id));
+        if have_all {
+            let lens: Vec<Vec<usize>> = members.iter().map(|t| corpora[&t.id].clone()).collect();
+            HTask::fuse(members, &lens, mbs, align)
+        } else {
+            Ok(HTask::from_padded(members, mbs))
+        }
+    };
+    let build = if corpora.is_empty() {
+        RangeBuild::Padded { micro_batches: mbs }
+    } else {
+        RangeBuild::Custom(&custom)
+    };
+    let fusion = fuse_tasks(&cm, &tasks, cfg.fusion, &build)?;
+    let grouping = group_htasks(&cm, &fusion.htasks);
+    // Effective content per round: every hTask runs its micro-batches
+    // once per round, each carrying `total_tokens` of which
+    // `effective_fraction` is real (non-padding) content.
+    let effective_per_round: f64 = fusion
+        .htasks
+        .iter()
+        .map(|h| h.total_tokens() as f64 * h.micro_batches as f64 * h.effective_fraction)
+        .sum();
+    Ok(effective_per_round / grouping.estimated.max(1e-9))
+}
+
 /// Shrinks a parallelism plan to fit on `devices` surviving GPUs after a
 /// permanent device loss — the replan entry point the recovery path uses.
 ///

@@ -1,0 +1,95 @@
+//! Multi-tenant fairness and SLO-attainment math shared by the service
+//! report, the cluster policy replays, and the workload replayer.
+//!
+//! The headline metric is Jain's fairness index
+//! `J(x) = (Σxᵢ)² / (n · Σxᵢ²)` over per-tenant allocations: `J = 1`
+//! when every tenant gets the same share, `J = 1/n` when one tenant gets
+//! everything. The index is scale-invariant (doubling every allocation
+//! changes nothing), which is what makes it comparable across policies
+//! and load levels.
+
+/// Jain's fairness index over per-tenant allocations.
+///
+/// Returns a value in `(0, 1]`; an empty or all-zero allocation vector is
+/// *vacuously* fair (`1.0`). Negative or non-finite allocations are
+/// clamped to 0 — a fairness index over corrupted inputs should degrade,
+/// not panic.
+pub fn jain_index(allocations: impl IntoIterator<Item = f64>) -> f64 {
+    let xs: Vec<f64> = allocations
+        .into_iter()
+        .map(|x| if x.is_finite() && x > 0.0 { x } else { 0.0 })
+        .collect();
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+/// A tenant's dominant share across resource dimensions (DRF's ordering
+/// key): the max of its per-resource shares. Non-finite shares count as 0.
+pub fn dominant_share(shares: &[f64]) -> f64 {
+    shares
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(0.0f64, f64::max)
+}
+
+/// SLO attainment over a set of verdicts: `met / (met + violated)`.
+///
+/// Jobs without an SLO (or refused at admission) are excluded by the
+/// caller; an empty set attains vacuously (`1.0`).
+pub fn slo_attainment(met: usize, violated: usize) -> f64 {
+    let total = met + violated;
+    if total == 0 {
+        return 1.0;
+    }
+    met as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds_and_extremes() {
+        // Equal shares: perfectly fair.
+        assert!((jain_index([5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogs everything: J = 1/n.
+        let j = jain_index([10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+        // Scale invariance.
+        let a = jain_index([1.0, 2.0, 3.0]);
+        let b = jain_index([10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+        // Always in (0, 1].
+        for xs in [vec![0.1, 9.0], vec![1.0], vec![2.0, 2.0, 7.0, 1.0]] {
+            let j = jain_index(xs);
+            assert!(j > 0.0 && j <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn jain_degenerate_inputs_are_vacuously_fair() {
+        assert_eq!(jain_index([]), 1.0);
+        assert_eq!(jain_index([0.0, 0.0]), 1.0);
+        assert_eq!(jain_index([f64::NAN, -3.0]), 1.0);
+    }
+
+    #[test]
+    fn dominant_share_is_the_max_resource_share() {
+        assert_eq!(dominant_share(&[0.2, 0.5, 0.1]), 0.5);
+        assert_eq!(dominant_share(&[]), 0.0);
+        assert_eq!(dominant_share(&[f64::NAN, 0.3]), 0.3);
+    }
+
+    #[test]
+    fn attainment_ratio() {
+        assert_eq!(slo_attainment(0, 0), 1.0);
+        assert_eq!(slo_attainment(3, 1), 0.75);
+        assert_eq!(slo_attainment(0, 5), 0.0);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod attribution;
 pub mod baseline;
 pub mod critical_path;
+pub mod fairness;
 mod labels;
 pub mod online;
 
@@ -32,6 +33,7 @@ pub use attribution::{
 };
 pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
 pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};
+pub use fairness::{dominant_share, jain_index, slo_attainment};
 pub use labels::{htask_refs_in_label, HTaskRef};
 pub use online::{
     Alert, AlertEvent, BurnRateConfig, BurnRateEvaluator, DetectorConfig, EwmaMadDetector,

@@ -1,0 +1,261 @@
+//! The seeded trace generator: sinusoidal-modulated Poisson arrivals
+//! (diurnal load), bounded-Pareto job sizes (heavy tails with a hard
+//! cap), per-tenant rate/priority/SLO profiles, and cancellation churn.
+//!
+//! Arrivals are a non-homogeneous Poisson process with intensity
+//! `λ(t) = base · (1 + amplitude · sin(2πt / period))`, sampled by
+//! **thinning**: candidates arrive at the peak rate `λ_max = base·(1+amp)`
+//! with exponential gaps, and each survives with probability
+//! `λ(t) / λ_max`. Thinning is exact (the surviving points are the target
+//! process) and burns a fixed draw pattern per candidate, which keeps the
+//! trace bitwise-reproducible from the seed alone.
+//!
+//! Sizes are bounded Pareto over `[tokens_min, tokens_max]` with shape
+//! `alpha`, drawn by inverse CDF:
+//! `x = L / (1 − u·(1 − (L/H)^α))^(1/α)` — heavy-tailed like production
+//! fine-tuning mixes (tLoRA/ALTO evaluate against the same shape) but
+//! never degenerate, so a single job cannot exceed the horizon by
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{Trace, TraceJob};
+
+/// One tenant's traffic profile.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Tenant name (the `JobSpec` tenant).
+    pub name: String,
+    /// Share of arrivals routed to this tenant (relative weight).
+    pub rate_weight: f64,
+    /// Priority stamped on the tenant's jobs.
+    pub priority: u8,
+    /// Fraction of the tenant's jobs that carry an SLO.
+    pub slo_fraction: f64,
+    /// SLO slack: deadline = slack · (tokens / nominal rate). Tight
+    /// tenants (small slack) convert load spikes into SLO violations.
+    pub slo_slack: f64,
+}
+
+/// Generator configuration. `TraceConfig::standard(jobs)` is the shape
+/// every test and the CLI default to.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Jobs to generate.
+    pub jobs: usize,
+    /// Mean arrival rate, jobs per second (the diurnal baseline).
+    pub base_rate: f64,
+    /// Diurnal modulation depth in `[0, 1)`.
+    pub amplitude: f64,
+    /// Diurnal period, seconds.
+    pub period_seconds: f64,
+    /// Bounded-Pareto shape (smaller = heavier tail).
+    pub pareto_alpha: f64,
+    /// Smallest job, tokens.
+    pub tokens_min: u64,
+    /// Largest job, tokens (the Pareto upper bound).
+    pub tokens_max: u64,
+    /// Fraction of jobs the tenant later cancels.
+    pub cancel_fraction: f64,
+    /// Throughput assumption behind generated SLOs, tokens/second.
+    pub nominal_tokens_per_second: f64,
+    /// Backbones jobs are spread over.
+    pub backbones: Vec<String>,
+    /// Tenant profiles (arrivals split by `rate_weight`).
+    pub tenants: Vec<TenantProfile>,
+}
+
+impl TraceConfig {
+    /// The standard 4-tenant datacenter mix: two bulk tenants, one
+    /// latency-sensitive tenant with tight SLOs, one low-priority
+    /// scavenger, diurnal swing of ±60% over a 10-minute "day" (scaled
+    /// down so tests cover whole periods cheaply).
+    pub fn standard(jobs: usize) -> Self {
+        Self {
+            jobs,
+            base_rate: 2.0,
+            amplitude: 0.6,
+            period_seconds: 600.0,
+            pareto_alpha: 1.1,
+            tokens_min: 20_000,
+            tokens_max: 2_000_000,
+            cancel_fraction: 0.05,
+            nominal_tokens_per_second: 40_000.0,
+            backbones: vec!["LLaMA2-7B".into(), "GPT3-2.7B".into()],
+            tenants: vec![
+                TenantProfile {
+                    name: "tenant-bulk-a".into(),
+                    rate_weight: 3.0,
+                    priority: 1,
+                    slo_fraction: 0.5,
+                    slo_slack: 6.0,
+                },
+                TenantProfile {
+                    name: "tenant-bulk-b".into(),
+                    rate_weight: 3.0,
+                    priority: 1,
+                    slo_fraction: 0.5,
+                    slo_slack: 6.0,
+                },
+                TenantProfile {
+                    name: "tenant-latency".into(),
+                    rate_weight: 2.0,
+                    priority: 3,
+                    slo_fraction: 1.0,
+                    slo_slack: 2.5,
+                },
+                TenantProfile {
+                    name: "tenant-scavenger".into(),
+                    rate_weight: 2.0,
+                    priority: 0,
+                    slo_fraction: 0.0,
+                    slo_slack: 10.0,
+                },
+            ],
+        }
+    }
+
+    /// The diurnal intensity `λ(t)`, jobs per second.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.base_rate
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_seconds).sin())
+    }
+
+    /// Expected arrivals in `[0, t]` (the integrated intensity `Λ(t)`),
+    /// the analytic envelope the property tests bin against.
+    pub fn expected_arrivals(&self, t: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI / self.period_seconds;
+        self.base_rate * (t + self.amplitude / w * (1.0 - (w * t).cos()))
+    }
+}
+
+/// Bounded-Pareto inverse CDF over `[lo, hi]` with shape `alpha`.
+fn bounded_pareto(u: f64, lo: f64, hi: f64, alpha: f64) -> f64 {
+    let ratio = (lo / hi).powf(alpha);
+    lo / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha)
+}
+
+/// Generates a trace. Same `(seed, cfg)` ⇒ bitwise-identical trace: one
+/// RNG stream, fixed draw order, no time-of-day or platform inputs.
+pub fn generate(seed: u64, cfg: &TraceConfig) -> Trace {
+    assert!(!cfg.tenants.is_empty(), "need at least one tenant profile");
+    assert!(!cfg.backbones.is_empty(), "need at least one backbone");
+    assert!(
+        (0.0..1.0).contains(&cfg.amplitude),
+        "amplitude must be in [0, 1) so the thinning bound is positive"
+    );
+    assert!(cfg.tokens_min >= 1 && cfg.tokens_min < cfg.tokens_max);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lambda_max = cfg.base_rate * (1.0 + cfg.amplitude);
+    let weight_total: f64 = cfg.tenants.iter().map(|t| t.rate_weight.max(0.0)).sum();
+    let datasets = ["SST2", "QA", "RTE"];
+
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut t = 0.0f64;
+    while jobs.len() < cfg.jobs {
+        // Candidate arrival at the peak rate; thinning accept test.
+        let u: f64 = rng.gen::<f64>();
+        t += -(1.0 - u).ln() / lambda_max;
+        if rng.gen::<f64>() >= cfg.rate_at(t) / lambda_max {
+            continue;
+        }
+        // Tenant by rate weight.
+        let mut pick = rng.gen::<f64>() * weight_total;
+        let mut tenant = &cfg.tenants[0];
+        for profile in &cfg.tenants {
+            pick -= profile.rate_weight.max(0.0);
+            if pick <= 0.0 {
+                tenant = profile;
+                break;
+            }
+        }
+        let backbone = &cfg.backbones[rng.gen_range(0..cfg.backbones.len())];
+        let dataset = datasets[rng.gen_range(0..datasets.len())];
+        let tokens = bounded_pareto(
+            rng.gen::<f64>(),
+            cfg.tokens_min as f64,
+            cfg.tokens_max as f64,
+            cfg.pareto_alpha,
+        )
+        .round()
+        .clamp(cfg.tokens_min as f64, cfg.tokens_max as f64) as u64;
+        let slo_seconds = if rng.gen_bool(tenant.slo_fraction.clamp(0.0, 1.0)) {
+            let service_estimate = tokens as f64 / cfg.nominal_tokens_per_second;
+            Some(tenant.slo_slack * service_estimate * rng.gen_range(0.8..1.6))
+        } else {
+            None
+        };
+        let cancel_at = if rng.gen_bool(cfg.cancel_fraction.clamp(0.0, 1.0)) {
+            let lifetime = tokens as f64 / cfg.nominal_tokens_per_second;
+            Some(t + rng.gen_range(0.05..1.0) * lifetime)
+        } else {
+            None
+        };
+        jobs.push(TraceJob {
+            id: jobs.len() as u64,
+            tenant: tenant.name.clone(),
+            arrival_seconds: t,
+            backbone: backbone.clone(),
+            dataset: dataset.into(),
+            total_tokens: tokens,
+            priority: tenant.priority,
+            slo_seconds,
+            cancel_at,
+        });
+    }
+    Trace {
+        seed,
+        horizon_seconds: t,
+        tenants: cfg.tenants.iter().map(|p| p.name.clone()).collect(),
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_traces_are_well_formed_and_sized() {
+        let cfg = TraceConfig::standard(500);
+        let trace = generate(42, &cfg);
+        assert_eq!(trace.jobs.len(), 500);
+        trace.check_well_formed().expect("well-formed");
+        for j in &trace.jobs {
+            assert!((cfg.tokens_min..=cfg.tokens_max).contains(&j.total_tokens));
+        }
+        // All four tenants show up in 500 jobs.
+        for t in &trace.tenants {
+            assert!(
+                trace.jobs.iter().any(|j| &j.tenant == t),
+                "tenant {t} generated no jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_identical_different_seed_is_not() {
+        let cfg = TraceConfig::standard(300);
+        let a = generate(7, &cfg);
+        let b = generate(7, &cfg);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        let c = generate(8, &cfg);
+        assert_ne!(a.to_jsonl(), c.to_jsonl());
+    }
+
+    #[test]
+    fn envelope_math_matches_at_the_period_boundary() {
+        let cfg = TraceConfig::standard(10);
+        // Over a whole period the sinusoid integrates away.
+        let t = cfg.period_seconds;
+        let expected = cfg.expected_arrivals(t);
+        assert!(
+            (expected - cfg.base_rate * t).abs() < 1e-6,
+            "got {expected}"
+        );
+        // Peak rate is base·(1+amp) at the quarter-period crest.
+        let crest = cfg.rate_at(cfg.period_seconds / 4.0);
+        assert!((crest - cfg.base_rate * (1.0 + cfg.amplitude)).abs() < 1e-9);
+    }
+}

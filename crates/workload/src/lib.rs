@@ -1,0 +1,29 @@
+//! `mux-workload`: seeded multi-tenant workload traces and policy-driven
+//! replay against the MuxTune fine-tuning service.
+//!
+//! Three pieces:
+//!
+//! * [`gen`] — a deterministic trace generator: diurnal
+//!   (sinusoidal-modulated) Poisson arrivals, bounded-Pareto job sizes,
+//!   per-tenant rate/priority/SLO profiles, cancellation churn. Same seed
+//!   ⇒ bitwise-identical trace.
+//! * [`trace`] — the trace model plus JSONL serialization with an
+//!   FNV-1a fingerprint seal, mirroring the chaos journal's
+//!   tamper-evident format.
+//! * [`replay`] — an end-to-end replay loop that drives
+//!   `FineTuneService` from a trace under a pluggable
+//!   [`SchedulingPolicy`](mux_api::SchedulingPolicy) (FCFS, strict
+//!   priority, weighted fair share, DRF) and reports per-tenant Jain
+//!   fairness, SLO attainment, and capacity headroom. Chaos fault plans
+//!   compose: faults inject mid-trace at 10⁴–10⁵ job scale.
+
+pub mod gen;
+pub mod replay;
+pub mod trace;
+
+pub use gen::{generate, TenantProfile, TraceConfig};
+pub use replay::{
+    replay_trace, replay_trace_by_name, Admission, Outcome, ReplayOptions, ReplayReport,
+    TenantOutcome,
+};
+pub use trace::{dataset_by_name, Trace, TraceJob};

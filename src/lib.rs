@@ -25,6 +25,9 @@
 //!   online monitoring, fault injection/recovery, replayable event journal);
 //! * [`chaos`] — seeded fault plans and the deterministic-simulation-test
 //!   harness (same seed ⇒ bitwise-identical journal);
+//! * [`workload`] — seeded multi-tenant trace generation (diurnal Poisson
+//!   arrivals, bounded-Pareto sizes, SLOs, churn) and policy-driven
+//!   end-to-end trace replay with fairness/SLO reporting;
 //! * [`obs`] — the observability registry (phases, counters, gauges,
 //!   histograms, Prometheus exposition);
 //! * [`obs_analysis`] — critical-path extraction, 4-class stall
@@ -59,6 +62,7 @@ pub use mux_obs_analysis as obs_analysis;
 pub use mux_parallel as parallel;
 pub use mux_peft as peft;
 pub use mux_tensor as tensor;
+pub use mux_workload as workload;
 pub use muxtune_core as core;
 
 /// The most common imports for driving MuxTune end to end.

@@ -25,6 +25,7 @@ fn exhaustive_journal() -> Journal {
         0.0,
         EventKind::Submit {
             job: 1,
+            tenant: "tenant-a".into(),
             backbone: "LLaMA2-7B".into(),
             total_tokens: 10_000,
             slo_seconds: Some(60.0),

@@ -122,6 +122,13 @@ fn priority_policy_protects_the_high_class() {
         (svc_time - solo).abs() / solo < 0.01,
         "{svc_time} vs {solo}"
     );
+    // Jain fairness over per-task slowdowns is a proper index: bounded by
+    // 1, and non-degenerate on a 300-task mixed-priority replay.
+    assert!(
+        rep.jain_slowdown > 0.0 && rep.jain_slowdown <= 1.0 + 1e-9,
+        "jain_slowdown out of range: {}",
+        rep.jain_slowdown
+    );
 }
 
 #[test]

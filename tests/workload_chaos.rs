@@ -1,0 +1,102 @@
+//! Composition test: a seeded fault plan (`mux-chaos`) injected
+//! mid-stream into a workload trace replay (`mux-workload`).
+//!
+//! The chaos plan's device losses, throttles, and its own job churn land
+//! while the trace's multi-tenant arrival process is still running, so
+//! this exercises the recovery paths (retry/restart/replan/shed) under
+//! realistic load rather than the quiet 8-job DST fixture. Invariants:
+//!
+//! * **No job lost**: every trace job still ends in exactly one terminal
+//!   state; chaos-injected jobs are accounted separately.
+//! * **Journal integrity**: the sealed journal replays and its
+//!   fingerprint matches both the report and `verify_journal`.
+//! * **Determinism**: the same (trace seed, fault seed) pair reproduces
+//!   a bitwise-identical journal and fingerprint.
+
+use muxtune::api::Journal;
+use muxtune::chaos::{verify_journal, FaultPlan, FaultPlanConfig};
+use muxtune::workload::{generate, replay_trace_by_name, ReplayOptions, ReplayReport, TraceConfig};
+
+fn chaos_replay(jobs: usize, trace_seed: u64, fault_seed: u64, policy: &str) -> ReplayReport {
+    let trace = generate(trace_seed, &TraceConfig::standard(jobs));
+    // Stretch the plan over enough ticks that faults keep landing while
+    // the trace is still arriving (fault_dt converts ticks to seconds).
+    let plan = FaultPlan::generate(
+        fault_seed,
+        &FaultPlanConfig {
+            ticks: 400,
+            events: 24,
+            ..FaultPlanConfig::default()
+        },
+    );
+    let opts = ReplayOptions {
+        fault_plan: Some(plan),
+        fault_dt: 1.0,
+        ..ReplayOptions::default()
+    };
+    replay_trace_by_name(&trace, policy, &opts).expect("chaos replay")
+}
+
+fn assert_no_job_lost(r: &ReplayReport, trace_jobs: usize) {
+    // Trace jobs partition into the four terminal outcomes…
+    assert_eq!(
+        r.terminal_total(),
+        trace_jobs,
+        "trace job lost or double-counted"
+    );
+    // …and the journal's sealed final record covers trace + chaos jobs:
+    // every job id the journal ever saw is terminal.
+    let journal = Journal::from_jsonl(&r.journal_jsonl).expect("journal parses");
+    let state = journal
+        .verify()
+        .expect("journal verifies against its final record");
+    for (job, state) in &state.jobs {
+        assert!(
+            state == "completed" || state == "rejected",
+            "job {job} left non-terminal: {state}"
+        );
+    }
+    let (fp, _) = verify_journal(&r.journal_jsonl).expect("fingerprint verifies");
+    assert_eq!(fp, r.journal_fingerprint);
+}
+
+#[test]
+fn faults_mid_trace_lose_no_jobs_and_journal_verifies() {
+    let r = chaos_replay(120, 7, 1234, "fcfs");
+    assert!(r.applied_faults > 0, "fault plan never fired mid-trace");
+    assert_no_job_lost(&r, 120);
+    // The replay still made forward progress under faults.
+    assert!(r.completed > 0, "nothing completed under chaos");
+}
+
+#[test]
+fn chaos_replay_is_deterministic() {
+    let a = chaos_replay(100, 21, 99, "wfs");
+    let b = chaos_replay(100, 21, 99, "wfs");
+    assert_eq!(
+        a.journal_jsonl, b.journal_jsonl,
+        "journal not bitwise-stable"
+    );
+    assert_eq!(a.journal_fingerprint, b.journal_fingerprint);
+    // A different fault seed must actually change the run.
+    let c = chaos_replay(100, 21, 100, "wfs");
+    assert_ne!(
+        a.journal_fingerprint, c.journal_fingerprint,
+        "fault seed has no effect on the journal"
+    );
+}
+
+/// Tentpole-scale composition: faults land inside a 10⁴-job replay.
+/// Run via `cargo test --release -- --include-ignored` (the CI workload
+/// job does).
+#[test]
+#[ignore = "10^4-job chaos replay; release-mode CI runs it"]
+fn faults_mid_trace_at_ten_thousand_jobs() {
+    let r = chaos_replay(10_000, 42, 4242, "drf");
+    assert!(r.applied_faults > 0, "fault plan never fired mid-trace");
+    assert_no_job_lost(&r, 10_000);
+    assert!(
+        r.completed as f64 > 0.5 * 10_000.0,
+        "chaos collapsed throughput"
+    );
+}
