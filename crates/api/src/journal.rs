@@ -149,6 +149,35 @@ pub enum EventKind {
         /// Why replan could not keep it.
         reason: String,
     },
+    /// A scheduling decision's provenance: the candidate set a policy (or
+    /// the service's shed path) weighed and the per-candidate scores, so
+    /// `report --explain-job` can answer *why* a job was dispatched ahead
+    /// of — or shed instead of — its peers from the journal alone.
+    Decision {
+        /// Deciding policy name (`fcfs` / `priority` / `wfs` / `drf`), or
+        /// `"service"` for the replan shed-victim path.
+        policy: String,
+        /// What was decided: `"dispatch"` or `"shed"`.
+        action: String,
+        /// What the candidate scores mean (`arrival_seconds`,
+        /// `neg_priority`, `normalized_tokens`, `dominant_share`,
+        /// `priority`). Lower always wins.
+        score_kind: String,
+        /// Id of the winning candidate, in the same id space as
+        /// `candidates` (trace ids for replayer dispatch, service job
+        /// handles for service sheds).
+        chosen: u64,
+        /// Service job handle of the chosen candidate, when known —
+        /// bridges trace-id decisions to journal `job` fields.
+        job: Option<u64>,
+        /// Instance involved (shed victim's host), if any.
+        instance: Option<usize>,
+        /// Total candidates weighed (may exceed `candidates.len()`:
+        /// only the best few are journaled).
+        considered: usize,
+        /// The best candidates by `(score, arrival, id)`, winner first.
+        candidates: Vec<DecisionCandidate>,
+    },
     /// The writer's own final state, for [`Journal::verify`].
     Final {
         /// Job handle → lifecycle state string (`queued`, `running@<i>`,
@@ -157,6 +186,60 @@ pub enum EventKind {
         /// Active `(rule, job)` alert pairs.
         alerts: BTreeSet<(String, u64)>,
     },
+}
+
+/// How many candidates an [`EventKind::Decision`] journals (winner plus
+/// the best runners-up). A saturated 10⁴-job queue weighs thousands of
+/// candidates per dispatch; journaling them all would dwarf every other
+/// event combined, so decisions carry the top few (by the policy's own
+/// order) and record the full count in `considered`.
+pub const DECISION_CANDIDATE_CAP: usize = 8;
+
+/// One weighed candidate inside an [`EventKind::Decision`] event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionCandidate {
+    /// Candidate id (trace id or service job handle — the decision's
+    /// `chosen` field shares the space).
+    pub id: u64,
+    /// Candidate's tenant.
+    pub tenant: String,
+    /// The policy's score for this candidate (lower wins).
+    pub score: f64,
+    /// Candidate's priority (higher = more important).
+    pub priority: u8,
+    /// Candidate's arrival time, seconds (the deterministic tiebreak).
+    pub arrival: f64,
+}
+
+impl DecisionCandidate {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("id".into(), self.id.into());
+        m.insert("tenant".into(), self.tenant.as_str().into());
+        m.insert("score".into(), self.score.into());
+        m.insert("priority".into(), u64::from(self.priority).into());
+        m.insert("arrival".into(), self.arrival.into());
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let get = |k: &str| v.get(k).ok_or_else(|| format!("candidate missing {k:?}"));
+        Ok(Self {
+            id: get("id")?.as_u64().ok_or("candidate id not u64")?,
+            tenant: get("tenant")?
+                .as_str()
+                .ok_or("candidate tenant not a string")?
+                .to_string(),
+            score: get("score")?.as_f64().ok_or("candidate score not f64")?,
+            priority: get("priority")?
+                .as_u64()
+                .and_then(|p| u8::try_from(p).ok())
+                .ok_or("candidate priority not u8")?,
+            arrival: get("arrival")?
+                .as_f64()
+                .ok_or("candidate arrival not f64")?,
+        })
+    }
 }
 
 impl EventKind {
@@ -177,6 +260,7 @@ impl EventKind {
             EventKind::RecoverRestart { .. } => "recover_restart",
             EventKind::RecoverReplan { .. } => "recover_replan",
             EventKind::RecoverShed { .. } => "recover_shed",
+            EventKind::Decision { .. } => "decision",
             EventKind::Final { .. } => "final",
         }
     }
@@ -322,6 +406,33 @@ impl JournalEvent {
                 m.insert("instance".into(), (*instance).into());
                 m.insert("reason".into(), reason.as_str().into());
             }
+            EventKind::Decision {
+                policy,
+                action,
+                score_kind,
+                chosen,
+                job,
+                instance,
+                considered,
+                candidates,
+            } => {
+                m.insert("policy".into(), policy.as_str().into());
+                m.insert("action".into(), action.as_str().into());
+                m.insert("score_kind".into(), score_kind.as_str().into());
+                m.insert("chosen".into(), (*chosen).into());
+                m.insert("job".into(), job.map(Value::from).unwrap_or(Value::Null));
+                m.insert(
+                    "instance".into(),
+                    instance
+                        .map(|i| Value::from(i as u64))
+                        .unwrap_or(Value::Null),
+                );
+                m.insert("considered".into(), (*considered).into());
+                m.insert(
+                    "candidates".into(),
+                    Value::Array(candidates.iter().map(DecisionCandidate::to_json).collect()),
+                );
+            }
             EventKind::Final { jobs, alerts } => {
                 let mut jm = Map::new();
                 for (job, state) in jobs {
@@ -445,6 +556,25 @@ impl JournalEvent {
                 job: get_u64("job")?,
                 instance: get_u64("instance")? as usize,
                 reason: get_str("reason")?,
+            },
+            "decision" => EventKind::Decision {
+                policy: get_str("policy")?,
+                action: get_str("action")?,
+                score_kind: get_str("score_kind")?,
+                chosen: get_u64("chosen")?,
+                job: obj.get("job").and_then(Value::as_u64),
+                instance: obj
+                    .get("instance")
+                    .and_then(Value::as_u64)
+                    .map(|i| i as usize),
+                considered: get_u64("considered")? as usize,
+                candidates: obj
+                    .get("candidates")
+                    .and_then(Value::as_array)
+                    .ok_or("decision missing candidates array")?
+                    .iter()
+                    .map(DecisionCandidate::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
             },
             "final" => {
                 let jobs_obj = obj
@@ -574,12 +704,7 @@ impl Journal {
     /// so fingerprint equality is the determinism oracle the chaos harness
     /// pins: same seed ⇒ same fingerprint, bit for bit.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.to_jsonl().as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        mux_obs::fingerprint::fnv1a_64(self.to_jsonl().as_bytes())
     }
 
     /// Replays the whole journal into a [`ReplayState`].
@@ -626,8 +751,10 @@ impl Journal {
                     state.alerts.remove(&(rule.clone(), *job));
                 }
                 // Shed / RecoverShed are informational (the paired Reject
-                // moves the job); fault and recovery markers, Replan, and
-                // Final do not change replayed job state.
+                // moves the job); Decision is pure provenance (the paired
+                // Dispatch/Shed moves the job); fault and recovery
+                // markers, Replan, and Final do not change replayed job
+                // state.
                 EventKind::Shed { .. }
                 | EventKind::Replan { .. }
                 | EventKind::FaultInjected { .. }
@@ -636,6 +763,7 @@ impl Journal {
                 | EventKind::RecoverRestart { .. }
                 | EventKind::RecoverReplan { .. }
                 | EventKind::RecoverShed { .. }
+                | EventKind::Decision { .. }
                 | EventKind::Final { .. } => {}
             }
         }

@@ -13,7 +13,9 @@ pub mod policy;
 pub mod service;
 
 pub use job::{Job, JobId, JobSpec, JobState};
-pub use journal::{EventKind, Journal, JournalEvent, ReplayState};
+pub use journal::{
+    DecisionCandidate, EventKind, Journal, JournalEvent, ReplayState, DECISION_CANDIDATE_CAP,
+};
 pub use mux_obs_analysis::online::{Alert, MonitorConfig, Severity};
 pub use policy::{
     policy_by_name, Drf, Fcfs, PendingJob, SchedulingPolicy, StrictPriority, TenantUsage,

@@ -93,6 +93,14 @@ impl TenantUsage {
 
 /// How a policy orders the pending queue.
 ///
+/// A policy is a **scoring function**: [`SchedulingPolicy::score`] maps
+/// each pending job to an f64 where **lower wins**, and the provided
+/// [`SchedulingPolicy::pick`] takes the argmin over the total order
+/// `(score, arrival, trace_id)` — so every policy shares one deterministic
+/// tiebreak and, since scores are first-class values, every decision can
+/// be journaled as provenance (`report --explain-job` renders "picked
+/// over X because score a < b" from the recorded scores alone).
+///
 /// `pick` returns the index (into `pending`) of the job to submit next,
 /// or `None` to leave everything queued (only meaningful for admission
 /// variants; the four built-ins always pick when the queue is non-empty).
@@ -100,9 +108,23 @@ pub trait SchedulingPolicy {
     /// Stable policy name (CLI `--policy` value, report key).
     fn name(&self) -> &'static str;
 
-    /// Chooses the next pending job to submit. Must be deterministic in
-    /// `(pending, usage)` and must return a valid index when `Some`.
-    fn pick(&self, pending: &[PendingJob], usage: &TenantUsage) -> Option<usize>;
+    /// What [`SchedulingPolicy::score`] measures (journaled with each
+    /// decision so explanations can name the unit): `arrival_seconds`,
+    /// `neg_priority`, `normalized_tokens`, `dominant_share`, …
+    fn score_kind(&self) -> &'static str;
+
+    /// The job's scheduling score — **lower wins**. Must be deterministic
+    /// in `(job, usage)`.
+    fn score(&self, job: &PendingJob, usage: &TenantUsage) -> f64;
+
+    /// Chooses the next pending job to submit: the argmin of
+    /// `(score, arrival, trace_id)`. Deterministic because the trailing
+    /// trace id is unique. Must return a valid index when `Some`.
+    fn pick(&self, pending: &[PendingJob], usage: &TenantUsage) -> Option<usize> {
+        argmin_by_key(pending, |j| {
+            (OrdF64(self.score(j, usage)), OrdF64(j.arrival), j.trace_id)
+        })
+    }
 }
 
 /// First-come-first-served: global arrival order, ties by trace id.
@@ -114,8 +136,12 @@ impl SchedulingPolicy for Fcfs {
         "fcfs"
     }
 
-    fn pick(&self, pending: &[PendingJob], _usage: &TenantUsage) -> Option<usize> {
-        argmin_by_key(pending, |j| (OrdF64(j.arrival), j.trace_id))
+    fn score_kind(&self) -> &'static str {
+        "arrival_seconds"
+    }
+
+    fn score(&self, job: &PendingJob, _usage: &TenantUsage) -> f64 {
+        job.arrival
     }
 }
 
@@ -128,10 +154,15 @@ impl SchedulingPolicy for StrictPriority {
         "priority"
     }
 
-    fn pick(&self, pending: &[PendingJob], _usage: &TenantUsage) -> Option<usize> {
-        argmin_by_key(pending, |j| {
-            (std::cmp::Reverse(j.priority), OrdF64(j.arrival), j.trace_id)
-        })
+    fn score_kind(&self) -> &'static str {
+        "neg_priority"
+    }
+
+    /// Negated priority: higher priority ⇒ smaller score ⇒ wins. Exactly
+    /// the `Reverse(priority)` ordering the policy used before scores
+    /// became first-class (u8 negates losslessly in f64).
+    fn score(&self, job: &PendingJob, _usage: &TenantUsage) -> f64 {
+        -f64::from(job.priority)
     }
 }
 
@@ -145,11 +176,12 @@ impl SchedulingPolicy for WeightedFair {
         "wfs"
     }
 
-    fn pick(&self, pending: &[PendingJob], usage: &TenantUsage) -> Option<usize> {
-        argmin_by_key(pending, |j| {
-            let normalized = usage.tokens(&j.tenant) as f64 / usage.weight(&j.tenant);
-            (OrdF64(normalized), OrdF64(j.arrival), j.trace_id)
-        })
+    fn score_kind(&self) -> &'static str {
+        "normalized_tokens"
+    }
+
+    fn score(&self, job: &PendingJob, usage: &TenantUsage) -> f64 {
+        usage.tokens(&job.tenant) as f64 / usage.weight(&job.tenant)
     }
 }
 
@@ -163,14 +195,12 @@ impl SchedulingPolicy for Drf {
         "drf"
     }
 
-    fn pick(&self, pending: &[PendingJob], usage: &TenantUsage) -> Option<usize> {
-        argmin_by_key(pending, |j| {
-            (
-                OrdF64(usage.dominant_share(&j.tenant)),
-                OrdF64(j.arrival),
-                j.trace_id,
-            )
-        })
+    fn score_kind(&self) -> &'static str {
+        "dominant_share"
+    }
+
+    fn score(&self, job: &PendingJob, usage: &TenantUsage) -> f64 {
+        usage.dominant_share(&job.tenant)
     }
 }
 
@@ -289,6 +319,48 @@ mod tests {
         // Unknown tenant: zero share, always served first.
         let pending2 = vec![job(1, "a", 0.0, 0, 100), job(3, "fresh", 9.0, 0, 100)];
         assert_eq!(Drf.pick(&pending2, &usage), Some(1));
+    }
+
+    #[test]
+    fn default_pick_matches_the_legacy_tuple_keys() {
+        // The score-based default `pick` must order exactly like the
+        // original per-policy tuple keys did (behavioral pin for journal
+        // fingerprint stability across the refactor).
+        let pending = vec![
+            job(1, "a", 3.0, 2, 500),
+            job(2, "b", 1.0, 7, 100),
+            job(3, "a", 1.0, 7, 900),
+            job(4, "c", 0.5, 0, 50),
+        ];
+        let mut usage = TenantUsage {
+            total_slots: 8,
+            total_tokens: 1000,
+            ..TenantUsage::default()
+        };
+        usage.dispatched_tokens.insert("a".into(), 700);
+        usage.dispatched_tokens.insert("b".into(), 300);
+        usage.running_slots.insert("a".into(), 3);
+        usage.weights.insert("b".into(), 2.0);
+
+        let legacy_fcfs = argmin_by_key(&pending, |j| (OrdF64(j.arrival), j.trace_id));
+        let legacy_prio = argmin_by_key(&pending, |j| {
+            (std::cmp::Reverse(j.priority), OrdF64(j.arrival), j.trace_id)
+        });
+        let legacy_wfs = argmin_by_key(&pending, |j| {
+            let normalized = usage.tokens(&j.tenant) as f64 / usage.weight(&j.tenant);
+            (OrdF64(normalized), OrdF64(j.arrival), j.trace_id)
+        });
+        let legacy_drf = argmin_by_key(&pending, |j| {
+            (
+                OrdF64(usage.dominant_share(&j.tenant)),
+                OrdF64(j.arrival),
+                j.trace_id,
+            )
+        });
+        assert_eq!(Fcfs.pick(&pending, &usage), legacy_fcfs);
+        assert_eq!(StrictPriority.pick(&pending, &usage), legacy_prio);
+        assert_eq!(WeightedFair.pick(&pending, &usage), legacy_wfs);
+        assert_eq!(Drf.pick(&pending, &usage), legacy_drf);
     }
 
     #[test]

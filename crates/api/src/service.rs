@@ -29,7 +29,7 @@ use muxtune_core::planner::{
 use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
-use crate::journal::{EventKind, Journal, ReplayState};
+use crate::journal::{DecisionCandidate, EventKind, Journal, ReplayState};
 
 /// Dispatch policies (§3.1 mentions budget-based Kubernetes scheduling;
 /// §6 sketches multiplexing-aware variants).
@@ -930,6 +930,48 @@ impl FineTuneService {
                         .min_by_key(|(&tid, jid)| (self.jobs[jid].spec.priority, Reverse(tid)))
                         .map(|(t, _)| t)
                         .expect("non-empty");
+                    // Journal the victim selection before the shed: every
+                    // co-tenant was a candidate, scored by priority
+                    // (lower loses first, newest task on ties).
+                    let mut candidates: Vec<(TaskId, DecisionCandidate)> = inst
+                        .job_of_task
+                        .iter()
+                        .map(|(&tid, jid)| {
+                            let j = &self.jobs[jid];
+                            (
+                                tid,
+                                DecisionCandidate {
+                                    id: jid.0,
+                                    tenant: j.spec.tenant.clone(),
+                                    score: f64::from(j.spec.priority),
+                                    priority: j.spec.priority,
+                                    arrival: j.submitted_at,
+                                },
+                            )
+                        })
+                        .collect();
+                    candidates.sort_by(|(ta, a), (tb, b)| {
+                        (a.priority, Reverse(*ta)).cmp(&(b.priority, Reverse(*tb)))
+                    });
+                    let considered = candidates.len();
+                    let chosen = inst.job_of_task[&victim].0;
+                    candidates.truncate(crate::journal::DECISION_CANDIDATE_CAP);
+                    let candidates: Vec<DecisionCandidate> =
+                        candidates.into_iter().map(|(_, c)| c).collect();
+                    self.journal.push(
+                        self.tick,
+                        self.now,
+                        EventKind::Decision {
+                            policy: "service".to_string(),
+                            action: "shed".to_string(),
+                            score_kind: "priority".to_string(),
+                            chosen,
+                            job: Some(chosen),
+                            instance: Some(i),
+                            considered,
+                            candidates,
+                        },
+                    );
                     self.shed(i, victim, e.to_string(), degrading);
                 }
             }
@@ -1176,6 +1218,42 @@ impl FineTuneService {
             EventKind::Final {
                 jobs: state.jobs,
                 alerts: state.alerts,
+            },
+        );
+    }
+
+    /// Journals an [`EventKind::Decision`] provenance event at the
+    /// current `(tick, now)`. External dispatchers (the trace replayer)
+    /// use this to record *why* their policy picked a job, in the same
+    /// journal the resulting `Dispatch` lands in — so `--explain-job`
+    /// can reconstruct the reasoning offline. `candidates` should arrive
+    /// winner-first and already capped (see
+    /// [`crate::journal::DECISION_CANDIDATE_CAP`]);
+    /// `considered` is the full pre-cap count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_decision(
+        &mut self,
+        policy: &str,
+        action: &str,
+        score_kind: &str,
+        chosen: u64,
+        job: Option<u64>,
+        instance: Option<usize>,
+        considered: usize,
+        candidates: Vec<DecisionCandidate>,
+    ) {
+        self.journal.push(
+            self.tick,
+            self.now,
+            EventKind::Decision {
+                policy: policy.to_string(),
+                action: action.to_string(),
+                score_kind: score_kind.to_string(),
+                chosen,
+                job,
+                instance,
+                considered,
+                candidates,
             },
         );
     }
@@ -2071,6 +2149,43 @@ impl FineTuneService {
                 slo_attainment(s.slo_met, s.slo_violated)
             ));
         }
+        // Per-tenant completion-time quantiles from mergeable sketches
+        // (bounded memory at any job count; answers within the sketch's
+        // relative-error bound). JCT is submit→finish, queue wait is
+        // submit→dispatch; only completed jobs contribute.
+        let mut jct_sketches: BTreeMap<&str, mux_obs::QuantileSketch> = BTreeMap::new();
+        let mut wait_sketches: BTreeMap<&str, mux_obs::QuantileSketch> = BTreeMap::new();
+        for j in self.jobs.values() {
+            if j.state != JobState::Completed {
+                continue;
+            }
+            jct_sketches
+                .entry(j.spec.tenant.as_str())
+                .or_default()
+                .insert(j.finished_at - j.submitted_at);
+            if j.started_at.is_finite() {
+                wait_sketches
+                    .entry(j.spec.tenant.as_str())
+                    .or_default()
+                    .insert(j.started_at - j.submitted_at);
+            }
+        }
+        out.push_str("# TYPE muxtune_tenant_jct_seconds gauge\n");
+        out.push_str("# TYPE muxtune_tenant_queue_wait_seconds gauge\n");
+        for (family, sketches) in [
+            ("muxtune_tenant_jct_seconds", &jct_sketches),
+            ("muxtune_tenant_queue_wait_seconds", &wait_sketches),
+        ] {
+            for (tenant, sketch) in sketches {
+                let label = mux_obs::prom_escape_label(tenant);
+                for (q, name) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "{family}{{tenant=\"{label}\",quantile=\"{name}\"}} {}\n",
+                        sketch.quantile(q)
+                    ));
+                }
+            }
+        }
         out.push_str("# TYPE muxtune_fairness_jain gauge\n");
         out.push_str(&format!(
             "muxtune_fairness_jain{{dimension=\"throughput\"}} {}\n",
@@ -2641,6 +2756,63 @@ mod tests {
             assert!(!name.is_empty(), "{line:?}");
             assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
         }
+    }
+
+    #[test]
+    fn tenant_quantile_families_survive_hostile_tenant_names() {
+        // The new per-tenant JCT/queue-wait families interpolate tenant
+        // names into label values; hostile names (quotes, newlines,
+        // backslashes, UTF-8, leading digits) must escape into valid
+        // single-line exposition, extending the PR-4 hostile-input tests.
+        let hostile = [
+            "team\"quote",
+            "line\nbreak",
+            "back\\slash",
+            "团队-λ",
+            "7digits",
+        ];
+        let mut svc = service(8);
+        for tenant in hostile {
+            svc.submit(spec(10_000).with_tenant(tenant));
+        }
+        svc.run_to_completion();
+        let text = svc.snapshot_prom();
+        for tenant in hostile {
+            let label = mux_obs::prom_escape_label(tenant);
+            for q in ["0.5", "0.95", "0.99"] {
+                assert!(
+                    text.contains(&format!(
+                        "muxtune_tenant_jct_seconds{{tenant=\"{label}\",quantile=\"{q}\"}}"
+                    )),
+                    "missing jct quantile {q} for {tenant:?}"
+                );
+                assert!(
+                    text.contains(&format!(
+                        "muxtune_tenant_queue_wait_seconds{{tenant=\"{label}\",quantile=\"{q}\"}}"
+                    )),
+                    "missing queue-wait quantile {q} for {tenant:?}"
+                );
+            }
+        }
+        // Escaping kept the exposition line-oriented and parseable:
+        // every non-comment line is `name{labels} value` with a numeric
+        // value, and no label value leaked a raw quote or newline.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty(), "{line:?}");
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
+        }
+        assert!(
+            !text.contains("tenant=\"line\nbreak\""),
+            "raw newline tenant must always render escaped"
+        );
+        assert!(
+            text.contains("tenant=\"line\\nbreak\""),
+            "escaped newline form must be what renders"
+        );
     }
 
     #[test]

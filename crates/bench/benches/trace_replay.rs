@@ -71,12 +71,29 @@ fn main() {
             },
         )
         .expect("trace replays");
+        // Queue-wait share of total JCT (Σ queue-wait / Σ JCT over
+        // completed jobs) plus sketch quantiles of per-job queue wait:
+        // the EXPERIMENTS.md queue-wait-share-vs-load curve. Shares come
+        // from the lifecycle decomposition's queue axis measured at the
+        // replay report, so they bend with load while run time does not.
+        let (wait_sum, jct_sum) = be.per_tenant.values().fold((0.0, 0.0), |(w, j), t| {
+            (w + t.queue_wait_sum, j + t.jct_sum)
+        });
+        let wait_share = if jct_sum > 0.0 {
+            wait_sum / jct_sum
+        } else {
+            0.0
+        };
         row(
             &format!("load x{mult} / drf"),
             "SLO attainment: admission >= best-effort",
             &format!(
-                "best-effort {:.3}, slo-feasible {:.3} ({} admission-rejected)",
-                be.slo_attainment, ac.slo_attainment, ac.admission_rejected
+                "best-effort {:.3}, slo-feasible {:.3} ({} admission-rejected); queue-wait share {:.3} (p95 {:.1}s)",
+                be.slo_attainment,
+                ac.slo_attainment,
+                ac.admission_rejected,
+                wait_share,
+                be.queue_wait.quantile(0.95)
             ),
         );
         slo_series.push(serde_json::json!({
@@ -87,6 +104,10 @@ fn main() {
             "admission_rejected": ac.admission_rejected,
             "best_effort_completed": be.completed,
             "slo_feasible_completed": ac.completed,
+            "queue_wait_share": wait_share,
+            "queue_wait_p50_seconds": be.queue_wait.quantile(0.5),
+            "queue_wait_p95_seconds": be.queue_wait.quantile(0.95),
+            "jct_p95_seconds": be.jct.quantile(0.95),
         }));
     }
     if std::env::var_os("MUX_TRACE_REPLAY_FULL").is_some() {

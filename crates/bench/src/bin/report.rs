@@ -45,9 +45,20 @@
 //!   end-to-end through `FineTuneService` under `--policy
 //!   <fcfs|priority|wfs|drf>` — or all four when the flag is absent —
 //!   printing terminal-outcome counts, per-tenant Jain fairness indices,
-//!   SLO attainment, capacity makespan, and the sealed journal
-//!   fingerprint per policy. Exits non-zero if any trace job is lost or
-//!   the replayed journal fails verification.
+//!   per-tenant JCT / queue-wait quantiles (mergeable sketches), SLO
+//!   attainment, capacity makespan, and the sealed journal fingerprint
+//!   per policy. Exits non-zero if any trace job is lost or the replayed
+//!   journal fails verification.
+//! - `--explain-job <id>`: after a `--replay-trace` run, reconstruct the
+//!   job's causal lifecycle from the sealed journal (span tree, JCT
+//!   decomposition, scheduler decision provenance) and print it. The id
+//!   may be a trace id or a journal handle. Without `--policy` the
+//!   replay defaults to `fcfs` so the explanation names one schedule.
+//!   Pure function of the journal: run-twice output is bitwise identical.
+//! - `--lifecycle-out <path>`: after a `--replay-trace` run, write every
+//!   job's span tree as a tenant-lane Chrome/Perfetto trace (one process
+//!   per tenant, one thread per job). Defaults the policy like
+//!   `--explain-job`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -57,12 +68,13 @@ use mux_api::Journal;
 use mux_bench::harness::{
     attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
     planner_scale_measurement, service_telemetry_scenario, service_telemetry_step,
-    telemetry_overhead_measurement, trace_replay_measurement, PLANNER_SCALE_M,
-    SERVICE_TELEMETRY_TICKS,
+    sketch_overhead_measurement, telemetry_overhead_measurement, trace_replay_measurement,
+    PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
-    check_baseline, device_attribution, PerfBaseline, PerfMeasurement, StallClass,
+    analyze_journal, check_baseline, device_attribution, explain_job, lifecycle_chrome_trace,
+    PerfBaseline, PerfMeasurement, StallClass,
 };
 
 /// The experiment ids the bench suite produces, with one-line descriptions,
@@ -261,12 +273,18 @@ const GATE_SCENARIOS: &[&str] = &[
     "fig14-small",
     "planner-scale",
     "telemetry-overhead",
+    "sketch-overhead",
     "trace-replay",
 ];
 
 /// Gate scenarios measuring host wall time (CI-noise-tolerant gating)
 /// rather than simulated makespan.
-const WALL_TIME_SCENARIOS: &[&str] = &["planner-scale", "telemetry-overhead", "trace-replay"];
+const WALL_TIME_SCENARIOS: &[&str] = &[
+    "planner-scale",
+    "telemetry-overhead",
+    "sketch-overhead",
+    "trace-replay",
+];
 
 /// Runs one gate scenario and returns its headline numbers.
 fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
@@ -277,6 +295,7 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
         }
         "planner-scale" => Ok(planner_scale_measurement()),
         "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
+        "sketch-overhead" => Ok(sketch_overhead_measurement()),
         "trace-replay" => Ok(trace_replay_measurement()),
         other => Err(format!(
             "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
@@ -437,16 +456,41 @@ fn trace_gen(seed: u64, jobs: usize, path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Formats a sketch's p50/p95/p99 for the replay report (`-` when the
+/// sketch saw no samples).
+fn quantile_cell(sketch: &mux_obs::QuantileSketch) -> String {
+    if sketch.is_empty() {
+        "-".to_string()
+    } else {
+        format!(
+            "p50 {:.1}s / p95 {:.1}s / p99 {:.1}s",
+            sketch.quantile(0.5),
+            sketch.quantile(0.95),
+            sketch.quantile(0.99)
+        )
+    }
+}
+
 /// Replays a trace file through the service under one policy — or all
 /// built-ins when `policy` is `None` — printing the fairness/SLO report
-/// and re-verifying every sealed journal.
-fn replay_trace_file(path: &Path, policy: Option<&str>) -> Result<(), String> {
+/// and re-verifying every sealed journal. With `explain` or
+/// `lifecycle_out`, the sealed journal is additionally run through the
+/// lifecycle analyzer (defaulting the policy to `fcfs` so the
+/// explanation describes exactly one schedule).
+fn replay_trace_file(
+    path: &Path,
+    policy: Option<&str>,
+    explain: Option<u64>,
+    lifecycle_out: Option<&Path>,
+) -> Result<(), String> {
     let body =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let trace = mux_workload::Trace::from_jsonl(&body)
         .map_err(|e| format!("{}: corrupt trace: {e}", path.display()))?;
+    let wants_lifecycle = explain.is_some() || lifecycle_out.is_some();
     let policies: Vec<&str> = match policy {
         Some(p) => vec![p],
+        None if wants_lifecycle => vec!["fcfs"],
         None => mux_api::POLICY_NAMES.to_vec(),
     };
     let opts = mux_workload::ReplayOptions::default();
@@ -481,6 +525,11 @@ fn replay_trace_file(path: &Path, policy: Option<&str>) -> Result<(), String> {
             "  fairness: jain(work) {:.4}, jain(jobs) {:.4}; SLO attainment {:.4}; journal fingerprint {:016x}",
             report.jain_work, report.jain_jobs, report.slo_attainment, report.journal_fingerprint
         );
+        println!(
+            "  jct {}; queue wait {}",
+            quantile_cell(&report.jct),
+            quantile_cell(&report.queue_wait)
+        );
         for (tenant, t) in &report.per_tenant {
             println!(
                 "  tenant {tenant}: {} completed / {} rejected / {} shed / {} cancelled, {:.0} tokens, SLO attainment {:.4}",
@@ -491,6 +540,28 @@ fn replay_trace_file(path: &Path, policy: Option<&str>) -> Result<(), String> {
                 t.completed_tokens,
                 t.slo_attainment()
             );
+            println!(
+                "    jct {}; queue wait {} (share {:.3})",
+                quantile_cell(&t.jct),
+                quantile_cell(&t.queue_wait),
+                t.queue_wait_share()
+            );
+        }
+        if wants_lifecycle {
+            let analysis = analyze_journal(&report.journal_jsonl)
+                .map_err(|e| format!("policy {name}: lifecycle analysis failed: {e}"))?;
+            if let Some(out) = lifecycle_out {
+                write_file(out, &lifecycle_chrome_trace(&analysis))?;
+                println!(
+                    "wrote {} ({} job lane(s), {} decision(s))",
+                    out.display(),
+                    analysis.jobs.len(),
+                    analysis.decisions.len()
+                );
+            }
+            if let Some(id) = explain {
+                print!("{}", explain_job(&analysis, id)?);
+            }
         }
     }
     Ok(())
@@ -583,6 +654,8 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut replay_trace: Option<PathBuf> = None;
     let mut policy: Option<String> = None;
+    let mut explain_job_id: Option<u64> = None;
+    let mut lifecycle_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -667,6 +740,20 @@ fn main() -> ExitCode {
                 Some(p) => replay_trace = Some(p),
                 None => return ExitCode::from(2),
             },
+            "--explain-job" => match take("--explain-job") {
+                Some(p) => match p.to_string_lossy().parse::<u64>() {
+                    Ok(n) => explain_job_id = Some(n),
+                    Err(_) => {
+                        eprintln!("error: --explain-job requires a u64 job id");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
+            "--lifecycle-out" => match take("--lifecycle-out") {
+                Some(p) => lifecycle_out = Some(p),
+                None => return ExitCode::from(2),
+            },
             "--policy" => match take("--policy") {
                 Some(p) => {
                     let name = p.to_string_lossy().into_owned();
@@ -728,9 +815,16 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &replay_trace {
-        if let Err(e) = replay_trace_file(path, policy.as_deref()) {
+        if let Err(e) = replay_trace_file(
+            path,
+            policy.as_deref(),
+            explain_job_id,
+            lifecycle_out.as_deref(),
+        ) {
             return fail(&e);
         }
+    } else if explain_job_id.is_some() || lifecycle_out.is_some() {
+        return fail("--explain-job / --lifecycle-out require --replay-trace <path>");
     }
     if let Some(ticks) = watch_ticks {
         watch(ticks);
@@ -743,7 +837,9 @@ fn main() -> ExitCode {
         || watch_ticks.is_some()
         || chaos_seed.is_some()
         || trace_gen_seed.is_some()
-        || replay_trace.is_some();
+        || replay_trace.is_some()
+        || explain_job_id.is_some()
+        || lifecycle_out.is_some();
     if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }

@@ -486,6 +486,47 @@ pub fn trace_replay_measurement() -> PerfMeasurement {
     }
 }
 
+/// The `sketch-overhead` CI measurement: best-of-3 wall time of 2M
+/// quantile-sketch inserts plus a 64-way shard merge — the hot path the
+/// timeseries window aggregator and the replay report now run instead of
+/// exact-sample quantiles. Gated at wall-time tolerance so an
+/// accidentally super-constant insert (e.g. a rebucketing loop) fails CI.
+/// Utilization and stall share are pinned so only the wall-time axis
+/// gates.
+pub fn sketch_overhead_measurement() -> PerfMeasurement {
+    const OPS: usize = 2_000_000;
+    const SHARDS: usize = 64;
+    let secs = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let mut shards: Vec<mux_obs::QuantileSketch> = (0..SHARDS)
+                .map(|_| mux_obs::QuantileSketch::default())
+                .collect();
+            // xorshift64 log-uniform stream: deterministic, spans ~6
+            // decades so every insert exercises the log-bucket math.
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            for i in 0..OPS {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                shards[i % SHARDS].insert(10f64.powf(u * 6.0 - 3.0));
+            }
+            let mut merged = mux_obs::QuantileSketch::default();
+            for s in &shards {
+                merged.merge(s).expect("shards share one alpha");
+            }
+            std::hint::black_box(merged.quantile(0.99));
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    PerfMeasurement {
+        makespan_seconds: secs,
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,11 @@
 //!   `busy + attributed stalls == window` per device.
 //! - [`PerfBaseline`]: a checked-in makespan/utilization/stall-share
 //!   baseline with tolerances, for a CI perf-regression gate.
+//! - [`analyze_journal`]: per-job causal span trees reconstructed from a
+//!   service event journal, each JCT decomposed into queue-wait / run /
+//!   fault-recovery / replan-stall shares under its own conservation
+//!   invariant, plus the journaled scheduler decision provenance that
+//!   [`explain_job`] renders as a replayable plain-text account.
 //!
 //! Everything here is pure post-processing: no simulator state is needed
 //! beyond the op records, so the analyzers run on live engine output, on
@@ -25,6 +30,7 @@ pub mod baseline;
 pub mod critical_path;
 pub mod fairness;
 mod labels;
+pub mod lifecycle;
 pub mod online;
 
 pub use attribution::{
@@ -35,6 +41,10 @@ pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
 pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};
 pub use fairness::{dominant_share, jain_index, slo_attainment};
 pub use labels::{htask_refs_in_label, HTaskRef};
+pub use lifecycle::{
+    analyze_journal, explain_job, lifecycle_chrome_trace, CandidateRecord, DecisionRecord,
+    JctDecomposition, JobLifecycle, LifecycleAnalysis, Span, Terminal,
+};
 pub use online::{
     Alert, AlertEvent, BurnRateConfig, BurnRateEvaluator, DetectorConfig, EwmaMadDetector,
     Hysteresis, MonitorConfig, OnlineMonitor, Severity,

@@ -1,0 +1,82 @@
+//! The workspace's one FNV-1a fingerprint implementation.
+//!
+//! Every determinism oracle in the repo — the event journal's
+//! `fingerprint()` pin, the workload trace's sealed final record, the
+//! chaos harness's run-twice diff — hashes serialized bytes with 64-bit
+//! FNV-1a. The constants are part of the on-disk
+//! format: golden journals and traces embed fingerprints computed with
+//! them, so they are pinned here once (with a test) instead of being
+//! copy-pasted per crate and drifting silently.
+
+/// FNV-1a 64-bit offset basis (the hash of the empty byte string).
+pub const FNV1A_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a hasher, for callers that fingerprint streams
+/// without materializing the whole byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(FNV1A_OFFSET_BASIS)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV1A_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The constants are the on-disk format: golden journals and traces
+    /// embed fingerprints computed with exactly these values.
+    #[test]
+    fn constants_are_the_fnv1a_64_parameters() {
+        assert_eq!(FNV1A_OFFSET_BASIS, 0xcbf29ce484222325);
+        assert_eq!(FNV1A_PRIME, 0x100000001b3);
+        assert_eq!(fnv1a_64(b""), FNV1A_OFFSET_BASIS);
+    }
+
+    #[test]
+    fn matches_published_test_vectors() {
+        // Standard FNV-1a 64 vectors (Noll's reference set).
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+}

@@ -24,7 +24,12 @@
 //! assert_eq!(snap.phases["planner.fusion"].count, 1);
 //! ```
 
+pub mod fingerprint;
+pub mod sketch;
 pub mod timeseries;
+
+pub use fingerprint::{fnv1a_64, Fnv1a};
+pub use sketch::QuantileSketch;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -17,6 +17,7 @@
 //! changes. Like the span layer, the whole path is **zero-cost when
 //! disabled**: one relaxed atomic load and out.
 
+use crate::sketch::QuantileSketch;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -32,8 +33,12 @@ static SERIES: Mutex<Option<BTreeMap<String, TimeSeries>>> = Mutex::new(None);
 /// Ticks a process-wide series retains (≈ 5 slow windows of 50 ticks).
 pub const DEFAULT_CAPACITY: usize = 256;
 
-/// Raw samples kept per tick-bucket for exact quantiles; past this, p95
-/// degrades gracefully to the retained-sample estimate.
+/// Raw samples kept per tick-bucket (for [`TimeSeries::points`] and the
+/// anomaly detectors). Window quantiles do **not** depend on this cap —
+/// they come from the per-bucket [`QuantileSketch`], which absorbs every
+/// sample in bounded memory. A tick that overflows the raw tail sets
+/// [`Bucket::saturated`] / [`WindowAgg::saturated`] so consumers of the
+/// raw samples know the tail is partial.
 pub const BUCKET_SAMPLE_CAP: usize = 256;
 
 /// Turns streaming telemetry on or off globally.
@@ -95,20 +100,31 @@ pub struct Bucket {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Whether this tick overflowed the raw-sample tail: `samples` is
+    /// partial (first [`BUCKET_SAMPLE_CAP`] only), though the sketch,
+    /// count, sum, min, and max still cover every sample.
+    pub saturated: bool,
     /// Raw samples (first [`BUCKET_SAMPLE_CAP`] of the tick), for
-    /// window quantiles.
+    /// [`TimeSeries::points`] and detectors that want individual values.
     samples: Vec<f64>,
+    /// Quantile sketch over *every* sample of the tick (no cap), the
+    /// source of window quantiles.
+    sketch: QuantileSketch,
 }
 
 impl Bucket {
     fn new(tick: u64, value: f64) -> Self {
+        let mut sketch = QuantileSketch::default();
+        sketch.insert(value);
         Self {
             tick,
             count: 1,
             sum: value,
             min: value,
             max: value,
+            saturated: false,
             samples: vec![value],
+            sketch,
         }
     }
 
@@ -117,14 +133,23 @@ impl Bucket {
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.sketch.insert(value);
         if self.samples.len() < BUCKET_SAMPLE_CAP {
             self.samples.push(value);
+        } else {
+            self.saturated = true;
         }
     }
 
-    /// The retained raw samples of this tick.
+    /// The retained raw samples of this tick (partial when
+    /// [`Bucket::saturated`]).
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// The quantile sketch over every sample of this tick.
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
     }
 }
 
@@ -139,9 +164,18 @@ pub struct WindowAgg {
     pub min: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
-    /// 95th-percentile sample (0 when empty), exact over the retained
-    /// per-bucket sample tails.
+    /// Median sample (0 when empty), from the merged per-bucket sketches:
+    /// within the sketch's relative-error bound of the exact ceil-rank
+    /// quantile over **all** samples (no truncation).
+    pub p50: f64,
+    /// 95th-percentile sample (0 when empty); same sketch guarantee.
     pub p95: f64,
+    /// 99th-percentile sample (0 when empty); same sketch guarantee.
+    pub p99: f64,
+    /// Whether any bucket in the window overflowed its raw-sample tail.
+    /// Quantiles stay valid (the sketch saw everything); only consumers
+    /// of the raw per-bucket samples see a partial view.
+    pub saturated: bool,
 }
 
 impl WindowAgg {
@@ -227,7 +261,7 @@ impl TimeSeries {
     pub fn window_agg(&self, end_tick: u64, window: u64) -> WindowAgg {
         let lo = end_tick.saturating_sub(window);
         let mut agg = WindowAgg::default();
-        let mut samples: Vec<f64> = Vec::new();
+        let mut sketch = QuantileSketch::default();
         for b in self.buckets.iter().rev() {
             if b.tick > end_tick {
                 continue;
@@ -244,9 +278,14 @@ impl TimeSeries {
             }
             agg.count += b.count;
             agg.sum += b.sum;
-            samples.extend_from_slice(&b.samples);
+            agg.saturated |= b.saturated;
+            sketch
+                .merge(&b.sketch)
+                .expect("per-bucket sketches share the default alpha");
         }
-        agg.p95 = quantile_of(&mut samples, 0.95);
+        agg.p50 = sketch.quantile(0.50);
+        agg.p95 = sketch.quantile(0.95);
+        agg.p99 = sketch.quantile(0.99);
         agg
     }
 }
@@ -337,7 +376,12 @@ mod tests {
         assert_eq!(w.min, 20.0);
         assert_eq!(w.max, 40.0);
         assert!((w.mean() - 30.0).abs() < 1e-12);
-        assert_eq!(w.p95, 40.0);
+        // Exact ceil-rank p95 over {20, 30, 40} is 40; the sketch answers
+        // within its relative-error bound.
+        let alpha = QuantileSketch::default().relative_error();
+        assert!((w.p95 - 40.0).abs() <= alpha * 40.0, "p95 {}", w.p95);
+        assert!((w.p50 - 30.0).abs() <= alpha * 30.0, "p50 {}", w.p50);
+        assert!(!w.saturated);
         // Window of 10 ending at 3 covers everything.
         assert_eq!(ts.window_agg(3, 10).count, 4);
         // Empty window.
@@ -352,8 +396,35 @@ mod tests {
             ts.record(i as u64 / 5 + 1, v as f64);
         }
         let w = ts.window_agg(10, 10);
-        // 20 samples: rank ceil(0.95*20) = 19 -> value 19.
-        assert_eq!(w.p95, 19.0);
+        // 20 samples: exact rank ceil(0.95*20) = 19 -> value 19; the
+        // sketch is within alpha of it.
+        let alpha = QuantileSketch::default().relative_error();
+        assert!((w.p95 - 19.0).abs() <= alpha * 19.0, "p95 {}", w.p95);
+        assert!((w.p99 - 20.0).abs() <= alpha * 20.0, "p99 {}", w.p99);
+    }
+
+    #[test]
+    fn saturated_buckets_are_flagged_and_quantiles_survive() {
+        let mut ts = TimeSeries::new(4);
+        // One tick with 4 * BUCKET_SAMPLE_CAP samples 1..=n: the raw tail
+        // truncates (and says so), but the sketch still sees every sample.
+        let n = 4 * BUCKET_SAMPLE_CAP;
+        for v in 1..=n {
+            ts.record(1, v as f64);
+        }
+        let b: Vec<&Bucket> = ts.buckets().collect();
+        assert!(b[0].saturated);
+        assert_eq!(b[0].samples().len(), BUCKET_SAMPLE_CAP);
+        assert_eq!(b[0].count, n as u64);
+        let w = ts.window_agg(1, 1);
+        assert!(w.saturated, "truncated raw tail must be signalled");
+        assert_eq!(w.count, n as u64);
+        // Pre-sketch, p95 came from the first 256 samples only and would
+        // have answered ~244. The sketch answers near the true 95th of
+        // all n samples.
+        let exact = (0.95 * n as f64).ceil();
+        let alpha = QuantileSketch::default().relative_error();
+        assert!((w.p95 - exact).abs() <= alpha * exact, "p95 {}", w.p95);
     }
 
     #[test]

@@ -16,10 +16,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mux_api::{
-    DispatchPolicy, EventKind, FineTuneService, JobId, JobSpec, JobState, PendingJob, ReplanMode,
-    SchedulingPolicy, ServiceConfig, TenantUsage,
+    DecisionCandidate, DispatchPolicy, EventKind, FineTuneService, JobId, JobSpec, JobState,
+    PendingJob, ReplanMode, SchedulingPolicy, ServiceConfig, TenantUsage, DECISION_CANDIDATE_CAP,
 };
 use mux_chaos::{apply_action, ChaosAction, FaultPlan};
+use mux_obs::QuantileSketch;
 use mux_obs_analysis::{jain_index, slo_attainment};
 use serde_json::{Map, Value};
 
@@ -108,6 +109,14 @@ pub struct TenantOutcome {
     pub completed_tokens: f64,
     /// Sum of completed-job JCTs (mean = `jct_sum / completed`).
     pub jct_sum: f64,
+    /// Sum of completed-job queue waits (trace arrival → service
+    /// dispatch), for the queue-wait share of total JCT.
+    pub queue_wait_sum: f64,
+    /// Mergeable quantile sketch over completed-job JCTs (bounded memory
+    /// at any job count; see [`QuantileSketch`]).
+    pub jct: QuantileSketch,
+    /// Mergeable quantile sketch over completed-job queue waits.
+    pub queue_wait: QuantileSketch,
     /// Completed jobs whose realized JCT met their SLO.
     pub slo_met: usize,
     /// Completed jobs that blew their SLO.
@@ -119,6 +128,28 @@ impl TenantOutcome {
     pub fn slo_attainment(&self) -> f64 {
         slo_attainment(self.slo_met, self.slo_violated)
     }
+
+    /// Fraction of this tenant's total completed-job time spent queued
+    /// (0 when nothing completed).
+    pub fn queue_wait_share(&self) -> f64 {
+        if self.jct_sum > 0.0 {
+            self.queue_wait_sum / self.jct_sum
+        } else {
+            0.0
+        }
+    }
+}
+
+/// `{p50, p95, p99}` JSON view of a sketch (`Null` when empty).
+fn quantiles_json(sketch: &QuantileSketch) -> Value {
+    if sketch.is_empty() {
+        return Value::Null;
+    }
+    let mut m = Map::new();
+    m.insert("p50".into(), sketch.quantile(0.50).into());
+    m.insert("p95".into(), sketch.quantile(0.95).into());
+    m.insert("p99".into(), sketch.quantile(0.99).into());
+    Value::Object(m)
 }
 
 /// The replay's result: terminal buckets, per-tenant fairness, SLO
@@ -153,6 +184,11 @@ pub struct ReplayReport {
     pub jain_jobs: f64,
     /// Realized SLO attainment over all completed SLO-carrying jobs.
     pub slo_attainment: f64,
+    /// Cluster-wide JCT sketch: the exact bucket-wise merge of every
+    /// tenant's [`TenantOutcome::jct`] sketch.
+    pub jct: QuantileSketch,
+    /// Cluster-wide queue-wait sketch (same merge).
+    pub queue_wait: QuantileSketch,
     /// Simulated seconds until the last job terminated.
     pub makespan_seconds: f64,
     /// Fingerprint of the sealed service journal (determinism oracle).
@@ -205,12 +241,20 @@ impl ReplayReport {
                     Value::Null
                 },
             );
+            tm.insert("jct_seconds".into(), quantiles_json(&t.jct));
+            tm.insert("queue_wait_seconds".into(), quantiles_json(&t.queue_wait));
+            tm.insert("queue_wait_share".into(), t.queue_wait_share().into());
             tm.insert("slo_met".into(), (t.slo_met as u64).into());
             tm.insert("slo_violated".into(), (t.slo_violated as u64).into());
             tm.insert("slo_attainment".into(), t.slo_attainment().into());
             tenants.insert(name.clone(), Value::Object(tm));
         }
         m.insert("per_tenant".into(), Value::Object(tenants));
+        m.insert("jct_seconds".into(), quantiles_json(&self.jct));
+        m.insert(
+            "queue_wait_seconds".into(),
+            quantiles_json(&self.queue_wait),
+        );
         m.insert("jain_work".into(), self.jain_work.into());
         m.insert("jain_jobs".into(), self.jain_jobs.into());
         m.insert("slo_attainment".into(), self.slo_attainment.into());
@@ -250,6 +294,13 @@ pub fn replay_trace_by_name(
         )
     })?;
     replay_trace(trace, p.as_ref(), opts)
+}
+
+/// The candidate snapshot captured at one policy pick (see
+/// [`Replayer::dispatch_provenance`]).
+struct DispatchProvenance {
+    considered: usize,
+    candidates: Vec<DecisionCandidate>,
 }
 
 struct Replayer<'a> {
@@ -413,8 +464,9 @@ impl<'a> Replayer<'a> {
                 let Some(i) = self.policy.pick(&self.pending, &self.usage) else {
                     break;
                 };
+                let prov = self.dispatch_provenance();
                 let pj = self.pending.remove(i);
-                self.submit(&pj)?;
+                self.submit(&pj, prov)?;
                 self.reap_terminal();
             }
         }
@@ -466,8 +518,9 @@ impl<'a> Replayer<'a> {
                 }
             }
             if self.has_immediate_slot(&pj.backbone) || !self.svc.can_host(&pj.backbone) {
+                let prov = self.dispatch_provenance();
                 let pj = self.pending.remove(i);
-                self.submit(&pj)?;
+                self.submit(&pj, prov)?;
             } else {
                 return Ok(());
             }
@@ -490,13 +543,54 @@ impl<'a> Replayer<'a> {
         joinable || self.svc.instance_headroom() > 0
     }
 
-    fn submit(&mut self, pj: &PendingJob) -> Result<(), String> {
+    /// Snapshot of the scoring the policy just performed over `pending`:
+    /// every candidate's score, sorted winner-first by the policy's own
+    /// total order and capped for the journal. Recorded next to the
+    /// resulting `Dispatch` so `--explain-job` can show who the job beat
+    /// (and, on losing appearances, who beat it).
+    fn dispatch_provenance(&self) -> DispatchProvenance {
+        let mut candidates: Vec<DecisionCandidate> = self
+            .pending
+            .iter()
+            .map(|p| DecisionCandidate {
+                id: p.trace_id,
+                tenant: p.tenant.clone(),
+                score: self.policy.score(p, &self.usage),
+                priority: p.priority,
+                arrival: p.arrival,
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then_with(|| a.arrival.total_cmp(&b.arrival))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let considered = candidates.len();
+        candidates.truncate(DECISION_CANDIDATE_CAP);
+        DispatchProvenance {
+            considered,
+            candidates,
+        }
+    }
+
+    fn submit(&mut self, pj: &PendingJob, prov: DispatchProvenance) -> Result<(), String> {
         let spec = self
             .specs
             .get(pj.trace_id as usize)
             .ok_or_else(|| format!("trace id {} out of range", pj.trace_id))?
             .clone();
         let jid = self.svc.submit(spec);
+        self.svc.record_decision(
+            self.policy.name(),
+            "dispatch",
+            self.policy.score_kind(),
+            pj.trace_id,
+            Some(jid.0),
+            None,
+            prov.considered,
+            prov.candidates,
+        );
         self.trace_of.insert(jid, pj.trace_id);
         self.id_of_trace.insert(pj.trace_id, jid);
         self.submitted.push(jid);
@@ -574,6 +668,12 @@ impl<'a> Replayer<'a> {
                         // timebase, so the subtraction is well-defined).
                         let jct = (svc_job.finished_at - job.arrival_seconds).max(0.0);
                         tenant.jct_sum += jct;
+                        tenant.jct.insert(jct);
+                        if svc_job.started_at.is_finite() {
+                            let wait = (svc_job.started_at - job.arrival_seconds).max(0.0);
+                            tenant.queue_wait_sum += wait;
+                            tenant.queue_wait.insert(wait);
+                        }
                         if let Some(slo) = job.slo_seconds {
                             if jct <= slo {
                                 tenant.slo_met += 1;
@@ -617,6 +717,16 @@ impl<'a> Replayer<'a> {
                 }
             }
         }
+        // Cluster-wide quantiles are the exact merge of the per-tenant
+        // sketches — the mergeability the sketch exists for.
+        let mut jct = QuantileSketch::default();
+        let mut queue_wait = QuantileSketch::default();
+        for t in per_tenant.values() {
+            jct.merge(&t.jct).expect("tenant sketches share one alpha");
+            queue_wait
+                .merge(&t.queue_wait)
+                .expect("tenant sketches share one alpha");
+        }
         Ok(ReplayReport {
             policy: self.policy.name().to_string(),
             trace_seed: self.trace.seed,
@@ -631,6 +741,8 @@ impl<'a> Replayer<'a> {
             jain_work: jain_index(per_tenant.values().map(|t| t.completed_tokens)),
             jain_jobs: jain_index(per_tenant.values().map(|t| t.completed as f64)),
             slo_attainment: slo_attainment(slo_met, slo_violated),
+            jct,
+            queue_wait,
             per_tenant,
             makespan_seconds: self.svc.now(),
             journal_fingerprint: self.svc.journal().fingerprint(),

@@ -136,12 +136,7 @@ impl Trace {
     /// bitwise-identical body ⇒ same fingerprint (the determinism oracle
     /// the CI run-twice diff pins).
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.body_jsonl().as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        mux_obs::fingerprint::fnv1a_64(self.body_jsonl().as_bytes())
     }
 
     /// Serializes the trace as JSONL: header, jobs, and a final record

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::PathBuf;
 
-use muxtune::api::{EventKind, Journal};
+use muxtune::api::{DecisionCandidate, EventKind, Journal};
 use serde_json::Value;
 
 fn golden_path() -> PathBuf {
@@ -37,6 +37,35 @@ fn exhaustive_journal() -> Journal {
         EventKind::Reject {
             job: 2,
             reason: "unknown backbone".into(),
+        },
+    );
+    j.push(
+        0,
+        0.0,
+        EventKind::Decision {
+            policy: "fcfs".into(),
+            action: "dispatch".into(),
+            score_kind: "arrival_seconds".into(),
+            chosen: 1,
+            job: Some(1),
+            instance: None,
+            considered: 2,
+            candidates: vec![
+                DecisionCandidate {
+                    id: 1,
+                    tenant: "tenant-a".into(),
+                    score: 0.0,
+                    priority: 1,
+                    arrival: 0.0,
+                },
+                DecisionCandidate {
+                    id: 4,
+                    tenant: "tenant-b".into(),
+                    score: 0.25,
+                    priority: 3,
+                    arrival: 0.25,
+                },
+            ],
         },
     );
     j.push(
