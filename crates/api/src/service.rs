@@ -24,7 +24,8 @@ use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::TaskId;
 use muxtune_core::planner::{
-    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, MuxTuneReport, PlannerConfig,
+    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, IncrementalEstimator,
+    MuxTuneReport, PlannerConfig,
 };
 use serde_json::{Map, Value};
 
@@ -111,6 +112,15 @@ pub enum ReplanMode {
     /// surface; rates are estimates, not simulator measurements. The
     /// 10⁴–10⁵-job trace replayer runs in this mode.
     Estimate,
+    /// Incremental fast path: each instance keeps a warm
+    /// [`IncrementalEstimator`] that persists the fusion DP's per-range
+    /// latency/feasibility tables across replans. A membership delta
+    /// rebuilds only the ranges whose underlying sorted-task slice
+    /// changed and recomputes the invalidated DP suffix; a replan with
+    /// unchanged membership (e.g. a fault clearing) is a pure cache hit
+    /// that builds zero ranges. Produces bitwise-identical rates to
+    /// [`ReplanMode::Estimate`] (pinned by differential tests).
+    Incremental,
 }
 
 impl ServiceConfig {
@@ -273,6 +283,10 @@ struct Instance {
     /// Monotonic replan counter; completion events recorded under an
     /// older epoch are stale and are discarded lazily off the heap.
     epoch: u64,
+    /// Warm incremental planner state ([`ReplanMode::Incremental`] only;
+    /// `None` until the first incremental replan). Persists the fusion
+    /// DP's range tables across membership changes.
+    planner: Option<IncrementalEstimator>,
 }
 
 /// A scheduled "some job finishes" event: under the rates of `epoch`, the
@@ -681,6 +695,7 @@ impl FineTuneService {
                                 next_task_id: 1,
                                 planned_at: self.now,
                                 epoch: 0,
+                                planner: None,
                             });
                             let i = self.instances.len() - 1;
                             self.by_backbone
@@ -842,9 +857,13 @@ impl FineTuneService {
             let inst = &mut self.instances[i];
             inst.rates.clear();
             inst.raw_rates.clear();
-            inst.epoch += 1;
-            inst.planned_at = self.now;
+            // The epoch advances only when a replan *concludes* (success
+            // or empty instance), not per shed-retry iteration: k sheds
+            // must cost one epoch, not k+1, so replayed journals agree
+            // on epoch numbering regardless of how many retries ran.
             if inst.registry.is_empty() {
+                inst.epoch += 1;
+                inst.planned_at = self.now;
                 let epoch = inst.epoch;
                 self.journal.push(
                     self.tick,
@@ -859,33 +878,35 @@ impl FineTuneService {
             }
             let plan = inst.plan_override.unwrap_or(self.cfg.plan);
             let cfg = PlannerConfig::muxtune(plan, self.cfg.micro_batches);
-            let result = {
-                let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
-                match self.cfg.replan_mode {
-                    ReplanMode::Simulate => {
-                        plan_and_run(&inst.registry, cluster, &inst.corpora, &cfg)
-                            .map(|report| report.metrics.effective_throughput)
-                    }
-                    ReplanMode::Estimate => {
-                        plan_estimate(&inst.registry, cluster, &inst.corpora, &cfg)
-                    }
+            let result = match self.cfg.replan_mode {
+                ReplanMode::Simulate => {
+                    let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
+                    plan_and_run(&inst.registry, cluster, &inst.corpora, &cfg)
+                        .map(|report| report.metrics.effective_throughput)
+                }
+                ReplanMode::Estimate => {
+                    let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
+                    plan_estimate(&inst.registry, cluster, &inst.corpora, &cfg)
+                }
+                ReplanMode::Incremental => {
+                    // Take/restore so the warm planner outlives the call
+                    // without aliasing the instance borrow.
+                    let mut est = inst.planner.take().unwrap_or_default();
+                    let cluster = inst.cluster_override.as_ref().unwrap_or(&self.cluster);
+                    let r = est.estimate(&inst.registry, cluster, &inst.corpora, &cfg);
+                    inst.planner = Some(est);
+                    r
                 }
             };
             let degrading = !inst.lost_devices.is_empty();
             match result {
                 Ok(effective_throughput) => {
-                    // Split effective throughput across tasks in proportion
-                    // to their raw content per round.
                     let raw: BTreeMap<TaskId, f64> = inst
                         .corpora
                         .iter()
                         .map(|(&t, lens)| (t, lens.iter().map(|&l| l as f64).sum()))
                         .collect();
-                    let total: f64 = raw.values().sum();
-                    for (&t, r) in &raw {
-                        inst.raw_rates
-                            .insert(t, effective_throughput * r / total.max(1.0));
-                    }
+                    inst.raw_rates = Self::split_throughput(effective_throughput, &raw);
                     // Degeneracy is judged on the planner's raw rates:
                     // fault-scaled rates are legitimately 0 during outages.
                     if let Some((&bad, &rate)) = inst
@@ -907,6 +928,8 @@ impl FineTuneService {
                         .iter()
                         .map(|(&t, &r)| (t, r * mult))
                         .collect();
+                    inst.epoch += 1;
+                    inst.planned_at = self.now;
                     let (epoch, tasks) = (inst.epoch, inst.registry.len());
                     self.push_completion(i);
                     self.journal.push(
@@ -978,6 +1001,26 @@ impl FineTuneService {
         }
     }
 
+    /// Splits `effective_throughput` across tasks in proportion to their
+    /// raw content per round. The divisor is the exact content total —
+    /// clamping it upward (e.g. `total.max(1.0)`) would silently deflate
+    /// every rate whenever the membership's combined content is below
+    /// the clamp, leaking throughput that then never reaches any job. A
+    /// zero-content membership yields all-zero rates (never NaN); the
+    /// caller sheds those as degenerate.
+    fn split_throughput(
+        effective_throughput: f64,
+        raw: &BTreeMap<TaskId, f64>,
+    ) -> BTreeMap<TaskId, f64> {
+        let total: f64 = raw.values().sum();
+        raw.iter()
+            .map(|(&t, &r)| {
+                let share = if total > 0.0 { r / total } else { 0.0 };
+                (t, effective_throughput * share)
+            })
+            .collect()
+    }
+
     /// The factor `raw_rates` shrink by under the instance's live fault
     /// state: 0 during an outage, else the reciprocal of the worst
     /// straggler slowdown times the link degradation.
@@ -1003,6 +1046,34 @@ impl FineTuneService {
         inst.epoch += 1;
         inst.planned_at = self.now;
         self.push_completion(i);
+    }
+
+    /// Forces a full replan of instance `i` with the current membership
+    /// (progress is materialized first, so no accrued tokens are lost).
+    /// An operator escape hatch — and the observable no-op case for
+    /// [`ReplanMode::Incremental`]: forcing a replan with unchanged
+    /// membership must rebuild zero fusion ranges.
+    ///
+    /// Out-of-range `i` is a no-op returning `false`.
+    pub fn force_replan(&mut self, i: usize) -> bool {
+        if i >= self.instances.len() {
+            return false;
+        }
+        self.materialize(i);
+        self.replan(i);
+        true
+    }
+
+    /// Cumulative incremental-planner statistics for instance `i`
+    /// (`ranges_built`, `ranges_reused`, `noop_plans`, …). All-default
+    /// when the instance never replanned in
+    /// [`ReplanMode::Incremental`] or `i` is out of range.
+    pub fn planner_stats(&self, i: usize) -> muxtune_core::fusion::IncrementalStats {
+        self.instances
+            .get(i)
+            .and_then(|inst| inst.planner.as_ref())
+            .map(|p| p.stats())
+            .unwrap_or_default()
     }
 
     /// The earliest still-valid completion event, discarding stale ones.
@@ -2876,6 +2947,105 @@ mod tests {
         for id in [a, b] {
             assert_eq!(svc.job(id).unwrap().state, JobState::Completed);
         }
+    }
+
+    /// Regression (rate-split bug): the divisor used to be
+    /// `total.max(1.0)`, so a membership whose combined content summed
+    /// below one token had every rate silently deflated — the shares no
+    /// longer summed to the instance throughput.
+    #[test]
+    fn split_throughput_conserves_rate_for_sub_token_totals() {
+        let raw: BTreeMap<TaskId, f64> = [(1, 0.3), (2, 0.2)].into_iter().collect();
+        let rates = FineTuneService::split_throughput(1000.0, &raw);
+        let sum: f64 = rates.values().sum();
+        assert!(
+            (sum - 1000.0).abs() < 1e-9,
+            "shares must sum to the effective throughput, got {sum}"
+        );
+        assert!((rates[&1] - 600.0).abs() < 1e-9, "rate {}", rates[&1]);
+        assert!((rates[&2] - 400.0).abs() < 1e-9, "rate {}", rates[&2]);
+    }
+
+    /// A zero-content membership yields all-zero rates, never NaN; the
+    /// replan loop then sheds those tasks as degenerate.
+    #[test]
+    fn split_throughput_zero_total_yields_zeros_not_nan() {
+        let raw: BTreeMap<TaskId, f64> = [(1, 0.0), (2, 0.0)].into_iter().collect();
+        let rates = FineTuneService::split_throughput(1000.0, &raw);
+        for (&t, &r) in &rates {
+            assert_eq!(r, 0.0, "task {t} rate must be exactly zero, got {r}");
+        }
+    }
+
+    /// Regression (epoch bug): the shed-retry loop used to bump
+    /// `inst.epoch` at the top of every iteration, so a replan that shed
+    /// k tasks burned k+1 epochs. The epoch must advance exactly once
+    /// per *concluded* replan, shed retries included.
+    #[test]
+    fn epoch_advances_exactly_once_per_successful_replan() {
+        let mut svc = service(4);
+        svc.submit(spec(50_000));
+        assert_eq!(svc.instances[0].epoch, 1, "first replan");
+        svc.submit(spec(50_000));
+        assert_eq!(svc.instances[0].epoch, 2, "second replan");
+        // An infeasible arrival forces one shed inside the replan loop;
+        // the retry that then succeeds must still cost a single epoch.
+        svc.submit(
+            JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 50_000)
+                .with_sequence_lengths(vec![256; 2000]),
+        );
+        assert_eq!(
+            svc.instances[0].epoch, 3,
+            "a replan that sheds k tasks must burn one epoch, not k+1"
+        );
+    }
+
+    /// Tentpole no-op pin: forcing a replan with unchanged membership
+    /// under [`ReplanMode::Incremental`] is a pure cache hit — zero
+    /// fusion ranges are built and the DP is not re-run.
+    #[test]
+    fn incremental_noop_replan_builds_zero_ranges() {
+        let mut cfg = ServiceConfig::a40_pool(4);
+        cfg.backbone_layers = Some(8);
+        cfg.replan_mode = ReplanMode::Incremental;
+        let mut svc = FineTuneService::new(cfg);
+        svc.submit(spec(50_000));
+        svc.submit(spec(50_000));
+        let warm = svc.planner_stats(0);
+        assert!(warm.ranges_built > 0, "warm-up built the tables");
+        assert!(svc.force_replan(0), "instance 0 exists");
+        let after = svc.planner_stats(0);
+        assert_eq!(
+            after.ranges_built, warm.ranges_built,
+            "no-op replan must build zero ranges"
+        );
+        assert_eq!(after.noop_plans, warm.noop_plans + 1);
+        // The cached rates are still live and the jobs still complete.
+        svc.run_to_completion();
+    }
+
+    /// Incremental and estimate modes price identically: same journal,
+    /// same rates, same completion times.
+    #[test]
+    fn incremental_mode_matches_estimate_mode_end_to_end() {
+        let run = |mode: ReplanMode| {
+            let mut cfg = ServiceConfig::a40_pool(4);
+            cfg.backbone_layers = Some(8);
+            cfg.replan_mode = mode;
+            let mut svc = FineTuneService::new(cfg);
+            let a = svc.submit(spec(20_000));
+            let b = svc.submit(spec(60_000));
+            svc.run_to_completion();
+            svc.seal_journal();
+            (
+                svc.journal().events().len(),
+                svc.job(a).unwrap().finished_at,
+                svc.job(b).unwrap().finished_at,
+            )
+        };
+        let est = run(ReplanMode::Estimate);
+        let inc = run(ReplanMode::Incremental);
+        assert_eq!(est, inc, "estimate vs incremental diverged");
     }
 
     #[test]

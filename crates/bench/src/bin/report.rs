@@ -49,6 +49,11 @@
 //!   attainment, capacity makespan, and the sealed journal fingerprint
 //!   per policy. Exits non-zero if any trace job is lost or the replayed
 //!   journal fails verification.
+//! - `--replan-mode <simulate|estimate|incremental>`: how the replayed
+//!   service re-prices membership changes (default `estimate`).
+//!   `incremental` keeps a warm per-instance planner whose journals must
+//!   be bitwise identical to `estimate`'s — the CI churn leg diffs the
+//!   two replays.
 //! - `--explain-job <id>`: after a `--replay-trace` run, reconstruct the
 //!   job's causal lifecycle from the sealed journal (span tree, JCT
 //!   decomposition, scheduler decision provenance) and print it. The id
@@ -66,10 +71,11 @@ use std::process::ExitCode;
 
 use mux_api::Journal;
 use mux_bench::harness::{
-    attribution_json, fig14_small_trace_scenario, fig14_trace_scenario, measure_run,
-    planner_scale_measurement, service_telemetry_scenario, service_telemetry_step,
-    sketch_overhead_measurement, telemetry_overhead_measurement, trace_replay_measurement,
-    PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
+    attribution_json, churn_replay_measurement, fig14_small_trace_scenario, fig14_trace_scenario,
+    measure_run, planner_incremental_measurement, planner_scale_measurement,
+    service_telemetry_scenario, service_telemetry_step, sketch_overhead_measurement,
+    telemetry_overhead_measurement, trace_replay_measurement, PLANNER_SCALE_M,
+    SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
@@ -272,6 +278,8 @@ fn render_prom() -> String {
 const GATE_SCENARIOS: &[&str] = &[
     "fig14-small",
     "planner-scale",
+    "planner-incremental",
+    "churn-replay",
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
@@ -281,6 +289,8 @@ const GATE_SCENARIOS: &[&str] = &[
 /// rather than simulated makespan.
 const WALL_TIME_SCENARIOS: &[&str] = &[
     "planner-scale",
+    "planner-incremental",
+    "churn-replay",
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
@@ -294,6 +304,8 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
             Ok(measure_run(&report, &ops, num_devices))
         }
         "planner-scale" => Ok(planner_scale_measurement()),
+        "planner-incremental" => Ok(planner_incremental_measurement()),
+        "churn-replay" => Ok(churn_replay_measurement()),
         "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
         "sketch-overhead" => Ok(sketch_overhead_measurement()),
         "trace-replay" => Ok(trace_replay_measurement()),
@@ -480,6 +492,7 @@ fn quantile_cell(sketch: &mux_obs::QuantileSketch) -> String {
 fn replay_trace_file(
     path: &Path,
     policy: Option<&str>,
+    replan_mode: Option<mux_api::ReplanMode>,
     explain: Option<u64>,
     lifecycle_out: Option<&Path>,
 ) -> Result<(), String> {
@@ -493,7 +506,10 @@ fn replay_trace_file(
         None if wants_lifecycle => vec!["fcfs"],
         None => mux_api::POLICY_NAMES.to_vec(),
     };
-    let opts = mux_workload::ReplayOptions::default();
+    let mut opts = mux_workload::ReplayOptions::default();
+    if let Some(mode) = replan_mode {
+        opts.replan_mode = mode;
+    }
     for name in policies {
         let report = mux_workload::replay_trace_by_name(&trace, name, &opts)?;
         if report.terminal_total() != report.trace_jobs {
@@ -654,6 +670,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut replay_trace: Option<PathBuf> = None;
     let mut policy: Option<String> = None;
+    let mut replan_mode: Option<mux_api::ReplanMode> = None;
     let mut explain_job_id: Option<u64> = None;
     let mut lifecycle_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -754,6 +771,23 @@ fn main() -> ExitCode {
                 Some(p) => lifecycle_out = Some(p),
                 None => return ExitCode::from(2),
             },
+            "--replan-mode" => match take("--replan-mode") {
+                Some(p) => {
+                    replan_mode = match p.to_string_lossy().as_ref() {
+                        "simulate" => Some(mux_api::ReplanMode::Simulate),
+                        "estimate" => Some(mux_api::ReplanMode::Estimate),
+                        "incremental" => Some(mux_api::ReplanMode::Incremental),
+                        other => {
+                            eprintln!(
+                                "error: unknown --replan-mode `{other}` \
+                                 (expected simulate, estimate, or incremental)"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    };
+                }
+                None => return ExitCode::from(2),
+            },
             "--policy" => match take("--policy") {
                 Some(p) => {
                     let name = p.to_string_lossy().into_owned();
@@ -818,6 +852,7 @@ fn main() -> ExitCode {
         if let Err(e) = replay_trace_file(
             path,
             policy.as_deref(),
+            replan_mode,
             explain_job_id,
             lifecycle_out.as_deref(),
         ) {

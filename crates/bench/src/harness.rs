@@ -19,7 +19,9 @@ use mux_parallel::plan::HybridParallelism;
 use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
 use muxtune_core::cost::CostModel;
-use muxtune_core::fusion::{fuse_dp_seed, fuse_tasks, FusionPolicy, RangeBuild};
+use muxtune_core::fusion::{
+    fuse_dp_seed, fuse_tasks, FusionPolicy, IncrementalPlanner, RangeBuild,
+};
 use muxtune_core::grouping::group_htasks;
 use muxtune_core::planner::{plan_and_run_traced, MuxTuneReport, PlannerConfig};
 
@@ -382,6 +384,127 @@ pub fn planner_scale_measurement() -> PerfMeasurement {
         .fold(f64::INFINITY, f64::min);
     PerfMeasurement {
         makespan_seconds: secs,
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
+/// Task count of the `churn-replay` CI gate (the mid-size point of the
+/// incremental-replanning tentpole).
+pub const CHURN_M: usize = 4096;
+
+/// Membership deltas the `churn-replay` gate applies against the warm
+/// planner (1000 arrivals/cancellations, replanning after each).
+pub const CHURN_DELTAS: usize = 1000;
+
+/// Task count of the `planner-incremental` CI gate (the large point:
+/// warm fill plus a burst of deltas at 16384 tasks).
+pub const PLANNER_INCREMENTAL_M: usize = 16384;
+
+/// Deltas the `planner-incremental` gate applies after the warm fill.
+pub const PLANNER_INCREMENTAL_DELTAS: usize = 32;
+
+/// xorshift64* step — the deterministic churn schedule (no external RNG).
+fn churn_rng(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A fresh planner-scale-shaped task for churn id `id`.
+fn churn_task(id: TaskId) -> PeftTask {
+    let i = id as usize;
+    PeftTask::lora(id, 1024, 1 + i % 4, [64usize, 128, 256][i % 3])
+}
+
+/// Warm-fills an [`IncrementalPlanner`] with the planner-scale workload
+/// at `m` tasks and plans once (the fill is *not* timed), then applies
+/// `deltas` pseudo-random arrivals/cancellations — replanning after
+/// every single delta — and returns the total replan wall time. This is
+/// the steady-state multi-tenant regime the tentpole targets: each delta
+/// invalidates only the ranges crossing its sorted position, so the
+/// per-delta cost is bounded by the row width, not by M.
+pub fn churn_replay_seconds(m: usize, deltas: usize) -> f64 {
+    let mut reg = planner_scale_registry(m);
+    let build = RangeBuild::Padded { micro_batches: 4 };
+    let mut inc = IncrementalPlanner::new();
+    let mut live: Vec<TaskId> = Vec::with_capacity(m + deltas);
+    let seed: Vec<PeftTask> = reg.tasks().cloned().collect();
+    for t in seed {
+        live.push(t.id);
+        inc.insert(t, 0);
+    }
+    inc.plan(&planner_scale_cost_model(&reg), &build)
+        .expect("planner-scale churn is feasible");
+    let mut next_id = m as TaskId + 1;
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let start = Instant::now();
+    for _ in 0..deltas {
+        let r = churn_rng(&mut state);
+        // ~50/50 arrivals vs cancellations, never draining below half.
+        if r & 1 == 0 || live.len() <= m / 2 {
+            let task = churn_task(next_id);
+            reg.register_task(task.clone()).expect("fresh id");
+            inc.insert(task, 0);
+            live.push(next_id);
+            next_id += 1;
+        } else {
+            let victim = live.swap_remove((r >> 1) as usize % live.len());
+            reg.deregister_task(victim).expect("victim registered");
+            assert!(inc.remove(victim), "victim is live");
+        }
+        // The cost model is rebuilt per delta, exactly as the service's
+        // estimator does — its construction cost is part of a replan.
+        let cm = planner_scale_cost_model(&reg);
+        let plan = inc.plan(&cm, &build).expect("churn stays feasible");
+        std::hint::black_box(plan.htasks.len());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One from-scratch value-table DP fusion over the live churn membership
+/// at `m` tasks — what every delta would cost without the warm planner
+/// (the [`fuse_tasks`] call behind `ReplanMode::Estimate`). Multiply by
+/// the delta count for the from-scratch churn total.
+pub fn churn_scratch_fusion_seconds(m: usize) -> f64 {
+    let reg = planner_scale_registry(m);
+    let cm = planner_scale_cost_model(&reg);
+    let tasks: Vec<&PeftTask> = reg.tasks().collect();
+    let build = RangeBuild::Padded { micro_batches: 4 };
+    let start = Instant::now();
+    let plan =
+        fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("scale workload is feasible");
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(plan.htasks.len());
+    secs
+}
+
+/// The `churn-replay` CI measurement: total wall time of
+/// [`CHURN_DELTAS`] warm-planner replans at [`CHURN_M`] tasks, reported
+/// as the makespan. A single run — the warm fill already dominates
+/// best-of-N — with utilization/stall pinned so only wall time gates.
+pub fn churn_replay_measurement() -> PerfMeasurement {
+    PerfMeasurement {
+        makespan_seconds: churn_replay_seconds(CHURN_M, CHURN_DELTAS),
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
+/// The `planner-incremental` CI measurement: cold fill plus
+/// [`PLANNER_INCREMENTAL_DELTAS`] warm deltas at
+/// [`PLANNER_INCREMENTAL_M`] tasks — the scale point where the trimmed
+/// per-range rows (feasible-prefix storage) keep the tables far below
+/// the dense O(M²) footprint. Utilization/stall pinned; wall time gates.
+pub fn planner_incremental_measurement() -> PerfMeasurement {
+    let start = Instant::now();
+    let secs = churn_replay_seconds(PLANNER_INCREMENTAL_M, PLANNER_INCREMENTAL_DELTAS);
+    std::hint::black_box(secs);
+    PerfMeasurement {
+        makespan_seconds: start.elapsed().as_secs_f64(),
         mean_utilization: 1.0,
         stall_share: 0.0,
     }

@@ -24,7 +24,7 @@
 //! per-member latency cost, so infeasible ranges are never built at all.
 
 use mux_model::ops::Pass;
-use mux_peft::types::PeftTask;
+use mux_peft::types::{PeftTask, TaskId};
 
 use crate::cost::{CostModel, PaddedRangeProber};
 use crate::error::PlanError;
@@ -54,9 +54,12 @@ pub enum FusionPolicy {
 }
 
 /// How to build the hTask for a contiguous task run.
+///
+/// Builders must be `Sync`: the [`IncrementalPlanner`] evaluates
+/// freshly-needed range builds in parallel across rows.
 pub enum RangeBuild<'b> {
     /// Arbitrary builder (e.g. corpus-backed data alignment).
-    Custom(&'b dyn Fn(&[&PeftTask]) -> Result<HTask, PlanError>),
+    Custom(&'b (dyn Fn(&[&PeftTask]) -> Result<HTask, PlanError> + Sync)),
     /// The canonical padded build — `HTask::from_padded(range, micro_batches)`.
     /// Declaring it lets the DP prove memory feasibility in O(1) per range
     /// via [`CostModel::padded_prober`] instead of building every candidate.
@@ -290,6 +293,407 @@ fn fuse_dp(
         htasks,
         predicted: best_val,
     })
+}
+
+/// Lifetime counters of an [`IncrementalPlanner`]. Monotone — callers diff
+/// snapshots around an operation to count the work it did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Range candidates evaluated (one per `(a, b)` latency/feasibility
+    /// evaluation — the unit of work the incremental planner avoids).
+    pub ranges_built: u64,
+    /// Stored range entries carried over a recompute instead of rebuilt.
+    pub ranges_reused: u64,
+    /// Membership deltas (inserts + removes) applied.
+    pub deltas_applied: u64,
+    /// `plan()` calls answered entirely from the cached plan: zero range
+    /// builds, zero DP work (the no-op replan path).
+    pub noop_plans: u64,
+    /// `plan()` calls that recomputed at least the DP suffix.
+    pub replans: u64,
+}
+
+/// One row of the persisted range tables: entry `w - 1` holds the
+/// `(latency, fits)` value of range `[a, a + w)` for the row's start `a`.
+///
+/// Padded rows exploit that Eq. 5 memory grows monotonically in `b` (the
+/// token total and adapter state of `[a, b)` are non-decreasing), so they
+/// store exactly the feasible prefix of widths and stop at the first
+/// infeasible one. Custom rows (corpus-backed builds carry no such proof)
+/// are dense up to the current membership size.
+#[derive(Debug, Clone, Default)]
+struct RangeRow {
+    lat: Vec<f64>,
+    fits: Vec<bool>,
+    /// Stored feasible entries whose latency came out non-finite.
+    degenerate: usize,
+}
+
+impl RangeRow {
+    fn truncate(&mut self, width: usize) {
+        if self.lat.len() > width {
+            for w in width..self.lat.len() {
+                if self.fits[w] && !self.lat[w].is_finite() {
+                    self.degenerate -= 1;
+                }
+            }
+            self.lat.truncate(width);
+            self.fits.truncate(width);
+        }
+    }
+}
+
+/// Rows below this many pending extensions run serially — scoped-thread
+/// fan-out costs more than a handful of O(width) row builds.
+const PAR_ROWS_MIN: usize = 8;
+
+/// Persistent Eq. 6 fusion-DP state that survives membership changes.
+///
+/// [`fuse_tasks`] rebuilds the full `(lat, fits)` value tables and DP on
+/// every call — O(M²) work per membership delta. This planner keeps the
+/// sorted task list, the per-range value tables (`RangeRow`), and the
+/// DP arrays alive across replans:
+///
+/// * Tasks stay sorted by `(tokens_per_micro_batch, id)` — the same total
+///   order [`sort_by_tokens`] uses — so an insert or remove lands at one
+///   sorted position `k` and invalidates **only the ranges crossing `k`**
+///   and the DP suffix `g[k+1..]`. Every other stored value is reused
+///   verbatim, which is what makes the result bit-for-bit identical to a
+///   from-scratch [`fuse_tasks`] run: reused entries are the same floats,
+///   and the recomputed suffix runs the same recurrence in the same order.
+/// * Freshly-needed range builds are evaluated in parallel across rows via
+///   the rayon shim (deterministically: results are applied in ascending
+///   row order, and each row's candidates are evaluated in ascending `b`,
+///   matching the from-scratch fill's error ordering).
+/// * A `plan()` with no pending deltas returns the cached [`FusionPlan`]
+///   without building a single range (the no-op replan path — e.g. a
+///   fault clear with unchanged membership).
+///
+/// The tables themselves are trimmed: padded rows store only the feasible
+/// prefix of widths (memory is monotone in range width), so a warm planner
+/// at M=16384 holds O(M·W) entries, not the O(M²) a dense table would need.
+#[derive(Default)]
+pub struct IncrementalPlanner {
+    /// Owned tasks, sorted ascending by `(tokens_per_micro_batch, id)`.
+    tasks: Vec<PeftTask>,
+    /// Per-slot content fingerprint (task shape + corpus), caller-defined:
+    /// a changed fingerprint re-inserts the task, invalidating its ranges.
+    fps: Vec<u64>,
+    rows: Vec<RangeRow>,
+    /// `g[mm]` = best objective over partitions of the first `mm` tasks.
+    g: Vec<f64>,
+    /// `choice[mm]` = start of the last hTask (0 ⇒ single hTask `[0, mm)`).
+    choice: Vec<usize>,
+    /// First prefix length whose `g`/`choice` entry is stale (`None` ⇒ the
+    /// DP arrays are valid for the current membership).
+    dp_from: Option<usize>,
+    /// Upper bound on any row's stored width (stale-high after removals,
+    /// which only widens the truncate/DP scan windows — never wrong).
+    widest: usize,
+    cached: Option<FusionPlan>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalPlanner {
+    /// An empty planner; populate with [`sync`](Self::sync) or
+    /// [`insert`](Self::insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current membership size.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the planner holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Lifetime work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Records a no-op replan served entirely from a cache *above* the
+    /// planner (e.g. [`IncrementalEstimator`]'s throughput cache, which
+    /// short-circuits before reaching [`plan`](Self::plan)), so the
+    /// stats still account every replan the caller saw.
+    ///
+    /// [`IncrementalEstimator`]: crate::planner::IncrementalEstimator
+    pub fn note_noop(&mut self) {
+        self.stats.noop_plans += 1;
+    }
+
+    /// The plan of the most recent successful [`plan`](Self::plan), if the
+    /// membership has not changed since.
+    pub fn cached_plan(&self) -> Option<&FusionPlan> {
+        self.cached.as_ref()
+    }
+
+    fn sort_key(task: &PeftTask) -> (usize, TaskId) {
+        (task.tokens_per_micro_batch(), task.id)
+    }
+
+    /// Inserts `task` at its sorted position, invalidating only the ranges
+    /// that cross it. `fingerprint` is an opaque content hash (e.g. over
+    /// the task's corpus); [`sync`](Self::sync) re-inserts a task whose
+    /// fingerprint changed.
+    pub fn insert(&mut self, task: PeftTask, fingerprint: u64) {
+        debug_assert!(
+            self.tasks.iter().all(|t| t.id != task.id),
+            "duplicate task id {}",
+            task.id
+        );
+        let key = Self::sort_key(&task);
+        let k = self.tasks.partition_point(|t| Self::sort_key(t) < key);
+        self.tasks.insert(k, task);
+        self.fps.insert(k, fingerprint);
+        self.rows.insert(k, RangeRow::default());
+        self.invalidate_at(k);
+    }
+
+    /// Removes the task with `id`; returns whether it was present.
+    pub fn remove(&mut self, id: TaskId) -> bool {
+        let Some(k) = self.tasks.iter().position(|t| t.id == id) else {
+            return false;
+        };
+        self.tasks.remove(k);
+        self.fps.remove(k);
+        self.rows.remove(k);
+        self.invalidate_at(k);
+        true
+    }
+
+    /// After an insert/remove at sorted position `k`: rows starting at or
+    /// after `k` shifted in place and stay valid; rows starting before `k`
+    /// keep exactly their entries with `b <= k` (ranges not crossing the
+    /// delta); the DP is stale from prefix `k + 1` on.
+    fn invalidate_at(&mut self, k: usize) {
+        for a in k.saturating_sub(self.widest)..k {
+            self.rows[a].truncate(k - a);
+        }
+        self.dp_from = Some(self.dp_from.map_or(k + 1, |d| d.min(k + 1)));
+        self.cached = None;
+        self.stats.deltas_applied += 1;
+    }
+
+    /// Diffs the desired membership against the current one and applies
+    /// the minimal insert/remove deltas (a changed fingerprint counts as
+    /// remove + insert). Returns the number of deltas applied — 0 means
+    /// the upcoming [`plan`](Self::plan) is a no-op served from cache.
+    pub fn sync(&mut self, items: &[(PeftTask, u64)]) -> usize {
+        let want: std::collections::BTreeMap<TaskId, u64> =
+            items.iter().map(|(t, fp)| (t.id, *fp)).collect();
+        debug_assert_eq!(want.len(), items.len(), "duplicate task ids in sync");
+        let stale: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .zip(&self.fps)
+            .filter(|(t, fp)| want.get(&t.id) != Some(fp))
+            .map(|(t, _)| t.id)
+            .collect();
+        let mut deltas = stale.len();
+        for id in stale {
+            self.remove(id);
+        }
+        let have: std::collections::BTreeSet<TaskId> = self.tasks.iter().map(|t| t.id).collect();
+        for (task, fp) in items {
+            if !have.contains(&task.id) {
+                self.insert(task.clone(), *fp);
+                deltas += 1;
+            }
+        }
+        deltas
+    }
+
+    /// Runs the Eq. 6 DP over the persisted tables, rebuilding only what
+    /// pending deltas invalidated, and returns a plan bit-for-bit equal to
+    /// `fuse_tasks(cm, tasks, FusionPolicy::Dp, build)` on the same
+    /// membership.
+    ///
+    /// With no pending deltas the cached plan is returned without any
+    /// range builds. `cm` and `build` must describe the same planning
+    /// context across calls — a context change (parallelism plan, GPU,
+    /// alignment, micro-batch count) requires a fresh planner.
+    ///
+    /// # Errors
+    /// Exactly [`fuse_tasks`]'s: [`PlanError::NoTasks`] when empty,
+    /// [`PlanError::Infeasible`] / [`PlanError::DegenerateCost`] when no
+    /// finite-cost partition exists, plus anything `build` returns.
+    pub fn plan(
+        &mut self,
+        cm: &CostModel<'_>,
+        build: &RangeBuild<'_>,
+    ) -> Result<FusionPlan, PlanError> {
+        let m = self.tasks.len();
+        if m == 0 {
+            return Err(PlanError::NoTasks);
+        }
+        if self.dp_from.is_none() {
+            if let Some(plan) = &self.cached {
+                self.stats.noop_plans += 1;
+                return Ok(plan.clone());
+            }
+        }
+        self.stats.replans += 1;
+        self.stats.ranges_reused += self.rows.iter().map(|r| r.lat.len() as u64).sum::<u64>();
+        let refs: Vec<&PeftTask> = self.tasks.iter().collect();
+        let prober: Option<PaddedRangeProber<'_>> = match build {
+            RangeBuild::Padded { .. } => Some(cm.padded_prober(&refs)),
+            RangeBuild::Custom(_) => None,
+        };
+
+        // Rows needing extension: padded rows whose next width still fits
+        // (O(1) probe — rows that stopped at infeasibility or at the end
+        // are skipped for free), custom rows not yet dense.
+        let todo: Vec<usize> = (0..m)
+            .filter(|&a| {
+                let next = a + 1 + self.rows[a].lat.len();
+                next <= m && prober.as_ref().is_none_or(|p| p.fits(a, next))
+            })
+            .collect();
+        let stages = cm.num_stages();
+        let rows = &self.rows;
+        type RowTables = Result<(Vec<f64>, Vec<bool>), PlanError>;
+        let eval_row = |a: usize| -> RowTables {
+            let mut lat = Vec::new();
+            let mut fits = Vec::new();
+            let mut b = a + 1 + rows[a].lat.len();
+            match &prober {
+                Some(p) => {
+                    // Feasible widths form a prefix: extend until the
+                    // prober says no (or the membership ends).
+                    while b <= m && p.fits(a, b) {
+                        lat.push(cm.pipeline_latency(&build.build(&refs[a..b])?));
+                        fits.push(true);
+                        b += 1;
+                    }
+                }
+                None => {
+                    while b <= m {
+                        let h = build.build(&refs[a..b])?;
+                        let f = cm.fits_memory(std::slice::from_ref(&h), stages);
+                        lat.push(if f {
+                            cm.pipeline_latency(&h)
+                        } else {
+                            f64::INFINITY
+                        });
+                        fits.push(f);
+                        b += 1;
+                    }
+                }
+            }
+            Ok((lat, fits))
+        };
+        let results: Vec<RowTables> = if todo.len() >= PAR_ROWS_MIN {
+            use rayon::prelude::*;
+            todo.par_iter().map(|&a| eval_row(a)).collect()
+        } else {
+            todo.iter().map(|&a| eval_row(a)).collect()
+        };
+        let mut built = 0u64;
+        let mut first_err = None;
+        for (&a, res) in todo.iter().zip(results) {
+            // Apply in ascending row order; surface the first error in the
+            // same (a asc, b asc) order the from-scratch fill would.
+            match res {
+                Ok((lat, fits)) => {
+                    built += lat.len() as u64;
+                    let row = &mut self.rows[a];
+                    for (l, f) in lat.iter().zip(&fits) {
+                        if *f && !l.is_finite() {
+                            row.degenerate += 1;
+                        }
+                    }
+                    row.lat.extend(lat);
+                    row.fits.extend(fits);
+                    self.widest = self.widest.max(row.lat.len());
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.stats.ranges_built += built;
+        if built > 0 {
+            mux_obs::incr_counter("planner.candidates", built);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // Recompute the invalidated DP suffix only — the same recurrence,
+        // iteration order, and strict-< tie-break as `fuse_dp`, with the
+        // transition window bounded by the widest stored row (anything
+        // wider is provably infeasible and would be skipped anyway).
+        const INF: f64 = f64::INFINITY;
+        self.g.resize(m + 1, INF);
+        self.choice.resize(m + 1, usize::MAX);
+        let start = self.dp_from.unwrap_or(m + 1).max(1);
+        let s = stages as f64;
+        let wmax = self.widest.max(1);
+        for mm in start..=m {
+            let mut best = INF;
+            let mut ch = usize::MAX;
+            let whole = &self.rows[0];
+            if mm <= whole.lat.len() && whole.fits[mm - 1] && whole.lat[mm - 1] < best {
+                best = whole.lat[mm - 1];
+                ch = 0;
+            }
+            for j in mm.saturating_sub(wmax).max(1)..mm {
+                if self.g[j] == INF {
+                    continue;
+                }
+                let w = mm - j;
+                let row = &self.rows[j];
+                if w > row.lat.len() || !row.fits[w - 1] {
+                    continue;
+                }
+                let cand = self.g[j] + row.lat[w - 1] / s;
+                if cand < best {
+                    best = cand;
+                    ch = j;
+                }
+            }
+            self.g[mm] = best;
+            self.choice[mm] = ch;
+        }
+        self.dp_from = None;
+
+        let best_val = self.g[m];
+        if !best_val.is_finite() {
+            let degenerate: usize = self.rows.iter().map(|r| r.degenerate).sum();
+            return Err(if degenerate > 0 {
+                PlanError::DegenerateCost {
+                    detail: format!("{degenerate} feasible range(s) had non-finite latency"),
+                }
+            } else {
+                PlanError::Infeasible { tasks: m }
+            });
+        }
+
+        let mut cuts = vec![m];
+        let mut mm = m;
+        while self.choice[mm] != 0 {
+            mm = self.choice[mm];
+            cuts.push(mm);
+        }
+        cuts.push(0);
+        cuts.reverse();
+        let mut htasks = Vec::with_capacity(cuts.len() - 1);
+        for w in cuts.windows(2) {
+            htasks.push(build.build(&refs[w[0]..w[1]])?);
+        }
+        let plan = FusionPlan {
+            htasks,
+            predicted: best_val,
+        };
+        self.cached = Some(plan.clone());
+        Ok(plan)
+    }
 }
 
 /// The seed O(M³) Eq. 6 implementation, retained verbatim (modulo the
@@ -549,6 +953,137 @@ mod tests {
         )
         .expect_err("empty");
         assert_eq!(err, PlanError::NoTasks);
+    }
+
+    fn items(r: &TaskRegistry) -> Vec<(PeftTask, u64)> {
+        r.tasks().map(|t| (t.clone(), 0)).collect()
+    }
+
+    #[test]
+    fn incremental_first_plan_matches_scratch_bitwise() {
+        let r = setup(&[(4, 64), (2, 128), (8, 64), (4, 128), (2, 256), (8, 128)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let scratch = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("feasible");
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        let plan = inc.plan(&cm, &build).expect("feasible");
+        assert_eq!(plan.predicted.to_bits(), scratch.predicted.to_bits());
+        let cuts: Vec<Vec<TaskId>> = plan.htasks.iter().map(|h| h.tasks.clone()).collect();
+        let scratch_cuts: Vec<Vec<TaskId>> =
+            scratch.htasks.iter().map(|h| h.tasks.clone()).collect();
+        assert_eq!(cuts, scratch_cuts);
+    }
+
+    #[test]
+    fn warm_planner_noop_replan_builds_zero_ranges() {
+        let r = setup(&[(4, 64), (2, 128), (8, 64), (4, 128)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        let p1 = inc.plan(&cm, &build).expect("feasible");
+        let before = inc.stats();
+        assert_eq!(inc.sync(&items(&r)), 0, "unchanged membership is a no-op");
+        let p2 = inc.plan(&cm, &build).expect("feasible");
+        let after = inc.stats();
+        assert_eq!(
+            after.ranges_built, before.ranges_built,
+            "no-op must build nothing"
+        );
+        assert_eq!(
+            after.replans, before.replans,
+            "no-op must not recompute the DP"
+        );
+        assert_eq!(after.noop_plans, before.noop_plans + 1);
+        assert_eq!(p1.predicted.to_bits(), p2.predicted.to_bits());
+    }
+
+    #[test]
+    fn delta_reuses_ranges_not_crossing_the_position() {
+        let mut r = setup(&[(4, 64), (2, 128), (8, 64), (4, 128), (2, 256), (8, 128)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        inc.plan(&cm, &build).expect("feasible");
+        let cold = inc.stats();
+        assert!(cold.ranges_built > 0);
+
+        r.register_task(PeftTask::lora(7, 16, 2, 64))
+            .expect("register");
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        assert_eq!(inc.sync(&items(&r)), 1);
+        let plan = inc.plan(&cm, &build).expect("feasible");
+        let warm = inc.stats();
+        let delta_builds = warm.ranges_built - cold.ranges_built;
+        assert!(
+            delta_builds < cold.ranges_built,
+            "a single insert must rebuild fewer ranges ({delta_builds}) than the cold fill ({})",
+            cold.ranges_built
+        );
+        assert!(warm.ranges_reused > 0, "unchanged ranges must be reused");
+
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let scratch = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("feasible");
+        assert_eq!(plan.predicted.to_bits(), scratch.predicted.to_bits());
+    }
+
+    #[test]
+    fn incremental_remove_to_empty_then_refill() {
+        let r = setup(&[(4, 64), (2, 128)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        inc.plan(&cm, &build).expect("feasible");
+        assert_eq!(inc.sync(&[]), 2);
+        assert!(inc.is_empty());
+        assert_eq!(
+            inc.plan(&cm, &build).expect_err("empty"),
+            PlanError::NoTasks
+        );
+        inc.sync(&items(&r));
+        let plan = inc.plan(&cm, &build).expect("feasible again");
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let scratch = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("feasible");
+        assert_eq!(plan.predicted.to_bits(), scratch.predicted.to_bits());
+    }
+
+    #[test]
+    fn incremental_infeasible_error_matches_scratch() {
+        let mut r = TaskRegistry::new(ModelConfig::llama2_7b());
+        r.register_task(PeftTask::lora(1, 16, 4096, 256))
+            .expect("register");
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        let err = inc.plan(&cm, &build).expect_err("cannot fit");
+        assert_eq!(err, PlanError::Infeasible { tasks: 1 });
+    }
+
+    #[test]
+    fn changed_fingerprint_reinserts_the_task() {
+        let r = setup(&[(4, 64), (2, 128), (8, 64)]);
+        let cm = CostModel::new(&r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+        let build = RangeBuild::Padded { micro_batches: 4 };
+        let mut inc = IncrementalPlanner::new();
+        inc.sync(&items(&r));
+        inc.plan(&cm, &build).expect("feasible");
+        // Same membership, one task's content fingerprint changed: that is
+        // a remove + insert, not a no-op.
+        let mut changed = items(&r);
+        changed[1].1 = 0xdead_beef;
+        assert_eq!(inc.sync(&changed), 2);
+        inc.plan(&cm, &build).expect("feasible");
+        let tasks: Vec<&PeftTask> = r.tasks().collect();
+        let scratch = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build).expect("feasible");
+        assert_eq!(
+            inc.cached_plan().expect("cached").predicted.to_bits(),
+            scratch.predicted.to_bits()
+        );
     }
 
     #[test]

@@ -32,10 +32,13 @@ pub mod template;
 pub use cost::CostModel;
 pub use engine::{EngineOptions, MuxEngine, RunMetrics};
 pub use error::PlanError;
-pub use fusion::{fuse_tasks, FusionPlan, FusionPolicy, RangeBuild};
+pub use fusion::{
+    fuse_tasks, FusionPlan, FusionPolicy, IncrementalPlanner, IncrementalStats, RangeBuild,
+};
 pub use grouping::{group_htasks, Grouping};
 pub use htask::HTask;
 pub use planner::{
-    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, MuxTuneReport, PlannerConfig,
+    degraded_plan, plan_and_run, plan_and_run_traced, plan_estimate, IncrementalEstimator,
+    MuxTuneReport, PlannerConfig,
 };
 pub use template::BucketOrder;

@@ -15,7 +15,9 @@ use mux_peft::types::{PeftTask, TaskId};
 use crate::cost::CostModel;
 use crate::engine::{EngineOptions, MuxEngine, RunMetrics};
 use crate::error::PlanError;
-use crate::fusion::{fuse_tasks, FusionPlan, FusionPolicy, RangeBuild};
+use crate::fusion::{
+    fuse_tasks, FusionPlan, FusionPolicy, IncrementalPlanner, IncrementalStats, RangeBuild,
+};
 use crate::grouping::{group_htasks, Grouping};
 use crate::htask::HTask;
 
@@ -135,7 +137,15 @@ pub fn plan_estimate(
         RangeBuild::Custom(&custom)
     };
     let fusion = fuse_tasks(&cm, &tasks, cfg.fusion, &build)?;
-    let grouping = group_htasks(&cm, &fusion.htasks);
+    Ok(estimate_throughput(&cm, &fusion))
+}
+
+/// The Appendix-A throughput estimate of a fusion plan: Eq. 7 grouping,
+/// then effective content per round over the grouped pipeline's estimated
+/// round latency. Shared by [`plan_estimate`] and [`IncrementalEstimator`]
+/// so the two paths are arithmetic-identical by construction.
+fn estimate_throughput(cm: &CostModel<'_>, fusion: &FusionPlan) -> f64 {
+    let grouping = group_htasks(cm, &fusion.htasks);
     // Effective content per round: every hTask runs its micro-batches
     // once per round, each carrying `total_tokens` of which
     // `effective_fraction` is real (non-padding) content.
@@ -144,7 +154,140 @@ pub fn plan_estimate(
         .iter()
         .map(|h| h.total_tokens() as f64 * h.micro_batches as f64 * h.effective_fraction)
         .sum();
-    Ok(effective_per_round / grouping.estimated.max(1e-9))
+    effective_per_round / grouping.estimated.max(1e-9)
+}
+
+/// Content fingerprint of one task's corpus for the incremental planner's
+/// membership diff: a changed corpus re-inserts the task, invalidating
+/// exactly the ranges that contain it. Absent corpora hash to a sentinel
+/// distinct from any empty-corpus hash, so attaching or dropping a corpus
+/// is also a content change.
+fn corpus_fingerprint(lens: Option<&Vec<usize>>) -> u64 {
+    match lens {
+        None => u64::MAX,
+        Some(lens) => {
+            let mut bytes = Vec::with_capacity(lens.len() * 8);
+            for &l in lens {
+                bytes.extend_from_slice(&(l as u64).to_le_bytes());
+            }
+            mux_obs::fingerprint::fnv1a_64(&bytes)
+        }
+    }
+}
+
+/// Fingerprint of everything the estimate depends on *besides* membership
+/// and corpora: a change (degraded plan after device loss, shrunk cluster,
+/// different alignment or micro-batch count) invalidates every persisted
+/// range value, so the estimator starts a fresh planner.
+fn context_fingerprint(registry: &TaskRegistry, cluster: &Cluster, cfg: &PlannerConfig) -> u64 {
+    let ctx = format!(
+        "{:?}|{:?}|{}|{:?}|{}|{:?}",
+        cfg.plan,
+        cfg.align,
+        cfg.micro_batches,
+        cluster.gpus.first(),
+        cluster.num_gpus(),
+        registry.backbone()
+    );
+    mux_obs::fingerprint::fnv1a_64(ctx.as_bytes())
+}
+
+/// [`plan_estimate`] with persisted planner state: the Eq. 6 value tables
+/// and DP arrays survive membership changes inside an
+/// [`IncrementalPlanner`], so a replan costs only the work the delta
+/// invalidated (and a replan with *no* delta — e.g. a fault clear with
+/// unchanged membership — costs zero range builds). Throughput results are
+/// bitwise-identical to calling [`plan_estimate`] from scratch on the same
+/// membership: reused range values are the same floats, and the recomputed
+/// DP suffix runs the same recurrence in the same order.
+///
+/// One estimator serves one planning context (instance). A context change
+/// — degraded parallelism plan, shrunk cluster, new alignment — is
+/// detected by fingerprint and starts a fresh planner; a fusion policy
+/// other than [`FusionPolicy::Dp`] falls back to [`plan_estimate`].
+#[derive(Default)]
+pub struct IncrementalEstimator {
+    planner: IncrementalPlanner,
+    ctx: Option<u64>,
+    cached_throughput: Option<f64>,
+}
+
+impl IncrementalEstimator {
+    /// A fresh estimator with no persisted state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying planner's lifetime work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.planner.stats()
+    }
+
+    /// The fusion plan of the most recent successful estimate, if the
+    /// membership has not changed since.
+    pub fn fusion_plan(&self) -> Option<&FusionPlan> {
+        self.planner.cached_plan()
+    }
+
+    /// Estimated effective tokens per second for the current membership —
+    /// see [`plan_estimate`] for semantics and the error surface.
+    pub fn estimate(
+        &mut self,
+        registry: &TaskRegistry,
+        cluster: &Cluster,
+        corpora: &BTreeMap<TaskId, Vec<usize>>,
+        cfg: &PlannerConfig,
+    ) -> Result<f64, PlanError> {
+        let _total_span = mux_obs::span("planner.estimate_incremental");
+        if cfg.fusion != FusionPolicy::Dp {
+            return plan_estimate(registry, cluster, corpora, cfg);
+        }
+        let ctx = context_fingerprint(registry, cluster, cfg);
+        if self.ctx != Some(ctx) {
+            self.planner = IncrementalPlanner::new();
+            self.ctx = Some(ctx);
+            self.cached_throughput = None;
+        }
+        let items: Vec<(PeftTask, u64)> = registry
+            .tasks()
+            .map(|t| (t.clone(), corpus_fingerprint(corpora.get(&t.id))))
+            .collect();
+        if items.is_empty() {
+            return Err(PlanError::NoTasks);
+        }
+        if self.planner.sync(&items) == 0 {
+            // No-op replan: unchanged membership, unchanged context. Serve
+            // the cached throughput without touching the tables at all.
+            if let Some(tp) = self.cached_throughput {
+                self.planner.note_noop();
+                return Ok(tp);
+            }
+        } else {
+            self.cached_throughput = None;
+        }
+        let cm = CostModel::new(registry, cluster.gpus[0].clone(), cfg.plan);
+        let mbs = cfg.micro_batches;
+        let align = cfg.align;
+        let custom = |members: &[&PeftTask]| -> Result<HTask, PlanError> {
+            let have_all = members.iter().all(|t| corpora.contains_key(&t.id));
+            if have_all {
+                let lens: Vec<Vec<usize>> =
+                    members.iter().map(|t| corpora[&t.id].clone()).collect();
+                HTask::fuse(members, &lens, mbs, align)
+            } else {
+                Ok(HTask::from_padded(members, mbs))
+            }
+        };
+        let build = if corpora.is_empty() {
+            RangeBuild::Padded { micro_batches: mbs }
+        } else {
+            RangeBuild::Custom(&custom)
+        };
+        let fusion = self.planner.plan(&cm, &build)?;
+        let tp = estimate_throughput(&cm, &fusion);
+        self.cached_throughput = Some(tp);
+        Ok(tp)
+    }
 }
 
 /// Shrinks a parallelism plan to fit on `devices` surviving GPUs after a

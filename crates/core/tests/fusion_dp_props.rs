@@ -7,6 +7,10 @@
 //! O(M²) value-table DP must reproduce the seed O(M³) implementation's
 //! optimum bit for bit.
 
+use std::collections::BTreeMap;
+
+use mux_data::align::AlignStrategy;
+use mux_data::corpus::{Corpus, DatasetKind};
 use mux_gpu_sim::spec::GpuSpec;
 use mux_model::config::ModelConfig;
 use mux_parallel::plan::HybridParallelism;
@@ -14,7 +18,9 @@ use mux_peft::registry::TaskRegistry;
 use mux_peft::types::{PeftTask, TaskId};
 use muxtune_core::cost::CostModel;
 use muxtune_core::error::PlanError;
-use muxtune_core::fusion::{fuse_dp_seed, fuse_tasks, sort_by_tokens, FusionPolicy, RangeBuild};
+use muxtune_core::fusion::{
+    fuse_dp_seed, fuse_tasks, sort_by_tokens, FusionPolicy, IncrementalPlanner, RangeBuild,
+};
 use muxtune_core::htask::HTask;
 use proptest::prelude::*;
 
@@ -67,6 +73,107 @@ fn brute_force_optimum(cm: &CostModel<'_>, sorted: &[&PeftTask]) -> Option<f64> 
         }
     }
     best
+}
+
+/// One membership delta: `insert` picks a fresh task of the given shape,
+/// `!insert` removes the `pick`-th live task (mod the live count).
+type ChurnOp = (bool, usize, usize, usize);
+
+fn churn_strategy() -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            prop::sample::select(vec![1usize, 2, 4, 8]),
+            prop::sample::select(vec![64usize, 128, 256]),
+            0..64usize,
+        ),
+        1..12,
+    )
+}
+
+/// Asserts the warm [`IncrementalPlanner`] and a from-scratch
+/// [`fuse_tasks`] run agree bitwise on the current membership — same
+/// predicted objective, same hTask cuts, or the same typed error.
+fn assert_matches_scratch(
+    r: &TaskRegistry,
+    corpora: &BTreeMap<TaskId, Vec<usize>>,
+    inc: &mut IncrementalPlanner,
+) -> Result<(), TestCaseError> {
+    let cm = CostModel::new(r, GpuSpec::a40(), HybridParallelism::pipeline(4));
+    let custom = |members: &[&PeftTask]| -> Result<HTask, PlanError> {
+        let have_all = members.iter().all(|t| corpora.contains_key(&t.id));
+        if have_all {
+            let lens: Vec<Vec<usize>> = members.iter().map(|t| corpora[&t.id].clone()).collect();
+            HTask::fuse(
+                members,
+                &lens,
+                MBS,
+                AlignStrategy::ChunkBased { min_chunk: 64 },
+            )
+        } else {
+            Ok(HTask::from_padded(members, MBS))
+        }
+    };
+    let build = if corpora.is_empty() {
+        RangeBuild::Padded { micro_batches: MBS }
+    } else {
+        RangeBuild::Custom(&custom)
+    };
+    let items: Vec<(PeftTask, u64)> = r.tasks().map(|t| (t.clone(), 0)).collect();
+    inc.sync(&items);
+    let tasks: Vec<&PeftTask> = r.tasks().collect();
+    let scratch = fuse_tasks(&cm, &tasks, FusionPolicy::Dp, &build);
+    let warm = if tasks.is_empty() {
+        Err(PlanError::NoTasks)
+    } else {
+        inc.plan(&cm, &build)
+    };
+    match (warm, scratch) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(
+                a.predicted.to_bits(),
+                b.predicted.to_bits(),
+                "incremental {} vs scratch {}",
+                a.predicted,
+                b.predicted
+            );
+            let ca: Vec<Vec<TaskId>> = a.htasks.iter().map(|h| h.tasks.clone()).collect();
+            let cb: Vec<Vec<TaskId>> = b.htasks.iter().map(|h| h.tasks.clone()).collect();
+            prop_assert_eq!(ca, cb, "hTask cuts diverged");
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+        (a, b) => prop_assert!(false, "divergence: incremental {:?} vs scratch {:?}", a, b),
+    }
+    Ok(())
+}
+
+fn run_churn(ops: &[ChurnOp], with_corpora: bool) -> Result<(), TestCaseError> {
+    let mut r = TaskRegistry::new(ModelConfig::llama2_7b().with_layers(16));
+    let mut corpora: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+    let mut next_id: TaskId = 1;
+    let mut inc = IncrementalPlanner::new();
+    for &(insert, mb, seq, pick) in ops {
+        if insert {
+            r.register_task(PeftTask::lora(next_id, 16, mb, seq))
+                .expect("fresh id");
+            if with_corpora {
+                let kind = [DatasetKind::Sst2, DatasetKind::OpenBookQa, DatasetKind::Rte]
+                    [(next_id as usize) % 3];
+                corpora.insert(
+                    next_id,
+                    Corpus::generate(kind, MBS * mb, next_id as u64).lengths,
+                );
+            }
+            next_id += 1;
+        } else if !r.is_empty() {
+            let ids: Vec<TaskId> = r.tasks().map(|t| t.id).collect();
+            let id = ids[pick % ids.len()];
+            r.deregister_task(id).expect("live task");
+            corpora.remove(&id);
+        }
+        assert_matches_scratch(&r, &corpora, &mut inc)?;
+    }
+    Ok(())
 }
 
 fn shape_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
@@ -176,5 +283,22 @@ proptest! {
             (Err(a), Err(b)) => prop_assert_eq!(a, b),
             (n, s) => prop_assert!(false, "divergence: new {:?} vs seed {:?}", n, s),
         }
+    }
+
+    /// Tentpole pin: a warm [`IncrementalPlanner`] fed any random
+    /// insert/remove sequence produces bitwise-identical plans (objective
+    /// and hTask cuts) to a from-scratch `fuse_tasks` recompute after
+    /// every single delta — on the padded prober path.
+    #[test]
+    fn incremental_padded_matches_scratch_under_churn(ops in churn_strategy()) {
+        run_churn(&ops, false)?;
+    }
+
+    /// The same pin on the corpus-backed custom-build path (chunk-based
+    /// alignment), where rows are dense and feasibility is re-proved per
+    /// built range.
+    #[test]
+    fn incremental_custom_matches_scratch_under_churn(ops in churn_strategy()) {
+        run_churn(&ops, true)?;
     }
 }

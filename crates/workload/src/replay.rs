@@ -54,6 +54,9 @@ pub struct ReplayOptions {
     /// Re-pricing mode for the service. Defaults to the cost-model fast
     /// path ([`ReplanMode::Estimate`]) — the simulator-validated mode is
     /// ~100× slower per membership change, prohibitive at 10⁴–10⁵ jobs.
+    /// [`ReplanMode::Incremental`] prices identically to `Estimate` but
+    /// reuses each instance's warm fusion tables across replans — the
+    /// right choice under heavy same-instance churn.
     pub replan_mode: ReplanMode,
     /// Per-tenant fair-share weights (absent tenants weigh 1.0).
     pub tenant_weights: BTreeMap<String, f64>,

@@ -68,8 +68,8 @@ pub use muxtune_core as core;
 /// The most common imports for driving MuxTune end to end.
 pub mod prelude {
     pub use mux_api::{
-        DispatchPolicy, FineTuneService, JobSpec, JobState, Journal, MonitorConfig, ServiceConfig,
-        TelemetrySummary,
+        DispatchPolicy, FineTuneService, JobSpec, JobState, Journal, MonitorConfig, ReplanMode,
+        ServiceConfig, ServiceFault, TelemetrySummary,
     };
     pub use mux_baselines::runner::{run_system, SystemKind};
     pub use mux_chaos::{run_chaos, DstConfig, DstRun, FaultPlan};
