@@ -641,6 +641,7 @@ impl Journal {
 
     /// Appends an event, assigning the next sequence number.
     pub fn push(&mut self, tick: u64, now: f64, kind: EventKind) {
+        mux_obs::profile::work("journal_events", 1);
         self.events.push(JournalEvent {
             seq: self.events.len() as u64,
             tick,
@@ -666,11 +667,13 @@ impl Journal {
 
     /// Serializes the journal as JSONL (one event per line).
     pub fn to_jsonl(&self) -> String {
+        let _span = mux_obs::span("journal.to_jsonl");
         let mut out = String::new();
         for ev in &self.events {
             out.push_str(&serde_json::to_string(&ev.to_json()).expect("serialize"));
             out.push('\n');
         }
+        mux_obs::profile::work("journal_bytes", out.len() as u64);
         out
     }
 

@@ -853,6 +853,7 @@ impl FineTuneService {
     /// or non-finite (it could never complete). The loop is bounded by
     /// the instance's task count.
     fn replan(&mut self, i: usize) {
+        let _span = mux_obs::span("service.replan");
         loop {
             let inst = &mut self.instances[i];
             inst.rates.clear();
@@ -1215,6 +1216,7 @@ impl FineTuneService {
         if dt.is_nan() || dt <= 0.0 {
             return;
         }
+        let _span = mux_obs::span("service.advance");
         let end = self.now + dt;
         loop {
             let next_c = self.peek_completion().map(|ev| ev.at);
@@ -1374,6 +1376,7 @@ impl FineTuneService {
     /// simulated time by `dt`, then samples every running job through the
     /// monitor's detectors.
     pub fn tick(&mut self, dt: f64) {
+        let _span = mux_obs::span("service.tick");
         self.tick += 1;
         if mux_obs::timeseries::telemetry_enabled() {
             mux_obs::timeseries::advance_tick();

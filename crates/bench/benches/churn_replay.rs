@@ -20,8 +20,9 @@
 use std::time::Instant;
 
 use mux_bench::harness::{
-    banner, churn_replay_seconds, churn_scratch_fusion_seconds, planner_scale_registry, row,
-    save_json, x, CHURN_DELTAS, CHURN_M, PLANNER_INCREMENTAL_DELTAS, PLANNER_INCREMENTAL_M,
+    banner, churn_replay_seconds, churn_scratch_fusion_seconds, dump_profile,
+    planner_scale_registry, row, save_json, x, CHURN_DELTAS, CHURN_M, PLANNER_INCREMENTAL_DELTAS,
+    PLANNER_INCREMENTAL_M,
 };
 use mux_gpu_sim::spec::GpuSpec;
 use mux_gpu_sim::timeline::Cluster;
@@ -31,6 +32,7 @@ fn main() {
         "churn_replay",
         "warm incremental replans vs from-scratch recompute under churn",
     );
+    let _profile = dump_profile("churn_replay");
 
     let inc_total = churn_replay_seconds(CHURN_M, CHURN_DELTAS);
     let inc_per_delta = inc_total / CHURN_DELTAS as f64;

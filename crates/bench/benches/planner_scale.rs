@@ -8,7 +8,8 @@
 //! via `report --check-baseline` (scenario `planner-scale`).
 
 use mux_bench::harness::{
-    banner, planner_scale_seconds, planner_scale_seed_seconds, row, save_json, x, PLANNER_SCALE_M,
+    banner, dump_profile, planner_scale_seconds, planner_scale_seed_seconds, row, save_json, x,
+    PLANNER_SCALE_M,
 };
 
 fn main() {
@@ -16,6 +17,7 @@ fn main() {
         "planner_scale",
         "planner wall time vs task count (DP fusion + grouping)",
     );
+    let _profile = dump_profile("planner_scale");
     let full_seed = std::env::var_os("MUX_PLANNER_SCALE_FULL").is_some();
     let mut records = Vec::new();
     for &m in &[16usize, 64, 256, PLANNER_SCALE_M] {

@@ -64,6 +64,15 @@
 //!   job's span tree as a tenant-lane Chrome/Perfetto trace (one process
 //!   per tenant, one thread per job). Defaults the policy like
 //!   `--explain-job`.
+//! - `--profile-out <path>`: run the churn-replay scenario with the
+//!   hierarchical self-profiler on and write the call-tree artifacts:
+//!   `<path>` (full profile JSON), `<path>.work.json` (the
+//!   bitwise-deterministic work profile — run twice, `diff` byte-for-byte),
+//!   `<path>.collapsed` (flamegraph.pl collapsed stacks), and
+//!   `<path>.chrome.json` (Chrome/Perfetto trace).
+//! - `--profile-diff <before> <after>`: parse two profile artifacts and
+//!   print the regression-ranked blame paths (exclusive-time delta, then
+//!   work-counter drift).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -73,14 +82,15 @@ use mux_api::Journal;
 use mux_bench::harness::{
     attribution_json, churn_replay_measurement, fig14_small_trace_scenario, fig14_trace_scenario,
     measure_run, planner_incremental_measurement, planner_scale_measurement,
-    service_telemetry_scenario, service_telemetry_step, sketch_overhead_measurement,
-    telemetry_overhead_measurement, trace_replay_measurement, PLANNER_SCALE_M,
-    SERVICE_TELEMETRY_TICKS,
+    profile_overhead_measurement, service_telemetry_scenario, service_telemetry_step,
+    sketch_overhead_measurement, telemetry_overhead_measurement, trace_replay_measurement,
+    write_profile_artifacts, PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
-    analyze_journal, check_baseline, device_attribution, explain_job, lifecycle_chrome_trace,
-    PerfBaseline, PerfMeasurement, StallClass,
+    analyze_journal, check_baseline_with_work, device_attribution, explain_job,
+    lifecycle_chrome_trace, parse_profile, profile_diff, render_profile_diff, PerfBaseline,
+    PerfMeasurement, StallClass, WorkCounts,
 };
 
 /// The experiment ids the bench suite produces, with one-line descriptions,
@@ -283,6 +293,7 @@ const GATE_SCENARIOS: &[&str] = &[
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
+    "profile-overhead",
 ];
 
 /// Gate scenarios measuring host wall time (CI-noise-tolerant gating)
@@ -294,7 +305,14 @@ const WALL_TIME_SCENARIOS: &[&str] = &[
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
+    "profile-overhead",
 ];
+
+/// Gate scenarios measured with the self-profiler on so their baseline
+/// entry carries exact per-path work budgets (`dp_cells`, `ranges_built`,
+/// `heap_ops`, …). Same seed ⇒ identical counts, so these gate with
+/// equality rather than a wall-time tolerance.
+const PROFILED_SCENARIOS: &[&str] = &["planner-incremental", "churn-replay"];
 
 /// Runs one gate scenario and returns its headline numbers.
 fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
@@ -309,10 +327,60 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
         "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
         "sketch-overhead" => Ok(sketch_overhead_measurement()),
         "trace-replay" => Ok(trace_replay_measurement()),
+        "profile-overhead" => Ok(profile_overhead_measurement()),
         other => Err(format!(
             "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
         )),
     }
+}
+
+/// Runs one gate scenario with the self-profiler on and returns its
+/// headline numbers plus the deterministic per-path work counters. The
+/// profile arena is reset first so each scenario's counts stand alone;
+/// the call tree is left in place for `--profile-out` to export.
+fn measure_scenario_profiled(name: &str) -> Result<(PerfMeasurement, WorkCounts), String> {
+    mux_obs::profile::reset_profile();
+    let m = {
+        let _profiling = mux_obs::profile::profiling_scope();
+        measure_scenario(name)?
+    };
+    let work = mux_obs::profile::work_counts(&mux_obs::profile::snapshot_profile());
+    Ok((m, work))
+}
+
+/// `--profile-out`: runs the churn-replay scenario (the heaviest planner
+/// path: cold fill + warm membership deltas) with the self-profiler on
+/// and writes the call-tree artifacts next to `path` — the full profile,
+/// the bitwise-deterministic `.work.json`, flamegraph.pl `.collapsed`
+/// stacks, and a `.chrome.json` Perfetto trace.
+fn emit_profile(path: &Path) -> Result<(), String> {
+    let (m, work) = measure_scenario_profiled("churn-replay")?;
+    println!(
+        "profiled `churn-replay`: wall {:.6}s, {} instrumented path(s)",
+        m.makespan_seconds,
+        work.len()
+    );
+    let written = write_profile_artifacts(path)
+        .map_err(|e| format!("cannot write profile artifacts at {}: {e}", path.display()))?;
+    for p in written {
+        println!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
+/// `--profile-diff`: parses two profile JSON artifacts (full or
+/// work-profile form) and prints the regression-ranked blame paths.
+fn emit_profile_diff(before_path: &Path, after_path: &Path) -> Result<(), String> {
+    let read = |p: &Path| -> Result<Vec<mux_obs_analysis::ProfileRow>, String> {
+        let body =
+            fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        parse_profile(&body).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let before = read(before_path)?;
+    let after = read(after_path)?;
+    let diff = profile_diff(&before, &after);
+    print!("{}", render_profile_diff(&diff, 15));
+    Ok(())
 }
 
 /// Runs the service-telemetry scenario to its configured horizon, seals
@@ -586,7 +654,13 @@ fn replay_trace_file(
 fn write_baseline(path: &Path) -> Result<(), String> {
     let mut entries = Vec::new();
     for &name in GATE_SCENARIOS {
-        let m = measure_scenario(name)?;
+        let profiled = PROFILED_SCENARIOS.contains(&name);
+        let (m, work) = if profiled {
+            let (m, work) = measure_scenario_profiled(name)?;
+            (m, Some(work))
+        } else {
+            (measure_scenario(name)?, None)
+        };
         let mut base = PerfBaseline::new(name, &m);
         if WALL_TIME_SCENARIOS.contains(&name) {
             // Wall-time scenarios vary with CI host load far more than
@@ -596,9 +670,22 @@ fn write_baseline(path: &Path) -> Result<(), String> {
             // telemetry path — cost ~100x, not 4x).
             base.makespan_rel_tolerance = 3.0;
         }
+        if let Some(work) = work {
+            // Work counters are deterministic functions of the seeded
+            // scenario, so the budget is exact equality — any drift
+            // (either direction) fails the gate until re-blessed.
+            base.work_budgets = work;
+        }
         println!(
-            "  {name}: makespan {:.6}s, utilization {:.4}, stall share {:.4}",
-            m.makespan_seconds, m.mean_utilization, m.stall_share
+            "  {name}: makespan {:.6}s, utilization {:.4}, stall share {:.4}{}",
+            m.makespan_seconds,
+            m.mean_utilization,
+            m.stall_share,
+            if base.work_budgets.is_empty() {
+                String::new()
+            } else {
+                format!(", {} exact work budget path(s)", base.work_budgets.len())
+            }
         );
         entries.push(base.to_json());
     }
@@ -631,13 +718,21 @@ fn check_against_baseline(path: &Path) -> Result<bool, String> {
     let mut all_ok = true;
     for entry in &entries {
         let base = PerfBaseline::from_json(entry)?;
-        let m = measure_scenario(&base.scenario)?;
+        // Scenarios carrying exact work budgets are re-measured with the
+        // profiler on so the gate can compare per-path counters; the
+        // rest run with the cheap disabled span path.
+        let (m, work) = if base.work_budgets.is_empty() {
+            (measure_scenario(&base.scenario)?, None)
+        } else {
+            let (m, work) = measure_scenario_profiled(&base.scenario)?;
+            (m, Some(work))
+        };
         println!(
             "perf gate: scenario `{}` vs {}",
             base.scenario,
             path.display()
         );
-        match check_baseline(&base, &m) {
+        match check_baseline_with_work(&base, &m, work.as_ref()) {
             Ok(lines) => {
                 for l in lines {
                     println!("  ok: {l}");
@@ -673,6 +768,8 @@ fn main() -> ExitCode {
     let mut replan_mode: Option<mux_api::ReplanMode> = None;
     let mut explain_job_id: Option<u64> = None;
     let mut lifecycle_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut profile_diff_paths: Option<(PathBuf, PathBuf)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -771,6 +868,17 @@ fn main() -> ExitCode {
                 Some(p) => lifecycle_out = Some(p),
                 None => return ExitCode::from(2),
             },
+            "--profile-out" => match take("--profile-out") {
+                Some(p) => profile_out = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--profile-diff" => match (take("--profile-diff"), take("--profile-diff")) {
+                (Some(a), Some(b)) => profile_diff_paths = Some((a, b)),
+                _ => {
+                    eprintln!("error: --profile-diff requires two profile paths");
+                    return ExitCode::from(2);
+                }
+            },
             "--replan-mode" => match take("--replan-mode") {
                 Some(p) => {
                     replan_mode = match p.to_string_lossy().as_ref() {
@@ -808,6 +916,16 @@ fn main() -> ExitCode {
 
     if let Some(path) = &trace_out {
         if let Err(e) = emit_trace(path) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = &profile_out {
+        if let Err(e) = emit_profile(path) {
+            return fail(&e);
+        }
+    }
+    if let Some((a, b)) = &profile_diff_paths {
+        if let Err(e) = emit_profile_diff(a, b) {
             return fail(&e);
         }
     }
@@ -874,7 +992,9 @@ fn main() -> ExitCode {
         || trace_gen_seed.is_some()
         || replay_trace.is_some()
         || explain_job_id.is_some()
-        || lifecycle_out.is_some();
+        || lifecycle_out.is_some()
+        || profile_out.is_some()
+        || profile_diff_paths.is_some();
     if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }

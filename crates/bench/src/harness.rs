@@ -650,6 +650,109 @@ pub fn sketch_overhead_measurement() -> PerfMeasurement {
     }
 }
 
+/// The `profile-overhead` CI measurement: best-of-3 wall time of 2M
+/// **disabled-path** profiler touches — a `span` attempt plus a [`work`]
+/// counter add per iteration, both of which must reduce to a single
+/// relaxed atomic load while profiling is off. Gated at wall-time
+/// tolerance so an accidental allocation or lock on the disabled path
+/// fails CI. Utilization and stall share are pinned so only the
+/// wall-time axis gates.
+///
+/// [`work`]: mux_obs::profile::work
+pub fn profile_overhead_measurement() -> PerfMeasurement {
+    const OPS: usize = 2_000_000;
+    mux_obs::set_enabled(false);
+    mux_obs::profile::set_profiling(false);
+    let secs = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for i in 0..OPS {
+                let s = mux_obs::span("bench.profile.off");
+                debug_assert!(s.is_none());
+                std::hint::black_box(&s);
+                mux_obs::profile::work("bench.profile.noop", i as u64 & 1);
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    PerfMeasurement {
+        makespan_seconds: secs,
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
+/// Directory to drop self-profile artifacts into; when set, benches (and
+/// `report --profile-out`) emit the call-tree profile of their headline
+/// scenario. Mirrors [`TRACE_DIR_ENV`].
+pub const PROFILE_DIR_ENV: &str = "MUX_PROFILE_DIR";
+
+/// Writes the three profile artifacts for the current
+/// [`mux_obs::profile::snapshot_profile`] next to `base`:
+/// `<base>` (full JSON), `<base>` with the extension swapped to
+/// `work.json` (the bitwise-deterministic work profile), `collapsed`
+/// (flamegraph.pl collapsed stacks), and `chrome.json` (Chrome/Perfetto
+/// trace). Returns the paths written.
+pub fn write_profile_artifacts(base: &std::path::Path) -> std::io::Result<Vec<PathBuf>> {
+    if let Some(dir) = base.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let snap = mux_obs::profile::snapshot_profile();
+    let mut written = Vec::new();
+    fs::write(base, mux_obs::profile::profile_json(&snap))?;
+    written.push(base.to_path_buf());
+    let work = base.with_extension("work.json");
+    fs::write(&work, mux_obs::profile::work_profile_json(&snap))?;
+    written.push(work);
+    let collapsed = base.with_extension("collapsed");
+    fs::write(&collapsed, mux_obs::profile::collapsed_stacks(&snap))?;
+    written.push(collapsed);
+    let chrome = base.with_extension("chrome.json");
+    let rows = mux_obs_analysis::parse_profile(&mux_obs::profile::profile_json(&snap))
+        .expect("freshly rendered profile parses");
+    fs::write(&chrome, mux_obs_analysis::profile_chrome_trace(&rows))?;
+    written.push(chrome);
+    Ok(written)
+}
+
+/// Profile-emission hook for the benches, mirroring [`dump_trace`]: when
+/// [`PROFILE_DIR_ENV`] is set, returns a guard that profiles everything
+/// until drop and then writes `<dir>/<id>.profile.json` (+ `.work.json`,
+/// `.collapsed`, `.chrome.json`). No-op (and `None`) when unset.
+pub fn dump_profile(id: &str) -> Option<ProfileDump> {
+    let dir = PathBuf::from(std::env::var_os(PROFILE_DIR_ENV)?);
+    mux_obs::profile::reset_profile();
+    mux_obs::profile::set_profiling(true);
+    Some(ProfileDump {
+        id: id.to_string(),
+        dir,
+    })
+}
+
+/// Guard returned by [`dump_profile`]; writes the artifacts on drop.
+#[must_use = "profiling stops and artifacts are written when the guard drops"]
+pub struct ProfileDump {
+    id: String,
+    dir: PathBuf,
+}
+
+impl Drop for ProfileDump {
+    fn drop(&mut self) {
+        mux_obs::profile::set_profiling(false);
+        let base = self.dir.join(format!("{}.profile.json", self.id));
+        match write_profile_artifacts(&base) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("  [profile] wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("  [profile] failed to write {}: {e}", base.display()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,7 +182,9 @@ impl RangeValues {
         sorted: &[&PeftTask],
         build: &RangeBuild<'_>,
     ) -> Result<Self, PlanError> {
+        let _span = mux_obs::span("fusion.range_values");
         let m = sorted.len();
+        mux_obs::profile::work("ranges_built", (m * (m + 1) / 2) as u64);
         let prober: Option<PaddedRangeProber<'_>> = match build {
             RangeBuild::Padded { .. } => Some(cm.padded_prober(sorted)),
             RangeBuild::Custom(_) => None,
@@ -233,6 +235,9 @@ fn fuse_dp(
     let s = cm.num_stages() as f64;
     let values = RangeValues::fill(cm, sorted, build)?;
 
+    let _dp_span = mux_obs::span("fusion.dp");
+    // One whole-range check plus the j-loop per prefix: m + m(m-1)/2.
+    mux_obs::profile::work("dp_cells", (m + m * m.saturating_sub(1) / 2) as u64);
     const INF: f64 = f64::INFINITY;
     // g[mm] = best objective over partitions of the first mm tasks.
     // choice[mm] = start of the last hTask (0 ⇒ a single hTask [0, mm)).
@@ -330,8 +335,11 @@ struct RangeRow {
 }
 
 impl RangeRow {
-    fn truncate(&mut self, width: usize) {
-        if self.lat.len() > width {
+    /// Drops entries of width > `width`; returns how many were dropped
+    /// (the `ranges_truncated` unit of the work profile).
+    fn truncate(&mut self, width: usize) -> usize {
+        let dropped = self.lat.len().saturating_sub(width);
+        if dropped > 0 {
             for w in width..self.lat.len() {
                 if self.fits[w] && !self.lat[w].is_finite() {
                     self.degenerate -= 1;
@@ -340,6 +348,7 @@ impl RangeRow {
             self.lat.truncate(width);
             self.fits.truncate(width);
         }
+        dropped
     }
 }
 
@@ -471,8 +480,18 @@ impl IncrementalPlanner {
     /// keep exactly their entries with `b <= k` (ranges not crossing the
     /// delta); the DP is stale from prefix `k + 1` on.
     fn invalidate_at(&mut self, k: usize) {
+        let _span = mux_obs::span("fusion.invalidate");
+        let mut truncated = 0u64;
         for a in k.saturating_sub(self.widest)..k {
-            self.rows[a].truncate(k - a);
+            truncated += self.rows[a].truncate(k - a) as u64;
+        }
+        if truncated > 0 {
+            mux_obs::profile::work("ranges_truncated", truncated);
+        }
+        // Rows at or after the delta position moved in place.
+        let shifted = (self.rows.len() - k) as u64;
+        if shifted > 0 {
+            mux_obs::profile::work("rows_shifted", shifted);
         }
         self.dp_from = Some(self.dp_from.map_or(k + 1, |d| d.min(k + 1)));
         self.cached = None;
@@ -531,6 +550,7 @@ impl IncrementalPlanner {
         if m == 0 {
             return Err(PlanError::NoTasks);
         }
+        let _plan_span = mux_obs::span("fusion.plan");
         if self.dp_from.is_none() {
             if let Some(plan) = &self.cached {
                 self.stats.noop_plans += 1;
@@ -556,8 +576,14 @@ impl IncrementalPlanner {
             .collect();
         let stages = cm.num_stages();
         let rows = &self.rows;
+        // Worker threads graft their range-build spans under this call's
+        // path; on the serial fallback `adopt` is a no-op (frames are
+        // already open on this thread) and the span nests naturally.
+        let ctx = mux_obs::profile::current_context();
         type RowTables = Result<(Vec<f64>, Vec<bool>), PlanError>;
         let eval_row = |a: usize| -> RowTables {
+            let _graft = mux_obs::profile::adopt(&ctx);
+            let _row_span = mux_obs::span("fusion.range_build");
             let mut lat = Vec::new();
             let mut fits = Vec::new();
             let mut b = a + 1 + rows[a].lat.len();
@@ -585,6 +611,7 @@ impl IncrementalPlanner {
                     }
                 }
             }
+            mux_obs::profile::work("ranges_built", lat.len() as u64);
             Ok((lat, fits))
         };
         let results: Vec<RowTables> = if todo.len() >= PAR_ROWS_MIN {
@@ -635,6 +662,16 @@ impl IncrementalPlanner {
         let start = self.dp_from.unwrap_or(m + 1).max(1);
         let s = stages as f64;
         let wmax = self.widest.max(1);
+        let dp_span = mux_obs::span("fusion.dp_suffix");
+        if mux_obs::profile::profiling() && start <= m {
+            // Transitions examined by the suffix recompute (the loop below
+            // is branch-free in its bounds, so the count is closed-form):
+            // one whole-range check plus the bounded j-window per prefix.
+            let cells: u64 = (start..=m)
+                .map(|mm| 1 + (mm - mm.saturating_sub(wmax).max(1)) as u64)
+                .sum();
+            mux_obs::profile::work("dp_cells", cells);
+        }
         for mm in start..=m {
             let mut best = INF;
             let mut ch = usize::MAX;
@@ -661,6 +698,7 @@ impl IncrementalPlanner {
             self.g[mm] = best;
             self.choice[mm] = ch;
         }
+        drop(dp_span);
         self.dp_from = None;
 
         let best_val = self.g[m];

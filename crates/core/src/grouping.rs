@@ -139,6 +139,15 @@ fn estimate_grouped_latency(
 /// the result are sorted descending by latency (template rule 1).
 pub fn group_htasks(cm: &CostModel<'_>, htasks: &[HTask]) -> Grouping {
     assert!(!htasks.is_empty(), "no hTasks to group");
+    let _span = mux_obs::span("grouping.search");
+    if mux_obs::profile::profiling() {
+        let n = htasks.len() as u64;
+        // Each candidate P does P initial heap pushes plus a pop+push per
+        // item in lpt_partition; summed over the P-traversal this is
+        // closed-form, so the hot loop below stays counter-free.
+        mux_obs::profile::work("heap_ops", n * (n + 1) / 2 + 2 * n * n);
+        mux_obs::profile::work("groupings_tried", n);
+    }
     let s = cm.num_stages();
     let stage_lat: Vec<Vec<f64>> = htasks
         .iter()

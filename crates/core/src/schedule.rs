@@ -84,6 +84,15 @@ pub fn schedule_subgraphs(
     dags: &[Vec<Subgraph>],
     latency: &dyn Fn(usize, &Subgraph) -> f64,
 ) -> Vec<LaunchItem> {
+    let _span = mux_obs::span("schedule.subgraphs");
+    if mux_obs::profile::profiling() {
+        // Every subgraph is pushed onto and popped off the ready heap
+        // exactly once (the assert below pins this), so the heap-op count
+        // is closed-form and the hot loop stays counter-free.
+        let total: u64 = dags.iter().map(|d| d.len() as u64).sum();
+        mux_obs::profile::work("heap_ops", 2 * total);
+        mux_obs::profile::work("subgraphs_scheduled", total);
+    }
     let mut indeg: Vec<Vec<usize>> = dags
         .iter()
         .map(|d| d.iter().map(|s| s.deps.len()).collect())

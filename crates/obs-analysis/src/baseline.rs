@@ -11,8 +11,21 @@
 //! Only regressions fail: a run that is *faster*, *better utilized*, or
 //! *less stalled* than the baseline passes (and should eventually be
 //! re-blessed via `--write-baseline` to tighten the gate).
+//!
+//! Wall times are noisy, so their tolerances are loose (the churn scenarios
+//! carry 3.0 relative). The profiler's **work counters** are deterministic,
+//! so a baseline may additionally carry [`PerfBaseline::work_budgets`]:
+//! per-call-tree-path counter values gated by **exact equality** in
+//! [`check_work_budgets`]. Any drift — up or down — fails with the blamed
+//! profile path, and is fixed by re-blessing after an intentional change.
 
-use serde_json::{json, Value};
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+
+/// Deterministic work counters per call-tree path: `path (";"-joined span
+/// names) → {counter name → value}`, the shape produced by
+/// `mux_obs::profile::work_counts`.
+pub type WorkCounts = BTreeMap<String, BTreeMap<String, u64>>;
 
 /// Checked-in reference numbers plus tolerances.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +45,8 @@ pub struct PerfBaseline {
     pub utilization_abs_tolerance: f64,
     /// Allowed absolute stall-share growth.
     pub stall_share_abs_tolerance: f64,
+    /// Exact per-path work-counter budgets (empty = no work gating).
+    pub work_budgets: WorkCounts,
 }
 
 impl PerfBaseline {
@@ -45,12 +60,14 @@ impl PerfBaseline {
             makespan_rel_tolerance: 0.05,
             utilization_abs_tolerance: 0.05,
             stall_share_abs_tolerance: 0.05,
+            work_budgets: WorkCounts::new(),
         }
     }
 
-    /// Serializes to the checked-in JSON shape.
+    /// Serializes to the checked-in JSON shape. `work_budgets` is emitted
+    /// only when non-empty, keeping pre-existing baselines byte-compatible.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut v = json!({
             "scenario": self.scenario.clone(),
             "makespan_seconds": self.makespan_seconds,
             "mean_utilization": self.mean_utilization,
@@ -60,7 +77,21 @@ impl PerfBaseline {
                 "utilization_abs": self.utilization_abs_tolerance,
                 "stall_share_abs": self.stall_share_abs_tolerance,
             },
-        })
+        });
+        if !self.work_budgets.is_empty() {
+            let mut budgets = Map::new();
+            for (path, counters) in &self.work_budgets {
+                let mut inner = Map::new();
+                for (k, n) in counters {
+                    inner.insert(k.clone(), Value::from(*n));
+                }
+                budgets.insert(path.clone(), Value::Object(inner));
+            }
+            if let Value::Object(obj) = &mut v {
+                obj.insert("work_budgets".to_string(), Value::Object(budgets));
+            }
+        }
+        v
     }
 
     /// Parses the checked-in JSON shape; `Err` carries a readable reason.
@@ -76,6 +107,25 @@ impl PerfBaseline {
                 .and_then(Value::as_f64)
                 .unwrap_or(default)
         };
+        let mut work_budgets = WorkCounts::new();
+        if let Some(budgets) = v.get("work_budgets") {
+            let obj = budgets
+                .as_object()
+                .ok_or("baseline `work_budgets` must be an object")?;
+            for (path, counters) in obj {
+                let counters = counters
+                    .as_object()
+                    .ok_or_else(|| format!("work budget for path `{path}` must be an object"))?;
+                let mut inner = BTreeMap::new();
+                for (k, n) in counters {
+                    let n = n.as_u64().ok_or_else(|| {
+                        format!("work budget `{path}`/`{k}` must be a non-negative integer")
+                    })?;
+                    inner.insert(k.clone(), n);
+                }
+                work_budgets.insert(path.clone(), inner);
+            }
+        }
         Ok(Self {
             scenario: v
                 .get("scenario")
@@ -88,6 +138,7 @@ impl PerfBaseline {
             makespan_rel_tolerance: tol("makespan_rel", 0.05),
             utilization_abs_tolerance: tol("utilization_abs", 0.05),
             stall_share_abs_tolerance: tol("stall_share_abs", 0.05),
+            work_budgets,
         })
     }
 }
@@ -164,6 +215,88 @@ pub fn check_baseline(
     }
 }
 
+/// Gates the deterministic work counters with **exact equality**.
+///
+/// Every `(path, counter)` pair in `base.work_budgets` must match the
+/// measured profile exactly. More work than budgeted is a regression;
+/// less work is still a failure (the budget is stale and must be
+/// re-blessed) — exactness is what makes the gate immune to runner noise.
+/// Violation lines name the blamed call-tree path so the failure is
+/// attributable without re-profiling.
+pub fn check_work_budgets(
+    base: &PerfBaseline,
+    measured: &WorkCounts,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (path, counters) in &base.work_budgets {
+        for (key, budget) in counters {
+            let got = measured.get(path).and_then(|c| c.get(key)).copied();
+            match got {
+                Some(got) if got == *budget => {
+                    ok.push(format!("work `{path}` {key} = {got} (exact match)"));
+                }
+                Some(got) if got > *budget => {
+                    bad.push(format!(
+                        "work profile regressed at path `{path}`: {key} = {got} > budget \
+                         {budget} (+{}; exact gate, re-bless if intentional)",
+                        got - budget
+                    ));
+                }
+                Some(got) => {
+                    bad.push(format!(
+                        "work profile drifted at path `{path}`: {key} = {got} < budget \
+                         {budget} (improvement — re-bless to tighten the gate)"
+                    ));
+                }
+                None => {
+                    bad.push(format!(
+                        "work profile missing path `{path}` counter `{key}` \
+                         (budget {budget}; instrumentation removed or phase never ran)"
+                    ));
+                }
+            }
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
+/// [`check_baseline`] plus [`check_work_budgets`] in one verdict. Pass
+/// `measured_work: None` when the scenario ran unprofiled; that is a
+/// failure if the baseline carries budgets (the gate must not silently
+/// skip them).
+pub fn check_baseline_with_work(
+    base: &PerfBaseline,
+    m: &PerfMeasurement,
+    measured_work: Option<&WorkCounts>,
+) -> Result<Vec<String>, Vec<String>> {
+    let (mut ok, mut bad) = match check_baseline(base, m) {
+        Ok(lines) => (lines, Vec::new()),
+        Err(lines) => (Vec::new(), lines),
+    };
+    if !base.work_budgets.is_empty() {
+        match measured_work {
+            Some(work) => match check_work_budgets(base, work) {
+                Ok(lines) => ok.extend(lines),
+                Err(lines) => bad.extend(lines),
+            },
+            None => bad.push(format!(
+                "scenario `{}` has work budgets but the run captured no profile",
+                base.scenario
+            )),
+        }
+    }
+    if bad.is_empty() {
+        Ok(ok)
+    } else {
+        Err(bad)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +363,78 @@ mod tests {
         let v = json!({ "scenario": "x" });
         let err = PerfBaseline::from_json(&v).expect_err("incomplete");
         assert!(err.contains("makespan_seconds"), "{err}");
+    }
+
+    fn budgets() -> WorkCounts {
+        let mut w = WorkCounts::new();
+        w.insert(
+            "fusion.plan;fusion.dp_suffix".to_string(),
+            BTreeMap::from([("dp_cells".to_string(), 100u64), ("calls".to_string(), 4)]),
+        );
+        w
+    }
+
+    #[test]
+    fn work_budgets_roundtrip_and_stay_optional() {
+        let mut base = PerfBaseline::new("t", &measurement());
+        // No budgets: legacy shape, no `work_budgets` key.
+        assert!(base.to_json().get("work_budgets").is_none());
+        base.work_budgets = budgets();
+        let parsed = PerfBaseline::from_json(&base.to_json()).expect("parses");
+        assert_eq!(parsed, base);
+        // Legacy baselines without the key parse to empty budgets.
+        let legacy = PerfBaseline::new("t", &measurement());
+        let reparsed = PerfBaseline::from_json(&legacy.to_json()).expect("parses");
+        assert!(reparsed.work_budgets.is_empty());
+    }
+
+    #[test]
+    fn exact_work_match_passes_and_any_drift_names_the_path() {
+        let mut base = PerfBaseline::new("t", &measurement());
+        base.work_budgets = budgets();
+        assert!(check_work_budgets(&base, &budgets()).is_ok());
+
+        let mut more = budgets();
+        *more
+            .get_mut("fusion.plan;fusion.dp_suffix")
+            .unwrap()
+            .get_mut("dp_cells")
+            .unwrap() = 150;
+        let err = check_work_budgets(&base, &more).expect_err("regression");
+        assert!(
+            err.iter()
+                .any(|l| l.contains("fusion.plan;fusion.dp_suffix")
+                    && l.contains("dp_cells = 150 > budget 100")),
+            "{err:?}"
+        );
+
+        let mut less = budgets();
+        *less
+            .get_mut("fusion.plan;fusion.dp_suffix")
+            .unwrap()
+            .get_mut("dp_cells")
+            .unwrap() = 50;
+        let err = check_work_budgets(&base, &less).expect_err("drift fails too");
+        assert!(err.iter().any(|l| l.contains("re-bless")), "{err:?}");
+
+        let err = check_work_budgets(&base, &WorkCounts::new()).expect_err("missing path");
+        assert!(
+            err.iter()
+                .any(|l| l.contains("missing path `fusion.plan;fusion.dp_suffix`")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn combined_check_requires_a_profile_when_budgeted() {
+        let mut base = PerfBaseline::new("t", &measurement());
+        assert!(check_baseline_with_work(&base, &measurement(), None).is_ok());
+        base.work_budgets = budgets();
+        let err = check_baseline_with_work(&base, &measurement(), None)
+            .expect_err("budgets demand a profile");
+        assert!(err[0].contains("captured no profile"), "{err:?}");
+        let ok = check_baseline_with_work(&base, &measurement(), Some(&budgets()))
+            .expect("exact match passes");
+        assert!(ok.iter().any(|l| l.contains("exact match")), "{ok:?}");
     }
 }

@@ -32,12 +32,16 @@ pub mod fairness;
 mod labels;
 pub mod lifecycle;
 pub mod online;
+pub mod profile;
 
 pub use attribution::{
     attribute_stalls, attribute_stalls_with_faults, device_attribution,
     device_attribution_with_faults, AttributedStall, DeviceAttribution, FaultSpan, StallClass,
 };
-pub use baseline::{check_baseline, PerfBaseline, PerfMeasurement};
+pub use baseline::{
+    check_baseline, check_baseline_with_work, check_work_budgets, PerfBaseline, PerfMeasurement,
+    WorkCounts,
+};
 pub use critical_path::{critical_path, CategorySeconds, CpKind, CpSegment, CriticalPath};
 pub use fairness::{dominant_share, jain_index, slo_attainment};
 pub use labels::{htask_refs_in_label, HTaskRef};
@@ -48,4 +52,8 @@ pub use lifecycle::{
 pub use online::{
     Alert, AlertEvent, BurnRateConfig, BurnRateEvaluator, DetectorConfig, EwmaMadDetector,
     Hysteresis, MonitorConfig, OnlineMonitor, Severity,
+};
+pub use profile::{
+    parse_profile, profile_chrome_trace, profile_diff, render_profile_diff, ProfileDiffRow,
+    ProfileRow, WorkDelta,
 };

@@ -25,18 +25,40 @@
 //! ```
 
 pub mod fingerprint;
+pub mod profile;
 pub mod sketch;
 pub mod timeseries;
 
 pub use fingerprint::{fnv1a_64, Fnv1a};
 pub use sketch::QuantileSketch;
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Collection switches packed into one word so the [`span`] fast path stays
+/// a single relaxed atomic load no matter how many layers are stacked on
+/// top: bit 0 gates the flat registry, bit 1 the hierarchical profiler.
+static COLLECT: AtomicU8 = AtomicU8::new(0);
+
+const FLAT_BIT: u8 = 1;
+pub(crate) const PROFILE_BIT: u8 = 2;
+
+#[inline]
+pub(crate) fn collect_flags() -> u8 {
+    COLLECT.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_flag(bit: u8, on: bool) -> bool {
+    let prev = if on {
+        COLLECT.fetch_or(bit, Ordering::Relaxed)
+    } else {
+        COLLECT.fetch_and(!bit, Ordering::Relaxed)
+    };
+    prev & bit != 0
+}
 
 /// The process-wide registry. A plain `Mutex` is enough: writes happen only
 /// while observability is enabled, which is never on the measured fast path.
@@ -59,21 +81,22 @@ pub struct PhaseStat {
     pub total_seconds: f64,
 }
 
-/// Turns collection on or off globally.
+/// Turns flat-registry collection on or off globally (the profiler has its
+/// own switch, [`profile::set_profiling`]).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_flag(FLAT_BIT, on);
 }
 
-/// Whether collection is currently on.
+/// Whether flat-registry collection is currently on.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    collect_flags() & FLAT_BIT != 0
 }
 
 /// Enables collection for the lifetime of the returned guard, restoring
 /// the previous state on drop. Scopes may nest.
 pub fn enabled_scope() -> EnabledScope {
-    let prev = ENABLED.swap(true, Ordering::Relaxed);
+    let prev = set_flag(FLAT_BIT, true);
     EnabledScope { prev }
 }
 
@@ -85,36 +108,83 @@ pub struct EnabledScope {
 
 impl Drop for EnabledScope {
     fn drop(&mut self) {
-        ENABLED.store(self.prev, Ordering::Relaxed);
+        set_flag(FLAT_BIT, self.prev);
     }
 }
 
-/// A live span; records its elapsed wall time under `name` when dropped.
+/// A live span; records its elapsed wall time under `name` when dropped —
+/// into the flat phase registry, and (when profiling is on) into the
+/// hierarchical call tree at the path where it was opened.
 #[must_use = "a span measures until it is dropped"]
 pub struct SpanGuard {
-    name: &'static str,
+    name: Cow<'static, str>,
+    profiled: bool,
     start: Instant,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        record_phase(self.name, self.start.elapsed().as_secs_f64());
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if self.profiled {
+            profile::close_frame(elapsed);
+        }
+        record_phase(&self.name, elapsed);
     }
 }
 
-/// Opens a span named `name`, or `None` when collection is disabled.
+fn open_span(name: Cow<'static, str>, flags: u8) -> SpanGuard {
+    let profiled = flags & PROFILE_BIT != 0;
+    if profiled {
+        profile::open_frame(name.clone());
+    }
+    SpanGuard {
+        name,
+        profiled,
+        start: Instant::now(),
+    }
+}
+
+/// Opens a span named `name`, or `None` when all collection is disabled.
 ///
 /// Bind the result to keep the span open: `let _s = mux_obs::span("x");`
 /// (binding to `_` drops — and closes — it immediately).
+///
+/// The disabled path is a single relaxed atomic load: no clock read, no
+/// allocation, no lock.
 #[inline]
 pub fn span(name: &'static str) -> Option<SpanGuard> {
-    if !enabled() {
+    let flags = collect_flags();
+    if flags == 0 {
         return None;
     }
-    Some(SpanGuard {
-        name,
-        start: Instant::now(),
-    })
+    Some(open_span(Cow::Borrowed(name), flags))
+}
+
+/// [`span`] for names that aren't `'static` (per-policy, per-tenant phases).
+///
+/// Owned names still cost nothing when collection is off — the flag check
+/// happens before `name` is converted, so pass `&'static str` or a
+/// pre-built `String`; to avoid even building the `String` on the disabled
+/// path use [`span_with`].
+#[inline]
+pub fn span_owned(name: impl Into<Cow<'static, str>>) -> Option<SpanGuard> {
+    let flags = collect_flags();
+    if flags == 0 {
+        return None;
+    }
+    Some(open_span(name.into(), flags))
+}
+
+/// [`span`] with a lazily built name: `make_name` runs only when collection
+/// is on, so `span_with(|| format!("replay.policy.{p}"))` allocates nothing
+/// on the disabled path.
+#[inline]
+pub fn span_with(make_name: impl FnOnce() -> String) -> Option<SpanGuard> {
+    let flags = collect_flags();
+    if flags == 0 {
+        return None;
+    }
+    Some(open_span(Cow::Owned(make_name()), flags))
 }
 
 fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
@@ -248,7 +318,17 @@ impl HistogramStat {
 }
 
 /// Records `value` into histogram `name` (no-op when disabled).
+///
+/// Non-finite observations are dropped: `bucket_upper(inf)` would mint an
+/// `inf` bucket and the prom exposition would then emit a second
+/// `le="+Inf"` series (invalid 0.0.4 text format), and NaN poisons
+/// sum/min/max. Dropped values are tallied in the `dropped_nonfinite`
+/// counter so the lossage stays visible.
 pub fn record_histogram(name: &str, value: f64) {
+    if !value.is_finite() {
+        incr_counter("dropped_nonfinite", 1);
+        return;
+    }
     if timeseries::telemetry_enabled() {
         timeseries::ingest(name, value);
     }
@@ -400,19 +480,22 @@ pub fn snapshot_prom() -> String {
     render_prom(&snapshot())
 }
 
-/// Clears all collected data.
+/// Clears all collected data (flat registry only; the profiler tree is
+/// cleared by [`profile::reset_profile`]).
 pub fn reset() {
     let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     *guard = None;
 }
 
+// The registry, tree, and switches are process-global, so tests that
+// observe them (here and in `profile::tests`) run under one shared lock to
+// avoid cross-test interference.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    // The registry is process-global, so tests that observe it run under
-    // one lock to avoid cross-test interference.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn disabled_span_is_none_and_records_nothing() {
@@ -587,6 +670,71 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "numeric value in {line:?}");
         }
+    }
+
+    #[test]
+    fn nonfinite_histogram_observations_are_dropped_and_counted() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            record_histogram("hostile", v);
+        }
+        record_histogram("hostile", 2.0);
+        let snap = snapshot();
+        let h = &snap.histograms["hostile"];
+        assert_eq!(h.count, 1, "only the finite observation lands");
+        assert!(h.sum.is_finite() && h.min.is_finite() && h.max.is_finite());
+        assert!(h.buckets.iter().all(|&(b, _)| b.is_finite()));
+        assert_eq!(snap.counters["dropped_nonfinite"], 3);
+        // The exposition must contain exactly one le="+Inf" series for the
+        // histogram — a literal `inf` bucket would add a second one.
+        let text = render_prom(&snap);
+        let inf_lines = text
+            .lines()
+            .filter(|l| l.starts_with("muxtune_hostile_bucket{le=\"+Inf\"}"))
+            .count();
+        assert_eq!(inf_lines, 1, "single +Inf series in {text:?}");
+        assert!(
+            !text.contains("le=\"inf\""),
+            "no literal inf bucket in {text:?}"
+        );
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().unwrap().is_finite(), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn owned_and_lazy_spans_record_phases() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        let _on = enabled_scope();
+        let tenant = String::from("alpha");
+        {
+            let _s = span_owned(format!("tenant.{tenant}"));
+        }
+        {
+            let _s = span_with(|| format!("tenant.{tenant}"));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.phases["tenant.alpha"].count, 2);
+    }
+
+    #[test]
+    fn disabled_lazy_span_never_builds_its_name() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(false);
+        profile::set_profiling(false);
+        let mut built = false;
+        assert!(span_with(|| {
+            built = true;
+            String::from("never")
+        })
+        .is_none());
+        assert!(!built, "name closure must not run while disabled");
+        assert!(span_owned("static-but-off").is_none());
     }
 
     #[test]

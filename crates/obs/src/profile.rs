@@ -1,0 +1,686 @@
+//! Hierarchical self-profiler: call-tree spans and deterministic work
+//! counters.
+//!
+//! The flat registry in the crate root answers *"how much total time did
+//! phase X take"*; this module answers *"which call path got slower and
+//! why"*. Every [`crate::span`] additionally records into a process-wide
+//! **call tree** while profiling is on: each thread keeps a stack of open
+//! frames, and closing a span folds `(count, inclusive wall time,
+//! exclusive wall time)` into the tree node addressed by the full path of
+//! span names above it.
+//!
+//! Two design points make the output useful for CI gating:
+//!
+//! - **Deterministic work counters.** [`work`] attaches integer counters
+//!   (DP cells filled, ranges built, heap ops, journal bytes …) to the
+//!   ambient span. Counters are commutative `u64` sums keyed by name, so
+//!   the same seed yields a **bitwise-identical** work profile
+//!   ([`work_profile_json`]) no matter how threads interleave — wall times
+//!   jitter, work counts do not.
+//! - **Graft contexts.** Spans opened on rayon-shim worker threads would
+//!   otherwise start new roots. The spawning code captures
+//!   [`current_context`] and each worker holds an [`adopt`] guard: frames
+//!   it opens graft under the spawning span's path. Adoption is a no-op on
+//!   threads that already have open frames, so the same closure works on
+//!   both the serial and parallel paths without double-counting.
+//!
+//! Inclusive time of a parent is its own wall time; exclusive time
+//! subtracts children closed *on the same thread*. Grafted children run
+//! concurrently with their parent, so over a parallel section the sum of
+//! child inclusive times may legitimately exceed the parent's — the
+//! per-thread conservation invariant (parent ≥ Σ same-thread children)
+//! still holds.
+//!
+//! Exports: [`collapsed_stacks`] (flamegraph.pl), [`profile_json`] /
+//! [`work_profile_json`] (hand-rolled JSON — this crate is
+//! dependency-free), and [`work_counts`] for the perf-gate work budgets.
+//! The Chrome-trace rendering lives in `mux_obs_analysis::profile`.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Turns call-tree profiling on or off globally. Independent of the flat
+/// registry switch ([`crate::set_enabled`]); both live in one atomic word
+/// so [`crate::span`]'s disabled path stays a single relaxed load.
+pub fn set_profiling(on: bool) {
+    crate::set_flag(crate::PROFILE_BIT, on);
+}
+
+/// Whether call-tree profiling is currently on.
+#[inline]
+pub fn profiling() -> bool {
+    crate::collect_flags() & crate::PROFILE_BIT != 0
+}
+
+/// Enables profiling for the lifetime of the returned guard, restoring the
+/// previous state on drop. Scopes may nest.
+pub fn profiling_scope() -> ProfilingScope {
+    let prev = crate::set_flag(crate::PROFILE_BIT, true);
+    ProfilingScope { prev }
+}
+
+/// Guard returned by [`profiling_scope`].
+#[must_use = "profiling stops when the scope guard drops"]
+pub struct ProfilingScope {
+    prev: bool,
+}
+
+impl Drop for ProfilingScope {
+    fn drop(&mut self) {
+        crate::set_flag(crate::PROFILE_BIT, self.prev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread frame stacks.
+
+struct Frame {
+    name: Cow<'static, str>,
+    /// Wall time of children closed on this thread, for exclusive time.
+    child_seconds: f64,
+    /// Work counters charged to this frame; flushed to the tree on close.
+    /// A short vec beats a map: frames rarely carry more than a few keys.
+    work: Vec<(&'static str, u64)>,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    /// Graft prefix installed by [`adopt`]; empty on the spawning thread.
+    base: Vec<String>,
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+pub(crate) fn open_frame(name: Cow<'static, str>) {
+    TLS.with(|cell| {
+        cell.borrow_mut().stack.push(Frame {
+            name,
+            child_seconds: 0.0,
+            work: Vec::new(),
+        });
+    });
+}
+
+pub(crate) fn close_frame(elapsed: f64) {
+    TLS.with(|cell| {
+        let mut t = cell.borrow_mut();
+        // A stack can only be empty here if a SpanGuard was moved to a
+        // different thread than the one that opened it; drop the sample
+        // rather than corrupt another thread's tree.
+        let Some(frame) = t.stack.pop() else { return };
+        if let Some(parent) = t.stack.last_mut() {
+            parent.child_seconds += elapsed;
+        }
+        // Disjoint child intervals can exceed the parent by measurement
+        // epsilon; clamp so exclusive time never goes negative.
+        let exclusive = (elapsed - frame.child_seconds).max(0.0);
+        let t = &*t;
+        let mut guard = TREE.lock().unwrap_or_else(|e| e.into_inner());
+        let tree = guard.get_or_insert_with(Tree::new);
+        let mut node = ROOT;
+        for seg in &t.base {
+            node = tree.intern(node, seg);
+        }
+        for f in &t.stack {
+            node = tree.intern(node, &f.name);
+        }
+        node = tree.intern(node, &frame.name);
+        let n = &mut tree.nodes[node];
+        n.count += 1;
+        n.inclusive_seconds += elapsed;
+        n.exclusive_seconds += exclusive;
+        for (key, amount) in frame.work {
+            *n.work.entry(key.to_string()).or_insert(0) += amount;
+        }
+    });
+}
+
+/// Adds `amount` to deterministic work counter `key` on the ambient span
+/// (the innermost open frame on this thread), or on the thread's graft
+/// path — the process root when none — if no span is open.
+///
+/// No-op (a single relaxed atomic load) while profiling is off.
+#[inline]
+pub fn work(key: &'static str, amount: u64) {
+    if crate::collect_flags() & crate::PROFILE_BIT == 0 {
+        return;
+    }
+    work_slow(key, amount);
+}
+
+fn work_slow(key: &'static str, amount: u64) {
+    TLS.with(|cell| {
+        let mut t = cell.borrow_mut();
+        if let Some(frame) = t.stack.last_mut() {
+            match frame.work.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 += amount,
+                None => frame.work.push((key, amount)),
+            }
+            return;
+        }
+        let mut guard = TREE.lock().unwrap_or_else(|e| e.into_inner());
+        let tree = guard.get_or_insert_with(Tree::new);
+        let mut node = ROOT;
+        for seg in &t.base {
+            node = tree.intern(node, seg);
+        }
+        *tree.nodes[node].work.entry(key.to_string()).or_insert(0) += amount;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Graft contexts across thread boundaries.
+
+/// A snapshot of the current thread's span path, for grafting work done on
+/// other threads (rayon-shim workers) under the spawning span.
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    path: Vec<String>,
+}
+
+/// Captures the current thread's open span path (graft prefix included).
+/// Cheap and empty while profiling is off.
+pub fn current_context() -> SpanContext {
+    if !profiling() {
+        return SpanContext::default();
+    }
+    TLS.with(|cell| {
+        let t = cell.borrow();
+        let mut path: Vec<String> = Vec::with_capacity(t.base.len() + t.stack.len());
+        path.extend(t.base.iter().cloned());
+        path.extend(t.stack.iter().map(|f| f.name.to_string()));
+        SpanContext { path }
+    })
+}
+
+/// Installs `ctx` as this thread's graft prefix for the guard's lifetime:
+/// spans opened here land under the spawning span's path.
+///
+/// No-op when profiling is off **or when this thread already has open
+/// frames** — on the serial path the same closure runs on the spawning
+/// thread itself, where its spans already nest naturally and a graft
+/// prefix would double the path.
+pub fn adopt(ctx: &SpanContext) -> AdoptGuard {
+    if !profiling() {
+        return AdoptGuard { prev: None };
+    }
+    TLS.with(|cell| {
+        let mut t = cell.borrow_mut();
+        if !t.stack.is_empty() {
+            return AdoptGuard { prev: None };
+        }
+        let prev = std::mem::replace(&mut t.base, ctx.path.clone());
+        AdoptGuard { prev: Some(prev) }
+    })
+}
+
+/// Guard returned by [`adopt`]; restores the previous graft prefix on drop.
+#[must_use = "the graft prefix is uninstalled when the guard drops"]
+pub struct AdoptGuard {
+    prev: Option<Vec<String>>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            TLS.with(|cell| cell.borrow_mut().base = prev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global call tree.
+
+const ROOT: usize = 0;
+
+struct Node {
+    name: String,
+    count: u64,
+    inclusive_seconds: f64,
+    exclusive_seconds: f64,
+    work: BTreeMap<String, u64>,
+    /// Children by name. A BTreeMap makes every traversal name-ordered, so
+    /// exports never depend on interning order (which is thread-racy).
+    children: BTreeMap<String, usize>,
+}
+
+impl Node {
+    fn named(name: &str) -> Self {
+        Node {
+            name: name.to_string(),
+            count: 0,
+            inclusive_seconds: 0.0,
+            exclusive_seconds: 0.0,
+            work: BTreeMap::new(),
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn new() -> Self {
+        Tree {
+            nodes: vec![Node::named("(root)")],
+        }
+    }
+
+    fn intern(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&id) = self.nodes[parent].children.get(name) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::named(name));
+        self.nodes[parent].children.insert(name.to_string(), id);
+        id
+    }
+}
+
+static TREE: Mutex<Option<Tree>> = Mutex::new(None);
+
+/// Clears the collected call tree. Call between scenarios, with no spans
+/// open (per-thread frame stacks are not touched).
+pub fn reset_profile() {
+    let mut guard = TREE.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and exports.
+
+/// One call-tree node in a [`ProfileSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Span name (one path segment).
+    pub name: String,
+    /// Spans closed at this exact path.
+    pub count: u64,
+    /// Total wall time of those spans, seconds.
+    pub inclusive_seconds: f64,
+    /// Inclusive minus same-thread children, clamped at zero.
+    pub exclusive_seconds: f64,
+    /// Deterministic work counters charged to this path.
+    pub work: BTreeMap<String, u64>,
+    /// Children, ascending by name.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A copy of the call tree at one point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Top-level spans, ascending by name.
+    pub roots: Vec<ProfileNode>,
+    /// Work recorded outside any span, keyed by counter name.
+    pub root_work: BTreeMap<String, u64>,
+}
+
+/// Snapshots the call tree (works even while profiling is off). Take it
+/// after all spans have closed: work on still-open frames has not been
+/// flushed to the tree yet.
+pub fn snapshot_profile() -> ProfileSnapshot {
+    let guard = TREE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(tree) = guard.as_ref() else {
+        return ProfileSnapshot::default();
+    };
+    fn convert(tree: &Tree, id: usize) -> ProfileNode {
+        let n = &tree.nodes[id];
+        ProfileNode {
+            name: n.name.clone(),
+            count: n.count,
+            inclusive_seconds: n.inclusive_seconds,
+            exclusive_seconds: n.exclusive_seconds,
+            work: n.work.clone(),
+            children: n.children.values().map(|&c| convert(tree, c)).collect(),
+        }
+    }
+    ProfileSnapshot {
+        roots: tree.nodes[ROOT]
+            .children
+            .values()
+            .map(|&c| convert(tree, c))
+            .collect(),
+        root_work: tree.nodes[ROOT].work.clone(),
+    }
+}
+
+/// Name used for the synthetic process-root row in flat exports (it holds
+/// [`ProfileSnapshot::root_work`] — work recorded outside any span).
+pub const ROOT_PATH: &str = "(root)";
+
+fn visit_rows<'a>(
+    node: &'a ProfileNode,
+    path: &mut Vec<&'a str>,
+    f: &mut impl FnMut(&[&str], &ProfileNode),
+) {
+    path.push(&node.name);
+    f(path, node);
+    for child in &node.children {
+        visit_rows(child, path, f);
+    }
+    path.pop();
+}
+
+/// Calls `f` once per tree node in deterministic (pre-order, name-sorted)
+/// order, with the full path of span names. The synthetic root row is not
+/// included.
+pub fn for_each_path(snap: &ProfileSnapshot, mut f: impl FnMut(&[&str], &ProfileNode)) {
+    let mut path = Vec::new();
+    for root in &snap.roots {
+        visit_rows(root, &mut path, &mut f);
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_path(path: &[&str]) -> String {
+    let segs: Vec<String> = path
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", segs.join(","))
+}
+
+fn json_work(work: &BTreeMap<String, u64>) -> String {
+    let entries: Vec<String> = work
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+        .collect();
+    format!("{{{}}}", entries.join(","))
+}
+
+/// Renders the full profile (times + counts + work) as JSON: a flat,
+/// pre-order `paths` array — trivial to diff and to re-tree.
+pub fn profile_json(snap: &ProfileSnapshot) -> String {
+    let mut rows = Vec::new();
+    if !snap.root_work.is_empty() {
+        rows.push(format!(
+            "{{\"path\":[\"{ROOT_PATH}\"],\"count\":0,\"inclusive_seconds\":0,\
+             \"exclusive_seconds\":0,\"work\":{}}}",
+            json_work(&snap.root_work)
+        ));
+    }
+    for_each_path(snap, |path, node| {
+        rows.push(format!(
+            "{{\"path\":{},\"count\":{},\"inclusive_seconds\":{},\
+             \"exclusive_seconds\":{},\"work\":{}}}",
+            json_path(path),
+            node.count,
+            node.inclusive_seconds,
+            node.exclusive_seconds,
+            json_work(&node.work)
+        ));
+    });
+    format!(
+        "{{\n\"format\":\"muxtune.profile.v1\",\n\"paths\":[\n{}\n]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Renders only the deterministic part of the profile — call counts and
+/// work counters, no wall times. Same seed ⇒ byte-identical output, which
+/// is what the CI run-twice `diff` leg pins.
+pub fn work_profile_json(snap: &ProfileSnapshot) -> String {
+    let mut rows = Vec::new();
+    if !snap.root_work.is_empty() {
+        rows.push(format!(
+            "{{\"path\":[\"{ROOT_PATH}\"],\"calls\":0,\"work\":{}}}",
+            json_work(&snap.root_work)
+        ));
+    }
+    for_each_path(snap, |path, node| {
+        if node.count == 0 && node.work.is_empty() {
+            return;
+        }
+        rows.push(format!(
+            "{{\"path\":{},\"calls\":{},\"work\":{}}}",
+            json_path(path),
+            node.count,
+            json_work(&node.work)
+        ));
+    });
+    format!(
+        "{{\n\"format\":\"muxtune.work-profile.v1\",\n\"paths\":[\n{}\n]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Renders the tree as collapsed stacks (`a;b;c <exclusive µs>` per line),
+/// the input format of flamegraph.pl / speedscope / inferno.
+pub fn collapsed_stacks(snap: &ProfileSnapshot) -> String {
+    let mut out = String::new();
+    for_each_path(snap, |path, node| {
+        if node.count == 0 {
+            return;
+        }
+        let micros = (node.exclusive_seconds * 1e6).round() as u64;
+        out.push_str(&path.join(";"));
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    });
+    out
+}
+
+/// Flattens the deterministic profile into
+/// `path (";"-joined) → {counter → value}` for baseline work budgets. Call
+/// counts ride along as the pseudo-counter `calls`.
+pub fn work_counts(snap: &ProfileSnapshot) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    if !snap.root_work.is_empty() {
+        out.insert(ROOT_PATH.to_string(), snap.root_work.clone());
+    }
+    for_each_path(snap, |path, node| {
+        if node.count == 0 && node.work.is_empty() {
+            return;
+        }
+        let mut counters = node.work.clone();
+        counters.insert("calls".to_string(), node.count);
+        out.insert(path.join(";"), counters);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_LOCK;
+
+    fn clean() -> (impl Drop, impl Drop) {
+        crate::reset();
+        reset_profile();
+        let flat = crate::enabled_scope();
+        let prof = profiling_scope();
+        (flat, prof)
+    }
+
+    fn find<'a>(snap: &'a ProfileSnapshot, path: &[&str]) -> Option<&'a ProfileNode> {
+        let mut nodes = &snap.roots;
+        let mut found = None;
+        for seg in path {
+            found = nodes.iter().find(|n| n.name == *seg)?.into();
+            nodes = &found.unwrap().children;
+        }
+        found
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_conserved_time() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = clean();
+        {
+            let _a = crate::span("a");
+            {
+                let _b = crate::span("b");
+                std::hint::black_box(0u64);
+            }
+            {
+                let _b = crate::span("b");
+            }
+            {
+                let _c = crate::span("c");
+            }
+        }
+        let snap = snapshot_profile();
+        let a = find(&snap, &["a"]).expect("a");
+        let b = find(&snap, &["a", "b"]).expect("a;b");
+        let c = find(&snap, &["a", "c"]).expect("a;c");
+        assert_eq!(a.count, 1);
+        assert_eq!(b.count, 2);
+        assert_eq!(c.count, 1);
+        assert!(find(&snap, &["b"]).is_none(), "b only exists under a");
+        let child_sum = b.inclusive_seconds + c.inclusive_seconds;
+        assert!(
+            a.inclusive_seconds >= child_sum - 1e-9,
+            "parent {} < children {}",
+            a.inclusive_seconds,
+            child_sum
+        );
+        assert!(a.exclusive_seconds >= 0.0 && b.exclusive_seconds >= 0.0);
+        assert!((a.inclusive_seconds - a.exclusive_seconds - child_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_lands_on_ambient_span_and_root() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = clean();
+        work("orphan", 7);
+        {
+            let _a = crate::span("a");
+            work("cells", 10);
+            {
+                let _b = crate::span("b");
+                work("cells", 5);
+                work("cells", 5);
+            }
+            work("cells", 1);
+        }
+        let snap = snapshot_profile();
+        assert_eq!(snap.root_work["orphan"], 7);
+        assert_eq!(find(&snap, &["a"]).unwrap().work["cells"], 11);
+        assert_eq!(find(&snap, &["a", "b"]).unwrap().work["cells"], 10);
+        let counts = work_counts(&snap);
+        assert_eq!(counts["(root)"]["orphan"], 7);
+        assert_eq!(counts["a"]["cells"], 11);
+        assert_eq!(counts["a"]["calls"], 1);
+        assert_eq!(counts["a;b"]["cells"], 10);
+    }
+
+    #[test]
+    fn worker_threads_graft_under_the_spawning_span() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = clean();
+        {
+            let _p = crate::span("parent");
+            let ctx = current_context();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _adopt = adopt(&ctx);
+                        let _c = crate::span("child");
+                        work("items", 3);
+                    });
+                }
+            });
+            // Serial fallback on the spawning thread: adopt must be a no-op
+            // because frames are already open here.
+            let _adopt = adopt(&ctx);
+            let _c = crate::span("child");
+            work("items", 3);
+        }
+        let snap = snapshot_profile();
+        let child = find(&snap, &["parent", "child"]).expect("grafted path");
+        assert_eq!(child.count, 5);
+        assert_eq!(child.work["items"], 15);
+        assert!(
+            find(&snap, &["child"]).is_none() && find(&snap, &["parent", "parent"]).is_none(),
+            "no stray roots or doubled paths"
+        );
+    }
+
+    #[test]
+    fn work_profile_is_bitwise_deterministic_and_time_free() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut renders = Vec::new();
+        for _ in 0..2 {
+            let _g = clean();
+            {
+                let _a = crate::span("plan");
+                for i in 0..10u64 {
+                    let _b = crate::span("row");
+                    work("ranges", i);
+                }
+            }
+            renders.push(work_profile_json(&snapshot_profile()));
+        }
+        assert_eq!(renders[0], renders[1], "same seed, same bytes");
+        assert!(
+            !renders[0].contains("seconds"),
+            "work profile carries no wall times: {}",
+            renders[0]
+        );
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = clean();
+        {
+            let _a = crate::span_owned(String::from("outer \"q\""));
+            let _b = crate::span("inner");
+            work("w", 2);
+        }
+        let snap = snapshot_profile();
+        let collapsed = collapsed_stacks(&snap);
+        assert!(collapsed.lines().any(|l| {
+            l.starts_with("outer \"q\";inner ")
+                && l.rsplit(' ').next().unwrap().parse::<u64>().is_ok()
+        }));
+        let json = profile_json(&snap);
+        assert!(json.contains("\"outer \\\"q\\\"\""), "escaped in {json}");
+        assert!(json.contains("muxtune.profile.v1"));
+        let work_json = work_profile_json(&snap);
+        assert!(work_json.contains("muxtune.work-profile.v1"));
+        assert!(work_json.contains("\"w\":2"));
+    }
+
+    #[test]
+    fn disabled_profiler_records_no_tree() {
+        let _t = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        reset_profile();
+        set_profiling(false);
+        let _flat = crate::enabled_scope();
+        {
+            let _a = crate::span("flat-only");
+            work("cells", 9);
+        }
+        let snap = snapshot_profile();
+        assert!(snap.roots.is_empty() && snap.root_work.is_empty());
+        // The flat registry still sees the span.
+        assert_eq!(crate::snapshot().phases["flat-only"].count, 1);
+    }
+}

@@ -379,6 +379,9 @@ impl<'a> Replayer<'a> {
 
     /// Drives the whole replay: arrivals, cancels, faults, drain, seal.
     fn run(&mut self) -> Result<(), String> {
+        // A lazy owned span name: per-policy phases can't be `&'static str`,
+        // and the closure never runs while collection is off.
+        let _span = mux_obs::span_with(|| format!("replay.run.{}", self.policy.name()));
         let mut cancels: Vec<(f64, u64)> = self
             .trace
             .jobs
@@ -450,6 +453,7 @@ impl<'a> Replayer<'a> {
             }
             self.reap_terminal();
             self.submit_ready()?;
+            mux_obs::profile::work("replay_timeline_steps", 1);
         }
 
         // Streams exhausted: drain pending + in-flight work.
