@@ -178,6 +178,69 @@ pub enum EventKind {
         /// The best candidates by `(score, arrival, id)`, winner first.
         candidates: Vec<DecisionCandidate>,
     },
+    /// An inference request entered the serving queue.
+    RequestArrive {
+        /// Request handle (serving id space, disjoint from job handles).
+        request: u64,
+        /// Requesting tenant.
+        tenant: String,
+        /// Prompt tokens to prefill.
+        prompt_tokens: u64,
+        /// Output tokens to decode.
+        output_tokens: u64,
+    },
+    /// A request's prefill batch finished (first token emitted).
+    RequestPrefill {
+        /// Request handle.
+        request: u64,
+        /// Time-to-first-token: prefill end minus arrival, seconds.
+        ttft_seconds: f64,
+    },
+    /// A request finished decoding all its output tokens.
+    RequestComplete {
+        /// Request handle.
+        request: u64,
+        /// Output tokens decoded (conservation: equals the arrival's
+        /// `output_tokens`).
+        decode_tokens: u64,
+        /// End-to-end latency: completion minus arrival, seconds.
+        latency_seconds: f64,
+    },
+    /// A request was rejected at admission (queue full).
+    RequestReject {
+        /// Request handle.
+        request: u64,
+        /// Why.
+        reason: String,
+    },
+    /// A request waited past the queue timeout and was dropped.
+    RequestTimeout {
+        /// Request handle.
+        request: u64,
+        /// How long it waited before timing out, seconds.
+        waited_seconds: f64,
+    },
+    /// The serving policy preempted training on an instance (temporal
+    /// multiplexing: serving takes the backbone, training rates drop to 0).
+    ServingPreempt {
+        /// Preempted instance.
+        instance: usize,
+    },
+    /// The serving policy handed the backbone back to training.
+    ServingResume {
+        /// Resumed instance.
+        instance: usize,
+    },
+    /// An event kind this build does not know. Carried verbatim (name plus
+    /// raw payload) and replayed as a no-op, so journals written by newer
+    /// builds still verify here instead of failing to parse.
+    Opaque {
+        /// The JSONL `event` field.
+        name: String,
+        /// Every payload field except the `seq`/`tick`/`now`/`event`
+        /// envelope, re-emitted as-is.
+        payload: Map,
+    },
     /// The writer's own final state, for [`Journal::verify`].
     Final {
         /// Job handle → lifecycle state string (`queued`, `running@<i>`,
@@ -244,7 +307,7 @@ impl DecisionCandidate {
 
 impl EventKind {
     /// Stable event-type name (the JSONL `event` field).
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             EventKind::Submit { .. } => "submit",
             EventKind::Reject { .. } => "reject",
@@ -261,6 +324,14 @@ impl EventKind {
             EventKind::RecoverReplan { .. } => "recover_replan",
             EventKind::RecoverShed { .. } => "recover_shed",
             EventKind::Decision { .. } => "decision",
+            EventKind::RequestArrive { .. } => "request_arrive",
+            EventKind::RequestPrefill { .. } => "request_prefill",
+            EventKind::RequestComplete { .. } => "request_complete",
+            EventKind::RequestReject { .. } => "request_reject",
+            EventKind::RequestTimeout { .. } => "request_timeout",
+            EventKind::ServingPreempt { .. } => "serving_preempt",
+            EventKind::ServingResume { .. } => "serving_resume",
+            EventKind::Opaque { name, .. } => name,
             EventKind::Final { .. } => "final",
         }
     }
@@ -432,6 +503,55 @@ impl JournalEvent {
                     "candidates".into(),
                     Value::Array(candidates.iter().map(DecisionCandidate::to_json).collect()),
                 );
+            }
+            EventKind::RequestArrive {
+                request,
+                tenant,
+                prompt_tokens,
+                output_tokens,
+            } => {
+                m.insert("request".into(), (*request).into());
+                m.insert("tenant".into(), tenant.as_str().into());
+                m.insert("prompt_tokens".into(), (*prompt_tokens).into());
+                m.insert("output_tokens".into(), (*output_tokens).into());
+            }
+            EventKind::RequestPrefill {
+                request,
+                ttft_seconds,
+            } => {
+                m.insert("request".into(), (*request).into());
+                m.insert("ttft_seconds".into(), (*ttft_seconds).into());
+            }
+            EventKind::RequestComplete {
+                request,
+                decode_tokens,
+                latency_seconds,
+            } => {
+                m.insert("request".into(), (*request).into());
+                m.insert("decode_tokens".into(), (*decode_tokens).into());
+                m.insert("latency_seconds".into(), (*latency_seconds).into());
+            }
+            EventKind::RequestReject { request, reason } => {
+                m.insert("request".into(), (*request).into());
+                m.insert("reason".into(), reason.as_str().into());
+            }
+            EventKind::RequestTimeout {
+                request,
+                waited_seconds,
+            } => {
+                m.insert("request".into(), (*request).into());
+                m.insert("waited_seconds".into(), (*waited_seconds).into());
+            }
+            EventKind::ServingPreempt { instance } => {
+                m.insert("instance".into(), (*instance).into());
+            }
+            EventKind::ServingResume { instance } => {
+                m.insert("instance".into(), (*instance).into());
+            }
+            EventKind::Opaque { payload, .. } => {
+                for (k, v) in payload {
+                    m.insert(k.clone(), v.clone());
+                }
             }
             EventKind::Final { jobs, alerts } => {
                 let mut jm = Map::new();
@@ -605,7 +725,46 @@ impl JournalEvent {
                 }
                 EventKind::Final { jobs, alerts }
             }
-            other => return Err(format!("unknown event type {other:?}")),
+            "request_arrive" => EventKind::RequestArrive {
+                request: get_u64("request")?,
+                tenant: get_str("tenant")?,
+                prompt_tokens: get_u64("prompt_tokens")?,
+                output_tokens: get_u64("output_tokens")?,
+            },
+            "request_prefill" => EventKind::RequestPrefill {
+                request: get_u64("request")?,
+                ttft_seconds: get_f64("ttft_seconds")?,
+            },
+            "request_complete" => EventKind::RequestComplete {
+                request: get_u64("request")?,
+                decode_tokens: get_u64("decode_tokens")?,
+                latency_seconds: get_f64("latency_seconds")?,
+            },
+            "request_reject" => EventKind::RequestReject {
+                request: get_u64("request")?,
+                reason: get_str("reason")?,
+            },
+            "request_timeout" => EventKind::RequestTimeout {
+                request: get_u64("request")?,
+                waited_seconds: get_f64("waited_seconds")?,
+            },
+            "serving_preempt" => EventKind::ServingPreempt {
+                instance: get_u64("instance")? as usize,
+            },
+            "serving_resume" => EventKind::ServingResume {
+                instance: get_u64("instance")? as usize,
+            },
+            // Unknown kinds (journals written by newer builds) are carried
+            // verbatim and replay as no-ops, so older readers still verify
+            // the job/alert state they do understand.
+            other => EventKind::Opaque {
+                name: other.to_string(),
+                payload: obj
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "seq" | "tick" | "now" | "event"))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            },
         };
         Ok(JournalEvent {
             seq,
@@ -757,7 +916,11 @@ impl Journal {
                 // moves the job); Decision is pure provenance (the paired
                 // Dispatch/Shed moves the job); fault and recovery
                 // markers, Replan, and Final do not change replayed job
-                // state.
+                // state. Request/serving events live in their own id space
+                // (request handles, not job handles), and Opaque events are
+                // by construction kinds this build cannot interpret — all
+                // replay as explicit no-ops so the job/alert fold only ever
+                // sees job-scoped kinds.
                 EventKind::Shed { .. }
                 | EventKind::Replan { .. }
                 | EventKind::FaultInjected { .. }
@@ -767,6 +930,14 @@ impl Journal {
                 | EventKind::RecoverReplan { .. }
                 | EventKind::RecoverShed { .. }
                 | EventKind::Decision { .. }
+                | EventKind::RequestArrive { .. }
+                | EventKind::RequestPrefill { .. }
+                | EventKind::RequestComplete { .. }
+                | EventKind::RequestReject { .. }
+                | EventKind::RequestTimeout { .. }
+                | EventKind::ServingPreempt { .. }
+                | EventKind::ServingResume { .. }
+                | EventKind::Opaque { .. }
                 | EventKind::Final { .. } => {}
             }
         }
@@ -1142,7 +1313,7 @@ mod tests {
 
         // Events are ordered by simulated time: job 2's submit (t=0.1)
         // lands after job 1's t=0.0 burst and before the t=0.3 alert.
-        let order: Vec<&'static str> = back.events().iter().map(|ev| ev.kind.name()).collect();
+        let order: Vec<&str> = back.events().iter().map(|ev| ev.kind.name()).collect();
         assert_eq!(
             order,
             [
@@ -1219,5 +1390,120 @@ mod tests {
         let gap = "{\"seq\":1,\"tick\":0,\"now\":0.0,\"event\":\"complete\",\"job\":1}\n";
         assert!(Journal::from_jsonl(gap).is_err(), "seq must start at 0");
         assert!(Journal::from_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_event_kinds_parse_as_opaque_and_replay_as_no_ops() {
+        // Regression: replay used to assume every parsed kind is
+        // job-scoped because from_json rejected anything it did not know,
+        // so a journal written by a newer build (here: a fictional
+        // `frobnicate` event wedged between job 1's lifecycle events)
+        // failed wholesale instead of verifying the state it understands.
+        let text = concat!(
+            "{\"seq\":0,\"tick\":0,\"now\":0.0,\"event\":\"submit\",\"job\":1,",
+            "\"tenant\":\"t\",\"backbone\":\"b\",\"total_tokens\":10,",
+            "\"slo_seconds\":null}\n",
+            "{\"seq\":1,\"tick\":1,\"now\":0.1,\"event\":\"frobnicate\",",
+            "\"job\":7,\"widget\":\"x\",\"level\":3}\n",
+            "{\"seq\":2,\"tick\":2,\"now\":0.2,\"event\":\"complete\",\"job\":1}\n",
+            "{\"seq\":3,\"tick\":2,\"now\":0.2,\"event\":\"final\",",
+            "\"jobs\":{\"1\":\"completed\"},\"alerts\":[]}\n",
+        );
+        let journal = Journal::from_jsonl(text).expect("unknown kinds parse");
+        let ev = &journal.events()[1];
+        assert_eq!(ev.kind.name(), "frobnicate");
+        match &ev.kind {
+            EventKind::Opaque { name, payload } => {
+                assert_eq!(name, "frobnicate");
+                // The envelope fields stay out of the payload; even a
+                // job-named field is inert under replay.
+                assert!(!payload.contains_key("seq"));
+                assert!(!payload.contains_key("event"));
+                assert_eq!(payload.get("widget").and_then(Value::as_str), Some("x"));
+                assert_eq!(payload.get("level").and_then(Value::as_u64), Some(3));
+            }
+            other => panic!("expected Opaque, got {other:?}"),
+        }
+        // The opaque event's `job` field must NOT leak into replay state.
+        let state = journal
+            .verify()
+            .expect("journal with unknown kind verifies");
+        assert_eq!(state.jobs.len(), 1);
+        assert_eq!(state.jobs[&1], "completed");
+
+        // Opaque events survive a to_jsonl/from_jsonl round trip losslessly
+        // at the value level (the payload map re-emits every field).
+        let back = Journal::from_jsonl(&journal.to_jsonl()).expect("round trip");
+        assert_eq!(back.events(), journal.events());
+    }
+
+    #[test]
+    fn request_events_round_trip_and_replay_as_no_ops() {
+        let mut j = Journal::new();
+        j.push(
+            0,
+            0.0,
+            EventKind::Submit {
+                job: 1,
+                tenant: "t".into(),
+                backbone: "b".into(),
+                total_tokens: 10,
+                slo_seconds: None,
+            },
+        );
+        j.push(
+            1,
+            0.1,
+            EventKind::RequestArrive {
+                request: 100,
+                tenant: "t".into(),
+                prompt_tokens: 128,
+                output_tokens: 32,
+            },
+        );
+        j.push(
+            1,
+            0.2,
+            EventKind::RequestPrefill {
+                request: 100,
+                ttft_seconds: 0.1,
+            },
+        );
+        j.push(2, 0.3, EventKind::ServingPreempt { instance: 0 });
+        j.push(
+            2,
+            0.4,
+            EventKind::RequestComplete {
+                request: 100,
+                decode_tokens: 32,
+                latency_seconds: 0.3,
+            },
+        );
+        j.push(2, 0.4, EventKind::ServingResume { instance: 0 });
+        j.push(
+            3,
+            0.5,
+            EventKind::RequestReject {
+                request: 101,
+                reason: "queue full".into(),
+            },
+        );
+        j.push(
+            3,
+            0.6,
+            EventKind::RequestTimeout {
+                request: 102,
+                waited_seconds: 2.5,
+            },
+        );
+        j.push(4, 0.7, EventKind::Complete { job: 1 });
+        j.seal();
+        let state = j.verify().expect("request events do not disturb replay");
+        // Request handles share no namespace with job handles: request 100
+        // never appears as a job, even though its id is a u64 too.
+        assert_eq!(state.jobs.len(), 1);
+        assert_eq!(state.jobs[&1], "completed");
+        let back = Journal::from_jsonl(&j.to_jsonl()).expect("round trip");
+        assert_eq!(back.events(), j.events());
     }
 }

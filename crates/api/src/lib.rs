@@ -11,6 +11,7 @@ pub mod job;
 pub mod journal;
 pub mod policy;
 pub mod service;
+pub mod serving;
 
 pub use job::{Job, JobId, JobSpec, JobState};
 pub use journal::{
@@ -25,3 +26,4 @@ pub use service::{
     DispatchPolicy, FaultError, FaultStats, FineTuneService, ReplanMode, RetryPolicy,
     ServiceConfig, ServiceFault, TelemetrySummary,
 };
+pub use serving::{RequestSpec, ServingConfig, ServingPolicy, ServingRuntime, ServingStats};

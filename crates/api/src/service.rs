@@ -31,6 +31,7 @@ use serde_json::{Map, Value};
 
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::journal::{DecisionCandidate, EventKind, Journal, ReplayState};
+use crate::serving::{self, RequestSpec, ServingConfig, ServingRuntime};
 
 /// Dispatch policies (§3.1 mentions budget-based Kubernetes scheduling;
 /// §6 sketches multiplexing-aware variants).
@@ -268,6 +269,9 @@ struct Instance {
     lost_devices: BTreeSet<usize>,
     /// In-flight transient comm outage, if any.
     outage: Option<OutageState>,
+    /// Whether the serving policy holds the backbone right now: training
+    /// rates gate to 0 exactly like an outage (temporal multiplexing).
+    serving_preempted: bool,
     /// Monotonic outage-injection counter (staleness check for resumes).
     outage_token: u64,
     /// Degraded plan after device loss (None = the service-wide plan).
@@ -443,6 +447,9 @@ pub struct FineTuneService {
     journal: Journal,
     /// Streaming alert engine, when monitoring is enabled.
     monitor: Option<MonitorRuntime>,
+    /// Inference serving runtime, when serving is enabled (see
+    /// [`crate::serving`]).
+    serving: Option<ServingRuntime>,
 }
 
 /// Per-tenant aggregates behind the report's `tenants` section.
@@ -478,6 +485,7 @@ impl FineTuneService {
             tick: 0,
             journal: Journal::new(),
             monitor: None,
+            serving: None,
         }
     }
 
@@ -689,6 +697,11 @@ impl FineTuneService {
                                 link_factor: 1.0,
                                 lost_devices: BTreeSet::new(),
                                 outage: None,
+                                serving_preempted: self
+                                    .serving
+                                    .as_ref()
+                                    .map(|s| s.preempted())
+                                    .unwrap_or(false),
                                 outage_token: 0,
                                 plan_override: None,
                                 cluster_override: None,
@@ -1026,7 +1039,7 @@ impl FineTuneService {
     /// state: 0 during an outage, else the reciprocal of the worst
     /// straggler slowdown times the link degradation.
     fn degrade_multiplier(inst: &Instance) -> f64 {
-        if inst.outage.is_some() {
+        if inst.outage.is_some() || inst.serving_preempted {
             return 0.0;
         }
         let slow = inst.slow_factors.values().fold(1.0f64, |a, &b| a.max(b));
@@ -1382,7 +1395,73 @@ impl FineTuneService {
             mux_obs::timeseries::advance_tick();
         }
         self.advance(dt);
+        self.serving_step();
         self.sample_and_detect(dt);
+    }
+
+    /// Enables inference serving on the shared backbone. Requests are fed
+    /// with [`Self::submit_requests`]; the policy runs inside every
+    /// [`Self::tick`]. Replaces any previous serving runtime.
+    pub fn enable_serving(&mut self, cfg: ServingConfig) {
+        self.serving = Some(ServingRuntime::new(cfg));
+    }
+
+    /// Queues future inference request arrivals (any order; the runtime
+    /// sorts by arrival time). No-op when serving is disabled.
+    pub fn submit_requests(&mut self, requests: Vec<RequestSpec>) {
+        if let Some(s) = self.serving.as_mut() {
+            s.submit(requests);
+        }
+    }
+
+    /// The serving runtime, when enabled (inspection).
+    pub fn serving(&self) -> Option<&ServingRuntime> {
+        self.serving.as_ref()
+    }
+
+    /// Whether every submitted request has reached a terminal state
+    /// (vacuously true when serving is disabled).
+    pub fn serving_idle(&self) -> bool {
+        self.serving.as_ref().map(|s| s.idle()).unwrap_or(true)
+    }
+
+    /// One serving step, run inside every tick after `advance`: processes
+    /// request events up to `self.now`, then lets the policy decide
+    /// whether serving holds the backbone for the next tick (temporal
+    /// preemption) or co-batches in the Eq. 7 slot headroom (spatial).
+    ///
+    /// With serving enabled but no requests in the system this is
+    /// observably a no-op — no journal events, no rate changes — so an
+    /// empty-stream run is bitwise identical to a serving-disabled run
+    /// (the differential gate in `tests/serving_props.rs`).
+    fn serving_step(&mut self) {
+        let Some(mut srv) = self.serving.take() else {
+            return;
+        };
+        let cap = self.slot_capacity();
+        let headroom = if cap == 0 {
+            1.0
+        } else {
+            self.slots_free() as f64 / cap as f64
+        };
+        srv.set_headroom(headroom);
+        srv.step(self.now, self.tick, &mut self.journal);
+        let want = srv.wants_backbone(self.now);
+        if want != srv.preempted() {
+            srv.set_preempted(want);
+            for i in 0..self.instances.len() {
+                self.materialize(i);
+                self.instances[i].serving_preempted = want;
+                self.reprice(i);
+                let kind = if want {
+                    EventKind::ServingPreempt { instance: i }
+                } else {
+                    EventKind::ServingResume { instance: i }
+                };
+                self.journal.push(self.tick, self.now, kind);
+            }
+        }
+        self.serving = Some(srv);
     }
 
     /// Samples throughput, stall shares, and SLO burn for every running
@@ -1873,6 +1952,13 @@ impl FineTuneService {
         root.insert("capacity".into(), self.capacity_json());
         root.insert("alerts".into(), self.alerts_json());
         root.insert("faults".into(), self.faults_json());
+        root.insert(
+            "serving".into(),
+            self.serving
+                .as_ref()
+                .map(|s| s.report_json(self.now))
+                .unwrap_or_else(serving::disabled_report_json),
+        );
         let mut obs = Map::new();
         obs.insert("phases".into(), Value::Object(phases));
         obs.insert("counters".into(), Value::Object(counters));
@@ -2307,6 +2393,12 @@ impl FineTuneService {
             out.push_str(&format!(
                 "muxtune_alerts_fired_total{{rule=\"{label}\"}} {fired}\n"
             ));
+        }
+
+        // Serving families render whenever serving is enabled (zeros
+        // before the first request concludes).
+        if let Some(s) = &self.serving {
+            s.render_prom(&mut out, self.now);
         }
 
         out.push_str(&mux_obs::snapshot_prom());

@@ -1,0 +1,890 @@
+//! Inference serving on the training backbone (ROADMAP item 1).
+//!
+//! A [`ServingRuntime`] multiplexes a stream of token-level inference
+//! requests onto the same frozen backbone the service's training hTasks
+//! share. Requests move through a queue → one serialized prefill batch
+//! server → per-request decode, costed by the
+//! [`PhaseModel`] roofline: prefill is
+//! compute-bound and co-batched (up to `prefill_batch_cap` prompts pay one
+//! weight read), decode is memory-bound and token-stepped.
+//!
+//! The [`ServingPolicy`] decides **per tick** how serving and training
+//! share the device (MuxServe-style spatial-temporal multiplexing):
+//!
+//! - [`Temporal`](ServingPolicy::Temporal): serving preempts training
+//!   micro-batches whenever request work is live — training rates drop to
+//!   0 (the same mechanism as a comm outage) and serving runs at full
+//!   device speed.
+//! - [`Spatial`](ServingPolicy::Spatial): serving co-batches into the
+//!   spare co-location slots the Eq. 7 grouping left free — training is
+//!   never preempted, and serving latency inflates by the reciprocal of
+//!   the free-slot share (scarce headroom ⇒ slow serving).
+//! - [`Hybrid`](ServingPolicy::Hybrid): spatial while the queue is
+//!   healthy, temporal once the oldest queued request has burned half its
+//!   TTFT SLO.
+//!
+//! Every request transition is journaled (`request_arrive`,
+//! `request_prefill`, `request_complete`, `request_reject`,
+//! `request_timeout`) at its **exact** simulated time with the same
+//! contiguous-seq framing as training events, so the journal fingerprint
+//! remains the determinism oracle; per-request TTFT and per-token latency
+//! feed mergeable [`QuantileSketch`]es for the p50/p95/p99 + SLO
+//! attainment surfaces in `service_report()` and the prom exposition.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use mux_gpu_sim::PhaseModel;
+use mux_obs::QuantileSketch;
+use serde_json::{Map, Value};
+
+use crate::journal::{EventKind, Journal};
+
+/// How serving shares the backbone with training, decided per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingPolicy {
+    /// Never preempt: co-batch into spare Eq. 7 slots, derated by the
+    /// free-slot share.
+    Spatial,
+    /// Preempt training whenever request work is live.
+    Temporal,
+    /// Spatial until the oldest queued request burns half its TTFT SLO,
+    /// then temporal until the queue drains.
+    Hybrid,
+}
+
+impl ServingPolicy {
+    /// Stable lowercase name (report/prom surface).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServingPolicy::Spatial => "spatial",
+            ServingPolicy::Temporal => "temporal",
+            ServingPolicy::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a policy name (the `report --serving-policy` flag).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "spatial" => Some(ServingPolicy::Spatial),
+            "temporal" => Some(ServingPolicy::Temporal),
+            "hybrid" => Some(ServingPolicy::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+/// Serving subsystem configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Spatial/temporal sharing policy.
+    pub policy: ServingPolicy,
+    /// Roofline phase model for the (device, backbone) pair.
+    pub phase: PhaseModel,
+    /// Max prompts co-batched into one prefill.
+    pub prefill_batch_cap: usize,
+    /// Time-to-first-token SLO, seconds.
+    pub ttft_slo_seconds: f64,
+    /// Per-decoded-token latency SLO, seconds.
+    pub per_token_slo_seconds: f64,
+    /// Queued requests older than this are dropped (`request_timeout`).
+    pub queue_timeout_seconds: f64,
+    /// Admission cap: arrivals beyond this queue depth are rejected.
+    pub max_queue: usize,
+    /// Floor on the spatial device share, so scarce training headroom
+    /// derates serving by at most `1 / min_spatial_share`.
+    pub min_spatial_share: f64,
+}
+
+impl ServingConfig {
+    /// A serving config with paper-flavoured defaults for `phase`.
+    pub fn new(policy: ServingPolicy, phase: PhaseModel) -> Self {
+        Self {
+            policy,
+            phase,
+            prefill_batch_cap: 8,
+            ttft_slo_seconds: 1.0,
+            per_token_slo_seconds: 0.1,
+            queue_timeout_seconds: 30.0,
+            max_queue: 4096,
+            min_spatial_share: 0.25,
+        }
+    }
+}
+
+/// One inference request: the serving analogue of a `JobSpec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Request handle (its own id space, disjoint from job handles).
+    pub id: u64,
+    /// Requesting tenant.
+    pub tenant: String,
+    /// Arrival time, simulated seconds.
+    pub arrival: f64,
+    /// Prompt tokens to prefill.
+    pub prompt_tokens: u64,
+    /// Output tokens to decode (≥ 1).
+    pub output_tokens: u64,
+}
+
+/// A request admitted to the prefill queue.
+#[derive(Debug, Clone)]
+struct Queued {
+    spec: RequestSpec,
+}
+
+/// The in-flight co-batched prefill (one serialized batch server).
+#[derive(Debug, Clone)]
+struct PrefillBatch {
+    members: Vec<RequestSpec>,
+    ends: f64,
+}
+
+/// A scheduled "request finishes decoding" event.
+#[derive(Debug, Clone, PartialEq)]
+struct DecodeEvent {
+    at: f64,
+    spec: RequestSpec,
+    prefill_end: f64,
+}
+
+impl Eq for DecodeEvent {}
+
+impl PartialOrd for DecodeEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DecodeEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.spec.id.cmp(&other.spec.id))
+    }
+}
+
+/// Running serving totals (report/prom surface).
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    /// Requests admitted or rejected at the door.
+    pub arrived: u64,
+    /// Requests that decoded every output token.
+    pub completed: u64,
+    /// Requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Requests dropped after waiting out the queue timeout.
+    pub timed_out: u64,
+    /// Prompt tokens prefilled.
+    pub prompt_tokens: u64,
+    /// Output tokens decoded.
+    pub decode_tokens: u64,
+    /// Completions meeting both the TTFT and per-token SLOs.
+    pub slo_attained: u64,
+    /// Completions violating either SLO.
+    pub slo_violated: u64,
+    /// Preempt transitions (training handed the backbone to serving).
+    pub preemptions: u64,
+}
+
+/// Per-tenant latency sketches + attainment.
+#[derive(Debug, Clone, Default)]
+struct TenantServing {
+    ttft: QuantileSketch,
+    per_token: QuantileSketch,
+    completed: u64,
+    slo_attained: u64,
+}
+
+/// The serving subsystem state machine, stepped by
+/// [`FineTuneService::tick`](crate::service::FineTuneService::tick).
+#[derive(Debug, Clone)]
+pub struct ServingRuntime {
+    cfg: ServingConfig,
+    /// Submitted requests not yet arrived, ordered by `(arrival, id)`.
+    pending: VecDeque<RequestSpec>,
+    /// Admitted requests awaiting a prefill slot (FIFO).
+    queue: VecDeque<Queued>,
+    /// The in-flight prefill batch, if the batch server is busy.
+    batch: Option<PrefillBatch>,
+    /// Scheduled decode completions.
+    decoding: BinaryHeap<Reverse<DecodeEvent>>,
+    /// Per-tenant latency sketches (BTreeMap: deterministic order).
+    tenants: BTreeMap<String, TenantServing>,
+    /// Running totals.
+    stats: ServingStats,
+    /// Whether training is currently preempted for serving.
+    preempted: bool,
+    /// Serving latency multiplier sampled at schedule time: 1 while
+    /// preempted (full device), else the reciprocal spatial share.
+    scale: f64,
+    /// Last tick's Eq. 7 free-slot share, for the report.
+    headroom: f64,
+}
+
+impl ServingRuntime {
+    /// An idle runtime.
+    pub fn new(cfg: ServingConfig) -> Self {
+        assert!(cfg.prefill_batch_cap >= 1, "batch cap must be >= 1");
+        assert!(
+            cfg.min_spatial_share > 0.0 && cfg.min_spatial_share <= 1.0,
+            "min_spatial_share must be in (0, 1]"
+        );
+        Self {
+            cfg,
+            pending: VecDeque::new(),
+            queue: VecDeque::new(),
+            batch: None,
+            decoding: BinaryHeap::new(),
+            tenants: BTreeMap::new(),
+            stats: ServingStats::default(),
+            preempted: false,
+            scale: 1.0,
+            headroom: 1.0,
+        }
+    }
+
+    /// The configuration (read-only).
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Running totals (read-only).
+    pub fn stats(&self) -> &ServingStats {
+        &self.stats
+    }
+
+    /// Whether training is currently preempted for serving.
+    pub fn preempted(&self) -> bool {
+        self.preempted
+    }
+
+    /// Queues future request arrivals. Order of calls does not matter:
+    /// the pending set is kept sorted by `(arrival, id)`.
+    pub fn submit(&mut self, mut requests: Vec<RequestSpec>) {
+        self.pending.extend(requests.drain(..));
+        let mut v: Vec<RequestSpec> = self.pending.drain(..).collect();
+        v.sort_by(|a, b| {
+            a.arrival
+                .total_cmp(&b.arrival)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        self.pending = v.into();
+    }
+
+    /// Whether every submitted request has reached a terminal state.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.queue.is_empty()
+            && self.batch.is_none()
+            && self.decoding.is_empty()
+    }
+
+    /// Requests admitted but not yet terminal.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+            + self.batch.as_ref().map(|b| b.members.len()).unwrap_or(0)
+            + self.decoding.len()
+    }
+
+    /// Absolute time of the next serving event, if any — lets drivers
+    /// keep ticking until the stream drains.
+    pub fn next_event_at(&self) -> Option<f64> {
+        let mut at: Option<f64> = None;
+        let mut fold = |t: f64| at = Some(at.map_or(t, |a: f64| a.min(t)));
+        if let Some(r) = self.pending.front() {
+            fold(r.arrival);
+        }
+        if let Some(q) = self.queue.front() {
+            fold(q.spec.arrival + self.cfg.queue_timeout_seconds);
+        }
+        if let Some(b) = &self.batch {
+            fold(b.ends);
+        }
+        if let Some(Reverse(d)) = self.decoding.peek() {
+            fold(d.at);
+        }
+        at
+    }
+
+    /// Latches this tick's Eq. 7 grouping headroom (free co-location
+    /// slots / total slots) and the resulting serving latency scale.
+    /// Called by the service before [`Self::step`] each tick.
+    pub fn set_headroom(&mut self, headroom: f64) {
+        self.headroom = headroom.clamp(0.0, 1.0);
+        self.scale = if self.preempted || self.cfg.policy == ServingPolicy::Temporal {
+            1.0
+        } else {
+            1.0 / self.headroom.clamp(self.cfg.min_spatial_share, 1.0)
+        };
+    }
+
+    /// Whether the policy wants training preempted right now.
+    pub fn wants_backbone(&self, now: f64) -> bool {
+        let live = !self.queue.is_empty() || self.batch.is_some() || !self.decoding.is_empty();
+        match self.cfg.policy {
+            ServingPolicy::Spatial => false,
+            ServingPolicy::Temporal => live,
+            ServingPolicy::Hybrid => {
+                if self.preempted {
+                    // Hold the backbone until the burst fully drains.
+                    live
+                } else {
+                    self.queue
+                        .front()
+                        .map(|q| now - q.spec.arrival > 0.5 * self.cfg.ttft_slo_seconds)
+                        .unwrap_or(false)
+                }
+            }
+        }
+    }
+
+    /// Records a preempt/resume transition (the service flips the
+    /// per-instance rate gates and journals the markers).
+    pub fn set_preempted(&mut self, preempted: bool) {
+        if preempted && !self.preempted {
+            self.stats.preemptions += 1;
+        }
+        self.preempted = preempted;
+        // Re-latch the scale under the new sharing mode.
+        self.set_headroom(self.headroom);
+    }
+
+    /// Processes every serving event up to absolute time `until`,
+    /// journaling each transition at its exact simulated time. `tick` is
+    /// the service tick stamped on the journal lines (replay orders by
+    /// `(now, tick)`, so sub-tick event times replay correctly).
+    pub fn step(&mut self, until: f64, tick: u64, journal: &mut Journal) {
+        let _span = mux_obs::span("serving.step");
+        loop {
+            // The earliest actionable event at or before `until`; ties
+            // break by a fixed class order (arrive < prefill-end <
+            // decode-end < timeout) so processing is deterministic.
+            let mut best: Option<(f64, u8)> = None;
+            let mut consider = |t: f64, class: u8| {
+                if t <= until {
+                    let key = (t, class);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            };
+            if let Some(r) = self.pending.front() {
+                consider(r.arrival, 0);
+            }
+            if let Some(b) = &self.batch {
+                consider(b.ends, 1);
+            }
+            if let Some(Reverse(d)) = self.decoding.peek() {
+                consider(d.at, 2);
+            }
+            // Timeouts bite while the queue waits behind an in-flight
+            // batch; on a tie with the batch end, the class order above
+            // frees the server first, so the request joins the next
+            // batch instead of expiring.
+            if let Some(q) = self.queue.front() {
+                consider(q.spec.arrival + self.cfg.queue_timeout_seconds, 3);
+            }
+            let Some((t, class)) = best else { break };
+            match class {
+                0 => self.admit(t, tick, journal),
+                1 => self.finish_prefill(tick, journal),
+                2 => self.finish_decode(tick, journal),
+                _ => self.expire_front(t, tick, journal),
+            }
+            // A freed batch server (or fresh admissions) may allow a new
+            // batch to start at exactly `t`.
+            self.maybe_start_batch(t);
+        }
+    }
+
+    /// Admits (or rejects) the front pending arrival at its arrival time.
+    fn admit(&mut self, now: f64, tick: u64, journal: &mut Journal) {
+        let spec = self.pending.pop_front().expect("pending non-empty");
+        debug_assert_eq!(spec.arrival, now);
+        self.stats.arrived += 1;
+        mux_obs::profile::work("serving_requests", 1);
+        journal.push(
+            tick,
+            spec.arrival,
+            EventKind::RequestArrive {
+                request: spec.id,
+                tenant: spec.tenant.clone(),
+                prompt_tokens: spec.prompt_tokens,
+                output_tokens: spec.output_tokens,
+            },
+        );
+        if self.queue.len() >= self.cfg.max_queue {
+            self.stats.rejected += 1;
+            journal.push(
+                tick,
+                spec.arrival,
+                EventKind::RequestReject {
+                    request: spec.id,
+                    reason: format!("queue full ({} waiting)", self.queue.len()),
+                },
+            );
+            return;
+        }
+        self.queue.push_back(Queued { spec });
+    }
+
+    /// Starts a prefill batch at time `t` if the server is free and
+    /// requests are waiting.
+    fn maybe_start_batch(&mut self, t: f64) {
+        if self.batch.is_some() || self.queue.is_empty() {
+            return;
+        }
+        let n = self.queue.len().min(self.cfg.prefill_batch_cap);
+        let members: Vec<RequestSpec> = self.queue.drain(..n).map(|q| q.spec).collect();
+        let prompts: Vec<u64> = members.iter().map(|m| m.prompt_tokens).collect();
+        let dur = self.cfg.phase.prefill_batch_time(&prompts) * self.scale;
+        self.batch = Some(PrefillBatch {
+            members,
+            ends: t + dur,
+        });
+        mux_obs::profile::work("serving_prefill_batches", 1);
+    }
+
+    /// Completes the in-flight batch: journals per-member TTFT and
+    /// schedules each member's decode completion.
+    fn finish_prefill(&mut self, tick: u64, journal: &mut Journal) {
+        let batch = self.batch.take().expect("batch in flight");
+        let step = self.cfg.phase.decode_step_time() * self.scale;
+        for spec in batch.members {
+            let ttft = batch.ends - spec.arrival;
+            self.stats.prompt_tokens += spec.prompt_tokens;
+            journal.push(
+                tick,
+                batch.ends,
+                EventKind::RequestPrefill {
+                    request: spec.id,
+                    ttft_seconds: ttft,
+                },
+            );
+            self.tenants
+                .entry(spec.tenant.clone())
+                .or_default()
+                .ttft
+                .insert(ttft);
+            let at = batch.ends + spec.output_tokens as f64 * step;
+            self.decoding.push(Reverse(DecodeEvent {
+                at,
+                spec,
+                prefill_end: batch.ends,
+            }));
+        }
+    }
+
+    /// Completes the earliest scheduled decode: journals the terminal
+    /// `request_complete` and folds latency into the tenant sketches.
+    fn finish_decode(&mut self, tick: u64, journal: &mut Journal) {
+        let Reverse(ev) = self.decoding.pop().expect("decode scheduled");
+        let latency = ev.at - ev.spec.arrival;
+        let per_token = (ev.at - ev.prefill_end) / ev.spec.output_tokens.max(1) as f64;
+        let ttft = ev.prefill_end - ev.spec.arrival;
+        self.stats.completed += 1;
+        self.stats.decode_tokens += ev.spec.output_tokens;
+        mux_obs::profile::work("serving_decode_tokens", ev.spec.output_tokens);
+        let attained =
+            ttft <= self.cfg.ttft_slo_seconds && per_token <= self.cfg.per_token_slo_seconds;
+        if attained {
+            self.stats.slo_attained += 1;
+        } else {
+            self.stats.slo_violated += 1;
+        }
+        let tenant = self.tenants.entry(ev.spec.tenant.clone()).or_default();
+        tenant.per_token.insert(per_token);
+        tenant.completed += 1;
+        if attained {
+            tenant.slo_attained += 1;
+        }
+        journal.push(
+            tick,
+            ev.at,
+            EventKind::RequestComplete {
+                request: ev.spec.id,
+                decode_tokens: ev.spec.output_tokens,
+                latency_seconds: latency,
+            },
+        );
+    }
+
+    /// Drops the front queued request at its timeout instant.
+    fn expire_front(&mut self, t: f64, tick: u64, journal: &mut Journal) {
+        let q = self.queue.pop_front().expect("queue non-empty");
+        self.stats.timed_out += 1;
+        journal.push(
+            tick,
+            t,
+            EventKind::RequestTimeout {
+                request: q.spec.id,
+                waited_seconds: t - q.spec.arrival,
+            },
+        );
+    }
+
+    /// The always-present `serving` section of `service_report()`:
+    /// stable keys, zeros when nothing is enabled or nothing happened.
+    pub fn report_json(&self, now: f64) -> Value {
+        let mut root = Map::new();
+        root.insert("enabled".into(), true.into());
+        root.insert("policy".into(), self.cfg.policy.name().into());
+        root.insert("preempted".into(), self.preempted.into());
+        root.insert("preemptions".into(), self.stats.preemptions.into());
+        root.insert("headroom".into(), self.headroom.into());
+        root.insert("latency_scale".into(), self.scale.into());
+
+        let mut requests = Map::new();
+        requests.insert("arrived".into(), self.stats.arrived.into());
+        requests.insert("completed".into(), self.stats.completed.into());
+        requests.insert("rejected".into(), self.stats.rejected.into());
+        requests.insert("timed_out".into(), self.stats.timed_out.into());
+        requests.insert("pending".into(), self.pending.len().into());
+        requests.insert("in_flight".into(), self.in_flight().into());
+        root.insert("requests".into(), Value::Object(requests));
+
+        let mut tokens = Map::new();
+        tokens.insert("prompt".into(), self.stats.prompt_tokens.into());
+        tokens.insert("decode".into(), self.stats.decode_tokens.into());
+        root.insert("tokens".into(), Value::Object(tokens));
+
+        let mut slo = Map::new();
+        slo.insert("attained".into(), self.stats.slo_attained.into());
+        slo.insert("violated".into(), self.stats.slo_violated.into());
+        let concluded = self.stats.slo_attained + self.stats.slo_violated;
+        slo.insert(
+            "attainment".into(),
+            if concluded == 0 {
+                1.0
+            } else {
+                self.stats.slo_attained as f64 / concluded as f64
+            }
+            .into(),
+        );
+        slo.insert("ttft_seconds".into(), self.cfg.ttft_slo_seconds.into());
+        slo.insert(
+            "per_token_seconds".into(),
+            self.cfg.per_token_slo_seconds.into(),
+        );
+        root.insert("slo".into(), Value::Object(slo));
+
+        root.insert(
+            "goodput_requests_per_second".into(),
+            if now > 0.0 {
+                self.stats.slo_attained as f64 / now
+            } else {
+                0.0
+            }
+            .into(),
+        );
+
+        let per_tenant: Vec<Value> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                let mut e = Map::new();
+                e.insert("tenant".into(), name.as_str().into());
+                e.insert("completed".into(), t.completed.into());
+                e.insert(
+                    "slo_attainment".into(),
+                    if t.completed == 0 {
+                        1.0
+                    } else {
+                        t.slo_attained as f64 / t.completed as f64
+                    }
+                    .into(),
+                );
+                for (label, sketch) in [("ttft", &t.ttft), ("per_token", &t.per_token)] {
+                    let mut q = Map::new();
+                    for (quantile, key) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        q.insert(
+                            key.into(),
+                            if sketch.is_empty() {
+                                0.0
+                            } else {
+                                sketch.quantile(quantile)
+                            }
+                            .into(),
+                        );
+                    }
+                    e.insert(label.into(), Value::Object(q));
+                }
+                Value::Object(e)
+            })
+            .collect();
+        root.insert("per_tenant".into(), Value::Array(per_tenant));
+        Value::Object(root)
+    }
+
+    /// Appends the `muxtune_request_*` / `muxtune_serving_*` prom
+    /// families to `out` (families always render; gauges read 0 when no
+    /// request concluded yet).
+    pub fn render_prom(&self, out: &mut String, now: f64) {
+        out.push_str("# TYPE muxtune_requests_total counter\n");
+        for (state, v) in [
+            ("arrived", self.stats.arrived),
+            ("completed", self.stats.completed),
+            ("rejected", self.stats.rejected),
+            ("timed_out", self.stats.timed_out),
+        ] {
+            out.push_str(&format!(
+                "muxtune_requests_total{{state=\"{state}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# TYPE muxtune_request_tokens_total counter\n");
+        for (kind, v) in [
+            ("prompt", self.stats.prompt_tokens),
+            ("decode", self.stats.decode_tokens),
+        ] {
+            out.push_str(&format!(
+                "muxtune_request_tokens_total{{kind=\"{kind}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# TYPE muxtune_request_ttft_seconds gauge\n");
+        out.push_str("# TYPE muxtune_request_per_token_seconds gauge\n");
+        for (name, t) in &self.tenants {
+            let esc = mux_obs::prom_escape_label(name);
+            for (family, sketch) in [
+                ("muxtune_request_ttft_seconds", &t.ttft),
+                ("muxtune_request_per_token_seconds", &t.per_token),
+            ] {
+                for (quantile, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    let v = if sketch.is_empty() {
+                        0.0
+                    } else {
+                        sketch.quantile(quantile)
+                    };
+                    out.push_str(&format!(
+                        "{family}{{tenant=\"{esc}\",quantile=\"{label}\"}} {v}\n"
+                    ));
+                }
+            }
+        }
+        out.push_str("# TYPE muxtune_request_goodput_under_slo gauge\n");
+        let goodput = if now > 0.0 {
+            self.stats.slo_attained as f64 / now
+        } else {
+            0.0
+        };
+        out.push_str(&format!("muxtune_request_goodput_under_slo {goodput}\n"));
+        out.push_str("# TYPE muxtune_serving_preemptions_total counter\n");
+        out.push_str(&format!(
+            "muxtune_serving_preemptions_total {}\n",
+            self.stats.preemptions
+        ));
+    }
+}
+
+/// The `serving` report section when serving is disabled: the same
+/// stable key set, zeroed, so report consumers never branch on presence.
+pub fn disabled_report_json() -> Value {
+    let mut root = Map::new();
+    root.insert("enabled".into(), false.into());
+    root.insert("policy".into(), "none".into());
+    root.insert("preempted".into(), false.into());
+    root.insert("preemptions".into(), 0u64.into());
+    root.insert("headroom".into(), 1.0.into());
+    root.insert("latency_scale".into(), 1.0.into());
+    let mut requests = Map::new();
+    for k in [
+        "arrived",
+        "completed",
+        "rejected",
+        "timed_out",
+        "pending",
+        "in_flight",
+    ] {
+        requests.insert(k.into(), 0u64.into());
+    }
+    root.insert("requests".into(), Value::Object(requests));
+    let mut tokens = Map::new();
+    tokens.insert("prompt".into(), 0u64.into());
+    tokens.insert("decode".into(), 0u64.into());
+    root.insert("tokens".into(), Value::Object(tokens));
+    let mut slo = Map::new();
+    slo.insert("attained".into(), 0u64.into());
+    slo.insert("violated".into(), 0u64.into());
+    slo.insert("attainment".into(), 1.0.into());
+    slo.insert("ttft_seconds".into(), 0.0.into());
+    slo.insert("per_token_seconds".into(), 0.0.into());
+    root.insert("slo".into(), Value::Object(slo));
+    root.insert("goodput_requests_per_second".into(), 0.0.into());
+    root.insert("per_tenant".into(), Value::Array(Vec::new()));
+    Value::Object(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mux_gpu_sim::GpuSpec;
+    use mux_model::ModelConfig;
+
+    fn phase() -> PhaseModel {
+        PhaseModel::for_model(GpuSpec::a40(), &ModelConfig::tiny(4, 256, 8, 1024))
+    }
+
+    fn req(id: u64, arrival: f64, prompt: u64, output: u64) -> RequestSpec {
+        RequestSpec {
+            id,
+            tenant: "acme".into(),
+            arrival,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    #[test]
+    fn single_request_flows_arrive_prefill_complete() {
+        let mut rt = ServingRuntime::new(ServingConfig::new(ServingPolicy::Spatial, phase()));
+        rt.submit(vec![req(1, 0.5, 128, 16)]);
+        let mut journal = Journal::new();
+        rt.step(100.0, 1, &mut journal);
+        assert!(rt.idle());
+        assert_eq!(rt.stats().completed, 1);
+        assert_eq!(rt.stats().decode_tokens, 16);
+        let kinds: Vec<&str> = journal.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            ["request_arrive", "request_prefill", "request_complete"]
+        );
+        // TTFT is exactly the prefill time (no queue wait at idle).
+        let expect_ttft = rt.config().phase.prefill_time(128);
+        match &journal.events()[1].kind {
+            EventKind::RequestPrefill { ttft_seconds, .. } => {
+                assert!((ttft_seconds - expect_ttft).abs() < 1e-12)
+            }
+            other => panic!("expected prefill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_arrivals_cobatch_and_keep_exact_ttfts() {
+        let mut rt = ServingRuntime::new(ServingConfig::new(ServingPolicy::Spatial, phase()));
+        rt.submit(vec![
+            req(1, 0.0, 64, 4),
+            req(2, 0.0, 64, 4),
+            req(3, 0.0, 64, 4),
+        ]);
+        let mut journal = Journal::new();
+        rt.step(100.0, 1, &mut journal);
+        assert!(rt.idle());
+        // First arrival starts a singleton batch immediately; 2 and 3
+        // co-batch once the server frees up.
+        let prefills: Vec<f64> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::RequestPrefill { ttft_seconds, .. } => Some(*ttft_seconds),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prefills.len(), 3);
+        let solo = rt.config().phase.prefill_time(64);
+        assert!((prefills[0] - solo).abs() < 1e-12);
+        let batched = rt.config().phase.prefill_batch_time(&[64, 64]);
+        assert!((prefills[1] - (solo + batched)).abs() < 1e-12);
+        assert_eq!(prefills[1], prefills[2]);
+    }
+
+    #[test]
+    fn queue_overflow_rejects_and_stuck_queue_times_out() {
+        let mut cfg = ServingConfig::new(ServingPolicy::Spatial, phase());
+        cfg.max_queue = 1;
+        cfg.queue_timeout_seconds = 1e-5;
+        // A derated device (scale pinned high) so the queue backs up
+        // behind request 1's long prefill.
+        let mut rt = ServingRuntime::new(cfg);
+        rt.set_headroom(0.0); // scale = 1 / min_spatial_share = 4x
+        rt.submit(vec![
+            req(1, 0.0, 4096, 1),
+            req(2, 1e-5, 64, 1),
+            req(3, 2e-5, 64, 1),
+        ]);
+        let mut journal = Journal::new();
+        rt.step(1e-4, 1, &mut journal);
+        // 1 is prefilling; 3 bounced off the queue cap (2 still queued at
+        // its arrival instant — ties admit before expiring); 2 then waited
+        // out its timeout behind the in-flight batch.
+        assert_eq!(rt.stats().rejected, 1);
+        assert_eq!(rt.stats().timed_out, 1);
+        rt.step(100.0, 2, &mut journal);
+        assert!(rt.idle());
+        assert_eq!(rt.stats().completed, 1);
+        // Conservation: every request reached exactly one terminal state.
+        assert_eq!(rt.stats().arrived, 3);
+        assert_eq!(
+            rt.stats().completed + rt.stats().rejected + rt.stats().timed_out,
+            3
+        );
+    }
+
+    #[test]
+    fn temporal_policy_wants_backbone_only_while_work_is_live() {
+        let mut rt = ServingRuntime::new(ServingConfig::new(ServingPolicy::Temporal, phase()));
+        assert!(!rt.wants_backbone(0.0));
+        rt.submit(vec![req(1, 0.0, 64, 4)]);
+        assert!(
+            !rt.wants_backbone(0.0),
+            "pending-but-not-arrived is not live"
+        );
+        let mut journal = Journal::new();
+        rt.step(1e-6, 1, &mut journal);
+        assert!(
+            rt.wants_backbone(1e-6),
+            "in-flight prefill holds the backbone"
+        );
+        rt.step(100.0, 2, &mut journal);
+        assert!(!rt.wants_backbone(100.0), "drained stream releases it");
+    }
+
+    #[test]
+    fn hybrid_policy_escalates_on_ttft_pressure() {
+        let mut cfg = ServingConfig::new(ServingPolicy::Hybrid, phase());
+        cfg.ttft_slo_seconds = 1.0;
+        cfg.prefill_batch_cap = 1;
+        let mut rt = ServingRuntime::new(cfg);
+        rt.submit(vec![req(1, 0.0, 4096, 1), req(2, 1e-5, 64, 1)]);
+        let mut journal = Journal::new();
+        rt.step(1e-4, 1, &mut journal);
+        // Request 2 queued behind a long prefill but not yet past half
+        // its TTFT SLO: stay spatial.
+        assert!(!rt.wants_backbone(0.1));
+        // Past the half-SLO mark: escalate.
+        assert!(rt.wants_backbone(0.6));
+    }
+
+    #[test]
+    fn spatial_scale_derates_by_free_slot_share() {
+        let mut rt = ServingRuntime::new(ServingConfig::new(ServingPolicy::Spatial, phase()));
+        rt.set_headroom(0.5);
+        assert!((rt.scale - 2.0).abs() < 1e-12);
+        rt.set_headroom(0.1); // clamped at min_spatial_share = 0.25
+        assert!((rt.scale - 4.0).abs() < 1e-12);
+        // Preemption grants the full device regardless of headroom.
+        rt.set_preempted(true);
+        assert!((rt.scale - 1.0).abs() < 1e-12);
+        assert_eq!(rt.stats().preemptions, 1);
+    }
+
+    #[test]
+    fn run_twice_is_bitwise_identical() {
+        let run = || {
+            let mut rt = ServingRuntime::new(ServingConfig::new(ServingPolicy::Hybrid, phase()));
+            rt.submit(
+                (0..50)
+                    .map(|i| req(i, i as f64 * 0.01, 64 + i, 1 + i % 7))
+                    .collect(),
+            );
+            let mut journal = Journal::new();
+            let mut t = 0.0;
+            while !rt.idle() {
+                t += 0.05;
+                rt.step(t, (t / 0.05) as u64, &mut journal);
+            }
+            journal.seal();
+            journal.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -73,6 +73,16 @@
 //! - `--profile-diff <before> <after>`: parse two profile artifacts and
 //!   print the regression-ranked blame paths (exclusive-time delta, then
 //!   work-counter drift).
+//! - `--serve-mix <ratio>`: run the mixed training+serving scenario —
+//!   inference requests multiplexed onto the same frozen backbone as the
+//!   training jobs — at `ratio` requests per training job, and print the
+//!   deterministic summary (fingerprint, request conservation, per-tenant
+//!   TTFT / per-token p50/p95/p99, SLO attainment). `--serve-requests
+//!   <n>` sizes the request stream (default 2000); `--serving-policy
+//!   <spatial|temporal|hybrid>` picks the sharing policy (default
+//!   hybrid). With `--journal-out <path>`, the sealed mixed journal is
+//!   written there. Same seed ⇒ bitwise-identical output — CI diffs two
+//!   runs literally.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -82,9 +92,9 @@ use mux_api::Journal;
 use mux_bench::harness::{
     attribution_json, churn_replay_measurement, fig14_small_trace_scenario, fig14_trace_scenario,
     measure_run, planner_incremental_measurement, planner_scale_measurement,
-    profile_overhead_measurement, service_telemetry_scenario, service_telemetry_step,
-    sketch_overhead_measurement, telemetry_overhead_measurement, trace_replay_measurement,
-    write_profile_artifacts, PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
+    profile_overhead_measurement, serve_mix_measurement, service_telemetry_scenario,
+    service_telemetry_step, sketch_overhead_measurement, telemetry_overhead_measurement,
+    trace_replay_measurement, write_profile_artifacts, PLANNER_SCALE_M, SERVICE_TELEMETRY_TICKS,
 };
 use mux_gpu_sim::{chrome_trace, stall_breakdown};
 use mux_obs_analysis::{
@@ -293,6 +303,7 @@ const GATE_SCENARIOS: &[&str] = &[
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
+    "serve-mix",
     "profile-overhead",
 ];
 
@@ -305,6 +316,7 @@ const WALL_TIME_SCENARIOS: &[&str] = &[
     "telemetry-overhead",
     "sketch-overhead",
     "trace-replay",
+    "serve-mix",
     "profile-overhead",
 ];
 
@@ -312,7 +324,7 @@ const WALL_TIME_SCENARIOS: &[&str] = &[
 /// entry carries exact per-path work budgets (`dp_cells`, `ranges_built`,
 /// `heap_ops`, …). Same seed ⇒ identical counts, so these gate with
 /// equality rather than a wall-time tolerance.
-const PROFILED_SCENARIOS: &[&str] = &["planner-incremental", "churn-replay"];
+const PROFILED_SCENARIOS: &[&str] = &["planner-incremental", "churn-replay", "serve-mix"];
 
 /// Runs one gate scenario and returns its headline numbers.
 fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
@@ -327,6 +339,7 @@ fn measure_scenario(name: &str) -> Result<PerfMeasurement, String> {
         "telemetry-overhead" => Ok(telemetry_overhead_measurement()),
         "sketch-overhead" => Ok(sketch_overhead_measurement()),
         "trace-replay" => Ok(trace_replay_measurement()),
+        "serve-mix" => Ok(serve_mix_measurement()),
         "profile-overhead" => Ok(profile_overhead_measurement()),
         other => Err(format!(
             "unknown baseline scenario `{other}` (expected one of {GATE_SCENARIOS:?})"
@@ -651,6 +664,26 @@ fn replay_trace_file(
     Ok(())
 }
 
+/// `--serve-mix`: runs the mixed training+serving scenario and prints
+/// its deterministic summary; optionally writes the sealed journal.
+fn run_serve_mix_cli(
+    ratio: f64,
+    requests: usize,
+    policy: mux_api::ServingPolicy,
+    journal_out: Option<&Path>,
+) -> Result<(), String> {
+    let mut cfg = mux_workload::ServeMixConfig::standard(requests);
+    cfg.training_jobs = ((requests as f64 / ratio).round() as usize).max(1);
+    cfg.policy = policy;
+    let report = mux_workload::run_serve_mix(&cfg)?;
+    print!("{}", report.render_text());
+    if let Some(path) = journal_out {
+        write_file(path, &report.journal)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn write_baseline(path: &Path) -> Result<(), String> {
     let mut entries = Vec::new();
     for &name in GATE_SCENARIOS {
@@ -770,6 +803,9 @@ fn main() -> ExitCode {
     let mut lifecycle_out: Option<PathBuf> = None;
     let mut profile_out: Option<PathBuf> = None;
     let mut profile_diff_paths: Option<(PathBuf, PathBuf)> = None;
+    let mut serve_mix: Option<f64> = None;
+    let mut serve_requests: usize = 2_000;
+    let mut serving_policy = mux_api::ServingPolicy::Hybrid;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| -> Option<PathBuf> {
@@ -879,6 +915,40 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--serve-mix" => match take("--serve-mix") {
+                Some(p) => match p.to_string_lossy().parse::<f64>() {
+                    Ok(r) if r > 0.0 && r.is_finite() => serve_mix = Some(r),
+                    _ => {
+                        eprintln!("error: --serve-mix requires a positive requests-per-job ratio");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
+            "--serve-requests" => match take("--serve-requests") {
+                Some(p) => match p.to_string_lossy().parse::<usize>() {
+                    Ok(n) if n > 0 => serve_requests = n,
+                    _ => {
+                        eprintln!("error: --serve-requests requires a positive request count");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
+            "--serving-policy" => match take("--serving-policy") {
+                Some(p) => match mux_api::ServingPolicy::parse(&p.to_string_lossy()) {
+                    Some(pol) => serving_policy = pol,
+                    None => {
+                        eprintln!(
+                            "error: unknown --serving-policy `{}` \
+                             (expected spatial, temporal, or hybrid)",
+                            p.to_string_lossy()
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return ExitCode::from(2),
+            },
             "--replan-mode" => match take("--replan-mode") {
                 Some(p) => {
                     replan_mode = match p.to_string_lossy().as_ref() {
@@ -948,6 +1018,15 @@ fn main() -> ExitCode {
         if let Err(e) = run_chaos_seed(seed, journal_out.as_deref()) {
             return fail(&e);
         }
+    } else if let Some(ratio) = serve_mix {
+        if let Err(e) = run_serve_mix_cli(
+            ratio,
+            serve_requests,
+            serving_policy,
+            journal_out.as_deref(),
+        ) {
+            return fail(&e);
+        }
     } else if let Some(path) = &journal_out {
         if let Err(e) = emit_journal(path) {
             return fail(&e);
@@ -994,7 +1073,8 @@ fn main() -> ExitCode {
         || explain_job_id.is_some()
         || lifecycle_out.is_some()
         || profile_out.is_some()
-        || profile_diff_paths.is_some();
+        || profile_diff_paths.is_some()
+        || serve_mix.is_some();
     if side_mode && out_path.is_none() {
         return ExitCode::SUCCESS;
     }

@@ -609,6 +609,30 @@ pub fn trace_replay_measurement() -> PerfMeasurement {
     }
 }
 
+/// Requests in the `serve-mix` gate scenario (the CLI's release leg runs
+/// 10⁴; the gate uses a smaller mix so the perf job stays fast).
+pub const SERVE_MIX_REQUESTS: usize = 2_000;
+
+/// The `serve-mix` CI measurement: wall time of one mixed
+/// training+serving run at the golden seed (generation included — it is
+/// a negligible slice of the run). A single run under the 3× wall-time
+/// tolerance, like `trace-replay`. The scenario's `serving_requests` /
+/// `serving_prefill_batches` / `serving_decode_tokens` work counters are
+/// deterministic, so the baseline additionally carries exact work
+/// budgets — any drift in what the serving runtime does per request
+/// fails the gate until re-blessed.
+pub fn serve_mix_measurement() -> PerfMeasurement {
+    let cfg = mux_workload::ServeMixConfig::standard(SERVE_MIX_REQUESTS);
+    let start = Instant::now();
+    let report = mux_workload::run_serve_mix(&cfg).expect("golden-seed serve mix drains");
+    std::hint::black_box(report.fingerprint);
+    PerfMeasurement {
+        makespan_seconds: start.elapsed().as_secs_f64(),
+        mean_utilization: 1.0,
+        stall_share: 0.0,
+    }
+}
+
 /// The `sketch-overhead` CI measurement: best-of-3 wall time of 2M
 /// quantile-sketch inserts plus a 64-way shard merge — the hot path the
 /// timeseries window aggregator and the replay report now run instead of

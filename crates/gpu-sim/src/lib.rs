@@ -14,6 +14,7 @@
 pub mod chrome_trace;
 pub mod metrics;
 pub mod render;
+pub mod serving;
 pub mod spec;
 pub mod timeline;
 
@@ -25,6 +26,7 @@ pub use metrics::{
     UtilizationTrace,
 };
 pub use render::{render_summary, render_timeline};
+pub use serving::PhaseModel;
 pub use spec::{CommCtaPolicy, GpuSpec, LinkSpec, Work, WorkClass};
 pub use timeline::{
     Cluster, CollectiveKind, FaultWindow, FaultWindows, LaneKind, OomError, OpHandle, OpKind,

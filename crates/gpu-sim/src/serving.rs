@@ -1,0 +1,165 @@
+//! Prefill/decode phase model for inference serving (ROADMAP item 1).
+//!
+//! Serving a request on a frozen backbone has two phases with opposite
+//! roofline positions (MuxServe §3, Loquetier §4 in PAPERS.md):
+//!
+//! - **Prefill** processes every prompt token in one pass: FLOPs scale with
+//!   `2 · params · prompt_tokens` while the weight read is paid once, so the
+//!   phase is compute-bound and *batchable* — co-batched prompts amortize the
+//!   fixed weight traffic and launch overhead.
+//! - **Decode** emits one token per step: FLOPs per step are only
+//!   `2 · params`, but the full parameter set streams from HBM every step,
+//!   so the phase is memory-bound and *token-steppable* — its latency is a
+//!   property of the device's bandwidth, not its tensor cores.
+//!
+//! Both phases are costed off the same [`GpuSpec`] roofline
+//! ([`GpuSpec::compute_time`]) used for training micro-batches, so serving
+//! and tuning compete for the device in commensurable units.
+
+use crate::spec::{GpuSpec, Work};
+use mux_model::ModelConfig;
+
+/// Roofline-costed prefill/decode phase model for one (device, model) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseModel {
+    /// Device roofline the phases are costed against.
+    pub gpu: GpuSpec,
+    /// Frozen-backbone parameter count.
+    pub params: f64,
+    /// Bytes of weights streamed per full forward pass.
+    pub param_bytes: f64,
+}
+
+impl PhaseModel {
+    /// Phase model from explicit parameter counts.
+    pub fn new(gpu: GpuSpec, params: f64, param_bytes: f64) -> Self {
+        assert!(params > 0.0, "params must be positive");
+        assert!(param_bytes > 0.0, "param_bytes must be positive");
+        Self {
+            gpu,
+            params,
+            param_bytes,
+        }
+    }
+
+    /// Phase model for a named backbone from the Table 1 configs.
+    pub fn for_model(gpu: GpuSpec, model: &ModelConfig) -> Self {
+        Self::new(gpu, model.total_params() as f64, model.param_bytes() as f64)
+    }
+
+    /// Forward-pass work for `tokens` prompt tokens in one batch: token-
+    /// linear FLOPs, one amortized weight read.
+    fn prefill_work(&self, tokens: u64) -> Work {
+        Work::tensor(2.0 * self.params * tokens as f64, self.param_bytes)
+    }
+
+    /// Latency of prefilling one request with `prompt_tokens` tokens.
+    pub fn prefill_time(&self, prompt_tokens: u64) -> f64 {
+        self.gpu.compute_time(self.prefill_work(prompt_tokens), 1.0)
+    }
+
+    /// Latency of one co-batched prefill over several prompts. The weight
+    /// read and launch overhead are paid once for the whole batch, so this
+    /// is strictly cheaper than prefilling the members one at a time.
+    pub fn prefill_batch_time(&self, prompt_tokens: &[u64]) -> f64 {
+        let total: u64 = prompt_tokens.iter().sum();
+        self.gpu.compute_time(self.prefill_work(total), 1.0)
+    }
+
+    /// Latency of emitting one decode token: ~`2 · params` FLOPs against a
+    /// full weight stream, which the roofline resolves as bandwidth-bound.
+    pub fn decode_step_time(&self) -> f64 {
+        self.gpu
+            .compute_time(Work::tensor(2.0 * self.params, self.param_bytes), 1.0)
+    }
+
+    /// Latency of decoding `output_tokens` sequentially.
+    pub fn decode_time(&self, output_tokens: u64) -> f64 {
+        output_tokens as f64 * self.decode_step_time()
+    }
+
+    /// Fraction of peak the decode step sustains — the idle tensor-core
+    /// margin a spatial co-batching policy can hand to training hTasks.
+    pub fn decode_compute_margin(&self) -> f64 {
+        let step = self.decode_step_time() - self.gpu.launch_overhead;
+        if step <= 0.0 {
+            return 0.0;
+        }
+        let flops_time = 2.0 * self.params / self.gpu.peak_flops;
+        (1.0 - flops_time / step).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PhaseModel {
+        PhaseModel::for_model(GpuSpec::a40(), &ModelConfig::llama2_7b())
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_at_realistic_prompt_lengths() {
+        let m = model();
+        // At 512 prompt tokens the FLOPs term dominates the weight read.
+        let w = m.prefill_work(512);
+        let tf = w.flops / m.gpu.peak_flops;
+        let tb = w.bytes / m.gpu.mem_bw;
+        assert!(
+            tf > tb,
+            "prefill should be compute-bound: flops time {tf} vs bytes time {tb}"
+        );
+    }
+
+    #[test]
+    fn decode_is_memory_bound() {
+        let m = model();
+        let tf = 2.0 * m.params / m.gpu.peak_flops;
+        let tb = m.param_bytes / m.gpu.mem_bw;
+        assert!(
+            tb > 100.0 * tf,
+            "decode should be overwhelmingly bandwidth-bound"
+        );
+        // And the step time is essentially the weight-stream time.
+        let step = m.decode_step_time();
+        assert!(step >= tb);
+        assert!(step < 1.5 * tb + m.gpu.launch_overhead);
+    }
+
+    #[test]
+    fn batched_prefill_amortizes_weight_read() {
+        let m = model();
+        let singles: f64 = (0..8).map(|_| m.prefill_time(128)).sum();
+        let batched = m.prefill_batch_time(&[128; 8]);
+        assert!(
+            batched < singles,
+            "co-batched prefill {batched} must beat serial prefill {singles}"
+        );
+        // But it can never beat the pure FLOPs floor of the combined work.
+        assert!(batched >= 2.0 * m.params * 1024.0 / m.gpu.peak_flops);
+    }
+
+    #[test]
+    fn batch_time_is_monotone_in_added_prompts() {
+        let m = model();
+        assert!(m.prefill_batch_time(&[128, 64]) > m.prefill_batch_time(&[128]));
+        // Single-element batch degenerates to the single-request cost.
+        assert_eq!(m.prefill_batch_time(&[128]), m.prefill_time(128));
+    }
+
+    #[test]
+    fn decode_time_is_token_linear() {
+        let m = model();
+        let one = m.decode_time(1);
+        let hundred = m.decode_time(100);
+        assert!((hundred - 100.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_leaves_compute_margin_for_spatial_cobatching() {
+        let m = model();
+        // Memory-bound decode leaves nearly all tensor-core capacity idle.
+        assert!(m.decode_compute_margin() > 0.9);
+        assert!(m.decode_compute_margin() <= 1.0);
+    }
+}

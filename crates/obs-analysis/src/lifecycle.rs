@@ -2,11 +2,11 @@
 //!
 //! [`analyze_journal`] parses a journal's JSONL (any journal — live,
 //! merged, golden, chaos) and rebuilds, for every job, the **span tree**
-//! of its lifetime: queued → running segments → fault/replan
-//! interruptions → terminal. Each job's JCT decomposes into four shares —
+//! of its lifetime: queued → running segments → fault/replan/serving
+//! interruptions → terminal. Each job's JCT decomposes into five shares —
 //!
 //! ```text
-//! queue_wait + run + fault_recovery + replan_stall == jct
+//! queue_wait + run + fault_recovery + replan_stall + serving_preemption == jct
 //! ```
 //!
 //! — a **conservation invariant** in the spirit of the device attribution
@@ -65,7 +65,8 @@ impl Terminal {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// Span class: `queued`, `running`, `fault_recovery`, `replan_stall`,
-    /// or a zero-width marker (`retry`, `restart`, `shed`).
+    /// `serving_preemption`, or a zero-width marker (`retry`, `restart`,
+    /// `shed`).
     pub kind: String,
     /// Start, simulated seconds.
     pub start: f64,
@@ -94,7 +95,7 @@ impl Span {
     }
 }
 
-/// A job's JCT split into its four causal shares.
+/// A job's JCT split into its five causal shares.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JctDecomposition {
     /// Submit → end, seconds.
@@ -110,13 +111,23 @@ pub struct JctDecomposition {
     /// instance (zero-width in the discrete-event service, which replans
     /// at the loss instant; kept for engines where replanning takes time).
     pub replan_stall: f64,
+    /// Time the hosting instance spent temporally preempted by the
+    /// serving runtime (inference requests borrow the backbone; training
+    /// rates are zero while the window lasts).
+    pub serving_preemption: f64,
 }
 
 impl JctDecomposition {
-    /// `|queue + run + recovery + replan − jct|` — zero (within float
-    /// tolerance) when the interval algebra is correct.
+    /// `|queue + run + recovery + replan + serving − jct|` — zero (within
+    /// float tolerance) when the interval algebra is correct.
     pub fn conservation_error(&self) -> f64 {
-        (self.queue_wait + self.run + self.fault_recovery + self.replan_stall - self.jct).abs()
+        (self.queue_wait
+            + self.run
+            + self.fault_recovery
+            + self.replan_stall
+            + self.serving_preemption
+            - self.jct)
+            .abs()
     }
 }
 
@@ -296,6 +307,10 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
     let mut open_outage: BTreeMap<usize, f64> = BTreeMap::new();
     let mut replans: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
     let mut open_replan: BTreeMap<usize, f64> = BTreeMap::new();
+    // Serving-preemption windows: the serving runtime borrows the
+    // backbone (`serving_preempt`) and returns it (`serving_resume`).
+    let mut servings: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut open_serving: BTreeMap<usize, f64> = BTreeMap::new();
     let mut end_time: f64 = 0.0;
 
     for (lineno, line) in jsonl.lines().enumerate() {
@@ -425,6 +440,16 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
                     replans.entry(instance).or_default().push((start, now));
                 }
             }
+            "serving_preempt" => {
+                let instance = get_u64(m, "instance").ok_or_else(|| miss("instance"))? as usize;
+                open_serving.entry(instance).or_insert(now);
+            }
+            "serving_resume" => {
+                let instance = get_u64(m, "instance").ok_or_else(|| miss("instance"))? as usize;
+                if let Some(start) = open_serving.remove(&instance) {
+                    servings.entry(instance).or_default().push((start, now));
+                }
+            }
             "decision" => {
                 let candidates = m
                     .get("candidates")
@@ -477,10 +502,18 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
     for (instance, start) in open_replan {
         replans.entry(instance).or_default().push((start, end_time));
     }
+    for (instance, start) in open_serving {
+        servings
+            .entry(instance)
+            .or_default()
+            .push((start, end_time));
+    }
     let outages: BTreeMap<usize, Vec<(f64, f64)>> =
         outages.into_iter().map(|(i, iv)| (i, union(iv))).collect();
     let replans: BTreeMap<usize, Vec<(f64, f64)>> =
         replans.into_iter().map(|(i, iv)| (i, union(iv))).collect();
+    let servings: BTreeMap<usize, Vec<(f64, f64)>> =
+        servings.into_iter().map(|(i, iv)| (i, union(iv))).collect();
 
     let mut out_jobs = BTreeMap::new();
     for (job, mut acc) in jobs {
@@ -497,17 +530,29 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
         let run_start = acc.dispatched_at.unwrap_or(ended_at).min(ended_at);
         let queue_wait = run_start - acc.submitted_at;
 
-        // Fault-recovery windows win overlaps with replan-stall windows
-        // so the shares stay disjoint (and conservation stays provable).
+        // Overlap precedence keeps the shares disjoint (and conservation
+        // provable): fault-recovery windows win, serving-preemption next,
+        // replan-stall takes whatever remains.
         let empty = Vec::new();
         let inst_outages = acc.instance.and_then(|i| outages.get(&i)).unwrap_or(&empty);
         let inst_replans = acc.instance.and_then(|i| replans.get(&i)).unwrap_or(&empty);
+        let inst_servings = acc
+            .instance
+            .and_then(|i| servings.get(&i))
+            .unwrap_or(&empty);
         let recovery_iv = clip(inst_outages, run_start, ended_at);
-        let replan_iv: Vec<(f64, f64)> = clip(inst_replans, run_start, ended_at)
+        let serving_iv: Vec<(f64, f64)> = clip(inst_servings, run_start, ended_at)
             .iter()
             .flat_map(|&w| subtract(w, &recovery_iv))
             .collect();
-        let mut cuts = recovery_iv.clone();
+        let mut higher = recovery_iv.clone();
+        higher.extend(serving_iv.iter().copied());
+        let higher = union(higher);
+        let replan_iv: Vec<(f64, f64)> = clip(inst_replans, run_start, ended_at)
+            .iter()
+            .flat_map(|&w| subtract(w, &higher))
+            .collect();
+        let mut cuts = higher;
         cuts.extend(replan_iv.iter().copied());
         let cuts = union(cuts);
         let run_iv = subtract((run_start, ended_at), &cuts);
@@ -518,6 +563,7 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
             run: total(&run_iv),
             fault_recovery: total(&recovery_iv),
             replan_stall: total(&replan_iv),
+            serving_preemption: total(&serving_iv),
         };
 
         // Assemble the span tree: queued, then a running span whose
@@ -540,6 +586,9 @@ pub fn analyze_journal(jsonl: &str) -> Result<LifecycleAnalysis, String> {
                         .iter()
                         .map(|&(s, e)| Span::leaf("replan_stall", s, e, "device loss".into())),
                 )
+                .chain(serving_iv.iter().map(|&(s, e)| {
+                    Span::leaf("serving_preemption", s, e, "inference preemption".into())
+                }))
                 .collect();
             children.extend(acc.markers.iter().cloned());
             children.sort_by(|a, b| {
@@ -767,7 +816,7 @@ pub fn explain_job(analysis: &LifecycleAnalysis, id: u64) -> Result<String, Stri
 
     let d = &j.decomposition;
     out.push_str(&format!(
-        "jct {:.3}s = queue {:.3}s ({:.1}%) + run {:.3}s ({:.1}%) + fault-recovery {:.3}s ({:.1}%) + replan-stall {:.3}s ({:.1}%)\n",
+        "jct {:.3}s = queue {:.3}s ({:.1}%) + run {:.3}s ({:.1}%) + fault-recovery {:.3}s ({:.1}%) + replan-stall {:.3}s ({:.1}%) + serving-preemption {:.3}s ({:.1}%)\n",
         d.jct,
         d.queue_wait,
         pct(d.queue_wait, d.jct),
@@ -777,6 +826,8 @@ pub fn explain_job(analysis: &LifecycleAnalysis, id: u64) -> Result<String, Stri
         pct(d.fault_recovery, d.jct),
         d.replan_stall,
         pct(d.replan_stall, d.jct),
+        d.serving_preemption,
+        pct(d.serving_preemption, d.jct),
     ));
 
     // Provenance: the winning dispatch, lost picks while queued, sheds.
@@ -942,6 +993,42 @@ mod tests {
         assert!(text.contains("fault_recovery"), "{text}");
         // Deterministic: same input, same bytes.
         assert_eq!(text, explain_job(&a, 0).unwrap());
+    }
+
+    #[test]
+    fn serving_preemption_windows_decompose_and_yield_to_recovery() {
+        // Preempt 3..6, outage 5..8 (overlap 5..6 goes to recovery),
+        // second preempt 10.. left open (clamps to end 12).
+        let jsonl = [
+            line(0, 0, 0.0, "submit", "\"job\":0,\"tenant\":\"a\",\"backbone\":\"B\",\"total_tokens\":1,\"slo_seconds\":null"),
+            line(1, 0, 1.0, "dispatch", "\"job\":0,\"instance\":0"),
+            line(2, 0, 3.0, "serving_preempt", "\"instance\":0"),
+            line(3, 0, 5.0, "fault_injected", "\"kind\":\"comm_transient\",\"instance\":0,\"device\":null,\"magnitude\":0.0"),
+            line(4, 0, 6.0, "serving_resume", "\"instance\":0"),
+            line(5, 0, 8.0, "fault_cleared", "\"kind\":\"comm_transient\",\"instance\":0"),
+            line(6, 0, 10.0, "serving_preempt", "\"instance\":0"),
+            line(7, 0, 12.0, "replan", "\"instance\":0,\"epoch\":2,\"tasks\":1"),
+        ]
+        .join("\n");
+        let a = analyze_journal(&jsonl).expect("parse");
+        let j = &a.jobs[&0];
+        let d = &j.decomposition;
+        assert!((d.jct - 12.0).abs() < 1e-12);
+        assert!((d.fault_recovery - 3.0).abs() < 1e-12, "5..8");
+        assert!(
+            (d.serving_preemption - 4.0).abs() < 1e-12,
+            "3..5 (recovery takes 5..6) plus unclosed 10..12"
+        );
+        assert!((d.run - 4.0).abs() < 1e-12, "1..3 and 8..10");
+        assert!(d.conservation_error() < 1e-9);
+        assert!(
+            j.spans
+                .iter()
+                .any(|s| s.children.iter().any(|c| c.kind == "serving_preemption")),
+            "span tree carries the serving leaf"
+        );
+        let text = explain_job(&a, 0).expect("explain");
+        assert!(text.contains("serving-preemption 4.000s"), "{text}");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 pub mod gen;
 pub mod replay;
+pub mod requests;
+pub mod serve_mix;
 pub mod trace;
 
 pub use gen::{generate, TenantProfile, TraceConfig};
@@ -26,4 +28,6 @@ pub use replay::{
     replay_trace, replay_trace_by_name, Admission, Outcome, ReplayOptions, ReplayReport,
     TenantOutcome,
 };
+pub use requests::{generate_requests, RequestConfig, RequestTenant};
+pub use serve_mix::{request_outcomes, run_serve_mix, ServeMixConfig, ServeMixReport};
 pub use trace::{dataset_by_name, Trace, TraceJob};

@@ -69,7 +69,7 @@ pub use muxtune_core as core;
 pub mod prelude {
     pub use mux_api::{
         DispatchPolicy, FineTuneService, JobSpec, JobState, Journal, MonitorConfig, ReplanMode,
-        ServiceConfig, ServiceFault, TelemetrySummary,
+        RequestSpec, ServiceConfig, ServiceFault, ServingConfig, ServingPolicy, TelemetrySummary,
     };
     pub use mux_baselines::runner::{run_system, SystemKind};
     pub use mux_chaos::{run_chaos, DstConfig, DstRun, FaultPlan};
@@ -77,6 +77,7 @@ pub mod prelude {
     pub use mux_data::corpus::{Corpus, DatasetKind};
     pub use mux_gpu_sim::spec::{GpuSpec, LinkSpec};
     pub use mux_gpu_sim::timeline::Cluster;
+    pub use mux_gpu_sim::PhaseModel;
     pub use mux_model::config::ModelConfig;
     pub use mux_parallel::plan::HybridParallelism;
     pub use mux_peft::registry::TaskRegistry;

@@ -177,6 +177,61 @@ fn exhaustive_journal() -> Journal {
             instance: 0,
         },
     );
+    j.push(
+        3,
+        1.7,
+        EventKind::RequestArrive {
+            request: 0,
+            tenant: "tenant-a".into(),
+            prompt_tokens: 128,
+            output_tokens: 16,
+        },
+    );
+    j.push(
+        3,
+        1.7,
+        EventKind::RequestPrefill {
+            request: 0,
+            ttft_seconds: 0.031,
+        },
+    );
+    j.push(
+        3,
+        1.8,
+        EventKind::RequestComplete {
+            request: 0,
+            decode_tokens: 16,
+            latency_seconds: 0.35,
+        },
+    );
+    j.push(
+        3,
+        1.8,
+        EventKind::RequestReject {
+            request: 1,
+            reason: "queue full".into(),
+        },
+    );
+    j.push(
+        3,
+        1.9,
+        EventKind::RequestTimeout {
+            request: 2,
+            waited_seconds: 30.0,
+        },
+    );
+    j.push(3, 1.9, EventKind::ServingPreempt { instance: 0 });
+    j.push(4, 2.0, EventKind::ServingResume { instance: 0 });
+    let mut payload = serde_json::Map::new();
+    payload.insert("detail".to_string(), Value::from("future extension"));
+    j.push(
+        4,
+        2.0,
+        EventKind::Opaque {
+            name: "frobnicate".into(),
+            payload,
+        },
+    );
     j.push(4, 2.0, EventKind::Complete { job: 1 });
     let mut jobs = BTreeMap::new();
     jobs.insert(1, "completed".to_string());

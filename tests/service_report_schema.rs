@@ -22,12 +22,35 @@ fn golden_path() -> PathBuf {
 /// A small deterministic service: two same-backbone LoRA jobs (one with a
 /// hopeless SLO, so the alerts section is populated) sharing a 4-GPU
 /// instance on a truncated backbone, with online monitoring enabled and a
-/// few ticks run so `slo_burn` has fired.
+/// few ticks run so `slo_burn` has fired. Serving is enabled with a
+/// handful of completed requests so the report's `serving` section is
+/// pinned in its populated (per-tenant quantile) shape, not just the
+/// disabled stub.
 fn report() -> Value {
     let mut cfg = ServiceConfig::a40_pool(4);
     cfg.backbone_layers = Some(8);
     let mut svc = FineTuneService::new(cfg);
     svc.enable_monitoring(MonitorConfig::default());
+    svc.enable_serving(ServingConfig::new(
+        ServingPolicy::Hybrid,
+        PhaseModel::for_model(GpuSpec::a40(), &ModelConfig::llama2_7b().with_layers(8)),
+    ));
+    svc.submit_requests(vec![
+        RequestSpec {
+            id: 0,
+            tenant: "tenant-a".into(),
+            arrival: 0.0,
+            prompt_tokens: 128,
+            output_tokens: 8,
+        },
+        RequestSpec {
+            id: 1,
+            tenant: "tenant-b".into(),
+            arrival: 0.05,
+            prompt_tokens: 256,
+            output_tokens: 4,
+        },
+    ]);
     svc.submit(
         JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 10_000_000).with_slo(0.5),
     );
@@ -45,7 +68,15 @@ fn report() -> Value {
         !svc.alerts().is_empty(),
         "schema scenario must exercise the alerts section"
     );
-    svc.service_report()
+    let rep = svc.service_report();
+    assert!(
+        rep.get("serving")
+            .and_then(|s| s.get("per_tenant"))
+            .and_then(Value::as_array)
+            .is_some_and(|t| !t.is_empty()),
+        "schema scenario must exercise the populated serving section"
+    );
+    rep
 }
 
 /// Collects every key path in `v`. Array elements collapse to `[]` and

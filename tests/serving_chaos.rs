@@ -1,0 +1,165 @@
+//! Chaos × serving composition: `mux-chaos` fault plans land while
+//! inference requests are in flight on the shared backbone. Invariants:
+//!
+//! * **No request lost**: every arrived request still reaches exactly one
+//!   terminal state (completed / rejected / timed-out) — device losses
+//!   during decode stretch latency, they never drop requests.
+//! * **Journal integrity**: the sealed mixed journal (job + request +
+//!   fault events in one seq space) replays clean against its final
+//!   record.
+//! * **Determinism**: the same (request seed, fault seed) pair
+//!   reproduces a bitwise-identical journal.
+
+use muxtune::api::{JobId, JobState, Journal};
+use muxtune::chaos::{apply_action, ChaosAction, FaultPlan, FaultPlanConfig};
+use muxtune::data::corpus::DatasetKind;
+use muxtune::prelude::*;
+use muxtune::workload::{generate_requests, request_outcomes, RequestConfig};
+
+const TICK_DT: f64 = 0.05;
+
+struct ChaosServeRun {
+    journal: String,
+    fingerprint: u64,
+    arrived: usize,
+    applied_faults: usize,
+    device_losses: usize,
+}
+
+/// Drives a serving-enabled service through a request stream while a
+/// seeded fault plan fires, then drains both sides and seals.
+fn chaos_serve(request_seed: u64, fault_seed: u64, requests: usize) -> ChaosServeRun {
+    let mut cfg = ServiceConfig::a40_pool(4);
+    cfg.backbone_layers = Some(8);
+    let mut svc = FineTuneService::new(cfg);
+    svc.enable_serving(ServingConfig::new(
+        ServingPolicy::Hybrid,
+        PhaseModel::for_model(GpuSpec::a40(), &ModelConfig::llama2_7b().with_layers(8)),
+    ));
+    let stream = generate_requests(request_seed, &RequestConfig::standard(requests));
+    svc.submit_requests(stream);
+    let mut submitted: Vec<JobId> = vec![
+        svc.submit(JobSpec::lora(
+            "LLaMA2-7B",
+            DatasetKind::Sst2,
+            16,
+            4,
+            200_000,
+        )),
+        svc.submit(
+            JobSpec::lora("LLaMA2-7B", DatasetKind::OpenBookQa, 16, 4, 150_000).with_priority(3),
+        ),
+    ];
+    let plan = FaultPlan::generate(
+        fault_seed,
+        &FaultPlanConfig {
+            ticks: 40,
+            events: 8,
+            ..FaultPlanConfig::default()
+        },
+    );
+    // Pin one device loss mid-stream regardless of what the seeded plan
+    // drew, so the decode-interruption path is always exercised.
+    let pinned_loss = ChaosAction::DeviceLoss {
+        instance: 0,
+        device: 1,
+    };
+    let mut timed: Vec<(f64, &ChaosAction)> = plan
+        .events
+        .iter()
+        .map(|ev| (ev.at_tick as f64 * TICK_DT, &ev.action))
+        .collect();
+    timed.push((10.0 * TICK_DT, &pinned_loss));
+    timed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let device_losses = timed
+        .iter()
+        .filter(|(_, a)| matches!(a, ChaosAction::DeviceLoss { .. }))
+        .count();
+    let mut next = 0usize;
+    let mut applied = 0usize;
+    let mut ticks = 0u64;
+    loop {
+        while next < timed.len() && timed[next].0 <= svc.now() {
+            applied += apply_action(&mut svc, &mut submitted, timed[next].1) as usize;
+            next += 1;
+        }
+        let jobs_done = submitted.iter().all(|id| {
+            matches!(
+                svc.job(*id).map(|j| j.state),
+                Some(JobState::Completed) | Some(JobState::Rejected) | None
+            )
+        });
+        if next == timed.len() && jobs_done && svc.serving_idle() {
+            break;
+        }
+        svc.tick(TICK_DT);
+        ticks += 1;
+        assert!(
+            ticks < 400_000,
+            "chaos serve mix failed to drain ({} plan events pending)",
+            timed.len() - next
+        );
+    }
+    svc.seal_journal();
+    svc.journal()
+        .verify()
+        .expect("sealed mixed journal replays");
+    let arrived = svc
+        .serving()
+        .map(|s| s.stats().arrived as usize)
+        .unwrap_or(0);
+    ChaosServeRun {
+        journal: svc.journal().to_jsonl(),
+        fingerprint: svc.journal().fingerprint(),
+        arrived,
+        applied_faults: applied,
+        device_losses,
+    }
+}
+
+#[test]
+fn faults_mid_serving_lose_no_requests_and_journal_replays() {
+    let run = chaos_serve(42, 4242, 40);
+    assert!(run.applied_faults > 0, "fault plan never fired mid-serving");
+    assert!(
+        run.device_losses > 0,
+        "plan scheduled no device loss — the decode-interruption path is untested"
+    );
+    assert_eq!(run.arrived, 40, "request stream truncated");
+    let journal = Journal::from_jsonl(&run.journal).expect("journal parses");
+    let outcomes = request_outcomes(&journal);
+    assert_eq!(outcomes.len(), 40, "request arrival lost from the journal");
+    for (request, terminals) in &outcomes {
+        assert_eq!(
+            terminals.len(),
+            1,
+            "request {request} under chaos has {} terminal events: {terminals:?}",
+            terminals.len()
+        );
+    }
+    // Faults really landed in the same journal the requests live in.
+    assert!(
+        journal
+            .events()
+            .iter()
+            .any(|ev| ev.kind.name() == "fault_injected"),
+        "no fault events journaled"
+    );
+}
+
+#[test]
+fn chaos_serving_runs_twice_bitwise_identical() {
+    let a = chaos_serve(7, 99, 30);
+    let b = chaos_serve(7, 99, 30);
+    assert_eq!(
+        a.journal, b.journal,
+        "chaos+serving journal not bitwise-stable"
+    );
+    assert_eq!(a.fingerprint, b.fingerprint);
+    // A different fault seed must actually perturb the run.
+    let c = chaos_serve(7, 100, 30);
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "fault seed has no effect on the mixed journal"
+    );
+}
